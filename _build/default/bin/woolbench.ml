@@ -1,0 +1,48 @@
+(* woolbench: regenerate the paper's tables and figures.
+
+   `woolbench list` shows the available experiments; `woolbench <key>`
+   runs one; `woolbench all` runs everything (as the final harness does). *)
+
+open Cmdliner
+
+let run_experiment keys =
+  match keys with
+  | [] | [ "all" ] ->
+      Wool_report.Registry.run_all ();
+      `Ok ()
+  | [ "list" ] ->
+      List.iter
+        (fun e ->
+          Printf.printf "%-8s %s\n" e.Wool_report.Registry.key
+            e.Wool_report.Registry.title)
+        Wool_report.Registry.all;
+      `Ok ()
+  | keys ->
+      let missing =
+        List.filter (fun k -> Wool_report.Registry.find k = None) keys
+      in
+      if missing <> [] then
+        `Error
+          ( false,
+            Printf.sprintf "unknown experiment(s): %s (try `woolbench list`)"
+              (String.concat ", " missing) )
+      else begin
+        List.iter
+          (fun k ->
+            match Wool_report.Registry.find k with
+            | Some e -> e.Wool_report.Registry.run ()
+            | None -> assert false)
+          keys;
+        `Ok ()
+      end
+
+let keys_arg =
+  let doc = "Experiments to run: list | all | fig1 table1 table2 table3 fig4 fig5 table4 fig6." in
+  Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
+
+let cmd =
+  let doc = "regenerate the tables and figures of the Wool paper" in
+  let info = Cmd.info "woolbench" ~doc in
+  Cmd.v info Term.(ret (const run_experiment $ keys_arg))
+
+let () = exit (Cmd.eval cmd)

@@ -1,0 +1,1 @@
+examples/matmul.ml: Array Domain Printf Sys Wool Wool_util Wool_workloads

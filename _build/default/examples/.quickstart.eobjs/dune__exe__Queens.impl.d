@@ -1,0 +1,1 @@
+examples/queens.ml: Array Domain Printf Sys Wool Wool_util Wool_workloads

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Domain Printf Sys Wool Wool_util

@@ -1,0 +1,1 @@
+examples/simulate.ml: Array List Printf Sys Wool_ir Wool_metrics Wool_report Wool_sim Wool_util Wool_workloads

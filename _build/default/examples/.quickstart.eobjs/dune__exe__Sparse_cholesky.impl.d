@@ -1,0 +1,1 @@
+examples/sparse_cholesky.ml: Array Domain Printf Sys Wool Wool_util Wool_workloads

@@ -1,0 +1,1 @@
+examples/sparse_cholesky.mli:

@@ -1,0 +1,1 @@
+examples/steal_parent.ml: Array Domain Printf Sys Wool Wool_cactus

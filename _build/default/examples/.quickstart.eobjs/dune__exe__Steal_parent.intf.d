@@ -1,0 +1,1 @@
+examples/steal_parent.mli:

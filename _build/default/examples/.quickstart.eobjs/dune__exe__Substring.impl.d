@@ -1,0 +1,1 @@
+examples/substring.ml: Array Domain Printf String Sys Wool Wool_util Wool_workloads

@@ -1,0 +1,71 @@
+(* Tour of the deterministic multicore simulator: run one workload under
+   the four schedulers the paper compares and print speedups, steal counts
+   and the Wool CPU-time breakdown.
+
+   Usage: dune exec examples/simulate.exe [-- HEIGHT [LEAF_ITERS [REPS]]] *)
+
+module E = Wool_sim.Engine
+module P = Wool_sim.Policy
+module W = Wool_workloads.Workload
+module Tt = Wool_ir.Task_tree
+
+let () =
+  let height = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 8 in
+  let leaf_iters =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2) else 256
+  in
+  let reps = if Array.length Sys.argv > 3 then int_of_string Sys.argv.(3) else 16 in
+  let wl = W.stress ~reps ~height ~leaf_iters () in
+  let root = W.root wl in
+  Printf.printf "workload %s x %d reps: %d cycles of work, %d tasks\n"
+    (W.label wl) reps (Tt.work root) (Tt.n_tasks root);
+  Printf.printf "task granularity G_T = %.0f cycles\n\n"
+    (Wool_metrics.Granularity.task_granularity root);
+  let table =
+    Wool_util.Table.create
+      ~title:"absolute speedup (work / simulated time)"
+      ~header:[ "system"; "p=1"; "p=2"; "p=4"; "p=8"; "steals@8"; "G_L(8)" ]
+      ()
+  in
+  List.iter
+    (fun (pol : P.t) ->
+      let work = float_of_int (Tt.work root) in
+      let speedup p =
+        let r = E.run ~policy:pol ~workers:p root in
+        (work /. float_of_int r.E.time, r)
+      in
+      let s1, _ = speedup 1 and s2, _ = speedup 2 in
+      let s4, _ = speedup 4 in
+      let s8, r8 = speedup 8 in
+      Wool_util.Table.add_row table
+        [
+          pol.P.name;
+          Printf.sprintf "%.2f" s1;
+          Printf.sprintf "%.2f" s2;
+          Printf.sprintf "%.2f" s4;
+          Printf.sprintf "%.2f" s8;
+          string_of_int r8.E.steals;
+          Wool_report.Exp_common.fmt_k
+            (Wool_metrics.Granularity.load_balancing_granularity
+               ~work:r8.E.work ~steals:r8.E.steals);
+        ])
+    [ P.wool; P.cilk; P.tbb; P.openmp_tasks ];
+  Wool_util.Table.print table;
+  print_newline ();
+  print_endline "Wool CPU-time breakdown at p=8 (cycles per category):";
+  let r = E.run ~policy:P.wool ~workers:8 root in
+  List.iter
+    (fun cat ->
+      let total =
+        Array.fold_left
+          (fun acc row -> acc + row.(E.category_index cat))
+          0 r.E.breakdown
+      in
+      Printf.printf "  %s: %d\n" (E.category_name cat) total)
+    [ E.TR; E.LA; E.NA; E.ST; E.LF ];
+  (* Replay the identical (deterministic) run with tracing and show the
+     per-worker Gantt chart. *)
+  print_newline ();
+  let trace = Wool_sim.Trace.create ~buckets:72 ~workers:8 ~horizon:r.E.time () in
+  ignore (E.run ~trace ~policy:P.wool ~workers:8 root : E.result);
+  Wool_sim.Trace.print trace

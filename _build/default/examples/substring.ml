@@ -1,0 +1,35 @@
+(* Sub-string finder on Fibonacci strings (the paper's ssf benchmark,
+   after the TBB example): for each position, where does the longest
+   identical substring start?
+
+   Usage: dune exec examples/substring.exe [-- N [WORKERS]] *)
+
+module Ssf = Wool_workloads.Ssf
+
+let () =
+  let n = if Array.length Sys.argv > 1 then int_of_string Sys.argv.(1) else 12 in
+  let workers =
+    if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2)
+    else Domain.recommended_domain_count ()
+  in
+  let s = Ssf.subject n in
+  Printf.printf "subject s_%d has %d characters\n" n (String.length s);
+  let (serial, serial_ns) = Wool_util.Clock.time (fun () -> Ssf.serial s) in
+  Wool.with_pool ~workers (fun pool ->
+      let (parallel, par_ns) =
+        Wool_util.Clock.time (fun () -> Wool.run pool (fun ctx -> Ssf.wool ctx s))
+      in
+      assert (serial = parallel);
+      Printf.printf "serial %.2f ms, parallel %.2f ms on %d worker(s)\n"
+        (serial_ns /. 1e6) (par_ns /. 1e6) workers;
+      (* show the most self-similar positions *)
+      let best = ref (0, (0, -1)) in
+      Array.iteri
+        (fun i (p, l) -> if l > snd (snd !best) then best := (i, (p, l)))
+        parallel;
+      let i, (p, l) = !best in
+      Printf.printf
+        "longest repeat: positions %d and %d share a %d-character substring\n"
+        i p l;
+      if l > 0 then
+        Printf.printf "  %S\n" (String.sub s i (min l 60)))

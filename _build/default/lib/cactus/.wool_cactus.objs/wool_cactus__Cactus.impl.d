@@ -1,0 +1,1 @@
+lib/cactus/cactus.ml: Array Atomic Domain Effect Fun List Mutex Obj Unix Wool_deque Wool_util

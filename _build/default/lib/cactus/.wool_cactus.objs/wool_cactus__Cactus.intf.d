@@ -1,0 +1,1 @@
+lib/cactus/cactus.mli:

@@ -1,0 +1,340 @@
+open Effect
+open Effect.Deep
+
+(* A frame exists per task body (spawned child or root). [outstanding] and
+   [suspended] are the Cilk join counter and parked continuation, guarded
+   by [mtx] because a child finishing on one worker races the parent
+   reaching sync on another.
+
+   [state] makes completion notification exactly-once: 0 while the body
+   runs (or is parked), 1 once the body has returned, 2 once some worker
+   has claimed the parent notification. The claim must be a CAS: a frame
+   that suspends and is then resumed-and-completed by a nested recursion
+   can otherwise be observed as completed both by that recursion and by
+   the original worker's still-unwinding spawn handler. *)
+let st_running = 0
+let st_completed = 1
+let st_notified = 2
+
+type frame = {
+  parent : frame option;
+  mtx : Mutex.t;
+  mutable outstanding : int;
+  mutable suspended : (unit, unit) continuation option;
+  state : int Atomic.t;
+  (* spawns since the last sync; only touched by the worker currently
+     running this frame's body, so no lock. Detects a missing sync even
+     when every child happened to complete inline. *)
+  mutable spawns_unsynced : int;
+}
+
+type ctx = frame
+
+type entry = { k : (unit, unit) continuation; owner : frame }
+
+type worker = {
+  id : int;
+  pool : pool;
+  deque : entry Wool_deque.Chase_lev.t;
+  rng : Wool_util.Rng.t;
+  mutable fail_streak : int;
+  mutable n_spawns : int;
+  mutable n_steals : int;
+  mutable n_suspensions : int;
+  mutable max_deque : int;
+}
+
+and pool = {
+  idle_nap_ns : int;
+  mutable workers : worker array;
+  stop : bool Atomic.t;
+  root_done : bool Atomic.t;
+  error : exn option Atomic.t;
+  mutable domains : unit Domain.t list;
+}
+
+type _ Effect.t +=
+  | Spawn : (ctx -> unit) -> unit Effect.t
+  | Sync : unit Effect.t
+
+(* Each domain knows which worker it is; effects performed by a migrated
+   continuation must use the deque of the worker that resumed it, so the
+   handler looks its worker up here rather than capturing it. *)
+let worker_key : worker option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let self () =
+  match Domain.DLS.get worker_key with
+  | Some w -> w
+  | None -> failwith "Cactus: called outside a worker context"
+
+let dummy_frame =
+  {
+    parent = None;
+    mtx = Mutex.create ();
+    outstanding = 0;
+    suspended = None;
+    state = Atomic.make st_notified;
+    spawns_unsynced = 0;
+  }
+
+let dummy_entry =
+  (* never continued: only fills empty deque cells *)
+  {
+    k = Obj.magic (ref ()) (* placeholder; Chase_lev never returns dummies *);
+    owner = dummy_frame;
+  }
+
+let new_frame ~parent =
+  {
+    parent;
+    mtx = Mutex.create ();
+    outstanding = 0;
+    suspended = None;
+    state = Atomic.make st_running;
+    spawns_unsynced = 0;
+  }
+
+let record_error pool e =
+  (* keep the first error; later ones are dropped *)
+  ignore (Atomic.compare_and_set pool.error None (Some e) : bool)
+
+let nap pool =
+  if pool.idle_nap_ns > 0 then
+    Unix.sleepf (float_of_int pool.idle_nap_ns *. 1e-9)
+
+let idle_backoff w =
+  Domain.cpu_relax ();
+  w.fail_streak <- w.fail_streak + 1;
+  if w.fail_streak >= 64 then begin
+    w.fail_streak <- 0;
+    nap w.pool
+  end
+
+(* Decrement the parent's join counter for a finished child and, if the
+   parent is parked at its sync and this was the last child, take its
+   continuation for resumption. *)
+let child_done parent =
+  Mutex.lock parent.mtx;
+  parent.outstanding <- parent.outstanding - 1;
+  assert (parent.outstanding >= 0);
+  let resume =
+    if parent.outstanding = 0 then begin
+      let s = parent.suspended in
+      parent.suspended <- None;
+      s
+    end
+    else None
+  in
+  Mutex.unlock parent.mtx;
+  resume
+
+(* A frame's fiber has returned control on this worker. If the frame
+   completed, notify its parent: fast path — the parent's continuation is
+   still on top of our own pool, pop and resume it here (the non-stolen
+   spawn return); slow path — the continuation was stolen, so decrement
+   the join counter and adopt the parent only if it is parked and we were
+   its last child. Recurses up the chain after each resumption returns. *)
+let rec finish pool frame =
+  (* claim the completed -> notified transition; exactly one caller wins *)
+  if Atomic.compare_and_set frame.state st_completed st_notified then begin
+    match frame.parent with
+    | None -> Atomic.set pool.root_done true
+    | Some parent -> (
+        let w = self () in
+        match Wool_deque.Chase_lev.pop w.deque with
+        | Some entry ->
+            (* LIFO discipline: if anything is still in our pool here, it
+               can only be the parent's continuation *)
+            assert (entry.owner == parent);
+            Mutex.lock parent.mtx;
+            parent.outstanding <- parent.outstanding - 1;
+            assert (parent.outstanding >= 0);
+            Mutex.unlock parent.mtx;
+            continue entry.k ();
+            finish pool parent
+        | None -> (
+            match child_done parent with
+            | Some k ->
+                continue k ();
+                finish pool parent
+            | None -> ()))
+  end
+
+let rec exec_task pool frame body =
+  match_with
+    (fun () ->
+      body frame;
+      if frame.spawns_unsynced <> 0 then
+        failwith "Cactus: task returned with unsynced children")
+    ()
+    {
+      retc = (fun () -> Atomic.set frame.state st_completed);
+      exnc =
+        (fun e ->
+          record_error pool e;
+          Atomic.set frame.state st_completed);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Spawn child_body ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  let w = self () in
+                  w.n_spawns <- w.n_spawns + 1;
+                  frame.spawns_unsynced <- frame.spawns_unsynced + 1;
+                  Mutex.lock frame.mtx;
+                  frame.outstanding <- frame.outstanding + 1;
+                  Mutex.unlock frame.mtx;
+                  Wool_deque.Chase_lev.push w.deque { k; owner = frame };
+                  w.max_deque <-
+                    max w.max_deque (Wool_deque.Chase_lev.size w.deque);
+                  let child = new_frame ~parent:(Some frame) in
+                  exec_task pool child child_body;
+                  finish pool child)
+          | Sync ->
+              Some
+                (fun (k : (a, unit) continuation) ->
+                  frame.spawns_unsynced <- 0;
+                  Mutex.lock frame.mtx;
+                  if frame.outstanding = 0 then begin
+                    Mutex.unlock frame.mtx;
+                    continue k ()
+                  end
+                  else begin
+                    (* park; the last returning child resumes us wherever
+                       it finishes, and this worker goes stealing *)
+                    frame.suspended <- Some k;
+                    (self ()).n_suspensions <- (self ()).n_suspensions + 1;
+                    Mutex.unlock frame.mtx
+                  end)
+          | _ -> None);
+    }
+
+let try_steal w =
+  let n = Array.length w.pool.workers in
+  if n <= 1 then false
+  else begin
+    let x = Wool_util.Rng.int w.rng (n - 1) in
+    let v = if x >= w.id then x + 1 else x in
+    match Wool_deque.Chase_lev.steal w.pool.workers.(v).deque with
+    | `Stolen entry ->
+        w.n_steals <- w.n_steals + 1;
+        w.fail_streak <- 0;
+        continue entry.k ();
+        finish w.pool entry.owner;
+        true
+    | `Empty | `Retry -> false
+  end
+
+let worker_loop w =
+  Domain.DLS.set worker_key (Some w);
+  while not (Atomic.get w.pool.stop) do
+    if not (try_steal w) then idle_backoff w
+  done
+
+let create ?workers ?(idle_nap_ns = 50_000) ?(seed = 0xCAC7) () =
+  let nworkers =
+    match workers with Some n -> n | None -> Domain.recommended_domain_count ()
+  in
+  if nworkers <= 0 then invalid_arg "Cactus.create: workers must be positive";
+  let master = Wool_util.Rng.make seed in
+  let pool =
+    {
+      idle_nap_ns;
+      workers = [||];
+      stop = Atomic.make false;
+      root_done = Atomic.make false;
+      error = Atomic.make None;
+      domains = [];
+    }
+  in
+  pool.workers <-
+    Array.init nworkers (fun id ->
+        {
+          id;
+          pool;
+          deque = Wool_deque.Chase_lev.create ~dummy:dummy_entry ();
+          rng = Wool_util.Rng.split master;
+          fail_streak = 0;
+          n_spawns = 0;
+          n_steals = 0;
+          n_suspensions = 0;
+          max_deque = 0;
+        });
+  pool.domains <-
+    List.init (nworkers - 1) (fun i ->
+        let w = pool.workers.(i + 1) in
+        Domain.spawn (fun () -> worker_loop w));
+  pool
+
+let shutdown pool =
+  Atomic.set pool.stop true;
+  List.iter Domain.join pool.domains;
+  pool.domains <- []
+
+let run pool f =
+  let w0 = pool.workers.(0) in
+  Domain.DLS.set worker_key (Some w0);
+  Atomic.set pool.root_done false;
+  Atomic.set pool.error None;
+  let result = ref None in
+  let root = new_frame ~parent:None in
+  exec_task pool root (fun ctx -> result := Some (f ctx));
+  finish pool root;
+  (* the root may have been stolen or suspended; help until it is done *)
+  while not (Atomic.get pool.root_done) do
+    if not (try_steal w0) then idle_backoff w0
+  done;
+  match Atomic.get pool.error with
+  | Some e -> raise e
+  | None -> (
+      match !result with
+      | Some v -> v
+      | None -> failwith "Cactus.run: root completed without a result")
+
+let with_pool ?workers ?seed f =
+  let pool = create ?workers ?seed () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+let spawn (_ : ctx) body = perform (Spawn body)
+let sync (_ : ctx) = perform Sync
+
+type 'a promise = 'a option ref
+
+let promise () = ref None
+let spawn_into ctx p f = spawn ctx (fun ctx -> p := Some (f ctx))
+
+let read p =
+  match !p with
+  | Some v -> v
+  | None -> invalid_arg "Cactus.read: promise not fulfilled (sync first)"
+
+type stats = {
+  spawns : int;
+  steals : int;
+  suspensions : int;
+  max_pool_depth : int;
+}
+
+let stats pool =
+  Array.fold_left
+    (fun acc w ->
+      {
+        spawns = acc.spawns + w.n_spawns;
+        steals = acc.steals + w.n_steals;
+        suspensions = acc.suspensions + w.n_suspensions;
+        max_pool_depth = max acc.max_pool_depth w.max_deque;
+      })
+    { spawns = 0; steals = 0; suspensions = 0; max_pool_depth = 0 }
+    pool.workers
+
+let reset_stats pool =
+  Array.iter
+    (fun w ->
+      w.n_spawns <- 0;
+      w.n_steals <- 0;
+      w.n_suspensions <- 0;
+      w.max_deque <- 0)
+    pool.workers
+
+let num_workers pool = Array.length pool.workers

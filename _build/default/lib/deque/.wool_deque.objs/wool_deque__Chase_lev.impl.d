@@ -1,0 +1,1 @@
+lib/deque/chase_lev.ml: Array Atomic

@@ -1,0 +1,1 @@
+lib/deque/direct_stack.ml: Array Atomic Domain Task_state

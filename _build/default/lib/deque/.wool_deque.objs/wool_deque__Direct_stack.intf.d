@@ -1,0 +1,1 @@
+lib/deque/direct_stack.mli:

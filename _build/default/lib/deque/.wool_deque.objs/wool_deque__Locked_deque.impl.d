@@ -1,0 +1,1 @@
+lib/deque/locked_deque.ml: Array Atomic Mutex

@@ -1,0 +1,1 @@
+lib/deque/task_state.mli: Format

@@ -1,0 +1,314 @@
+module Ts = Task_state
+
+type 'a slot = {
+  state : Ts.t Atomic.t;
+  mutable payload : 'a;
+  mutable pushed_public : bool; (* owner-private: which join path to take *)
+}
+
+type publicity = All_private | All_public | Adaptive of int
+
+type stats = {
+  spawns : int;
+  max_depth : int;
+  inlined_private : int;
+  inlined_public : int;
+  joins_stolen : int;
+  steals : int;
+  backoffs : int;
+  failed_steals : int;
+  publish_events : int;
+  privatize_events : int;
+}
+
+type 'a t = {
+  slots : 'a slot array;
+  capacity : int;
+  dummy : 'a;
+  publicity : publicity;
+  mutable top : int; (* owner-private *)
+  bot : int Atomic.t; (* implicit ownership, see .mli *)
+  mutable public_limit : int; (* owner-private: pushes below it are public *)
+  trip_index : int Atomic.t; (* stealing this index requests publication *)
+  publish_request : bool Atomic.t;
+  mutable consec_public_inlines : int;
+  (* owner-side counters *)
+  mutable n_spawns : int;
+  mutable max_depth : int;
+  mutable n_inlined_private : int;
+  mutable n_inlined_public : int;
+  mutable n_joins_stolen : int;
+  mutable n_publish : int;
+  mutable n_privatize : int;
+  (* thief-side counters *)
+  n_steals : int Atomic.t;
+  n_backoffs : int Atomic.t;
+  n_failed : int Atomic.t;
+}
+
+(* How many consecutive inlined public joins before the owner decides the
+   public window is wider than steal pressure warrants and privatises. *)
+let privatize_threshold = 16
+
+let create ?(capacity = 65536) ?(publicity = Adaptive 4) ~dummy () =
+  if capacity <= 0 then invalid_arg "Direct_stack.create: capacity";
+  (match publicity with
+  | Adaptive w when w <= 0 ->
+      invalid_arg "Direct_stack.create: adaptive window must be positive"
+  | All_private | All_public | Adaptive _ -> ());
+  let slots =
+    Array.init capacity (fun _ ->
+        { state = Atomic.make Ts.empty; payload = dummy; pushed_public = false })
+  in
+  let public_limit =
+    match publicity with
+    | All_private -> 0
+    | All_public -> capacity
+    | Adaptive w -> min capacity w
+  in
+  let trip =
+    match publicity with
+    | All_private | All_public -> -1
+    | Adaptive _ -> public_limit - 1
+  in
+  {
+    slots;
+    capacity;
+    dummy;
+    publicity;
+    top = 0;
+    bot = Atomic.make 0;
+    public_limit;
+    trip_index = Atomic.make trip;
+    publish_request = Atomic.make false;
+    consec_public_inlines = 0;
+    n_spawns = 0;
+    max_depth = 0;
+    n_inlined_private = 0;
+    n_inlined_public = 0;
+    n_joins_stolen = 0;
+    n_publish = 0;
+    n_privatize = 0;
+    n_steals = Atomic.make 0;
+    n_backoffs = Atomic.make 0;
+    n_failed = Atomic.make 0;
+  }
+
+let[@inline] depth t = t.top
+let bot_index t = Atomic.get t.bot
+
+(* Owner-side servicing of a thief's trip-wire notification: extend the
+   public region by the window and publish any live private descriptors
+   that fall inside it. Publication is a release store of TASK on a
+   descriptor whose state no thief can currently be touching (private
+   descriptors keep their state word EMPTY, which thieves never CAS). *)
+let[@inline] service_publish t =
+  match t.publicity with
+  | All_private | All_public -> ()
+  | Adaptive w ->
+      if Atomic.get t.publish_request then begin
+        Atomic.set t.publish_request false;
+        (* a sprung trip wire is live steal pressure: suspend privatising *)
+        t.consec_public_inlines <- 0;
+        let old_limit = t.public_limit in
+        let new_limit = min t.capacity (old_limit + w) in
+        let lo = max old_limit (Atomic.get t.bot) in
+        let hi = min new_limit t.top in
+        for i = lo to hi - 1 do
+          let s = t.slots.(i) in
+          if not s.pushed_public then begin
+            s.pushed_public <- true;
+            Atomic.set s.state Ts.task_public
+          end
+        done;
+        t.public_limit <- new_limit;
+        Atomic.set t.trip_index (new_limit - 1);
+        t.n_publish <- t.n_publish + 1
+      end
+
+let[@inline] push t v =
+  service_publish t;
+  if t.top >= t.capacity then failwith "Direct_stack.push: task pool overflow";
+  let i = t.top in
+  let slot = t.slots.(i) in
+  slot.payload <- v;
+  if i < t.public_limit then begin
+    slot.pushed_public <- true;
+    (* The state store is the release that makes the task stealable; it
+       comes after the payload write. *)
+    Atomic.set slot.state Ts.task_public
+  end
+  else
+    (* Private spawn: the paper's 1-cycle case. The descriptor's presence
+       is tracked solely by the owner's [top]; the shared state word stays
+       EMPTY, which no thief will ever CAS, so no synchronised write is
+       needed at all. *)
+    slot.pushed_public <- false;
+  t.top <- i + 1;
+  if t.top > t.max_depth then t.max_depth <- t.top;
+  t.n_spawns <- t.n_spawns + 1
+
+type 'a outcome = Task of 'a * bool | Stolen of { thief : int; index : int }
+
+(* Shrink the public window after a run of inlined public joins; only
+   future pushes are affected (descriptors already published keep their
+   synchronised join path via [pushed_public]). *)
+let maybe_privatize t i =
+  match t.publicity with
+  | All_private | All_public -> ()
+  | Adaptive _ ->
+      t.consec_public_inlines <- t.consec_public_inlines + 1;
+      if t.consec_public_inlines >= privatize_threshold && i < t.public_limit
+      then begin
+        let new_limit = max (Atomic.get t.bot) i in
+        if new_limit < t.public_limit then begin
+          t.public_limit <- new_limit;
+          Atomic.set t.trip_index (new_limit - 1);
+          t.n_privatize <- t.n_privatize + 1
+        end;
+        t.consec_public_inlines <- 0
+      end
+
+let[@inline] take_payload slot dummy =
+  let v = slot.payload in
+  slot.payload <- dummy;
+  v
+
+let[@inline] pop t =
+  if t.top <= 0 then invalid_arg "Direct_stack.pop: empty stack";
+  service_publish t;
+  t.top <- t.top - 1;
+  let i = t.top in
+  let slot = t.slots.(i) in
+  if not slot.pushed_public then begin
+    (* Private fast path: no atomic read-modify-write, no fence — the
+       descriptor was never visible to thieves. *)
+    t.n_inlined_private <- t.n_inlined_private + 1;
+    Task (take_payload slot t.dummy, false)
+  end
+  else begin
+    let rec resolve () =
+      let s = Atomic.exchange slot.state Ts.empty in
+      if s = Ts.task_public then begin
+        t.n_inlined_public <- t.n_inlined_public + 1;
+        maybe_privatize t i;
+        Task (take_payload slot t.dummy, true)
+      end
+      else if s = Ts.empty then begin
+        (* Transient: a thief CASed the descriptor and is mid-steal; it
+           will either commit STOLEN or back off to TASK. *)
+        let rec wait () =
+          let s' = Atomic.get slot.state in
+          if s' = Ts.empty then begin
+            Domain.cpu_relax ();
+            wait ()
+          end
+          else s'
+        in
+        let s' = wait () in
+        if s' = Ts.task_public then resolve ()
+        else if Ts.is_stolen s' then begin
+          t.n_joins_stolen <- t.n_joins_stolen + 1;
+          t.consec_public_inlines <- 0;
+          Stolen { thief = Ts.thief s'; index = i }
+        end
+        else begin
+          (* DONE *)
+          t.n_joins_stolen <- t.n_joins_stolen + 1;
+          t.consec_public_inlines <- 0;
+          Stolen { thief = -1; index = i }
+        end
+      end
+      else if Ts.is_stolen s then begin
+        (* Our exchange clobbered STOLEN with EMPTY; harmless — the
+           thief's unconditional DONE store still lands and the owner
+           polls only for DONE. *)
+        t.n_joins_stolen <- t.n_joins_stolen + 1;
+        t.consec_public_inlines <- 0;
+        Stolen { thief = Ts.thief s; index = i }
+      end
+      else begin
+        (* DONE: the thief finished before we even joined. *)
+        t.n_joins_stolen <- t.n_joins_stolen + 1;
+        t.consec_public_inlines <- 0;
+        Stolen { thief = -1; index = i }
+      end
+    in
+    resolve ()
+  end
+
+let stolen_done t ~index = Atomic.get t.slots.(index).state = Ts.done_
+
+let reclaim t ~index =
+  let slot = t.slots.(index) in
+  Atomic.set slot.state Ts.empty;
+  slot.payload <- t.dummy;
+  (* Only the owner can be here, and every descriptor at or above [index]
+     is dead, so no thief can be moving [bot] concurrently. *)
+  Atomic.set t.bot index
+
+type 'a steal_result = Stolen_task of 'a * int | Fail | Backoff
+
+let steal t ~thief =
+  let b = Atomic.get t.bot in
+  if b >= t.capacity then begin
+    Atomic.incr t.n_failed;
+    Fail
+  end
+  else begin
+    let slot = t.slots.(b) in
+    let s1 = Atomic.get slot.state in
+    if not (Ts.is_task_public s1) then begin
+      Atomic.incr t.n_failed;
+      Fail
+    end
+    else if not (Atomic.compare_and_set slot.state s1 Ts.empty) then begin
+      Atomic.incr t.n_failed;
+      Fail
+    end
+    else if Atomic.get t.bot <> b then begin
+      (* Delayed-thief ABA (§III-A): the CAS won against a recycled
+         descriptor while [bot] points elsewhere. Restore the state — the
+         transient EMPTY only made competing thieves fail and a joining
+         owner spin — and back off. *)
+      Atomic.set slot.state s1;
+      Atomic.incr t.n_backoffs;
+      Backoff
+    end
+    else begin
+      let v = slot.payload in
+      Atomic.set slot.state (Ts.stolen ~thief);
+      Atomic.set t.bot (b + 1);
+      if b = Atomic.get t.trip_index then Atomic.set t.publish_request true;
+      Atomic.incr t.n_steals;
+      Stolen_task (v, b)
+    end
+  end
+
+let complete_steal t ~index = Atomic.set t.slots.(index).state Ts.done_
+
+let stats t =
+  {
+    spawns = t.n_spawns;
+    max_depth = t.max_depth;
+    inlined_private = t.n_inlined_private;
+    inlined_public = t.n_inlined_public;
+    joins_stolen = t.n_joins_stolen;
+    steals = Atomic.get t.n_steals;
+    backoffs = Atomic.get t.n_backoffs;
+    failed_steals = Atomic.get t.n_failed;
+    publish_events = t.n_publish;
+    privatize_events = t.n_privatize;
+  }
+
+let reset_stats t =
+  t.n_spawns <- 0;
+  t.max_depth <- 0;
+  t.n_inlined_private <- 0;
+  t.n_inlined_public <- 0;
+  t.n_joins_stolen <- 0;
+  t.n_publish <- 0;
+  t.n_privatize <- 0;
+  Atomic.set t.n_steals 0;
+  Atomic.set t.n_backoffs 0;
+  Atomic.set t.n_failed 0

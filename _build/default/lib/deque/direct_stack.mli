@@ -1,0 +1,106 @@
+(** The direct task stack (paper Section III-A and III-B).
+
+    A per-worker array of fixed-size task descriptors managed with strict
+    stack discipline. The owner pushes and pops at [top] (fully private);
+    thieves operate at [bot]. Thief/victim synchronisation happens on each
+    descriptor's [state] word — exchange on the owner's join, CAS on steals —
+    never on [top]/[bot], so no Dijkstra-style protocol or fences beyond the
+    atomics themselves are needed.
+
+    [bot] has no explicit synchronisation: it is implicitly owned by whoever
+    holds the task it points at. A thief whose CAS succeeds against a
+    recycled descriptor (the delayed-thief ABA of §III-A) detects the
+    mismatch by re-reading [bot] and backs off, restoring the state word.
+
+    Private tasks (§III-B): descriptors below the public limit carry
+    [task_public] states and cost an atomic exchange to join; descriptors
+    above it are private — the owner joins them with a plain load and store,
+    and a thief's CAS can never succeed on them. The highest public
+    descriptor is the {e trip wire}: stealing it raises the owner's publish
+    request flag, and the owner publishes more descriptors at its next
+    push/pop. Inlining many public tasks in a row privatises the boundary
+    again, making the cut-off revocable in both directions. *)
+
+type 'a t
+
+type publicity =
+  | All_private  (** nothing stealable; the Table II best case *)
+  | All_public  (** every descriptor public; the Table II worst case *)
+  | Adaptive of int
+      (** [Adaptive w]: keep a window of [w] public descriptors, grown on
+          trip-wire steals and shrunk after runs of inlined public joins *)
+
+val create :
+  ?capacity:int -> ?publicity:publicity -> dummy:'a -> unit -> 'a t
+(** A stack holding at most [capacity] (default 65536) simultaneous tasks.
+    [dummy] fills empty payload cells. Default publicity is [Adaptive 4]. *)
+
+val push : 'a t -> 'a -> unit
+(** Spawn: store the payload, then release the descriptor with a state store
+    (the write that makes the task stealable is last). Also services pending
+    publish requests. Raises [Failure] if the stack is full. *)
+
+val depth : 'a t -> int
+(** Number of live descriptors ([top]); owner only. *)
+
+val bot_index : 'a t -> int
+(** Current [bot] (lowest unstolen descriptor); racy snapshot. *)
+
+type 'a outcome =
+  | Task of 'a * bool
+      (** The task was still here and is now inlined; the flag says whether
+          it was public (i.e. paid the exchange). *)
+  | Stolen of { thief : int; index : int }
+      (** The task was stolen. [thief = -1] means the thief had already
+          finished (state was DONE at the join) and there is nothing to wait
+          for. Otherwise the owner must leapfrog on [thief] until
+          {!stolen_done} reports true; in both cases it finishes with
+          {!reclaim}. *)
+
+val pop : 'a t -> 'a outcome
+(** Join with the most recent push. Spins (with [Domain.cpu_relax]) through
+    the transient EMPTY window of an in-flight steal; the spin ends as soon
+    as the thief either completes the steal or backs off. Owner only; raises
+    [Invalid_argument] on an empty stack. *)
+
+val stolen_done : 'a t -> index:int -> bool
+(** After [Stolen] with [thief >= 0]: has the thief marked the descriptor
+    DONE? Not meaningful for [thief = -1] joins (the owner's exchange may
+    have consumed the DONE state); those are complete by construction. *)
+
+val reclaim : 'a t -> index:int -> unit
+(** After [Stolen] and {!stolen_done}: pop the dead descriptor, moving [bot]
+    down. Owner only. *)
+
+type 'a steal_result =
+  | Stolen_task of 'a * int
+      (** Payload and descriptor index; the thief must call
+          {!complete_steal} after executing the task. *)
+  | Fail  (** nothing stealable (empty, private, or lost race) *)
+  | Backoff  (** CAS won against a recycled descriptor; state restored *)
+
+val steal : 'a t -> thief:int -> 'a steal_result
+(** Attempt to steal the bottom-most public task on behalf of worker
+    [thief]. Never blocks. *)
+
+val complete_steal : 'a t -> index:int -> unit
+(** Thief-side: mark the stolen descriptor DONE, unblocking the owner's
+    join. *)
+
+(** Counters, all owner-side except [steals]/[backoffs] which are summed
+    over thieves. *)
+type stats = {
+  spawns : int;
+  max_depth : int;  (** deepest simultaneous descriptor count (sec. I) *)
+  inlined_private : int;
+  inlined_public : int;
+  joins_stolen : int;
+  steals : int;
+  backoffs : int;
+  failed_steals : int;
+  publish_events : int;
+  privatize_events : int;
+}
+
+val stats : 'a t -> stats
+val reset_stats : 'a t -> unit

@@ -1,0 +1,1 @@
+lib/ir/task_tree.ml: Array Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/ir/task_tree.mli: Format

@@ -1,0 +1,121 @@
+type t = { id : int; steps : step array }
+and step = Work of int | Spawn of t | Call of t | Join
+
+let next_id = ref 0
+
+let make steps_list =
+  let pending = ref 0 in
+  List.iter
+    (fun s ->
+      match s with
+      | Work c -> if c < 0 then invalid_arg "Task_tree.make: negative work"
+      | Spawn _ -> incr pending
+      | Call _ -> ()
+      | Join ->
+          decr pending;
+          if !pending < 0 then
+            invalid_arg "Task_tree.make: Join without matching Spawn")
+    steps_list;
+  if !pending <> 0 then invalid_arg "Task_tree.make: unjoined Spawn";
+  let id = !next_id in
+  incr next_id;
+  { id; steps = Array.of_list steps_list }
+
+let leaf c = make [ Work c ]
+
+let fork2 ?(pre = 0) ?(post = 0) a b =
+  let steps = [ Spawn b; Call a; Join ] in
+  let steps = if pre > 0 then Work pre :: steps else steps in
+  let steps = if post > 0 then steps @ [ Work post ] else steps in
+  make steps
+
+let spawn_all ?(pre = 0) ?(post = 0) ts =
+  let spawns = List.map (fun t -> Spawn t) ts in
+  let joins = List.map (fun _ -> Join) ts in
+  let steps = spawns @ joins in
+  let steps = if pre > 0 then Work pre :: steps else steps in
+  let steps = if post > 0 then steps @ [ Work post ] else steps in
+  make steps
+
+let binary_split ?(grain_merge = 0) leaves =
+  let n = Array.length leaves in
+  if n = 0 then invalid_arg "Task_tree.binary_split: empty";
+  (* Share identical internal nodes: ranges with physically equal subtree
+     pairs map to one node. *)
+  let cache = Hashtbl.create 64 in
+  let rec build lo hi =
+    if hi - lo = 1 then leaves.(lo)
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      let a = build lo mid and b = build mid hi in
+      let key = (a.id, b.id) in
+      match Hashtbl.find_opt cache key with
+      | Some node -> node
+      | None ->
+          let node = fork2 ~pre:grain_merge a b in
+          Hashtbl.add cache key node;
+          node
+    end
+  in
+  build 0 n
+
+let id t = t.id
+let steps t = t.steps
+
+let memo (f : (t -> int) -> t -> int) : t -> int =
+  let tbl = Hashtbl.create 256 in
+  let rec g t =
+    match Hashtbl.find_opt tbl t.id with
+    | Some v -> v
+    | None ->
+        let v = f g t in
+        Hashtbl.add tbl t.id v;
+        v
+  in
+  g
+
+let n_tasks =
+  memo (fun self t ->
+      Array.fold_left
+        (fun acc s ->
+          match s with
+          | Work _ | Join -> acc
+          | Spawn u -> acc + 1 + self u
+          | Call u -> acc + self u)
+        0 t.steps)
+
+let work =
+  memo (fun self t ->
+      Array.fold_left
+        (fun acc s ->
+          match s with
+          | Work c -> acc + c
+          | Join -> acc
+          | Spawn u | Call u -> acc + self u)
+        0 t.steps)
+
+let depth =
+  memo (fun self t ->
+      Array.fold_left
+        (fun acc s ->
+          match s with
+          | Work _ | Join -> acc
+          | Spawn u | Call u -> max acc (1 + self u))
+        0 t.steps)
+
+let distinct_nodes t =
+  let seen = Hashtbl.create 256 in
+  let rec go t =
+    if not (Hashtbl.mem seen t.id) then begin
+      Hashtbl.add seen t.id ();
+      Array.iter
+        (function Spawn u | Call u -> go u | Work _ | Join -> ())
+        t.steps
+    end
+  in
+  go t;
+  Hashtbl.length seen
+
+let pp ppf t =
+  Format.fprintf ppf "task#%d: %d steps, work=%d, tasks=%d, depth=%d"
+    t.id (Array.length t.steps) (work t) (n_tasks t) (depth t)

@@ -1,0 +1,63 @@
+(** Task-tree intermediate representation of a Wool computation.
+
+    A task's body is a sequence of {!step}s mirroring the paper's
+    programming model (Figure 2): local [Work] measured in abstract cycles,
+    [Spawn] of a child task, ordinary recursive [Call]s, and [Join], which
+    joins the most recent unjoined [Spawn] of the same body (LIFO
+    discipline, as the runtime enforces).
+
+    Values form DAGs: builders share structurally identical subtrees (all
+    leaves of a [stress] tree are one node; [fib n] has [n+1] distinct
+    nodes), so trees with millions of task {e instances} stay small in
+    memory. Every node has a unique [id] for memoised analyses; the
+    analyses in {!Wool_metrics} and the simulator both treat each traversal
+    of a node as a distinct task instance. *)
+
+type t = private { id : int; steps : step array }
+
+and step = Work of int | Spawn of t | Call of t | Join
+
+val make : step list -> t
+(** Create a node. Raises [Invalid_argument] if the steps are ill-formed:
+    a [Join] without a preceding unjoined [Spawn], an unjoined [Spawn] at
+    the end of the body, or negative [Work]. *)
+
+val leaf : int -> t
+(** [leaf c] is a task doing [c] cycles of local work. *)
+
+val fork2 : ?pre:int -> ?post:int -> t -> t -> t
+(** [fork2 a b] is the canonical binary fork-join node:
+    [Spawn b; Call a; Join] with optional local work before and after —
+    exactly the fib/stress pattern. *)
+
+val spawn_all : ?pre:int -> ?post:int -> t list -> t
+(** [spawn_all ts] spawns every child, then joins them all in LIFO order —
+    the shape of a spawn loop followed by a sync. *)
+
+val binary_split : ?grain_merge:int -> t array -> t
+(** Build a balanced binary fork-join tree over an array of leaf tasks (the
+    shape [parallel_for] produces). [grain_merge] adds that many cycles of
+    local work to every internal node (split/merge overhead), default 0. *)
+
+(* Structural accessors *)
+
+val id : t -> int
+val steps : t -> step array
+
+val n_tasks : t -> int
+(** Number of task instances spawned when executing this tree (the paper's
+    [N_T]; the root itself is not counted as a spawn). Memoised; instances
+    of shared nodes are counted each time they are reached. *)
+
+val work : t -> int
+(** Total work [T_1] in cycles, counting only [Work] steps (no scheduler
+    overheads) — the paper's [T_S]. Memoised. *)
+
+val depth : t -> int
+(** Longest chain of Spawn/Call nesting (stack-depth bound). *)
+
+val distinct_nodes : t -> int
+(** Number of distinct DAG nodes (diagnostic for sharing). *)
+
+val pp : Format.formatter -> t -> unit
+(** Small summary: id, step count, work, tasks. *)

@@ -1,0 +1,1 @@
+lib/metrics/granularity.ml: Wool_ir

@@ -1,0 +1,1 @@
+lib/metrics/granularity.mli: Wool_ir

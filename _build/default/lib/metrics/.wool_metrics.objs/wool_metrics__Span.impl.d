@@ -1,0 +1,1 @@
+lib/metrics/span.ml: Array Hashtbl Wool_ir

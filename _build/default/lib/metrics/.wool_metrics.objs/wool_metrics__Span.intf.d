@@ -1,0 +1,1 @@
+lib/metrics/span.mli: Wool_ir

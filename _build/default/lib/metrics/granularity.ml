@@ -1,0 +1,9 @@
+module Tt = Wool_ir.Task_tree
+
+let task_granularity tree =
+  let n = Tt.n_tasks tree in
+  if n = 0 then float_of_int (Tt.work tree)
+  else float_of_int (Tt.work tree) /. float_of_int n
+
+let load_balancing_granularity ~work ~steals =
+  if steals = 0 then infinity else float_of_int work /. float_of_int steals

@@ -1,0 +1,14 @@
+(** The paper's two granularity measures (§II).
+
+    Task granularity [G_T = T_S / N_T] is a property of program and input:
+    average useful work per spawned task. Load balancing granularity
+    [G_L(p) = T_S / N_M(p)] divides by the number of task migrations —
+    steals, for a work-stealing scheduler — and is implementation- and
+    processor-count-dependent; the paper (and this reproduction) measures
+    it with Wool's steal counts. *)
+
+val task_granularity : Wool_ir.Task_tree.t -> float
+(** Cycles of useful work per task, [T_S / N_T]. *)
+
+val load_balancing_granularity : work:int -> steals:int -> float
+(** [T_S / N_M] in cycles; [infinity] when no steal happened. *)

@@ -1,0 +1,42 @@
+module Tt = Wool_ir.Task_tree
+
+let work = Tt.work
+
+(* Span of one task body: walk the steps keeping the current finish time;
+   every Join decides, per the overhead model, whether its spawn/join pair
+   is worth running in parallel (see .mli). Children's spans are memoised
+   across the DAG. *)
+let span ?(overhead = 0) tree =
+  let memo = Hashtbl.create 256 in
+  let rec node t =
+    match Hashtbl.find_opt memo (Tt.id t) with
+    | Some s -> s
+    | None ->
+        let cur = ref 0 in
+        let pending = ref [] in
+        Array.iter
+          (fun step ->
+            match step with
+            | Tt.Work c -> cur := !cur + c
+            | Tt.Call u -> cur := !cur + node u
+            | Tt.Spawn u -> pending := (!cur, u) :: !pending
+            | Tt.Join -> (
+                match !pending with
+                | [] -> assert false (* make() validated the shape *)
+                | (t0, u) :: rest ->
+                    pending := rest;
+                    let s = node u in
+                    let serial_finish = !cur + s in
+                    let parallel_finish = max !cur (t0 + s) in
+                    let savings = serial_finish - parallel_finish in
+                    if savings < overhead then cur := serial_finish
+                    else cur := parallel_finish + overhead))
+          (Tt.steps t);
+        Hashtbl.add memo (Tt.id t) !cur;
+        !cur
+  in
+  node tree
+
+let parallelism ?overhead tree =
+  let s = span ?overhead tree in
+  if s = 0 then 1.0 else float_of_int (work tree) /. float_of_int s

@@ -1,0 +1,17 @@
+(** Work/span analysis of task trees under the paper's overhead model.
+
+    Table I reports average parallelism [T_1/T_inf] in two models: an
+    abstract one where load balancing and communication are free
+    ([overhead = 0]) and a "realistic" one where a potentially parallel
+    spawn/join pair executes sequentially if the savings from parallel
+    execution are less than 2000 cycles, and otherwise runs in parallel
+    with an extra 2000-cycle cost ([overhead = 2000]). *)
+
+val work : Wool_ir.Task_tree.t -> int
+(** [T_1]: total work, no overheads (same as {!Wool_ir.Task_tree.work}). *)
+
+val span : ?overhead:int -> Wool_ir.Task_tree.t -> int
+(** Critical path length under the overhead model (default [0]). *)
+
+val parallelism : ?overhead:int -> Wool_ir.Task_tree.t -> float
+(** [work / span]. *)

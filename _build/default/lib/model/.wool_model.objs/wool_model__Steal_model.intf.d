@@ -1,0 +1,1 @@
+lib/model/steal_model.mli:

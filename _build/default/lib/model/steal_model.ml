@@ -1,0 +1,19 @@
+type inputs = {
+  work : float;
+  c2 : float;
+  c_p : float;
+  steals_per_rep : float;
+  p : int;
+}
+
+let distribution_steals ~p = max 0 (p - 1)
+
+let balancing_steals ~p ~steals_per_rep =
+  Float.max 0.0 (steals_per_rep -. float_of_int (distribution_steals ~p))
+
+let time i =
+  if i.p <= 0 then invalid_arg "Steal_model.time: p must be positive";
+  let extra = 2.0 *. balancing_steals ~p:i.p ~steals_per_rep:i.steals_per_rep *. i.c2 in
+  i.c_p +. ((i.work +. extra) /. float_of_int i.p)
+
+let speedup i = i.work /. time i

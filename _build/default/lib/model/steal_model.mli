@@ -1,0 +1,34 @@
+(** The simple steal-cost performance model of §IV-D2a.
+
+    For a repetition of [work] cycles executed by [p] processors with
+    [steals_per_rep] steals: the first [p - 1] steals distribute work to
+    all processors and correspond to the steal-cost micro-benchmark
+    ([c_p]); each of the remaining load-balancing steals makes {e two}
+    processors pay the two-processor steal cost [c2] — the thief, and the
+    victim that must later join with it:
+
+    [T_p = c_p + (work + 2 (steals_per_rep - (p - 1)) c2) / p]
+
+    The model's assumptions are systematically optimistic (late steals are
+    assumed not to overlap and to find work instantly), so it typically
+    overestimates speedup — as the paper notes. *)
+
+type inputs = {
+  work : float;  (** useful cycles in one repetition, [W] *)
+  c2 : float;  (** two-processor steal + join cost *)
+  c_p : float;  (** steal cost at [p] processors (micro-benchmark) *)
+  steals_per_rep : float;  (** measured [S_p] *)
+  p : int;
+}
+
+val time : inputs -> float
+(** Predicted repetition time [T_p] in cycles. *)
+
+val speedup : inputs -> float
+(** [work / time]. *)
+
+val distribution_steals : p:int -> int
+(** The [p - 1] steals needed to give every processor work. *)
+
+val balancing_steals : p:int -> steals_per_rep:float -> float
+(** Steals beyond distribution, floored at zero. *)

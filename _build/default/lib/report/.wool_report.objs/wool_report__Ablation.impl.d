@@ -1,0 +1,1 @@
+lib/report/ablation.ml: List Printf Wool_ir Wool_sim Wool_util Wool_workloads

@@ -1,0 +1,1 @@
+lib/report/ablation.mli: Wool_workloads

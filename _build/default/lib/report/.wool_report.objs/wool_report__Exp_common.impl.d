@@ -1,0 +1,1 @@
+lib/report/exp_common.ml: List Printf Wool_ir Wool_sim Wool_workloads

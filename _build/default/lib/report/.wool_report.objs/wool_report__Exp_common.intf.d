@@ -1,0 +1,1 @@
+lib/report/exp_common.mli: Wool_sim Wool_workloads

@@ -1,0 +1,1 @@
+lib/report/fig1.ml: Exp_common List Wool_ir Wool_sim Wool_util Wool_workloads

@@ -1,0 +1,1 @@
+lib/report/fig1.mli:

@@ -1,0 +1,1 @@
+lib/report/fig4.ml: Exp_common List Printf Wool_ir Wool_sim Wool_util Wool_workloads

@@ -1,0 +1,1 @@
+lib/report/fig5.mli: Wool_workloads

@@ -1,0 +1,1 @@
+lib/report/fig6.ml: Array Exp_common List Wool_sim Wool_util Wool_workloads

@@ -1,0 +1,1 @@
+lib/report/fig6.mli: Wool_workloads

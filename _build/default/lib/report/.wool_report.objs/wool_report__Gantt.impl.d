@@ -1,0 +1,1 @@
+lib/report/gantt.ml: Printf Wool_sim Wool_workloads

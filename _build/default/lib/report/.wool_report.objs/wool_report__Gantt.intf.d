@@ -1,0 +1,1 @@
+lib/report/gantt.mli: Wool_sim Wool_workloads

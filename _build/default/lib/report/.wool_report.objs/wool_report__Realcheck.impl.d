@@ -1,0 +1,1 @@
+lib/report/realcheck.ml: Array Atomic List String Wool Wool_cactus Wool_util Wool_workloads

@@ -1,0 +1,1 @@
+lib/report/realcheck.mli:

@@ -1,0 +1,1 @@
+lib/report/registry.ml: Ablation Fig1 Fig4 Fig5 Fig6 Gantt List Realcheck Space Table1 Table2 Table3 Table4

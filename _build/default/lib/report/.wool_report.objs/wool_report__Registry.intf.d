@@ -1,0 +1,1 @@
+lib/report/registry.mli:

@@ -1,0 +1,1 @@
+lib/report/space.ml: List Wool_sim Wool_util Wool_workloads

@@ -1,0 +1,1 @@
+lib/report/table1.ml: Exp_common List Printf Wool_ir Wool_metrics Wool_sim Wool_util Wool_workloads

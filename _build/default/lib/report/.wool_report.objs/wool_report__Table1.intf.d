@@ -1,0 +1,1 @@
+lib/report/table1.mli: Wool_workloads

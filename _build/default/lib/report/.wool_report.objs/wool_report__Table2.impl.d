@@ -1,0 +1,1 @@
+lib/report/table2.ml: Fun List Printf Wool Wool_util Wool_workloads

@@ -1,0 +1,1 @@
+lib/report/table2.mli:

@@ -1,0 +1,1 @@
+lib/report/table4.ml: Exp_common List Printf Table3 Wool_ir Wool_model Wool_sim Wool_util Wool_workloads

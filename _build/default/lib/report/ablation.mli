@@ -1,0 +1,29 @@
+(** Ablations of Wool's design choices (beyond the paper's own ladders).
+
+    Three studies:
+    - {b blocked joins}: leapfrogging (the paper's choice) vs unrestricted
+      random stealing (TBB/TPL-style, buried-join prone) vs plain waiting,
+      with otherwise identical Wool costs (§I discusses all three).
+    - {b public window}: the §III-B trade-off — more public descriptors
+      reduce thief starvation but tax the owner's joins; sweeps the
+      adaptive window and the all-public extreme on fib and stress.
+    - {b victim selection}: uniform random (the provably-good default) vs
+      round-robin scanning vs last-successful-victim affinity.
+    - {b steal batching}: how many tasks a successful steal migrates. *)
+
+type series = { label : string; speedup_by_p : (int * float) list }
+type study = { title : string; series : series list }
+
+val blocked_join : ?workload:Wool_workloads.Workload.t -> unit -> study
+val public_window : ?workload:Wool_workloads.Workload.t -> unit -> study
+val victim_selection : ?workload:Wool_workloads.Workload.t -> unit -> study
+
+val steal_batch : ?workload:Wool_workloads.Workload.t -> unit -> study
+(** Batch stealing (steal-half family, cited in the paper's related
+    work): take 1, 2 or 4 tasks per successful steal. *)
+
+val numa : ?workload:Wool_workloads.Workload.t -> unit -> study
+(** Dual-socket effects: uniform vs socket-local victim selection when
+    cross-socket steals pay the remote surcharge. *)
+
+val run : unit -> unit

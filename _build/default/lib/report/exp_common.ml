@@ -1,0 +1,39 @@
+module E = Wool_sim.Engine
+module P = Wool_sim.Policy
+module W = Wool_workloads.Workload
+module Tt = Wool_ir.Task_tree
+
+let procs = [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+let default_seed = 42
+
+let run_sim ?(seed = default_seed) policy p wl =
+  E.run ~seed ~policy ~workers:p (W.root wl)
+
+let run_loop costs p (wl : W.t) =
+  match wl.W.loop_leaves with
+  | None -> invalid_arg "Exp_common.run_loop: workload has no loop shape"
+  | Some leaves ->
+      Wool_sim.Loop_sim.run ~costs ~workers:p ~reps:wl.W.reps ~leaf_work:leaves
+
+let sim_time ?seed (policy : P.t) p (wl : W.t) =
+  match (policy.P.flavor, wl.W.loop_leaves) with
+  | P.Loop_static, Some _ -> (run_loop policy.P.costs p wl).Wool_sim.Loop_sim.time
+  | P.Loop_static, None ->
+      invalid_arg "Exp_common.sim_time: Loop_static needs loop leaves"
+  | (P.Steal_child _ | P.Steal_parent), _ -> (run_sim ?seed policy p wl).E.time
+
+let absolute_speedup ?seed policy p wl =
+  let work = Tt.work (W.root wl) in
+  float_of_int work /. float_of_int (sim_time ?seed policy p wl)
+
+let speedup_series ?seed ~baseline policy wl =
+  List.map
+    (fun p ->
+      (float_of_int p, float_of_int baseline /. float_of_int (sim_time ?seed policy p wl)))
+    procs
+
+let fmt_k v =
+  if v = infinity then "-"
+  else if v >= 100_000.0 then Printf.sprintf "%.0fk" (v /. 1000.0)
+  else if v >= 1_000.0 then Printf.sprintf "%.1fk" (v /. 1000.0)
+  else Printf.sprintf "%.0f" v

@@ -1,0 +1,36 @@
+(** Shared helpers for the per-experiment report modules. *)
+
+val procs : int list
+(** Processor counts used throughout: 1–8, as in the paper's figures. *)
+
+val default_seed : int
+
+val run_sim :
+  ?seed:int -> Wool_sim.Policy.t -> int -> Wool_workloads.Workload.t ->
+  Wool_sim.Engine.result
+(** Simulate a workload (its full repetition root) on [p] workers. *)
+
+val run_loop :
+  Wool_sim.Costs.t -> int -> Wool_workloads.Workload.t ->
+  Wool_sim.Loop_sim.result
+(** Static work-sharing run; requires the workload to expose loop leaves. *)
+
+val sim_time :
+  ?seed:int -> Wool_sim.Policy.t -> int -> Wool_workloads.Workload.t -> int
+(** Completion time only, dispatching loop-shaped OpenMP automatically:
+    a [Loop_static] policy uses {!run_loop} when the workload has leaves. *)
+
+val absolute_speedup :
+  ?seed:int -> Wool_sim.Policy.t -> int -> Wool_workloads.Workload.t -> float
+(** Work of the full root divided by simulated completion time — speedup
+    over an ideal sequential execution with zero task overhead, the
+    normalisation of Figure 1 (left) and Figure 5's cholesky/mm/ssf
+    panels. *)
+
+val speedup_series :
+  ?seed:int -> baseline:int -> Wool_sim.Policy.t ->
+  Wool_workloads.Workload.t -> (float * float) list
+(** [(p, baseline / T_p)] over {!procs}. *)
+
+val fmt_k : float -> string
+(** Format a cycle count in "k" (thousands) like Table I's G_L columns. *)

@@ -1,0 +1,42 @@
+module P = Wool_sim.Policy
+module W = Wool_workloads.Workload
+module Tt = Wool_ir.Task_tree
+module C = Exp_common
+
+type row = { system : string; points : (float * float) list }
+
+let systems = [ P.wool; P.cilk; P.tbb; P.openmp_tasks ]
+
+let fib_series ?(n = 27) () =
+  let wl = W.fib ~reps:1 n in
+  let work = Tt.work (W.root wl) in
+  List.map
+    (fun pol -> { system = pol.P.name; points = C.speedup_series ~baseline:work pol wl })
+    systems
+
+let stress_series ?(reps = 64) () =
+  let wl = W.stress ~reps ~height:3 ~leaf_iters:4096 () in
+  let wool1 = C.sim_time P.wool 1 wl in
+  List.map
+    (fun pol ->
+      { system = pol.P.name; points = C.speedup_series ~baseline:wool1 pol wl })
+    systems
+
+let print_panel ~title ~ylabel rows =
+  let table = Wool_util.Table.create ~title ~header:("system" :: List.map string_of_int [ 1; 2; 3; 4; 5; 6; 7; 8 ]) () in
+  List.iter
+    (fun r ->
+      Wool_util.Table.add_row table
+        (r.system :: List.map (fun (_, s) -> Wool_util.Table.cell_f ~dec:2 s) r.points))
+    rows;
+  Wool_util.Table.print table;
+  Wool_util.Plot.print ~title ~xlabel:"processors" ~ylabel
+    (List.map (fun r -> { Wool_util.Plot.label = r.system; points = r.points }) rows)
+
+let run () =
+  print_endline "== Figure 1 ==";
+  print_panel ~title:"fib(27), no cutoff: absolute speedup" ~ylabel:"speedup"
+    (fib_series ());
+  print_panel
+    ~title:"stress(4096,3,64 reps): speedup relative to 1-proc Wool"
+    ~ylabel:"rel speedup" (stress_series ())

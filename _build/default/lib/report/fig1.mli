@@ -1,0 +1,17 @@
+(** Figure 1: absolute speedup of fib (no cutoff) and relative speedup of a
+    small-region stress workload, on the four systems.
+
+    Scaling: the paper uses fib(42) and stress(4096, 3, 128K reps); we use
+    fib [n] (default 27) and stress(4096, 3, [reps]) (default 64) — same
+    tree shapes, sized for simulation. *)
+
+type row = { system : string; points : (float * float) list }
+
+val fib_series : ?n:int -> unit -> row list
+(** Absolute speedup (work / T_p), p = 1..8. *)
+
+val stress_series : ?reps:int -> unit -> row list
+(** Speedup relative to the single-processor Wool execution, p = 1..8. *)
+
+val run : unit -> unit
+(** Print both panels (table + ASCII plot). *)

@@ -1,0 +1,50 @@
+module P = Wool_sim.Policy
+module W = Wool_workloads.Workload
+module Tt = Wool_ir.Task_tree
+module C = Exp_common
+
+type panel = {
+  height : int;
+  reps : int;
+  series : (string * (float * float) list) list;
+}
+
+let policies = [ P.lock_base; P.lock_peek; P.lock_trylock; P.nolock ]
+
+let compute ?(heights = [ (8, 32); (9, 16); (10, 8); (11, 4) ]) () =
+  List.map
+    (fun (height, reps) ->
+      let wl = W.stress ~reps ~height ~leaf_iters:256 () in
+      let work = Tt.work (W.root wl) in
+      let series =
+        List.map
+          (fun pol -> (pol.P.name, C.speedup_series ~baseline:work pol wl))
+          policies
+      in
+      { height; reps; series })
+    heights
+
+let run () =
+  print_endline "== Figure 4: stealing implementations (stress, 512-cycle leaves) ==";
+  List.iter
+    (fun p ->
+      let title =
+        Printf.sprintf "stress(256,%d) x %d reps: absolute speedup" p.height
+          p.reps
+      in
+      let t =
+        Wool_util.Table.create ~title
+          ~header:("policy" :: List.map string_of_int [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+          ()
+      in
+      List.iter
+        (fun (name, pts) ->
+          Wool_util.Table.add_row t
+            (name :: List.map (fun (_, s) -> Wool_util.Table.cell_f ~dec:2 s) pts))
+        p.series;
+      Wool_util.Table.print t;
+      Wool_util.Plot.print ~title ~xlabel:"processors" ~ylabel:"speedup"
+        (List.map
+           (fun (name, pts) -> { Wool_util.Plot.label = name; points = pts })
+           p.series))
+    (compute ())

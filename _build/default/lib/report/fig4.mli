@@ -1,0 +1,20 @@
+(** Figure 4: stealing implementations compared (§IV-C).
+
+    The base / peek / trylock locking ladder against the direct task
+    stack's nolock synchronisation, on the stress benchmark with 512-cycle
+    leaves, one panel per parallel-region size. As in the paper, the gap
+    between the methods closes as the regions grow (more parallel slack,
+    fewer steals per unit of work). *)
+
+type panel = {
+  height : int;
+  reps : int;
+  series : (string * (float * float) list) list;
+      (** per policy: (p, absolute speedup) *)
+}
+
+val compute : ?heights:(int * int) list -> unit -> panel list
+(** [heights] are (tree height, reps) pairs; default
+    [(8, 32); (9, 16); (10, 8); (11, 4)]. *)
+
+val run : unit -> unit

@@ -1,0 +1,55 @@
+module P = Wool_sim.Policy
+module W = Wool_workloads.Workload
+module Tt = Wool_ir.Task_tree
+module C = Exp_common
+
+type panel = {
+  workload : string;
+  normalization : string;
+  series : (string * (float * float) list) list;
+}
+
+let openmp_for (wl : W.t) =
+  match wl.W.loop_leaves with Some _ -> P.openmp_loop | None -> P.openmp_tasks
+
+let compute_panel (wl : W.t) =
+  let systems = [ P.wool; P.cilk; P.tbb; openmp_for wl ] in
+  let relative_to_wool1 = wl.W.name = "stress" in
+  let baseline =
+    if relative_to_wool1 then C.sim_time P.wool 1 wl else Tt.work (W.root wl)
+  in
+  {
+    workload = W.label wl;
+    normalization =
+      (if relative_to_wool1 then "vs 1-proc Wool" else "absolute");
+    series =
+      List.map
+        (fun pol -> (pol.P.name, C.speedup_series ~baseline pol wl))
+        systems;
+  }
+
+let compute ?grid () =
+  let grid = match grid with Some g -> g | None -> W.table1_grid () in
+  List.map compute_panel grid
+
+let print_panel p =
+  let title = Printf.sprintf "%s: speedup (%s)" p.workload p.normalization in
+  let t =
+    Wool_util.Table.create ~title
+      ~header:("system" :: List.map string_of_int [ 1; 2; 3; 4; 5; 6; 7; 8 ])
+      ()
+  in
+  List.iter
+    (fun (name, pts) ->
+      Wool_util.Table.add_row t
+        (name :: List.map (fun (_, s) -> Wool_util.Table.cell_f ~dec:2 s) pts))
+    p.series;
+  Wool_util.Table.print t;
+  Wool_util.Plot.print ~title ~xlabel:"processors" ~ylabel:"speedup"
+    (List.map
+       (fun (name, pts) -> { Wool_util.Plot.label = name; points = pts })
+       p.series)
+
+let run () =
+  print_endline "== Figure 5: fine grained applications on four systems ==";
+  List.iter print_panel (compute ())

@@ -1,0 +1,17 @@
+(** Figure 5: speedup of the fine grained applications on the four
+    systems, one panel per workload.
+
+    cholesky, mm and ssf report absolute speedup (against an ideal
+    sequential execution of the same work); stress panels report speedup
+    relative to the single-processor Wool execution, as in the paper. mm
+    and ssf run under OpenMP as work-sharing loops; everything else under
+    OpenMP tasking. *)
+
+type panel = {
+  workload : string;
+  normalization : string;  (** "absolute" or "vs 1-proc Wool" *)
+  series : (string * (float * float) list) list;
+}
+
+val compute : ?grid:Wool_workloads.Workload.t list -> unit -> panel list
+val run : unit -> unit

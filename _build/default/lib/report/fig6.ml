@@ -1,0 +1,67 @@
+module E = Wool_sim.Engine
+module P = Wool_sim.Policy
+module W = Wool_workloads.Workload
+module C = Exp_common
+
+type row = { procs : int; by_category : (string * float) list }
+type panel = { workload : string; rows : row list }
+
+let categories = [ E.TR; E.LA; E.NA; E.ST; E.LF ]
+
+let default_grid () =
+  [
+    W.cholesky ~reps:8 ~n:125 ~nz:500 ();
+    W.cholesky ~reps:1 ~n:500 ~nz:2000 ();
+    W.mm ~reps:16 64;
+    W.stress ~reps:16 ~height:8 ~leaf_iters:256 ();
+  ]
+
+let compute ?grid ?(procs = [ 1; 2; 4; 8; 12 ]) () =
+  let grid = match grid with Some g -> g | None -> default_grid () in
+  List.map
+    (fun wl ->
+      let na1 =
+        let r = C.run_sim P.wool 1 wl in
+        float_of_int r.E.breakdown.(0).(E.category_index E.NA)
+      in
+      let rows =
+        List.map
+          (fun p ->
+            let r = C.run_sim P.wool p wl in
+            let total cat =
+              Array.fold_left
+                (fun acc per_worker -> acc + per_worker.(E.category_index cat))
+                0 r.E.breakdown
+            in
+            {
+              procs = p;
+              by_category =
+                List.map
+                  (fun cat ->
+                    (E.category_name cat, float_of_int (total cat) /. na1))
+                  categories;
+            })
+          procs
+      in
+      { workload = W.label wl; rows })
+    grid
+
+let run () =
+  print_endline "== Figure 6: CPU time breakdown (Wool), normalized to 1-proc NA ==";
+  List.iter
+    (fun panel ->
+      let t =
+        Wool_util.Table.create ~title:panel.workload
+          ~header:[ "procs"; "TR"; "LA"; "NA"; "ST"; "LF"; "total" ]
+          ()
+      in
+      List.iter
+        (fun r ->
+          let total = List.fold_left (fun a (_, v) -> a +. v) 0.0 r.by_category in
+          Wool_util.Table.add_row t
+            (string_of_int r.procs
+             :: List.map (fun (_, v) -> Wool_util.Table.cell_f ~dec:3 v) r.by_category
+            @ [ Wool_util.Table.cell_f ~dec:3 total ]))
+        panel.rows;
+      Wool_util.Table.print t)
+    (compute ())

@@ -1,0 +1,18 @@
+(** Figure 6: breakdown of CPU time on the Wool scheduler.
+
+    Total CPU cycles per category — TR (startup/shutdown), LA (application
+    work acquired through leapfrogging), NA (other application work), ST
+    (stealing), LF (leapfrogging costs) — for selected workloads at
+    processor counts 1..12, normalised to the single-processor NA time.
+    Growth of total CPU time with processors means sub-linear speedup, not
+    slowdown; LA + LF bound the possible gains from improving blocked-join
+    handling (§IV-D2b). *)
+
+type row = { procs : int; by_category : (string * float) list }
+type panel = { workload : string; rows : row list }
+
+val compute :
+  ?grid:Wool_workloads.Workload.t list -> ?procs:int list -> unit ->
+  panel list
+
+val run : unit -> unit

@@ -1,0 +1,29 @@
+module E = Wool_sim.Engine
+module P = Wool_sim.Policy
+module T = Wool_sim.Trace
+module W = Wool_workloads.Workload
+
+let compute ?workload ?(workers = 8) () =
+  let wl =
+    match workload with
+    | Some w -> w
+    | None -> W.stress ~reps:8 ~height:8 ~leaf_iters:256 ()
+  in
+  let root = W.root wl in
+  let first = E.run ~policy:P.wool ~workers root in
+  let trace = T.create ~buckets:96 ~workers ~horizon:first.E.time () in
+  let second = E.run ~trace ~policy:P.wool ~workers root in
+  assert (second.E.trace_hash = first.E.trace_hash);
+  (trace, second)
+
+let show wl =
+  let trace, r = compute ~workload:wl () in
+  Printf.printf "%s on 8 simulated workers (Wool): %d cycles, %d steals\n"
+    (W.label wl) r.E.time r.E.steals;
+  T.print trace;
+  print_newline ()
+
+let run () =
+  print_endline "== Gantt traces (Wool policy) ==";
+  show (W.stress ~reps:8 ~height:8 ~leaf_iters:256 ());
+  show (W.mm ~reps:4 64)

@@ -1,0 +1,13 @@
+(** Gantt traces of representative schedules (diagnostic experiment).
+
+    Renders per-worker activity timelines for a coarse workload (mm: long
+    quiet application phases, few steals) and a fine one (stress: visible
+    per-region steal storms and leapfrog waits), using the deterministic
+    two-pass run-then-trace workflow. *)
+
+val compute :
+  ?workload:Wool_workloads.Workload.t -> ?workers:int -> unit ->
+  Wool_sim.Trace.t * Wool_sim.Engine.result
+(** Trace one workload (default stress 256/h8, 8 workers). *)
+
+val run : unit -> unit

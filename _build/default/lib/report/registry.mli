@@ -1,0 +1,13 @@
+(** All reproducible experiments, keyed for the CLI and the bench
+    harness. *)
+
+type experiment = {
+  key : string;  (** e.g. "fig1" *)
+  title : string;
+  run : unit -> unit;
+}
+
+val all : experiment list
+val find : string -> experiment option
+val keys : unit -> string list
+val run_all : unit -> unit

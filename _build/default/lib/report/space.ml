@@ -1,0 +1,41 @@
+module E = Wool_sim.Engine
+module P = Wool_sim.Policy
+module W = Wool_workloads.Workload
+
+type row = { n : int; depth_by_system : (string * int) list }
+
+let systems = [ P.wool_all_public; P.tbb; P.cilk ]
+
+let compute ?(sizes = [ 64; 256; 1024 ]) () =
+  List.map
+    (fun n ->
+      let wl = W.spawn_loop ~n ~leaf_work:500 () in
+      let root = W.root wl in
+      {
+        n;
+        depth_by_system =
+          List.map
+            (fun (pol : P.t) ->
+              let r = E.run ~policy:pol ~workers:2 root in
+              (pol.P.name, r.E.max_pool_depth))
+            systems;
+      })
+    sizes
+
+let run () =
+  print_endline "== Space: task-pool depth of a flat spawn loop (sec. I) ==";
+  let t =
+    Wool_util.Table.create
+      ~header:("loop length" :: List.map (fun (p : P.t) -> p.P.name) systems)
+      ()
+  in
+  List.iter
+    (fun r ->
+      Wool_util.Table.add_row t
+        (string_of_int r.n
+        :: List.map (fun (_, d) -> string_of_int d) r.depth_by_system))
+    (compute ());
+  Wool_util.Table.print t;
+  print_endline
+    "steal-child pools (Wool, TBB) grow with the loop; the steal-parent\n\
+     pool (Cilk++) stays constant."

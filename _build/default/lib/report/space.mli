@@ -1,0 +1,18 @@
+(** §I space behaviour: task-pool footprint of spawn loops.
+
+    In [for (...) spawn foo(p); sync], a steal-child system (Wool, TBB)
+    keeps one descriptor per pending iteration — space proportional to the
+    loop length — whereas steal-parent Cilk++ executes each child
+    immediately and keeps only the current continuation stealable:
+    constant task-pool space. Measured as the maximum per-worker pool
+    depth in the simulator. *)
+
+type row = {
+  n : int;  (** loop length *)
+  depth_by_system : (string * int) list;  (** max task-pool depth *)
+}
+
+val compute : ?sizes:int list -> unit -> row list
+(** Default sizes 64, 256, 1024. *)
+
+val run : unit -> unit

@@ -1,0 +1,66 @@
+module W = Wool_workloads.Workload
+module Tt = Wool_ir.Task_tree
+module Span = Wool_metrics.Span
+module Gran = Wool_metrics.Granularity
+module E = Wool_sim.Engine
+module P = Wool_sim.Policy
+module C = Exp_common
+
+type row = {
+  label : string;
+  reps : int;
+  parallelism0 : float;
+  parallelism2000 : float;
+  rep_kcycles : float;
+  g_t : float;
+  g_l : (int * float) list;
+}
+
+let compute_row (wl : W.t) =
+  let root = W.root wl in
+  let work = Tt.work root in
+  let g_l =
+    List.filter_map
+      (fun p ->
+        if p < 2 then None
+        else begin
+          let r = C.run_sim P.wool p wl in
+          Some (p, Gran.load_balancing_granularity ~work ~steals:r.E.steals /. 1000.0)
+        end)
+      C.procs
+  in
+  {
+    label = W.label wl;
+    reps = wl.W.reps;
+    parallelism0 = Span.parallelism ~overhead:0 root;
+    parallelism2000 = Span.parallelism ~overhead:2000 root;
+    rep_kcycles = float_of_int (Tt.work wl.W.region) /. 1000.0;
+    g_t = Gran.task_granularity root;
+    g_l;
+  }
+
+let compute ?grid () =
+  let grid = match grid with Some g -> g | None -> W.table1_grid () in
+  List.map compute_row grid
+
+let run () =
+  print_endline "== Table I: workload characteristics (scaled inputs) ==";
+  let header =
+    [ "workload"; "reps"; "par(0)"; "par(2k)"; "RepSz(k)"; "G_T" ]
+    @ List.map (fun p -> Printf.sprintf "G_L(%d)" p) [ 2; 3; 4; 5; 6; 7; 8 ]
+  in
+  let t = Wool_util.Table.create ~header () in
+  List.iter
+    (fun r ->
+      Wool_util.Table.add_row t
+        ([
+           r.label;
+           string_of_int r.reps;
+           Wool_util.Table.cell_f r.parallelism0;
+           Wool_util.Table.cell_f r.parallelism2000;
+           Wool_util.Table.cell_f r.rep_kcycles;
+           Wool_util.Table.cell_f ~dec:0 r.g_t;
+         ]
+        @ List.map (fun (_, v) -> C.fmt_k (v *. 1000.0)) r.g_l))
+    (compute ());
+  Wool_util.Table.print t

@@ -1,0 +1,20 @@
+(** Table I: workload characteristics.
+
+    For every workload in the (scaled) grid: average parallelism under the
+    0-cycle and 2000-cycle overhead models, repetition size in kilocycles,
+    task granularity [G_T] in cycles, and load balancing granularity
+    [G_L(p)] in kilocycles for p = 2..8, measured from Wool-policy
+    simulation steal counts. *)
+
+type row = {
+  label : string;
+  reps : int;
+  parallelism0 : float;
+  parallelism2000 : float;
+  rep_kcycles : float;
+  g_t : float;
+  g_l : (int * float) list;  (** (p, kilocycles per steal) for p = 2..8 *)
+}
+
+val compute : ?grid:Wool_workloads.Workload.t list -> unit -> row list
+val run : unit -> unit

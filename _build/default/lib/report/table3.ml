@@ -1,0 +1,66 @@
+module E = Wool_sim.Engine
+module P = Wool_sim.Policy
+module W = Wool_workloads.Workload
+module Tt = Wool_ir.Task_tree
+module C = Exp_common
+
+type row = {
+  system : string;
+  inlined_lo : int;
+  inlined_hi : int;
+  steal_cost : (int * int) list;
+}
+
+(* Height-k balanced tree of 2^k leaves, each [leaf_cycles] of work, run on
+   2^k workers; overhead = T - (startup + leaf + per-level node work). *)
+let steal_overhead policy ~leaf_cycles ~k =
+  let wl =
+    W.v ~name:"steal-micro" ~params:(string_of_int k) ~reps:1
+      (Wool_workloads.Stress.tree ~height:k ~leaf_iters:(leaf_cycles / 2))
+  in
+  let p = 1 lsl k in
+  let t_p = C.sim_time policy p wl in
+  let t_ref = policy.P.costs.Wool_sim.Costs.startup + leaf_cycles in
+  max 0 (t_p - t_ref)
+
+let systems =
+  [
+    (P.wool, 3, 19);
+    (P.cilk, 134, 134);
+    (P.tbb, 323, 323);
+    (P.openmp_tasks, 878, 878);
+  ]
+
+let compute ?(leaf_cycles = 100_000) () =
+  List.map
+    (fun (policy, lo, hi) ->
+      {
+        system = policy.P.name;
+        inlined_lo = lo;
+        inlined_hi = hi;
+        steal_cost =
+          List.map
+            (fun k -> (1 lsl k, steal_overhead policy ~leaf_cycles ~k))
+            [ 1; 2; 3 ];
+      })
+    systems
+
+let run () =
+  print_endline "== Table III: costs (cycles) of inlined and stolen tasks ==";
+  print_endline
+    "(inlined = calibrated input; steal columns = emergent from the\n\
+    \ 2^k-leaves-on-2^k-processors micro benchmark)";
+  let t =
+    Wool_util.Table.create ~header:[ "system"; "inlined"; "2"; "4"; "8" ] ()
+  in
+  List.iter
+    (fun r ->
+      let inl =
+        if r.inlined_lo = r.inlined_hi then string_of_int r.inlined_lo
+        else Printf.sprintf "%d-%d" r.inlined_lo r.inlined_hi
+      in
+      Wool_util.Table.add_row t
+        (r.system :: inl
+        :: List.map (fun (_, c) -> Wool_util.Table.cell_i c) r.steal_cost))
+    (compute ());
+  Wool_util.Table.print t

@@ -1,0 +1,23 @@
+(** Table III: costs of inlined and stolen tasks.
+
+    The inlined column reports the calibrated per-task costs the simulator
+    uses (spawn + join; a range for Wool, whose private tasks make the
+    common case cheaper), next to the paper's measurements. The steal-cost
+    columns are {e emergent}: following the methodology of §IV-D1 (after
+    Podobas et al.), we run a binary tree of height k whose 2^k leaves are
+    identical sequential computations C on 2^k simulated processors and
+    report [T - T_ref] where [T_ref] is one leaf on one processor. The
+    super-linear growth from 2 to 8 processors comes from thieves
+    serialising on victims and searching more workers. *)
+
+type row = {
+  system : string;
+  inlined_lo : int;
+  inlined_hi : int;
+  steal_cost : (int * int) list;  (** (p, cycles) for p = 2, 4, 8 *)
+}
+
+val compute : ?leaf_cycles:int -> unit -> row list
+(** [leaf_cycles] defaults to 100_000. *)
+
+val run : unit -> unit

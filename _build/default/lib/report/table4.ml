@@ -1,0 +1,73 @@
+module E = Wool_sim.Engine
+module P = Wool_sim.Policy
+module W = Wool_workloads.Workload
+module Tt = Wool_ir.Task_tree
+module C = Exp_common
+
+type cell = { modeled : float; measured : float }
+type row = { system : string; by_procs : (int * cell) list }
+
+let systems = [ P.wool; P.cilk; P.tbb ]
+
+let compute ?(n = 64) ?(reps = 16) () =
+  let wl = W.mm ~reps n in
+  let rep_work = Tt.work wl.W.region in
+  let steal_costs = Table3.compute () in
+  let cost_of name =
+    match List.find_opt (fun r -> r.Table3.system = name) steal_costs with
+    | Some r -> r.Table3.steal_cost
+    | None -> invalid_arg "Table4.compute: unknown system"
+  in
+  (* The number of steals is measured once, on Wool, and reused for every
+     system's model, as the paper does. *)
+  let steals_per_rep p =
+    let r = C.run_sim P.wool p wl in
+    float_of_int r.E.steals /. float_of_int reps
+  in
+  let sp = List.map (fun p -> (p, steals_per_rep p)) [ 2; 4; 8 ] in
+  List.map
+    (fun (policy : P.t) ->
+      let costs = cost_of policy.P.name in
+      let c2 = List.assoc 2 costs in
+      let by_procs =
+        List.map
+          (fun p ->
+            let cp = List.assoc p costs in
+            let s_p = List.assoc p sp in
+            let modeled =
+              Wool_model.Steal_model.speedup
+                {
+                  Wool_model.Steal_model.work = float_of_int rep_work;
+                  c2 = float_of_int c2;
+                  c_p = float_of_int cp;
+                  steals_per_rep = s_p;
+                  p;
+                }
+            in
+            let measured =
+              float_of_int (Tt.work (W.root wl))
+              /. float_of_int (C.sim_time policy p wl)
+            in
+            (p, { modeled; measured }))
+          [ 2; 4; 8 ]
+      in
+      { system = policy.P.name; by_procs })
+    systems
+
+let run () =
+  print_endline "== Table IV: steal cost model vs measured speedup, mm(64) ==";
+  let t =
+    Wool_util.Table.create
+      ~header:[ "system"; "2"; "4"; "8" ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      Wool_util.Table.add_row t
+        (r.system
+        :: List.map
+             (fun (_, c) -> Printf.sprintf "%.1f (%.1f)" c.modeled c.measured)
+             r.by_procs))
+    (compute ());
+  Wool_util.Table.print t;
+  print_endline "format: modeled (measured)"

@@ -1,0 +1,18 @@
+(** Table IV: the simple steal-cost model of §IV-D2a versus measurement.
+
+    For mm with the smallest matrices, the model predicts
+    [T_p = C_p + (W + 2 (S_p - (p-1)) C_2) / p]: everyone shares the work
+    and, beyond the p-1 distribution steals (costed at [C_p] once), every
+    further load-balancing steal makes two processors pay the
+    two-processor steal cost [C_2]. [C_2]/[C_p] come from the Table III
+    micro-benchmark, [S_p] (steals per repetition) from the Wool-policy
+    run itself, and the Wool steal count is used for every system, as in
+    the paper. *)
+
+type cell = { modeled : float; measured : float }
+type row = { system : string; by_procs : (int * cell) list }
+
+val compute : ?n:int -> ?reps:int -> unit -> row list
+(** mm size [n] (default 64) with [reps] (default 16) repetitions. *)
+
+val run : unit -> unit

@@ -1,0 +1,1 @@
+lib/runtime/wool.ml: Array Pool

@@ -1,0 +1,1 @@
+lib/runtime/pool.ml: Array Atomic Domain Fun List Unix Wool_deque Wool_util

@@ -1,0 +1,364 @@
+module Ds = Wool_deque.Direct_stack
+module Locked_deque = Wool_deque.Locked_deque
+module Chase_lev = Wool_deque.Chase_lev
+
+type mode = Locked | Swap_generic | Task_specific | Private | Clev
+
+type publicity = Wool_deque.Direct_stack.publicity =
+  | All_private
+  | All_public
+  | Adaptive of int
+
+type worker = {
+  id : int;
+  pool : pool;
+  dstack : (worker -> unit) Ds.t;
+  ldeque : (worker -> unit) Locked_deque.t;
+  cdeque : (worker -> unit) Chase_lev.t;
+  rng : Wool_util.Rng.t;
+  mutable fail_streak : int;
+  (* thief-side counters; each worker only writes its own *)
+  mutable n_spawns : int;
+  mutable n_steals : int;
+  mutable n_leap_steals : int;
+  mutable n_failed : int;
+  mutable n_inlined : int; (* Locked/Clev joins that found the task in place *)
+}
+
+and pool = {
+  pmode : mode;
+  lock_mode : [ `Base | `Peek | `Trylock ];
+  idle_nap_ns : int;
+  mutable workers : worker array;
+  stop : bool Atomic.t;
+  mutable domains : unit Domain.t list;
+}
+
+type t = pool
+type ctx = worker
+
+type 'a future = {
+  fn : worker -> 'a;
+  mutable value : ('a, exn) result option;
+  completed : bool Atomic.t;
+  index : int; (* descriptor index in the owner's direct stack; -1 otherwise *)
+  owner_id : int;
+  mutable wrapper : worker -> unit;
+}
+
+let dummy_task (_ : worker) = ()
+
+(* How many consecutive failed steal attempts before an idle worker naps.
+   Keeps over-subscribed pools (workers > cores) from starving the victims
+   they are waiting on. *)
+let nap_streak = 64
+
+let make_worker ~id ~pool ~publicity ~capacity rng =
+  {
+    id;
+    pool;
+    dstack = Ds.create ~capacity ~publicity ~dummy:dummy_task ();
+    ldeque = Locked_deque.create ~capacity ~dummy:dummy_task ();
+    cdeque = Chase_lev.create ~dummy:dummy_task ();
+    rng;
+    fail_streak = 0;
+    n_spawns = 0;
+    n_steals = 0;
+    n_leap_steals = 0;
+    n_failed = 0;
+    n_inlined = 0;
+  }
+
+let nap pool =
+  if pool.idle_nap_ns > 0 then
+    Unix.sleepf (float_of_int pool.idle_nap_ns *. 1e-9)
+
+let idle_backoff w =
+  Domain.cpu_relax ();
+  w.fail_streak <- w.fail_streak + 1;
+  if w.fail_streak >= nap_streak then begin
+    w.fail_streak <- 0;
+    nap w.pool
+  end
+
+(* Attempt to steal one task from [victim] and run it. *)
+let steal_once w ~(victim : worker) =
+  let ran =
+    match w.pool.pmode with
+    | Locked -> (
+        match Locked_deque.steal ~mode:w.pool.lock_mode victim.ldeque with
+        | Some task ->
+            task w;
+            true
+        | None -> false)
+    | Clev -> (
+        match Chase_lev.steal victim.cdeque with
+        | `Stolen task ->
+            task w;
+            true
+        | `Empty | `Retry -> false)
+    | Swap_generic | Task_specific | Private -> (
+        match Ds.steal victim.dstack ~thief:w.id with
+        | Ds.Stolen_task (task, index) ->
+            task w;
+            Ds.complete_steal victim.dstack ~index;
+            true
+        | Ds.Fail | Ds.Backoff -> false)
+  in
+  if ran then begin
+    w.n_steals <- w.n_steals + 1;
+    w.fail_streak <- 0
+  end
+  else w.n_failed <- w.n_failed + 1;
+  ran
+
+let random_victim w =
+  let n = Array.length w.pool.workers in
+  if n <= 1 then None
+  else begin
+    let k = Wool_util.Rng.int w.rng (n - 1) in
+    let v = if k >= w.id then k + 1 else k in
+    Some w.pool.workers.(v)
+  end
+
+let steal_random w =
+  match random_victim w with
+  | None ->
+      idle_backoff w;
+      false
+  | Some victim ->
+      let ran = steal_once w ~victim in
+      if not ran then idle_backoff w;
+      ran
+
+let worker_loop w =
+  while not (Atomic.get w.pool.stop) do
+    ignore (steal_random w : bool)
+  done
+
+let create ?workers ?(mode = Private) ?(publicity = Adaptive 4)
+    ?(capacity = 65536) ?(lock_mode = `Base) ?(idle_nap_ns = 50_000)
+    ?(seed = 0xC0FFEE) () =
+  let nworkers =
+    match workers with Some n -> n | None -> Domain.recommended_domain_count ()
+  in
+  if nworkers <= 0 then invalid_arg "Pool.create: workers must be positive";
+  let publicity =
+    (* The ladder modes below [Private] have no private tasks. *)
+    match mode with
+    | Swap_generic | Task_specific -> All_public
+    | Locked | Clev | Private -> publicity
+  in
+  let master = Wool_util.Rng.make seed in
+  let pool =
+    {
+      pmode = mode;
+      lock_mode;
+      idle_nap_ns;
+      workers = [||];
+      stop = Atomic.make false;
+      domains = [];
+    }
+  in
+  let workers =
+    Array.init nworkers (fun id ->
+        make_worker ~id ~pool ~publicity ~capacity (Wool_util.Rng.split master))
+  in
+  pool.workers <- workers;
+  pool.domains <-
+    List.init (nworkers - 1) (fun i ->
+        let w = workers.(i + 1) in
+        Domain.spawn (fun () -> worker_loop w));
+  pool
+
+let shutdown pool =
+  Atomic.set pool.stop true;
+  List.iter Domain.join pool.domains;
+  pool.domains <- []
+
+let run pool f = f pool.workers.(0)
+
+let with_pool ?workers ?mode ?publicity ?seed f =
+  let pool = create ?workers ?mode ?publicity ?seed () in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
+
+(* Direct-stack modes signal completion through the descriptor state, so
+   their futures share one never-read completion flag instead of
+   allocating one per spawn. *)
+let unused_completed = Atomic.make false
+
+let spawn (w : ctx) (fn : ctx -> 'a) : 'a future =
+  w.n_spawns <- w.n_spawns + 1;
+  match w.pool.pmode with
+  | (Locked | Clev) as mode ->
+      let fut =
+        { fn; value = None; completed = Atomic.make false; index = -1;
+          owner_id = w.id; wrapper = dummy_task }
+      in
+      let wrapper wk =
+        (match fut.fn wk with
+        | v -> fut.value <- Some (Ok v)
+        | exception e -> fut.value <- Some (Error e));
+        Atomic.set fut.completed true
+      in
+      fut.wrapper <- wrapper;
+      (match mode with
+      | Locked -> Locked_deque.push w.ldeque wrapper
+      | Clev -> Chase_lev.push w.cdeque wrapper
+      | Swap_generic | Task_specific | Private -> assert false);
+      fut
+  | Swap_generic | Task_specific | Private ->
+      let fut =
+        { fn; value = None; completed = unused_completed;
+          index = Ds.depth w.dstack; owner_id = w.id; wrapper = dummy_task }
+      in
+      let wrapper wk =
+        match fut.fn wk with
+        | v -> fut.value <- Some (Ok v)
+        | exception e -> fut.value <- Some (Error e)
+      in
+      fut.wrapper <- wrapper;
+      Ds.push w.dstack wrapper;
+      fut
+
+let value_exn fut =
+  match fut.value with
+  | Some (Ok v) -> v
+  | Some (Error e) -> raise e
+  | None ->
+      (* Unreachable: completion is observed before the value is read. *)
+      assert false
+
+(* Leapfrogging (§I, Wagner & Calder): while blocked on a task stolen by
+   [victim_id], steal only from that worker. Any task acquired this way is
+   work we would have executed ourselves had there been no steal. *)
+let leapfrog w ~victim_id ~index =
+  let victim = w.pool.workers.(victim_id) in
+  while not (Ds.stolen_done w.dstack ~index) do
+    let before = w.n_steals in
+    if steal_once w ~victim then
+      w.n_leap_steals <- w.n_leap_steals + (w.n_steals - before)
+    else idle_backoff w
+  done
+
+let wait_completed w fut =
+  (* No thief identity (Locked/Clev modes): steal from anyone while
+     waiting. This is the strategy whose buried-join behaviour §I
+     discusses. *)
+  while not (Atomic.get fut.completed) do
+    ignore (steal_random w : bool)
+  done;
+  value_exn fut
+
+let join_direct w fut =
+  if fut.index <> Ds.depth w.dstack - 1 then
+    invalid_arg "Wool.join: joins must be made in LIFO spawn order";
+  match Ds.pop w.dstack with
+  | Ds.Task (wrapper, _public) -> (
+      match w.pool.pmode with
+      | Swap_generic ->
+          (* Generic join: go through the wrapper and the result cell, as a
+             runtime without task-specific join functions must. *)
+          wrapper w;
+          value_exn fut
+      | Task_specific | Private | Locked | Clev ->
+          (* Task-specific join: direct call of the typed task function. *)
+          fut.fn w)
+  | Ds.Stolen { thief; index } ->
+      if thief >= 0 then leapfrog w ~victim_id:thief ~index;
+      Ds.reclaim w.dstack ~index;
+      value_exn fut
+
+let join_locked w fut =
+  match Locked_deque.pop w.ldeque with
+  | Some wrapper ->
+      assert (wrapper == fut.wrapper);
+      w.n_inlined <- w.n_inlined + 1;
+      wrapper w;
+      value_exn fut
+  | None -> wait_completed w fut
+
+let join_clev w fut =
+  match Chase_lev.pop w.cdeque with
+  | Some wrapper when wrapper == fut.wrapper ->
+      w.n_inlined <- w.n_inlined + 1;
+      fut.fn w
+  | Some other ->
+      (* Our task was stolen; [other] is an older pending task of ours.
+         Restore it and wait for the thief. *)
+      Chase_lev.push w.cdeque other;
+      wait_completed w fut
+  | None -> wait_completed w fut
+
+let join (w : ctx) fut =
+  if fut.owner_id <> w.id then
+    invalid_arg "Wool.join: future joined on a different worker";
+  match w.pool.pmode with
+  | Locked -> join_locked w fut
+  | Clev -> join_clev w fut
+  | Swap_generic | Task_specific | Private -> join_direct w fut
+
+let call (w : ctx) fn = fn w
+let self_id w = w.id
+let num_workers pool = Array.length pool.workers
+let mode pool = pool.pmode
+let pool_of_ctx w = w.pool
+
+type stats = {
+  spawns : int;
+  max_pool_depth : int;
+  inlined_private : int;
+  inlined_public : int;
+  joins_stolen : int;
+  steals : int;
+  leap_steals : int;
+  backoffs : int;
+  failed_steals : int;
+  publish_events : int;
+  privatize_events : int;
+}
+
+let stats pool =
+  let zero =
+    {
+      spawns = 0;
+      max_pool_depth = 0;
+      inlined_private = 0;
+      inlined_public = 0;
+      joins_stolen = 0;
+      steals = 0;
+      leap_steals = 0;
+      backoffs = 0;
+      failed_steals = 0;
+      publish_events = 0;
+      privatize_events = 0;
+    }
+  in
+  Array.fold_left
+    (fun acc w ->
+      let d = Ds.stats w.dstack in
+      {
+        spawns = acc.spawns + w.n_spawns;
+        max_pool_depth = max acc.max_pool_depth d.Ds.max_depth;
+        inlined_private = acc.inlined_private + d.Ds.inlined_private;
+        inlined_public = acc.inlined_public + d.Ds.inlined_public + w.n_inlined;
+        joins_stolen = acc.joins_stolen + d.Ds.joins_stolen;
+        steals = acc.steals + w.n_steals;
+        leap_steals = acc.leap_steals + w.n_leap_steals;
+        backoffs = acc.backoffs + d.Ds.backoffs;
+        failed_steals = acc.failed_steals + w.n_failed;
+        publish_events = acc.publish_events + d.Ds.publish_events;
+        privatize_events = acc.privatize_events + d.Ds.privatize_events;
+      })
+    zero pool.workers
+
+let reset_stats pool =
+  Array.iter
+    (fun w ->
+      Ds.reset_stats w.dstack;
+      w.n_spawns <- 0;
+      w.n_steals <- 0;
+      w.n_leap_steals <- 0;
+      w.n_failed <- 0;
+      w.n_inlined <- 0)
+    pool.workers

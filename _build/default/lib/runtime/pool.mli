@@ -1,0 +1,109 @@
+(** The Wool runtime: pools of domain workers with work stealing.
+
+    A pool owns [workers] domains. The calling domain acts as worker 0 and
+    executes the main task via {!run}; the remaining domains are thieves
+    that steal and execute public tasks. The programming model is the
+    paper's SPAWN / CALL / JOIN (Figure 2): [spawn] pushes a task on the
+    calling worker's pool, the caller then typically does ordinary recursive
+    calls, and [join] — which must be made in LIFO order — either inlines
+    the task with a direct typed call or, if it was stolen, leapfrogs
+    (steals only from the thief) until the thief completes it.
+
+    The [mode] selects the synchronisation strategy and reproduces the
+    optimisation ladder of Table II plus two conventional baselines:
+
+    - [Locked]: per-worker lock taken at join and steal, no per-descriptor
+      state (the paper's "base" row).
+    - [Swap_generic]: atomic exchange on the descriptor state, but joins go
+      through the generic wrapper and the result cell ("synchronize on
+      task").
+    - [Task_specific]: as above, but an inlined join calls the typed task
+      function directly ("task specific join").
+    - [Private]: adds private task descriptors with the trip-wire scheme
+      ("private tasks"); the default.
+    - [Clev]: a Chase–Lev pointer deque with random (non-leapfrog) stealing
+      on blocked joins — the conventional steal-child baseline (TBB-like),
+      exhibiting the buried-join behaviour discussed in §I. *)
+
+type t
+type ctx
+(** The executing worker; threaded explicitly through task code (no
+    domain-local lookup on the hot path). *)
+
+type 'a future
+
+type mode = Locked | Swap_generic | Task_specific | Private | Clev
+
+type publicity = Wool_deque.Direct_stack.publicity =
+  | All_private
+  | All_public
+  | Adaptive of int
+
+val create :
+  ?workers:int ->
+  ?mode:mode ->
+  ?publicity:publicity ->
+  ?capacity:int ->
+  ?lock_mode:[ `Base | `Peek | `Trylock ] ->
+  ?idle_nap_ns:int ->
+  ?seed:int ->
+  unit ->
+  t
+(** [workers] defaults to [Domain.recommended_domain_count ()]. [publicity]
+    (direct modes only) defaults to [Adaptive 4]. [lock_mode] picks the
+    §IV-C stealing discipline in [Locked] mode. [idle_nap_ns] (default
+    50_000) is how long an idle thief sleeps after a burst of failed steals,
+    so that over-subscribed pools (more workers than cores) stay live;
+    0 means pure spinning. *)
+
+val run : t -> (ctx -> 'a) -> 'a
+(** Execute a main task on worker 0 (the calling domain). Must be called
+    from the domain that created the pool, and not from inside task code.
+    Can be called repeatedly. *)
+
+val shutdown : t -> unit
+(** Stop and join the worker domains. The pool cannot be used afterwards. *)
+
+val with_pool : ?workers:int -> ?mode:mode -> ?publicity:publicity ->
+  ?seed:int -> (t -> 'a) -> 'a
+(** Create a pool, run [f], and shut the pool down (also on exceptions). *)
+
+val spawn : ctx -> (ctx -> 'a) -> 'a future
+(** Make a task available for stealing (or for later inlining) on the
+    calling worker. *)
+
+val join : ctx -> 'a future -> 'a
+(** Join with the most recent unjoined [spawn] of this worker. Raises
+    [Invalid_argument] if called out of LIFO order or from another worker.
+    If the task ran remotely and raised, the exception is re-raised here. *)
+
+val call : ctx -> (ctx -> 'a) -> 'a
+(** An ordinary call, for symmetry with the paper's CALL. *)
+
+(* Introspection *)
+
+val self_id : ctx -> int
+val num_workers : t -> int
+val mode : t -> mode
+val pool_of_ctx : ctx -> t
+
+type stats = {
+  spawns : int;
+  max_pool_depth : int;
+      (** deepest per-worker direct-stack occupancy (direct modes only) —
+          the §I space measure *)
+  inlined_private : int;
+  inlined_public : int;
+  joins_stolen : int;
+  steals : int;  (** successful steals, summed over thieves *)
+  leap_steals : int;  (** steals performed while leapfrogging *)
+  backoffs : int;  (** §III-A delayed-thief back-offs *)
+  failed_steals : int;
+  publish_events : int;
+  privatize_events : int;
+}
+
+val stats : t -> stats
+(** Aggregate over workers since creation or the last {!reset_stats}. *)
+
+val reset_stats : t -> unit

@@ -1,0 +1,95 @@
+(** Wool: efficient work stealing for fine grained parallelism.
+
+    OCaml implementation of the direct task stack scheduler of Faxén
+    (ICPP 2010). See {!Pool} for the execution model; this module re-exports
+    the pool API and adds divide-and-conquer loop combinators used by the
+    loop-shaped benchmarks (mm, ssf). *)
+
+module Pool = Pool
+
+type pool = Pool.t
+type ctx = Pool.ctx
+type 'a future = 'a Pool.future
+type mode = Pool.mode = Locked | Swap_generic | Task_specific | Private | Clev
+
+type publicity = Pool.publicity = All_private | All_public | Adaptive of int
+
+let create = Pool.create
+let run = Pool.run
+let shutdown = Pool.shutdown
+let with_pool = Pool.with_pool
+let spawn = Pool.spawn
+let join = Pool.join
+let call = Pool.call
+let self_id = Pool.self_id
+let num_workers = Pool.num_workers
+let stats = Pool.stats
+let reset_stats = Pool.reset_stats
+
+(** [parallel_for ctx ~grain lo hi body] runs [body i] for [lo <= i < hi]
+    as a balanced binary task tree with at most [grain] iterations per leaf
+    (default 1). This is how Wool programs express parallel loops: the same
+    spawn/call/join pattern as Figure 2 applied to index ranges. *)
+let rec parallel_for ctx ?(grain = 1) lo hi body =
+  if hi - lo <= grain then
+    for i = lo to hi - 1 do
+      body i
+    done
+  else begin
+    let mid = lo + ((hi - lo) / 2) in
+    let right = spawn ctx (fun ctx -> parallel_for ctx ~grain mid hi body) in
+    parallel_for ctx ~grain lo mid body;
+    join ctx right
+  end
+
+(** [parallel_reduce ctx ~grain lo hi ~neutral f combine] folds
+    [combine (f lo) (combine (f (lo+1)) ...)] over a balanced task tree.
+    [combine] must be associative with [neutral] as identity. *)
+let rec parallel_reduce ctx ?(grain = 1) lo hi ~neutral f combine =
+  if hi - lo <= grain then begin
+    let acc = ref neutral in
+    for i = lo to hi - 1 do
+      acc := combine !acc (f i)
+    done;
+    !acc
+  end
+  else begin
+    let mid = lo + ((hi - lo) / 2) in
+    let right =
+      spawn ctx (fun ctx -> parallel_reduce ctx ~grain mid hi ~neutral f combine)
+    in
+    let left = parallel_reduce ctx ~grain lo mid ~neutral f combine in
+    combine left (join ctx right)
+  end
+
+(** [both ctx f g] evaluates [f] and [g] as parallel tasks and returns both
+    results — the binary fork-join primitive. *)
+let both ctx f g =
+  let fg = spawn ctx g in
+  let a = f ctx in
+  let b = join ctx fg in
+  (a, b)
+
+(** [parallel_map ctx ~grain f xs] maps [f] over an array as a balanced
+    task tree ([grain] elements per leaf, default 1). [f] may run on any
+    worker; results land in a fresh array in order. *)
+let parallel_map ctx ?grain f xs =
+  let n = Array.length xs in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f xs.(0)) in
+    (* index 0 already computed while seeding the output array *)
+    parallel_for ctx ?grain 1 n (fun i -> out.(i) <- f xs.(i));
+    out
+  end
+
+(** [parallel_init ctx ~grain n f] is [Array.init n f] with the
+    initialisers run as a task tree. Requires [n >= 0]. *)
+let parallel_init ctx ?grain n f =
+  if n < 0 then invalid_arg "Wool.parallel_init: negative length";
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f 0) in
+    parallel_for ctx ?grain 1 n (fun i -> out.(i) <- f i);
+    out
+  end

@@ -1,0 +1,74 @@
+(** Wool: efficient work stealing for fine grained parallelism.
+
+    OCaml implementation of the direct task stack scheduler of Faxén
+    (ICPP 2010). The execution model is SPAWN / CALL / JOIN over a pool of
+    domain workers; see {!Pool} for the full API and semantics. This
+    module re-exports the pool operations under short names and adds
+    divide-and-conquer combinators. *)
+
+module Pool = Pool
+
+type pool = Pool.t
+type ctx = Pool.ctx
+type 'a future = 'a Pool.future
+
+type mode = Pool.mode =
+  | Locked  (** per-worker lock at joins and steals (Table II "base") *)
+  | Swap_generic  (** descriptor-state exchange, generic join *)
+  | Task_specific  (** + direct typed call on inlined joins *)
+  | Private  (** + private descriptors with trip wires (default) *)
+  | Clev  (** Chase–Lev pointer deque baseline (TBB-like) *)
+
+type publicity = Pool.publicity =
+  | All_private
+  | All_public
+  | Adaptive of int
+
+val create :
+  ?workers:int ->
+  ?mode:mode ->
+  ?publicity:publicity ->
+  ?capacity:int ->
+  ?lock_mode:[ `Base | `Peek | `Trylock ] ->
+  ?idle_nap_ns:int ->
+  ?seed:int ->
+  unit ->
+  pool
+(** See {!Pool.create}. *)
+
+val run : pool -> (ctx -> 'a) -> 'a
+val shutdown : pool -> unit
+
+val with_pool :
+  ?workers:int -> ?mode:mode -> ?publicity:publicity -> ?seed:int ->
+  (pool -> 'a) -> 'a
+
+val spawn : ctx -> (ctx -> 'a) -> 'a future
+val join : ctx -> 'a future -> 'a
+val call : ctx -> (ctx -> 'a) -> 'a
+val self_id : ctx -> int
+val num_workers : pool -> int
+val stats : pool -> Pool.stats
+val reset_stats : pool -> unit
+
+val parallel_for : ctx -> ?grain:int -> int -> int -> (int -> unit) -> unit
+(** [parallel_for ctx ~grain lo hi body] runs [body i] for [lo <= i < hi]
+    as a balanced binary task tree with at most [grain] iterations per
+    leaf (default 1) — the spawn/call/join pattern of Figure 2 applied to
+    index ranges. *)
+
+val parallel_reduce :
+  ctx -> ?grain:int -> int -> int -> neutral:'a -> (int -> 'a) ->
+  ('a -> 'a -> 'a) -> 'a
+(** Tree-shaped fold of [f lo ... f (hi-1)] under an associative [combine]
+    with identity [neutral]. *)
+
+val both : ctx -> (ctx -> 'a) -> (ctx -> 'b) -> 'a * 'b
+(** Evaluate two computations as parallel tasks. *)
+
+val parallel_map : ctx -> ?grain:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Map over an array as a balanced task tree; results in order. *)
+
+val parallel_init : ctx -> ?grain:int -> int -> (int -> 'a) -> 'a array
+(** [Array.init] with task-tree initialisers. Raises [Invalid_argument]
+    on negative length. *)

@@ -1,0 +1,1 @@
+lib/sim/costs.ml: Float Format

@@ -1,0 +1,1 @@
+lib/sim/costs.mli: Format

@@ -1,0 +1,1 @@
+lib/sim/engine.mli: Policy Trace Wool_ir

@@ -1,0 +1,1 @@
+lib/sim/loop_sim.ml: Array Costs

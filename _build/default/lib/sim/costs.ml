@@ -1,0 +1,154 @@
+type t = {
+  startup : int;
+  spawn : int;
+  spawn_private : int;
+  call : int;
+  join_inline : int;
+  join_inline_private : int;
+  steal_attempt : int;
+  steal_success : int;
+  join_stolen : int;
+  line_hold : int;
+  peek : int;
+  poll : int;
+  loop_fork_base : int;
+  loop_fork_per_worker : int;
+  barrier_per_worker : int;
+  remote_factor_pct : int;
+}
+
+(* Table II: 3 cycles per private task, 19 per public task over a plain
+   call. Table III: C2 = 2 200 = attempt + success + victim join. *)
+let wool =
+  {
+    startup = 20_000;
+    spawn = 7;
+    spawn_private = 1;
+    call = 0;
+    join_inline = 12;
+    join_inline_private = 2;
+    steal_attempt = 250;
+    steal_success = 950;
+    join_stolen = 1_000;
+    line_hold = 150;
+    peek = 20;
+    poll = 100;
+    loop_fork_base = 0;
+    loop_fork_per_worker = 0;
+    barrier_per_worker = 0;
+    remote_factor_pct = 75;
+  }
+
+(* Table III: 134-cycle inlined tasks, C2 = 31 050, more than half of the
+   steal overhead in the kernel (lock contention); the cactus stack taxes
+   every call (§IV-D1: "All calls get this overhead", >4x instructions). *)
+let cilk =
+  {
+    startup = 40_000;
+    spawn = 60;
+    spawn_private = 60;
+    call = 30;
+    join_inline = 74;
+    join_inline_private = 74;
+    steal_attempt = 2_000;
+    steal_success = 28_000;
+    join_stolen = 15_000;
+    line_hold = 4_000;
+    peek = 100;
+    poll = 400;
+    loop_fork_base = 0;
+    loop_fork_per_worker = 0;
+    barrier_per_worker = 0;
+    remote_factor_pct = 75;
+  }
+
+(* Table III: 323-cycle inlined tasks (free-list task allocation), C2 =
+   5 800. *)
+let tbb =
+  {
+    startup = 30_000;
+    spawn = 150;
+    spawn_private = 150;
+    call = 0;
+    join_inline = 173;
+    join_inline_private = 173;
+    steal_attempt = 400;
+    steal_success = 2_400;
+    join_stolen = 3_000;
+    line_hold = 400;
+    peek = 40;
+    poll = 200;
+    loop_fork_base = 0;
+    loop_fork_per_worker = 0;
+    barrier_per_worker = 0;
+    remote_factor_pct = 75;
+  }
+
+(* Table III: 878-cycle tasks, C2 = 4 830. Loop benchmarks (mm, ssf) use
+   static work sharing instead of task trees, as in the paper. *)
+let openmp =
+  {
+    startup = 35_000;
+    spawn = 400;
+    spawn_private = 400;
+    call = 0;
+    join_inline = 478;
+    join_inline_private = 478;
+    steal_attempt = 400;
+    steal_success = 2_000;
+    join_stolen = 2_430;
+    line_hold = 500;
+    peek = 40;
+    poll = 200;
+    loop_fork_base = 1_500;
+    loop_fork_per_worker = 300;
+    barrier_per_worker = 250;
+    remote_factor_pct = 75;
+  }
+
+(* Table II "base": 77 cycles per inlined task with the per-worker lock
+   taken at every join; thieves hold the same lock longer than a CAS
+   window. *)
+(* Lock-based steals transfer more lines than a descriptor CAS: the lock
+   word, the top/bot words, and the task data, where the direct stack's
+   single descriptor line carries both the data and the availability
+   signal (§III-A). *)
+let locked_ladder =
+  {
+    wool with
+    spawn = 7;
+    spawn_private = 7;
+    join_inline = 70;
+    join_inline_private = 70;
+    line_hold = 450;
+    steal_attempt = 300;
+    steal_success = 1_300;
+    join_stolen = 1_100;
+  }
+
+let scale f c =
+  let s x = int_of_float (Float.round (f *. float_of_int x)) in
+  {
+    startup = s c.startup;
+    spawn = s c.spawn;
+    spawn_private = s c.spawn_private;
+    call = s c.call;
+    join_inline = s c.join_inline;
+    join_inline_private = s c.join_inline_private;
+    steal_attempt = s c.steal_attempt;
+    steal_success = s c.steal_success;
+    join_stolen = s c.join_stolen;
+    line_hold = s c.line_hold;
+    peek = s c.peek;
+    poll = s c.poll;
+    loop_fork_base = s c.loop_fork_base;
+    loop_fork_per_worker = s c.loop_fork_per_worker;
+    barrier_per_worker = s c.barrier_per_worker;
+    remote_factor_pct = c.remote_factor_pct;
+  }
+
+let pp ppf c =
+  Format.fprintf ppf
+    "@[<v>spawn=%d/%d join=%d/%d call=%d steal=%d+%d joinst=%d hold=%d@]"
+    c.spawn c.spawn_private c.join_inline c.join_inline_private c.call
+    c.steal_attempt c.steal_success c.join_stolen c.line_hold

@@ -1,0 +1,61 @@
+(** Per-operation cost profiles for the simulated schedulers.
+
+    All values are virtual cycles. The profiles for the four compared
+    systems are {e calibrated inputs}, taken from the paper's own
+    single-processor and two-processor micro-benchmarks (Table II inlined
+    costs, Table III column "2" for the base steal + join-with-thief cost).
+    Everything else the simulator reports — speedups, steal counts,
+    contention growth at higher processor counts, breakdowns — is emergent
+    from executing the scheduling algorithms with these per-operation
+    costs, and constitutes the reproduction results. *)
+
+type t = {
+  startup : int;  (** per-worker thread start (TR in Figure 6) *)
+  spawn : int;  (** make a public task stealable *)
+  spawn_private : int;  (** Wool: spawn into a private descriptor *)
+  call : int;
+      (** per ordinary call; nonzero for Cilk++'s cactus stack, whose
+          free-list frame allocation taxes every call (§IV-D1) *)
+  join_inline : int;  (** pop & run an unstolen public task (the RMW) *)
+  join_inline_private : int;  (** Wool: private-descriptor join *)
+  steal_attempt : int;
+      (** thief-side communication round trip for any attempt *)
+  steal_success : int;  (** extra thief-side cost to acquire and set up *)
+  join_stolen : int;  (** victim-side synchronisation with the thief *)
+  line_hold : int;
+      (** how long a steal holds the victim's lock / descriptor cache line;
+          arrivals during the window serialise — the contention that makes
+          steal cost grow super-linearly with processors (Table III) *)
+  peek : int;  (** read the victim's bottom descriptor without locking *)
+  poll : int;  (** re-check interval when blocked with nothing to steal *)
+  loop_fork_base : int;  (** work-sharing loop: region fork fixed cost *)
+  loop_fork_per_worker : int;  (** ... plus this much per worker *)
+  barrier_per_worker : int;  (** end-of-loop barrier cost per worker *)
+  remote_factor_pct : int;
+      (** extra percentage on steal communication when thief and victim
+          sit on different sockets (the paper's testbed is a dual-socket
+          Opteron); used when the engine is told [~sockets] > 1 *)
+}
+
+val wool : t
+(** Calibration: 3-cycle private / 19-cycle public task overhead (Table II),
+    C2 = 2 200 (Table III). *)
+
+val cilk : t
+(** 134-cycle inlined tasks, C2 = 31 050, heavy locking and per-call cactus
+    overhead. *)
+
+val tbb : t
+(** 323-cycle inlined tasks, C2 = 5 800, free-list spawn. *)
+
+val openmp : t
+(** 878-cycle tasks, C2 = 4 830; loop benchmarks use work sharing. *)
+
+val locked_ladder : t
+(** Profile for the §IV-B/§IV-C Wool ladder baselines: Wool costs with the
+    77-cycle locked join of Table II's "base" row. *)
+
+val scale : float -> t -> t
+(** Multiply every cost by a factor (sensitivity studies). *)
+
+val pp : Format.formatter -> t -> unit

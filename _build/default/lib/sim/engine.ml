@@ -1,0 +1,698 @@
+module Tt = Wool_ir.Task_tree
+module Sdq = Sim_deque
+module Heap = Wool_util.Heap
+module Rng = Wool_util.Rng
+
+type category = TR | LA | NA | ST | LF
+
+let n_categories = 5
+let category_index = function TR -> 0 | LA -> 1 | NA -> 2 | ST -> 3 | LF -> 4
+
+let category_name = function
+  | TR -> "TR"
+  | LA -> "LA"
+  | NA -> "NA"
+  | ST -> "ST"
+  | LF -> "LF"
+
+type istatus = Queued | Stolen_by of int | Done_
+
+type inst = { itree : Tt.t; mutable status : istatus; mutable public : bool }
+
+type fkind =
+  | KRoot
+  | KCalled  (* entered by Call; resume caller on completion *)
+  | KInlined  (* steal-child: inlined spawned task *)
+  | KStolen of inst  (* steal-child: executing a stolen task *)
+  | KChild of frame  (* steal-parent: spawned child of [frame] *)
+
+and frame = {
+  ftree : Tt.t;
+  kind : fkind;
+  caller : frame option; (* resumed (on the completing worker) at completion *)
+  in_leap : bool; (* somewhere below sits a blocked join we are helping *)
+  mutable ip : int;
+  mutable pending : inst list; (* steal-child: LIFO of unjoined spawns *)
+  mutable outstanding : int; (* steal-parent: unfinished spawned children *)
+  mutable suspended : bool; (* steal-parent: parked at a sync *)
+}
+
+type worker = {
+  wid : int;
+  rng : Rng.t;
+  mutable clock : int;
+  mutable current : frame option;
+  dq : inst Sdq.t; (* steal-child task pool *)
+  cdq : frame Sdq.t; (* steal-parent continuation pool *)
+  mutable line_free : int; (* victim lock / descriptor line busy until *)
+  (* §III-B private-task window *)
+  mutable public_limit : int;
+  mutable trip : int;
+  mutable publish_req : bool;
+  mutable consec_public : int;
+  acc : int array; (* per-category cycles *)
+  mutable n_steals : int;
+  mutable n_failed : int;
+  mutable n_leap : int;
+  mutable max_pool : int; (* deepest task/continuation pool seen *)
+  orphans : inst Queue.t; (* batch-stolen tasks awaiting local execution *)
+  mutable rr_next : int; (* round-robin victim cursor *)
+  mutable last_success : int; (* last victim a steal succeeded on, or -1 *)
+}
+
+type victim_selection =
+  | Random_victim
+  | Round_robin
+  | Last_victim
+  | Socket_local
+
+type result = {
+  time : int;
+  steals : int;
+  failed_steals : int;
+  leap_steals : int;
+  breakdown : int array array;
+  work : int;
+  events : int;
+  trace_hash : int;
+  max_pool_depth : int;
+      (* deepest per-worker task/continuation pool over the whole run *)
+}
+
+type state = {
+  policy : Policy.t;
+  costs : Costs.t;
+  victim_selection : victim_selection;
+  trace : Trace.t option;
+  steal_batch : int;
+  sockets : int;
+  workers : worker array;
+  heap : int Heap.t; (* worker ids keyed by their clocks *)
+  mutable finished : bool;
+  mutable finish_time : int;
+  mutable events : int;
+  mutable hash : int;
+  mutable work_done : int;
+}
+
+let dummy_tree = Tt.leaf 0
+let dummy_inst = { itree = dummy_tree; status = Done_; public = false }
+
+let dummy_frame =
+  {
+    ftree = dummy_tree;
+    kind = KRoot;
+    caller = None;
+    in_leap = false;
+    ip = max_int;
+    pending = [];
+    outstanding = 0;
+    suspended = false;
+  }
+
+let mix h v = (h * 0x100000001b3) lxor v
+
+let observe st w tag =
+  st.hash <- mix (mix (mix st.hash w.wid) w.clock) tag
+
+let charge st w cat cycles =
+  w.acc.(category_index cat) <- w.acc.(category_index cat) + cycles;
+  match st.trace with
+  | None -> ()
+  | Some tr ->
+      (* [charge] is always called before the clock advances past the
+         operation, so [w.clock] is the operation's start time *)
+      Trace.record tr ~worker:w.wid ~start:w.clock ~cycles
+        ~category:(category_index cat)
+
+(* Category for application / inline-scheduler cycles executed inside
+   frame [f]. *)
+let app_cat f = if f.in_leap then LA else NA
+
+let privatize_threshold = 16
+
+(* ---- §III-B window maintenance (steal-child Wool policies) ---- *)
+
+let service_publish st w =
+  match st.policy.flavor with
+  | Policy.Steal_child { publicity = Policy.Adaptive window; _ } ->
+      if w.publish_req then begin
+        w.publish_req <- false;
+        (* a sprung trip wire is live steal pressure: suspend privatising *)
+        w.consec_public <- 0;
+        let old_limit = w.public_limit in
+        let new_limit = old_limit + window in
+        let hi = min new_limit (Sdq.top_index w.dq) in
+        let lo = max old_limit (Sdq.bot_index w.dq) in
+        for i = lo to hi - 1 do
+          (Sdq.get w.dq i).public <- true
+        done;
+        w.public_limit <- new_limit;
+        w.trip <- new_limit - 1
+      end
+  | Policy.Steal_child _ | Policy.Steal_parent | Policy.Loop_static -> ()
+
+let maybe_privatize st w index =
+  match st.policy.flavor with
+  | Policy.Steal_child { publicity = Policy.Adaptive _; _ } ->
+      w.consec_public <- w.consec_public + 1;
+      if w.consec_public >= privatize_threshold && index < w.public_limit
+      then begin
+        let new_limit = max (Sdq.bot_index w.dq) index in
+        if new_limit < w.public_limit then begin
+          w.public_limit <- new_limit;
+          w.trip <- new_limit - 1
+        end;
+        w.consec_public <- 0
+      end
+  | Policy.Steal_child _ | Policy.Steal_parent | Policy.Loop_static -> ()
+
+(* ---- frames ---- *)
+
+let make_frame tree ~kind ~caller ~in_leap =
+  {
+    ftree = tree;
+    kind;
+    caller;
+    in_leap;
+    ip = 0;
+    pending = [];
+    outstanding = 0;
+    suspended = false;
+  }
+
+let finish_root st w =
+  st.finished <- true;
+  st.finish_time <- w.clock
+
+(* Completion of the frame on top of [w]. *)
+let complete_frame st w f =
+  observe st w 1;
+  match f.kind with
+  | KRoot -> finish_root st w
+  | KCalled | KInlined -> w.current <- f.caller
+  | KStolen inst ->
+      inst.status <- Done_;
+      w.current <- f.caller
+  | KChild parent -> (
+      parent.outstanding <- parent.outstanding - 1;
+      (* Fast path: our parent's continuation is still on top of our own
+         pool — pop it and keep going (the non-stolen spawn return). *)
+      match Sdq.peek_top w.cdq with
+      | Some top when top == parent ->
+          ignore (Sdq.pop_present w.cdq : frame);
+          charge st w (app_cat parent) st.costs.join_inline;
+          w.clock <- w.clock + st.costs.join_inline;
+          w.current <- Some parent
+      | Some _ | None ->
+          if parent.suspended && parent.outstanding = 0 then begin
+            (* Provably-good steal protocol: the last returning child
+               resumes the suspended parent here. *)
+            parent.suspended <- false;
+            charge st w NA st.costs.join_stolen;
+            w.clock <- w.clock + st.costs.join_stolen;
+            w.current <- Some parent
+          end
+          else w.current <- f.caller)
+
+(* ---- stealing ---- *)
+
+let pick_random_victim st w =
+  let n = Array.length st.workers in
+  if n <= 1 then None
+  else begin
+    let k = Rng.int w.rng (n - 1) in
+    let v = if k >= w.wid then k + 1 else k in
+    Some st.workers.(v)
+  end
+
+let socket_of st wid =
+  let n = Array.length st.workers in
+  wid * st.sockets / n
+
+let cross_socket st a b = socket_of st a.wid <> socket_of st b.wid
+
+(* Extra cost on steal communication when thief and victim are on
+   different sockets. *)
+let remote st w v c =
+  if st.sockets > 1 && cross_socket st w v then
+    c * (100 + st.costs.Costs.remote_factor_pct) / 100
+  else c
+
+(* Victim choice for an unpinned steal attempt. [Random_victim] is the
+   classic provably-good strategy and the default; the others are
+   ablations: cyclic scanning, affinity to the last successful victim,
+   and socket-local preference (3 of 4 probes stay on our socket). *)
+let pick_victim st w =
+  match st.victim_selection with
+  | Random_victim -> pick_random_victim st w
+  | Round_robin ->
+      let n = Array.length st.workers in
+      if n <= 1 then None
+      else begin
+        let v = w.rr_next mod n in
+        let v = if v = w.wid then (v + 1) mod n else v in
+        w.rr_next <- v + 1;
+        Some st.workers.(v)
+      end
+  | Last_victim ->
+      if w.last_success >= 0 && w.last_success <> w.wid then
+        Some st.workers.(w.last_success)
+      else pick_random_victim st w
+  | Socket_local -> (
+      if Rng.int w.rng 4 = 3 then pick_random_victim st w
+      else begin
+        let mine = socket_of st w.wid in
+        let local =
+          Array.to_list st.workers
+          |> List.filter (fun v ->
+                 v.wid <> w.wid && socket_of st v.wid = mine)
+        in
+        match local with
+        | [] -> pick_random_victim st w
+        | _ ->
+            Some (List.nth local (Rng.int w.rng (List.length local)))
+      end)
+
+(* Outcome of inspecting the victim's pool under [sync]; returns the extra
+   cycles spent and, on success, the stolen payload. *)
+type 'a attempt = Got of 'a * int | Missed of int
+
+let serialize w ~at ~hold =
+  (* Arriving at the victim's lock / descriptor line at [at]: wait for it
+     to be free, then hold it. Returns the wait. *)
+  let wait = max 0 (w.line_free - at) in
+  w.line_free <- at + wait + hold;
+  wait
+
+let attempt_steal_child st (w : worker) (v : worker) ~sync =
+  let c = st.costs in
+  let stealable =
+    match Sdq.peek_bot v.dq with
+    | Some inst when inst.public -> Some inst
+    | Some _ | None -> None
+  in
+  let take_one () =
+    let inst = Sdq.take_bot v.dq in
+    inst.status <- Stolen_by w.wid;
+    if Sdq.bot_index v.dq - 1 = v.trip then v.publish_req <- true;
+    inst
+  in
+  let take () =
+    let first = take_one () in
+    (* Batch stealing (the steal-half family): grab up to batch-1 more
+       public tasks for local execution. They are not re-stealable while
+       queued on the thief (a deliberate simplification); owners see them
+       as stolen and wait for completion as usual. *)
+    let extras = ref 0 in
+    let continue_ = ref (st.steal_batch > 1) in
+    while !continue_ && !extras < st.steal_batch - 1 do
+      match Sdq.peek_bot v.dq with
+      | Some inst when inst.public ->
+          Queue.push (take_one ()) w.orphans;
+          incr extras
+      | Some _ | None -> continue_ := false
+    done;
+    (first, !extras)
+  in
+  match sync with
+  | Policy.Nolock_state -> (
+      (* Peek the descriptor; CAS only if it looks stealable. A failed
+         probe is a cached poll — idle thieves have the victim's [bot] and
+         descriptor line cached and pay the transfer only when a spawn
+         lands (§III-A) — so only a success pays the round trip. *)
+      match stealable with
+      | None -> Missed c.peek
+      | Some _ ->
+          (* CAS is non-blocking: if a competing thief (or the owner's
+             exchange) holds the descriptor line this CAS loses and the
+             thief retries — it never waits. *)
+          if v.line_free > w.clock + c.steal_attempt then Missed c.peek
+          else begin
+            let wait =
+              serialize v ~at:(w.clock + c.steal_attempt) ~hold:c.line_hold
+            in
+            let inst, extras = take () in
+            Got (inst, wait + c.steal_success + (extras * c.peek))
+          end)
+  | Policy.Lock `Base ->
+      (* Lock first, look second: pays the lock round trip even when the
+         victim has nothing. *)
+      let wait = serialize v ~at:(w.clock + c.steal_attempt) ~hold:c.line_hold in
+      (match stealable with
+      | None -> Missed (c.steal_attempt + wait + c.peek)
+      | Some _ ->
+          let inst, extras = take () in
+          Got (inst, wait + c.steal_success + (extras * c.peek)))
+  | Policy.Lock `Peek -> (
+      match stealable with
+      | None -> Missed c.peek
+      | Some _ ->
+          let wait = serialize v ~at:(w.clock + c.steal_attempt) ~hold:c.line_hold in
+          let inst, extras = take () in
+          Got (inst, wait + c.steal_success + (extras * c.peek)))
+  | Policy.Lock `Trylock -> (
+      match stealable with
+      | None -> Missed c.peek
+      | Some _ ->
+          if v.line_free > w.clock + c.steal_attempt then
+            (* try_lock failed: abort the steal *)
+            Missed c.peek
+          else begin
+            let wait =
+              serialize v ~at:(w.clock + c.steal_attempt) ~hold:c.line_hold
+            in
+            let inst, extras = take () in
+            Got (inst, wait + c.steal_success + (extras * c.peek))
+          end)
+
+let attempt_steal_parent st (w : worker) (v : worker) =
+  let c = st.costs in
+  match Sdq.peek_bot v.cdq with
+  | None -> Missed c.peek
+  | Some _ ->
+      let wait = serialize v ~at:(w.clock + c.steal_attempt) ~hold:c.line_hold in
+      Got (Sdq.take_bot v.cdq, wait + c.steal_success)
+
+(* One steal attempt. [victim] pins the target (leapfrogging); [cat] is the
+   accounting category. Returns true if a task/continuation was acquired
+   (the worker's [current] is updated). *)
+let do_steal st w ~victim ~cat =
+  let c = st.costs in
+  observe st w 2;
+  let target =
+    match victim with Some v -> Some v | None -> pick_victim st w
+  in
+  match target with
+  | None ->
+      charge st w cat c.poll;
+      w.clock <- w.clock + max 1 c.poll;
+      false
+  | Some v -> (
+      let outcome =
+        match st.policy.flavor with
+        | Policy.Steal_child { sync; _ } -> (
+            match attempt_steal_child st w v ~sync with
+            | Got (inst, extra) ->
+                let fr =
+                  make_frame inst.itree ~kind:(KStolen inst) ~caller:w.current
+                    ~in_leap:(w.current <> None)
+                in
+                `Got (fr, extra)
+            | Missed extra -> `Missed extra)
+        | Policy.Steal_parent -> (
+            match attempt_steal_parent st w v with
+            | Got (cont, extra) -> `Got (cont, extra)
+            | Missed extra -> `Missed extra)
+        | Policy.Loop_static -> assert false
+      in
+      match outcome with
+      | `Got (fr, extra) ->
+          w.n_steals <- w.n_steals + 1;
+          w.last_success <- v.wid;
+          if w.current <> None then w.n_leap <- w.n_leap + 1;
+          let cost = remote st w v (c.steal_attempt + extra) in
+          charge st w cat cost;
+          w.clock <- w.clock + max 1 cost;
+          w.current <- Some fr;
+          true
+      | `Missed extra ->
+          (* Failed probes do not pay the communication round trip: the
+             lines being polled stay cached until the victim writes them. *)
+          w.n_failed <- w.n_failed + 1;
+          if victim = None then w.last_success <- -1;
+          charge st w cat extra;
+          w.clock <- w.clock + max 1 extra;
+          false)
+
+(* ---- steps ---- *)
+
+let exec_spawn_child st w f child =
+  let c = st.costs in
+  service_publish st w;
+  let index = Sdq.top_index w.dq in
+  let public =
+    match st.policy.flavor with
+    | Policy.Steal_child { publicity = Policy.All_public; _ } -> true
+    | Policy.Steal_child { publicity = Policy.Adaptive _; _ } ->
+        index < w.public_limit
+    | Policy.Steal_parent | Policy.Loop_static -> true
+  in
+  let inst = { itree = child; status = Queued; public } in
+  Sdq.push w.dq inst;
+  w.max_pool <- max w.max_pool (Sdq.size w.dq);
+  f.pending <- inst :: f.pending;
+  f.ip <- f.ip + 1;
+  let cost = if public then c.spawn else c.spawn_private in
+  charge st w (app_cat f) cost;
+  w.clock <- w.clock + cost
+
+let exec_spawn_parent st w f child =
+  let c = st.costs in
+  f.ip <- f.ip + 1;
+  f.outstanding <- f.outstanding + 1;
+  Sdq.push w.cdq f;
+  w.max_pool <- max w.max_pool (Sdq.size w.cdq);
+  let child_frame =
+    make_frame child ~kind:(KChild f) ~caller:None ~in_leap:f.in_leap
+  in
+  (* the cactus stack charges frame allocation on spawns and calls alike *)
+  let cost = c.spawn + c.call in
+  charge st w (app_cat f) cost;
+  w.clock <- w.clock + cost;
+  w.current <- Some child_frame
+
+(* Run a batch-stolen task waiting in the local orphan queue. [caller]
+   (and the leapfrog accounting flag) is the blocked frame when this
+   happens during a join wait; orphans must be drainable from blocked
+   states or batch stealing could deadlock a cycle of leapfrogging
+   owners. *)
+let take_orphan st w ~caller ~in_leap =
+  match Queue.take_opt w.orphans with
+  | None -> false
+  | Some inst ->
+      (* local pool take: no communication, just the join-side cost *)
+      charge st w (if in_leap then LF else ST) st.costs.join_inline;
+      w.clock <- w.clock + max 1 st.costs.join_inline;
+      w.current <-
+        Some (make_frame inst.itree ~kind:(KStolen inst) ~caller ~in_leap);
+      true
+
+let exec_join_child st w f =
+  let c = st.costs in
+  service_publish st w;
+  match f.pending with
+  | [] -> assert false
+  | inst :: rest -> (
+      match inst.status with
+      | Queued ->
+          (* Inline the task. Locked schedulers serialise the victim-side
+             join against thieves on the same lock. *)
+          let index = Sdq.top_index w.dq - 1 in
+          let popped = Sdq.pop_present w.dq in
+          assert (popped == inst);
+          f.pending <- rest;
+          f.ip <- f.ip + 1;
+          let lock_wait =
+            match st.policy.flavor with
+            | Policy.Steal_child { sync = Policy.Lock _; _ } ->
+                (* the owner holds its own lock only for the duration of
+                   the join itself *)
+                serialize w ~at:w.clock ~hold:c.join_inline
+            | Policy.Steal_child _ | Policy.Steal_parent | Policy.Loop_static
+              -> 0
+          in
+          let base =
+            if inst.public then begin
+              maybe_privatize st w index;
+              c.join_inline
+            end
+            else c.join_inline_private
+          in
+          let cost = base + lock_wait in
+          charge st w (app_cat f) cost;
+          w.clock <- w.clock + cost;
+          w.current <-
+            Some
+              (make_frame inst.itree ~kind:KInlined ~caller:(Some f)
+                 ~in_leap:f.in_leap)
+      | Done_ ->
+          Sdq.pop_consumed w.dq;
+          f.pending <- rest;
+          f.ip <- f.ip + 1;
+          w.consec_public <- 0;
+          charge st w (app_cat f) c.join_stolen;
+          w.clock <- w.clock + c.join_stolen
+      | Stolen_by thief -> (
+          (* Blocked join: find other work per the policy; the Join step
+             re-executes (ip unchanged) until the thief finishes. Local
+             batch-stolen orphans are always fair game — and draining
+             them here is what makes batch stealing deadlock-free. *)
+          if take_orphan st w ~caller:(Some f) ~in_leap:true then ()
+          else
+          match st.policy.flavor with
+          | Policy.Steal_child { blocked_join; _ } -> (
+              match blocked_join with
+              | Policy.Leapfrog ->
+                  ignore
+                    (do_steal st w ~victim:(Some st.workers.(thief)) ~cat:LF
+                      : bool)
+              | Policy.Random_steal ->
+                  ignore (do_steal st w ~victim:None ~cat:LF : bool)
+              | Policy.Plain_wait ->
+                  charge st w LF c.poll;
+                  w.clock <- w.clock + max 1 c.poll)
+          | Policy.Steal_parent | Policy.Loop_static -> assert false))
+
+let exec_join_parent st w f =
+  let c = st.costs in
+  if f.outstanding = 0 then begin
+    f.ip <- f.ip + 1;
+    charge st w (app_cat f) c.join_inline;
+    w.clock <- w.clock + c.join_inline
+  end
+  else begin
+    (* Sync with outstanding stolen children: park the frame; the last
+       returning child will resume it wherever it finishes. *)
+    f.suspended <- true;
+    w.current <- None;
+    charge st w ST c.join_stolen;
+    w.clock <- w.clock + c.join_stolen
+  end
+
+let exec_step st w f =
+  let steps = Tt.steps f.ftree in
+  if f.ip >= Array.length steps then complete_frame st w f
+  else begin
+    match steps.(f.ip) with
+    | Tt.Work cycles ->
+        f.ip <- f.ip + 1;
+        st.work_done <- st.work_done + cycles;
+        charge st w (app_cat f) cycles;
+        w.clock <- w.clock + cycles
+    | Tt.Call callee ->
+        f.ip <- f.ip + 1;
+        let cost = st.costs.call in
+        charge st w (app_cat f) cost;
+        w.clock <- w.clock + cost;
+        w.current <-
+          Some (make_frame callee ~kind:KCalled ~caller:(Some f) ~in_leap:f.in_leap)
+    | Tt.Spawn child -> (
+        match st.policy.flavor with
+        | Policy.Steal_child _ -> exec_spawn_child st w f child
+        | Policy.Steal_parent -> exec_spawn_parent st w f child
+        | Policy.Loop_static -> assert false)
+    | Tt.Join -> (
+        match st.policy.flavor with
+        | Policy.Steal_child _ -> exec_join_child st w f
+        | Policy.Steal_parent -> exec_join_parent st w f
+        | Policy.Loop_static -> assert false)
+  end
+
+let step st w =
+  match w.current with
+  | Some f -> exec_step st w f
+  | None ->
+      if not (take_orphan st w ~caller:None ~in_leap:false) then
+        ignore (do_steal st w ~victim:None ~cat:ST : bool)
+
+let run ?(seed = 42) ?(max_events = 2_000_000_000)
+    ?(victim_selection = Random_victim) ?trace ?(steal_batch = 1)
+    ?(sockets = 1) ~(policy : Policy.t) ~workers tree =
+  if workers <= 0 then invalid_arg "Engine.run: workers must be positive";
+  if steal_batch <= 0 then
+    invalid_arg "Engine.run: steal_batch must be positive";
+  if sockets <= 0 then invalid_arg "Engine.run: sockets must be positive";
+  (match policy.flavor with
+  | Policy.Loop_static ->
+      invalid_arg "Engine.run: Loop_static policies are run by Loop_sim"
+  | Policy.Steal_child _ | Policy.Steal_parent -> ());
+  let costs = policy.costs in
+  let master = Rng.make seed in
+  let window =
+    match policy.flavor with
+    | Policy.Steal_child { publicity = Policy.Adaptive w; _ } -> w
+    | Policy.Steal_child { publicity = Policy.All_public; _ } -> max_int / 2
+    | Policy.Steal_parent | Policy.Loop_static -> max_int / 2
+  in
+  let mk_worker wid =
+    {
+      wid;
+      rng = Rng.split master;
+      clock = 0;
+      current = None;
+      dq = Sdq.create ~dummy:dummy_inst ();
+      cdq = Sdq.create ~dummy:dummy_frame ();
+      line_free = 0;
+      public_limit = window;
+      trip = (if window >= max_int / 2 then -1 else window - 1);
+      publish_req = false;
+      consec_public = 0;
+      acc = Array.make n_categories 0;
+      n_steals = 0;
+      n_failed = 0;
+      n_leap = 0;
+      max_pool = 0;
+      orphans = Queue.create ();
+      rr_next = wid + 1;
+      last_success = -1;
+    }
+  in
+  let ws = Array.init workers mk_worker in
+  let st =
+    {
+      policy;
+      costs;
+      victim_selection;
+      trace;
+      steal_batch;
+      sockets;
+      workers = ws;
+      heap = Heap.create ();
+      finished = false;
+      finish_time = 0;
+      events = 0;
+      hash = 0x3bf29ce484222325;
+      work_done = 0;
+    }
+  in
+  (* Startup: every worker pays thread-start (TR); worker 0 then owns the
+     root task. *)
+  Array.iter
+    (fun w ->
+      charge st w TR costs.startup;
+      w.clock <- costs.startup;
+      if w.wid = 0 then
+        w.current <- Some (make_frame tree ~kind:KRoot ~caller:None ~in_leap:false);
+      Heap.push st.heap ~key:w.clock w.wid)
+    ws;
+  let rec loop () =
+    if not st.finished then begin
+      match Heap.pop st.heap with
+      | None -> failwith "Engine.run: event queue drained before completion"
+      | Some (_, wid) ->
+          st.events <- st.events + 1;
+          if st.events > max_events then
+            failwith "Engine.run: max_events exceeded";
+          let w = st.workers.(wid) in
+          step st w;
+          if not st.finished then begin
+            Heap.push st.heap ~key:w.clock w.wid;
+            loop ()
+          end
+    end
+  in
+  loop ();
+  {
+    time = st.finish_time;
+    steals = Array.fold_left (fun a w -> a + w.n_steals) 0 ws;
+    failed_steals = Array.fold_left (fun a w -> a + w.n_failed) 0 ws;
+    leap_steals = Array.fold_left (fun a w -> a + w.n_leap) 0 ws;
+    breakdown = Array.map (fun w -> Array.copy w.acc) ws;
+    work = st.work_done;
+    events = st.events;
+    trace_hash = st.hash;
+    max_pool_depth = Array.fold_left (fun a w -> max a w.max_pool) 0 ws;
+  }
+
+let speedup ~base r = float_of_int base.time /. float_of_int r.time

@@ -1,0 +1,62 @@
+(** Discrete-event multicore simulator.
+
+    Executes a {!Wool_ir.Task_tree} on [workers] virtual cores under a
+    {!Policy.t}. Each virtual worker owns a clock; a global queue orders
+    workers by the time of their next step; one scheduler-relevant step
+    (work segment, spawn, join attempt, steal attempt) is processed per
+    event, so everything thieves can observe is causally consistent.
+    Victim-side serialisation is modelled by a per-worker "line free at"
+    timestamp: a steal (or locked join) arriving while the victim's lock or
+    descriptor cache line is held waits for it, which is what makes steal
+    costs grow super-linearly with the number of thieves, as in Table III.
+
+    The simulation is deterministic: victim selection draws from a
+    generator seeded by [seed], and ties in the event queue resolve in
+    insertion order. *)
+
+type category = TR | LA | NA | ST | LF
+(** CPU-time categories of Figure 6: startup/shutdown, application code
+    acquired through leapfrogging, other application code, stealing, and
+    leapfrogging costs. *)
+
+val n_categories : int
+val category_index : category -> int
+val category_name : category -> string
+
+type victim_selection =
+  | Random_victim  (** uniform among the other workers (the default) *)
+  | Round_robin  (** cyclic scan (ablation) *)
+  | Last_victim  (** stick to the last successful victim (ablation) *)
+  | Socket_local
+      (** prefer victims on our own socket 3 probes out of 4 (ablation;
+          meaningful with [~sockets] > 1) *)
+
+type result = {
+  time : int;  (** completion time of the root task, virtual cycles *)
+  steals : int;  (** successful task/continuation migrations, [N_M] *)
+  failed_steals : int;
+  leap_steals : int;  (** steals made while blocked at a join *)
+  breakdown : int array array;  (** [workers x n_categories] cycles *)
+  work : int;  (** Work cycles executed (= [Task_tree.work], checked) *)
+  events : int;
+  trace_hash : int;  (** determinism fingerprint of the event stream *)
+  max_pool_depth : int;
+      (** deepest per-worker task/continuation pool over the run — the
+          section-I space comparison between steal-child and steal-parent *)
+}
+
+val run :
+  ?seed:int -> ?max_events:int -> ?victim_selection:victim_selection ->
+  ?trace:Trace.t -> ?steal_batch:int -> ?sockets:int -> policy:Policy.t ->
+  workers:int -> Wool_ir.Task_tree.t -> result
+(** Simulate to completion. Raises [Invalid_argument] for [workers <= 0] or
+    a [Loop_static] policy (use {!Loop_sim}), and [Failure] if [max_events]
+    (default 2_000_000_000) is exceeded. Passing [trace] records a
+    {!Trace} Gantt of the run (determinism makes the two-pass
+    run-then-trace workflow exact). [steal_batch > 1] enables batch
+    stealing (the steal-half family the paper cites): a successful
+    steal-child steal also takes up to [steal_batch - 1] further public
+    tasks, queued for local execution on the thief. *)
+
+val speedup : base:result -> result -> float
+(** [speedup ~base r] = [base.time / r.time]. *)

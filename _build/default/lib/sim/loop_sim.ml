@@ -1,0 +1,29 @@
+type result = { time : int; imbalance : float }
+
+let run ~(costs : Costs.t) ~workers ~reps ~leaf_work =
+  if workers <= 0 then invalid_arg "Loop_sim.run: workers must be positive";
+  let n = Array.length leaf_work in
+  if n = 0 then invalid_arg "Loop_sim.run: empty loop";
+  let chunk = (n + workers - 1) / workers in
+  let chunk_time = Array.make workers 0 in
+  for w = 0 to workers - 1 do
+    let lo = w * chunk and hi = min n ((w + 1) * chunk) in
+    let s = ref 0 in
+    for i = lo to hi - 1 do
+      s := !s + leaf_work.(i)
+    done;
+    chunk_time.(w) <- !s
+  done;
+  let maxc = Array.fold_left max 0 chunk_time in
+  let total = Array.fold_left ( + ) 0 chunk_time in
+  let meanc = float_of_int total /. float_of_int workers in
+  let fork =
+    if workers = 1 then 0
+    else costs.loop_fork_base + (workers * costs.loop_fork_per_worker)
+  in
+  let barrier = if workers = 1 then 0 else workers * costs.barrier_per_worker in
+  let region = fork + maxc + barrier in
+  {
+    time = costs.startup + (reps * region);
+    imbalance = (if meanc = 0.0 then 0.0 else (float_of_int maxc -. meanc) /. meanc);
+  }

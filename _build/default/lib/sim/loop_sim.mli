@@ -1,0 +1,19 @@
+(** Static work-sharing loop simulation (OpenMP parallel for).
+
+    The paper's OpenMP versions of the loop benchmarks (mm, ssf) use
+    work-sharing loops rather than task trees; their cost is a region fork,
+    a static partition of iterations over workers, and an end barrier.
+    This is computed directly (no event loop): the region time is the fork
+    cost plus the maximum per-worker chunk time plus the barrier. *)
+
+type result = {
+  time : int;  (** total virtual cycles for all repetitions *)
+  imbalance : float;
+      (** mean over regions of (max chunk - mean chunk) / mean chunk *)
+}
+
+val run :
+  costs:Costs.t -> workers:int -> reps:int -> leaf_work:int array -> result
+(** [leaf_work] is the work (cycles) of each loop iteration (leaf) of one
+    repetition; iterations are distributed in contiguous static chunks as
+    OpenMP's default schedule does. *)

@@ -1,0 +1,88 @@
+type sync = Nolock_state | Lock of [ `Base | `Peek | `Trylock ]
+type blocked_join = Leapfrog | Random_steal | Plain_wait
+type publicity = All_public | Adaptive of int
+
+type flavor =
+  | Steal_child of {
+      sync : sync;
+      blocked_join : blocked_join;
+      publicity : publicity;
+    }
+  | Steal_parent
+  | Loop_static
+
+type t = { name : string; flavor : flavor; costs : Costs.t }
+
+let wool =
+  {
+    name = "Wool";
+    flavor =
+      Steal_child
+        { sync = Nolock_state; blocked_join = Leapfrog; publicity = Adaptive 4 };
+    costs = Costs.wool;
+  }
+
+let wool_all_public =
+  {
+    name = "Wool(all-public)";
+    flavor =
+      Steal_child
+        { sync = Nolock_state; blocked_join = Leapfrog; publicity = All_public };
+    costs = Costs.wool;
+  }
+
+let cilk = { name = "Cilk++"; flavor = Steal_parent; costs = Costs.cilk }
+
+let tbb =
+  {
+    name = "TBB";
+    flavor =
+      Steal_child
+        {
+          sync = Nolock_state;
+          blocked_join = Random_steal;
+          publicity = All_public;
+        };
+    costs = Costs.tbb;
+  }
+
+let openmp_tasks =
+  {
+    name = "OpenMP";
+    flavor =
+      Steal_child
+        {
+          sync = Lock `Peek;
+          blocked_join = Random_steal;
+          publicity = All_public;
+        };
+    costs = Costs.openmp;
+  }
+
+let openmp_loop =
+  { name = "OpenMP"; flavor = Loop_static; costs = Costs.openmp }
+
+let locked mode name =
+  {
+    name;
+    flavor =
+      Steal_child
+        { sync = Lock mode; blocked_join = Leapfrog; publicity = All_public };
+    costs = Costs.locked_ladder;
+  }
+
+let lock_base = locked `Base "base"
+let lock_peek = locked `Peek "peek"
+let lock_trylock = locked `Trylock "trylock"
+
+let nolock =
+  {
+    name = "nolock";
+    flavor =
+      Steal_child
+        { sync = Nolock_state; blocked_join = Leapfrog; publicity = All_public };
+    (* the direct task stack with every descriptor public: exactly the
+       calibrated Wool costs (C2 = 2 235), which keeps the ladder
+       consistent with Table III *)
+    costs = Costs.wool;
+  }

@@ -1,0 +1,60 @@
+(** Scheduler policies for the simulator.
+
+    A policy pairs a scheduling {e flavor} (the algorithmic behaviour) with
+    a {!Costs.t} profile. The four compared systems and the paper's
+    internal ladders are provided as presets. *)
+
+type sync =
+  | Nolock_state
+      (** direct task stack: synchronise on the task descriptor (peek, then
+          CAS); no lock — the paper's contribution *)
+  | Lock of [ `Base | `Peek | `Trylock ]
+      (** per-worker lock disciplines of §IV-C *)
+
+type blocked_join =
+  | Leapfrog  (** steal only from the thief of the joined task *)
+  | Random_steal  (** steal from anyone (buried-join prone) *)
+  | Plain_wait  (** just poll (for ablation) *)
+
+type publicity = All_public | Adaptive of int
+    (** [Adaptive w]: the §III-B private-task scheme with a [w]-descriptor
+        public window grown by trip-wire steals. *)
+
+type flavor =
+  | Steal_child of {
+      sync : sync;
+      blocked_join : blocked_join;
+      publicity : publicity;
+    }
+  | Steal_parent
+      (** continuation stealing with suspendable syncs (Cilk-style) *)
+  | Loop_static
+      (** static work-sharing over the leaves of a loop-shaped tree
+          (OpenMP parallel for); only valid for trees built by
+          [Task_tree.binary_split] whose leaves the workload exposes *)
+
+type t = { name : string; flavor : flavor; costs : Costs.t }
+
+val wool : t
+(** Direct task stack, leapfrogging, adaptive private tasks. *)
+
+val wool_all_public : t
+(** Wool without private tasks ("no private" row of Table II). *)
+
+val cilk : t
+val tbb : t
+(** Steal-child, random stealing on blocked joins, TBB costs. *)
+
+val openmp_tasks : t
+(** OpenMP tasking for the recursive benchmarks. *)
+
+val openmp_loop : t
+(** OpenMP work-sharing for the loop benchmarks (mm, ssf). *)
+
+val lock_base : t
+val lock_peek : t
+val lock_trylock : t
+(** The §IV-C locking ladder; same costs, different stealing discipline. *)
+
+val nolock : t
+(** §IV-C "nolock" = the direct stack, with ladder-comparable costs. *)

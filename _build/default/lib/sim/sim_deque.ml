@@ -1,0 +1,50 @@
+type 'a t = {
+  dummy : 'a;
+  mutable arr : 'a array;
+  mutable top : int; (* next push index *)
+  mutable bot : int; (* lowest present index *)
+}
+
+let create ~dummy () = { dummy; arr = Array.make 16 dummy; top = 0; bot = 0 }
+
+let grow t =
+  let narr = Array.make (2 * Array.length t.arr) t.dummy in
+  Array.blit t.arr 0 narr 0 t.top;
+  t.arr <- narr
+
+let push t v =
+  if t.top >= Array.length t.arr then grow t;
+  t.arr.(t.top) <- v;
+  t.top <- t.top + 1
+
+let top_index t = t.top
+let bot_index t = t.bot
+let size t = t.top - t.bot
+
+let get t i =
+  if i < t.bot || i >= t.top then invalid_arg "Sim_deque.get: absent index";
+  t.arr.(i)
+
+let pop_present t =
+  if t.top <= t.bot then invalid_arg "Sim_deque.pop_present: nothing present";
+  t.top <- t.top - 1;
+  let v = t.arr.(t.top) in
+  t.arr.(t.top) <- t.dummy;
+  v
+
+let pop_consumed t =
+  if t.top <= 0 || t.top > t.bot then
+    invalid_arg "Sim_deque.pop_consumed: top element still present";
+  t.top <- t.top - 1;
+  t.bot <- t.top
+
+let peek_bot t = if t.top <= t.bot then None else Some t.arr.(t.bot)
+
+let take_bot t =
+  if t.top <= t.bot then invalid_arg "Sim_deque.take_bot: empty";
+  let v = t.arr.(t.bot) in
+  t.arr.(t.bot) <- t.dummy;
+  t.bot <- t.bot + 1;
+  v
+
+let peek_top t = if t.top <= t.bot then None else Some t.arr.(t.top - 1)

@@ -1,0 +1,38 @@
+(** Growable top/bot stack used by each simulated worker.
+
+    Mirrors the direct task stack's index discipline: the owner pushes and
+    pops at [top]; thieves consume from [bot] upward; everything in
+    [\[bot, top)] is present. The simulator is single-threaded, so this
+    needs no synchronisation — the engine charges the synchronisation
+    {e costs} separately. *)
+
+type 'a t
+
+val create : dummy:'a -> unit -> 'a t
+val push : 'a t -> 'a -> unit
+
+val top_index : 'a t -> int
+(** Index the next push will use. *)
+
+val bot_index : 'a t -> int
+val size : 'a t -> int
+(** [top - bot]: elements currently present. *)
+
+val get : 'a t -> int -> 'a
+(** Random access to a present element (used to publish descriptors). *)
+
+val pop_present : 'a t -> 'a
+(** Owner: pop the newest element; it must be present ([size > 0]). *)
+
+val pop_consumed : 'a t -> unit
+(** Owner: account for joining an element that a thief already removed
+    ([size = 0], [top > 0]): moves both [top] and [bot] down. *)
+
+val peek_bot : 'a t -> 'a option
+(** Thief: the oldest present element, if any. *)
+
+val take_bot : 'a t -> 'a
+(** Thief: remove the oldest present element ([size > 0]). *)
+
+val peek_top : 'a t -> 'a option
+(** Newest present element, if any (steal-parent child-return check). *)

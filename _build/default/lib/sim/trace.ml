@@ -1,0 +1,103 @@
+type t = {
+  n_workers : int;
+  n_buckets : int;
+  horizon : int;
+  (* cells.(worker).(bucket).(category) = cycles *)
+  cells : int array array array;
+}
+
+let n_categories = 5
+
+let create ?(buckets = 100) ~workers ~horizon () =
+  if workers <= 0 then invalid_arg "Trace.create: workers must be positive";
+  if horizon <= 0 then invalid_arg "Trace.create: horizon must be positive";
+  if buckets <= 0 then invalid_arg "Trace.create: buckets must be positive";
+  {
+    n_workers = workers;
+    n_buckets = buckets;
+    horizon;
+    cells =
+      Array.init workers (fun _ -> Array.make_matrix buckets n_categories 0);
+  }
+
+let bucket_of t time =
+  let b = time * t.n_buckets / t.horizon in
+  min (t.n_buckets - 1) (max 0 b)
+
+let record t ~worker ~start ~cycles ~category =
+  if worker < 0 || worker >= t.n_workers then
+    invalid_arg "Trace.record: bad worker";
+  if category < 0 || category >= n_categories then
+    invalid_arg "Trace.record: bad category";
+  if cycles > 0 then begin
+    let row = t.cells.(worker) in
+    let b0 = bucket_of t start in
+    let b1 = bucket_of t (start + cycles - 1) in
+    if b0 = b1 then row.(b0).(category) <- row.(b0).(category) + cycles
+    else begin
+      (* spread proportionally over the spanned buckets *)
+      let span = b1 - b0 + 1 in
+      let per = cycles / span and rem = cycles mod span in
+      for b = b0 to b1 do
+        let extra = if b - b0 < rem then 1 else 0 in
+        row.(b).(category) <- row.(b).(category) + per + extra
+      done
+    end
+  end
+
+let workers t = t.n_workers
+let buckets t = t.n_buckets
+
+let dominant t ~worker ~bucket =
+  if worker < 0 || worker >= t.n_workers then None
+  else if bucket < 0 || bucket >= t.n_buckets then None
+  else begin
+    let cell = t.cells.(worker).(bucket) in
+    let best = ref (-1) and best_v = ref 0 in
+    Array.iteri
+      (fun c v ->
+        if v > !best_v then begin
+          best := c;
+          best_v := v
+        end)
+      cell;
+    if !best < 0 then None else Some !best
+  end
+
+let utilization t ~worker =
+  if worker < 0 || worker >= t.n_workers then
+    invalid_arg "Trace.utilization: bad worker";
+  let busy =
+    Array.fold_left
+      (fun acc cell -> acc + Array.fold_left ( + ) 0 cell)
+      0
+      t.cells.(worker)
+  in
+  Float.min 1.0 (float_of_int busy /. float_of_int t.horizon)
+
+(* indices follow Engine.category_index: TR LA NA ST LF *)
+let glyphs = [| 's'; 'l'; '#'; '.'; '~' |]
+
+let render t =
+  let buf = Buffer.create (t.n_workers * (t.n_buckets + 16)) in
+  Buffer.add_string buf
+    (Printf.sprintf "gantt over %d cycles (%d cycles/col)\n" t.horizon
+       (t.horizon / t.n_buckets));
+  for w = 0 to t.n_workers - 1 do
+    Buffer.add_string buf (Printf.sprintf "w%-2d |" w);
+    for b = 0 to t.n_buckets - 1 do
+      let c =
+        match dominant t ~worker:w ~bucket:b with
+        | None -> ' '
+        | Some cat -> glyphs.(cat)
+      in
+      Buffer.add_char buf c
+    done;
+    Buffer.add_string buf
+      (Printf.sprintf "| %3.0f%%\n" (100.0 *. utilization t ~worker:w))
+  done;
+  Buffer.add_string buf
+    "legend: # app work, l leapfrogged work, . stealing, ~ leapfrog wait, s startup\n";
+  Buffer.contents buf
+
+let print t = print_string (render t)

@@ -1,0 +1,1 @@
+lib/util/clock.ml: Array Int64 Monotonic_clock Sys

@@ -1,0 +1,1 @@
+lib/util/plot.ml: Array Buffer Float List Printf Stdlib String

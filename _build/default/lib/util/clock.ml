@@ -1,0 +1,30 @@
+let now_ns () = Int64.to_int (Monotonic_clock.now ())
+
+let scale =
+  ref
+    (match Sys.getenv_opt "WOOL_GHZ" with
+    | Some s -> ( try float_of_string s with Failure _ -> 1.0)
+    | None -> 1.0)
+
+let set_ghz g =
+  if g <= 0.0 then invalid_arg "Clock.set_ghz: scale must be positive";
+  scale := g
+
+let ghz () = !scale
+let to_cycles ns = ns *. !scale
+
+let time f =
+  let t0 = now_ns () in
+  let r = f () in
+  let t1 = now_ns () in
+  (r, float_of_int (t1 - t0))
+
+let time_ns ?(warmup = 1) ?(repeats = 5) f =
+  for _ = 1 to warmup do
+    f ()
+  done;
+  Array.init repeats (fun _ ->
+      let t0 = now_ns () in
+      f ();
+      let t1 = now_ns () in
+      float_of_int (t1 - t0))

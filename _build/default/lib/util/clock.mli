@@ -1,0 +1,27 @@
+(** Wall-clock measurement with a calibrated cycles-per-nanosecond scale.
+
+    The paper reports overheads in CPU cycles read from [rdtsc]. We measure
+    in monotonic nanoseconds and convert through a process-wide scale factor
+    (default 1 cycle/ns, i.e. a nominal 1 GHz core; override with the
+    [WOOL_GHZ] environment variable or {!set_ghz}). All reported "cycle"
+    numbers from real measurements state this convention. *)
+
+val now_ns : unit -> int
+(** Monotonic clock in integer nanoseconds. *)
+
+val set_ghz : float -> unit
+(** Set the cycles-per-nanosecond scale used by {!to_cycles}. *)
+
+val ghz : unit -> float
+(** Current scale (cycles per nanosecond). Initialised from [WOOL_GHZ] when
+    set, else 1.0. *)
+
+val to_cycles : float -> float
+(** [to_cycles ns] converts nanoseconds to nominal cycles. *)
+
+val time : (unit -> 'a) -> 'a * float
+(** [time f] runs [f] once and returns its result with elapsed ns. *)
+
+val time_ns : ?warmup:int -> ?repeats:int -> (unit -> unit) -> float array
+(** [time_ns f] runs [f] [warmup] times untimed (default 1) and then
+    [repeats] timed times (default 5), returning per-run elapsed ns. *)

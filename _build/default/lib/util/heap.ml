@@ -1,0 +1,77 @@
+type 'a entry = { key : int; seq : int; value : 'a }
+
+type 'a t = {
+  mutable data : 'a entry array; (* data.(0 .. size-1) is the heap *)
+  mutable size : int;
+  mutable next_seq : int;
+}
+
+let create () = { data = [||]; size = 0; next_seq = 0 }
+let is_empty t = t.size = 0
+let length t = t.size
+
+(* FIFO among equal keys via the monotonically increasing sequence number. *)
+let lt a b = a.key < b.key || (a.key = b.key && a.seq < b.seq)
+
+let grow t =
+  let cap = Array.length t.data in
+  let ncap = if cap = 0 then 16 else cap * 2 in
+  let dummy = t.data.(0) in
+  let ndata = Array.make ncap dummy in
+  Array.blit t.data 0 ndata 0 t.size;
+  t.data <- ndata
+
+let push t ~key value =
+  let e = { key; seq = t.next_seq; value } in
+  t.next_seq <- t.next_seq + 1;
+  if t.size = 0 && Array.length t.data = 0 then t.data <- Array.make 16 e
+  else if t.size = Array.length t.data then grow t;
+  t.data.(t.size) <- e;
+  t.size <- t.size + 1;
+  (* sift up *)
+  let i = ref (t.size - 1) in
+  while
+    !i > 0
+    &&
+    let p = (!i - 1) / 2 in
+    lt t.data.(!i) t.data.(p)
+  do
+    let p = (!i - 1) / 2 in
+    let tmp = t.data.(p) in
+    t.data.(p) <- t.data.(!i);
+    t.data.(!i) <- tmp;
+    i := p
+  done
+
+let pop t =
+  if t.size = 0 then None
+  else begin
+    let top = t.data.(0) in
+    t.size <- t.size - 1;
+    if t.size > 0 then begin
+      t.data.(0) <- t.data.(t.size);
+      (* sift down *)
+      let i = ref 0 in
+      let continue = ref true in
+      while !continue do
+        let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+        let smallest = ref !i in
+        if l < t.size && lt t.data.(l) t.data.(!smallest) then smallest := l;
+        if r < t.size && lt t.data.(r) t.data.(!smallest) then smallest := r;
+        if !smallest <> !i then begin
+          let tmp = t.data.(!smallest) in
+          t.data.(!smallest) <- t.data.(!i);
+          t.data.(!i) <- tmp;
+          i := !smallest
+        end
+        else continue := false
+      done
+    end;
+    Some (top.key, top.value)
+  end
+
+let peek_key t = if t.size = 0 then None else Some t.data.(0).key
+
+let clear t =
+  t.size <- 0;
+  t.next_seq <- 0

@@ -1,0 +1,23 @@
+(** Binary min-heap keyed by integer priority.
+
+    The simulator's event queue: workers are ordered by the virtual time of
+    their next step. Ties are broken by insertion sequence so simulation is
+    deterministic regardless of heap internals. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val length : 'a t -> int
+
+val push : 'a t -> key:int -> 'a -> unit
+(** Insert with priority [key]. *)
+
+val pop : 'a t -> (int * 'a) option
+(** Remove and return the entry with the smallest key (FIFO among equal
+    keys). *)
+
+val peek_key : 'a t -> int option
+(** Smallest key without removing. *)
+
+val clear : 'a t -> unit

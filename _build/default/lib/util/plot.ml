@@ -1,0 +1,96 @@
+type series = { label : string; points : (float * float) list }
+
+let markers = [| '*'; '+'; 'o'; 'x'; '#'; '@'; '%'; '&' |]
+
+let render ?(width = 60) ?(height = 18) ?title ?xlabel ?ylabel series =
+  let all = List.concat_map (fun s -> s.points) series in
+  if all = [] then "(empty plot)\n"
+  else begin
+    let xs = List.map fst all and ys = List.map snd all in
+    let xmin = List.fold_left Float.min (List.hd xs) xs in
+    let xmax = List.fold_left Float.max (List.hd xs) xs in
+    let ymin = Float.min 0.0 (List.fold_left Float.min (List.hd ys) ys) in
+    let ymax = List.fold_left Float.max (List.hd ys) ys in
+    let ymax = if ymax = ymin then ymin +. 1.0 else ymax in
+    let xspan = if xmax = xmin then 1.0 else xmax -. xmin in
+    let grid = Array.make_matrix height width ' ' in
+    let to_col x =
+      let c = int_of_float (Float.round ((x -. xmin) /. xspan *. float_of_int (width - 1))) in
+      Stdlib.max 0 (Stdlib.min (width - 1) c)
+    in
+    let to_row y =
+      let r =
+        int_of_float
+          (Float.round ((y -. ymin) /. (ymax -. ymin) *. float_of_int (height - 1)))
+      in
+      (height - 1) - Stdlib.max 0 (Stdlib.min (height - 1) r)
+    in
+    List.iteri
+      (fun si s ->
+        let m = markers.(si mod Array.length markers) in
+        (* Connect consecutive points with linear interpolation so the lines
+           read as lines rather than scattered markers. *)
+        let pts = List.sort compare s.points in
+        let rec segments = function
+          | (x0, y0) :: ((x1, y1) :: _ as rest) ->
+              let c0 = to_col x0 and c1 = to_col x1 in
+              let steps = Stdlib.max 1 (abs (c1 - c0)) in
+              for k = 0 to steps do
+                let f = float_of_int k /. float_of_int steps in
+                let x = x0 +. (f *. (x1 -. x0)) and y = y0 +. (f *. (y1 -. y0)) in
+                grid.(to_row y).(to_col x) <- m
+              done;
+              segments rest
+          | [ (x, y) ] -> grid.(to_row y).(to_col x) <- m
+          | [] -> ()
+        in
+        segments pts)
+      series;
+    let buf = Buffer.create (width * height * 2) in
+    (match title with
+    | Some t ->
+        Buffer.add_string buf t;
+        Buffer.add_char buf '\n'
+    | None -> ());
+    (match ylabel with
+    | Some l ->
+        Buffer.add_string buf l;
+        Buffer.add_char buf '\n'
+    | None -> ());
+    let ylab_width = 8 in
+    for r = 0 to height - 1 do
+      let yval = ymax -. (float_of_int r /. float_of_int (height - 1) *. (ymax -. ymin)) in
+      let label =
+        if r = 0 || r = height - 1 || r = (height - 1) / 2 then
+          Printf.sprintf "%*.1f" ylab_width yval
+        else String.make ylab_width ' '
+      in
+      Buffer.add_string buf label;
+      Buffer.add_string buf " |";
+      Buffer.add_string buf (String.init width (fun c -> grid.(r).(c)));
+      Buffer.add_char buf '\n'
+    done;
+    Buffer.add_string buf (String.make ylab_width ' ');
+    Buffer.add_string buf " +";
+    Buffer.add_string buf (String.make width '-');
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Printf.sprintf "%s %-*.1f%*.1f\n" (String.make ylab_width ' ') (width / 2) xmin
+         (width - (width / 2))
+         xmax);
+    (match xlabel with
+    | Some l ->
+        Buffer.add_string buf (String.make ((ylab_width + 2 + width) / 2) ' ');
+        Buffer.add_string buf l;
+        Buffer.add_char buf '\n'
+    | None -> ());
+    List.iteri
+      (fun si s ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %c %s\n" markers.(si mod Array.length markers) s.label))
+      series;
+    Buffer.contents buf
+  end
+
+let print ?width ?height ?title ?xlabel ?ylabel series =
+  print_string (render ?width ?height ?title ?xlabel ?ylabel series)

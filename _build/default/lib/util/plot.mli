@@ -1,0 +1,28 @@
+(** ASCII line plots for the reproduced figures.
+
+    The paper's figures are speedup-vs-processors line charts; this renders
+    the same series as a character grid so the harness output is
+    self-contained in a terminal or a text log. *)
+
+type series = { label : string; points : (float * float) list }
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?title:string ->
+  ?xlabel:string ->
+  ?ylabel:string ->
+  series list ->
+  string
+(** Render series on one chart (default 60x18 plot area). Each series is
+    drawn with its own marker character and listed in a legend. Axis ranges
+    cover all points, with y forced to include 0. *)
+
+val print :
+  ?width:int ->
+  ?height:int ->
+  ?title:string ->
+  ?xlabel:string ->
+  ?ylabel:string ->
+  series list ->
+  unit

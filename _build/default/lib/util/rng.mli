@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random number generation.
+
+    Every stochastic choice in the repository (victim selection in the
+    schedulers, random sparse matrices for [cholesky], property-test inputs
+    that are not driven by qcheck) flows from one of these generators so that
+    experiments are reproducible bit-for-bit from a seed. *)
+
+type t
+(** A splittable xoshiro256** generator. Not thread-safe; give each simulated
+    or real worker its own generator via {!split}. *)
+
+val make : int -> t
+(** [make seed] creates a generator from a 63-bit seed. Equal seeds give
+    equal streams. *)
+
+val split : t -> t
+(** [split t] derives an independent generator and advances [t]. Used to hand
+    a private stream to each worker. *)
+
+val int64 : t -> int64
+(** Next raw 64-bit output. *)
+
+val int : t -> int -> int
+(** [int t bound] is uniform in [\[0, bound)]. Requires [bound > 0]. *)
+
+val float : t -> float -> float
+(** [float t bound] is uniform in [\[0, bound)]. *)
+
+val bool : t -> bool
+(** Fair coin. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates shuffle. *)

@@ -1,0 +1,72 @@
+let mean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0 else Array.fold_left ( +. ) 0.0 xs /. float_of_int n
+
+let sorted xs =
+  let c = Array.copy xs in
+  Array.sort compare c;
+  c
+
+let percentile xs p =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let c = sorted xs in
+    let rank = p /. 100.0 *. float_of_int (n - 1) in
+    let lo = int_of_float (Float.floor rank) in
+    let hi = int_of_float (Float.ceil rank) in
+    if lo = hi then c.(lo)
+    else begin
+      let frac = rank -. float_of_int lo in
+      (c.(lo) *. (1.0 -. frac)) +. (c.(hi) *. frac)
+    end
+  end
+
+let median xs = percentile xs 50.0
+
+let stddev xs =
+  let n = Array.length xs in
+  if n < 2 then 0.0
+  else begin
+    let m = mean xs in
+    let ss = Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0.0 xs in
+    sqrt (ss /. float_of_int (n - 1))
+  end
+
+let min xs = if Array.length xs = 0 then 0.0 else Array.fold_left Float.min xs.(0) xs
+let max xs = if Array.length xs = 0 then 0.0 else Array.fold_left Float.max xs.(0) xs
+
+type summary = {
+  n : int;
+  mean : float;
+  median : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+let summarize xs =
+  { n = Array.length xs;
+    mean = mean xs;
+    median = median xs;
+    stddev = stddev xs;
+    min = min xs;
+    max = max xs }
+
+let pp_summary ppf s =
+  Format.fprintf ppf "n=%d mean=%.3g median=%.3g sd=%.3g min=%.3g max=%.3g"
+    s.n s.mean s.median s.stddev s.min s.max
+
+let geomean xs =
+  let n = Array.length xs in
+  if n = 0 then 0.0
+  else begin
+    let logsum =
+      Array.fold_left
+        (fun acc x ->
+          if x <= 0.0 then invalid_arg "Stats.geomean: non-positive value"
+          else acc +. log x)
+        0.0 xs
+    in
+    exp (logsum /. float_of_int n)
+  end

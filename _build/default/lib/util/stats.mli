@@ -1,0 +1,31 @@
+(** Small descriptive-statistics helpers used by the measurement harness. *)
+
+val mean : float array -> float
+(** Arithmetic mean; 0 for an empty array. *)
+
+val median : float array -> float
+(** Median (average of the middle two for even lengths); 0 for empty. *)
+
+val stddev : float array -> float
+(** Sample standard deviation (n-1 denominator); 0 for fewer than 2 points. *)
+
+val min : float array -> float
+val max : float array -> float
+
+val percentile : float array -> float -> float
+(** [percentile xs p] with [p] in [\[0,100\]], linear interpolation. *)
+
+type summary = {
+  n : int;
+  mean : float;
+  median : float;
+  stddev : float;
+  min : float;
+  max : float;
+}
+
+val summarize : float array -> summary
+val pp_summary : Format.formatter -> summary -> unit
+
+val geomean : float array -> float
+(** Geometric mean of positive values. *)

@@ -1,0 +1,93 @@
+type align = Left | Right
+
+type row = Cells of string list | Sep
+
+type t = {
+  title : string option;
+  header : string list;
+  ncols : int;
+  aligns : align array;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?title ~header () =
+  let ncols = List.length header in
+  if ncols = 0 then invalid_arg "Table.create: empty header";
+  let aligns = Array.make ncols Right in
+  aligns.(0) <- Left;
+  { title; header; ncols; aligns; rows = [] }
+
+let set_align t i a =
+  if i < 0 || i >= t.ncols then invalid_arg "Table.set_align: bad column";
+  t.aligns.(i) <- a
+
+let add_row t cells =
+  let n = List.length cells in
+  if n > t.ncols then invalid_arg "Table.add_row: too many cells";
+  let padded =
+    if n = t.ncols then cells else cells @ List.init (t.ncols - n) (fun _ -> "")
+  in
+  t.rows <- Cells padded :: t.rows
+
+let add_sep t = t.rows <- Sep :: t.rows
+
+let cell_f ?(dec = 1) x = Printf.sprintf "%.*f" dec x
+
+let cell_i n =
+  let s = string_of_int (abs n) in
+  let len = String.length s in
+  let buf = Buffer.create (len + (len / 3) + 1) in
+  if n < 0 then Buffer.add_char buf '-';
+  String.iteri
+    (fun i c ->
+      if i > 0 && (len - i) mod 3 = 0 then Buffer.add_char buf ' ';
+      Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.make t.ncols 0 in
+  let measure cells =
+    List.iteri (fun i c -> widths.(i) <- Stdlib.max widths.(i) (String.length c)) cells
+  in
+  measure t.header;
+  List.iter (function Cells c -> measure c | Sep -> ()) rows;
+  let buf = Buffer.create 1024 in
+  let pad i c =
+    let w = widths.(i) in
+    let l = String.length c in
+    if l >= w then c
+    else begin
+      let fill = String.make (w - l) ' ' in
+      match t.aligns.(i) with Left -> c ^ fill | Right -> fill ^ c
+    end
+  in
+  let total_width =
+    Array.fold_left ( + ) 0 widths + (3 * (t.ncols - 1))
+  in
+  let hline () =
+    Buffer.add_string buf (String.make total_width '-');
+    Buffer.add_char buf '\n'
+  in
+  (match t.title with
+  | Some title ->
+      Buffer.add_string buf title;
+      Buffer.add_char buf '\n'
+  | None -> ());
+  let emit cells =
+    List.iteri
+      (fun i c ->
+        if i > 0 then Buffer.add_string buf " | ";
+        Buffer.add_string buf (pad i c))
+      cells;
+    Buffer.add_char buf '\n'
+  in
+  hline ();
+  emit t.header;
+  hline ();
+  List.iter (function Cells c -> emit c | Sep -> hline ()) rows;
+  hline ();
+  Buffer.contents buf
+
+let print t = print_string (render t)

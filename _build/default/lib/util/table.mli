@@ -1,0 +1,34 @@
+(** Plain-text table rendering for the experiment reports.
+
+    Every reproduced paper table is printed through this module so the
+    harness output lines up column-wise like the paper's tables. *)
+
+type align = Left | Right
+
+type t
+
+val create : ?title:string -> header:string list -> unit -> t
+(** A table with the given column headers. Columns default to right
+    alignment except the first, which is left-aligned. *)
+
+val set_align : t -> int -> align -> unit
+(** Override the alignment of column [i]. *)
+
+val add_row : t -> string list -> unit
+(** Append a row; short rows are padded with empty cells. Rows longer than
+    the header raise [Invalid_argument]. *)
+
+val add_sep : t -> unit
+(** Append a horizontal separator line. *)
+
+val cell_f : ?dec:int -> float -> string
+(** Format a float with [dec] decimals (default 1). *)
+
+val cell_i : int -> string
+(** Format an int with thousands separators ("12 345"). *)
+
+val render : t -> string
+(** Render to a string (with trailing newline). *)
+
+val print : t -> unit
+(** [render] then output on stdout. *)

@@ -1,0 +1,1 @@
+lib/workloads/cholesky.mli: Wool Wool_ir Wool_util

@@ -1,0 +1,1 @@
+lib/workloads/fib.ml: Hashtbl Wool Wool_ir

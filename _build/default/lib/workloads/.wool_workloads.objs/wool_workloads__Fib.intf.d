@@ -1,0 +1,1 @@
+lib/workloads/fib.mli: Wool Wool_ir

@@ -1,0 +1,1 @@
+lib/workloads/knapsack.ml: Array Atomic Wool Wool_ir Wool_util

@@ -1,0 +1,1 @@
+lib/workloads/knapsack.mli: Wool Wool_ir Wool_util

@@ -1,0 +1,1 @@
+lib/workloads/mm.ml: Array Float Wool Wool_ir Wool_util

@@ -1,0 +1,1 @@
+lib/workloads/mm.mli: Wool Wool_ir Wool_util

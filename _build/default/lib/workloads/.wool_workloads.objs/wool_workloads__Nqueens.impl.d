@@ -1,0 +1,1 @@
+lib/workloads/nqueens.ml: List Wool Wool_ir

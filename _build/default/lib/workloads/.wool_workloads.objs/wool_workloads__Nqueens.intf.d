@@ -1,0 +1,1 @@
+lib/workloads/nqueens.mli: Wool Wool_ir

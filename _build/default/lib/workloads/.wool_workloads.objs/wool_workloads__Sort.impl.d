@@ -1,0 +1,1 @@
+lib/workloads/sort.ml: Array Hashtbl Wool Wool_ir

@@ -1,0 +1,1 @@
+lib/workloads/sort.mli: Wool Wool_ir

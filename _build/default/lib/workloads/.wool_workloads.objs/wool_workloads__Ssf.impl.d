@@ -1,0 +1,1 @@
+lib/workloads/ssf.ml: Array String Wool Wool_ir

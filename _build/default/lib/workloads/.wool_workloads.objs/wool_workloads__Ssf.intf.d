@@ -1,0 +1,1 @@
+lib/workloads/ssf.mli: Wool Wool_ir

@@ -1,0 +1,1 @@
+lib/workloads/stress.ml: Atomic Wool Wool_ir

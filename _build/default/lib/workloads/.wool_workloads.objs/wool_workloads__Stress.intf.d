@@ -1,0 +1,1 @@
+lib/workloads/stress.mli: Wool Wool_ir

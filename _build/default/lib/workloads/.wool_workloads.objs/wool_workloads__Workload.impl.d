@@ -1,0 +1,1 @@
+lib/workloads/workload.ml: Cholesky Fib List Mm Printf Sort Ssf Stress Wool_ir

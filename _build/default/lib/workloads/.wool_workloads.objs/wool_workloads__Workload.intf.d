@@ -1,0 +1,1 @@
+lib/workloads/workload.mli: Wool_ir

@@ -1,0 +1,374 @@
+module Tt = Wool_ir.Task_tree
+module Rng = Wool_util.Rng
+
+type qt = Zero | Scalar of float | Quad of qt * qt * qt * qt
+
+let dim _q size_hint = size_hint
+
+(* Cycle weights for the simulator work model. *)
+let c_madd = 4
+let c_div = 20
+let c_sqrt = 30
+let c_merge = 1
+
+(* ---- serial quadtree algebra; every op returns (value, cycles) ---- *)
+
+let shape_error op = invalid_arg ("Cholesky." ^ op ^ ": quadtree shape mismatch")
+
+let rec neg = function
+  | Zero -> Zero
+  | Scalar x -> Scalar (-.x)
+  | Quad (a, b, c, d) -> Quad (neg a, neg b, neg c, neg d)
+
+let rec add a b =
+  match (a, b) with
+  | Zero, x | x, Zero -> (x, c_merge)
+  | Scalar x, Scalar y -> (Scalar (x +. y), c_madd)
+  | Quad (a0, a1, a2, a3), Quad (b0, b1, b2, b3) ->
+      let r0, k0 = add a0 b0 in
+      let r1, k1 = add a1 b1 in
+      let r2, k2 = add a2 b2 in
+      let r3, k3 = add a3 b3 in
+      (Quad (r0, r1, r2, r3), k0 + k1 + k2 + k3 + c_merge)
+  | Scalar _, Quad _ | Quad _, Scalar _ -> shape_error "add"
+
+let rec sub a b =
+  match (a, b) with
+  | x, Zero -> (x, c_merge)
+  | Zero, x -> (neg x, c_merge)
+  | Scalar x, Scalar y -> (Scalar (x -. y), c_madd)
+  | Quad (a0, a1, a2, a3), Quad (b0, b1, b2, b3) ->
+      let r0, k0 = sub a0 b0 in
+      let r1, k1 = sub a1 b1 in
+      let r2, k2 = sub a2 b2 in
+      let r3, k3 = sub a3 b3 in
+      (Quad (r0, r1, r2, r3), k0 + k1 + k2 + k3 + c_merge)
+  | Scalar _, Quad _ | Quad _, Scalar _ -> shape_error "sub"
+
+(* C = A * B^T. Both arguments are square quadrants of the same size. *)
+let rec mul_t a b =
+  match (a, b) with
+  | Zero, _ | _, Zero -> (Zero, 0)
+  | Scalar x, Scalar y -> (Scalar (x *. y), c_madd)
+  | Quad (a00, a01, a10, a11), Quad (b00, b01, b10, b11) ->
+      let quadrant p q r s =
+        let m1, k1 = mul_t p q in
+        let m2, k2 = mul_t r s in
+        let v, k3 = add m1 m2 in
+        (v, k1 + k2 + k3)
+      in
+      let c00, k00 = quadrant a00 b00 a01 b01 in
+      let c01, k01 = quadrant a00 b10 a01 b11 in
+      let c10, k10 = quadrant a10 b00 a11 b01 in
+      let c11, k11 = quadrant a10 b10 a11 b11 in
+      let v =
+        match (c00, c01, c10, c11) with
+        | Zero, Zero, Zero, Zero -> Zero
+        | _ -> Quad (c00, c01, c10, c11)
+      in
+      (v, k00 + k01 + k10 + k11)
+  | Scalar _, Quad _ | Quad _, Scalar _ -> shape_error "mul_t"
+
+(* Solve X * L^T = B for X, with L lower triangular (diagonal quadrants
+   nonsingular). *)
+let rec backsub b l =
+  match (b, l) with
+  | Zero, _ -> (Zero, 0)
+  | Scalar x, Scalar d ->
+      if d = 0.0 then failwith "Cholesky.backsub: singular pivot"
+      else (Scalar (x /. d), c_div)
+  | Quad (b00, b01, b10, b11), Quad (l00, _, l10, l11) ->
+      let x00, k00 = backsub b00 l00 in
+      let x10, k10 = backsub b10 l00 in
+      let col1 x0 b1 =
+        let m, k1 = mul_t x0 l10 in
+        let r, k2 = sub b1 m in
+        let x, k3 = backsub r l11 in
+        (x, k1 + k2 + k3)
+      in
+      let x01, k01 = col1 x00 b01 in
+      let x11, k11 = col1 x10 b11 in
+      let v =
+        match (x00, x01, x10, x11) with
+        | Zero, Zero, Zero, Zero -> Zero
+        | _ -> Quad (x00, x01, x10, x11)
+      in
+      (v, k00 + k10 + k01 + k11)
+  | Scalar _, (Zero | Quad _) | Quad _, (Zero | Scalar _) -> shape_error "backsub"
+
+let rec factor a =
+  match a with
+  | Zero -> failwith "Cholesky.factor: zero diagonal block"
+  | Scalar x ->
+      if x <= 0.0 then failwith "Cholesky.factor: matrix not positive definite"
+      else (Scalar (sqrt x), c_sqrt)
+  | Quad (a00, _, a10, a11) ->
+      let l00, k1 = factor a00 in
+      let l10, k2 = backsub a10 l00 in
+      let m, k3 = mul_t l10 l10 in
+      let a11', k4 = sub a11 m in
+      let l11, k5 = factor a11' in
+      (Quad (l00, Zero, l10, l11), k1 + k2 + k3 + k4 + k5)
+
+let serial_factor a _size = fst (factor a)
+
+(* ---- construction ---- *)
+
+let rec insert q size i j v =
+  if size = 1 then
+    match q with
+    | Zero -> Scalar v
+    | Scalar x -> Scalar (x +. v)
+    | Quad _ -> shape_error "insert"
+  else begin
+    let half = size / 2 in
+    let q00, q01, q10, q11 =
+      match q with
+      | Zero -> (Zero, Zero, Zero, Zero)
+      | Quad (a, b, c, d) -> (a, b, c, d)
+      | Scalar _ -> shape_error "insert"
+    in
+    let i' = i mod half and j' = j mod half in
+    if i < half && j < half then Quad (insert q00 half i' j' v, q01, q10, q11)
+    else if i < half then Quad (q00, insert q01 half i' j' v, q10, q11)
+    else if j < half then Quad (q00, q01, insert q10 half i' j' v, q11)
+    else Quad (q00, q01, q10, insert q11 half i' j' v)
+  end
+
+let rec pow2_at_least n k = if k >= n then k else pow2_at_least n (2 * k)
+
+let random_spd rng ~n ~nz =
+  if n <= 0 then invalid_arg "Cholesky.random_spd: size must be positive";
+  let size = pow2_at_least n 1 in
+  let row_sum = Array.make n 0.0 in
+  let q = ref Zero in
+  for _ = 1 to nz do
+    let i = 1 + Rng.int rng (max 1 (n - 1)) in
+    let j = Rng.int rng i in
+    (* below-diagonal entry; duplicates just accumulate *)
+    let v = 0.01 +. Rng.float rng 0.99 in
+    q := insert !q size i j v;
+    row_sum.(i) <- row_sum.(i) +. v;
+    row_sum.(j) <- row_sum.(j) +. v
+  done;
+  (* Diagonal dominance makes the (symmetric completion of the) matrix
+     positive definite; padded rows get unit pivots. *)
+  for i = 0 to size - 1 do
+    let d = if i < n then 1.0 +. row_sum.(i) else 1.0 in
+    q := insert !q size i i d
+  done;
+  (!q, size)
+
+let rec nonzeros = function
+  | Zero -> 0
+  | Scalar _ -> 1
+  | Quad (a, b, c, d) -> nonzeros a + nonzeros b + nonzeros c + nonzeros d
+
+let to_dense q size =
+  let m = Array.make_matrix size size 0.0 in
+  let rec go q size r c =
+    match q with
+    | Zero -> ()
+    | Scalar v -> m.(r).(c) <- v
+    | Quad (q00, q01, q10, q11) ->
+        let half = size / 2 in
+        go q00 half r c;
+        go q01 half r (c + half);
+        go q10 half (r + half) c;
+        go q11 half (r + half) (c + half)
+  in
+  go q size 0 0;
+  m
+
+let of_dense m =
+  let n = Array.length m in
+  let size = pow2_at_least n 1 in
+  let q = ref Zero in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if m.(i).(j) <> 0.0 then q := insert !q size i j m.(i).(j)
+    done
+  done;
+  (!q, size)
+
+let check_factor ?(eps = 1e-6) ~a ~l size =
+  let da = to_dense a size and dl = to_dense l size in
+  let ok = ref true in
+  for i = 0 to size - 1 do
+    for j = 0 to i do
+      (* lower triangle of L L^T vs the stored lower triangle of A *)
+      let s = ref 0.0 in
+      for k = 0 to size - 1 do
+        s := !s +. (dl.(i).(k) *. dl.(j).(k))
+      done;
+      if Float.abs (!s -. da.(i).(j)) > eps then ok := false
+    done
+  done;
+  !ok
+
+(* ---- real-runtime (Wool) factorisation ---- *)
+
+(* Below this quadrant size the recursion runs serially; mirrors the leaf
+   blocks of the Cilk original and keeps task granularity near the paper's
+   ~200 cycles. *)
+let task_cutoff = 4
+
+let rec w_mul_t ctx a b size =
+  if size <= task_cutoff then fst (mul_t a b)
+  else
+    match (a, b) with
+    | Zero, _ | _, Zero -> Zero
+    | Quad (a00, a01, a10, a11), Quad (b00, b01, b10, b11) ->
+        let half = size / 2 in
+        let quadrant ctx p q r s =
+          let m2 = Wool.spawn ctx (fun ctx -> w_mul_t ctx r s half) in
+          let m1 = w_mul_t ctx p q half in
+          let m2 = Wool.join ctx m2 in
+          fst (add m1 m2)
+        in
+        let f01 =
+          Wool.spawn ctx (fun ctx -> quadrant ctx a00 b10 a01 b11)
+        in
+        let f10 =
+          Wool.spawn ctx (fun ctx -> quadrant ctx a10 b00 a11 b01)
+        in
+        let f11 =
+          Wool.spawn ctx (fun ctx -> quadrant ctx a10 b10 a11 b11)
+        in
+        let c00 = quadrant ctx a00 b00 a01 b01 in
+        let c11 = Wool.join ctx f11 in
+        let c10 = Wool.join ctx f10 in
+        let c01 = Wool.join ctx f01 in
+        (match (c00, c01, c10, c11) with
+        | Zero, Zero, Zero, Zero -> Zero
+        | _ -> Quad (c00, c01, c10, c11))
+    | Scalar _, _ | _, Scalar _ -> shape_error "w_mul_t"
+
+let rec w_backsub ctx b l size =
+  if size <= task_cutoff then fst (backsub b l)
+  else
+    match (b, l) with
+    | Zero, _ -> Zero
+    | Quad (b00, b01, b10, b11), Quad (l00, _, l10, l11) ->
+        let half = size / 2 in
+        let col ctx b0 b1 =
+          let x0 = w_backsub ctx b0 l00 half in
+          let m = w_mul_t ctx x0 l10 half in
+          let x1 = w_backsub ctx (fst (sub b1 m)) l11 half in
+          (x0, x1)
+        in
+        let bottom = Wool.spawn ctx (fun ctx -> col ctx b10 b11) in
+        let x00, x01 = col ctx b00 b01 in
+        let x10, x11 = Wool.join ctx bottom in
+        (match (x00, x01, x10, x11) with
+        | Zero, Zero, Zero, Zero -> Zero
+        | _ -> Quad (x00, x01, x10, x11))
+    | Scalar _, _ | _, (Zero | Scalar _) -> shape_error "w_backsub"
+
+let rec w_factor ctx a size =
+  if size <= task_cutoff then fst (factor a)
+  else
+    match a with
+    | Quad (a00, _, a10, a11) ->
+        let half = size / 2 in
+        let l00 = w_factor ctx a00 half in
+        let l10 = w_backsub ctx a10 l00 half in
+        let m = w_mul_t ctx l10 l10 half in
+        let a11' = fst (sub a11 m) in
+        let l11 = w_factor ctx a11' half in
+        Quad (l00, Zero, l10, l11)
+    | Zero | Scalar _ -> fst (factor a)
+
+let wool_factor ctx a size = w_factor ctx a size
+
+(* ---- simulator task-tree recorder: same recursion, emitting nodes ---- *)
+
+let work_leaf cycles = Tt.leaf (max 1 cycles)
+
+let rec t_mul_t a b size =
+  if size <= task_cutoff then begin
+    let v, k = mul_t a b in
+    (v, work_leaf k)
+  end
+  else
+    match (a, b) with
+    | Zero, _ | _, Zero -> (Zero, work_leaf 1)
+    | Quad (a00, a01, a10, a11), Quad (b00, b01, b10, b11) ->
+        let half = size / 2 in
+        let quadrant p q r s =
+          let m1, t1 = t_mul_t p q half in
+          let m2, t2 = t_mul_t r s half in
+          let v, k = add m1 m2 in
+          (v, Tt.fork2 ~post:k t1 t2)
+        in
+        let c00, t00 = quadrant a00 b00 a01 b01 in
+        let c01, t01 = quadrant a00 b10 a01 b11 in
+        let c10, t10 = quadrant a10 b00 a11 b01 in
+        let c11, t11 = quadrant a10 b10 a11 b11 in
+        let v =
+          match (c00, c01, c10, c11) with
+          | Zero, Zero, Zero, Zero -> Zero
+          | _ -> Quad (c00, c01, c10, c11)
+        in
+        (v, Tt.spawn_all [ t00; t01; t10; t11 ])
+    | Scalar _, _ | _, Scalar _ -> shape_error "t_mul_t"
+
+let rec t_backsub b l size =
+  if size <= task_cutoff then begin
+    let v, k = backsub b l in
+    (v, work_leaf k)
+  end
+  else
+    match (b, l) with
+    | Zero, _ -> (Zero, work_leaf 1)
+    | Quad (b00, b01, b10, b11), Quad (l00, _, l10, l11) ->
+        let half = size / 2 in
+        let col b0 b1 =
+          let x0, t0 = t_backsub b0 l00 half in
+          let m, tm = t_mul_t x0 l10 half in
+          let r, k = sub b1 m in
+          let x1, t1 = t_backsub r l11 half in
+          (* sequential chain inside the column task *)
+          (x0, x1, Tt.make [ Tt.Call t0; Tt.Call tm; Tt.Work (max 1 k); Tt.Call t1 ])
+        in
+        let x00, x01, ttop = col b00 b01 in
+        let x10, x11, tbot = col b10 b11 in
+        let v =
+          match (x00, x01, x10, x11) with
+          | Zero, Zero, Zero, Zero -> Zero
+          | _ -> Quad (x00, x01, x10, x11)
+        in
+        (v, Tt.fork2 ttop tbot)
+    | Scalar _, _ | _, (Zero | Scalar _) -> shape_error "t_backsub"
+
+let rec t_factor a size =
+  if size <= task_cutoff then begin
+    let v, k = factor a in
+    (v, work_leaf k)
+  end
+  else
+    match a with
+    | Quad (a00, _, a10, a11) ->
+        let half = size / 2 in
+        let l00, t1 = t_factor a00 half in
+        let l10, t2 = t_backsub a10 l00 half in
+        let m, t3 = t_mul_t l10 l10 half in
+        let a11', k4 = sub a11 m in
+        let l11, t5 = t_factor a11' half in
+        (* the Cilk original spawns each phase and syncs immediately:
+           spawn/join pairs with no overlap, but they count as tasks *)
+        ( Quad (l00, Zero, l10, l11),
+          Tt.make
+            [
+              Tt.Spawn t1; Tt.Join; Tt.Spawn t2; Tt.Join; Tt.Spawn t3; Tt.Join;
+              Tt.Work (max 1 k4); Tt.Spawn t5; Tt.Join;
+            ] )
+    | Zero | Scalar _ ->
+        let v, k = factor a in
+        (v, work_leaf k)
+
+let tree ?(seed = 7) ~n ~nz () =
+  let rng = Rng.make seed in
+  let a, size = random_spd rng ~n ~nz in
+  let _, t = t_factor a size in
+  t

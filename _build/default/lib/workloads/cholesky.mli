@@ -1,0 +1,47 @@
+(** Sparse Cholesky factorisation on quadtree matrices (§IV-A; after the
+    Cilk-5 distribution's [cholesky]).
+
+    The matrix is a power-of-two quadtree with scalar leaves and explicit
+    zero quadrants; sparsity prunes whole subtrees. The factorisation is
+    the classic recursive scheme — factor the leading quadrant, triangular
+    solve for the off-diagonal, symmetric rank update, factor the trailing
+    quadrant — with the solves and update quadrants spawned as nested
+    tasks. The task tree is therefore data-dependent, which is what gives
+    cholesky its small load-balancing granularity in Table I.
+
+    Inputs are generated like the paper's: a random sparse symmetric
+    pattern of [nz] below-diagonal nonzeros on an [n x n] matrix, made
+    positive definite by diagonal dominance. *)
+
+type qt = Zero | Scalar of float | Quad of qt * qt * qt * qt
+
+val dim : qt -> int -> int
+(** [dim q size_hint] — quadtrees don't store their size; operations take
+    it as a parameter. Returns [size_hint] (identity; documentation aid). *)
+
+val random_spd : Wool_util.Rng.t -> n:int -> nz:int -> qt * int
+(** A random sparse SPD matrix (lower triangle stored) and its padded
+    power-of-two size. The actual distinct below-diagonal nonzero count is
+    at most [nz] (duplicates collapse). *)
+
+val serial_factor : qt -> int -> qt
+(** Sequential Cholesky: returns lower-triangular [L] with [L Lt = A].
+    Raises [Failure] on a non-positive pivot. *)
+
+val wool_factor : Wool.ctx -> qt -> int -> qt
+(** Task-parallel factorisation on the real runtime. *)
+
+val to_dense : qt -> int -> float array array
+val of_dense : float array array -> qt * int
+
+val check_factor : ?eps:float -> a:qt -> l:qt -> int -> bool
+(** Verify [L Lt = A] on the lower triangle (dense expansion; use on small
+    sizes). *)
+
+val tree : ?seed:int -> n:int -> nz:int -> unit -> Wool_ir.Task_tree.t
+(** Simulator task tree recorded from an instrumented factorisation of a
+    random instance: same spawn structure, leaf work = flop-proportional
+    cycles. Deterministic in [seed]. *)
+
+val nonzeros : qt -> int
+(** Scalar leaves in the quadtree (diagnostics). *)

@@ -1,0 +1,16 @@
+(** The Fibonacci micro-benchmark (Figure 2), with no cut-off.
+
+    The extreme of small task granularity: a task for every ~13 cycles of
+    useful work. Makes modest demands on load balancing (subtrees near the
+    root are large), so it isolates pure task-management overhead. *)
+
+val serial : int -> int
+(** Plain recursive fib, the no-overhead baseline [T_S]. *)
+
+val wool : Wool.ctx -> int -> int
+(** The SPAWN/CALL/JOIN version of Figure 2. *)
+
+val tree : int -> Wool_ir.Task_tree.t
+(** Simulator task tree for [fib n]; internal tasks carry ~13 cycles of
+    local work, leaves ~5, matching the paper's granularity. Memoised, so
+    the DAG has [n+1] distinct nodes. *)

@@ -1,0 +1,112 @@
+module Tt = Wool_ir.Task_tree
+module Rng = Wool_util.Rng
+
+type item = { weight : int; value : int }
+
+let random_items rng ~n ~max_weight =
+  let items =
+    Array.init n (fun _ ->
+        { weight = 1 + Rng.int rng max_weight; value = 1 + Rng.int rng 100 })
+  in
+  (* decreasing value density, for the fractional-relaxation bound *)
+  Array.sort
+    (fun a b ->
+      compare (b.value * a.weight) (a.value * b.weight))
+    items;
+  items
+
+(* Fractional-relaxation upper bound for the remaining items. *)
+let bound items n i cap value =
+  let rec go i cap acc =
+    if i >= n || cap = 0 then acc
+    else begin
+      let it = items.(i) in
+      if it.weight <= cap then go (i + 1) (cap - it.weight) (acc + it.value)
+      else acc + (it.value * cap / it.weight)
+    end
+  in
+  go i cap value
+
+let serial items ~capacity =
+  let n = Array.length items in
+  let best = ref 0 in
+  let rec go i cap value =
+    if value > !best then best := value;
+    if i < n && bound items n i cap value > !best then begin
+      let it = items.(i) in
+      if it.weight <= cap then go (i + 1) (cap - it.weight) (value + it.value);
+      go (i + 1) cap value
+    end
+  in
+  go 0 capacity 0;
+  !best
+
+let wool ctx ?(cutoff = 8) items ~capacity =
+  let n = Array.length items in
+  (* The best-so-far is shared across workers; stale reads only weaken the
+     pruning (more work), never the result. *)
+  let best = Atomic.make 0 in
+  let rec improve v =
+    let cur = Atomic.get best in
+    if v > cur && not (Atomic.compare_and_set best cur v) then improve v
+  in
+  let rec go ctx i cap value =
+    improve value;
+    if i < n && bound items n i cap value > Atomic.get best then begin
+      let it = items.(i) in
+      if i < cutoff then begin
+        let excl = Wool.spawn ctx (fun ctx -> go ctx (i + 1) cap value) in
+        if it.weight <= cap then go ctx (i + 1) (cap - it.weight) (value + it.value);
+        Wool.join ctx excl
+      end
+      else begin
+        if it.weight <= cap then go ctx (i + 1) (cap - it.weight) (value + it.value);
+        go ctx (i + 1) cap value
+      end
+    end
+  in
+  go ctx 0 capacity 0;
+  Atomic.get best
+
+let cycles_per_node = 12
+
+(* Record the serial exploration as a task tree: spawning levels fork the
+   include/exclude branches; deeper levels collapse into leaves weighted
+   by their visited-node count. *)
+let tree ?(seed = 17) ?(cutoff = 8) ~n ~capacity () =
+  let rng = Rng.make seed in
+  let items = random_items rng ~n ~max_weight:(max 1 (capacity / 4)) in
+  let best = ref 0 in
+  let rec count i cap value =
+    if value > !best then best := value;
+    if i < n && bound items n i cap value > !best then begin
+      let it = items.(i) in
+      let a =
+        if it.weight <= cap then count (i + 1) (cap - it.weight) (value + it.value)
+        else 0
+      in
+      let b = count (i + 1) cap value in
+      1 + a + b
+    end
+    else 1
+  in
+  let rec go i cap value =
+    if value > !best then best := value;
+    if i < n && bound items n i cap value > !best then begin
+      let it = items.(i) in
+      if i < cutoff then begin
+        let incl =
+          if it.weight <= cap then
+            Some (go (i + 1) (cap - it.weight) (value + it.value))
+          else None
+        in
+        let excl = go (i + 1) cap value in
+        match incl with
+        | Some a -> Tt.fork2 ~pre:cycles_per_node a excl
+        | None -> Tt.make [ Tt.Work cycles_per_node; Tt.Call excl ]
+      end
+      else Tt.leaf (cycles_per_node * count i cap value)
+    end
+    else Tt.leaf cycles_per_node
+  in
+  go 0 capacity 0

@@ -1,0 +1,26 @@
+(** 0/1 knapsack by branch and bound (after the Cilk benchmark).
+
+    A second beyond-the-paper workload: the bound makes subtree sizes
+    wildly unequal and input-dependent, which is exactly the "task
+    execution times can not be predicted in advance" situation (§II) that
+    motivates automatic granularity control. The parallel version is
+    speculative: both branches are explored with the bound computed
+    against the best value known at spawn time, so it may visit more nodes
+    than the serial order does, but the optimum is unchanged. *)
+
+type item = { weight : int; value : int }
+
+val random_items : Wool_util.Rng.t -> n:int -> max_weight:int -> item array
+(** Items sorted by decreasing value density (required by the bound). *)
+
+val serial : item array -> capacity:int -> int
+(** Best achievable value. *)
+
+val wool : Wool.ctx -> ?cutoff:int -> item array -> capacity:int -> int
+(** Task-parallel search; branches above [cutoff] depth (default 8)
+    spawn. *)
+
+val tree : ?seed:int -> ?cutoff:int -> n:int -> capacity:int -> unit ->
+  Wool_ir.Task_tree.t
+(** Simulator tree recorded from the serial exploration of a random
+    instance (~12 cycles per visited node). *)

@@ -1,0 +1,25 @@
+(** Dense matrix multiply (not blocked), outermost loop parallelised
+    (§IV-A; from the Wool distribution). *)
+
+type matrix = float array array
+
+val random_matrix : Wool_util.Rng.t -> int -> matrix
+
+val serial : matrix -> matrix -> matrix
+(** Triple-loop [C = A * B]. *)
+
+val wool : Wool.ctx -> matrix -> matrix -> matrix
+(** Outer loop over rows as a balanced task tree (grain 1). *)
+
+val equal : ?eps:float -> matrix -> matrix -> bool
+
+val row_work : int -> int
+(** Modelled cycles to compute one result row for size [n] (~3.7 cycles
+    per multiply-add, calibrated so mm 64 has the paper's ~976k-cycle
+    repetition). *)
+
+val tree : int -> Wool_ir.Task_tree.t
+(** Simulator tree: balanced binary split over [n] row tasks. *)
+
+val loop_leaves : int -> int array
+(** Per-iteration work for the OpenMP work-sharing schedule. *)

@@ -1,0 +1,22 @@
+(** N-queens solution counting by exhaustive backtracking.
+
+    Not part of the paper's grid, but a standard member of the Cilk/Wool
+    fine-grained benchmark family: an irregular tree (subtree sizes depend
+    on how early branches are pruned) with tiny per-node work, used here to
+    validate the runtime beyond the paper's four applications and as an
+    extra simulator workload. Each row placement spawns the children of
+    surviving prefixes. *)
+
+val serial : int -> int
+(** Number of solutions for an [n x n] board. *)
+
+val wool : Wool.ctx -> ?cutoff:int -> int -> int
+(** Task-parallel count: placements above the [cutoff] depth (default 3)
+    spawn, deeper ones run serially. *)
+
+val tree : ?cutoff:int -> int -> Wool_ir.Task_tree.t
+(** Simulator task tree recorded from the same recursion; leaf work models
+    the serial subtree's node count at ~8 cycles per placement test. *)
+
+val known : (int * int) list
+(** Reference values for n = 1..10 (for tests). *)

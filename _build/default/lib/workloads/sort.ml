@@ -1,0 +1,102 @@
+module Tt = Wool_ir.Task_tree
+
+(* Merge src.[lo,mid) and src.[mid,hi) into dst.[lo,hi). *)
+let merge ~src ~dst lo mid hi =
+  let i = ref lo and j = ref mid in
+  for k = lo to hi - 1 do
+    if !i < mid && (!j >= hi || src.(!i) <= src.(!j)) then begin
+      dst.(k) <- src.(!i);
+      incr i
+    end
+    else begin
+      dst.(k) <- src.(!j);
+      incr j
+    end
+  done
+
+let insertion_sort a lo hi =
+  for i = lo + 1 to hi - 1 do
+    let v = a.(i) in
+    let j = ref (i - 1) in
+    while !j >= lo && a.(!j) > v do
+      a.(!j + 1) <- a.(!j);
+      decr j
+    done;
+    a.(!j + 1) <- v
+  done
+
+let base_cutoff = 16
+
+(* Sort a.[lo,hi) leaving the result in [a]; [tmp] is scratch. *)
+let rec msort a tmp lo hi =
+  if hi - lo <= base_cutoff then insertion_sort a lo hi
+  else begin
+    let mid = lo + ((hi - lo) / 2) in
+    msort a tmp lo mid;
+    msort a tmp mid hi;
+    Array.blit a lo tmp lo (hi - lo);
+    merge ~src:tmp ~dst:a lo mid hi
+  end
+
+let serial input =
+  let a = Array.copy input in
+  let tmp = Array.make (Array.length a) 0 in
+  msort a tmp 0 (Array.length a);
+  a
+
+let wool ctx ?(cutoff = 64) input =
+  let a = Array.copy input in
+  let tmp = Array.make (Array.length a) 0 in
+  let rec go ctx lo hi =
+    if hi - lo <= cutoff then msort a tmp lo hi
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      let right = Wool.spawn ctx (fun ctx -> go ctx mid hi) in
+      go ctx lo mid;
+      Wool.join ctx right;
+      (* both halves sorted in place; merge through private scratch *)
+      Array.blit a lo tmp lo (hi - lo);
+      merge ~src:tmp ~dst:a lo mid hi
+    end
+  in
+  Wool.call ctx (fun ctx -> go ctx 0 (Array.length a));
+  a
+
+let is_sorted a =
+  let ok = ref true in
+  for i = 0 to Array.length a - 2 do
+    if a.(i) > a.(i + 1) then ok := false
+  done;
+  !ok
+
+(* work model: ~8 cycles per element in the base-case sort, ~6 per element
+   merged at each internal node *)
+let cycles_base = 8
+let cycles_merge = 6
+
+let tree ?(cutoff = 64) n =
+  if n <= 0 then invalid_arg "Sort.tree: size must be positive";
+  let memo = Hashtbl.create 32 in
+  let rec build n =
+    match Hashtbl.find_opt memo n with
+    | Some t -> t
+    | None ->
+        let t =
+          if n <= cutoff then
+            (* n log n-ish base case, modelled linearly with a slope *)
+            Tt.leaf (cycles_base * n)
+          else begin
+            let half = n / 2 in
+            let rest = n - half in
+            Tt.fork2 ~post:(cycles_merge * n) (build half) (build rest)
+          end
+        in
+        Hashtbl.add memo n t;
+        t
+  in
+  build n
+
+let loop_leaves _ =
+  invalid_arg
+    "Sort.loop_leaves: mergesort is not a parallel loop; there is no \
+     work-sharing schedule for it"

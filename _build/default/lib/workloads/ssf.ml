@@ -1,0 +1,74 @@
+module Tt = Wool_ir.Task_tree
+
+let subject n =
+  if n < 0 then invalid_arg "Ssf.subject: negative index";
+  let rec go n =
+    if n = 0 then "a" else if n = 1 then "b" else go (n - 1) ^ go (n - 2)
+  in
+  (* Build iteratively to avoid exponential recomputation. *)
+  if n <= 1 then go n
+  else begin
+    let a = ref "a" and b = ref "b" in
+    for _ = 2 to n do
+      let c = !b ^ !a in
+      a := !b;
+      b := c
+    done;
+    !b
+  end
+
+(* Longest common extension of suffixes at i and j; counts are exact so the
+   simulator work model mirrors the real inner loop. *)
+let match_length s i j =
+  let n = String.length s in
+  let k = ref 0 in
+  while i + !k < n && j + !k < n && s.[i + !k] = s.[j + !k] do
+    incr k
+  done;
+  !k
+
+let best_for s i =
+  let n = String.length s in
+  let best_pos = ref 0 and best_len = ref (-1) in
+  for j = 0 to n - 1 do
+    if j <> i then begin
+      let m = match_length s i j in
+      if m > !best_len then begin
+        best_len := m;
+        best_pos := j
+      end
+    end
+  done;
+  (!best_pos, !best_len)
+
+let serial s = Array.init (String.length s) (fun i -> best_for s i)
+
+let wool ctx s =
+  let n = String.length s in
+  let out = Array.make n (0, 0) in
+  Wool.parallel_for ctx ~grain:1 0 n (fun i -> out.(i) <- best_for s i);
+  out
+
+let position_comparisons s =
+  let n = String.length s in
+  Array.init n (fun i ->
+      let total = ref 0 in
+      for j = 0 to n - 1 do
+        if j <> i then total := !total + match_length s i j + 1
+      done;
+      !total)
+
+let cycles_per_comparison = 2
+let split_overhead = 4
+
+let tree n =
+  let s = subject n in
+  let comps = position_comparisons s in
+  let leaves =
+    Array.map (fun c -> Tt.leaf (cycles_per_comparison * c)) comps
+  in
+  Tt.binary_split ~grain_merge:split_overhead leaves
+
+let loop_leaves n =
+  let s = subject n in
+  Array.map (fun c -> cycles_per_comparison * c) (position_comparisons s)

@@ -1,0 +1,30 @@
+(** Sub-string finder (§IV-A; after the TBB SubStringFinder example).
+
+    The subject string is the Fibonacci-string recursion
+    [s_n = s_(n-1) ^ s_(n-2)] with [s_0 = "a"], [s_1 = "b"]. For every
+    position the benchmark finds the other position from which the longest
+    identical substring starts. Per-position work is highly irregular
+    (Fibonacci strings are self-similar), which is what makes this an
+    interesting load-balancing case. *)
+
+val subject : int -> string
+(** The Fibonacci string [s_n]; length fib(n) (1, 1, 2, 3, 5, ...). *)
+
+val serial : string -> (int * int) array
+(** For each position [i]: [(best_pos, best_len)], the starting position
+    [<> i] of the longest common substring and its length (first maximum
+    wins, scanning left to right). *)
+
+val wool : Wool.ctx -> string -> (int * int) array
+(** Positions parallelised as a balanced task tree. *)
+
+val position_comparisons : string -> int array
+(** Character comparisons the serial algorithm performs per position — the
+    simulator's per-leaf work model. *)
+
+val tree : int -> Wool_ir.Task_tree.t
+(** Simulator tree for subject [s_n]: binary split over position leaves
+    weighted by {!position_comparisons} (2 cycles per comparison). *)
+
+val loop_leaves : int -> int array
+(** Per-position work for the OpenMP work-sharing schedule. *)

@@ -1,0 +1,47 @@
+module Tt = Wool_ir.Task_tree
+
+(* The leaf loop: simple integer work with no memory references. The sink
+   defeats dead-code elimination and doubles as a checksum. *)
+let sink = Atomic.make 0
+
+let leaf_loop iters =
+  let acc = ref 0 in
+  for i = 1 to iters do
+    acc := !acc + (i land 7)
+  done;
+  !acc
+
+let leaf_result () = Atomic.get sink
+let reset_leaf_result () = Atomic.set sink 0
+
+let serial ~height ~leaf_iters =
+  let total = ref 0 in
+  for _ = 1 to 1 lsl height do
+    total := !total + leaf_loop leaf_iters
+  done;
+  ignore (Atomic.fetch_and_add sink !total : int)
+
+let rec wool ctx ~height ~leaf_iters =
+  if height = 0 then
+    ignore (Atomic.fetch_and_add sink (leaf_loop leaf_iters) : int)
+  else begin
+    let right =
+      Wool.spawn ctx (fun ctx -> wool ctx ~height:(height - 1) ~leaf_iters)
+    in
+    wool ctx ~height:(height - 1) ~leaf_iters;
+    Wool.join ctx right
+  end
+
+let cycles_per_iter = 2
+let node_overhead = 4
+
+let tree ~height ~leaf_iters =
+  if height < 0 then invalid_arg "Stress.tree: negative height";
+  let rec build h =
+    if h = 0 then Tt.leaf (cycles_per_iter * leaf_iters)
+    else begin
+      let child = build (h - 1) in
+      Tt.fork2 ~pre:node_overhead ~post:node_overhead child child
+    end
+  in
+  build height

@@ -1,0 +1,24 @@
+(** The stress micro-benchmark (§IV-A): precisely controllable parallelism
+    and granularity.
+
+    One repetition is a balanced binary tree of tasks of the given height;
+    each leaf runs a simple loop with no memory references ([2] cycles per
+    iteration on the paper's machine). Leaf granularity and tree height
+    control the parallel-region size; repetitions serialise between trees,
+    stressing load-balancing performance. *)
+
+val serial : height:int -> leaf_iters:int -> unit
+(** Run one tree's worth of leaf loops sequentially (baseline). *)
+
+val wool : Wool.ctx -> height:int -> leaf_iters:int -> unit
+(** One tree of tasks on the real runtime. *)
+
+val leaf_result : unit -> int
+(** Accumulated checksum of the real leaf loops (defeats dead-code
+    elimination; also a cross-mode correctness check). *)
+
+val reset_leaf_result : unit -> unit
+
+val tree : height:int -> leaf_iters:int -> Wool_ir.Task_tree.t
+(** Simulator tree: height [h] with [2 cycles x leaf_iters] leaves. The
+    whole tree is 2 DAG nodes per level. *)

@@ -1,0 +1,73 @@
+module Tt = Wool_ir.Task_tree
+
+type t = {
+  name : string;
+  params : string;
+  reps : int;
+  region : Tt.t;
+  loop_leaves : int array option;
+}
+
+let v ?loop_leaves ~name ~params ~reps region =
+  if reps <= 0 then invalid_arg "Workload.v: reps must be positive";
+  { name; params; reps; region; loop_leaves }
+
+let root t = Tt.make (List.init t.reps (fun _ -> Tt.Call t.region))
+let label t = Printf.sprintf "%s(%s)" t.name t.params
+
+let fib ?(reps = 1) n =
+  v ~name:"fib" ~params:(string_of_int n) ~reps (Fib.tree n)
+
+let stress ?(reps = 16) ~height ~leaf_iters () =
+  v ~name:"stress"
+    ~params:(Printf.sprintf "%d,%d" leaf_iters height)
+    ~reps
+    (Stress.tree ~height ~leaf_iters)
+
+let mm ?(reps = 16) n =
+  v ~name:"mm" ~params:(string_of_int n) ~reps
+    ~loop_leaves:(Mm.loop_leaves n) (Mm.tree n)
+
+let ssf ?(reps = 16) n =
+  v ~name:"ssf" ~params:(string_of_int n) ~reps
+    ~loop_leaves:(Ssf.loop_leaves n) (Ssf.tree n)
+
+let cholesky ?(reps = 4) ?(seed = 7) ~n ~nz () =
+  v ~name:"cholesky"
+    ~params:(Printf.sprintf "%d,%d" n nz)
+    ~reps
+    (Cholesky.tree ~seed ~n ~nz ())
+
+let sort ?(reps = 8) n =
+  v ~name:"sort" ~params:(string_of_int n) ~reps (Sort.tree n)
+
+let spawn_loop ?(reps = 1) ~n ~leaf_work () =
+  v ~name:"spawn_loop"
+    ~params:(Printf.sprintf "%d,%d" n leaf_work)
+    ~reps
+    (let leaf = Tt.leaf leaf_work in
+     Tt.spawn_all (List.init n (fun _ -> leaf)))
+
+(* Scaled-down version of Table I's grid: same workload families and the
+   same direction of growth, smaller inputs and repetition counts so a
+   simulated run stays within millions of events. *)
+let table1_grid () =
+  [
+    cholesky ~reps:8 ~n:125 ~nz:500 ();
+    cholesky ~reps:4 ~n:250 ~nz:1000 ();
+    cholesky ~reps:1 ~n:500 ~nz:2000 ();
+    mm ~reps:32 32;
+    mm ~reps:16 64;
+    mm ~reps:4 128;
+    ssf ~reps:16 10;
+    ssf ~reps:8 11;
+    ssf ~reps:4 12;
+    stress ~reps:32 ~height:7 ~leaf_iters:256 ();
+    stress ~reps:16 ~height:8 ~leaf_iters:256 ();
+    stress ~reps:8 ~height:9 ~leaf_iters:256 ();
+    stress ~reps:4 ~height:10 ~leaf_iters:256 ();
+    stress ~reps:32 ~height:3 ~leaf_iters:4096 ();
+    stress ~reps:16 ~height:4 ~leaf_iters:4096 ();
+    stress ~reps:8 ~height:5 ~leaf_iters:4096 ();
+    stress ~reps:4 ~height:6 ~leaf_iters:4096 ();
+  ]

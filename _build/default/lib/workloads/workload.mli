@@ -1,0 +1,47 @@
+(** Workload descriptors for the experiment harness.
+
+    A workload is one repetition's task tree plus the repetition count: the
+    paper runs each kernel on an unusually small input and repeats it,
+    giving the "sequence of small parallel regions" structure of §II.
+    Loop-shaped workloads also expose per-iteration leaf work so the
+    OpenMP comparison can use a work-sharing schedule. *)
+
+type t = {
+  name : string;  (** benchmark family, e.g. "mm" *)
+  params : string;  (** human-readable parameter string, e.g. "64" *)
+  reps : int;  (** repetitions of the region (scaled down vs the paper) *)
+  region : Wool_ir.Task_tree.t;  (** one repetition *)
+  loop_leaves : int array option;  (** per-iteration work, loop shape only *)
+}
+
+val v :
+  ?loop_leaves:int array -> name:string -> params:string -> reps:int ->
+  Wool_ir.Task_tree.t -> t
+
+val root : t -> Wool_ir.Task_tree.t
+(** The full run: [reps] sequential executions of the region (the region
+    tree is shared, so this is cheap). *)
+
+val label : t -> string
+(** ["name(params)"]. *)
+
+(* The paper's workload grids (Table I), input- and repetition-scaled for
+   simulation; every function documents its scaling in EXPERIMENTS.md. *)
+
+val fib : ?reps:int -> int -> t
+val stress : ?reps:int -> height:int -> leaf_iters:int -> unit -> t
+val mm : ?reps:int -> int -> t
+val ssf : ?reps:int -> int -> t
+val cholesky : ?reps:int -> ?seed:int -> n:int -> nz:int -> unit -> t
+
+val sort : ?reps:int -> int -> t
+(** Parallel mergesort of [n] random elements (extra workload; not in the
+    paper's grid). *)
+
+val spawn_loop : ?reps:int -> n:int -> leaf_work:int -> unit -> t
+(** The section-I spawn loop: [for (...) spawn foo; ...; sync] — [n] tasks
+    spawned flat before any join. A steal-child pool holds all [n]
+    descriptors at once; a steal-parent pool holds one continuation. *)
+
+val table1_grid : unit -> t list
+(** The scaled version of Table I's 24 workloads. *)

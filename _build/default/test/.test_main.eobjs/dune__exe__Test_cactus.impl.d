@@ -1,0 +1,1 @@
+test/test_cactus.ml: Alcotest Atomic List Printf Wool Wool_cactus Wool_workloads

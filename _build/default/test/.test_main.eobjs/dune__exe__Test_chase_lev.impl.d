@@ -1,0 +1,1 @@
+test/test_chase_lev.ml: Alcotest Atomic Domain Gen List QCheck QCheck_alcotest Unix Wool_deque

@@ -1,0 +1,1 @@
+test/test_cholesky.ml: Alcotest Array Float List Printf Wool Wool_ir Wool_util Wool_workloads

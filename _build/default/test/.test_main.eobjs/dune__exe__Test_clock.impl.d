@@ -1,0 +1,1 @@
+test/test_clock.ml: Alcotest Array Fun Sys Wool_util

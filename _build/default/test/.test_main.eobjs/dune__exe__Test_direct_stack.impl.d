@@ -1,0 +1,1 @@
+test/test_direct_stack.ml: Alcotest Array Atomic Domain Gen List Printf QCheck QCheck_alcotest Unix Wool_deque

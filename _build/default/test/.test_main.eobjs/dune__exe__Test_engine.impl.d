@@ -1,0 +1,1 @@
+test/test_engine.ml: Alcotest Array List Printf QCheck QCheck_alcotest Wool_ir Wool_metrics Wool_sim Wool_workloads

@@ -1,0 +1,1 @@
+test/test_extra_workloads.ml: Alcotest Array Fun List Printf Wool Wool_ir Wool_metrics Wool_sim Wool_util Wool_workloads

@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Gen List QCheck QCheck_alcotest Wool_util

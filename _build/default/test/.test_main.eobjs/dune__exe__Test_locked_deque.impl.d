@@ -1,0 +1,1 @@
+test/test_locked_deque.ml: Alcotest Atomic Domain Gen List QCheck QCheck_alcotest Unix Wool_deque

@@ -1,0 +1,1 @@
+test/test_loop_sim.ml: Alcotest Array Wool_sim

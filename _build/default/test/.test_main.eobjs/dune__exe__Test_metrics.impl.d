@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest QCheck QCheck_alcotest Wool_ir Wool_metrics Wool_workloads

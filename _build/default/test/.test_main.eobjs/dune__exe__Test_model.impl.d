@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Float QCheck QCheck_alcotest Wool_model

@@ -1,0 +1,1 @@
+test/test_plot.ml: Alcotest Gen List QCheck QCheck_alcotest String Wool_util

@@ -1,0 +1,1 @@
+test/test_pool.ml: Alcotest Array Atomic Fun Gen List Printf QCheck QCheck_alcotest Sys Wool Wool_workloads

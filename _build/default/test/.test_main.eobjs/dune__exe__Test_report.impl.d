@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest List Printf Wool_report Wool_sim Wool_workloads

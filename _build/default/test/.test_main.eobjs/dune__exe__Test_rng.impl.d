@@ -1,0 +1,1 @@
+test/test_rng.ml: Alcotest Array Fun Printf QCheck QCheck_alcotest Wool_util

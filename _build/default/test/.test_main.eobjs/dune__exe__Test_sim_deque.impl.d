@@ -1,0 +1,1 @@
+test/test_sim_deque.ml: Alcotest List Wool_sim

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float Format Gen QCheck QCheck_alcotest String Wool_util

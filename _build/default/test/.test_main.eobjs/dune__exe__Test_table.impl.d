@@ -1,0 +1,1 @@
+test/test_table.ml: Alcotest List String Wool_util

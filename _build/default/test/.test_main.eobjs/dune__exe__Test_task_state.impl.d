@@ -1,0 +1,1 @@
+test/test_task_state.ml: Alcotest Format List Wool_deque

@@ -1,0 +1,1 @@
+test/test_task_tree.ml: Alcotest Array Format QCheck QCheck_alcotest String Wool_ir Wool_workloads

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest List Printf String Wool_sim Wool_workloads

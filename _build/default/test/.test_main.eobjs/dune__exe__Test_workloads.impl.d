@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array List Printf String Wool Wool_ir Wool_util Wool_workloads

@@ -1,0 +1,194 @@
+module C = Wool_cactus.Cactus
+
+let rec fib_serial n = if n < 2 then n else fib_serial (n - 1) + fib_serial (n - 2)
+
+(* fib in steal-parent style: spawn both children into promises, sync,
+   read. *)
+let rec fib ctx n =
+  if n < 2 then n
+  else begin
+    let a = C.promise () and b = C.promise () in
+    C.spawn_into ctx a (fun ctx -> fib ctx (n - 1));
+    C.spawn_into ctx b (fun ctx -> fib ctx (n - 2));
+    C.sync ctx;
+    C.read a + C.read b
+  end
+
+let test_fib_serial_pool () =
+  C.with_pool ~workers:1 (fun pool ->
+      for n = 0 to 18 do
+        Alcotest.(check int) (Printf.sprintf "fib %d" n) (fib_serial n)
+          (C.run pool (fun ctx -> fib ctx n))
+      done)
+
+let test_fib_parallel_pool () =
+  List.iter
+    (fun workers ->
+      C.with_pool ~workers (fun pool ->
+          Alcotest.(check int)
+            (Printf.sprintf "%d workers" workers)
+            (fib_serial 20)
+            (C.run pool (fun ctx -> fib ctx 20))))
+    [ 2; 4 ]
+
+let test_repeated_runs () =
+  C.with_pool ~workers:2 (fun pool ->
+      for n = 5 to 14 do
+        Alcotest.(check int) "fib" (fib_serial n)
+          (C.run pool (fun ctx -> fib ctx n))
+      done)
+
+let test_spawn_loop_constant_space () =
+  (* §I: for (...) spawn foo(p); sync — constant task-pool space in a
+     steal-parent system, measured for real. *)
+  C.with_pool ~workers:2 (fun pool ->
+      List.iter
+        (fun n ->
+          C.reset_stats pool;
+          let counter = Atomic.make 0 in
+          C.run pool (fun ctx ->
+              for _ = 1 to n do
+                C.spawn ctx (fun _ -> Atomic.incr counter)
+              done;
+              C.sync ctx);
+          Alcotest.(check int) "all ran" n (Atomic.get counter);
+          let s = C.stats pool in
+          Alcotest.(check int) "spawns" n s.C.spawns;
+          Alcotest.(check bool)
+            (Printf.sprintf "pool depth %d constant for n=%d"
+               s.C.max_pool_depth n)
+            true
+            (s.C.max_pool_depth <= 2))
+        [ 64; 512; 4096 ])
+
+let test_wool_spawn_loop_linear_space_contrast () =
+  (* the same loop on the steal-child runtime holds n descriptors *)
+  Wool.with_pool ~workers:1 ~publicity:Wool.All_private (fun pool ->
+      let n = 512 in
+      let counter = ref 0 in
+      Wool.run pool (fun ctx ->
+          let futs = List.init n (fun _ -> Wool.spawn ctx (fun _ -> incr counter)) in
+          List.iter (Wool.join ctx) (List.rev futs));
+      Alcotest.(check int) "all ran" n !counter)
+
+let test_sequential_semantics_of_spawn () =
+  (* with one worker nothing is stolen: children run immediately, in
+     order, before the code after the spawn *)
+  C.with_pool ~workers:1 (fun pool ->
+      let log = ref [] in
+      C.run pool (fun ctx ->
+          log := 1 :: !log;
+          C.spawn ctx (fun _ -> log := 2 :: !log);
+          log := 3 :: !log;
+          C.spawn ctx (fun _ -> log := 4 :: !log);
+          C.sync ctx;
+          log := 5 :: !log);
+      Alcotest.(check (list int)) "steal-parent order" [ 1; 2; 3; 4; 5 ]
+        (List.rev !log))
+
+let test_nested_sync () =
+  C.with_pool ~workers:3 (fun pool ->
+      let total =
+        C.run pool (fun ctx ->
+            let ps = List.init 8 (fun i -> (i, C.promise ())) in
+            List.iter
+              (fun (i, p) ->
+                C.spawn_into ctx p (fun ctx ->
+                    let q = C.promise () in
+                    C.spawn_into ctx q (fun _ -> i * i);
+                    C.sync ctx;
+                    C.read q))
+              ps;
+            C.sync ctx;
+            List.fold_left (fun acc (_, p) -> acc + C.read p) 0 ps)
+      in
+      Alcotest.(check int) "sum of squares" 140 total)
+
+let test_unsynced_children_raise () =
+  C.with_pool ~workers:1 (fun pool ->
+      match
+        C.run pool (fun ctx -> C.spawn ctx (fun _ -> ()) (* no sync! *))
+      with
+      | exception Failure msg ->
+          Alcotest.(check string) "diagnostic"
+            "Cactus: task returned with unsynced children" msg
+      | () -> Alcotest.fail "expected a failure")
+
+let test_exception_propagates () =
+  C.with_pool ~workers:2 (fun pool ->
+      match
+        C.run pool (fun ctx ->
+            C.spawn ctx (fun _ -> failwith "child boom");
+            C.sync ctx)
+      with
+      | exception Failure msg -> Alcotest.(check string) "msg" "child boom" msg
+      | () -> Alcotest.fail "expected exception");
+  (* the pool stays usable afterwards *)
+  C.with_pool ~workers:2 (fun pool ->
+      Alcotest.(check int) "recovers" 55 (C.run pool (fun ctx -> fib ctx 10)))
+
+let test_promise_read_before_fulfilment () =
+  let p = C.promise () in
+  Alcotest.check_raises "unfulfilled"
+    (Invalid_argument "Cactus.read: promise not fulfilled (sync first)")
+    (fun () -> ignore (C.read (p : int C.promise)))
+
+let test_create_validation () =
+  Alcotest.check_raises "workers"
+    (Invalid_argument "Cactus.create: workers must be positive") (fun () ->
+      ignore (C.create ~workers:0 ()))
+
+let test_stats () =
+  C.with_pool ~workers:1 (fun pool ->
+      C.reset_stats pool;
+      ignore (C.run pool (fun ctx -> fib ctx 10) : int);
+      let s = C.stats pool in
+      (* fib spawns twice per internal node *)
+      let rec internal n = if n < 2 then 0 else 1 + internal (n - 1) + internal (n - 2) in
+      Alcotest.(check int) "spawns" (2 * internal 10) s.C.spawns;
+      Alcotest.(check int) "no steals on one worker" 0 s.C.steals;
+      Alcotest.(check int) "no suspensions on one worker" 0 s.C.suspensions;
+      Alcotest.(check int) "workers" 1 (C.num_workers pool))
+
+let test_parallel_stress_checksum () =
+  let module S = Wool_workloads.Stress in
+  S.reset_leaf_result ();
+  S.serial ~height:6 ~leaf_iters:64;
+  let expected = S.leaf_result () in
+  C.with_pool ~workers:4 (fun pool ->
+      S.reset_leaf_result ();
+      C.run pool (fun ctx ->
+          let rec tree ctx h =
+            if h = 0 then S.serial ~height:0 ~leaf_iters:64
+            else begin
+              C.spawn ctx (fun ctx -> tree ctx (h - 1));
+              C.spawn ctx (fun ctx -> tree ctx (h - 1));
+              C.sync ctx
+            end
+          in
+          tree ctx 6);
+      Alcotest.(check int) "checksum" expected (S.leaf_result ()))
+
+let suite =
+  [
+    ( "cactus",
+      [
+        Alcotest.test_case "fib one worker" `Quick test_fib_serial_pool;
+        Alcotest.test_case "fib parallel" `Slow test_fib_parallel_pool;
+        Alcotest.test_case "repeated runs" `Quick test_repeated_runs;
+        Alcotest.test_case "spawn loop O(1) space" `Quick
+          test_spawn_loop_constant_space;
+        Alcotest.test_case "steal-child O(n) contrast" `Quick
+          test_wool_spawn_loop_linear_space_contrast;
+        Alcotest.test_case "sequential spawn order" `Quick
+          test_sequential_semantics_of_spawn;
+        Alcotest.test_case "nested sync" `Slow test_nested_sync;
+        Alcotest.test_case "unsynced children" `Quick test_unsynced_children_raise;
+        Alcotest.test_case "exception propagation" `Slow test_exception_propagates;
+        Alcotest.test_case "promise before sync" `Quick
+          test_promise_read_before_fulfilment;
+        Alcotest.test_case "create validation" `Quick test_create_validation;
+        Alcotest.test_case "stats" `Quick test_stats;
+        Alcotest.test_case "stress checksum" `Slow test_parallel_stress_checksum;
+      ] );
+  ]

@@ -1,0 +1,150 @@
+module Cl = Wool_deque.Chase_lev
+
+let mk ?(capacity = 4) () = Cl.create ~capacity ~dummy:(-1) ()
+
+let test_lifo_pop () =
+  let d = mk () in
+  List.iter (Cl.push d) [ 1; 2; 3 ];
+  Alcotest.(check (option int)) "pop 3" (Some 3) (Cl.pop d);
+  Alcotest.(check (option int)) "pop 2" (Some 2) (Cl.pop d);
+  Alcotest.(check (option int)) "pop 1" (Some 1) (Cl.pop d);
+  Alcotest.(check (option int)) "empty" None (Cl.pop d)
+
+let test_fifo_steal () =
+  let d = mk () in
+  List.iter (Cl.push d) [ 1; 2; 3 ];
+  (match Cl.steal d with
+  | `Stolen v -> Alcotest.(check int) "oldest" 1 v
+  | `Empty | `Retry -> Alcotest.fail "steal failed");
+  match Cl.steal d with
+  | `Stolen v -> Alcotest.(check int) "next" 2 v
+  | `Empty | `Retry -> Alcotest.fail "steal failed"
+
+let test_steal_empty () =
+  let d = mk () in
+  (match Cl.steal d with
+  | `Empty -> ()
+  | `Stolen _ | `Retry -> Alcotest.fail "expected empty");
+  Cl.push d 1;
+  ignore (Cl.pop d);
+  match Cl.steal d with
+  | `Empty -> ()
+  | `Stolen _ | `Retry -> Alcotest.fail "expected empty after drain"
+
+let test_growth () =
+  let d = mk ~capacity:2 () in
+  let n = 1000 in
+  for i = 1 to n do
+    Cl.push d i
+  done;
+  Alcotest.(check int) "size" n (Cl.size d);
+  for i = n downto 1 do
+    Alcotest.(check (option int)) "pop order" (Some i) (Cl.pop d)
+  done
+
+let test_interleaved_push_pop_steal () =
+  let d = mk () in
+  Cl.push d 1;
+  Cl.push d 2;
+  Alcotest.(check (option int)) "pop newest" (Some 2) (Cl.pop d);
+  Cl.push d 3;
+  (match Cl.steal d with
+  | `Stolen v -> Alcotest.(check int) "steal oldest" 1 v
+  | `Empty | `Retry -> Alcotest.fail "steal failed");
+  Alcotest.(check (option int)) "pop last" (Some 3) (Cl.pop d);
+  Alcotest.(check (option int)) "drained" None (Cl.pop d)
+
+let test_size () =
+  let d = mk () in
+  Alcotest.(check int) "empty" 0 (Cl.size d);
+  Cl.push d 1;
+  Cl.push d 2;
+  Alcotest.(check int) "two" 2 (Cl.size d);
+  ignore (Cl.steal d);
+  Alcotest.(check int) "one" 1 (Cl.size d)
+
+let qcheck_owner_model =
+  QCheck.Test.make ~name:"chase-lev owner ops = list stack" ~count:300
+    QCheck.(list_of_size (Gen.int_range 0 200) (option small_nat))
+    (fun ops ->
+      let d = mk () in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some v ->
+              Cl.push d v;
+              model := v :: !model;
+              true
+          | None -> (
+              match (!model, Cl.pop d) with
+              | [], None -> true
+              | x :: rest, Some y ->
+                  model := rest;
+                  x = y
+              | [], Some _ | _ :: _, None -> false))
+        ops)
+
+(* Owner pushes/pops a known workload while thieves steal; every element
+   must be consumed exactly once across both sides. *)
+let test_concurrent_sum () =
+  let d = mk () in
+  let n = 20_000 in
+  let stolen_sum = Atomic.make 0 in
+  let stop = Atomic.make false in
+  let thieves =
+    List.init 3 (fun _ ->
+        Domain.spawn (fun () ->
+            let fails = ref 0 in
+            while not (Atomic.get stop) do
+              match Cl.steal d with
+              | `Stolen v ->
+                  ignore (Atomic.fetch_and_add stolen_sum v : int);
+                  fails := 0
+              | `Empty | `Retry ->
+                  incr fails;
+                  Domain.cpu_relax ();
+                  if !fails land 1023 = 0 then Unix.sleepf 0.0002
+            done))
+  in
+  let popped_sum = ref 0 in
+  for i = 1 to n do
+    Cl.push d i;
+    if i land 3 = 0 then begin
+      match Cl.pop d with Some v -> popped_sum := !popped_sum + v | None -> ()
+    end
+  done;
+  let rec drain () =
+    match Cl.pop d with
+    | Some v ->
+        popped_sum := !popped_sum + v;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  (* thieves may still hold `Retry races; wait for the deque to settle *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while Cl.size d > 0 && Unix.gettimeofday () < deadline do
+    drain ()
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join thieves;
+  drain ();
+  let expected = n * (n + 1) / 2 in
+  Alcotest.(check int) "sum conserved" expected
+    (!popped_sum + Atomic.get stolen_sum)
+
+let suite =
+  [
+    ( "chase_lev",
+      [
+        Alcotest.test_case "LIFO pop" `Quick test_lifo_pop;
+        Alcotest.test_case "FIFO steal" `Quick test_fifo_steal;
+        Alcotest.test_case "steal empty" `Quick test_steal_empty;
+        Alcotest.test_case "growth" `Quick test_growth;
+        Alcotest.test_case "interleaved" `Quick test_interleaved_push_pop_steal;
+        Alcotest.test_case "size" `Quick test_size;
+        QCheck_alcotest.to_alcotest qcheck_owner_model;
+        Alcotest.test_case "concurrent sum" `Slow test_concurrent_sum;
+      ] );
+  ]

@@ -1,0 +1,156 @@
+module Ch = Wool_workloads.Cholesky
+module Tt = Wool_ir.Task_tree
+module Rng = Wool_util.Rng
+
+let test_dense_roundtrip () =
+  let m = [| [| 1.0; 0.0; 2.0 |]; [| 0.0; 3.0; 0.0 |]; [| 4.0; 0.0; 5.0 |] |] in
+  let q, size = Ch.of_dense m in
+  Alcotest.(check int) "padded size" 4 size;
+  let back = Ch.to_dense q size in
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      Alcotest.(check (float 1e-12)) "entry" m.(i).(j) back.(i).(j)
+    done
+  done;
+  Alcotest.(check int) "nonzeros" 5 (Ch.nonzeros q)
+
+let test_random_spd_shape () =
+  let rng = Rng.make 3 in
+  let q, size = Ch.random_spd rng ~n:20 ~nz:50 in
+  Alcotest.(check int) "pow2 size" 32 size;
+  let d = Ch.to_dense q size in
+  (* stored matrix is lower triangular with a full positive diagonal *)
+  for i = 0 to size - 1 do
+    Alcotest.(check bool) "positive diagonal" true (d.(i).(i) > 0.0);
+    for j = i + 1 to size - 1 do
+      Alcotest.(check (float 0.0)) "upper empty" 0.0 d.(i).(j)
+    done
+  done
+
+let test_factor_known_matrix () =
+  (* A = L0 L0^T for a known lower-triangular L0; the factorisation must
+     recover L0 exactly (up to float noise). *)
+  let l0 = [| [| 2.0; 0.0 |]; [| 1.0; 3.0 |] |] in
+  let a =
+    [|
+      [| 4.0; 0.0 |];
+      (* lower triangle of L0 L0^T: [4 0; 2 10] *)
+      [| 2.0; 10.0 |];
+    |]
+  in
+  let qa, size = Ch.of_dense a in
+  let l = Ch.serial_factor qa size in
+  let dl = Ch.to_dense l size in
+  for i = 0 to 1 do
+    for j = 0 to 1 do
+      Alcotest.(check (float 1e-9)) "factor" l0.(i).(j) dl.(i).(j)
+    done
+  done
+
+let test_factor_random_instances () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.make seed in
+      let a, size = Ch.random_spd rng ~n:24 ~nz:60 in
+      let l = Ch.serial_factor a size in
+      Alcotest.(check bool)
+        (Printf.sprintf "LL^T = A (seed %d)" seed)
+        true
+        (Ch.check_factor ~a ~l size))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_factor_not_spd () =
+  let a = [| [| -1.0 |] |] in
+  let q, size = Ch.of_dense a in
+  Alcotest.check_raises "negative pivot"
+    (Failure "Cholesky.factor: matrix not positive definite") (fun () ->
+      ignore (Ch.serial_factor q size))
+
+let test_wool_factor_matches_serial () =
+  let rng = Rng.make 7 in
+  let a, size = Ch.random_spd rng ~n:60 ~nz:200 in
+  let expected = Ch.to_dense (Ch.serial_factor a size) size in
+  Wool.with_pool ~workers:3 (fun pool ->
+      let l = Wool.run pool (fun ctx -> Ch.wool_factor ctx a size) in
+      let dl = Ch.to_dense l size in
+      for i = 0 to size - 1 do
+        for j = 0 to size - 1 do
+          if Float.abs (dl.(i).(j) -. expected.(i).(j)) > 1e-9 then
+            Alcotest.failf "mismatch at (%d,%d)" i j
+        done
+      done)
+
+let test_wool_factor_valid () =
+  let rng = Rng.make 13 in
+  let a, size = Ch.random_spd rng ~n:40 ~nz:120 in
+  Wool.with_pool ~workers:4 (fun pool ->
+      let l = Wool.run pool (fun ctx -> Ch.wool_factor ctx a size) in
+      Alcotest.(check bool) "LL^T = A" true (Ch.check_factor ~a ~l size))
+
+let test_tree_deterministic () =
+  let t1 = Ch.tree ~seed:11 ~n:30 ~nz:90 () in
+  let t2 = Ch.tree ~seed:11 ~n:30 ~nz:90 () in
+  Alcotest.(check int) "same work" (Tt.work t1) (Tt.work t2);
+  Alcotest.(check int) "same tasks" (Tt.n_tasks t1) (Tt.n_tasks t2);
+  let t3 = Ch.tree ~seed:12 ~n:30 ~nz:90 () in
+  Alcotest.(check bool) "seed changes instance" true (Tt.work t1 <> Tt.work t3)
+
+let test_tree_work_close_to_serial_flops () =
+  let seed = 5 and n = 30 and nz = 90 in
+  let rng = Rng.make seed in
+  let a, size = Ch.random_spd rng ~n ~nz in
+  (* serial cost of the same instance *)
+  let serial_cost =
+    let _, t = Wool_util.Clock.time (fun () -> ()) in
+    ignore t;
+    (* use the recorded tree against an independent serial count *)
+    Ch.serial_factor a size |> ignore;
+    Tt.work (Ch.tree ~seed ~n ~nz ())
+  in
+  let t = Ch.tree ~seed ~n ~nz () in
+  let tree_work = Tt.work t in
+  let ratio = float_of_int tree_work /. float_of_int serial_cost in
+  Alcotest.(check bool) "self consistent" true (ratio > 0.99 && ratio < 1.01);
+  Alcotest.(check bool) "has tasks" true (Tt.n_tasks t > 10)
+
+let test_tree_granularity_is_fine () =
+  let t = Ch.tree ~seed:7 ~n:125 ~nz:500 () in
+  let g = float_of_int (Tt.work t) /. float_of_int (Tt.n_tasks t) in
+  (* the paper's cholesky G_T is ~200-230 cycles *)
+  Alcotest.(check bool) (Printf.sprintf "fine grained (%.0f)" g) true
+    (g > 50.0 && g < 1000.0)
+
+let test_insert_accumulates () =
+  let q, size = Ch.of_dense [| [| 1.5 |] |] in
+  Alcotest.(check int) "size 1" 1 size;
+  match q with
+  | Ch.Scalar v -> Alcotest.(check (float 1e-12)) "value" 1.5 v
+  | Ch.Zero | Ch.Quad _ -> Alcotest.fail "expected scalar"
+
+let test_random_spd_validation () =
+  let rng = Rng.make 1 in
+  Alcotest.check_raises "bad n"
+    (Invalid_argument "Cholesky.random_spd: size must be positive") (fun () ->
+      ignore (Ch.random_spd rng ~n:0 ~nz:1))
+
+let suite =
+  [
+    ( "cholesky",
+      [
+        Alcotest.test_case "dense roundtrip" `Quick test_dense_roundtrip;
+        Alcotest.test_case "random SPD shape" `Quick test_random_spd_shape;
+        Alcotest.test_case "known factor" `Quick test_factor_known_matrix;
+        Alcotest.test_case "random instances" `Quick test_factor_random_instances;
+        Alcotest.test_case "not SPD" `Quick test_factor_not_spd;
+        Alcotest.test_case "wool matches serial" `Slow
+          test_wool_factor_matches_serial;
+        Alcotest.test_case "wool factor valid" `Slow test_wool_factor_valid;
+        Alcotest.test_case "tree deterministic" `Quick test_tree_deterministic;
+        Alcotest.test_case "tree work consistency" `Quick
+          test_tree_work_close_to_serial_flops;
+        Alcotest.test_case "tree granularity" `Quick
+          test_tree_granularity_is_fine;
+        Alcotest.test_case "scalar insert" `Quick test_insert_accumulates;
+        Alcotest.test_case "spd validation" `Quick test_random_spd_validation;
+      ] );
+  ]

@@ -1,0 +1,57 @@
+module Clock = Wool_util.Clock
+
+let test_monotonic () =
+  let a = Clock.now_ns () in
+  let b = Clock.now_ns () in
+  Alcotest.(check bool) "non-decreasing" true (b >= a)
+
+let test_positive () =
+  Alcotest.(check bool) "positive" true (Clock.now_ns () > 0)
+
+let test_scale () =
+  let saved = Clock.ghz () in
+  Fun.protect
+    ~finally:(fun () -> Clock.set_ghz saved)
+    (fun () ->
+      Clock.set_ghz 2.0;
+      Alcotest.(check (float 1e-9)) "ghz" 2.0 (Clock.ghz ());
+      Alcotest.(check (float 1e-9)) "to_cycles" 20.0 (Clock.to_cycles 10.0);
+      Alcotest.check_raises "non-positive"
+        (Invalid_argument "Clock.set_ghz: scale must be positive") (fun () ->
+          Clock.set_ghz 0.0))
+
+let test_time () =
+  let r, ns = Clock.time (fun () -> 41 + 1) in
+  Alcotest.(check int) "result" 42 r;
+  Alcotest.(check bool) "elapsed >= 0" true (ns >= 0.0)
+
+let test_time_measures_work () =
+  let busy () =
+    let acc = ref 0 in
+    for i = 1 to 2_000_000 do
+      acc := !acc + i
+    done;
+    ignore (Sys.opaque_identity !acc : int)
+  in
+  let _, ns = Clock.time busy in
+  Alcotest.(check bool) "measurable" true (ns > 1000.0)
+
+let test_time_ns_shape () =
+  let count = ref 0 in
+  let samples = Clock.time_ns ~warmup:2 ~repeats:4 (fun () -> incr count) in
+  Alcotest.(check int) "repeats" 4 (Array.length samples);
+  Alcotest.(check int) "warmup + repeats executions" 6 !count;
+  Array.iter (fun s -> Alcotest.(check bool) "nonneg" true (s >= 0.0)) samples
+
+let suite =
+  [
+    ( "clock",
+      [
+        Alcotest.test_case "monotonic" `Quick test_monotonic;
+        Alcotest.test_case "positive" `Quick test_positive;
+        Alcotest.test_case "scale" `Quick test_scale;
+        Alcotest.test_case "time" `Quick test_time;
+        Alcotest.test_case "time measures work" `Quick test_time_measures_work;
+        Alcotest.test_case "time_ns shape" `Quick test_time_ns_shape;
+      ] );
+  ]

@@ -1,0 +1,307 @@
+module Ds = Wool_deque.Direct_stack
+
+let mk ?(publicity = Ds.All_public) ?(capacity = 1024) () =
+  Ds.create ~capacity ~publicity ~dummy:(-1) ()
+
+let expect_task what = function
+  | Ds.Task (v, public) -> (v, public)
+  | Ds.Stolen _ -> Alcotest.failf "%s: expected inlined task" what
+
+let expect_stolen what = function
+  | Ds.Task _ -> Alcotest.failf "%s: expected stolen" what
+  | Ds.Stolen { thief; index } -> (thief, index)
+
+let test_lifo () =
+  let t = mk () in
+  List.iter (Ds.push t) [ 1; 2; 3 ];
+  Alcotest.(check int) "depth" 3 (Ds.depth t);
+  Alcotest.(check int) "pop 3" 3 (fst (expect_task "a" (Ds.pop t)));
+  Alcotest.(check int) "pop 2" 2 (fst (expect_task "b" (Ds.pop t)));
+  Alcotest.(check int) "pop 1" 1 (fst (expect_task "c" (Ds.pop t)));
+  Alcotest.(check int) "empty" 0 (Ds.depth t)
+
+let test_pop_empty () =
+  let t = mk () in
+  Alcotest.check_raises "empty pop"
+    (Invalid_argument "Direct_stack.pop: empty stack") (fun () ->
+      ignore (Ds.pop t))
+
+let test_all_private_never_stealable () =
+  let t = mk ~publicity:Ds.All_private () in
+  List.iter (Ds.push t) [ 1; 2; 3 ];
+  (match Ds.steal t ~thief:1 with
+  | Ds.Fail -> ()
+  | Ds.Stolen_task _ | Ds.Backoff -> Alcotest.fail "stole a private task");
+  let _, public = expect_task "pop" (Ds.pop t) in
+  Alcotest.(check bool) "private join" false public;
+  let s = Ds.stats t in
+  Alcotest.(check int) "inlined private" 1 s.Ds.inlined_private;
+  Alcotest.(check int) "failed steals" 1 s.Ds.failed_steals
+
+let test_all_public_steal_order () =
+  let t = mk () in
+  List.iter (Ds.push t) [ 10; 20; 30 ];
+  (match Ds.steal t ~thief:1 with
+  | Ds.Stolen_task (v, idx) ->
+      Alcotest.(check int) "oldest first" 10 v;
+      Alcotest.(check int) "index 0" 0 idx
+  | Ds.Fail | Ds.Backoff -> Alcotest.fail "steal failed");
+  match Ds.steal t ~thief:2 with
+  | Ds.Stolen_task (v, _) -> Alcotest.(check int) "next oldest" 20 v
+  | Ds.Fail | Ds.Backoff -> Alcotest.fail "second steal failed"
+
+let test_steal_empty () =
+  let t = mk () in
+  match Ds.steal t ~thief:1 with
+  | Ds.Fail -> ()
+  | Ds.Stolen_task _ | Ds.Backoff -> Alcotest.fail "stole from empty stack"
+
+let test_join_with_completed_thief () =
+  let t = mk () in
+  Ds.push t 7;
+  let idx =
+    match Ds.steal t ~thief:4 with
+    | Ds.Stolen_task (v, idx) ->
+        Alcotest.(check int) "payload" 7 v;
+        idx
+    | Ds.Fail | Ds.Backoff -> Alcotest.fail "steal failed"
+  in
+  Ds.complete_steal t ~index:idx;
+  let thief, index = expect_stolen "join" (Ds.pop t) in
+  (* The thief already finished, so the owner's exchange saw DONE. *)
+  Alcotest.(check int) "already done" (-1) thief;
+  Ds.reclaim t ~index;
+  Alcotest.(check int) "reclaimed" 0 (Ds.depth t);
+  Alcotest.(check int) "bot reset" 0 (Ds.bot_index t)
+
+let test_join_with_running_thief () =
+  let t = mk () in
+  Ds.push t 9;
+  let idx =
+    match Ds.steal t ~thief:2 with
+    | Ds.Stolen_task (_, idx) -> idx
+    | Ds.Fail | Ds.Backoff -> Alcotest.fail "steal failed"
+  in
+  let thief, index = expect_stolen "join" (Ds.pop t) in
+  Alcotest.(check int) "thief id" 2 thief;
+  Alcotest.(check bool) "not done yet" false (Ds.stolen_done t ~index);
+  Ds.complete_steal t ~index:idx;
+  Alcotest.(check bool) "done now" true (Ds.stolen_done t ~index);
+  Ds.reclaim t ~index
+
+let test_reuse_after_reclaim () =
+  let t = mk () in
+  Ds.push t 1;
+  (match Ds.steal t ~thief:1 with
+  | Ds.Stolen_task (_, idx) -> Ds.complete_steal t ~index:idx
+  | Ds.Fail | Ds.Backoff -> Alcotest.fail "steal failed");
+  let _, index = expect_stolen "join" (Ds.pop t) in
+  Ds.reclaim t ~index;
+  (* the slot must be cleanly reusable *)
+  Ds.push t 2;
+  Alcotest.(check int) "reused slot" 2 (fst (expect_task "pop" (Ds.pop t)))
+
+let test_adaptive_window_and_trip_wire () =
+  let t = mk ~publicity:(Ds.Adaptive 2) () in
+  for i = 1 to 5 do
+    Ds.push t i
+  done;
+  (* only the bottom two descriptors are public *)
+  (match Ds.steal t ~thief:1 with
+  | Ds.Stolen_task (v, idx) ->
+      Alcotest.(check int) "first public" 1 v;
+      Ds.complete_steal t ~index:idx
+  | Ds.Fail | Ds.Backoff -> Alcotest.fail "steal 1 failed");
+  (match Ds.steal t ~thief:1 with
+  | Ds.Stolen_task (v, idx) ->
+      Alcotest.(check int) "trip wire slot" 2 v;
+      Ds.complete_steal t ~index:idx
+  | Ds.Fail | Ds.Backoff -> Alcotest.fail "steal 2 failed");
+  (* the window is exhausted until the owner services the trip wire *)
+  (match Ds.steal t ~thief:1 with
+  | Ds.Fail -> ()
+  | Ds.Stolen_task _ | Ds.Backoff -> Alcotest.fail "stole beyond the window");
+  (* any owner operation services the publish request *)
+  Ds.push t 6;
+  (match Ds.steal t ~thief:1 with
+  | Ds.Stolen_task (v, idx) ->
+      Alcotest.(check int) "published" 3 v;
+      Ds.complete_steal t ~index:idx
+  | Ds.Fail | Ds.Backoff -> Alcotest.fail "steal after publish failed");
+  let s = Ds.stats t in
+  Alcotest.(check int) "publish events" 1 s.Ds.publish_events;
+  Alcotest.(check int) "steals" 3 s.Ds.steals
+
+let test_privatize_after_public_inlines () =
+  let t = mk ~publicity:(Ds.Adaptive 2) () in
+  (* Inline public tasks repeatedly with no stealing: the owner should
+     eventually privatise the window. *)
+  for _ = 1 to 20 do
+    Ds.push t 1;
+    Ds.push t 2;
+    ignore (Ds.pop t);
+    ignore (Ds.pop t)
+  done;
+  let s = Ds.stats t in
+  Alcotest.(check bool) "privatized" true (s.Ds.privatize_events >= 1);
+  Alcotest.(check bool) "some private joins happened" true
+    (s.Ds.inlined_private > 0)
+
+let test_stats_counters () =
+  let t = mk () in
+  Ds.push t 1;
+  Ds.push t 2;
+  ignore (Ds.pop t);
+  ignore (Ds.pop t);
+  let s = Ds.stats t in
+  Alcotest.(check int) "spawns" 2 s.Ds.spawns;
+  Alcotest.(check int) "inlined public" 2 s.Ds.inlined_public;
+  Ds.reset_stats t;
+  let s = Ds.stats t in
+  Alcotest.(check int) "reset" 0 s.Ds.spawns
+
+let test_capacity_overflow () =
+  let t = mk ~capacity:4 () in
+  for i = 1 to 4 do
+    Ds.push t i
+  done;
+  Alcotest.check_raises "overflow"
+    (Failure "Direct_stack.push: task pool overflow") (fun () -> Ds.push t 5)
+
+let test_create_validation () =
+  Alcotest.check_raises "bad capacity"
+    (Invalid_argument "Direct_stack.create: capacity") (fun () ->
+      ignore (Ds.create ~capacity:0 ~dummy:0 ()));
+  Alcotest.check_raises "bad window"
+    (Invalid_argument "Direct_stack.create: adaptive window must be positive")
+    (fun () -> ignore (Ds.create ~publicity:(Ds.Adaptive 0) ~dummy:0 ()))
+
+(* Model-based sequential property: with no thieves, the direct stack is a
+   plain LIFO stack. *)
+let qcheck_sequential_stack_model =
+  QCheck.Test.make ~name:"direct stack = LIFO stack (owner only)" ~count:300
+    QCheck.(list_of_size (Gen.int_range 0 100) (option small_nat))
+    (fun ops ->
+      (* Some n = push n; None = pop *)
+      let t = mk ~capacity:256 () in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some v ->
+              if List.length !model >= 256 then true
+              else begin
+                Ds.push t v;
+                model := v :: !model;
+                true
+              end
+          | None -> (
+              match !model with
+              | [] -> true (* skip: popping empty is a precondition violation *)
+              | expect :: rest -> (
+                  model := rest;
+                  match Ds.pop t with
+                  | Ds.Task (v, _) -> v = expect
+                  | Ds.Stolen _ -> false)))
+        ops)
+
+(* Concurrency soak: one owner, several thief domains hammering the same
+   stack. Every task must execute exactly once, whether inlined or stolen,
+   and the paper's claim that ABA back-offs are rare gets checked. *)
+let concurrent_soak ~publicity ~thieves ~batches ~batch () =
+  let total = batches * batch in
+  let executed = Array.init total (fun _ -> Atomic.make 0) in
+  let t =
+    Ds.create ~capacity:(batch + 8) ~publicity ~dummy:(-1) ()
+  in
+  let stop = Atomic.make false in
+  let thief_domains =
+    List.init thieves (fun k ->
+        Domain.spawn (fun () ->
+            let tid = k + 1 in
+            let fails = ref 0 in
+            while not (Atomic.get stop) do
+              match Ds.steal t ~thief:tid with
+              | Ds.Stolen_task (payload, index) ->
+                  Atomic.incr executed.(payload);
+                  Ds.complete_steal t ~index;
+                  fails := 0
+              | Ds.Fail | Ds.Backoff ->
+                  incr fails;
+                  Domain.cpu_relax ();
+                  if !fails land 1023 = 0 then Unix.sleepf 0.0002
+            done))
+  in
+  for b = 0 to batches - 1 do
+    for i = 0 to batch - 1 do
+      Ds.push t ((b * batch) + i)
+    done;
+    for _ = 1 to batch do
+      match Ds.pop t with
+      | Ds.Task (payload, _) -> Atomic.incr executed.(payload)
+      | Ds.Stolen { thief; index } ->
+          if thief >= 0 then begin
+            let spins = ref 0 in
+            while not (Ds.stolen_done t ~index) do
+              Domain.cpu_relax ();
+              incr spins;
+              if !spins land 4095 = 0 then Unix.sleepf 0.0002
+            done
+          end;
+          Ds.reclaim t ~index
+    done
+  done;
+  Atomic.set stop true;
+  List.iter Domain.join thief_domains;
+  Array.iteri
+    (fun i c ->
+      let n = Atomic.get c in
+      if n <> 1 then Alcotest.failf "task %d executed %d times" i n)
+    executed;
+  let s = Ds.stats t in
+  Alcotest.(check int) "all tasks accounted" total
+    (s.Ds.inlined_private + s.Ds.inlined_public + s.Ds.joins_stolen);
+  Alcotest.(check int) "steals equal stolen joins" s.Ds.joins_stolen s.Ds.steals;
+  (* §III-A: "back offs are infrequent, always below 1% of successful
+     steals" — allow slack for the scheduling noise of a time-shared box. *)
+  if s.Ds.steals > 100 then
+    Alcotest.(check bool)
+      (Printf.sprintf "backoffs rare (%d/%d)" s.Ds.backoffs s.Ds.steals)
+      true
+      (float_of_int s.Ds.backoffs <= 0.05 *. float_of_int s.Ds.steals)
+
+let test_soak_public () =
+  concurrent_soak ~publicity:Ds.All_public ~thieves:3 ~batches:400 ~batch:32 ()
+
+let test_soak_adaptive () =
+  concurrent_soak ~publicity:(Ds.Adaptive 2) ~thieves:3 ~batches:400 ~batch:32 ()
+
+let test_soak_private () =
+  concurrent_soak ~publicity:Ds.All_private ~thieves:2 ~batches:100 ~batch:32 ()
+
+let suite =
+  [
+    ( "direct_stack",
+      [
+        Alcotest.test_case "LIFO" `Quick test_lifo;
+        Alcotest.test_case "pop empty" `Quick test_pop_empty;
+        Alcotest.test_case "all-private unstealable" `Quick
+          test_all_private_never_stealable;
+        Alcotest.test_case "steal order" `Quick test_all_public_steal_order;
+        Alcotest.test_case "steal empty" `Quick test_steal_empty;
+        Alcotest.test_case "join after thief done" `Quick
+          test_join_with_completed_thief;
+        Alcotest.test_case "join with running thief" `Quick
+          test_join_with_running_thief;
+        Alcotest.test_case "slot reuse" `Quick test_reuse_after_reclaim;
+        Alcotest.test_case "trip wire" `Quick test_adaptive_window_and_trip_wire;
+        Alcotest.test_case "privatize" `Quick test_privatize_after_public_inlines;
+        Alcotest.test_case "stats" `Quick test_stats_counters;
+        Alcotest.test_case "overflow" `Quick test_capacity_overflow;
+        Alcotest.test_case "create validation" `Quick test_create_validation;
+        QCheck_alcotest.to_alcotest qcheck_sequential_stack_model;
+        Alcotest.test_case "soak all-public" `Slow test_soak_public;
+        Alcotest.test_case "soak adaptive" `Slow test_soak_adaptive;
+        Alcotest.test_case "soak all-private" `Slow test_soak_private;
+      ] );
+  ]

@@ -1,0 +1,316 @@
+module E = Wool_sim.Engine
+module P = Wool_sim.Policy
+module Tt = Wool_ir.Task_tree
+module W = Wool_workloads.Workload
+
+let policies =
+  [ P.wool; P.wool_all_public; P.tbb; P.cilk; P.openmp_tasks; P.lock_base;
+    P.lock_peek; P.lock_trylock; P.nolock ]
+
+let stress_tree = Wool_workloads.Stress.tree ~height:6 ~leaf_iters:2048
+let fib_tree = Wool_workloads.Fib.tree 16
+
+let test_validation () =
+  Alcotest.check_raises "workers" (Invalid_argument "Engine.run: workers must be positive")
+    (fun () -> ignore (E.run ~policy:P.wool ~workers:0 (Tt.leaf 1)));
+  Alcotest.check_raises "loop policy"
+    (Invalid_argument "Engine.run: Loop_static policies are run by Loop_sim")
+    (fun () -> ignore (E.run ~policy:P.openmp_loop ~workers:1 (Tt.leaf 1)))
+
+let test_single_leaf_exact () =
+  let r = E.run ~policy:P.wool ~workers:1 (Tt.leaf 12345) in
+  Alcotest.(check int) "time = startup + work"
+    (P.wool.P.costs.Wool_sim.Costs.startup + 12345)
+    r.E.time;
+  Alcotest.(check int) "work" 12345 r.E.work;
+  Alcotest.(check int) "no steals" 0 r.E.steals
+
+let test_work_conservation_all_policies () =
+  let expected = Tt.work stress_tree in
+  List.iter
+    (fun pol ->
+      List.iter
+        (fun p ->
+          let r = E.run ~policy:pol ~workers:p stress_tree in
+          Alcotest.(check int)
+            (Printf.sprintf "%s p%d executes all work" pol.P.name p)
+            expected r.E.work)
+        [ 1; 2; 5 ])
+    policies
+
+let test_no_overtaking_perfect_speedup () =
+  List.iter
+    (fun pol ->
+      List.iter
+        (fun p ->
+          let r = E.run ~policy:pol ~workers:p stress_tree in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s p%d: p*T >= work" pol.P.name p)
+            true
+            (p * r.E.time >= r.E.work))
+        [ 1; 2; 4; 8 ])
+    policies
+
+let coarse_tree = Wool_workloads.Stress.tree ~height:6 ~leaf_iters:50_000
+
+let test_parallel_helps () =
+  (* a coarse balanced tree must speed up under every scheduler *)
+  List.iter
+    (fun pol ->
+      let t1 = (E.run ~policy:pol ~workers:1 coarse_tree).E.time in
+      let t4 = (E.run ~policy:pol ~workers:4 coarse_tree).E.time in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s speeds up (%d -> %d)" pol.P.name t1 t4)
+        true
+        (float_of_int t1 /. float_of_int t4 > 1.5))
+    policies
+
+let test_deterministic () =
+  List.iter
+    (fun pol ->
+      let a = E.run ~seed:9 ~policy:pol ~workers:4 fib_tree in
+      let b = E.run ~seed:9 ~policy:pol ~workers:4 fib_tree in
+      Alcotest.(check int) (pol.P.name ^ " time") a.E.time b.E.time;
+      Alcotest.(check int) (pol.P.name ^ " hash") a.E.trace_hash b.E.trace_hash;
+      Alcotest.(check int) (pol.P.name ^ " steals") a.E.steals b.E.steals)
+    [ P.wool; P.cilk; P.tbb ]
+
+let test_seed_changes_trace () =
+  let a = E.run ~seed:1 ~policy:P.wool ~workers:4 fib_tree in
+  let b = E.run ~seed:2 ~policy:P.wool ~workers:4 fib_tree in
+  Alcotest.(check bool) "different traces" true (a.E.trace_hash <> b.E.trace_hash)
+
+let test_no_steals_single_worker () =
+  List.iter
+    (fun pol ->
+      let r = E.run ~policy:pol ~workers:1 fib_tree in
+      Alcotest.(check int) (pol.P.name ^ " steals") 0 r.E.steals;
+      Alcotest.(check int) (pol.P.name ^ " leap") 0 r.E.leap_steals)
+    policies
+
+let test_steals_happen_in_parallel () =
+  let r = E.run ~policy:P.wool ~workers:4 stress_tree in
+  Alcotest.(check bool) "some steals" true (r.E.steals > 0);
+  Alcotest.(check bool) "leap subset" true (r.E.leap_steals <= r.E.steals)
+
+let test_breakdown_consistency () =
+  List.iter
+    (fun pol ->
+      let p = 4 in
+      let r = E.run ~policy:pol ~workers:p stress_tree in
+      Alcotest.(check int) "breakdown rows" p (Array.length r.E.breakdown);
+      let busy =
+        Array.fold_left
+          (fun acc row -> acc + Array.fold_left ( + ) 0 row)
+          0 r.E.breakdown
+      in
+      (* workers may be charged for an operation in flight when the root
+         completes, so allow one op's slack per worker *)
+      Alcotest.(check bool) "busy time within p*T plus slack" true
+        (busy <= p * (r.E.time + 100_000));
+      let app =
+        Array.fold_left
+          (fun acc row ->
+            acc
+            + row.(E.category_index E.NA)
+            + row.(E.category_index E.LA))
+          0 r.E.breakdown
+      in
+      Alcotest.(check bool) "app time covers the work" true (app >= r.E.work))
+    [ P.wool; P.tbb; P.cilk ]
+
+let test_plain_wait_policy_completes () =
+  let pol =
+    {
+      P.name = "plain-wait";
+      flavor =
+        P.Steal_child
+          { sync = P.Nolock_state; blocked_join = P.Plain_wait;
+            publicity = P.All_public };
+      costs = Wool_sim.Costs.wool;
+    }
+  in
+  let r = E.run ~policy:pol ~workers:4 stress_tree in
+  Alcotest.(check int) "work" (Tt.work stress_tree) r.E.work
+
+let test_max_events () =
+  Alcotest.check_raises "budget" (Failure "Engine.run: max_events exceeded")
+    (fun () ->
+      ignore (E.run ~max_events:10 ~policy:P.wool ~workers:2 stress_tree))
+
+let test_steal_parent_handles_deep_calls () =
+  (* Call chains mix with spawns; exercises continuation migration through
+     called frames. *)
+  let t =
+    Tt.make
+      [
+        Tt.Call (Tt.fork2 (Tt.leaf 30_000) (Tt.leaf 30_000));
+        Tt.Work 100;
+        Tt.Spawn (Tt.fork2 (Tt.leaf 20_000) (Tt.leaf 20_000));
+        Tt.Call (Tt.leaf 10_000);
+        Tt.Join;
+      ]
+  in
+  List.iter
+    (fun p ->
+      let r = E.run ~policy:P.cilk ~workers:p t in
+      Alcotest.(check int) "work" (Tt.work t) r.E.work)
+    [ 1; 2; 3; 8 ]
+
+let test_cholesky_tree_all_policies () =
+  (* data-dependent irregular tree as a scheduler torture test *)
+  let t = Wool_workloads.Cholesky.tree ~seed:3 ~n:40 ~nz:120 () in
+  List.iter
+    (fun pol ->
+      let r = E.run ~policy:pol ~workers:6 t in
+      Alcotest.(check int) (pol.P.name ^ " work") (Tt.work t) r.E.work)
+    policies
+
+let test_speedup_helper () =
+  let base = E.run ~policy:P.wool ~workers:1 stress_tree in
+  let r = E.run ~policy:P.wool ~workers:4 stress_tree in
+  Alcotest.(check (float 1e-9)) "speedup def"
+    (float_of_int base.E.time /. float_of_int r.E.time)
+    (E.speedup ~base r)
+
+let test_victim_selection_strategies () =
+  List.iter
+    (fun sel ->
+      let r = E.run ~victim_selection:sel ~policy:P.wool ~workers:4 stress_tree in
+      Alcotest.(check int) "work conserved" (Tt.work stress_tree) r.E.work;
+      Alcotest.(check bool) "steals happen" true (r.E.steals > 0))
+    [ E.Random_victim; E.Round_robin; E.Last_victim; E.Socket_local ]
+
+let test_steal_batch () =
+  List.iter
+    (fun batch ->
+      let r = E.run ~steal_batch:batch ~policy:P.wool_all_public ~workers:4 stress_tree in
+      Alcotest.(check int)
+        (Printf.sprintf "batch %d conserves work" batch)
+        (Tt.work stress_tree) r.E.work)
+    [ 1; 2; 4; 16 ];
+  Alcotest.check_raises "invalid batch"
+    (Invalid_argument "Engine.run: steal_batch must be positive") (fun () ->
+      ignore (E.run ~steal_batch:0 ~policy:P.wool ~workers:2 stress_tree))
+
+let test_sockets () =
+  List.iter
+    (fun sockets ->
+      let r = E.run ~sockets ~policy:P.wool ~workers:8 stress_tree in
+      Alcotest.(check int)
+        (Printf.sprintf "%d sockets conserve work" sockets)
+        (Tt.work stress_tree) r.E.work)
+    [ 1; 2; 4; 8 ];
+  let r =
+    E.run ~sockets:2 ~victim_selection:E.Socket_local ~policy:P.wool ~workers:8
+      stress_tree
+  in
+  Alcotest.(check int) "socket-local conserves work" (Tt.work stress_tree)
+    r.E.work;
+  Alcotest.check_raises "invalid sockets"
+    (Invalid_argument "Engine.run: sockets must be positive") (fun () ->
+      ignore (E.run ~sockets:0 ~policy:P.wool ~workers:2 stress_tree))
+
+let test_max_pool_depth () =
+  (* a flat 100-task spawn loop: steal-child pools hold ~100 descriptors;
+     the steal-parent pool holds only the current continuation *)
+  let loop =
+    W.root (W.spawn_loop ~n:100 ~leaf_work:200 ())
+  in
+  let child = E.run ~policy:P.wool_all_public ~workers:2 loop in
+  let parent = E.run ~policy:P.cilk ~workers:2 loop in
+  Alcotest.(check bool) "steal-child O(n)" true (child.E.max_pool_depth > 50);
+  Alcotest.(check bool) "steal-parent O(1)" true (parent.E.max_pool_depth <= 4)
+
+let test_category_names () =
+  Alcotest.(check int) "count" 5 E.n_categories;
+  let names = List.map E.category_name [ E.TR; E.LA; E.NA; E.ST; E.LF ] in
+  Alcotest.(check (list string)) "names" [ "TR"; "LA"; "NA"; "ST"; "LF" ] names;
+  List.iteri
+    (fun i c -> Alcotest.(check int) "index" i (E.category_index c))
+    [ E.TR; E.LA; E.NA; E.ST; E.LF ]
+
+let qcheck_span_lower_bound =
+  (* the critical path is a hard floor on completion time, whatever the
+     scheduler does (costs only add) *)
+  let gen =
+    QCheck.Gen.(
+      sized_size (int_range 0 5) @@ fix (fun self n ->
+          if n = 0 then map Tt.leaf (int_range 1 2000)
+          else
+            oneof
+              [
+                map Tt.leaf (int_range 1 2000);
+                map2 (fun a b -> Tt.fork2 a b) (self (n / 2)) (self (n / 2));
+              ]))
+  in
+  QCheck.Test.make ~name:"simulated time >= critical path" ~count:60
+    (QCheck.make gen) (fun t ->
+      let span = Wool_metrics.Span.span ~overhead:0 t in
+      List.for_all
+        (fun p ->
+          List.for_all
+            (fun pol -> (E.run ~policy:pol ~workers:p t).E.time >= span)
+            [ P.wool; P.cilk; P.tbb ])
+        [ 1; 2; 4 ])
+
+let qcheck_conservation_random_trees =
+  let gen =
+    QCheck.Gen.(
+      sized_size (int_range 0 5) @@ fix (fun self n ->
+          if n = 0 then map Tt.leaf (int_range 1 2000)
+          else
+            oneof
+              [
+                map Tt.leaf (int_range 1 2000);
+                map2 (fun a b -> Tt.fork2 ~pre:2 a b) (self (n / 2)) (self (n / 2));
+                map2
+                  (fun a b -> Tt.make [ Tt.Call a; Tt.Spawn b; Tt.Work 5; Tt.Join ])
+                  (self (n / 2)) (self (n / 2));
+              ]))
+  in
+  QCheck.Test.make ~name:"engine conserves work on random trees" ~count:60
+    (QCheck.make gen) (fun t ->
+      List.for_all
+        (fun pol ->
+          let r = E.run ~policy:pol ~workers:3 t in
+          r.E.work = Tt.work t)
+        [ P.wool; P.cilk; P.tbb ])
+
+let suite =
+  [
+    ( "engine",
+      [
+        Alcotest.test_case "validation" `Quick test_validation;
+        Alcotest.test_case "single leaf exact" `Quick test_single_leaf_exact;
+        Alcotest.test_case "work conservation" `Quick
+          test_work_conservation_all_policies;
+        Alcotest.test_case "no super-linear speedup" `Quick
+          test_no_overtaking_perfect_speedup;
+        Alcotest.test_case "parallel helps" `Quick test_parallel_helps;
+        Alcotest.test_case "deterministic" `Quick test_deterministic;
+        Alcotest.test_case "seed changes trace" `Quick test_seed_changes_trace;
+        Alcotest.test_case "no steals on one worker" `Quick
+          test_no_steals_single_worker;
+        Alcotest.test_case "steals in parallel" `Quick
+          test_steals_happen_in_parallel;
+        Alcotest.test_case "breakdown consistency" `Quick
+          test_breakdown_consistency;
+        Alcotest.test_case "plain-wait completes" `Quick
+          test_plain_wait_policy_completes;
+        Alcotest.test_case "max_events" `Quick test_max_events;
+        Alcotest.test_case "steal-parent deep calls" `Quick
+          test_steal_parent_handles_deep_calls;
+        Alcotest.test_case "cholesky tree all policies" `Quick
+          test_cholesky_tree_all_policies;
+        Alcotest.test_case "speedup helper" `Quick test_speedup_helper;
+        Alcotest.test_case "victim selection" `Quick
+          test_victim_selection_strategies;
+        Alcotest.test_case "steal batch" `Quick test_steal_batch;
+        Alcotest.test_case "sockets" `Quick test_sockets;
+        Alcotest.test_case "max pool depth" `Quick test_max_pool_depth;
+        Alcotest.test_case "category names" `Quick test_category_names;
+        QCheck_alcotest.to_alcotest qcheck_span_lower_bound;
+        QCheck_alcotest.to_alcotest qcheck_conservation_random_trees;
+      ] );
+  ]

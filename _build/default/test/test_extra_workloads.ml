@@ -1,0 +1,226 @@
+module Nq = Wool_workloads.Nqueens
+module Kp = Wool_workloads.Knapsack
+module Tt = Wool_ir.Task_tree
+module Rng = Wool_util.Rng
+module E = Wool_sim.Engine
+module P = Wool_sim.Policy
+
+(* ---- nqueens ---- *)
+
+let test_nqueens_known_values () =
+  List.iter
+    (fun (n, expected) ->
+      Alcotest.(check int) (Printf.sprintf "n=%d" n) expected (Nq.serial n))
+    Nq.known
+
+let test_nqueens_wool_matches_serial () =
+  Wool.with_pool ~workers:3 (fun pool ->
+      List.iter
+        (fun (n, expected) ->
+          Alcotest.(check int)
+            (Printf.sprintf "wool n=%d" n)
+            expected
+            (Wool.run pool (fun ctx -> Nq.wool ctx n)))
+        Nq.known)
+
+let test_nqueens_cutoff_variants () =
+  Wool.with_pool ~workers:2 (fun pool ->
+      List.iter
+        (fun cutoff ->
+          Alcotest.(check int)
+            (Printf.sprintf "cutoff %d" cutoff)
+            92
+            (Wool.run pool (fun ctx -> Nq.wool ctx ~cutoff 8)))
+        [ 0; 1; 2; 5; 100 ])
+
+let test_nqueens_tree_runs () =
+  let t = Nq.tree 8 in
+  Alcotest.(check bool) "has tasks" true (Tt.n_tasks t > 10);
+  let r = E.run ~policy:P.wool ~workers:4 t in
+  Alcotest.(check int) "conserved" (Tt.work t) r.E.work
+
+(* ---- knapsack ---- *)
+
+(* exhaustive reference without any bounding *)
+let brute items ~capacity =
+  let n = Array.length items in
+  let rec go i cap =
+    if i = n then 0
+    else begin
+      let skip = go (i + 1) cap in
+      let it = items.(i) in
+      if it.Kp.weight <= cap then
+        max skip (it.Kp.value + go (i + 1) (cap - it.Kp.weight))
+      else skip
+    end
+  in
+  go 0 capacity
+
+let test_knapsack_vs_brute_force () =
+  List.iter
+    (fun seed ->
+      let rng = Rng.make seed in
+      let items = Kp.random_items rng ~n:14 ~max_weight:25 in
+      let capacity = 60 in
+      Alcotest.(check int)
+        (Printf.sprintf "seed %d" seed)
+        (brute items ~capacity)
+        (Kp.serial items ~capacity))
+    [ 1; 2; 3; 4; 5 ]
+
+let test_knapsack_wool_matches_serial () =
+  Wool.with_pool ~workers:3 (fun pool ->
+      List.iter
+        (fun seed ->
+          let rng = Rng.make seed in
+          let items = Kp.random_items rng ~n:18 ~max_weight:30 in
+          let capacity = 100 in
+          Alcotest.(check int)
+            (Printf.sprintf "seed %d" seed)
+            (Kp.serial items ~capacity)
+            (Wool.run pool (fun ctx -> Kp.wool ctx items ~capacity)))
+        [ 7; 8; 9 ])
+
+let test_knapsack_density_sorted () =
+  let rng = Rng.make 3 in
+  let items = Kp.random_items rng ~n:50 ~max_weight:20 in
+  let density it = float_of_int it.Kp.value /. float_of_int it.Kp.weight in
+  for i = 0 to Array.length items - 2 do
+    Alcotest.(check bool) "sorted by density" true
+      (density items.(i) >= density items.(i + 1) -. 1e-9)
+  done
+
+let test_knapsack_zero_capacity () =
+  let rng = Rng.make 1 in
+  let items = Kp.random_items rng ~n:10 ~max_weight:5 in
+  Alcotest.(check int) "nothing fits" 0 (Kp.serial items ~capacity:0)
+
+let test_knapsack_tree_runs () =
+  let t = Kp.tree ~seed:5 ~n:20 ~capacity:80 () in
+  Alcotest.(check bool) "has work" true (Tt.work t > 0);
+  let r = E.run ~policy:P.cilk ~workers:3 t in
+  Alcotest.(check int) "conserved" (Tt.work t) r.E.work;
+  (* deterministic construction *)
+  let t2 = Kp.tree ~seed:5 ~n:20 ~capacity:80 () in
+  Alcotest.(check int) "deterministic" (Tt.work t) (Tt.work t2)
+
+(* ---- new combinators ---- *)
+
+let test_parallel_map () =
+  Wool.with_pool ~workers:3 (fun pool ->
+      let xs = Array.init 500 Fun.id in
+      let got =
+        Wool.run pool (fun ctx -> Wool.parallel_map ctx ~grain:7 (fun x -> x * x) xs)
+      in
+      Alcotest.(check (array int)) "squares" (Array.map (fun x -> x * x) xs) got;
+      let empty =
+        Wool.run pool (fun ctx -> Wool.parallel_map ctx (fun x -> x) [||])
+      in
+      Alcotest.(check (array int)) "empty" [||] empty)
+
+let test_parallel_init () =
+  Wool.with_pool ~workers:2 (fun pool ->
+      let got = Wool.run pool (fun ctx -> Wool.parallel_init ctx 100 (fun i -> 2 * i)) in
+      Alcotest.(check (array int)) "init" (Array.init 100 (fun i -> 2 * i)) got;
+      Wool.run pool (fun ctx ->
+          try
+            ignore (Wool.parallel_init ctx (-1) Fun.id);
+            Alcotest.fail "expected Invalid_argument"
+          with Invalid_argument _ -> ()))
+
+let base_suite =
+  [
+    ( "extra_workloads",
+      [
+        Alcotest.test_case "nqueens known values" `Quick test_nqueens_known_values;
+        Alcotest.test_case "nqueens wool" `Slow test_nqueens_wool_matches_serial;
+        Alcotest.test_case "nqueens cutoffs" `Quick test_nqueens_cutoff_variants;
+        Alcotest.test_case "nqueens tree" `Quick test_nqueens_tree_runs;
+        Alcotest.test_case "knapsack vs brute force" `Quick
+          test_knapsack_vs_brute_force;
+        Alcotest.test_case "knapsack wool" `Slow test_knapsack_wool_matches_serial;
+        Alcotest.test_case "knapsack density order" `Quick
+          test_knapsack_density_sorted;
+        Alcotest.test_case "knapsack zero capacity" `Quick
+          test_knapsack_zero_capacity;
+        Alcotest.test_case "knapsack tree" `Quick test_knapsack_tree_runs;
+        Alcotest.test_case "parallel_map" `Quick test_parallel_map;
+        Alcotest.test_case "parallel_init" `Quick test_parallel_init;
+      ] );
+  ]
+
+(* ---- mergesort ---- *)
+
+module Sort = Wool_workloads.Sort
+
+let test_sort_serial () =
+  let rng = Wool_util.Rng.make 42 in
+  List.iter
+    (fun n ->
+      let input = Array.init n (fun _ -> Wool_util.Rng.int rng 1000) in
+      let sorted = Sort.serial input in
+      Alcotest.(check bool) (Printf.sprintf "sorted n=%d" n) true
+        (Sort.is_sorted sorted);
+      let reference = Array.copy input in
+      Array.sort compare reference;
+      Alcotest.(check (array int)) "matches Array.sort" reference sorted;
+      (* input untouched *)
+      Alcotest.(check int) "input intact" (Array.length input) n)
+    [ 0; 1; 2; 15; 16; 17; 100; 1000 ]
+
+let test_sort_wool_matches_serial () =
+  let rng = Wool_util.Rng.make 7 in
+  let input = Array.init 5000 (fun _ -> Wool_util.Rng.int rng 100000) in
+  let expected = Sort.serial input in
+  Wool.with_pool ~workers:3 (fun pool ->
+      let got = Wool.run pool (fun ctx -> Sort.wool ctx input) in
+      Alcotest.(check (array int)) "parallel sort" expected got)
+
+let test_sort_wool_small_cutoff () =
+  let rng = Wool_util.Rng.make 9 in
+  let input = Array.init 500 (fun _ -> Wool_util.Rng.int rng 50) in
+  Wool.with_pool ~workers:2 (fun pool ->
+      let got = Wool.run pool (fun ctx -> Sort.wool ctx ~cutoff:8 input) in
+      Alcotest.(check bool) "sorted with tiny cutoff" true (Sort.is_sorted got))
+
+let test_sort_duplicates_and_negatives () =
+  let input = [| 3; -1; 3; 0; -5; 3; 0 |] in
+  Alcotest.(check (array int)) "dups"
+    [| -5; -1; 0; 0; 3; 3; 3 |]
+    (Sort.serial input)
+
+let test_sort_tree () =
+  let t = Sort.tree 1024 in
+  let module Tt = Wool_ir.Task_tree in
+  Alcotest.(check bool) "has tasks" true (Tt.n_tasks t > 10);
+  (* merge work puts real cycles on internal nodes: parallelism is well
+     below the leaf count *)
+  let par = Wool_metrics.Span.parallelism ~overhead:0 t in
+  Alcotest.(check bool)
+    (Printf.sprintf "bounded parallelism (%.1f)" par)
+    true
+    (par < 64.0 && par > 2.0);
+  Alcotest.check_raises "bad size" (Invalid_argument "Sort.tree: size must be positive")
+    (fun () -> ignore (Sort.tree 0));
+  let r = Wool_sim.Engine.run ~policy:Wool_sim.Policy.wool ~workers:4 t in
+  Alcotest.(check int) "sim conserves work" (Tt.work t) r.Wool_sim.Engine.work
+
+let test_sort_no_loop_form () =
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Sort.loop_leaves 4);
+       false
+     with Invalid_argument _ -> true)
+
+let sort_suite =
+  ( "sort",
+    [
+      Alcotest.test_case "serial correctness" `Quick test_sort_serial;
+      Alcotest.test_case "wool matches serial" `Quick test_sort_wool_matches_serial;
+      Alcotest.test_case "tiny cutoff" `Quick test_sort_wool_small_cutoff;
+      Alcotest.test_case "duplicates" `Quick test_sort_duplicates_and_negatives;
+      Alcotest.test_case "tree model" `Quick test_sort_tree;
+      Alcotest.test_case "no loop form" `Quick test_sort_no_loop_form;
+    ] )
+
+let suite = base_suite @ [ sort_suite ]

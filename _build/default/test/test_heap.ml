@@ -1,0 +1,105 @@
+module Heap = Wool_util.Heap
+
+let drain h =
+  let rec go acc =
+    match Heap.pop h with None -> List.rev acc | Some kv -> go (kv :: acc)
+  in
+  go []
+
+let test_empty () =
+  let h = Heap.create () in
+  Alcotest.(check bool) "is_empty" true (Heap.is_empty h);
+  Alcotest.(check int) "length" 0 (Heap.length h);
+  Alcotest.(check bool) "pop none" true (Heap.pop h = None);
+  Alcotest.(check bool) "peek none" true (Heap.peek_key h = None)
+
+let test_ordering () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.push h ~key:k k) [ 5; 1; 4; 2; 3 ];
+  Alcotest.(check (list (pair int int)))
+    "sorted"
+    [ (1, 1); (2, 2); (3, 3); (4, 4); (5, 5) ]
+    (drain h)
+
+let test_fifo_ties () =
+  let h = Heap.create () in
+  Heap.push h ~key:7 "a";
+  Heap.push h ~key:7 "b";
+  Heap.push h ~key:3 "c";
+  Heap.push h ~key:7 "d";
+  Alcotest.(check (list (pair int string)))
+    "equal keys pop in insertion order"
+    [ (3, "c"); (7, "a"); (7, "b"); (7, "d") ]
+    (drain h)
+
+let test_interleaved () =
+  let h = Heap.create () in
+  Heap.push h ~key:10 10;
+  Heap.push h ~key:5 5;
+  Alcotest.(check bool) "pop 5" true (Heap.pop h = Some (5, 5));
+  Heap.push h ~key:1 1;
+  Heap.push h ~key:20 20;
+  Alcotest.(check bool) "pop 1" true (Heap.pop h = Some (1, 1));
+  Alcotest.(check bool) "pop 10" true (Heap.pop h = Some (10, 10));
+  Alcotest.(check bool) "pop 20" true (Heap.pop h = Some (20, 20));
+  Alcotest.(check bool) "empty" true (Heap.is_empty h)
+
+let test_peek () =
+  let h = Heap.create () in
+  Heap.push h ~key:9 ();
+  Heap.push h ~key:2 ();
+  Alcotest.(check bool) "peek min" true (Heap.peek_key h = Some 2);
+  Alcotest.(check int) "peek does not remove" 2 (Heap.length h)
+
+let test_clear () =
+  let h = Heap.create () in
+  Heap.push h ~key:1 ();
+  Heap.clear h;
+  Alcotest.(check bool) "cleared" true (Heap.is_empty h)
+
+let test_negative_keys () =
+  let h = Heap.create () in
+  List.iter (fun k -> Heap.push h ~key:k k) [ 0; -5; 3; -1 ];
+  Alcotest.(check (list (pair int int)))
+    "negative keys sort"
+    [ (-5, -5); (-1, -1); (0, 0); (3, 3) ]
+    (drain h)
+
+let qcheck_heap_sorts =
+  QCheck.Test.make ~name:"heap pops keys in nondecreasing order" ~count:300
+    QCheck.(list_of_size (Gen.int_range 0 200) small_signed_int)
+    (fun keys ->
+      let h = Heap.create () in
+      List.iter (fun k -> Heap.push h ~key:k ()) keys;
+      let popped = List.map fst (drain h) in
+      popped = List.sort compare keys)
+
+let qcheck_heap_length =
+  QCheck.Test.make ~name:"length tracks pushes and pops" ~count:200
+    QCheck.(list_of_size (Gen.int_range 0 100) small_signed_int)
+    (fun keys ->
+      let h = Heap.create () in
+      List.iteri (fun i k -> Heap.push h ~key:k i) keys;
+      let n = List.length keys in
+      let ok = ref (Heap.length h = n) in
+      for expect = n - 1 downto 0 do
+        ignore (Heap.pop h : (int * int) option);
+        if Heap.length h <> expect then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    ( "heap",
+      [
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "ordering" `Quick test_ordering;
+        Alcotest.test_case "FIFO on ties" `Quick test_fifo_ties;
+        Alcotest.test_case "interleaved" `Quick test_interleaved;
+        Alcotest.test_case "peek" `Quick test_peek;
+        Alcotest.test_case "clear" `Quick test_clear;
+        Alcotest.test_case "negative keys" `Quick test_negative_keys;
+        QCheck_alcotest.to_alcotest qcheck_heap_sorts;
+        QCheck_alcotest.to_alcotest qcheck_heap_length;
+      ] );
+  ]

@@ -1,0 +1,70 @@
+module L = Wool_sim.Loop_sim
+module C = Wool_sim.Costs
+
+let costs = C.openmp
+
+let test_single_worker_exact () =
+  let leaves = Array.make 10 1000 in
+  let r = L.run ~costs ~workers:1 ~reps:3 ~leaf_work:leaves in
+  (* one worker: no fork, no barrier *)
+  Alcotest.(check int) "time" (costs.C.startup + (3 * 10_000)) r.L.time;
+  Alcotest.(check (float 1e-9)) "balanced" 0.0 r.L.imbalance
+
+let test_uniform_multi_worker () =
+  let leaves = Array.make 8 1000 in
+  let r = L.run ~costs ~workers:4 ~reps:1 ~leaf_work:leaves in
+  let fork = costs.C.loop_fork_base + (4 * costs.C.loop_fork_per_worker) in
+  let barrier = 4 * costs.C.barrier_per_worker in
+  Alcotest.(check int) "time" (costs.C.startup + fork + 2000 + barrier) r.L.time;
+  Alcotest.(check (float 1e-9)) "no imbalance" 0.0 r.L.imbalance
+
+let test_imbalance () =
+  (* one heavy iteration lands in one chunk *)
+  let leaves = [| 10_000; 0; 0; 0 |] in
+  let r = L.run ~costs ~workers:4 ~reps:1 ~leaf_work:leaves in
+  Alcotest.(check bool) "imbalanced" true (r.L.imbalance > 1.0)
+
+let test_static_chunking_penalty () =
+  (* irregular ssf-style work: static chunks are slower than the ideal
+     work/p bound *)
+  let leaves = Array.init 64 (fun i -> if i < 8 then 10_000 else 100 ) in
+  let total = Array.fold_left ( + ) 0 leaves in
+  let r = L.run ~costs ~workers:8 ~reps:1 ~leaf_work:leaves in
+  Alcotest.(check bool) "worse than ideal" true
+    (r.L.time - costs.C.startup > total / 8)
+
+let test_more_workers_not_slower_when_uniform () =
+  let leaves = Array.make 64 5_000 in
+  let t2 = (L.run ~costs ~workers:2 ~reps:4 ~leaf_work:leaves).L.time in
+  let t8 = (L.run ~costs ~workers:8 ~reps:4 ~leaf_work:leaves).L.time in
+  Alcotest.(check bool) "t8 < t2" true (t8 < t2)
+
+let test_validation () =
+  Alcotest.check_raises "workers"
+    (Invalid_argument "Loop_sim.run: workers must be positive") (fun () ->
+      ignore (L.run ~costs ~workers:0 ~reps:1 ~leaf_work:[| 1 |]));
+  Alcotest.check_raises "empty" (Invalid_argument "Loop_sim.run: empty loop")
+    (fun () -> ignore (L.run ~costs ~workers:1 ~reps:1 ~leaf_work:[||]))
+
+let test_more_workers_than_iterations () =
+  let leaves = Array.make 3 1000 in
+  let r = L.run ~costs ~workers:8 ~reps:1 ~leaf_work:leaves in
+  Alcotest.(check bool) "completes" true (r.L.time > 0)
+
+let suite =
+  [
+    ( "loop_sim",
+      [
+        Alcotest.test_case "single worker exact" `Quick test_single_worker_exact;
+        Alcotest.test_case "uniform multi-worker" `Quick
+          test_uniform_multi_worker;
+        Alcotest.test_case "imbalance metric" `Quick test_imbalance;
+        Alcotest.test_case "static chunk penalty" `Quick
+          test_static_chunking_penalty;
+        Alcotest.test_case "scaling when uniform" `Quick
+          test_more_workers_not_slower_when_uniform;
+        Alcotest.test_case "validation" `Quick test_validation;
+        Alcotest.test_case "more workers than work" `Quick
+          test_more_workers_than_iterations;
+      ] );
+  ]

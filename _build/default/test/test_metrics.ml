@@ -1,0 +1,105 @@
+module Tt = Wool_ir.Task_tree
+module Span = Wool_metrics.Span
+module Gran = Wool_metrics.Granularity
+
+let test_span_leaf () =
+  Alcotest.(check int) "leaf span" 42 (Span.span (Tt.leaf 42))
+
+let test_span_fork_zero_overhead () =
+  (* zero overhead: spawned child overlaps the continuation *)
+  let t = Tt.fork2 (Tt.leaf 100) (Tt.leaf 60) in
+  Alcotest.(check int) "max branch" 100 (Span.span ~overhead:0 t);
+  let t2 = Tt.fork2 (Tt.leaf 60) (Tt.leaf 100) in
+  Alcotest.(check int) "max of either order" 100 (Span.span ~overhead:0 t2)
+
+let test_span_sequentializes_small_savings () =
+  (* savings = 60 < 2000, so the pair runs sequentially in the model *)
+  let t = Tt.fork2 (Tt.leaf 100) (Tt.leaf 60) in
+  Alcotest.(check int) "sequential" 160 (Span.span ~overhead:2000 t)
+
+let test_span_parallelizes_large_savings () =
+  let t = Tt.fork2 (Tt.leaf 50_000) (Tt.leaf 50_000) in
+  (* savings 50_000 >= 2000: parallel with the 2000 surcharge *)
+  Alcotest.(check int) "parallel + overhead" 52_000 (Span.span ~overhead:2000 t);
+  Alcotest.(check int) "free model" 50_000 (Span.span ~overhead:0 t)
+
+let test_span_call_sequences () =
+  let t = Tt.make [ Tt.Call (Tt.leaf 10); Tt.Work 5; Tt.Call (Tt.leaf 20) ] in
+  Alcotest.(check int) "calls serialize" 35 (Span.span t)
+
+let test_span_balanced_tree () =
+  let rec build h = if h = 0 then Tt.leaf 16 else Tt.fork2 (build (h - 1)) (build (h - 1)) in
+  let t = build 10 in
+  Alcotest.(check int) "span = one leaf" 16 (Span.span ~overhead:0 t);
+  Alcotest.(check int) "work = all leaves" (16 * 1024) (Span.work t)
+
+let test_parallelism () =
+  let rec build h = if h = 0 then Tt.leaf 16 else Tt.fork2 (build (h - 1)) (build (h - 1)) in
+  let t = build 6 in
+  Alcotest.(check (float 1e-9)) "work/span" 64.0 (Span.parallelism ~overhead:0 t);
+  Alcotest.(check (float 1e-9)) "degenerate leaf" 1.0
+    (Span.parallelism (Tt.leaf 0))
+
+let test_parallelism_decreases_with_overhead () =
+  let t = Wool_workloads.Stress.tree ~height:8 ~leaf_iters:256 in
+  let p0 = Span.parallelism ~overhead:0 t in
+  let p2k = Span.parallelism ~overhead:2000 t in
+  Alcotest.(check bool) "overhead reduces parallelism" true (p2k < p0);
+  Alcotest.(check bool) "still at least 1" true (p2k >= 1.0)
+
+let test_task_granularity () =
+  let t = Tt.fork2 ~pre:10 (Tt.leaf 20) (Tt.leaf 30) in
+  Alcotest.(check (float 1e-9)) "work per task" 60.0 (Gran.task_granularity t);
+  Alcotest.(check (float 1e-9)) "leaf counts as whole work" 42.0
+    (Gran.task_granularity (Tt.leaf 42))
+
+let test_load_balancing_granularity () =
+  Alcotest.(check (float 1e-9)) "per steal" 500.0
+    (Gran.load_balancing_granularity ~work:5000 ~steals:10);
+  Alcotest.(check bool) "no steals" true
+    (Gran.load_balancing_granularity ~work:5000 ~steals:0 = infinity)
+
+let gen_tree = QCheck.Gen.(
+  sized_size (int_range 0 5) @@ fix (fun self n ->
+      if n = 0 then map Tt.leaf (int_range 0 50)
+      else
+        oneof
+          [
+            map Tt.leaf (int_range 0 50);
+            map2 (fun a b -> Tt.fork2 a b) (self (n / 2)) (self (n / 2));
+          ]))
+
+let arb_tree = QCheck.make gen_tree
+
+let qcheck_span_bounds =
+  QCheck.Test.make ~name:"span0 <= span_h <= work" ~count:300 arb_tree (fun t ->
+      let s0 = Span.span ~overhead:0 t in
+      let sh = Span.span ~overhead:2000 t in
+      s0 <= sh && sh <= Tt.work t)
+
+let qcheck_parallelism_at_least_one =
+  QCheck.Test.make ~name:"parallelism >= 1" ~count:300 arb_tree (fun t ->
+      Span.parallelism ~overhead:0 t >= 1.0 -. 1e-9)
+
+let suite =
+  [
+    ( "metrics",
+      [
+        Alcotest.test_case "span leaf" `Quick test_span_leaf;
+        Alcotest.test_case "span fork" `Quick test_span_fork_zero_overhead;
+        Alcotest.test_case "small savings sequential" `Quick
+          test_span_sequentializes_small_savings;
+        Alcotest.test_case "large savings parallel" `Quick
+          test_span_parallelizes_large_savings;
+        Alcotest.test_case "calls sequence" `Quick test_span_call_sequences;
+        Alcotest.test_case "balanced tree" `Quick test_span_balanced_tree;
+        Alcotest.test_case "parallelism" `Quick test_parallelism;
+        Alcotest.test_case "overhead reduces parallelism" `Quick
+          test_parallelism_decreases_with_overhead;
+        Alcotest.test_case "task granularity" `Quick test_task_granularity;
+        Alcotest.test_case "load balancing granularity" `Quick
+          test_load_balancing_granularity;
+        QCheck_alcotest.to_alcotest qcheck_span_bounds;
+        QCheck_alcotest.to_alcotest qcheck_parallelism_at_least_one;
+      ] );
+  ]

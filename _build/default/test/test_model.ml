@@ -1,0 +1,60 @@
+module M = Wool_model.Steal_model
+
+let base = { M.work = 1_000_000.0; c2 = 2200.0; c_p = 6800.0; steals_per_rep = 17.0; p = 8 }
+
+let test_distribution_steals () =
+  Alcotest.(check int) "p=8" 7 (M.distribution_steals ~p:8);
+  Alcotest.(check int) "p=1" 0 (M.distribution_steals ~p:1)
+
+let test_balancing_steals () =
+  Alcotest.(check (float 1e-9)) "surplus" 10.0
+    (M.balancing_steals ~p:8 ~steals_per_rep:17.0);
+  Alcotest.(check (float 1e-9)) "floored" 0.0
+    (M.balancing_steals ~p:8 ~steals_per_rep:3.0)
+
+let test_time_formula () =
+  (* T_8 = 6800 + (1e6 + 2*10*2200)/8 *)
+  Alcotest.(check (float 1e-6)) "closed form"
+    (6800.0 +. ((1_000_000.0 +. 44_000.0) /. 8.0))
+    (M.time base)
+
+let test_speedup_bounds () =
+  let s = M.speedup base in
+  Alcotest.(check bool) "below linear" true (s < 8.0);
+  Alcotest.(check bool) "positive" true (s > 0.0)
+
+let test_single_processor () =
+  (* no steals, but the micro-benchmark term still applies *)
+  let i = { base with M.p = 1; steals_per_rep = 0.0; c_p = 0.0 } in
+  Alcotest.(check (float 1e-9)) "T1 = work" base.M.work (M.time i)
+
+let test_more_steals_cost_more () =
+  let few = M.time { base with M.steals_per_rep = 8.0 } in
+  let many = M.time { base with M.steals_per_rep = 80.0 } in
+  Alcotest.(check bool) "steals hurt" true (many > few)
+
+let test_invalid_p () =
+  Alcotest.check_raises "p=0" (Invalid_argument "Steal_model.time: p must be positive")
+    (fun () -> ignore (M.time { base with M.p = 0 } : float))
+
+let qcheck_speedup_monotone_in_work =
+  QCheck.Test.make ~name:"more work amortizes overhead" ~count:200
+    QCheck.(pair (float_range 1e4 1e8) (float_range 1e4 1e8))
+    (fun (w1, w2) ->
+      let lo = Float.min w1 w2 and hi = Float.max w1 w2 in
+      M.speedup { base with M.work = hi } >= M.speedup { base with M.work = lo } -. 1e-9)
+
+let suite =
+  [
+    ( "model",
+      [
+        Alcotest.test_case "distribution steals" `Quick test_distribution_steals;
+        Alcotest.test_case "balancing steals" `Quick test_balancing_steals;
+        Alcotest.test_case "time formula" `Quick test_time_formula;
+        Alcotest.test_case "speedup bounds" `Quick test_speedup_bounds;
+        Alcotest.test_case "single processor" `Quick test_single_processor;
+        Alcotest.test_case "steals cost" `Quick test_more_steals_cost_more;
+        Alcotest.test_case "invalid p" `Quick test_invalid_p;
+        QCheck_alcotest.to_alcotest qcheck_speedup_monotone_in_work;
+      ] );
+  ]

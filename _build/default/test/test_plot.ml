@@ -1,0 +1,80 @@
+module Plot = Wool_util.Plot
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let series label points = { Plot.label; points }
+
+let test_empty () =
+  Alcotest.(check string) "empty plot" "(empty plot)\n" (Plot.render [])
+
+let test_single_series () =
+  let s = Plot.render [ series "one" [ (1.0, 1.0); (2.0, 2.0); (3.0, 3.0) ] ] in
+  Alcotest.(check bool) "legend" true (contains s "one");
+  Alcotest.(check bool) "marker drawn" true (contains s "*");
+  Alcotest.(check bool) "axis" true (contains s "+")
+
+let test_title_labels () =
+  let s =
+    Plot.render ~title:"myplot" ~xlabel:"xs" ~ylabel:"ys"
+      [ series "a" [ (0.0, 0.0); (1.0, 1.0) ] ]
+  in
+  List.iter
+    (fun n -> Alcotest.(check bool) n true (contains s n))
+    [ "myplot"; "xs"; "ys" ]
+
+let test_multiple_series_markers () =
+  let s =
+    Plot.render
+      [
+        series "first" [ (0.0, 0.0); (1.0, 1.0) ];
+        series "second" [ (0.0, 1.0); (1.0, 0.0) ];
+      ]
+  in
+  Alcotest.(check bool) "marker 1" true (contains s "*");
+  Alcotest.(check bool) "marker 2" true (contains s "+");
+  Alcotest.(check bool) "legend 2" true (contains s "second")
+
+let test_singleton_point () =
+  let s = Plot.render [ series "dot" [ (5.0, 5.0) ] ] in
+  Alcotest.(check bool) "renders" true (String.length s > 0)
+
+let test_constant_series () =
+  (* y range collapses to a point; must not divide by zero *)
+  let s = Plot.render [ series "flat" [ (0.0, 2.0); (1.0, 2.0) ] ] in
+  Alcotest.(check bool) "renders" true (String.length s > 0)
+
+let test_dimensions () =
+  let s =
+    Plot.render ~width:20 ~height:5 [ series "a" [ (0.0, 0.0); (1.0, 1.0) ] ]
+  in
+  let lines = String.split_on_char '\n' s in
+  (* 5 grid rows + axis + x labels + legend *)
+  Alcotest.(check bool) "row count plausible" true (List.length lines >= 8)
+
+let qcheck_never_crashes =
+  QCheck.Test.make ~name:"plot renders arbitrary series" ~count:100
+    QCheck.(
+      list_of_size (Gen.int_range 1 4)
+        (list_of_size (Gen.int_range 1 20)
+           (pair (float_range (-1e3) 1e3) (float_range (-1e3) 1e3))))
+  @@ fun data ->
+  let ss = List.mapi (fun i pts -> series (string_of_int i) pts) data in
+  String.length (Plot.render ss) > 0
+
+let suite =
+  [
+    ( "plot",
+      [
+        Alcotest.test_case "empty" `Quick test_empty;
+        Alcotest.test_case "single series" `Quick test_single_series;
+        Alcotest.test_case "title and labels" `Quick test_title_labels;
+        Alcotest.test_case "multiple markers" `Quick test_multiple_series_markers;
+        Alcotest.test_case "single point" `Quick test_singleton_point;
+        Alcotest.test_case "constant series" `Quick test_constant_series;
+        Alcotest.test_case "dimensions" `Quick test_dimensions;
+        QCheck_alcotest.to_alcotest qcheck_never_crashes;
+      ] );
+  ]

@@ -1,0 +1,258 @@
+let all_modes =
+  [
+    ("private", Wool.Private);
+    ("task_specific", Wool.Task_specific);
+    ("swap_generic", Wool.Swap_generic);
+    ("locked", Wool.Locked);
+    ("clev", Wool.Clev);
+  ]
+
+let rec fib ctx n =
+  if n < 2 then n
+  else begin
+    let b = Wool.spawn ctx (fun ctx -> fib ctx (n - 2)) in
+    let a = fib ctx (n - 1) in
+    a + Wool.join ctx b
+  end
+
+let rec fib_serial n = if n < 2 then n else fib_serial (n - 1) + fib_serial (n - 2)
+
+let test_fib_all_modes_serial () =
+  List.iter
+    (fun (name, mode) ->
+      Wool.with_pool ~workers:1 ~mode (fun pool ->
+          Alcotest.(check int)
+            (name ^ " 1 worker")
+            (fib_serial 20)
+            (Wool.run pool (fun ctx -> fib ctx 20))))
+    all_modes
+
+let test_fib_all_modes_parallel () =
+  List.iter
+    (fun (name, mode) ->
+      Wool.with_pool ~workers:4 ~mode (fun pool ->
+          Alcotest.(check int)
+            (name ^ " 4 workers")
+            (fib_serial 22)
+            (Wool.run pool (fun ctx -> fib ctx 22))))
+    all_modes
+
+let test_publicity_variants () =
+  List.iter
+    (fun publicity ->
+      Wool.with_pool ~workers:3 ~mode:Wool.Private ~publicity (fun pool ->
+          Alcotest.(check int) "fib" (fib_serial 20)
+            (Wool.run pool (fun ctx -> fib ctx 20))))
+    [ Wool.All_private; Wool.All_public; Wool.Adaptive 1; Wool.Adaptive 8 ]
+
+let test_repeated_runs () =
+  Wool.with_pool ~workers:2 (fun pool ->
+      for n = 5 to 15 do
+        Alcotest.(check int) "fib n" (fib_serial n)
+          (Wool.run pool (fun ctx -> fib ctx n))
+      done)
+
+let test_spawn_returns_value_via_join () =
+  Wool.with_pool ~workers:1 (fun pool ->
+      let r =
+        Wool.run pool (fun ctx ->
+            let f = Wool.spawn ctx (fun _ -> "hello") in
+            Wool.join ctx f)
+      in
+      Alcotest.(check string) "value" "hello" r)
+
+let test_lifo_violation_raises () =
+  Wool.with_pool ~workers:1 (fun pool ->
+      Wool.run pool (fun ctx ->
+          let a = Wool.spawn ctx (fun _ -> 1) in
+          let b = Wool.spawn ctx (fun _ -> 2) in
+          (try
+             ignore (Wool.join ctx a : int);
+             Alcotest.fail "expected LIFO violation"
+           with Invalid_argument _ -> ());
+          (* clean up in the right order *)
+          Alcotest.(check int) "b" 2 (Wool.join ctx b);
+          Alcotest.(check int) "a" 1 (Wool.join ctx a)))
+
+let test_exception_propagates_inline () =
+  Wool.with_pool ~workers:1 (fun pool ->
+      Wool.run pool (fun ctx ->
+          let f = Wool.spawn ctx (fun _ -> failwith "task boom") in
+          match Wool.join ctx f with
+          | exception Failure msg -> Alcotest.(check string) "msg" "task boom" msg
+          | () -> Alcotest.fail "expected exception"))
+
+let test_exception_propagates_stolen () =
+  (* Force stealing by keeping the spawner busy; the stolen task raises and
+     the exception must surface at the join. *)
+  Wool.with_pool ~workers:4 ~publicity:Wool.All_public (fun pool ->
+      let saw = ref 0 in
+      Wool.run pool (fun ctx ->
+          for _ = 1 to 200 do
+            let f = Wool.spawn ctx (fun _ -> failwith "remote boom") in
+            (* do some work so a thief has time to take the task *)
+            ignore (Sys.opaque_identity (fib_serial 12) : int);
+            match Wool.join ctx f with
+            | exception Failure _ -> incr saw
+            | () -> Alcotest.fail "expected exception"
+          done);
+      Alcotest.(check int) "all raised" 200 !saw)
+
+let test_call () =
+  Wool.with_pool ~workers:1 (fun pool ->
+      Alcotest.(check int) "call" 7
+        (Wool.run pool (fun ctx -> Wool.call ctx (fun _ -> 7))))
+
+let test_parallel_for_covers_range () =
+  List.iter
+    (fun workers ->
+      Wool.with_pool ~workers (fun pool ->
+          let n = 1000 in
+          let hits = Array.init n (fun _ -> Atomic.make 0) in
+          Wool.run pool (fun ctx ->
+              Wool.parallel_for ctx ~grain:7 0 n (fun i -> Atomic.incr hits.(i)));
+          Array.iteri
+            (fun i c ->
+              if Atomic.get c <> 1 then
+                Alcotest.failf "index %d hit %d times" i (Atomic.get c))
+            hits))
+    [ 1; 4 ]
+
+let test_parallel_for_empty () =
+  Wool.with_pool ~workers:1 (fun pool ->
+      Wool.run pool (fun ctx ->
+          Wool.parallel_for ctx 5 5 (fun _ -> Alcotest.fail "must not run")))
+
+let test_parallel_reduce () =
+  Wool.with_pool ~workers:3 (fun pool ->
+      let n = 5000 in
+      let total =
+        Wool.run pool (fun ctx ->
+            Wool.parallel_reduce ctx ~grain:13 1 (n + 1) ~neutral:0 Fun.id ( + ))
+      in
+      Alcotest.(check int) "sum" (n * (n + 1) / 2) total)
+
+let test_both () =
+  Wool.with_pool ~workers:2 (fun pool ->
+      let a, b =
+        Wool.run pool (fun ctx ->
+            Wool.both ctx (fun _ -> fib_serial 10) (fun _ -> fib_serial 11))
+      in
+      Alcotest.(check int) "left" (fib_serial 10) a;
+      Alcotest.(check int) "right" (fib_serial 11) b)
+
+let test_stats_spawns () =
+  Wool.with_pool ~workers:1 (fun pool ->
+      Wool.reset_stats pool;
+      ignore (Wool.run pool (fun ctx -> fib ctx 10) : int);
+      let s = Wool.stats pool in
+      (* fib spawns once per internal node *)
+      let rec internal n = if n < 2 then 0 else 1 + internal (n - 1) + internal (n - 2) in
+      Alcotest.(check int) "spawn count" (internal 10) s.Wool.Pool.spawns;
+      Wool.reset_stats pool;
+      Alcotest.(check int) "reset" 0 (Wool.stats pool).Wool.Pool.spawns)
+
+let test_stats_accounting_consistency () =
+  Wool.with_pool ~workers:4 ~publicity:(Wool.Adaptive 2) (fun pool ->
+      Wool.reset_stats pool;
+      ignore (Wool.run pool (fun ctx -> fib ctx 22) : int);
+      let s = Wool.stats pool in
+      Alcotest.(check int) "every spawn joined exactly once" s.Wool.Pool.spawns
+        (s.Wool.Pool.inlined_private + s.Wool.Pool.inlined_public
+       + s.Wool.Pool.joins_stolen);
+      Alcotest.(check int) "stolen joins = steals" s.Wool.Pool.joins_stolen
+        s.Wool.Pool.steals;
+      if s.Wool.Pool.steals > 100 then
+        Alcotest.(check bool) "backoffs below 5%" true
+          (float_of_int s.Wool.Pool.backoffs
+          <= 0.05 *. float_of_int s.Wool.Pool.steals))
+
+let test_max_pool_depth_stat () =
+  (* a flat spawn loop occupies one descriptor per pending iteration *)
+  Wool.with_pool ~workers:1 ~publicity:Wool.All_private (fun pool ->
+      Wool.reset_stats pool;
+      Wool.run pool (fun ctx ->
+          let futs = List.init 300 (fun i -> Wool.spawn ctx (fun _ -> i)) in
+          List.iteri
+            (fun i fut -> ignore (Wool.join ctx fut : int); ignore i)
+            (List.rev futs));
+      Alcotest.(check int) "O(n) descriptors" 300
+        (Wool.stats pool).Wool.Pool.max_pool_depth);
+  (* deep recursion occupies one per level *)
+  Wool.with_pool ~workers:1 (fun pool ->
+      Wool.reset_stats pool;
+      ignore (Wool.run pool (fun ctx -> fib ctx 12) : int);
+      let d = (Wool.stats pool).Wool.Pool.max_pool_depth in
+      Alcotest.(check bool) (Printf.sprintf "depth-bounded (%d)" d) true
+        (d >= 6 && d <= 12))
+
+let test_num_workers_and_ids () =
+  Wool.with_pool ~workers:3 (fun pool ->
+      Alcotest.(check int) "workers" 3 (Wool.num_workers pool);
+      Alcotest.(check int) "main is worker 0" 0
+        (Wool.run pool (fun ctx -> Wool.self_id ctx)))
+
+let test_create_validation () =
+  Alcotest.check_raises "zero workers"
+    (Invalid_argument "Pool.create: workers must be positive") (fun () ->
+      ignore (Wool.create ~workers:0 () : Wool.pool))
+
+let test_stress_kernel_matches_serial () =
+  let module S = Wool_workloads.Stress in
+  S.reset_leaf_result ();
+  S.serial ~height:6 ~leaf_iters:100;
+  let expected = S.leaf_result () in
+  List.iter
+    (fun (name, mode) ->
+      S.reset_leaf_result ();
+      Wool.with_pool ~workers:3 ~mode (fun pool ->
+          Wool.run pool (fun ctx -> S.wool ctx ~height:6 ~leaf_iters:100));
+      Alcotest.(check int) (name ^ " checksum") expected (S.leaf_result ()))
+    all_modes
+
+let qcheck_parallel_reduce_matches_fold =
+  QCheck.Test.make ~name:"parallel_reduce = List.fold_left" ~count:20
+    QCheck.(list_of_size (Gen.int_range 0 200) small_signed_int)
+    (fun xs ->
+      let arr = Array.of_list xs in
+      let expected = Array.fold_left ( + ) 0 arr in
+      Wool.with_pool ~workers:2 (fun pool ->
+          Wool.run pool (fun ctx ->
+              Wool.parallel_reduce ctx ~grain:5 0 (Array.length arr) ~neutral:0
+                (fun i -> arr.(i))
+                ( + ))
+          = expected))
+
+let suite =
+  [
+    ( "pool",
+      [
+        Alcotest.test_case "fib serial all modes" `Quick test_fib_all_modes_serial;
+        Alcotest.test_case "fib parallel all modes" `Slow
+          test_fib_all_modes_parallel;
+        Alcotest.test_case "publicity variants" `Slow test_publicity_variants;
+        Alcotest.test_case "repeated runs" `Quick test_repeated_runs;
+        Alcotest.test_case "join returns value" `Quick
+          test_spawn_returns_value_via_join;
+        Alcotest.test_case "LIFO violation" `Quick test_lifo_violation_raises;
+        Alcotest.test_case "exception inline" `Quick
+          test_exception_propagates_inline;
+        Alcotest.test_case "exception stolen" `Slow
+          test_exception_propagates_stolen;
+        Alcotest.test_case "call" `Quick test_call;
+        Alcotest.test_case "parallel_for coverage" `Quick
+          test_parallel_for_covers_range;
+        Alcotest.test_case "parallel_for empty" `Quick test_parallel_for_empty;
+        Alcotest.test_case "parallel_reduce" `Quick test_parallel_reduce;
+        Alcotest.test_case "both" `Quick test_both;
+        Alcotest.test_case "spawn stats" `Quick test_stats_spawns;
+        Alcotest.test_case "stats consistency" `Slow
+          test_stats_accounting_consistency;
+        Alcotest.test_case "max pool depth" `Quick test_max_pool_depth_stat;
+        Alcotest.test_case "workers and ids" `Quick test_num_workers_and_ids;
+        Alcotest.test_case "create validation" `Quick test_create_validation;
+        Alcotest.test_case "stress kernel checksum" `Slow
+          test_stress_kernel_matches_serial;
+        QCheck_alcotest.to_alcotest qcheck_parallel_reduce_matches_fold;
+      ] );
+  ]

@@ -1,0 +1,124 @@
+module Rng = Wool_util.Rng
+
+let test_determinism () =
+  let a = Rng.make 123 and b = Rng.make 123 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.int64 a) (Rng.int64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.make 1 and b = Rng.make 2 in
+  let distinct = ref false in
+  for _ = 1 to 16 do
+    if Rng.int64 a <> Rng.int64 b then distinct := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !distinct
+
+let test_split_independent () =
+  let parent = Rng.make 7 in
+  let a = Rng.split parent in
+  let b = Rng.split parent in
+  let same = ref 0 in
+  for _ = 1 to 64 do
+    if Rng.int64 a = Rng.int64 b then incr same
+  done;
+  Alcotest.(check bool) "split streams diverge" true (!same < 4)
+
+let test_split_deterministic () =
+  let mk () =
+    let p = Rng.make 99 in
+    let c = Rng.split p in
+    Rng.int64 c
+  in
+  Alcotest.(check int64) "split is a function of parent state" (mk ()) (mk ())
+
+let test_int_bounds () =
+  let r = Rng.make 42 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int r 7 in
+    if v < 0 || v >= 7 then Alcotest.failf "out of bounds: %d" v
+  done
+
+let test_int_bound_one () =
+  let r = Rng.make 5 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "bound 1 is always 0" 0 (Rng.int r 1)
+  done
+
+let test_int_invalid () =
+  let r = Rng.make 5 in
+  Alcotest.check_raises "zero bound" (Invalid_argument "Rng.int: bound must be positive")
+    (fun () -> ignore (Rng.int r 0 : int))
+
+let test_int_covers_range () =
+  let r = Rng.make 11 in
+  let seen = Array.make 8 false in
+  for _ = 1 to 10_000 do
+    seen.(Rng.int r 8) <- true
+  done;
+  Array.iteri
+    (fun i b -> Alcotest.(check bool) (Printf.sprintf "value %d seen" i) true b)
+    seen
+
+let test_float_bounds () =
+  let r = Rng.make 17 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float r 3.5 in
+    if v < 0.0 || v >= 3.5 then Alcotest.failf "float out of bounds: %f" v
+  done
+
+let test_bool_balance () =
+  let r = Rng.make 23 in
+  let trues = ref 0 in
+  let n = 100_000 in
+  for _ = 1 to n do
+    if Rng.bool r then incr trues
+  done;
+  let ratio = float_of_int !trues /. float_of_int n in
+  Alcotest.(check bool) "roughly fair" true (ratio > 0.47 && ratio < 0.53)
+
+let test_shuffle_permutation () =
+  let r = Rng.make 31 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "same elements" (Array.init 50 Fun.id) sorted
+
+let test_shuffle_moves_something () =
+  let r = Rng.make 31 in
+  let a = Array.init 50 Fun.id in
+  Rng.shuffle r a;
+  Alcotest.(check bool) "not identity" true (a <> Array.init 50 Fun.id)
+
+let qcheck_int_nonnegative =
+  QCheck.Test.make ~name:"rng int stays in [0,bound)" ~count:500
+    QCheck.(pair small_int (int_range 1 1000))
+    (fun (seed, bound) ->
+      let r = Rng.make seed in
+      let ok = ref true in
+      for _ = 1 to 50 do
+        let v = Rng.int r bound in
+        if v < 0 || v >= bound then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    ( "rng",
+      [
+        Alcotest.test_case "determinism" `Quick test_determinism;
+        Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+        Alcotest.test_case "split independence" `Quick test_split_independent;
+        Alcotest.test_case "split determinism" `Quick test_split_deterministic;
+        Alcotest.test_case "int bounds" `Quick test_int_bounds;
+        Alcotest.test_case "int bound=1" `Quick test_int_bound_one;
+        Alcotest.test_case "int invalid bound" `Quick test_int_invalid;
+        Alcotest.test_case "int covers range" `Quick test_int_covers_range;
+        Alcotest.test_case "float bounds" `Quick test_float_bounds;
+        Alcotest.test_case "bool balance" `Quick test_bool_balance;
+        Alcotest.test_case "shuffle permutes" `Quick test_shuffle_permutation;
+        Alcotest.test_case "shuffle moves" `Quick test_shuffle_moves_something;
+        QCheck_alcotest.to_alcotest qcheck_int_nonnegative;
+      ] );
+  ]

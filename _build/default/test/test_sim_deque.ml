@@ -1,0 +1,86 @@
+module Sdq = Wool_sim.Sim_deque
+
+let mk () = Sdq.create ~dummy:(-1) ()
+
+let test_push_pop () =
+  let d = mk () in
+  Sdq.push d 1;
+  Sdq.push d 2;
+  Alcotest.(check int) "size" 2 (Sdq.size d);
+  Alcotest.(check int) "pop newest" 2 (Sdq.pop_present d);
+  Alcotest.(check int) "pop next" 1 (Sdq.pop_present d);
+  Alcotest.(check int) "empty" 0 (Sdq.size d)
+
+let test_pop_present_empty () =
+  let d = mk () in
+  Alcotest.check_raises "nothing present"
+    (Invalid_argument "Sim_deque.pop_present: nothing present") (fun () ->
+      ignore (Sdq.pop_present d : int))
+
+let test_take_bot () =
+  let d = mk () in
+  List.iter (Sdq.push d) [ 1; 2; 3 ];
+  Alcotest.(check int) "oldest" 1 (Sdq.take_bot d);
+  Alcotest.(check int) "bot moved" 1 (Sdq.bot_index d);
+  Alcotest.(check (option int)) "peek bot" (Some 2) (Sdq.peek_bot d);
+  Alcotest.(check (option int)) "peek top" (Some 3) (Sdq.peek_top d)
+
+let test_take_bot_empty () =
+  let d = mk () in
+  Alcotest.check_raises "empty" (Invalid_argument "Sim_deque.take_bot: empty")
+    (fun () -> ignore (Sdq.take_bot d : int))
+
+let test_pop_consumed () =
+  let d = mk () in
+  Sdq.push d 1;
+  ignore (Sdq.take_bot d : int);
+  (* owner joins the stolen element *)
+  Sdq.pop_consumed d;
+  Alcotest.(check int) "top back to 0" 0 (Sdq.top_index d);
+  Alcotest.(check int) "bot back to 0" 0 (Sdq.bot_index d)
+
+let test_pop_consumed_invalid () =
+  let d = mk () in
+  Sdq.push d 1;
+  Alcotest.check_raises "element present"
+    (Invalid_argument "Sim_deque.pop_consumed: top element still present")
+    (fun () -> Sdq.pop_consumed d)
+
+let test_get () =
+  let d = mk () in
+  List.iter (Sdq.push d) [ 10; 11; 12 ];
+  Alcotest.(check int) "get 1" 11 (Sdq.get d 1);
+  Alcotest.check_raises "absent" (Invalid_argument "Sim_deque.get: absent index")
+    (fun () -> ignore (Sdq.get d 3 : int))
+
+let test_growth () =
+  let d = mk () in
+  for i = 1 to 100 do
+    Sdq.push d i
+  done;
+  Alcotest.(check int) "size" 100 (Sdq.size d);
+  for i = 100 downto 1 do
+    Alcotest.(check int) "order kept across growth" i (Sdq.pop_present d)
+  done
+
+let test_peeks_empty () =
+  let d = mk () in
+  Alcotest.(check (option int)) "bot" None (Sdq.peek_bot d);
+  Alcotest.(check (option int)) "top" None (Sdq.peek_top d)
+
+let suite =
+  [
+    ( "sim_deque",
+      [
+        Alcotest.test_case "push/pop" `Quick test_push_pop;
+        Alcotest.test_case "pop_present empty" `Quick test_pop_present_empty;
+        Alcotest.test_case "take_bot" `Quick test_take_bot;
+        Alcotest.test_case "take_bot empty" `Quick test_take_bot_empty;
+        Alcotest.test_case "pop_consumed" `Quick test_pop_consumed;
+        Alcotest.test_case "pop_consumed invalid" `Quick
+          test_pop_consumed_invalid;
+        Alcotest.test_case "get" `Quick test_get;
+        Alcotest.test_case "growth" `Quick test_growth;
+        Alcotest.test_case "peeks on empty" `Quick test_peeks_empty;
+      ] );
+  ]

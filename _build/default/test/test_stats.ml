@@ -1,0 +1,81 @@
+module Stats = Wool_util.Stats
+
+let feq ?(eps = 1e-9) what a b =
+  if Float.abs (a -. b) > eps then Alcotest.failf "%s: %f <> %f" what a b
+
+let test_mean () =
+  feq "mean" 2.5 (Stats.mean [| 1.0; 2.0; 3.0; 4.0 |]);
+  feq "empty mean" 0.0 (Stats.mean [||]);
+  feq "singleton" 42.0 (Stats.mean [| 42.0 |])
+
+let test_median () =
+  feq "odd" 3.0 (Stats.median [| 5.0; 1.0; 3.0 |]);
+  feq "even" 2.5 (Stats.median [| 4.0; 1.0; 2.0; 3.0 |]);
+  feq "empty" 0.0 (Stats.median [||])
+
+let test_percentile () =
+  let xs = [| 10.0; 20.0; 30.0; 40.0; 50.0 |] in
+  feq "p0" 10.0 (Stats.percentile xs 0.0);
+  feq "p100" 50.0 (Stats.percentile xs 100.0);
+  feq "p50" 30.0 (Stats.percentile xs 50.0);
+  feq "p25" 20.0 (Stats.percentile xs 25.0);
+  feq "interpolated" 12.0 (Stats.percentile xs 5.0)
+
+let test_stddev () =
+  feq "constant" 0.0 (Stats.stddev [| 3.0; 3.0; 3.0 |]);
+  feq "known" 1.0 (Stats.stddev [| 1.0; 2.0; 3.0 |]);
+  feq "too few" 0.0 (Stats.stddev [| 1.0 |])
+
+let test_min_max () =
+  feq "min" (-2.0) (Stats.min [| 3.0; -2.0; 7.0 |]);
+  feq "max" 7.0 (Stats.max [| 3.0; -2.0; 7.0 |]);
+  feq "empty min" 0.0 (Stats.min [||]);
+  feq "empty max" 0.0 (Stats.max [||])
+
+let test_summary () =
+  let s = Stats.summarize [| 1.0; 2.0; 3.0 |] in
+  Alcotest.(check int) "n" 3 s.Stats.n;
+  feq "mean" 2.0 s.Stats.mean;
+  feq "median" 2.0 s.Stats.median;
+  feq "min" 1.0 s.Stats.min;
+  feq "max" 3.0 s.Stats.max;
+  let rendered = Format.asprintf "%a" Stats.pp_summary s in
+  Alcotest.(check bool) "pp mentions n" true
+    (String.length rendered > 0 && String.sub rendered 0 2 = "n=")
+
+let test_geomean () =
+  feq "known" 2.0 (Stats.geomean [| 1.0; 2.0; 4.0 |]);
+  feq "empty" 0.0 (Stats.geomean [||]);
+  Alcotest.check_raises "non-positive"
+    (Invalid_argument "Stats.geomean: non-positive value") (fun () ->
+      ignore (Stats.geomean [| 1.0; 0.0 |] : float))
+
+let qcheck_median_between =
+  QCheck.Test.make ~name:"median within [min,max]" ~count:200
+    QCheck.(array_of_size (Gen.int_range 1 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let m = Stats.median xs in
+      m >= Stats.min xs -. 1e-9 && m <= Stats.max xs +. 1e-9)
+
+let qcheck_mean_shift =
+  QCheck.Test.make ~name:"mean is translation-equivariant" ~count:200
+    QCheck.(array_of_size (Gen.int_range 1 50) (float_range (-100.) 100.))
+    (fun xs ->
+      let shifted = Array.map (fun x -> x +. 10.0) xs in
+      Float.abs (Stats.mean shifted -. (Stats.mean xs +. 10.0)) < 1e-6)
+
+let suite =
+  [
+    ( "stats",
+      [
+        Alcotest.test_case "mean" `Quick test_mean;
+        Alcotest.test_case "median" `Quick test_median;
+        Alcotest.test_case "percentile" `Quick test_percentile;
+        Alcotest.test_case "stddev" `Quick test_stddev;
+        Alcotest.test_case "min/max" `Quick test_min_max;
+        Alcotest.test_case "summary" `Quick test_summary;
+        Alcotest.test_case "geomean" `Quick test_geomean;
+        QCheck_alcotest.to_alcotest qcheck_median_between;
+        QCheck_alcotest.to_alcotest qcheck_mean_shift;
+      ] );
+  ]

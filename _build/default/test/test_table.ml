@@ -1,0 +1,94 @@
+module Table = Wool_util.Table
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let test_basic_render () =
+  let t = Table.create ~title:"demo" ~header:[ "name"; "value" ] () in
+  Table.add_row t [ "alpha"; "1" ];
+  Table.add_row t [ "b"; "22" ];
+  let s = Table.render t in
+  Alcotest.(check bool) "title" true (contains s "demo");
+  Alcotest.(check bool) "header" true (contains s "name");
+  Alcotest.(check bool) "row" true (contains s "alpha");
+  Alcotest.(check bool) "column separator" true (contains s " | ")
+
+let test_padding_alignment () =
+  let t = Table.create ~header:[ "k"; "v" ] () in
+  Table.add_row t [ "x"; "1" ];
+  Table.add_row t [ "longer"; "22" ];
+  let lines = String.split_on_char '\n' (Table.render t) in
+  let widths = List.filter_map (fun l -> if l = "" then None else Some (String.length l)) lines in
+  match widths with
+  | [] -> Alcotest.fail "no lines"
+  | w :: rest -> List.iter (fun w' -> Alcotest.(check int) "uniform width" w w') rest
+
+let test_short_row_padded () =
+  let t = Table.create ~header:[ "a"; "b"; "c" ] () in
+  Table.add_row t [ "only" ];
+  Alcotest.(check bool) "renders" true (String.length (Table.render t) > 0)
+
+let test_too_long_row () =
+  let t = Table.create ~header:[ "a" ] () in
+  Alcotest.check_raises "too many cells"
+    (Invalid_argument "Table.add_row: too many cells") (fun () ->
+      Table.add_row t [ "x"; "y" ])
+
+let test_empty_header () =
+  Alcotest.check_raises "empty header"
+    (Invalid_argument "Table.create: empty header") (fun () ->
+      ignore (Table.create ~header:[] () : Table.t))
+
+let test_separator () =
+  let t = Table.create ~header:[ "a" ] () in
+  Table.add_row t [ "1" ];
+  Table.add_sep t;
+  Table.add_row t [ "2" ];
+  let s = Table.render t in
+  (* header rule + bottom rule + explicit sep = at least 3 dashes lines *)
+  let dash_lines =
+    List.filter
+      (fun l -> l <> "" && String.for_all (fun c -> c = '-') l)
+      (String.split_on_char '\n' s)
+  in
+  Alcotest.(check bool) "3+ rules" true (List.length dash_lines >= 3)
+
+let test_set_align () =
+  let t = Table.create ~header:[ "a"; "b" ] () in
+  Table.set_align t 1 Table.Left;
+  Table.add_row t [ "x"; "1" ];
+  Alcotest.(check bool) "renders" true (String.length (Table.render t) > 0);
+  Alcotest.check_raises "bad column"
+    (Invalid_argument "Table.set_align: bad column") (fun () ->
+      Table.set_align t 5 Table.Left)
+
+let test_cell_i () =
+  Alcotest.(check string) "small" "12" (Table.cell_i 12);
+  Alcotest.(check string) "thousands" "1 234" (Table.cell_i 1234);
+  Alcotest.(check string) "millions" "12 345 678" (Table.cell_i 12345678);
+  Alcotest.(check string) "negative" "-1 000" (Table.cell_i (-1000));
+  Alcotest.(check string) "zero" "0" (Table.cell_i 0);
+  Alcotest.(check string) "exact group" "100 000" (Table.cell_i 100000)
+
+let test_cell_f () =
+  Alcotest.(check string) "default dec" "1.5" (Table.cell_f 1.5);
+  Alcotest.(check string) "dec 3" "2.250" (Table.cell_f ~dec:3 2.25);
+  Alcotest.(check string) "dec 0" "3" (Table.cell_f ~dec:0 3.2)
+
+let suite =
+  [
+    ( "table",
+      [
+        Alcotest.test_case "basic render" `Quick test_basic_render;
+        Alcotest.test_case "uniform width" `Quick test_padding_alignment;
+        Alcotest.test_case "short row padded" `Quick test_short_row_padded;
+        Alcotest.test_case "too long row" `Quick test_too_long_row;
+        Alcotest.test_case "empty header" `Quick test_empty_header;
+        Alcotest.test_case "separator" `Quick test_separator;
+        Alcotest.test_case "set_align" `Quick test_set_align;
+        Alcotest.test_case "cell_i" `Quick test_cell_i;
+        Alcotest.test_case "cell_f" `Quick test_cell_f;
+      ] );
+  ]

@@ -1,0 +1,61 @@
+module Ts = Wool_deque.Task_state
+
+let test_distinct () =
+  let vals = [ Ts.empty; Ts.task_private; Ts.task_public; Ts.done_; Ts.stolen ~thief:0 ] in
+  let rec pairwise = function
+    | [] -> ()
+    | x :: rest ->
+        List.iter (fun y -> Alcotest.(check bool) "distinct" true (x <> y)) rest;
+        pairwise rest
+  in
+  pairwise vals
+
+let test_is_task () =
+  Alcotest.(check bool) "private is task" true (Ts.is_task Ts.task_private);
+  Alcotest.(check bool) "public is task" true (Ts.is_task Ts.task_public);
+  Alcotest.(check bool) "empty not task" false (Ts.is_task Ts.empty);
+  Alcotest.(check bool) "done not task" false (Ts.is_task Ts.done_);
+  Alcotest.(check bool) "stolen not task" false (Ts.is_task (Ts.stolen ~thief:3))
+
+let test_is_task_public () =
+  Alcotest.(check bool) "public" true (Ts.is_task_public Ts.task_public);
+  Alcotest.(check bool) "private not public" false (Ts.is_task_public Ts.task_private)
+
+let test_stolen_roundtrip () =
+  for thief = 0 to 100 do
+    let s = Ts.stolen ~thief in
+    Alcotest.(check bool) "is_stolen" true (Ts.is_stolen s);
+    Alcotest.(check int) "thief" thief (Ts.thief s)
+  done
+
+let test_is_stolen_negative () =
+  List.iter
+    (fun s -> Alcotest.(check bool) "not stolen" false (Ts.is_stolen s))
+    [ Ts.empty; Ts.task_private; Ts.task_public; Ts.done_ ]
+
+let test_thief_invalid () =
+  Alcotest.check_raises "thief of non-stolen"
+    (Invalid_argument "Task_state.thief") (fun () ->
+      ignore (Ts.thief Ts.done_ : int))
+
+let test_pp () =
+  let s v = Format.asprintf "%a" Ts.pp v in
+  Alcotest.(check string) "empty" "EMPTY" (s Ts.empty);
+  Alcotest.(check string) "private" "TASK(private)" (s Ts.task_private);
+  Alcotest.(check string) "public" "TASK(public)" (s Ts.task_public);
+  Alcotest.(check string) "done" "DONE" (s Ts.done_);
+  Alcotest.(check string) "stolen" "STOLEN(5)" (s (Ts.stolen ~thief:5))
+
+let suite =
+  [
+    ( "task_state",
+      [
+        Alcotest.test_case "values distinct" `Quick test_distinct;
+        Alcotest.test_case "is_task" `Quick test_is_task;
+        Alcotest.test_case "is_task_public" `Quick test_is_task_public;
+        Alcotest.test_case "stolen roundtrip" `Quick test_stolen_roundtrip;
+        Alcotest.test_case "is_stolen negatives" `Quick test_is_stolen_negative;
+        Alcotest.test_case "thief invalid" `Quick test_thief_invalid;
+        Alcotest.test_case "pp" `Quick test_pp;
+      ] );
+  ]

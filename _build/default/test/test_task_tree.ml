@@ -1,0 +1,130 @@
+module Tt = Wool_ir.Task_tree
+
+let test_leaf () =
+  let t = Tt.leaf 42 in
+  Alcotest.(check int) "work" 42 (Tt.work t);
+  Alcotest.(check int) "tasks" 0 (Tt.n_tasks t);
+  Alcotest.(check int) "depth" 0 (Tt.depth t)
+
+let test_fork2 () =
+  let t = Tt.fork2 ~pre:5 ~post:7 (Tt.leaf 10) (Tt.leaf 20) in
+  Alcotest.(check int) "work" (5 + 7 + 10 + 20) (Tt.work t);
+  Alcotest.(check int) "tasks" 1 (Tt.n_tasks t);
+  Alcotest.(check int) "depth" 1 (Tt.depth t)
+
+let test_spawn_all () =
+  let t = Tt.spawn_all ~pre:1 ~post:2 [ Tt.leaf 3; Tt.leaf 4; Tt.leaf 5 ] in
+  Alcotest.(check int) "work" (1 + 2 + 3 + 4 + 5) (Tt.work t);
+  Alcotest.(check int) "tasks" 3 (Tt.n_tasks t)
+
+let test_make_validation () =
+  Alcotest.check_raises "join without spawn"
+    (Invalid_argument "Task_tree.make: Join without matching Spawn") (fun () ->
+      ignore (Tt.make [ Tt.Join ]));
+  Alcotest.check_raises "unjoined spawn"
+    (Invalid_argument "Task_tree.make: unjoined Spawn") (fun () ->
+      ignore (Tt.make [ Tt.Spawn (Tt.leaf 1) ]));
+  Alcotest.check_raises "negative work"
+    (Invalid_argument "Task_tree.make: negative work") (fun () ->
+      ignore (Tt.make [ Tt.Work (-1) ]))
+
+let test_shared_subtree_counts_instances () =
+  let shared = Tt.leaf 10 in
+  let t = Tt.fork2 shared shared in
+  (* the shared leaf is reached twice; work counts both instances *)
+  Alcotest.(check int) "work" 20 (Tt.work t);
+  Alcotest.(check int) "distinct nodes" 2 (Tt.distinct_nodes t)
+
+let test_binary_split () =
+  let leaves = Array.make 8 (Tt.leaf 5) in
+  let t = Tt.binary_split leaves in
+  Alcotest.(check int) "work" 40 (Tt.work t);
+  Alcotest.(check int) "tasks" 7 (Tt.n_tasks t);
+  Alcotest.(check int) "depth" 3 (Tt.depth t);
+  (* identical leaves: internal nodes share, so the DAG is logarithmic *)
+  Alcotest.(check int) "dag nodes" 4 (Tt.distinct_nodes t)
+
+let test_binary_split_uneven () =
+  let leaves = Array.init 5 (fun i -> Tt.leaf (i + 1)) in
+  let t = Tt.binary_split ~grain_merge:2 leaves in
+  Alcotest.(check int) "work" (15 + (2 * 4)) (Tt.work t);
+  Alcotest.(check int) "tasks" 4 (Tt.n_tasks t)
+
+let test_binary_split_single () =
+  let t = Tt.binary_split [| Tt.leaf 9 |] in
+  Alcotest.(check int) "degenerate" 9 (Tt.work t)
+
+let test_binary_split_empty () =
+  Alcotest.check_raises "empty" (Invalid_argument "Task_tree.binary_split: empty")
+    (fun () -> ignore (Tt.binary_split [||]))
+
+let test_fib_tree_identities () =
+  let t = Wool_workloads.Fib.tree 15 in
+  (* one spawn per internal node of the fib call tree *)
+  let rec internal n = if n < 2 then 0 else 1 + internal (n - 1) + internal (n - 2) in
+  Alcotest.(check int) "spawns" (internal 15) (Tt.n_tasks t);
+  (* the deepest nesting chain is n, n-1, ..., 2 -> leaf: n - 1 levels *)
+  Alcotest.(check int) "depth" 14 (Tt.depth t);
+  Alcotest.(check int) "dag is linear in n" 16 (Tt.distinct_nodes t)
+
+let test_ids_unique () =
+  let a = Tt.leaf 1 and b = Tt.leaf 1 in
+  Alcotest.(check bool) "fresh ids" true (Tt.id a <> Tt.id b)
+
+let test_pp () =
+  let s = Format.asprintf "%a" Tt.pp (Tt.fork2 (Tt.leaf 1) (Tt.leaf 2)) in
+  Alcotest.(check bool) "mentions work" true (String.length s > 10)
+
+(* random tree generator for property tests *)
+let gen_tree =
+  let open QCheck.Gen in
+  sized_size (int_range 0 6) @@ fix (fun self n ->
+      if n = 0 then map Tt.leaf (int_range 0 100)
+      else
+        frequency
+          [
+            (1, map Tt.leaf (int_range 0 100));
+            ( 2,
+              map2
+                (fun a b -> Tt.fork2 ~pre:1 a b)
+                (self (n / 2)) (self (n / 2)) );
+            ( 1,
+              map2
+                (fun a b -> Tt.make [ Tt.Call a; Tt.Work 3; Tt.Call b ])
+                (self (n / 2)) (self (n / 2)) );
+          ])
+
+let arb_tree = QCheck.make ~print:(fun t -> Format.asprintf "%a" Wool_ir.Task_tree.pp t) gen_tree
+
+let qcheck_work_nonnegative =
+  QCheck.Test.make ~name:"work and tasks nonnegative" ~count:200 arb_tree
+    (fun t -> Tt.work t >= 0 && Tt.n_tasks t >= 0 && Tt.depth t >= 0)
+
+let qcheck_fork2_additive =
+  QCheck.Test.make ~name:"fork2 adds work and one task" ~count:200
+    (QCheck.pair arb_tree arb_tree) (fun (a, b) ->
+      let t = Tt.fork2 a b in
+      Tt.work t = Tt.work a + Tt.work b
+      && Tt.n_tasks t = 1 + Tt.n_tasks a + Tt.n_tasks b)
+
+let suite =
+  [
+    ( "task_tree",
+      [
+        Alcotest.test_case "leaf" `Quick test_leaf;
+        Alcotest.test_case "fork2" `Quick test_fork2;
+        Alcotest.test_case "spawn_all" `Quick test_spawn_all;
+        Alcotest.test_case "make validation" `Quick test_make_validation;
+        Alcotest.test_case "shared subtrees" `Quick
+          test_shared_subtree_counts_instances;
+        Alcotest.test_case "binary_split" `Quick test_binary_split;
+        Alcotest.test_case "binary_split uneven" `Quick test_binary_split_uneven;
+        Alcotest.test_case "binary_split single" `Quick test_binary_split_single;
+        Alcotest.test_case "binary_split empty" `Quick test_binary_split_empty;
+        Alcotest.test_case "fib identities" `Quick test_fib_tree_identities;
+        Alcotest.test_case "unique ids" `Quick test_ids_unique;
+        Alcotest.test_case "pp" `Quick test_pp;
+        QCheck_alcotest.to_alcotest qcheck_work_nonnegative;
+        QCheck_alcotest.to_alcotest qcheck_fork2_additive;
+      ] );
+  ]

@@ -1,0 +1,98 @@
+module T = Wool_sim.Trace
+module E = Wool_sim.Engine
+module P = Wool_sim.Policy
+module W = Wool_workloads.Workload
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let test_create_validation () =
+  Alcotest.check_raises "workers" (Invalid_argument "Trace.create: workers must be positive")
+    (fun () -> ignore (T.create ~workers:0 ~horizon:10 ()));
+  Alcotest.check_raises "horizon" (Invalid_argument "Trace.create: horizon must be positive")
+    (fun () -> ignore (T.create ~workers:1 ~horizon:0 ()));
+  Alcotest.check_raises "buckets" (Invalid_argument "Trace.create: buckets must be positive")
+    (fun () -> ignore (T.create ~buckets:0 ~workers:1 ~horizon:10 ()))
+
+let test_record_and_dominant () =
+  let t = T.create ~buckets:10 ~workers:2 ~horizon:1000 () in
+  Alcotest.(check (option int)) "empty" None (T.dominant t ~worker:0 ~bucket:0);
+  T.record t ~worker:0 ~start:0 ~cycles:50 ~category:2;
+  T.record t ~worker:0 ~start:50 ~cycles:10 ~category:3;
+  (* category 2 dominates bucket 0 *)
+  Alcotest.(check (option int)) "dominant" (Some 2) (T.dominant t ~worker:0 ~bucket:0);
+  Alcotest.(check (option int)) "other worker untouched" None
+    (T.dominant t ~worker:1 ~bucket:0)
+
+let test_record_spans_buckets () =
+  let t = T.create ~buckets:10 ~workers:1 ~horizon:1000 () in
+  (* 300 cycles from t=0 covers buckets 0..2 *)
+  T.record t ~worker:0 ~start:0 ~cycles:300 ~category:2;
+  List.iter
+    (fun b ->
+      Alcotest.(check (option int))
+        (Printf.sprintf "bucket %d" b)
+        (Some 2)
+        (T.dominant t ~worker:0 ~bucket:b))
+    [ 0; 1; 2 ];
+  Alcotest.(check (option int)) "bucket 3 empty" None
+    (T.dominant t ~worker:0 ~bucket:3)
+
+let test_clamping () =
+  let t = T.create ~buckets:4 ~workers:1 ~horizon:100 () in
+  (* beyond the horizon: lands in the last bucket, no exception *)
+  T.record t ~worker:0 ~start:500 ~cycles:10 ~category:1;
+  Alcotest.(check (option int)) "clamped" (Some 1) (T.dominant t ~worker:0 ~bucket:3)
+
+let test_utilization () =
+  let t = T.create ~buckets:10 ~workers:2 ~horizon:1000 () in
+  T.record t ~worker:0 ~start:0 ~cycles:500 ~category:2;
+  Alcotest.(check (float 1e-9)) "half busy" 0.5 (T.utilization t ~worker:0);
+  Alcotest.(check (float 1e-9)) "idle worker" 0.0 (T.utilization t ~worker:1)
+
+let test_record_validation () =
+  let t = T.create ~workers:1 ~horizon:100 () in
+  Alcotest.check_raises "bad worker" (Invalid_argument "Trace.record: bad worker")
+    (fun () -> T.record t ~worker:5 ~start:0 ~cycles:1 ~category:0);
+  Alcotest.check_raises "bad category" (Invalid_argument "Trace.record: bad category")
+    (fun () -> T.record t ~worker:0 ~start:0 ~cycles:1 ~category:9)
+
+let test_render () =
+  let t = T.create ~buckets:20 ~workers:2 ~horizon:1000 () in
+  T.record t ~worker:0 ~start:0 ~cycles:900 ~category:2;
+  T.record t ~worker:1 ~start:0 ~cycles:200 ~category:3;
+  let s = T.render t in
+  Alcotest.(check bool) "worker rows" true (contains s "w0" && contains s "w1");
+  Alcotest.(check bool) "app glyph" true (contains s "#");
+  Alcotest.(check bool) "steal glyph" true (contains s ".");
+  Alcotest.(check bool) "legend" true (contains s "legend")
+
+let test_engine_integration () =
+  (* two-pass: measure, then trace the identical (deterministic) run *)
+  let root = W.root (W.stress ~reps:4 ~height:6 ~leaf_iters:1024 ()) in
+  let first = E.run ~seed:5 ~policy:P.wool ~workers:4 root in
+  let trace = T.create ~workers:4 ~horizon:first.E.time () in
+  let second = E.run ~seed:5 ~trace ~policy:P.wool ~workers:4 root in
+  Alcotest.(check int) "identical replay" first.E.time second.E.time;
+  Alcotest.(check int) "same trace hash" first.E.trace_hash second.E.trace_hash;
+  (* worker 0 starts the root: it must be busy early *)
+  Alcotest.(check bool) "worker 0 active" true
+    (T.utilization trace ~worker:0 > 0.5);
+  Alcotest.(check bool) "renders" true (String.length (T.render trace) > 100)
+
+let suite =
+  [
+    ( "trace",
+      [
+        Alcotest.test_case "create validation" `Quick test_create_validation;
+        Alcotest.test_case "record and dominant" `Quick test_record_and_dominant;
+        Alcotest.test_case "spanning buckets" `Quick test_record_spans_buckets;
+        Alcotest.test_case "clamping" `Quick test_clamping;
+        Alcotest.test_case "utilization" `Quick test_utilization;
+        Alcotest.test_case "record validation" `Quick test_record_validation;
+        Alcotest.test_case "render" `Quick test_render;
+        Alcotest.test_case "engine integration" `Quick test_engine_integration;
+      ] );
+  ]

@@ -1,0 +1,218 @@
+module Tt = Wool_ir.Task_tree
+module W = Wool_workloads.Workload
+module Fib = Wool_workloads.Fib
+module Stress = Wool_workloads.Stress
+module Mm = Wool_workloads.Mm
+module Ssf = Wool_workloads.Ssf
+module Rng = Wool_util.Rng
+
+(* ---- fib ---- *)
+
+let test_fib_serial_values () =
+  Alcotest.(check (list int)) "first values"
+    [ 0; 1; 1; 2; 3; 5; 8; 13 ]
+    (List.init 8 Fib.serial)
+
+let test_fib_wool_matches_serial () =
+  Wool.with_pool ~workers:2 (fun pool ->
+      for n = 0 to 18 do
+        Alcotest.(check int) "fib" (Fib.serial n)
+          (Wool.run pool (fun ctx -> Fib.wool ctx n))
+      done)
+
+let test_fib_tree_negative () =
+  Alcotest.check_raises "negative" (Invalid_argument "Fib.tree: negative input")
+    (fun () -> ignore (Fib.tree (-1)))
+
+let test_fib_tree_granularity () =
+  (* fib should be extremely fine grained: G_T around 13-20 cycles *)
+  let t = Fib.tree 20 in
+  let g = float_of_int (Tt.work t) /. float_of_int (Tt.n_tasks t) in
+  Alcotest.(check bool) (Printf.sprintf "fine grained (%.1f)" g) true
+    (g > 5.0 && g < 40.0)
+
+(* ---- stress ---- *)
+
+let test_stress_tree_shape () =
+  let t = Stress.tree ~height:5 ~leaf_iters:256 in
+  Alcotest.(check int) "tasks" 31 (Tt.n_tasks t);
+  Alcotest.(check int) "depth" 5 (Tt.depth t);
+  (* 32 leaves at 512 cycles plus small node overheads *)
+  let leaf_total = 32 * 512 in
+  Alcotest.(check bool) "leaf work dominates" true
+    (Tt.work t >= leaf_total && Tt.work t < leaf_total + 1000);
+  (* one DAG node pair per level *)
+  Alcotest.(check int) "dag nodes" 6 (Tt.distinct_nodes t)
+
+let test_stress_tree_height_zero () =
+  let t = Stress.tree ~height:0 ~leaf_iters:100 in
+  Alcotest.(check int) "single leaf" 200 (Tt.work t);
+  Alcotest.(check int) "no tasks" 0 (Tt.n_tasks t)
+
+let test_stress_tree_invalid () =
+  Alcotest.check_raises "negative" (Invalid_argument "Stress.tree: negative height")
+    (fun () -> ignore (Stress.tree ~height:(-1) ~leaf_iters:1))
+
+let test_stress_checksum_deterministic () =
+  Stress.reset_leaf_result ();
+  Stress.serial ~height:4 ~leaf_iters:64;
+  let a = Stress.leaf_result () in
+  Stress.reset_leaf_result ();
+  Stress.serial ~height:4 ~leaf_iters:64;
+  Alcotest.(check int) "deterministic" a (Stress.leaf_result ())
+
+(* ---- mm ---- *)
+
+let test_mm_serial_identity () =
+  (* multiplying by the identity returns the original *)
+  let n = 8 in
+  let rng = Rng.make 5 in
+  let a = Mm.random_matrix rng n in
+  let id = Array.init n (fun i -> Array.init n (fun j -> if i = j then 1.0 else 0.0)) in
+  Alcotest.(check bool) "a*I = a" true (Mm.equal (Mm.serial a id) a);
+  Alcotest.(check bool) "I*a = a" true (Mm.equal (Mm.serial id a) a)
+
+let test_mm_known_product () =
+  let a = [| [| 1.0; 2.0 |]; [| 3.0; 4.0 |] |] in
+  let b = [| [| 5.0; 6.0 |]; [| 7.0; 8.0 |] |] in
+  let expected = [| [| 19.0; 22.0 |]; [| 43.0; 50.0 |] |] in
+  Alcotest.(check bool) "2x2" true (Mm.equal (Mm.serial a b) expected)
+
+let test_mm_wool_matches_serial () =
+  let rng = Rng.make 11 in
+  let a = Mm.random_matrix rng 24 and b = Mm.random_matrix rng 24 in
+  let expected = Mm.serial a b in
+  Wool.with_pool ~workers:3 (fun pool ->
+      let got = Wool.run pool (fun ctx -> Mm.wool ctx a b) in
+      Alcotest.(check bool) "parallel product equal" true (Mm.equal got expected))
+
+let test_mm_equal_negative () =
+  let a = [| [| 1.0 |] |] and b = [| [| 1.1 |] |] in
+  Alcotest.(check bool) "differs" false (Mm.equal a b);
+  Alcotest.(check bool) "eps tolerance" true (Mm.equal ~eps:0.2 a b)
+
+let test_mm_tree () =
+  let t = Mm.tree 16 in
+  Alcotest.(check int) "row tasks" 15 (Tt.n_tasks t);
+  Alcotest.(check bool) "work about n*row_work" true
+    (Tt.work t >= 16 * Mm.row_work 16);
+  Alcotest.check_raises "bad size" (Invalid_argument "Mm.tree: size must be positive")
+    (fun () -> ignore (Mm.tree 0));
+  Alcotest.(check int) "loop leaves" 16 (Array.length (Mm.loop_leaves 16))
+
+let test_mm_row_work_scales () =
+  Alcotest.(check bool) "quadratic-ish" true
+    (Mm.row_work 128 > 3 * Mm.row_work 64)
+
+(* ---- ssf ---- *)
+
+let test_ssf_subject () =
+  Alcotest.(check string) "s0" "a" (Ssf.subject 0);
+  Alcotest.(check string) "s1" "b" (Ssf.subject 1);
+  Alcotest.(check string) "s2" "ba" (Ssf.subject 2);
+  Alcotest.(check string) "s3" "bab" (Ssf.subject 3);
+  Alcotest.(check string) "s4" "babba" (Ssf.subject 4);
+  (* lengths follow the Fibonacci sequence *)
+  let rec f n = if n < 2 then 1 else f (n - 1) + f (n - 2) in
+  for n = 0 to 14 do
+    Alcotest.(check int) "length" (f n) (String.length (Ssf.subject n))
+  done
+
+let test_ssf_known_string () =
+  let r = Ssf.serial "abab" in
+  Alcotest.(check (array (pair int int)))
+    "abab"
+    [| (2, 2); (3, 1); (0, 2); (1, 1) |]
+    r
+
+let test_ssf_wool_matches_serial () =
+  let s = Ssf.subject 9 in
+  let expected = Ssf.serial s in
+  Wool.with_pool ~workers:3 (fun pool ->
+      let got = Wool.run pool (fun ctx -> Ssf.wool ctx s) in
+      Alcotest.(check (array (pair int int))) "parallel equals serial" expected got)
+
+let test_ssf_position_comparisons () =
+  let s = Ssf.subject 8 in
+  let comps = Ssf.position_comparisons s in
+  Alcotest.(check int) "one per position" (String.length s) (Array.length comps);
+  Array.iter
+    (fun c ->
+      (* at least one comparison against every other position *)
+      Alcotest.(check bool) "lower bound" true (c >= String.length s - 1))
+    comps
+
+let test_ssf_tree_work_matches_comparisons () =
+  let n = 8 in
+  let comps = Array.fold_left ( + ) 0 (Ssf.position_comparisons (Ssf.subject n)) in
+  let t = Ssf.tree n in
+  Alcotest.(check bool) "2 cycles per comparison plus overheads" true
+    (Tt.work t >= 2 * comps)
+
+(* ---- workload descriptors ---- *)
+
+let test_workload_root_reps () =
+  let wl = W.mm ~reps:5 8 in
+  let region_tasks = Tt.n_tasks wl.W.region in
+  Alcotest.(check int) "root repeats region" (5 * region_tasks)
+    (Tt.n_tasks (W.root wl));
+  Alcotest.(check int) "work scales" (5 * Tt.work wl.W.region)
+    (Tt.work (W.root wl))
+
+let test_workload_label () =
+  Alcotest.(check string) "label" "mm(8)" (W.label (W.mm ~reps:1 8));
+  Alcotest.(check string) "stress label" "stress(256,7)"
+    (W.label (W.stress ~reps:1 ~height:7 ~leaf_iters:256 ()))
+
+let test_workload_validation () =
+  Alcotest.check_raises "reps" (Invalid_argument "Workload.v: reps must be positive")
+    (fun () -> ignore (W.v ~name:"x" ~params:"" ~reps:0 (Tt.leaf 1)))
+
+let test_workload_loop_leaves () =
+  let wl = W.ssf ~reps:1 8 in
+  (match wl.W.loop_leaves with
+  | Some l -> Alcotest.(check int) "leaves" (String.length (Ssf.subject 8)) (Array.length l)
+  | None -> Alcotest.fail "ssf should expose loop leaves");
+  let wl = W.stress ~reps:1 ~height:3 ~leaf_iters:8 () in
+  Alcotest.(check bool) "stress is not a loop" true (wl.W.loop_leaves = None)
+
+let test_table1_grid_builds () =
+  let grid = W.table1_grid () in
+  Alcotest.(check bool) "non-trivial" true (List.length grid >= 15);
+  List.iter
+    (fun wl -> Alcotest.(check bool) (W.label wl ^ " has work") true (Tt.work wl.W.region > 0))
+    grid
+
+let suite =
+  [
+    ( "workloads",
+      [
+        Alcotest.test_case "fib serial" `Quick test_fib_serial_values;
+        Alcotest.test_case "fib wool" `Quick test_fib_wool_matches_serial;
+        Alcotest.test_case "fib tree negative" `Quick test_fib_tree_negative;
+        Alcotest.test_case "fib granularity" `Quick test_fib_tree_granularity;
+        Alcotest.test_case "stress tree shape" `Quick test_stress_tree_shape;
+        Alcotest.test_case "stress height 0" `Quick test_stress_tree_height_zero;
+        Alcotest.test_case "stress invalid" `Quick test_stress_tree_invalid;
+        Alcotest.test_case "stress checksum" `Quick
+          test_stress_checksum_deterministic;
+        Alcotest.test_case "mm identity" `Quick test_mm_serial_identity;
+        Alcotest.test_case "mm known product" `Quick test_mm_known_product;
+        Alcotest.test_case "mm wool" `Quick test_mm_wool_matches_serial;
+        Alcotest.test_case "mm equal eps" `Quick test_mm_equal_negative;
+        Alcotest.test_case "mm tree" `Quick test_mm_tree;
+        Alcotest.test_case "mm row_work" `Quick test_mm_row_work_scales;
+        Alcotest.test_case "ssf subject" `Quick test_ssf_subject;
+        Alcotest.test_case "ssf known string" `Quick test_ssf_known_string;
+        Alcotest.test_case "ssf wool" `Quick test_ssf_wool_matches_serial;
+        Alcotest.test_case "ssf comparisons" `Quick test_ssf_position_comparisons;
+        Alcotest.test_case "ssf tree work" `Quick
+          test_ssf_tree_work_matches_comparisons;
+        Alcotest.test_case "workload reps" `Quick test_workload_root_reps;
+        Alcotest.test_case "workload label" `Quick test_workload_label;
+        Alcotest.test_case "workload validation" `Quick test_workload_validation;
+        Alcotest.test_case "workload loop leaves" `Quick
+          test_workload_loop_leaves;
+        Alcotest.test_case "table1 grid" `Slow test_table1_grid_builds;
+      ] );
+  ]
