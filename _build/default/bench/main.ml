@@ -25,7 +25,9 @@ module F = Wool_workloads.Fib
    for each rung of the synchronisation ladder. *)
 let table2_group =
   let mk name mode publicity =
-    let pool = Wool.create ~workers:1 ~mode ~publicity () in
+    let pool =
+      Wool.create ~config:(Wool.Config.make ~workers:1 ~mode ~publicity ()) ()
+    in
     Test.make ~name (Staged.stage (fun () -> Wool.run pool (fun ctx -> F.wool ctx 15)))
   in
   Test.make_grouped ~name:"table2.real-inline"

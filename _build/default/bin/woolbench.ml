@@ -1,7 +1,9 @@
 (* woolbench: regenerate the paper's tables and figures.
 
    `woolbench list` shows the available experiments; `woolbench <key>`
-   runs one; `woolbench all` runs everything (as the final harness does). *)
+   runs one; `woolbench all` runs everything (as the final harness does).
+   `woolbench trace <workload>` runs a workload with scheduler tracing on
+   and writes a Chrome trace_event JSON next to a summary report. *)
 
 open Cmdliner
 
@@ -40,9 +42,57 @@ let keys_arg =
   let doc = "Experiments to run: list | all | fig1 table1 table2 table3 fig4 fig5 table4 fig6." in
   Arg.(value & pos_all string [] & info [] ~docv:"EXPERIMENT" ~doc)
 
-let cmd =
-  let doc = "regenerate the tables and figures of the Wool paper" in
-  let info = Cmd.info "woolbench" ~doc in
-  Cmd.v info Term.(ret (const run_experiment $ keys_arg))
+let experiments_term = Term.(ret (const run_experiment $ keys_arg))
 
-let () = exit (Cmd.eval cmd)
+let trace_cmd =
+  let workload_arg =
+    let doc =
+      Printf.sprintf "Workload to trace: %s."
+        (String.concat " | " Wool_report.Trace_summary.workloads)
+    in
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc)
+  in
+  let workers_arg =
+    let doc = "Number of worker domains." in
+    Arg.(value & opt int 4 & info [ "w"; "workers" ] ~docv:"N" ~doc)
+  in
+  let out_arg =
+    let doc = "Output path for the Chrome trace_event JSON." in
+    Arg.(
+      value & opt string "trace.json" & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let check_arg =
+    let doc = "Re-read the emitted file and validate it as JSON." in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let run workers out check workload =
+    if workers < 1 then `Error (false, "--workers must be at least 1")
+    else
+      match Wool_report.Trace_summary.run ~workers ~out ~check workload with
+      | () -> `Ok ()
+      | exception Failure msg -> `Error (false, msg)
+      | exception Sys_error msg -> `Error (false, msg)
+  in
+  let doc = "trace a workload and write a Chrome trace_event JSON" in
+  Cmd.v
+    (Cmd.info "trace" ~doc)
+    Term.(ret (const run $ workers_arg $ out_arg $ check_arg $ workload_arg))
+
+(* A Cmd.group would reject the free-form experiment keys the default
+   term consumes ("woolbench list", "woolbench fig1 table2"), so route
+   "trace" to its subcommand by hand and keep everything else on the
+   original term. *)
+let () =
+  let doc =
+    "regenerate the tables and figures of the Wool paper; `woolbench \
+     trace <workload>` records a scheduler trace"
+  in
+  let code =
+    if Array.length Sys.argv > 1 && Sys.argv.(1) = "trace" then
+      Cmd.eval (Cmd.group (Cmd.info "woolbench" ~doc) [ trace_cmd ])
+    else Cmd.eval (Cmd.v (Cmd.info "woolbench" ~doc) experiments_term)
+  in
+  exit code

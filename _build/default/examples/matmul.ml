@@ -19,7 +19,7 @@ let () =
         Wool_util.Clock.time (fun () -> Wool.run pool (fun ctx -> Mm.wool ctx a b))
       in
       if not (Mm.equal serial parallel) then failwith "parallel result differs!";
-      let s = Wool.stats pool in
+      let s = Wool.Stats.aggregate pool in
       Printf.printf "mm %dx%d on %d worker(s): results match\n" n n workers;
       Printf.printf "  serial %.2f ms, parallel %.2f ms (%.2fx)\n"
         (serial_ns /. 1e6) (par_ns /. 1e6) (serial_ns /. par_ns);

@@ -21,6 +21,6 @@ let () =
       Printf.printf "%d-queens: %d solutions\n" n parallel;
       Printf.printf "serial %.2f ms, parallel %.2f ms on %d worker(s)\n"
         (serial_ns /. 1e6) (par_ns /. 1e6) workers;
-      let s = Wool.stats pool in
+      let s = Wool.Stats.aggregate pool in
       Printf.printf "spawns=%d inlined(private)=%d steals=%d\n"
         s.Wool.Pool.spawns s.Wool.Pool.inlined_private s.Wool.Pool.steals)

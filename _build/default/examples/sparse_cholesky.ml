@@ -32,6 +32,6 @@ let () =
         if not ok then exit 1;
         ignore l_serial
       end;
-      let s = Wool.stats pool in
+      let s = Wool.Stats.aggregate pool in
       Printf.printf "spawns=%d steals=%d leapfrog=%d\n" s.Wool.Pool.spawns
         s.Wool.Pool.steals s.Wool.Pool.leap_steals)

@@ -44,7 +44,13 @@ type 'a t = {
   n_steals : int Atomic.t;
   n_backoffs : int Atomic.t;
   n_failed : int Atomic.t;
+  (* owner-side observability hooks; invoked only on the (rare) publish /
+     privatize transitions, never on the private fast path *)
+  mutable on_publish : unit -> unit;
+  mutable on_privatize : unit -> unit;
 }
+
+let no_hook () = ()
 
 (* How many consecutive inlined public joins before the owner decides the
    public window is wider than steal pressure warrants and privatises. *)
@@ -92,7 +98,13 @@ let create ?(capacity = 65536) ?(publicity = Adaptive 4) ~dummy () =
     n_steals = Atomic.make 0;
     n_backoffs = Atomic.make 0;
     n_failed = Atomic.make 0;
+    on_publish = no_hook;
+    on_privatize = no_hook;
   }
+
+let set_event_hooks t ~on_publish ~on_privatize =
+  t.on_publish <- on_publish;
+  t.on_privatize <- on_privatize
 
 let[@inline] depth t = t.top
 let bot_index t = Atomic.get t.bot
@@ -123,7 +135,8 @@ let[@inline] service_publish t =
         done;
         t.public_limit <- new_limit;
         Atomic.set t.trip_index (new_limit - 1);
-        t.n_publish <- t.n_publish + 1
+        t.n_publish <- t.n_publish + 1;
+        t.on_publish ()
       end
 
 let[@inline] push t v =
@@ -164,7 +177,8 @@ let maybe_privatize t i =
         if new_limit < t.public_limit then begin
           t.public_limit <- new_limit;
           Atomic.set t.trip_index (new_limit - 1);
-          t.n_privatize <- t.n_privatize + 1
+          t.n_privatize <- t.n_privatize + 1;
+          t.on_privatize ()
         end;
         t.consec_public_inlines <- 0
       end

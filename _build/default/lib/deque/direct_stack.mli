@@ -104,3 +104,10 @@ type stats = {
 
 val stats : 'a t -> stats
 val reset_stats : 'a t -> unit
+
+val set_event_hooks :
+  'a t -> on_publish:(unit -> unit) -> on_privatize:(unit -> unit) -> unit
+(** Observability hooks for the runtime's event tracer. Both run on the
+    owner, inside the publish / privatize transitions only — never on the
+    private fast path — so they may not touch the stack re-entrantly.
+    Defaults are no-ops. *)

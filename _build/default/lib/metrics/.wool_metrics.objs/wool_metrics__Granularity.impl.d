@@ -1,1 +1,1 @@
-lib/metrics/granularity.ml: Wool_ir
+lib/metrics/granularity.ml: Array Wool_ir Wool_trace

@@ -1,1 +1,1 @@
-lib/metrics/granularity.mli: Wool_ir
+lib/metrics/granularity.mli: Wool_ir Wool_trace

@@ -7,3 +7,23 @@ let task_granularity tree =
 
 let load_balancing_granularity ~work ~steals =
   if steals = 0 then infinity else float_of_int work /. float_of_int steals
+
+type measured = { g_t : float; g_l : float }
+
+let of_measured ~work ~tasks ~migrations =
+  {
+    g_t = (if tasks = 0 then work else work /. float_of_int tasks);
+    g_l =
+      (if migrations = 0 then infinity else work /. float_of_int migrations);
+  }
+
+let of_events ~work events =
+  let spawns = ref 0 and steals = ref 0 in
+  Array.iter
+    (fun e ->
+      match e.Wool_trace.Event.tag with
+      | Wool_trace.Event.Spawn -> incr spawns
+      | Wool_trace.Event.Steal_ok -> incr steals
+      | _ -> ())
+    events;
+  of_measured ~work ~tasks:!spawns ~migrations:!steals

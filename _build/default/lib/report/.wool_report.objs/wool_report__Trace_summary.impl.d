@@ -1,0 +1,1 @@
+lib/report/trace_summary.ml: Array Lazy List Printf String Wool Wool_ir Wool_metrics Wool_sim Wool_trace Wool_util Wool_workloads

@@ -1,0 +1,1 @@
+lib/report/trace_summary.mli:

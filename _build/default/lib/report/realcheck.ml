@@ -246,11 +246,11 @@ let compute ?(workers = 3) () =
       let wool_cells =
         List.map
           (fun (label, mode) ->
-            Wool.with_pool ~workers ~mode (fun pool ->
+            Wool.with_pool ~config:(Wool.Config.make ~workers ~mode ()) (fun pool ->
                 let result, ns =
                   Clock.time (fun () -> Wool.run pool (fun ctx -> k.wool ctx))
                 in
-                let s = Wool.stats pool in
+                let s = Wool.Stats.aggregate pool in
                 {
                   kernel = k.name;
                   scheduler = label;

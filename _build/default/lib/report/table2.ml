@@ -26,7 +26,9 @@ let compute ?(n = 30) ?(repeats = 3) () =
         assert (F.serial n = expected)))
   in
   let measure (mode, publicity) =
-    let pool = Wool.create ~workers:1 ~mode ~publicity () in
+    let pool =
+      Wool.create ~config:(Wool.Config.make ~workers:1 ~mode ~publicity ()) ()
+    in
     Fun.protect
       ~finally:(fun () -> Wool.shutdown pool)
       (fun () ->
@@ -35,7 +37,7 @@ let compute ?(n = 30) ?(repeats = 3) () =
             (Clock.time_ns ~warmup:1 ~repeats (fun () ->
                  assert (Wool.run pool (fun ctx -> F.wool ctx n) = expected)))
         in
-        let spawns = (Wool.stats pool).Wool.Pool.spawns in
+        let spawns = (Wool.Stats.aggregate pool).Wool.Pool.spawns in
         let runs = repeats + 1 in
         (ns, spawns / runs))
   in

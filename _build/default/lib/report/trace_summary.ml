@@ -1,0 +1,213 @@
+(* Traced-run report: execute a workload on the real runtime with event
+   tracing on, export a Chrome trace, and print summary tables next to the
+   simulator's event stream for the matching task tree. Both sides speak
+   Wool_trace.Event, so the columns line up one-to-one. *)
+
+module Clock = Wool_util.Clock
+module Table = Wool_util.Table
+module Event = Wool_trace.Event
+module Summary = Wool_trace.Summary
+module Chrome = Wool_trace.Chrome
+module Granularity = Wool_metrics.Granularity
+module W = Wool_workloads
+
+type spec = {
+  name : string;
+  descr : string;  (** e.g. "fib(22)" *)
+  serial : unit -> unit;  (** sequential run, for T_S *)
+  wool : Wool.ctx -> unit;
+  sim_descr : string;
+  sim_tree : unit -> Wool_ir.Task_tree.t;
+      (** simulator counterpart; may use a smaller size so the
+          discrete-event run stays quick *)
+}
+
+let fib_spec =
+  let n = 22 and sim_n = 16 in
+  {
+    name = "fib";
+    descr = Printf.sprintf "fib(%d)" n;
+    serial = (fun () -> ignore (W.Fib.serial n));
+    wool = (fun ctx -> ignore (W.Fib.wool ctx n));
+    sim_descr = Printf.sprintf "fib(%d)" sim_n;
+    sim_tree = (fun () -> W.Fib.tree sim_n);
+  }
+
+let stress_spec =
+  let height = 8 and leaf_iters = 200 in
+  {
+    name = "stress";
+    descr = Printf.sprintf "stress(height=%d)" height;
+    serial = (fun () -> W.Stress.serial ~height ~leaf_iters);
+    wool = (fun ctx -> W.Stress.wool ctx ~height ~leaf_iters);
+    sim_descr = Printf.sprintf "stress(height=%d)" height;
+    sim_tree = (fun () -> W.Stress.tree ~height ~leaf_iters);
+  }
+
+let nqueens_spec =
+  let n = 9 in
+  {
+    name = "nqueens";
+    descr = Printf.sprintf "nqueens(%d)" n;
+    serial = (fun () -> ignore (W.Nqueens.serial n));
+    wool = (fun ctx -> ignore (W.Nqueens.wool ctx n));
+    sim_descr = Printf.sprintf "nqueens(%d)" n;
+    sim_tree = (fun () -> W.Nqueens.tree n);
+  }
+
+let mm_spec =
+  let n = 48 in
+  let a = lazy (W.Mm.random_matrix (Wool_util.Rng.make 11) n) in
+  let b = lazy (W.Mm.random_matrix (Wool_util.Rng.make 12) n) in
+  {
+    name = "mm";
+    descr = Printf.sprintf "mm(%dx%d)" n n;
+    serial = (fun () -> ignore (W.Mm.serial (Lazy.force a) (Lazy.force b)));
+    wool =
+      (fun ctx -> ignore (W.Mm.wool ctx (Lazy.force a) (Lazy.force b)));
+    sim_descr = Printf.sprintf "mm(%dx%d)" n n;
+    sim_tree = (fun () -> W.Mm.tree n);
+  }
+
+let specs = [ fib_spec; stress_spec; nqueens_spec; mm_spec ]
+let workloads = List.map (fun s -> s.name) specs
+
+let find name =
+  match List.find_opt (fun s -> s.name = name) specs with
+  | Some s -> s
+  | None ->
+      failwith
+        (Printf.sprintf "unknown trace workload %S (expected one of: %s)"
+           name
+           (String.concat ", " workloads))
+
+(* The measured stream and the runtime's own counters are produced by the
+   same instrumentation points, so they must agree exactly unless the ring
+   overflowed. *)
+let cross_check summary (agg : Wool.Stats.t) ~dropped =
+  let tbl =
+    Table.create ~title:"events vs counters"
+      ~header:[ "quantity"; "events"; "counters" ]
+      ()
+  in
+  let mism = ref false in
+  let row label ev ctr =
+    if ev <> ctr then mism := true;
+    Table.add_row tbl [ label; Table.cell_i ev; Table.cell_i ctr ]
+  in
+  row "spawns" (Summary.count summary Event.Spawn) agg.Wool.Pool.spawns;
+  row "steals" (Summary.count summary Event.Steal_ok) agg.Wool.Pool.steals;
+  row "leap steals"
+    (Summary.count summary Event.Leap_steal)
+    agg.Wool.Pool.leap_steals;
+  row "inlined (private)"
+    (Summary.count summary Event.Inline_private)
+    agg.Wool.Pool.inlined_private;
+  row "inlined (public)"
+    (Summary.count summary Event.Inline_public)
+    agg.Wool.Pool.inlined_public;
+  row "joins of stolen tasks"
+    (Summary.count summary Event.Join_stolen)
+    agg.Wool.Pool.joins_stolen;
+  Table.print tbl;
+  if !mism then
+    if dropped > 0 then
+      Printf.printf
+        "note: %d events were dropped to ring overflow, so event counts \
+         undershoot the counters; raise ~trace_capacity for an exact \
+         stream.\n"
+        dropped
+    else print_string "WARNING: event counts disagree with stats counters\n"
+
+let per_worker_stats_table pool =
+  let tbl =
+    Table.create ~title:"per-worker stats"
+      ~header:
+        [ "worker"; "spawns"; "inl priv"; "inl pub"; "stolen from";
+          "steals"; "leaps"; "failed" ]
+      ()
+  in
+  Array.iteri
+    (fun i (s : Wool.Stats.t) ->
+      Table.add_row tbl
+        [ string_of_int i; Table.cell_i s.Wool.Pool.spawns;
+          Table.cell_i s.Wool.Pool.inlined_private; Table.cell_i s.Wool.Pool.inlined_public;
+          Table.cell_i s.Wool.Pool.joins_stolen; Table.cell_i s.Wool.Pool.steals;
+          Table.cell_i s.Wool.Pool.leap_steals; Table.cell_i s.Wool.Pool.failed_steals ])
+    (Wool.Stats.per_worker pool);
+  Table.print tbl
+
+let side_by_side measured simulated =
+  let tbl =
+    Table.create ~title:"event counts: measured vs simulated"
+      ~header:[ "event"; "measured"; "simulated" ]
+      ()
+  in
+  Array.iter
+    (fun tag ->
+      let m = Summary.count measured tag
+      and s = Summary.count simulated tag in
+      if m > 0 || s > 0 then
+        Table.add_row tbl
+          [ Event.tag_name tag; Table.cell_i m; Table.cell_i s ])
+    Event.all_tags;
+  Table.print tbl
+
+let print_granularity ~label ~unit (g : Granularity.measured) =
+  let cell v =
+    if v = infinity then "inf" else Table.cell_f ~dec:1 v
+  in
+  Printf.printf "%s: G_T = %s %s/task, G_L = %s %s/migration\n" label
+    (cell g.Granularity.g_t) unit
+    (cell g.Granularity.g_l) unit
+
+let run ?(workers = 4) ?(out = "trace.json") ?(check = false) name =
+  let spec = find name in
+  Printf.printf "== scheduler trace: %s, %d workers ==\n" spec.descr workers;
+  let (), serial_ns = Clock.time spec.serial in
+  let config = Wool.Config.make ~workers ~trace:true () in
+  let pool = Wool.create ~config () in
+  let (), par_ns = Clock.time (fun () -> Wool.run pool spec.wool) in
+  Wool.shutdown pool;
+  let events = Wool.trace_events pool in
+  let dropped = Wool.trace_dropped pool in
+  Printf.printf "serial %.2f ms, traced parallel %.2f ms\n"
+    (serial_ns /. 1e6) (par_ns /. 1e6);
+  Chrome.write_file out events;
+  Printf.printf "wrote %s (%d events, %d dropped)\n" out
+    (Array.length events) dropped;
+  if check then begin
+    let ic = open_in_bin out in
+    let len = in_channel_length ic in
+    let body = really_input_string ic len in
+    close_in ic;
+    match Wool_trace.Json.validate body with
+    | Ok () -> Printf.printf "%s: JSON OK\n" out
+    | Error msg -> failwith (Printf.sprintf "%s: invalid JSON: %s" out msg)
+  end;
+  let summary = Summary.make ~dropped events in
+  print_string (Summary.render ~time_unit:"ns" summary);
+  per_worker_stats_table pool;
+  cross_check summary (Wool.Stats.aggregate pool) ~dropped;
+  print_granularity ~label:"measured (work = serial ns)" ~unit:"ns"
+    (Granularity.of_events ~work:serial_ns events);
+  (* Simulator counterpart: deterministic two-pass run-then-trace, then the
+     same Summary over the same event vocabulary. *)
+  let module E = Wool_sim.Engine in
+  let module T = Wool_sim.Trace in
+  let tree = spec.sim_tree () in
+  Printf.printf "-- simulated counterpart: %s, %d workers --\n" spec.sim_descr
+    workers;
+  let r1 = E.run ~policy:Wool_sim.Policy.wool ~workers tree in
+  let tr = T.create ~workers ~horizon:r1.E.time () in
+  let r2 = E.run ~policy:Wool_sim.Policy.wool ~workers ~trace:tr tree in
+  let sim_events = T.events tr in
+  let sim_summary =
+    Summary.make ~dropped:(T.events_dropped tr) sim_events
+  in
+  side_by_side summary sim_summary;
+  print_granularity ~label:"simulated (work = cycles)" ~unit:"cycles"
+    (Granularity.of_events ~work:(float_of_int r2.E.work) sim_events);
+  Printf.printf
+    "simulated completion: %s cycles, %d steals (%d leapfrog), hash %x\n"
+    (Table.cell_i r2.E.time) r2.E.steals r2.E.leap_steals r2.E.trace_hash

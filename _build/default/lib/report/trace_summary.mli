@@ -1,0 +1,19 @@
+(** Traced-run report ("woolbench trace <workload>").
+
+    Runs a workload on the real runtime with {!Wool.Config.t}[.trace] on,
+    writes the event stream as a Chrome [trace_event] JSON file
+    (chrome://tracing / Perfetto loadable, one lane per worker), and
+    prints {!Wool_trace.Summary} tables, per-worker {!Wool.Stats},
+    measured [G_T]/[G_L], and a side-by-side event-count comparison with
+    the simulator's stream for the matching task tree — both sides use the
+    shared {!Wool_trace.Event} vocabulary. *)
+
+val workloads : string list
+(** Names accepted by {!run}. *)
+
+val run : ?workers:int -> ?out:string -> ?check:bool -> string -> unit
+(** [run ~workers ~out ~check name] traces workload [name] (default 4
+    workers) and writes the Chrome trace to [out] (default
+    ["trace.json"]). With [check] the written file is re-read and
+    validated with {!Wool_trace.Json.validate}. Raises [Failure] on an
+    unknown workload name or (under [check]) invalid JSON. *)

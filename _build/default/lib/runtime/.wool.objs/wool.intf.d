@@ -1,1 +1,1 @@
-lib/runtime/wool.mli: Pool
+lib/runtime/wool.mli: Pool Wool_trace

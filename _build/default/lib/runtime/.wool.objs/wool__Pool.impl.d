@@ -1,1 +1,1 @@
-lib/runtime/pool.ml: Array Atomic Domain Fun List Unix Wool_deque Wool_util
+lib/runtime/pool.ml: Array Atomic Domain Format Fun List Option Printf String Unix Wool_deque Wool_trace Wool_util

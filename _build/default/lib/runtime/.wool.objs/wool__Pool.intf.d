@@ -1,1 +1,1 @@
-lib/runtime/pool.mli: Wool_deque
+lib/runtime/pool.mli: Format Wool_deque Wool_trace

@@ -1,6 +1,8 @@
 module Ds = Wool_deque.Direct_stack
 module Locked_deque = Wool_deque.Locked_deque
 module Chase_lev = Wool_deque.Chase_lev
+module Ring = Wool_trace.Ring
+module Event = Wool_trace.Event
 
 type mode = Locked | Swap_generic | Task_specific | Private | Clev
 
@@ -9,6 +11,93 @@ type publicity = Wool_deque.Direct_stack.publicity =
   | All_public
   | Adaptive of int
 
+module Config = struct
+  type t = {
+    workers : int option;
+    mode : mode;
+    publicity : publicity;
+    capacity : int;
+    lock_mode : [ `Base | `Peek | `Trylock ];
+    idle_nap_ns : int;
+    seed : int;
+    trace : bool;
+    trace_capacity : int;
+  }
+
+  let default =
+    {
+      workers = None;
+      mode = Private;
+      publicity = Adaptive 4;
+      capacity = 65536;
+      lock_mode = `Base;
+      idle_nap_ns = 50_000;
+      seed = 0xC0FFEE;
+      trace = false;
+      trace_capacity = 1 lsl 16;
+    }
+
+  let make ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns ?seed
+      ?trace ?trace_capacity () =
+    let ov o d = Option.value o ~default:d in
+    {
+      workers = (match workers with Some _ -> workers | None -> default.workers);
+      mode = ov mode default.mode;
+      publicity = ov publicity default.publicity;
+      capacity = ov capacity default.capacity;
+      lock_mode = ov lock_mode default.lock_mode;
+      idle_nap_ns = ov idle_nap_ns default.idle_nap_ns;
+      seed = ov seed default.seed;
+      trace = ov trace default.trace;
+      trace_capacity = ov trace_capacity default.trace_capacity;
+    }
+
+  (* The old optional arguments of [create] layered on top of a base
+     config; [None]s leave the base untouched. *)
+  let override c ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns
+      ?seed ?trace () =
+    let ov o d = Option.value o ~default:d in
+    {
+      workers = (match workers with Some _ -> workers | None -> c.workers);
+      mode = ov mode c.mode;
+      publicity = ov publicity c.publicity;
+      capacity = ov capacity c.capacity;
+      lock_mode = ov lock_mode c.lock_mode;
+      idle_nap_ns = ov idle_nap_ns c.idle_nap_ns;
+      seed = ov seed c.seed;
+      trace = ov trace c.trace;
+      trace_capacity = c.trace_capacity;
+    }
+
+  let mode_name = function
+    | Locked -> "locked"
+    | Swap_generic -> "swap_generic"
+    | Task_specific -> "task_specific"
+    | Private -> "private"
+    | Clev -> "clev"
+
+  let publicity_name = function
+    | All_private -> "all_private"
+    | All_public -> "all_public"
+    | Adaptive w -> Printf.sprintf "adaptive(%d)" w
+
+  let lock_mode_name = function
+    | `Base -> "base"
+    | `Peek -> "peek"
+    | `Trylock -> "trylock"
+
+  let pp fmt c =
+    Format.fprintf fmt
+      "{workers=%s; mode=%s; publicity=%s; capacity=%d; lock_mode=%s;@ \
+       idle_nap_ns=%d; seed=%#x; trace=%b; trace_capacity=%d}"
+      (match c.workers with Some n -> string_of_int n | None -> "auto")
+      (mode_name c.mode)
+      (publicity_name c.publicity)
+      c.capacity
+      (lock_mode_name c.lock_mode)
+      c.idle_nap_ns c.seed c.trace c.trace_capacity
+end
+
 type worker = {
   id : int;
   pool : pool;
@@ -16,6 +105,10 @@ type worker = {
   ldeque : (worker -> unit) Locked_deque.t;
   cdeque : (worker -> unit) Chase_lev.t;
   rng : Wool_util.Rng.t;
+  (* tracing: [tr_on] is immutable, so the disabled case is one predictable
+     branch on the hot path; each worker writes only its own ring *)
+  tr_on : bool;
+  ring : Ring.t;
   mutable fail_streak : int;
   (* thief-side counters; each worker only writes its own *)
   mutable n_spawns : int;
@@ -29,6 +122,7 @@ and pool = {
   pmode : mode;
   lock_mode : [ `Base | `Peek | `Trylock ];
   idle_nap_ns : int;
+  trace_on : bool;
   mutable workers : worker array;
   stop : bool Atomic.t;
   mutable domains : unit Domain.t list;
@@ -53,21 +147,33 @@ let dummy_task (_ : worker) = ()
    they are waiting on. *)
 let nap_streak = 64
 
-let make_worker ~id ~pool ~publicity ~capacity rng =
-  {
-    id;
-    pool;
-    dstack = Ds.create ~capacity ~publicity ~dummy:dummy_task ();
-    ldeque = Locked_deque.create ~capacity ~dummy:dummy_task ();
-    cdeque = Chase_lev.create ~dummy:dummy_task ();
-    rng;
-    fail_streak = 0;
-    n_spawns = 0;
-    n_steals = 0;
-    n_leap_steals = 0;
-    n_failed = 0;
-    n_inlined = 0;
-  }
+let[@inline] record w tag ~a ~b =
+  Ring.record w.ring ~ts:(Wool_util.Clock.now_ns ()) ~tag ~a ~b
+
+let make_worker ~id ~pool ~publicity ~capacity ~trace ~trace_capacity rng =
+  let w =
+    {
+      id;
+      pool;
+      dstack = Ds.create ~capacity ~publicity ~dummy:dummy_task ();
+      ldeque = Locked_deque.create ~capacity ~dummy:dummy_task ();
+      cdeque = Chase_lev.create ~dummy:dummy_task ();
+      rng;
+      tr_on = trace;
+      ring = Ring.create ~capacity:(if trace then trace_capacity else 2);
+      fail_streak = 0;
+      n_spawns = 0;
+      n_steals = 0;
+      n_leap_steals = 0;
+      n_failed = 0;
+      n_inlined = 0;
+    }
+  in
+  if trace then
+    Ds.set_event_hooks w.dstack
+      ~on_publish:(fun () -> record w Event.Publish ~a:(-1) ~b:(-1))
+      ~on_privatize:(fun () -> record w Event.Privatize ~a:(-1) ~b:(-1));
+  w
 
 let nap pool =
   if pool.idle_nap_ns > 0 then
@@ -78,32 +184,41 @@ let idle_backoff w =
   w.fail_streak <- w.fail_streak + 1;
   if w.fail_streak >= nap_streak then begin
     w.fail_streak <- 0;
-    nap w.pool
+    if w.tr_on then record w Event.Nap_enter ~a:(-1) ~b:(-1);
+    nap w.pool;
+    if w.tr_on then record w Event.Nap_exit ~a:(-1) ~b:(-1)
   end
 
 (* Attempt to steal one task from [victim] and run it. *)
 let steal_once w ~(victim : worker) =
+  if w.tr_on then record w Event.Steal_attempt ~a:(-1) ~b:victim.id;
   let ran =
     match w.pool.pmode with
     | Locked -> (
         match Locked_deque.steal ~mode:w.pool.lock_mode victim.ldeque with
         | Some task ->
+            if w.tr_on then record w Event.Steal_ok ~a:(-1) ~b:victim.id;
             task w;
             true
         | None -> false)
     | Clev -> (
         match Chase_lev.steal victim.cdeque with
         | `Stolen task ->
+            if w.tr_on then record w Event.Steal_ok ~a:(-1) ~b:victim.id;
             task w;
             true
         | `Empty | `Retry -> false)
     | Swap_generic | Task_specific | Private -> (
         match Ds.steal victim.dstack ~thief:w.id with
         | Ds.Stolen_task (task, index) ->
+            if w.tr_on then record w Event.Steal_ok ~a:index ~b:victim.id;
             task w;
             Ds.complete_steal victim.dstack ~index;
             true
-        | Ds.Fail | Ds.Backoff -> false)
+        | Ds.Backoff ->
+            if w.tr_on then record w Event.Steal_backoff ~a:(-1) ~b:victim.id;
+            false
+        | Ds.Fail -> false)
   in
   if ran then begin
     w.n_steals <- w.n_steals + 1;
@@ -136,25 +251,26 @@ let worker_loop w =
     ignore (steal_random w : bool)
   done
 
-let create ?workers ?(mode = Private) ?(publicity = Adaptive 4)
-    ?(capacity = 65536) ?(lock_mode = `Base) ?(idle_nap_ns = 50_000)
-    ?(seed = 0xC0FFEE) () =
+let create_of_config (c : Config.t) =
   let nworkers =
-    match workers with Some n -> n | None -> Domain.recommended_domain_count ()
+    match c.Config.workers with
+    | Some n -> n
+    | None -> Domain.recommended_domain_count ()
   in
   if nworkers <= 0 then invalid_arg "Pool.create: workers must be positive";
   let publicity =
     (* The ladder modes below [Private] have no private tasks. *)
-    match mode with
+    match c.Config.mode with
     | Swap_generic | Task_specific -> All_public
-    | Locked | Clev | Private -> publicity
+    | Locked | Clev | Private -> c.Config.publicity
   in
-  let master = Wool_util.Rng.make seed in
+  let master = Wool_util.Rng.make c.Config.seed in
   let pool =
     {
-      pmode = mode;
-      lock_mode;
-      idle_nap_ns;
+      pmode = c.Config.mode;
+      lock_mode = c.Config.lock_mode;
+      idle_nap_ns = c.Config.idle_nap_ns;
+      trace_on = c.Config.trace;
       workers = [||];
       stop = Atomic.make false;
       domains = [];
@@ -162,7 +278,9 @@ let create ?workers ?(mode = Private) ?(publicity = Adaptive 4)
   in
   let workers =
     Array.init nworkers (fun id ->
-        make_worker ~id ~pool ~publicity ~capacity (Wool_util.Rng.split master))
+        make_worker ~id ~pool ~publicity ~capacity:c.Config.capacity
+          ~trace:c.Config.trace ~trace_capacity:c.Config.trace_capacity
+          (Wool_util.Rng.split master))
   in
   pool.workers <- workers;
   pool.domains <-
@@ -171,6 +289,12 @@ let create ?workers ?(mode = Private) ?(publicity = Adaptive 4)
         Domain.spawn (fun () -> worker_loop w));
   pool
 
+let create ?(config = Config.default) ?workers ?mode ?publicity ?capacity
+    ?lock_mode ?idle_nap_ns ?seed ?trace () =
+  create_of_config
+    (Config.override config ?workers ?mode ?publicity ?capacity ?lock_mode
+       ?idle_nap_ns ?seed ?trace ())
+
 let shutdown pool =
   Atomic.set pool.stop true;
   List.iter Domain.join pool.domains;
@@ -178,8 +302,12 @@ let shutdown pool =
 
 let run pool f = f pool.workers.(0)
 
-let with_pool ?workers ?mode ?publicity ?seed f =
-  let pool = create ?workers ?mode ?publicity ?seed () in
+let with_pool ?config ?workers ?mode ?publicity ?capacity ?lock_mode
+    ?idle_nap_ns ?seed ?trace f =
+  let pool =
+    create ?config ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns
+      ?seed ?trace ()
+  in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
 (* Direct-stack modes signal completion through the descriptor state, so
@@ -191,6 +319,7 @@ let spawn (w : ctx) (fn : ctx -> 'a) : 'a future =
   w.n_spawns <- w.n_spawns + 1;
   match w.pool.pmode with
   | (Locked | Clev) as mode ->
+      if w.tr_on then record w Event.Spawn ~a:(-1) ~b:(-1);
       let fut =
         { fn; value = None; completed = Atomic.make false; index = -1;
           owner_id = w.id; wrapper = dummy_task }
@@ -208,9 +337,11 @@ let spawn (w : ctx) (fn : ctx -> 'a) : 'a future =
       | Swap_generic | Task_specific | Private -> assert false);
       fut
   | Swap_generic | Task_specific | Private ->
+      let index = Ds.depth w.dstack in
+      if w.tr_on then record w Event.Spawn ~a:index ~b:(-1);
       let fut =
-        { fn; value = None; completed = unused_completed;
-          index = Ds.depth w.dstack; owner_id = w.id; wrapper = dummy_task }
+        { fn; value = None; completed = unused_completed; index;
+          owner_id = w.id; wrapper = dummy_task }
       in
       let wrapper wk =
         match fut.fn wk with
@@ -236,8 +367,10 @@ let leapfrog w ~victim_id ~index =
   let victim = w.pool.workers.(victim_id) in
   while not (Ds.stolen_done w.dstack ~index) do
     let before = w.n_steals in
-    if steal_once w ~victim then
-      w.n_leap_steals <- w.n_leap_steals + (w.n_steals - before)
+    if steal_once w ~victim then begin
+      w.n_leap_steals <- w.n_leap_steals + (w.n_steals - before);
+      if w.tr_on then record w Event.Leap_steal ~a:(-1) ~b:victim_id
+    end
     else idle_backoff w
   done
 
@@ -254,7 +387,11 @@ let join_direct w fut =
   if fut.index <> Ds.depth w.dstack - 1 then
     invalid_arg "Wool.join: joins must be made in LIFO spawn order";
   match Ds.pop w.dstack with
-  | Ds.Task (wrapper, _public) -> (
+  | Ds.Task (wrapper, public) -> (
+      if w.tr_on then
+        record w
+          (if public then Event.Inline_public else Event.Inline_private)
+          ~a:fut.index ~b:(-1);
       match w.pool.pmode with
       | Swap_generic ->
           (* Generic join: go through the wrapper and the result cell, as a
@@ -265,6 +402,7 @@ let join_direct w fut =
           (* Task-specific join: direct call of the typed task function. *)
           fut.fn w)
   | Ds.Stolen { thief; index } ->
+      if w.tr_on then record w Event.Join_stolen ~a:index ~b:thief;
       if thief >= 0 then leapfrog w ~victim_id:thief ~index;
       Ds.reclaim w.dstack ~index;
       value_exn fut
@@ -274,21 +412,28 @@ let join_locked w fut =
   | Some wrapper ->
       assert (wrapper == fut.wrapper);
       w.n_inlined <- w.n_inlined + 1;
+      if w.tr_on then record w Event.Inline_public ~a:(-1) ~b:(-1);
       wrapper w;
       value_exn fut
-  | None -> wait_completed w fut
+  | None ->
+      if w.tr_on then record w Event.Join_stolen ~a:(-1) ~b:(-1);
+      wait_completed w fut
 
 let join_clev w fut =
   match Chase_lev.pop w.cdeque with
   | Some wrapper when wrapper == fut.wrapper ->
       w.n_inlined <- w.n_inlined + 1;
+      if w.tr_on then record w Event.Inline_public ~a:(-1) ~b:(-1);
       fut.fn w
   | Some other ->
       (* Our task was stolen; [other] is an older pending task of ours.
          Restore it and wait for the thief. *)
       Chase_lev.push w.cdeque other;
+      if w.tr_on then record w Event.Join_stolen ~a:(-1) ~b:(-1);
       wait_completed w fut
-  | None -> wait_completed w fut
+  | None ->
+      if w.tr_on then record w Event.Join_stolen ~a:(-1) ~b:(-1);
+      wait_completed w fut
 
 let join (w : ctx) fut =
   if fut.owner_id <> w.id then
@@ -304,21 +449,21 @@ let num_workers pool = Array.length pool.workers
 let mode pool = pool.pmode
 let pool_of_ctx w = w.pool
 
-type stats = {
-  spawns : int;
-  max_pool_depth : int;
-  inlined_private : int;
-  inlined_public : int;
-  joins_stolen : int;
-  steals : int;
-  leap_steals : int;
-  backoffs : int;
-  failed_steals : int;
-  publish_events : int;
-  privatize_events : int;
-}
+module Stats = struct
+  type t = {
+    spawns : int;
+    max_pool_depth : int;
+    inlined_private : int;
+    inlined_public : int;
+    joins_stolen : int;
+    steals : int;
+    leap_steals : int;
+    backoffs : int;
+    failed_steals : int;
+    publish_events : int;
+    privatize_events : int;
+  }
 
-let stats pool =
   let zero =
     {
       spawns = 0;
@@ -333,32 +478,122 @@ let stats pool =
       publish_events = 0;
       privatize_events = 0;
     }
-  in
-  Array.fold_left
-    (fun acc w ->
-      let d = Ds.stats w.dstack in
-      {
-        spawns = acc.spawns + w.n_spawns;
-        max_pool_depth = max acc.max_pool_depth d.Ds.max_depth;
-        inlined_private = acc.inlined_private + d.Ds.inlined_private;
-        inlined_public = acc.inlined_public + d.Ds.inlined_public + w.n_inlined;
-        joins_stolen = acc.joins_stolen + d.Ds.joins_stolen;
-        steals = acc.steals + w.n_steals;
-        leap_steals = acc.leap_steals + w.n_leap_steals;
-        backoffs = acc.backoffs + d.Ds.backoffs;
-        failed_steals = acc.failed_steals + w.n_failed;
-        publish_events = acc.publish_events + d.Ds.publish_events;
-        privatize_events = acc.privatize_events + d.Ds.privatize_events;
-      })
-    zero pool.workers
 
-let reset_stats pool =
-  Array.iter
-    (fun w ->
-      Ds.reset_stats w.dstack;
-      w.n_spawns <- 0;
-      w.n_steals <- 0;
-      w.n_leap_steals <- 0;
-      w.n_failed <- 0;
-      w.n_inlined <- 0)
-    pool.workers
+  let of_worker w =
+    let d = Ds.stats w.dstack in
+    {
+      spawns = w.n_spawns;
+      max_pool_depth = d.Ds.max_depth;
+      inlined_private = d.Ds.inlined_private;
+      inlined_public = d.Ds.inlined_public + w.n_inlined;
+      joins_stolen = d.Ds.joins_stolen;
+      steals = w.n_steals;
+      leap_steals = w.n_leap_steals;
+      backoffs = d.Ds.backoffs;
+      failed_steals = w.n_failed;
+      publish_events = d.Ds.publish_events;
+      privatize_events = d.Ds.privatize_events;
+    }
+
+  (* [max_pool_depth] is a high-water mark, not a flow; it combines with
+     [max], everything else with [+]. *)
+  let combine a b =
+    {
+      spawns = a.spawns + b.spawns;
+      max_pool_depth = max a.max_pool_depth b.max_pool_depth;
+      inlined_private = a.inlined_private + b.inlined_private;
+      inlined_public = a.inlined_public + b.inlined_public;
+      joins_stolen = a.joins_stolen + b.joins_stolen;
+      steals = a.steals + b.steals;
+      leap_steals = a.leap_steals + b.leap_steals;
+      backoffs = a.backoffs + b.backoffs;
+      failed_steals = a.failed_steals + b.failed_steals;
+      publish_events = a.publish_events + b.publish_events;
+      privatize_events = a.privatize_events + b.privatize_events;
+    }
+
+  let per_worker pool = Array.map of_worker pool.workers
+
+  let aggregate pool =
+    Array.fold_left (fun acc w -> combine acc (of_worker w)) zero pool.workers
+
+  let reset pool =
+    Array.iter
+      (fun w ->
+        Ds.reset_stats w.dstack;
+        w.n_spawns <- 0;
+        w.n_steals <- 0;
+        w.n_leap_steals <- 0;
+        w.n_failed <- 0;
+        w.n_inlined <- 0)
+      pool.workers
+
+  let fields s =
+    [
+      ("spawns", s.spawns);
+      ("max_pool_depth", s.max_pool_depth);
+      ("inlined_private", s.inlined_private);
+      ("inlined_public", s.inlined_public);
+      ("joins_stolen", s.joins_stolen);
+      ("steals", s.steals);
+      ("leap_steals", s.leap_steals);
+      ("backoffs", s.backoffs);
+      ("failed_steals", s.failed_steals);
+      ("publish_events", s.publish_events);
+      ("privatize_events", s.privatize_events);
+    ]
+
+  let pp fmt s =
+    Format.fprintf fmt "@[<hov 1>{";
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Format.fprintf fmt ";@ ";
+        Format.fprintf fmt "%s=%d" k v)
+      (fields s);
+    Format.fprintf fmt "}@]"
+
+  let to_json s =
+    "{"
+    ^ String.concat ","
+        (List.map (fun (k, v) -> Printf.sprintf {|"%s":%d|} k v) (fields s))
+    ^ "}"
+end
+
+type stats = Stats.t = {
+  spawns : int;
+  max_pool_depth : int;
+  inlined_private : int;
+  inlined_public : int;
+  joins_stolen : int;
+  steals : int;
+  leap_steals : int;
+  backoffs : int;
+  failed_steals : int;
+  publish_events : int;
+  privatize_events : int;
+}
+
+let stats = Stats.aggregate
+let reset_stats = Stats.reset
+
+(* ---- trace collection (quiescent snapshots; see pool.mli) ---- *)
+
+let trace_enabled pool = pool.trace_on
+
+let trace_per_worker pool =
+  Array.map (fun w -> Ring.snapshot w.ring ~worker:w.id) pool.workers
+
+let trace_dropped pool =
+  Array.fold_left (fun acc w -> acc + Ring.dropped w.ring) 0 pool.workers
+
+let trace_events pool =
+  let parts = trace_per_worker pool in
+  let all = Array.concat (Array.to_list parts) in
+  (* stable: per-worker order (monotone timestamps) survives equal keys *)
+  Array.stable_sort
+    (fun a b -> compare a.Event.ts b.Event.ts)
+    all;
+  all
+
+let trace_clear pool =
+  Array.iter (fun w -> Ring.clear w.ring) pool.workers

@@ -39,7 +39,54 @@ type publicity = Wool_deque.Direct_stack.publicity =
   | All_public
   | Adaptive of int
 
+(** Pool configuration as a first-class value.
+
+    [create] had grown a long tail of positional optional arguments that
+    wrapper layers forwarded inconsistently; a config record travels as one
+    value instead, and [with_pool ~config] forwards {e every} setting by
+    construction. *)
+module Config : sig
+  type t = {
+    workers : int option;
+        (** [None] = [Domain.recommended_domain_count ()] *)
+    mode : mode;
+    publicity : publicity;  (** direct modes only *)
+    capacity : int;  (** max simultaneous descriptors per worker *)
+    lock_mode : [ `Base | `Peek | `Trylock ];
+        (** §IV-C stealing discipline, [Locked] mode only *)
+    idle_nap_ns : int;
+        (** how long an idle thief sleeps after a burst of failed steals
+            (0 = pure spinning); keeps over-subscribed pools live *)
+    seed : int;  (** victim-selection RNG seed *)
+    trace : bool;  (** record scheduler events into per-worker rings *)
+    trace_capacity : int;
+        (** events retained per worker ring (rounded up to a power of
+            two); overflow drops oldest-first *)
+  }
+
+  val default : t
+  (** [Private] mode, [Adaptive 4] publicity, auto worker count, tracing
+      off — the same defaults the optional arguments always had. *)
+
+  val make :
+    ?workers:int ->
+    ?mode:mode ->
+    ?publicity:publicity ->
+    ?capacity:int ->
+    ?lock_mode:[ `Base | `Peek | `Trylock ] ->
+    ?idle_nap_ns:int ->
+    ?seed:int ->
+    ?trace:bool ->
+    ?trace_capacity:int ->
+    unit ->
+    t
+  (** Builder over {!default}; omitted arguments keep the default. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
 val create :
+  ?config:Config.t ->
   ?workers:int ->
   ?mode:mode ->
   ?publicity:publicity ->
@@ -47,14 +94,15 @@ val create :
   ?lock_mode:[ `Base | `Peek | `Trylock ] ->
   ?idle_nap_ns:int ->
   ?seed:int ->
+  ?trace:bool ->
   unit ->
   t
-(** [workers] defaults to [Domain.recommended_domain_count ()]. [publicity]
-    (direct modes only) defaults to [Adaptive 4]. [lock_mode] picks the
-    §IV-C stealing discipline in [Locked] mode. [idle_nap_ns] (default
-    50_000) is how long an idle thief sleeps after a burst of failed steals,
-    so that over-subscribed pools (more workers than cores) stay live;
-    0 means pure spinning. *)
+(** Create a pool from [config] (default {!Config.default}). The remaining
+    optional arguments are compatibility shims layered on top of [config]:
+    each one provided overrides the corresponding config field.
+
+    @deprecated the per-setting optional arguments; pass [?config] built
+    with {!Config.make} in new code. *)
 
 val run : t -> (ctx -> 'a) -> 'a
 (** Execute a main task on worker 0 (the calling domain). Must be called
@@ -64,9 +112,20 @@ val run : t -> (ctx -> 'a) -> 'a
 val shutdown : t -> unit
 (** Stop and join the worker domains. The pool cannot be used afterwards. *)
 
-val with_pool : ?workers:int -> ?mode:mode -> ?publicity:publicity ->
-  ?seed:int -> (t -> 'a) -> 'a
-(** Create a pool, run [f], and shut the pool down (also on exceptions). *)
+val with_pool :
+  ?config:Config.t ->
+  ?workers:int ->
+  ?mode:mode ->
+  ?publicity:publicity ->
+  ?capacity:int ->
+  ?lock_mode:[ `Base | `Peek | `Trylock ] ->
+  ?idle_nap_ns:int ->
+  ?seed:int ->
+  ?trace:bool ->
+  (t -> 'a) ->
+  'a
+(** Create a pool, run [f], and shut the pool down (also on exceptions).
+    Forwards every setting of {!create}, config and shims alike. *)
 
 val spawn : ctx -> (ctx -> 'a) -> 'a future
 (** Make a task available for stealing (or for later inlining) on the
@@ -103,7 +162,55 @@ type stats = {
   privatize_events : int;
 }
 
+(** Scheduler counters. Workers count locally without synchronisation;
+    readers see exact values once the pool is quiescent (between {!run}s),
+    racy-but-monotone snapshots otherwise. *)
+module Stats : sig
+  val per_worker : t -> stats array
+  (** One record per worker id — the per-event-source view the aggregate
+      cannot reconstruct. *)
+
+  val aggregate : t -> stats
+  (** Combined over workers since creation or the last {!reset}. *)
+
+  val reset : t -> unit
+
+  val zero : stats
+
+  val combine : stats -> stats -> stats
+  (** Counter-wise sum; [max_pool_depth] (a high-water mark) combines with
+      [max]. *)
+
+  val pp : Format.formatter -> stats -> unit
+  val to_json : stats -> string
+
+  type nonrec t = stats
+end
+
 val stats : t -> stats
-(** Aggregate over workers since creation or the last {!reset_stats}. *)
+(** Alias for {!Stats.aggregate}, kept for source compatibility.
+    @deprecated use {!Stats.aggregate}. *)
 
 val reset_stats : t -> unit
+(** Alias for {!Stats.reset}. @deprecated use {!Stats.reset}. *)
+
+(* Tracing *)
+
+val trace_enabled : t -> bool
+
+val trace_per_worker : t -> Wool_trace.Event.t array array
+(** Snapshot each worker's ring, oldest event first. Snapshots are meant
+    to be taken at {!run} boundaries: worker 0's ring is then exact; thief
+    rings may still gain idle events (steal attempts, naps) concurrently,
+    which the ring-level snapshot degrades gracefully around (see
+    {!Wool_trace.Ring.snapshot}). After {!shutdown}, everything is exact. *)
+
+val trace_events : t -> Wool_trace.Event.t array
+(** All workers' events merged into one timestamp-sorted stream (stable:
+    per-worker order is preserved among equal timestamps). *)
+
+val trace_dropped : t -> int
+(** Events lost to ring overflow, summed over workers. *)
+
+val trace_clear : t -> unit
+(** Reset all rings (and their drop counts). Call only while quiescent. *)

@@ -6,6 +6,8 @@
     loop-shaped benchmarks (mm, ssf). *)
 
 module Pool = Pool
+module Config = Pool.Config
+module Stats = Pool.Stats
 
 type pool = Pool.t
 type ctx = Pool.ctx
@@ -25,6 +27,11 @@ let self_id = Pool.self_id
 let num_workers = Pool.num_workers
 let stats = Pool.stats
 let reset_stats = Pool.reset_stats
+let trace_enabled = Pool.trace_enabled
+let trace_events = Pool.trace_events
+let trace_per_worker = Pool.trace_per_worker
+let trace_dropped = Pool.trace_dropped
+let trace_clear = Pool.trace_clear
 
 (** [parallel_for ctx ~grain lo hi body] runs [body i] for [lo <= i < hi]
     as a balanced binary task tree with at most [grain] iterations per leaf

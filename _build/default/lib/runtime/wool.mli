@@ -8,6 +8,12 @@
 
 module Pool = Pool
 
+module Config = Pool.Config
+(** Pool configuration records; see {!Pool.Config}. *)
+
+module Stats = Pool.Stats
+(** Scheduler counters; see {!Pool.Stats}. *)
+
 type pool = Pool.t
 type ctx = Pool.ctx
 type 'a future = 'a Pool.future
@@ -25,6 +31,7 @@ type publicity = Pool.publicity =
   | Adaptive of int
 
 val create :
+  ?config:Config.t ->
   ?workers:int ->
   ?mode:mode ->
   ?publicity:publicity ->
@@ -32,24 +39,50 @@ val create :
   ?lock_mode:[ `Base | `Peek | `Trylock ] ->
   ?idle_nap_ns:int ->
   ?seed:int ->
+  ?trace:bool ->
   unit ->
   pool
-(** See {!Pool.create}. *)
+(** See {!Pool.create}: [config] (built with {!Config.make}) carries every
+    setting; the per-setting optional arguments are compatibility shims
+    that override it. *)
 
 val run : pool -> (ctx -> 'a) -> 'a
 val shutdown : pool -> unit
 
 val with_pool :
-  ?workers:int -> ?mode:mode -> ?publicity:publicity -> ?seed:int ->
-  (pool -> 'a) -> 'a
+  ?config:Config.t ->
+  ?workers:int ->
+  ?mode:mode ->
+  ?publicity:publicity ->
+  ?capacity:int ->
+  ?lock_mode:[ `Base | `Peek | `Trylock ] ->
+  ?idle_nap_ns:int ->
+  ?seed:int ->
+  ?trace:bool ->
+  (pool -> 'a) ->
+  'a
+(** See {!Pool.with_pool}; forwards every setting of {!create}. *)
 
 val spawn : ctx -> (ctx -> 'a) -> 'a future
 val join : ctx -> 'a future -> 'a
 val call : ctx -> (ctx -> 'a) -> 'a
 val self_id : ctx -> int
 val num_workers : pool -> int
+
 val stats : pool -> Pool.stats
+(** @deprecated use {!Stats.aggregate}. *)
+
 val reset_stats : pool -> unit
+(** @deprecated use {!Stats.reset}. *)
+
+(* Tracing (see {!Pool}): populated when the pool was created with
+   [trace = true]. *)
+
+val trace_enabled : pool -> bool
+val trace_events : pool -> Wool_trace.Event.t array
+val trace_per_worker : pool -> Wool_trace.Event.t array array
+val trace_dropped : pool -> int
+val trace_clear : pool -> unit
 
 val parallel_for : ctx -> ?grain:int -> int -> int -> (int -> unit) -> unit
 (** [parallel_for ctx ~grain lo hi body] runs [body i] for [lo <= i < hi]

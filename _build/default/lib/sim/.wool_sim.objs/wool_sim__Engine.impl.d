@@ -1,1 +1,1 @@
-lib/sim/engine.ml: Array Costs List Policy Queue Sim_deque Trace Wool_ir Wool_util
+lib/sim/engine.ml: Array Costs List Policy Queue Sim_deque Trace Wool_ir Wool_trace Wool_util

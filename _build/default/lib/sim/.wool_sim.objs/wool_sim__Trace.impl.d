@@ -1,1 +1,1 @@
-lib/sim/trace.ml: Array Buffer Float Printf
+lib/sim/trace.ml: Array Buffer Float Printf Wool_trace

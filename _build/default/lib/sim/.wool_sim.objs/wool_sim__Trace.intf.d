@@ -1,1 +1,1 @@
-lib/sim/trace.mli:
+lib/sim/trace.mli: Wool_trace

@@ -17,7 +17,13 @@ let category_name = function
 
 type istatus = Queued | Stolen_by of int | Done_
 
-type inst = { itree : Tt.t; mutable status : istatus; mutable public : bool }
+type inst = {
+  itree : Tt.t;
+  mutable status : istatus;
+  mutable public : bool;
+  mutable join_observed : bool;
+      (* tracing only: the owner already logged Join_stolen for this task *)
+}
 
 type fkind =
   | KRoot
@@ -96,7 +102,9 @@ type state = {
 }
 
 let dummy_tree = Tt.leaf 0
-let dummy_inst = { itree = dummy_tree; status = Done_; public = false }
+
+let dummy_inst =
+  { itree = dummy_tree; status = Done_; public = false; join_observed = false }
 
 let dummy_frame =
   {
@@ -125,6 +133,13 @@ let charge st w cat cycles =
       Trace.record tr ~worker:w.wid ~start:w.clock ~cycles
         ~category:(category_index cat)
 
+(* Discrete scheduler events, in the vocabulary shared with the real
+   runtime's tracer. Purely observational: no cost, no hash impact. *)
+let emit st w tag ~a ~b =
+  match st.trace with
+  | None -> ()
+  | Some tr -> Trace.record_event tr ~worker:w.wid ~time:w.clock ~tag ~a ~b
+
 (* Category for application / inline-scheduler cycles executed inside
    frame [f]. *)
 let app_cat f = if f.in_leap then LA else NA
@@ -148,7 +163,8 @@ let service_publish st w =
           (Sdq.get w.dq i).public <- true
         done;
         w.public_limit <- new_limit;
-        w.trip <- new_limit - 1
+        w.trip <- new_limit - 1;
+        emit st w Wool_trace.Event.Publish ~a:(-1) ~b:(-1)
       end
   | Policy.Steal_child _ | Policy.Steal_parent | Policy.Loop_static -> ()
 
@@ -161,7 +177,8 @@ let maybe_privatize st w index =
         let new_limit = max (Sdq.bot_index w.dq) index in
         if new_limit < w.public_limit then begin
           w.public_limit <- new_limit;
-          w.trip <- new_limit - 1
+          w.trip <- new_limit - 1;
+          emit st w Wool_trace.Event.Privatize ~a:(-1) ~b:(-1)
         end;
         w.consec_public <- 0
       end
@@ -389,6 +406,7 @@ let do_steal st w ~victim ~cat =
       w.clock <- w.clock + max 1 c.poll;
       false
   | Some v -> (
+      emit st w Wool_trace.Event.Steal_attempt ~a:(-1) ~b:v.wid;
       let outcome =
         match st.policy.flavor with
         | Policy.Steal_child { sync; _ } -> (
@@ -410,7 +428,11 @@ let do_steal st w ~victim ~cat =
       | `Got (fr, extra) ->
           w.n_steals <- w.n_steals + 1;
           w.last_success <- v.wid;
-          if w.current <> None then w.n_leap <- w.n_leap + 1;
+          emit st w Wool_trace.Event.Steal_ok ~a:(-1) ~b:v.wid;
+          if w.current <> None then begin
+            w.n_leap <- w.n_leap + 1;
+            emit st w Wool_trace.Event.Leap_steal ~a:(-1) ~b:v.wid
+          end;
           let cost = remote st w v (c.steal_attempt + extra) in
           charge st w cat cost;
           w.clock <- w.clock + max 1 cost;
@@ -438,9 +460,10 @@ let exec_spawn_child st w f child =
         index < w.public_limit
     | Policy.Steal_parent | Policy.Loop_static -> true
   in
-  let inst = { itree = child; status = Queued; public } in
+  let inst = { itree = child; status = Queued; public; join_observed = false } in
   Sdq.push w.dq inst;
   w.max_pool <- max w.max_pool (Sdq.size w.dq);
+  emit st w Wool_trace.Event.Spawn ~a:index ~b:(-1);
   f.pending <- inst :: f.pending;
   f.ip <- f.ip + 1;
   let cost = if public then c.spawn else c.spawn_private in
@@ -453,6 +476,7 @@ let exec_spawn_parent st w f child =
   f.outstanding <- f.outstanding + 1;
   Sdq.push w.cdq f;
   w.max_pool <- max w.max_pool (Sdq.size w.cdq);
+  emit st w Wool_trace.Event.Spawn ~a:(-1) ~b:(-1);
   let child_frame =
     make_frame child ~kind:(KChild f) ~caller:None ~in_leap:f.in_leap
   in
@@ -510,6 +534,10 @@ let exec_join_child st w f =
             else c.join_inline_private
           in
           let cost = base + lock_wait in
+          emit st w
+            (if inst.public then Wool_trace.Event.Inline_public
+             else Wool_trace.Event.Inline_private)
+            ~a:index ~b:(-1);
           charge st w (app_cat f) cost;
           w.clock <- w.clock + cost;
           w.current <-
@@ -521,9 +549,19 @@ let exec_join_child st w f =
           f.pending <- rest;
           f.ip <- f.ip + 1;
           w.consec_public <- 0;
+          if not inst.join_observed then begin
+            inst.join_observed <- true;
+            emit st w Wool_trace.Event.Join_stolen ~a:(-1) ~b:(-1)
+          end;
           charge st w (app_cat f) c.join_stolen;
           w.clock <- w.clock + c.join_stolen
       | Stolen_by thief -> (
+          (* [Stolen_by] re-executes every step while blocked: log the
+             join-found-stolen transition only on first observation *)
+          if not inst.join_observed then begin
+            inst.join_observed <- true;
+            emit st w Wool_trace.Event.Join_stolen ~a:(-1) ~b:thief
+          end;
           (* Blocked join: find other work per the policy; the Join step
              re-executes (ip unchanged) until the thief finishes. Local
              batch-stolen orphans are always fair game — and draining

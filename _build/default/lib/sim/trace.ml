@@ -1,23 +1,32 @@
+module Event = Wool_trace.Event
+module Ring = Wool_trace.Ring
+
 type t = {
   n_workers : int;
   n_buckets : int;
   horizon : int;
   (* cells.(worker).(bucket).(category) = cycles *)
   cells : int array array array;
+  (* discrete scheduler events in the vocabulary shared with the real
+     runtime's tracer ([Wool_trace.Event]); one ring per virtual worker *)
+  rings : Ring.t array;
 }
 
 let n_categories = 5
 
-let create ?(buckets = 100) ~workers ~horizon () =
+let create ?(buckets = 100) ?(event_capacity = 65536) ~workers ~horizon () =
   if workers <= 0 then invalid_arg "Trace.create: workers must be positive";
   if horizon <= 0 then invalid_arg "Trace.create: horizon must be positive";
   if buckets <= 0 then invalid_arg "Trace.create: buckets must be positive";
+  if event_capacity <= 0 then
+    invalid_arg "Trace.create: event_capacity must be positive";
   {
     n_workers = workers;
     n_buckets = buckets;
     horizon;
     cells =
       Array.init workers (fun _ -> Array.make_matrix buckets n_categories 0);
+    rings = Array.init workers (fun _ -> Ring.create ~capacity:event_capacity);
   }
 
 let bucket_of t time =
@@ -44,6 +53,22 @@ let record t ~worker ~start ~cycles ~category =
       done
     end
   end
+
+let record_event t ~worker ~time ~tag ~a ~b =
+  if worker < 0 || worker >= t.n_workers then
+    invalid_arg "Trace.record_event: bad worker";
+  Ring.record t.rings.(worker) ~ts:time ~tag ~a ~b
+
+let events t =
+  let parts =
+    Array.mapi (fun w ring -> Ring.snapshot ring ~worker:w) t.rings
+  in
+  let all = Array.concat (Array.to_list parts) in
+  Array.stable_sort (fun a b -> compare a.Event.ts b.Event.ts) all;
+  all
+
+let events_dropped t =
+  Array.fold_left (fun acc r -> acc + Ring.dropped r) 0 t.rings
 
 let workers t = t.n_workers
 let buckets t = t.n_buckets

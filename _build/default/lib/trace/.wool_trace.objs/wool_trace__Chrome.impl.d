@@ -1,0 +1,1 @@
+lib/trace/chrome.ml: Array Buffer Event Fun Hashtbl Json List Printf

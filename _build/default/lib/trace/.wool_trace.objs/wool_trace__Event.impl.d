@@ -1,0 +1,1 @@
+lib/trace/event.ml: Array Buffer Format Printf String

@@ -1,0 +1,1 @@
+lib/trace/json.ml: Buffer Char Printf String

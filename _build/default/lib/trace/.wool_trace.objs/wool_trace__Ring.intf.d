@@ -1,0 +1,1 @@
+lib/trace/ring.mli: Event

@@ -1,0 +1,1 @@
+lib/trace/summary.ml: Array Buffer Event List Printf Wool_util

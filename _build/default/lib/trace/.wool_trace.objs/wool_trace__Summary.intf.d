@@ -1,0 +1,1 @@
+lib/trace/summary.mli: Event

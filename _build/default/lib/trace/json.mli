@@ -1,0 +1,14 @@
+(** A dependency-free JSON well-formedness checker.
+
+    The exporters in this library write JSON by hand (no ppx, no yojson);
+    this validator is the other half of that bargain: tests and the
+    [@trace-smoke] alias parse what was emitted and fail loudly on any
+    malformed output. It checks syntax only (RFC 8259 grammar, without
+    [\u] escape-range pedantry) and builds no document tree. *)
+
+val validate : string -> (unit, string) result
+(** [Ok ()] if the whole string is one valid JSON value; [Error msg]
+    pinpoints the first offending offset otherwise. *)
+
+val escape : string -> string
+(** Escape a string for inclusion inside JSON double quotes. *)

@@ -1,0 +1,96 @@
+type t = {
+  events : int;
+  dropped : int;
+  per_tag : int array;
+  per_worker : int array;
+  steal_latency : int array;
+  steal_distance : int array;
+}
+
+let n_buckets = 40
+
+let[@inline] bucket v =
+  let v = max 0 v in
+  let rec go k b = if v < b || k = n_buckets - 1 then k else go (k + 1) (b * 2) in
+  go 0 2
+
+let make ?(dropped = 0) events =
+  let per_tag = Array.make Event.n_tags 0 in
+  let max_worker =
+    Array.fold_left (fun m e -> max m e.Event.worker) (-1) events
+  in
+  let per_worker = Array.make (max_worker + 1) 0 in
+  let steal_latency = Array.make n_buckets 0 in
+  let steal_distance = Array.make n_buckets 0 in
+  (* nearest preceding Steal_attempt per worker *)
+  let last_attempt = Array.make (max_worker + 1) min_int in
+  Array.iter
+    (fun e ->
+      per_tag.(Event.tag_to_int e.Event.tag) <-
+        per_tag.(Event.tag_to_int e.Event.tag) + 1;
+      per_worker.(e.Event.worker) <- per_worker.(e.Event.worker) + 1;
+      match e.Event.tag with
+      | Event.Steal_attempt -> last_attempt.(e.Event.worker) <- e.Event.ts
+      | Event.Steal_ok ->
+          (if last_attempt.(e.Event.worker) <> min_int then
+             let lat = e.Event.ts - last_attempt.(e.Event.worker) in
+             steal_latency.(bucket lat) <- steal_latency.(bucket lat) + 1);
+          if e.Event.b >= 0 then begin
+            let d = abs (e.Event.worker - e.Event.b) in
+            steal_distance.(bucket d) <- steal_distance.(bucket d) + 1
+          end
+      | _ -> ())
+    events;
+  {
+    events = Array.length events;
+    dropped;
+    per_tag;
+    per_worker;
+    steal_latency;
+    steal_distance;
+  }
+
+let count t tag = t.per_tag.(Event.tag_to_int tag)
+let steals_observed t = count t Event.Steal_ok
+
+let hist_rows hist =
+  (* last non-empty bucket bounds the printed range *)
+  let last = ref (-1) in
+  Array.iteri (fun i v -> if v > 0 then last := i) hist;
+  List.init (!last + 1) (fun k ->
+      let lo = if k = 0 then 0 else 1 lsl k in
+      let hi = (1 lsl (k + 1)) - 1 in
+      (Printf.sprintf "%d..%d" lo hi, hist.(k)))
+
+let render ?(time_unit = "ns") t =
+  let buf = Buffer.create 1024 in
+  let tags = Wool_util.Table.create ~title:"events by tag" ~header:[ "tag"; "count" ] () in
+  Array.iter
+    (fun tag ->
+      let c = count t tag in
+      if c > 0 then
+        Wool_util.Table.add_row tags
+          [ Event.tag_name tag; Wool_util.Table.cell_i c ])
+    Event.all_tags;
+  Buffer.add_string buf (Wool_util.Table.render tags);
+  Buffer.add_string buf
+    (Printf.sprintf "total %d events (%d dropped), workers:" t.events t.dropped);
+  Array.iteri
+    (fun w c -> Buffer.add_string buf (Printf.sprintf " w%d=%d" w c))
+    t.per_worker;
+  Buffer.add_char buf '\n';
+  let add_hist title unit hist =
+    if Array.exists (fun v -> v > 0) hist then begin
+      let tb =
+        Wool_util.Table.create ~title ~header:[ unit; "steals" ] ()
+      in
+      List.iter
+        (fun (range, v) ->
+          Wool_util.Table.add_row tb [ range; Wool_util.Table.cell_i v ])
+        (hist_rows hist);
+      Buffer.add_string buf (Wool_util.Table.render tb)
+    end
+  in
+  add_hist "steal latency (attempt -> ok)" time_unit t.steal_latency;
+  add_hist "steal distance (|thief - victim|)" "workers" t.steal_distance;
+  Buffer.contents buf

@@ -1,0 +1,1 @@
+test/test_real_trace.ml: Alcotest Array Printf Wool Wool_trace Wool_workloads

@@ -1,1 +1,1 @@
-test/test_trace.ml: Alcotest List Printf String Wool_sim Wool_workloads
+test/test_trace.ml: Alcotest Array List Printf String Wool_sim Wool_trace Wool_workloads

@@ -1,0 +1,160 @@
+(* End-to-end tracing of the real multi-domain runtime: ring invariants
+   on a 4-worker fib run, overflow accounting, and the
+   tracing-disabled-by-default contract. *)
+
+module Ev = Wool_trace.Event
+module F = Wool_workloads.Fib
+
+let traced_pool ?(workers = 4) ?trace_capacity () =
+  Wool.create
+    ~config:(Wool.Config.make ~workers ~trace:true ?trace_capacity ())
+    ()
+
+let count_tag events tag =
+  Array.fold_left (fun acc e -> if e.Ev.tag = tag then acc + 1 else acc) 0 events
+
+let test_traced_fib_invariants () =
+  let n = 20 in
+  let pool = traced_pool () in
+  let result = Wool.run pool (fun ctx -> F.wool ctx n) in
+  Wool.shutdown pool;
+  Alcotest.(check int) "fib correct" (F.serial n) result;
+  Alcotest.(check bool) "trace enabled" true (Wool.trace_enabled pool);
+  let per = Wool.trace_per_worker pool in
+  Alcotest.(check int) "one ring per worker" 4 (Array.length per);
+  (* per-worker timestamps are monotone non-decreasing *)
+  Array.iteri
+    (fun w evs ->
+      for i = 1 to Array.length evs - 1 do
+        if evs.(i - 1).Ev.ts > evs.(i).Ev.ts then
+          Alcotest.failf "worker %d: ts regressed at event %d" w i
+      done;
+      Array.iter
+        (fun e ->
+          Alcotest.(check int) "worker id stamped" w e.Ev.worker;
+          Alcotest.(check bool) "tag in range" true
+            (Ev.tag_to_int e.Ev.tag < Ev.n_tags))
+        evs)
+    per;
+  (* every successful steal from victim v is matched by a Join_stolen in
+     v's own ring: the victim is the spawner of the migrated task and
+     joins it exactly once (Private mode, leapfrog steals included) *)
+  Array.iteri
+    (fun v _ ->
+      let stolen_from_v =
+        Array.fold_left
+          (fun acc evs ->
+            acc
+            + Array.fold_left
+                (fun acc e ->
+                  if e.Ev.tag = Ev.Steal_ok && e.Ev.b = v then acc + 1
+                  else acc)
+                0 evs)
+          0 per
+      in
+      let joins_in_v = count_tag per.(v) Ev.Join_stolen in
+      Alcotest.(check int)
+        (Printf.sprintf "victim %d: Steal_ok matched by Join_stolen" v)
+        stolen_from_v joins_in_v)
+    per;
+  (* merged stream is globally time-sorted and complete *)
+  let events = Wool.trace_events pool in
+  let total = Array.fold_left (fun a evs -> a + Array.length evs) 0 per in
+  Alcotest.(check int) "merged = sum of rings" total (Array.length events);
+  for i = 1 to Array.length events - 1 do
+    if events.(i - 1).Ev.ts > events.(i).Ev.ts then
+      Alcotest.failf "merged stream unsorted at %d" i
+  done;
+  (* events agree with the stats counters (nothing dropped: rings are
+     65536 deep and fib 20 spawns ~10k tasks per worker at most) *)
+  Alcotest.(check int) "nothing dropped" 0 (Wool.trace_dropped pool);
+  let agg = Wool.Stats.aggregate pool in
+  Alcotest.(check int) "spawn events = spawn counter" agg.Wool.Pool.spawns
+    (count_tag events Ev.Spawn);
+  Alcotest.(check int) "steal events = steal counter" agg.Wool.Pool.steals
+    (count_tag events Ev.Steal_ok);
+  Alcotest.(check int) "join events = joins_stolen counter"
+    agg.Wool.Pool.joins_stolen
+    (count_tag events Ev.Join_stolen)
+
+let test_overflow_drops_oldest () =
+  let cap = 64 in
+  let pool = traced_pool ~workers:1 ~trace_capacity:cap () in
+  let result = Wool.run pool (fun ctx -> F.wool ctx 15) in
+  Wool.shutdown pool;
+  Alcotest.(check int) "fib correct" (F.serial 15) result;
+  let dropped = Wool.trace_dropped pool in
+  Alcotest.(check bool) "ring overflowed" true (dropped > 0);
+  let evs = (Wool.trace_per_worker pool).(0) in
+  Alcotest.(check int) "ring keeps capacity" cap (Array.length evs);
+  (* oldest events went first: the survivors are the newest [cap] writes,
+     so together with the drop count they account for every record *)
+  let agg = Wool.Stats.aggregate pool in
+  let recorded =
+    (* a single worker never steals or naps, so its ring only ever sees
+       spawns, inlined joins and trip-wire publish/privatize traffic *)
+    agg.Wool.Pool.spawns + agg.Wool.Pool.inlined_private
+    + agg.Wool.Pool.inlined_public + agg.Wool.Pool.joins_stolen
+    + agg.Wool.Pool.publish_events + agg.Wool.Pool.privatize_events
+  in
+  Alcotest.(check int) "dropped + kept = recorded" recorded (dropped + cap);
+  for i = 1 to cap - 1 do
+    if evs.(i - 1).Ev.ts > evs.(i).Ev.ts then
+      Alcotest.failf "overflowed ring unsorted at %d" i
+  done
+
+let test_disabled_tracing_is_silent () =
+  let pool = Wool.create ~config:(Wool.Config.make ~workers:2 ()) () in
+  let result = Wool.run pool (fun ctx -> F.wool ctx 18) in
+  Wool.shutdown pool;
+  Alcotest.(check int) "fib correct" (F.serial 18) result;
+  Alcotest.(check bool) "disabled by default" false (Wool.trace_enabled pool);
+  Alcotest.(check int) "no events" 0 (Array.length (Wool.trace_events pool));
+  Alcotest.(check int) "no drops" 0 (Wool.trace_dropped pool);
+  (* stats keep working exactly as before tracing existed *)
+  let agg = Wool.Stats.aggregate pool in
+  Alcotest.(check bool) "spawns counted" true (agg.Wool.Pool.spawns > 0);
+  Alcotest.(check int) "all spawns accounted" agg.Wool.Pool.spawns
+    (agg.Wool.Pool.inlined_private + agg.Wool.Pool.inlined_public
+   + agg.Wool.Pool.joins_stolen)
+
+let test_with_pool_forwards_trace () =
+  let saw =
+    Wool.with_pool ~workers:2 ~trace:true (fun pool ->
+        ignore (Wool.run pool (fun ctx -> F.wool ctx 12));
+        (Wool.trace_enabled pool, Array.length (Wool.trace_events pool)))
+  in
+  Alcotest.(check bool) "trace forwarded" true (fst saw);
+  Alcotest.(check bool) "events flowing" true (snd saw > 0);
+  let via_config =
+    Wool.with_pool
+      ~config:(Wool.Config.make ~workers:2 ~trace:true ())
+      (fun pool -> Wool.trace_enabled pool)
+  in
+  Alcotest.(check bool) "config forwarded" true via_config
+
+let test_trace_clear () =
+  let pool = traced_pool ~workers:1 () in
+  ignore (Wool.run pool (fun ctx -> F.wool ctx 10));
+  Wool.shutdown pool;
+  Alcotest.(check bool) "events present" true
+    (Array.length (Wool.trace_events pool) > 0);
+  Wool.trace_clear pool;
+  Alcotest.(check int) "cleared" 0 (Array.length (Wool.trace_events pool));
+  Alcotest.(check int) "drop count cleared" 0 (Wool.trace_dropped pool)
+
+let suite =
+  [
+    ( "real-trace",
+      [
+        Alcotest.test_case "4-worker fib invariants" `Quick
+          test_traced_fib_invariants;
+        Alcotest.test_case "overflow drops oldest" `Quick
+          test_overflow_drops_oldest;
+        Alcotest.test_case "disabled tracing is silent" `Quick
+          test_disabled_tracing_is_silent;
+        Alcotest.test_case "with_pool forwards trace" `Quick
+          test_with_pool_forwards_trace;
+        Alcotest.test_case "trace_clear" `Quick test_trace_clear;
+      ] );
+  ]

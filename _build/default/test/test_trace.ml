@@ -2,6 +2,11 @@ module T = Wool_sim.Trace
 module E = Wool_sim.Engine
 module P = Wool_sim.Policy
 module W = Wool_workloads.Workload
+module Ev = Wool_trace.Event
+module Ring = Wool_trace.Ring
+module Json = Wool_trace.Json
+module Chrome = Wool_trace.Chrome
+module Summary = Wool_trace.Summary
 
 let contains hay needle =
   let lh = String.length hay and ln = String.length needle in
@@ -82,8 +87,138 @@ let test_engine_integration () =
     (T.utilization trace ~worker:0 > 0.5);
   Alcotest.(check bool) "renders" true (String.length (T.render trace) > 100)
 
+(* ---- shared event vocabulary (Wool_trace) ---- *)
+
+let check_event msg (a : Ev.t) (b : Ev.t) =
+  Alcotest.(check (list int))
+    msg
+    [ a.Ev.ts; a.Ev.worker; Ev.tag_to_int a.Ev.tag; a.Ev.a; a.Ev.b ]
+    [ b.Ev.ts; b.Ev.worker; Ev.tag_to_int b.Ev.tag; b.Ev.a; b.Ev.b ]
+
+let test_tag_round_trips () =
+  Alcotest.(check int) "n_tags" Ev.n_tags (Array.length Ev.all_tags);
+  Alcotest.(check int) "twelve tags" 12 Ev.n_tags;
+  let tag_int = function Some t -> Ev.tag_to_int t | None -> -1 in
+  Array.iteri
+    (fun i tag ->
+      Alcotest.(check int) "to_int is the index" i (Ev.tag_to_int tag);
+      Alcotest.(check int)
+        (Printf.sprintf "of_int round trip %d" i)
+        i
+        (tag_int (Ev.tag_of_int i));
+      Alcotest.(check int)
+        (Printf.sprintf "of_name round trip %s" (Ev.tag_name tag))
+        i
+        (tag_int (Ev.tag_of_name (Ev.tag_name tag))))
+    Ev.all_tags;
+  Alcotest.(check int) "bad int" (-1) (tag_int (Ev.tag_of_int Ev.n_tags));
+  Alcotest.(check int) "bad name" (-1) (tag_int (Ev.tag_of_name "quux"))
+
+let test_event_json_round_trip () =
+  Array.iter
+    (fun tag ->
+      let e = { Ev.ts = 123456789; worker = 3; tag; a = 17; b = -1 } in
+      let js = Ev.to_json e in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s is valid JSON" (Ev.tag_name tag))
+        true
+        (Json.validate js = Ok ());
+      check_event (Ev.tag_name tag) e (Ev.of_json_exn js))
+    Ev.all_tags;
+  (* field order independence *)
+  let e =
+    Ev.of_json_exn {|{"b":2,"a":1,"tag":"steal_ok","w":0,"ts":42}|}
+  in
+  check_event "shuffled fields" { Ev.ts = 42; worker = 0; tag = Ev.Steal_ok; a = 1; b = 2 } e
+
+let test_json_validate_rejects () =
+  List.iter
+    (fun bad ->
+      Alcotest.(check bool) (Printf.sprintf "rejects %s" bad) true
+        (match Json.validate bad with Ok () -> false | Error _ -> true))
+    [ ""; "{"; "[1,]"; {|{"a":}|}; {|{"a":1}}|}; "nul"; {|"unterminated|};
+      "[1 2]"; "{1:2}" ]
+
+let test_ring_record_snapshot () =
+  let r = Ring.create ~capacity:8 in
+  for i = 0 to 4 do
+    Ring.record r ~ts:(100 + i) ~tag:Ev.Spawn ~a:i ~b:(-1)
+  done;
+  Alcotest.(check int) "written" 5 (Ring.written r);
+  Alcotest.(check int) "no drops" 0 (Ring.dropped r);
+  let evs = Ring.snapshot r ~worker:3 in
+  Alcotest.(check int) "snapshot size" 5 (Array.length evs);
+  Array.iteri
+    (fun i e ->
+      check_event
+        (Printf.sprintf "event %d" i)
+        { Ev.ts = 100 + i; worker = 3; tag = Ev.Spawn; a = i; b = -1 }
+        e)
+    evs
+
+let test_ring_overflow_drops_oldest () =
+  let r = Ring.create ~capacity:4 in
+  for i = 0 to 9 do
+    Ring.record r ~ts:i ~tag:Ev.Steal_attempt ~a:(-1) ~b:0
+  done;
+  Alcotest.(check int) "dropped" 6 (Ring.dropped r);
+  let evs = Ring.snapshot r ~worker:0 in
+  Alcotest.(check int) "keeps capacity" 4 (Array.length evs);
+  Alcotest.(check (list int)) "newest survive, oldest-first" [ 6; 7; 8; 9 ]
+    (Array.to_list (Array.map (fun e -> e.Ev.ts) evs));
+  Ring.clear r;
+  Alcotest.(check int) "clear resets" 0 (Ring.written r);
+  Alcotest.(check int) "clear empties" 0 (Array.length (Ring.snapshot r ~worker:0))
+
+let test_chrome_export_is_valid_json () =
+  let events =
+    [|
+      { Ev.ts = 1000; worker = 0; tag = Ev.Spawn; a = 0; b = -1 };
+      { Ev.ts = 2000; worker = 1; tag = Ev.Steal_ok; a = 0; b = 0 };
+      { Ev.ts = 2500; worker = 0; tag = Ev.Join_stolen; a = 0; b = 1 };
+    |]
+  in
+  let s = Chrome.to_string events in
+  Alcotest.(check bool) "valid JSON" true (Json.validate s = Ok ());
+  Alcotest.(check bool) "traceEvents array" true (contains s "\"traceEvents\"");
+  Alcotest.(check bool) "one lane per worker" true
+    (contains s "worker 0" && contains s "worker 1");
+  Alcotest.(check bool) "instant events" true (contains s {|"ph":"i"|});
+  Alcotest.(check bool) "tag names surface" true (contains s "steal_ok")
+
+let test_sim_event_stream () =
+  let root = W.root (W.stress ~reps:4 ~height:6 ~leaf_iters:1024 ()) in
+  let first = E.run ~seed:5 ~policy:P.wool ~workers:4 root in
+  let trace = T.create ~workers:4 ~horizon:first.E.time () in
+  let second = E.run ~seed:5 ~trace ~policy:P.wool ~workers:4 root in
+  let events = T.events trace in
+  Alcotest.(check bool) "events recorded" true (Array.length events > 0);
+  Alcotest.(check int) "no drops" 0 (T.events_dropped trace);
+  (* merged stream is time-sorted *)
+  for i = 1 to Array.length events - 1 do
+    Alcotest.(check bool) "sorted" true
+      (events.(i - 1).Ev.ts <= events.(i).Ev.ts)
+  done;
+  let summary = Summary.make events in
+  Alcotest.(check int) "steal_ok matches engine steals" second.E.steals
+    (Summary.steals_observed summary);
+  Alcotest.(check int) "leap_steal matches engine" second.E.leap_steals
+    (Summary.count summary Ev.Leap_steal);
+  Alcotest.(check bool) "spawns observed" true
+    (Summary.count summary Ev.Spawn > 0)
+
 let suite =
   [
+    ( "trace.event",
+      [
+        Alcotest.test_case "tag round trips" `Quick test_tag_round_trips;
+        Alcotest.test_case "event JSON round trip" `Quick test_event_json_round_trip;
+        Alcotest.test_case "validator rejects junk" `Quick test_json_validate_rejects;
+        Alcotest.test_case "ring record/snapshot" `Quick test_ring_record_snapshot;
+        Alcotest.test_case "ring overflow" `Quick test_ring_overflow_drops_oldest;
+        Alcotest.test_case "chrome export" `Quick test_chrome_export_is_valid_json;
+        Alcotest.test_case "sim event stream" `Quick test_sim_event_stream;
+      ] );
     ( "trace",
       [
         Alcotest.test_case "create validation" `Quick test_create_validation;

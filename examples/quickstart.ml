@@ -25,13 +25,13 @@ let () =
     if Array.length Sys.argv > 2 then int_of_string Sys.argv.(2)
     else Domain.recommended_domain_count ()
   in
-  let pool = Wool.create ~workers () in
+  let pool = Wool.create ~config:(Wool.Config.make ~workers ()) () in
   let (result, parallel_ns) =
     Wool_util.Clock.time (fun () -> Wool.run pool (fun ctx -> fib ctx n))
   in
   let (expected, serial_ns) = Wool_util.Clock.time (fun () -> fib_serial n) in
   assert (result = expected);
-  let s = Wool.stats pool in
+  let s = Wool.Stats.aggregate pool in
   Printf.printf "fib %d = %d on %d worker(s)\n" n result workers;
   Printf.printf "  parallel: %.3f ms   serial: %.3f ms\n"
     (parallel_ns /. 1e6) (serial_ns /. 1e6);

@@ -12,3 +12,16 @@ val task_granularity : Wool_ir.Task_tree.t -> float
 
 val load_balancing_granularity : work:int -> steals:int -> float
 (** [T_S / N_M] in cycles; [infinity] when no steal happened. *)
+
+(** Both granularities derived from one measured phase (a [Pool.run] or a
+    simulated run) instead of a static task tree. *)
+type measured = { g_t : float; g_l : float }
+
+val of_measured : work:float -> tasks:int -> migrations:int -> measured
+(** [work] in whatever unit the measurement used (cycles or ns); [g_t] is
+    [work] itself when [tasks = 0], [g_l] is [infinity] when
+    [migrations = 0]. *)
+
+val of_events : work:float -> Wool_trace.Event.t array -> measured
+(** Count tasks ([Spawn] events) and migrations ([Steal_ok] events)
+    directly from a traced event stream — real or simulated. *)

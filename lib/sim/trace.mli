@@ -13,14 +13,34 @@
 
 type t
 
-val create : ?buckets:int -> workers:int -> horizon:int -> unit -> t
+val create :
+  ?buckets:int -> ?event_capacity:int -> workers:int -> horizon:int ->
+  unit -> t
 (** [horizon] is the simulated time span covered (cycles); activity beyond
-    it lands in the last bucket. Default 100 buckets. *)
+    it lands in the last bucket. Default 100 buckets. [event_capacity]
+    (default 65536) bounds the discrete-event ring kept per worker for
+    {!events}; overflow drops oldest-first. *)
 
 val record : t -> worker:int -> start:int -> cycles:int -> category:int -> unit
 (** Attribute [cycles] of activity of category index [category] (see
     {!Engine.category_index}) beginning at time [start]. Used by the
     engine; normally not called directly. *)
+
+val record_event :
+  t -> worker:int -> time:int -> tag:Wool_trace.Event.tag -> a:int ->
+  b:int -> unit
+(** Log a discrete scheduler event in the vocabulary shared with the real
+    runtime ({!Wool_trace.Event}). Timestamps are virtual cycles. Used by
+    the engine; normally not called directly. *)
+
+val events : t -> Wool_trace.Event.t array
+(** All recorded events merged into one time-sorted stream — the same
+    shape {!Wool.Pool.trace_events} produces, so simulated and measured
+    streams can be summarised, exported and compared with the same
+    tooling. *)
+
+val events_dropped : t -> int
+(** Events lost to ring overflow, summed over workers. *)
 
 val workers : t -> int
 val buckets : t -> int

@@ -1,0 +1,30 @@
+(** Derived views over an event stream: per-tag counts, steal-latency and
+    steal-distance histograms.
+
+    Latency is measured thief-side: for every [Steal_ok], the time since
+    the nearest preceding [Steal_attempt] on the same worker (the probe
+    that succeeded). Distance is the worker-id gap [|thief - victim|] of
+    successful steals — a locality proxy for sockets/ccNUMA discussions
+    (§IV-C). Both histograms bucket by powers of two. *)
+
+type t = {
+  events : int;  (** events summarised (post-drop) *)
+  dropped : int;  (** ring overwrites reported by the collector *)
+  per_tag : int array;  (** counts indexed by {!Event.tag_to_int} *)
+  per_worker : int array;  (** events per worker id *)
+  steal_latency : int array;
+      (** [steal_latency.(k)] = steals whose attempt→ok latency lay in
+          [\[2^k, 2^(k+1))] of the stream's time unit (bucket 0 is [<2]) *)
+  steal_distance : int array;  (** same bucketing over [|thief - victim|] *)
+}
+
+val make : ?dropped:int -> Event.t array -> t
+
+val count : t -> Event.tag -> int
+
+val steals_observed : t -> int
+(** [count t Steal_ok] — the [N_M] of the stream. *)
+
+val render : ?time_unit:string -> t -> string
+(** Human-readable tables (tag counts, histograms). [time_unit] labels the
+    latency column, default ["ns"]. *)
