@@ -3,7 +3,9 @@
    `woolbench list` shows the available experiments; `woolbench <key>`
    runs one; `woolbench all` runs everything (as the final harness does).
    `woolbench trace <workload>` runs a workload with scheduler tracing on
-   and writes a Chrome trace_event JSON next to a summary report. *)
+   and writes a Chrome trace_event JSON next to a summary report.
+   `woolbench policy <workload>` sweeps the steal policies (victim
+   selection x idle backoff) over a workload on the real runtime. *)
 
 open Cmdliner
 
@@ -81,18 +83,61 @@ let trace_cmd =
     (Cmd.info "trace" ~doc)
     Term.(ret (const run $ workers_arg $ out_arg $ check_arg $ workload_arg))
 
+let policy_cmd =
+  let workload_arg =
+    let doc =
+      Printf.sprintf "Workload to sweep: %s."
+        (String.concat " | " Wool_report.Trace_summary.workloads)
+    in
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD" ~doc)
+  in
+  let workers_arg =
+    let doc = "Number of worker domains." in
+    Arg.(value & opt int 4 & info [ "w"; "workers" ] ~docv:"N" ~doc)
+  in
+  let quick_arg =
+    let doc =
+      "Sweep only the victim selectors under the default backoff (one \
+       quick run each) instead of the full selector x backoff grid."
+    in
+    Arg.(value & flag & info [ "quick" ] ~doc)
+  in
+  let run workers quick workload =
+    if workers < 1 then `Error (false, "--workers must be at least 1")
+    else
+      match Wool_report.Policy_sweep.run ~workers ~quick workload with
+      | (_ : Wool_report.Policy_sweep.row list) -> `Ok ()
+      | exception Failure msg -> `Error (false, msg)
+  in
+  let doc =
+    "benchmark the steal policies (victim selection x idle backoff) on a \
+     workload"
+  in
+  Cmd.v
+    (Cmd.info "policy" ~doc)
+    Term.(ret (const run $ workers_arg $ quick_arg $ workload_arg))
+
 (* A Cmd.group would reject the free-form experiment keys the default
    term consumes ("woolbench list", "woolbench fig1 table2"), so route
-   "trace" to its subcommand by hand and keep everything else on the
+   the named subcommands by hand and keep everything else on the
    original term. *)
 let () =
   let doc =
     "regenerate the tables and figures of the Wool paper; `woolbench \
-     trace <workload>` records a scheduler trace"
+     trace <workload>` records a scheduler trace; `woolbench policy \
+     <workload>` sweeps the steal policies"
+  in
+  let subcommands = [ trace_cmd; policy_cmd ] in
+  let is_subcommand =
+    Array.length Sys.argv > 1
+    && List.exists (fun c -> Cmd.name c = Sys.argv.(1)) subcommands
   in
   let code =
-    if Array.length Sys.argv > 1 && Sys.argv.(1) = "trace" then
-      Cmd.eval (Cmd.group (Cmd.info "woolbench" ~doc) [ trace_cmd ])
+    if is_subcommand then
+      Cmd.eval (Cmd.group (Cmd.info "woolbench" ~doc) subcommands)
     else Cmd.eval (Cmd.v (Cmd.info "woolbench" ~doc) experiments_term)
   in
   exit code

@@ -1,0 +1,217 @@
+module Rng = Wool_util.Rng
+
+module Selector = struct
+  type t =
+    | Random_victim
+    | Round_robin
+    | Last_victim
+    | Leapfrog_biased
+    | Socket_local
+
+  let all =
+    [ Random_victim; Round_robin; Last_victim; Leapfrog_biased; Socket_local ]
+
+  let name = function
+    | Random_victim -> "random"
+    | Round_robin -> "round-robin"
+    | Last_victim -> "last-victim"
+    | Leapfrog_biased -> "leapfrog-biased"
+    | Socket_local -> "socket-local"
+
+  let of_name s = List.find_opt (fun t -> name t = s) all
+end
+
+module Backoff = struct
+  type t =
+    | Nap_after of int
+    | Exponential of { streak : int; max_factor : int }
+    | Yield_then_nap of { yields : int; naps : int }
+
+  let default = Nap_after 64
+
+  let all =
+    [
+      default;
+      Exponential { streak = 16; max_factor = 32 };
+      Yield_then_nap { yields = 16; naps = 64 };
+    ]
+
+  let name = function
+    | Nap_after n -> Printf.sprintf "nap%d" n
+    | Exponential { streak; max_factor } ->
+        Printf.sprintf "exp%dx%d" streak max_factor
+    | Yield_then_nap { yields; naps } ->
+        Printf.sprintf "yield%d-nap%d" yields naps
+
+  let of_name s =
+    let num prefix rest k =
+      match int_of_string_opt rest with
+      | Some n when n > 0 -> Some (k n)
+      | Some _ | None ->
+          ignore prefix;
+          None
+    in
+    match String.split_on_char '-' s with
+    | [ one ] when String.length one > 3 && String.sub one 0 3 = "nap" ->
+        num "nap" (String.sub one 3 (String.length one - 3)) (fun n ->
+            Nap_after n)
+    | [ one ] when String.length one > 3 && String.sub one 0 3 = "exp" -> (
+        match
+          String.split_on_char 'x' (String.sub one 3 (String.length one - 3))
+        with
+        | [ a; b ] -> (
+            match (int_of_string_opt a, int_of_string_opt b) with
+            | Some streak, Some max_factor when streak > 0 && max_factor > 0 ->
+                Some (Exponential { streak; max_factor })
+            | _ -> None)
+        | _ -> None)
+    | [ y; n ]
+      when String.length y > 5
+           && String.sub y 0 5 = "yield"
+           && String.length n > 3
+           && String.sub n 0 3 = "nap" -> (
+        match
+          ( int_of_string_opt (String.sub y 5 (String.length y - 5)),
+            int_of_string_opt (String.sub n 3 (String.length n - 3)) )
+        with
+        | Some yields, Some naps when yields >= 0 && naps > yields ->
+            Some (Yield_then_nap { yields; naps })
+        | _ -> None)
+    | _ -> None
+
+  type action = Relax | Yield | Nap of int
+
+  type state = { b : t; mutable streak : int; mutable nap_count : int }
+
+  let make b = { b; streak = 0; nap_count = 0 }
+
+  let on_failure st =
+    st.streak <- st.streak + 1;
+    match st.b with
+    | Nap_after n ->
+        if st.streak >= n then begin
+          st.streak <- 0;
+          Nap 1
+        end
+        else Relax
+    | Exponential { streak; max_factor } ->
+        if st.streak >= streak then begin
+          st.streak <- 0;
+          (* cap the shift before the multiply so the factor cannot
+             overflow however long the worker stays idle *)
+          let f = min max_factor (1 lsl min st.nap_count 20) in
+          st.nap_count <- st.nap_count + 1;
+          Nap f
+        end
+        else Relax
+    | Yield_then_nap { yields; naps } ->
+        if st.streak >= naps then begin
+          st.streak <- 0;
+          Nap 1
+        end
+        else if st.streak >= yields then Yield
+        else Relax
+
+  let on_success st =
+    st.streak <- 0;
+    st.nap_count <- 0
+end
+
+module Select = struct
+  type state = {
+    selector : Selector.t;
+    self : int;
+    socket_of : int -> int;
+    mutable rr_next : int;
+    mutable last_success : int;
+    mutable last_thief : int;
+  }
+
+  let make ?(socket_of = fun _ -> 0) selector ~self () =
+    {
+      selector;
+      self;
+      socket_of;
+      rr_next = self + 1;
+      last_success = -1;
+      last_thief = -1;
+    }
+
+  (* Uniform over the other n-1 workers; the draw-and-shift keeps the
+     distribution exact and matches what both schedulers always did. *)
+  let random st ~rng ~n =
+    if n <= 1 then None
+    else begin
+      let k = Rng.int rng (n - 1) in
+      Some (if k >= st.self then k + 1 else k)
+    end
+
+  let next st ~rng ~n =
+    match st.selector with
+    | Selector.Random_victim -> random st ~rng ~n
+    | Selector.Round_robin ->
+        if n <= 1 then None
+        else begin
+          let v = st.rr_next mod n in
+          let v = if v = st.self then (v + 1) mod n else v in
+          st.rr_next <- v + 1;
+          Some v
+        end
+    | Selector.Last_victim ->
+        if st.last_success >= 0 && st.last_success < n
+           && st.last_success <> st.self
+        then Some st.last_success
+        else random st ~rng ~n
+    | Selector.Leapfrog_biased ->
+        if st.last_thief >= 0 && st.last_thief < n && st.last_thief <> st.self
+        then Some st.last_thief
+        else random st ~rng ~n
+    | Selector.Socket_local ->
+        if n <= 1 then None
+        else if Rng.int rng 4 = 3 then random st ~rng ~n
+        else begin
+          let mine = st.socket_of st.self in
+          let local = ref [] in
+          for v = n - 1 downto 0 do
+            if v <> st.self && st.socket_of v = mine then local := v :: !local
+          done;
+          match !local with
+          | [] -> random st ~rng ~n
+          | l -> Some (List.nth l (Rng.int rng (List.length l)))
+        end
+
+  let on_success st ~victim = st.last_success <- victim
+
+  let on_failure st =
+    st.last_success <- -1;
+    st.last_thief <- -1
+
+  let stolen_by st ~thief = if thief >= 0 then st.last_thief <- thief
+end
+
+type t = { selector : Selector.t; backoff : Backoff.t }
+
+let default = { selector = Selector.Random_victim; backoff = Backoff.default }
+
+let make ?(selector = default.selector) ?(backoff = default.backoff) () =
+  { selector; backoff }
+
+let name t = Selector.name t.selector ^ "/" ^ Backoff.name t.backoff
+
+let of_name s =
+  match String.index_opt s '/' with
+  | None -> None
+  | Some i -> (
+      let sel = String.sub s 0 i in
+      let bo = String.sub s (i + 1) (String.length s - i - 1) in
+      match (Selector.of_name sel, Backoff.of_name bo) with
+      | Some selector, Some backoff -> Some { selector; backoff }
+      | _ -> None)
+
+let pp fmt t = Format.pp_print_string fmt (name t)
+
+let sweep () =
+  List.concat_map
+    (fun selector ->
+      List.map (fun backoff -> { selector; backoff }) Backoff.all)
+    Selector.all

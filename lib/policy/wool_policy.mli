@@ -1,0 +1,124 @@
+(** Shared steal-policy layer.
+
+    Faxén's protocol leaves two scheduler decisions open: {e which victim}
+    an idle thief probes (§III leapfrogging aside, the paper uses uniform
+    random), and {e how an idle thief backs off} when probes keep failing
+    (§IV-D2a models the cost of each attempt). This library owns both
+    decisions as first-class values so that the real runtime
+    ({!Wool.Config}) and the discrete-event simulator
+    ({!Wool_sim.Engine}) are driven by the {e same} policy value and can
+    be compared under it.
+
+    The library provides the pure policy vocabulary ({!Selector.t},
+    {!Backoff.t}, {!t}) and the small per-worker state machines
+    ({!Select}, {!Backoff.state}) both schedulers run, so victim choice
+    cannot drift between measured and simulated runs. *)
+
+module Selector : sig
+  type t =
+    | Random_victim  (** uniform among the other workers (the default) *)
+    | Round_robin  (** cyclic scan over worker ids *)
+    | Last_victim  (** stick to the last victim a steal succeeded on *)
+    | Leapfrog_biased
+        (** prefer the recorded thief of our own stolen tasks (the worker
+            most recently seen holding work we are waiting on), falling
+            back to uniform random *)
+    | Socket_local
+        (** prefer victims on our own socket 3 probes out of 4; needs a
+            socket topology ([socket_of]) to be meaningful *)
+
+  val all : t list
+  (** Every selector, in declaration order. *)
+
+  val name : t -> string
+  val of_name : string -> t option
+end
+
+module Backoff : sig
+  type t =
+    | Nap_after of int
+        (** nap once after every [n] consecutive failed steals — the
+            historical behaviour ([Nap_after 64]) *)
+    | Exponential of { streak : int; max_factor : int }
+        (** after [streak] consecutive failures nap once; each subsequent
+            nap doubles in length up to [max_factor] nap units, resetting
+            on a successful steal *)
+    | Yield_then_nap of { yields : int; naps : int }
+        (** ladder: spin below [yields] failures, yield the timeslice up
+            to [naps] failures, then nap *)
+
+  val default : t
+  (** [Nap_after 64]: bit-for-bit the historical idle loop. *)
+
+  val all : t list
+  (** One representative of each shape (for sweeps). *)
+
+  val name : t -> string
+  val of_name : string -> t option
+
+  (** What the idle loop should do after one more failed steal. [Nap f]
+      means sleep [f] nap units; the unit is the scheduler's
+      ([idle_nap_ns] in the real runtime, [nap_cycles] in the
+      simulator). *)
+  type action = Relax | Yield | Nap of int
+
+  type state
+  (** Per-worker failure-streak tracker. Not thread-safe; one per
+      worker. *)
+
+  val make : t -> state
+  val on_failure : state -> action
+  (** Count one failed steal attempt and say how to back off. *)
+
+  val on_success : state -> unit
+  (** A steal succeeded: reset the streak (and the exponential ladder). *)
+end
+
+(** Per-worker victim-selection state machine. Both schedulers call
+    [next] for every unpinned steal attempt and report outcomes back, so
+    a given (seed, selector) pair yields the same victim sequence in the
+    runtime and the simulator. *)
+module Select : sig
+  type state
+
+  val make : ?socket_of:(int -> int) -> Selector.t -> self:int -> unit -> state
+  (** [make selector ~self ()] for worker id [self]. [socket_of] maps a
+      worker id to its socket (default: everything on socket 0), used
+      only by {!Selector.Socket_local}. *)
+
+  val next : state -> rng:Wool_util.Rng.t -> n:int -> int option
+  (** Choose a victim among [n] workers ([None] iff [n <= 1]). Never
+      returns [self]. Draws from [rng] only as the selector requires. *)
+
+  val on_success : state -> victim:int -> unit
+  (** A steal (pinned or not) succeeded on [victim]. *)
+
+  val on_failure : state -> unit
+  (** An {e unpinned} attempt failed: drop affinities (last victim /
+      recorded thief) so the next probe falls back to random. *)
+
+  val stolen_by : state -> thief:int -> unit
+  (** One of our own tasks was seen stolen by [thief]
+      ({!Selector.Leapfrog_biased} affinity). *)
+end
+
+type t = { selector : Selector.t; backoff : Backoff.t }
+(** A complete steal policy: victim selection plus idle backoff. *)
+
+val default : t
+(** [{ selector = Random_victim; backoff = Nap_after 64 }] — exactly the
+    behaviour both schedulers had before policies were configurable. *)
+
+val make : ?selector:Selector.t -> ?backoff:Backoff.t -> unit -> t
+
+val name : t -> string
+(** ["<selector>/<backoff>"], e.g. ["random/nap64"]. *)
+
+val of_name : string -> t option
+(** Inverse of {!name}. *)
+
+val pp : Format.formatter -> t -> unit
+
+val sweep : unit -> t list
+(** The full {!Selector.all} × {!Backoff.all} grid, selectors varying
+    slowest — what [woolbench policy] benchmarks. *)

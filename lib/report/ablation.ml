@@ -26,14 +26,12 @@ let blocked_join ?workload () =
       label;
       speedup_by_p =
         abs_speedups
-          {
-            P.name = label;
-            flavor =
-              P.Steal_child
-                { sync = P.Nolock_state; blocked_join;
-                  publicity = P.Adaptive 4 };
-            costs = Wool_sim.Costs.wool;
-          }
+          (P.v ~name:label
+             ~flavor:
+               (P.Steal_child
+                  { sync = P.Nolock_state; blocked_join;
+                    publicity = P.Adaptive 4 })
+             ~costs:Wool_sim.Costs.wool ())
           wl;
     }
   in
@@ -54,13 +52,12 @@ let public_window ?workload () =
       label;
       speedup_by_p =
         abs_speedups
-          {
-            P.name = label;
-            flavor =
-              P.Steal_child
-                { sync = P.Nolock_state; blocked_join = P.Leapfrog; publicity };
-            costs = Wool_sim.Costs.wool;
-          }
+          (P.v ~name:label
+             ~flavor:
+               (P.Steal_child
+                  { sync = P.Nolock_state; blocked_join = P.Leapfrog;
+                    publicity })
+             ~costs:Wool_sim.Costs.wool ())
           wl;
     }
   in
@@ -85,7 +82,29 @@ let victim_selection ?workload () =
         mk "random" E.Random_victim;
         mk "round-robin" E.Round_robin;
         mk "last-victim" E.Last_victim;
+        mk "leapfrog-biased" E.Leapfrog_biased;
       ];
+  }
+
+let idle_backoff ?workload () =
+  let wl = match workload with Some w -> w | None -> default_workload () in
+  let root = W.root wl in
+  let work = float_of_int (Tt.work root) in
+  let mk bo =
+    {
+      label = Wool_policy.Backoff.name bo;
+      speedup_by_p =
+        List.map
+          (fun p ->
+            let sp = Wool_policy.make ~backoff:bo () in
+            let r = E.run ~steal_policy:sp ~policy:P.wool ~workers:p root in
+            (p, work /. float_of_int r.E.time))
+          procs;
+    }
+  in
+  {
+    title = "idle backoff on " ^ W.label wl;
+    series = List.map mk Wool_policy.Backoff.all;
   }
 
 let steal_batch ?workload () =
@@ -158,5 +177,6 @@ let run () =
   print_study (public_window ());
   print_study (public_window ~workload:(W.fib ~reps:1 24) ());
   print_study (victim_selection ());
+  print_study (idle_backoff ());
   print_study (steal_batch ());
   print_study (numa ())

@@ -8,7 +8,10 @@
       reduce thief starvation but tax the owner's joins; sweeps the
       adaptive window and the all-public extreme on fib and stress.
     - {b victim selection}: uniform random (the provably-good default) vs
-      round-robin scanning vs last-successful-victim affinity.
+      round-robin scanning vs last-successful-victim affinity vs
+      leapfrog-biased affinity.
+    - {b idle backoff}: the {!Wool_policy.Backoff} ladder under the
+      simulator's nap model.
     - {b steal batching}: how many tasks a successful steal migrates. *)
 
 type series = { label : string; speedup_by_p : (int * float) list }
@@ -17,6 +20,10 @@ type study = { title : string; series : series list }
 val blocked_join : ?workload:Wool_workloads.Workload.t -> unit -> study
 val public_window : ?workload:Wool_workloads.Workload.t -> unit -> study
 val victim_selection : ?workload:Wool_workloads.Workload.t -> unit -> study
+
+val idle_backoff : ?workload:Wool_workloads.Workload.t -> unit -> study
+(** The {!Wool_policy.Backoff} flavours (nap-after-streak, exponential,
+    yield-then-nap) under the simulator's idle model, Wool costs. *)
 
 val steal_batch : ?workload:Wool_workloads.Workload.t -> unit -> study
 (** Batch stealing (steal-half family, cited in the paper's related

@@ -1,0 +1,74 @@
+(* Measured steal-policy sweep ("woolbench policy <workload>"): run one
+   workload on the real runtime under each victim-selection x idle-backoff
+   combination, reporting wall time and the runtime's own Stats counters
+   per policy, then the simulator counterpart under the same Wool_policy
+   values so the two sides can be eyeballed together. *)
+
+module Table = Wool_util.Table
+module Clock = Wool_util.Clock
+module Ts = Trace_summary
+
+type row = {
+  policy : Wool_policy.t;
+  elapsed_ns : float;
+  stats : Wool.Stats.t;  (** aggregate counters of the run's pool *)
+}
+
+let policies ~quick =
+  if quick then
+    List.map
+      (fun s -> Wool_policy.make ~selector:s ())
+      Wool_policy.Selector.all
+  else Wool_policy.sweep ()
+
+let measure ~workers ~policy (spec : Ts.spec) =
+  let config = Wool.Config.make ~workers ~policy () in
+  let pool = Wool.create ~config () in
+  let (), ns = Clock.time (fun () -> Wool.run pool spec.Ts.wool) in
+  let stats = Wool.Stats.aggregate pool in
+  Wool.shutdown pool;
+  { policy; elapsed_ns = ns; stats }
+
+let run ?(workers = 4) ?(quick = false) name =
+  let spec = Ts.find name in
+  Printf.printf "== steal-policy sweep: %s, %d workers%s ==\n" spec.Ts.descr
+    workers
+    (if quick then " (quick: selectors only, default backoff)" else "");
+  let ps = policies ~quick in
+  let rows = List.map (fun policy -> measure ~workers ~policy spec) ps in
+  let tbl =
+    Table.create ~title:"real runtime"
+      ~header:[ "policy"; "ms"; "steals"; "leaps"; "failed"; "spawns" ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      Table.add_row tbl
+        [ Wool_policy.name r.policy;
+          Table.cell_f ~dec:2 (r.elapsed_ns /. 1e6);
+          Table.cell_i r.stats.Wool.Pool.steals;
+          Table.cell_i r.stats.Wool.Pool.leap_steals;
+          Table.cell_i r.stats.Wool.Pool.failed_steals;
+          Table.cell_i r.stats.Wool.Pool.spawns ])
+    rows;
+  Table.print tbl;
+  let module E = Wool_sim.Engine in
+  let tree = spec.Ts.sim_tree () in
+  let stbl =
+    Table.create
+      ~title:(Printf.sprintf "simulated counterpart (%s)" spec.Ts.sim_descr)
+      ~header:[ "policy"; "cycles"; "steals"; "leaps"; "failed" ]
+      ()
+  in
+  List.iter
+    (fun policy ->
+      let r =
+        E.run ~steal_policy:policy ~policy:Wool_sim.Policy.wool ~workers tree
+      in
+      Table.add_row stbl
+        [ Wool_policy.name policy; Table.cell_i r.E.time;
+          Table.cell_i r.E.steals; Table.cell_i r.E.leap_steals;
+          Table.cell_i r.E.failed_steals ])
+    ps;
+  Table.print stbl;
+  rows

@@ -1,0 +1,21 @@
+(** Measured steal-policy sweep ("woolbench policy <workload>").
+
+    Runs one {!Trace_summary.spec} workload on the real runtime once per
+    {!Wool_policy.t} combination — every
+    {!Wool_policy.Selector.t}[ x ]{!Wool_policy.Backoff.t} pair of
+    {!Wool_policy.sweep} — and prints wall time plus the pool's own
+    {!Wool.Stats} counters (steals, leapfrog steals, failed attempts) per
+    policy, followed by the simulator counterpart driven by the same
+    policy values via [Wool_sim.Engine.run ~steal_policy]. *)
+
+type row = {
+  policy : Wool_policy.t;
+  elapsed_ns : float;
+  stats : Wool.Stats.t;  (** aggregate counters of the run's pool *)
+}
+
+val run : ?workers:int -> ?quick:bool -> string -> row list
+(** [run ~workers ~quick name] sweeps workload [name] (default 4 workers)
+    and returns the measured rows (also printed). [quick] restricts the
+    sweep to one run per selector under the default backoff — the smoke
+    configuration. Raises [Failure] on an unknown workload name. *)

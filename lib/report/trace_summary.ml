@@ -161,12 +161,13 @@ let print_granularity ~label ~unit (g : Granularity.measured) =
     (cell g.Granularity.g_t) unit
     (cell g.Granularity.g_l) unit
 
-let run ?(workers = 4) ?(out = "trace.json") ?(check = false) name =
+let run ?(workers = 4) ?(out = "trace.json") ?(check = false) ?policy name =
   let spec = find name in
   Printf.printf "== scheduler trace: %s, %d workers ==\n" spec.descr workers;
   let (), serial_ns = Clock.time spec.serial in
-  let config = Wool.Config.make ~workers ~trace:true () in
+  let config = Wool.Config.make ~workers ~trace:true ?policy () in
   let pool = Wool.create ~config () in
+  Printf.printf "steal policy: %s\n" (Wool.policy_name pool);
   let (), par_ns = Clock.time (fun () -> Wool.run pool spec.wool) in
   Wool.shutdown pool;
   let events = Wool.trace_events pool in
@@ -198,9 +199,12 @@ let run ?(workers = 4) ?(out = "trace.json") ?(check = false) name =
   let tree = spec.sim_tree () in
   Printf.printf "-- simulated counterpart: %s, %d workers --\n" spec.sim_descr
     workers;
-  let r1 = E.run ~policy:Wool_sim.Policy.wool ~workers tree in
+  let r1 = E.run ?steal_policy:policy ~policy:Wool_sim.Policy.wool ~workers tree in
   let tr = T.create ~workers ~horizon:r1.E.time () in
-  let r2 = E.run ~policy:Wool_sim.Policy.wool ~workers ~trace:tr tree in
+  let r2 =
+    E.run ?steal_policy:policy ~policy:Wool_sim.Policy.wool ~workers ~trace:tr
+      tree
+  in
   let sim_events = T.events tr in
   let sim_summary =
     Summary.make ~dropped:(T.events_dropped tr) sim_events

@@ -8,12 +8,35 @@
     the simulator's stream for the matching task tree — both sides use the
     shared {!Wool_trace.Event} vocabulary. *)
 
+type spec = {
+  name : string;
+  descr : string;  (** e.g. "fib(22)" *)
+  serial : unit -> unit;  (** sequential run, for [T_S] *)
+  wool : Wool.ctx -> unit;
+  sim_descr : string;
+  sim_tree : unit -> Wool_ir.Task_tree.t;
+      (** simulator counterpart; may use a smaller size so the
+          discrete-event run stays quick *)
+}
+(** A benchmarkable workload: the real-runtime body plus its simulator
+    task tree. Shared with {!Policy_sweep}. *)
+
+val specs : spec list
+
+val find : string -> spec
+(** Look up a spec by name; raises [Failure] listing the known names. *)
+
 val workloads : string list
 (** Names accepted by {!run}. *)
 
-val run : ?workers:int -> ?out:string -> ?check:bool -> string -> unit
+val run :
+  ?workers:int -> ?out:string -> ?check:bool -> ?policy:Wool_policy.t ->
+  string -> unit
 (** [run ~workers ~out ~check name] traces workload [name] (default 4
     workers) and writes the Chrome trace to [out] (default
-    ["trace.json"]). With [check] the written file is re-read and
-    validated with {!Wool_trace.Json.validate}. Raises [Failure] on an
-    unknown workload name or (under [check]) invalid JSON. *)
+    ["trace.json"]). [policy] selects the steal policy for both the real
+    pool and the simulated counterpart (default: the pool's default,
+    random victims with nap-after-64 backoff). With [check] the written
+    file is re-read and validated with {!Wool_trace.Json.validate}.
+    Raises [Failure] on an unknown workload name or (under [check])
+    invalid JSON. *)

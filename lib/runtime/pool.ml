@@ -3,6 +3,8 @@ module Locked_deque = Wool_deque.Locked_deque
 module Chase_lev = Wool_deque.Chase_lev
 module Ring = Wool_trace.Ring
 module Event = Wool_trace.Event
+module Select = Wool_policy.Select
+module Backoff = Wool_policy.Backoff
 
 type mode = Locked | Swap_generic | Task_specific | Private | Clev
 
@@ -22,6 +24,8 @@ module Config = struct
     seed : int;
     trace : bool;
     trace_capacity : int;
+    steal_policy : Wool_policy.Selector.t;
+    backoff : Wool_policy.Backoff.t;
   }
 
   let default =
@@ -35,38 +39,55 @@ module Config = struct
       seed = 0xC0FFEE;
       trace = false;
       trace_capacity = 1 lsl 16;
+      steal_policy = Wool_policy.default.Wool_policy.selector;
+      backoff = Wool_policy.default.Wool_policy.backoff;
+    }
+
+  (* The single option-merge routine behind [make] and [override]: two
+     hand-rolled copies drifted on every new field ([trace_capacity] was
+     silently not overridable for a while). *)
+  let merge base ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns
+      ?seed ?trace ?trace_capacity ?policy ?steal_policy ?backoff () =
+    let ov o d = Option.value o ~default:d in
+    let base_selector, base_backoff =
+      match policy with
+      | Some p -> (p.Wool_policy.selector, p.Wool_policy.backoff)
+      | None -> (base.steal_policy, base.backoff)
+    in
+    {
+      workers = (match workers with Some _ -> workers | None -> base.workers);
+      mode = ov mode base.mode;
+      publicity = ov publicity base.publicity;
+      capacity = ov capacity base.capacity;
+      lock_mode = ov lock_mode base.lock_mode;
+      idle_nap_ns = ov idle_nap_ns base.idle_nap_ns;
+      seed = ov seed base.seed;
+      trace = ov trace base.trace;
+      trace_capacity = ov trace_capacity base.trace_capacity;
+      steal_policy = ov steal_policy base_selector;
+      backoff = ov backoff base_backoff;
     }
 
   let make ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns ?seed
-      ?trace ?trace_capacity () =
-    let ov o d = Option.value o ~default:d in
-    {
-      workers = (match workers with Some _ -> workers | None -> default.workers);
-      mode = ov mode default.mode;
-      publicity = ov publicity default.publicity;
-      capacity = ov capacity default.capacity;
-      lock_mode = ov lock_mode default.lock_mode;
-      idle_nap_ns = ov idle_nap_ns default.idle_nap_ns;
-      seed = ov seed default.seed;
-      trace = ov trace default.trace;
-      trace_capacity = ov trace_capacity default.trace_capacity;
-    }
+      ?trace ?trace_capacity ?policy ?steal_policy ?backoff () =
+    merge default ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns
+      ?seed ?trace ?trace_capacity ?policy ?steal_policy ?backoff ()
 
   (* The old optional arguments of [create] layered on top of a base
      config; [None]s leave the base untouched. *)
   let override c ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns
-      ?seed ?trace () =
-    let ov o d = Option.value o ~default:d in
+      ?seed ?trace ?trace_capacity ?policy ?steal_policy ?backoff () =
+    merge c ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns ?seed
+      ?trace ?trace_capacity ?policy ?steal_policy ?backoff ()
+
+  let policy c =
+    { Wool_policy.selector = c.steal_policy; backoff = c.backoff }
+
+  let with_policy p c =
     {
-      workers = (match workers with Some _ -> workers | None -> c.workers);
-      mode = ov mode c.mode;
-      publicity = ov publicity c.publicity;
-      capacity = ov capacity c.capacity;
-      lock_mode = ov lock_mode c.lock_mode;
-      idle_nap_ns = ov idle_nap_ns c.idle_nap_ns;
-      seed = ov seed c.seed;
-      trace = ov trace c.trace;
-      trace_capacity = c.trace_capacity;
+      c with
+      steal_policy = p.Wool_policy.selector;
+      backoff = p.Wool_policy.backoff;
     }
 
   let mode_name = function
@@ -89,13 +110,16 @@ module Config = struct
   let pp fmt c =
     Format.fprintf fmt
       "{workers=%s; mode=%s; publicity=%s; capacity=%d; lock_mode=%s;@ \
-       idle_nap_ns=%d; seed=%#x; trace=%b; trace_capacity=%d}"
+       idle_nap_ns=%d; seed=%#x; trace=%b; trace_capacity=%d;@ \
+       steal_policy=%s; backoff=%s}"
       (match c.workers with Some n -> string_of_int n | None -> "auto")
       (mode_name c.mode)
       (publicity_name c.publicity)
       c.capacity
       (lock_mode_name c.lock_mode)
       c.idle_nap_ns c.seed c.trace c.trace_capacity
+      (Wool_policy.Selector.name c.steal_policy)
+      (Wool_policy.Backoff.name c.backoff)
 end
 
 type worker = {
@@ -105,11 +129,12 @@ type worker = {
   ldeque : (worker -> unit) Locked_deque.t;
   cdeque : (worker -> unit) Chase_lev.t;
   rng : Wool_util.Rng.t;
+  sel : Select.state;
+  bo : Backoff.state;
   (* tracing: [tr_on] is immutable, so the disabled case is one predictable
      branch on the hot path; each worker writes only its own ring *)
   tr_on : bool;
   ring : Ring.t;
-  mutable fail_streak : int;
   (* thief-side counters; each worker only writes its own *)
   mutable n_spawns : int;
   mutable n_steals : int;
@@ -120,18 +145,29 @@ type worker = {
 
 and pool = {
   pmode : mode;
+  backend : backend;
   lock_mode : [ `Base | `Peek | `Trylock ];
   idle_nap_ns : int;
+  policy : Wool_policy.t;
   trace_on : bool;
   mutable workers : worker array;
   stop : bool Atomic.t;
   mutable domains : unit Domain.t list;
 }
 
-type t = pool
-type ctx = worker
+(* The mode-specific task-pool operations, bound once per pool. Replaces
+   the [match pmode] dispatch that was repeated in the steal, spawn, and
+   join hot paths: each call site is a single indirect call through an
+   immutable record, so the branch predictor sees one stable target per
+   pool instead of a five-way match. *)
+and backend = {
+  bk_steal : worker -> victim:worker -> bool;
+      (* one attempt against [victim]'s pool; runs the task if taken *)
+  bk_spawn : 'a. worker -> (worker -> 'a) -> 'a future;
+  bk_join : 'a. worker -> 'a future -> 'a;
+}
 
-type 'a future = {
+and 'a future = {
   fn : worker -> 'a;
   mutable value : ('a, exn) result option;
   completed : bool Atomic.t;
@@ -140,15 +176,248 @@ type 'a future = {
   mutable wrapper : worker -> unit;
 }
 
-let dummy_task (_ : worker) = ()
+type t = pool
+type ctx = worker
 
-(* How many consecutive failed steal attempts before an idle worker naps.
-   Keeps over-subscribed pools (workers > cores) from starving the victims
-   they are waiting on. *)
-let nap_streak = 64
+let dummy_task (_ : worker) = ()
 
 let[@inline] record w tag ~a ~b =
   Ring.record w.ring ~ts:(Wool_util.Clock.now_ns ()) ~tag ~a ~b
+
+let nap pool ~factor =
+  if pool.idle_nap_ns > 0 then
+    Unix.sleepf (float_of_int (pool.idle_nap_ns * factor) *. 1e-9)
+
+let idle_backoff w =
+  Domain.cpu_relax ();
+  match Backoff.on_failure w.bo with
+  | Backoff.Relax -> ()
+  | Backoff.Yield ->
+      (* relinquish the timeslice without the full nap *)
+      Unix.sleepf 0.
+  | Backoff.Nap factor ->
+      if w.tr_on then record w Event.Nap_enter ~a:factor ~b:(-1);
+      nap w.pool ~factor;
+      if w.tr_on then record w Event.Nap_exit ~a:(-1) ~b:(-1)
+
+(* ---- mode-specific steal attempts (the [bk_steal] implementations) ---- *)
+
+let steal_locked w ~(victim : worker) =
+  match Locked_deque.steal ~mode:w.pool.lock_mode victim.ldeque with
+  | Some task ->
+      if w.tr_on then record w Event.Steal_ok ~a:(-1) ~b:victim.id;
+      task w;
+      true
+  | None -> false
+
+let steal_clev w ~(victim : worker) =
+  match Chase_lev.steal victim.cdeque with
+  | `Stolen task ->
+      if w.tr_on then record w Event.Steal_ok ~a:(-1) ~b:victim.id;
+      task w;
+      true
+  | `Empty | `Retry -> false
+
+let steal_direct w ~(victim : worker) =
+  match Ds.steal victim.dstack ~thief:w.id with
+  | Ds.Stolen_task (task, index) ->
+      if w.tr_on then record w Event.Steal_ok ~a:index ~b:victim.id;
+      task w;
+      Ds.complete_steal victim.dstack ~index;
+      true
+  | Ds.Backoff ->
+      if w.tr_on then record w Event.Steal_backoff ~a:(-1) ~b:victim.id;
+      false
+  | Ds.Fail -> false
+
+(* Attempt to steal one task from [victim] and run it. *)
+let steal_once w ~(victim : worker) =
+  if w.tr_on then record w Event.Steal_attempt ~a:(-1) ~b:victim.id;
+  let ran = w.pool.backend.bk_steal w ~victim in
+  if ran then begin
+    w.n_steals <- w.n_steals + 1;
+    Backoff.on_success w.bo;
+    Select.on_success w.sel ~victim:victim.id
+  end
+  else w.n_failed <- w.n_failed + 1;
+  ran
+
+let select_victim w =
+  match Select.next w.sel ~rng:w.rng ~n:(Array.length w.pool.workers) with
+  | None -> None
+  | Some v -> Some w.pool.workers.(v)
+
+(* One unpinned steal attempt against a policy-chosen victim, backing off
+   on failure. This is the idle loop body and the Locked/Clev blocked-join
+   strategy. *)
+let steal_idle w =
+  match select_victim w with
+  | None ->
+      idle_backoff w;
+      false
+  | Some victim ->
+      let ran = steal_once w ~victim in
+      if not ran then begin
+        Select.on_failure w.sel;
+        idle_backoff w
+      end;
+      ran
+
+let worker_loop w =
+  while not (Atomic.get w.pool.stop) do
+    ignore (steal_idle w : bool)
+  done
+
+let value_exn fut =
+  match fut.value with
+  | Some (Ok v) -> v
+  | Some (Error e) -> raise e
+  | None ->
+      (* Unreachable: completion is observed before the value is read. *)
+      assert false
+
+(* Leapfrogging (§I, Wagner & Calder): while blocked on a task stolen by
+   [victim_id], steal only from that worker. Any task acquired this way is
+   work we would have executed ourselves had there been no steal. *)
+let leapfrog w ~victim_id ~index =
+  let victim = w.pool.workers.(victim_id) in
+  while not (Ds.stolen_done w.dstack ~index) do
+    let before = w.n_steals in
+    if steal_once w ~victim then begin
+      w.n_leap_steals <- w.n_leap_steals + (w.n_steals - before);
+      if w.tr_on then record w Event.Leap_steal ~a:(-1) ~b:victim_id
+    end
+    else idle_backoff w
+  done
+
+let wait_completed w fut =
+  (* No thief identity (Locked/Clev modes): steal per the policy while
+     waiting. This is the strategy whose buried-join behaviour §I
+     discusses. *)
+  while not (Atomic.get fut.completed) do
+    ignore (steal_idle w : bool)
+  done;
+  value_exn fut
+
+(* ---- spawn (the [bk_spawn] implementations) ---- *)
+
+(* Direct-stack modes signal completion through the descriptor state, so
+   their futures share one never-read completion flag instead of
+   allocating one per spawn. *)
+let unused_completed = Atomic.make false
+
+let spawn_queued push w (fn : worker -> 'a) : 'a future =
+  if w.tr_on then record w Event.Spawn ~a:(-1) ~b:(-1);
+  let fut =
+    { fn; value = None; completed = Atomic.make false; index = -1;
+      owner_id = w.id; wrapper = dummy_task }
+  in
+  let wrapper wk =
+    (match fut.fn wk with
+    | v -> fut.value <- Some (Ok v)
+    | exception e -> fut.value <- Some (Error e));
+    Atomic.set fut.completed true
+  in
+  fut.wrapper <- wrapper;
+  push w wrapper;
+  fut
+
+let spawn_locked w fn = spawn_queued (fun w t -> Locked_deque.push w.ldeque t) w fn
+let spawn_clev w fn = spawn_queued (fun w t -> Chase_lev.push w.cdeque t) w fn
+
+let spawn_direct w (fn : worker -> 'a) : 'a future =
+  let index = Ds.depth w.dstack in
+  if w.tr_on then record w Event.Spawn ~a:index ~b:(-1);
+  let fut =
+    { fn; value = None; completed = unused_completed; index;
+      owner_id = w.id; wrapper = dummy_task }
+  in
+  let wrapper wk =
+    match fut.fn wk with
+    | v -> fut.value <- Some (Ok v)
+    | exception e -> fut.value <- Some (Error e)
+  in
+  fut.wrapper <- wrapper;
+  Ds.push w.dstack wrapper;
+  fut
+
+(* ---- join (the [bk_join] implementations) ---- *)
+
+let join_direct ~generic w fut =
+  if fut.index <> Ds.depth w.dstack - 1 then
+    invalid_arg "Wool.join: joins must be made in LIFO spawn order";
+  match Ds.pop w.dstack with
+  | Ds.Task (wrapper, public) ->
+      if w.tr_on then
+        record w
+          (if public then Event.Inline_public else Event.Inline_private)
+          ~a:fut.index ~b:(-1);
+      if generic then begin
+        (* Generic join: go through the wrapper and the result cell, as a
+           runtime without task-specific join functions must. *)
+        wrapper w;
+        value_exn fut
+      end
+      else
+        (* Task-specific join: direct call of the typed task function. *)
+        fut.fn w
+  | Ds.Stolen { thief; index } ->
+      if w.tr_on then record w Event.Join_stolen ~a:index ~b:thief;
+      Select.stolen_by w.sel ~thief;
+      if thief >= 0 then leapfrog w ~victim_id:thief ~index;
+      Ds.reclaim w.dstack ~index;
+      value_exn fut
+
+let join_locked w fut =
+  match Locked_deque.pop w.ldeque with
+  | Some wrapper ->
+      assert (wrapper == fut.wrapper);
+      w.n_inlined <- w.n_inlined + 1;
+      if w.tr_on then record w Event.Inline_public ~a:(-1) ~b:(-1);
+      wrapper w;
+      value_exn fut
+  | None ->
+      if w.tr_on then record w Event.Join_stolen ~a:(-1) ~b:(-1);
+      wait_completed w fut
+
+let join_clev w fut =
+  match Chase_lev.pop w.cdeque with
+  | Some wrapper when wrapper == fut.wrapper ->
+      w.n_inlined <- w.n_inlined + 1;
+      if w.tr_on then record w Event.Inline_public ~a:(-1) ~b:(-1);
+      fut.fn w
+  | Some other ->
+      (* Our task was stolen; [other] is an older pending task of ours.
+         Restore it and wait for the thief. *)
+      Chase_lev.push w.cdeque other;
+      if w.tr_on then record w Event.Join_stolen ~a:(-1) ~b:(-1);
+      wait_completed w fut
+  | None ->
+      if w.tr_on then record w Event.Join_stolen ~a:(-1) ~b:(-1);
+      wait_completed w fut
+
+(* ---- backends ---- *)
+
+let locked_backend =
+  { bk_steal = steal_locked; bk_spawn = spawn_locked; bk_join = join_locked }
+
+let clev_backend =
+  { bk_steal = steal_clev; bk_spawn = spawn_clev; bk_join = join_clev }
+
+let direct_backend ~generic =
+  {
+    bk_steal = steal_direct;
+    bk_spawn = spawn_direct;
+    bk_join = (fun w fut -> join_direct ~generic w fut);
+  }
+
+let backend_of_mode = function
+  | Locked -> locked_backend
+  | Clev -> clev_backend
+  | Swap_generic -> direct_backend ~generic:true
+  | Task_specific | Private -> direct_backend ~generic:false
+
+(* ---- pool lifecycle ---- *)
 
 let make_worker ~id ~pool ~publicity ~capacity ~trace ~trace_capacity rng =
   let w =
@@ -159,9 +428,10 @@ let make_worker ~id ~pool ~publicity ~capacity ~trace ~trace_capacity rng =
       ldeque = Locked_deque.create ~capacity ~dummy:dummy_task ();
       cdeque = Chase_lev.create ~dummy:dummy_task ();
       rng;
+      sel = Select.make pool.policy.Wool_policy.selector ~self:id ();
+      bo = Backoff.make pool.policy.Wool_policy.backoff;
       tr_on = trace;
       ring = Ring.create ~capacity:(if trace then trace_capacity else 2);
-      fail_streak = 0;
       n_spawns = 0;
       n_steals = 0;
       n_leap_steals = 0;
@@ -174,82 +444,6 @@ let make_worker ~id ~pool ~publicity ~capacity ~trace ~trace_capacity rng =
       ~on_publish:(fun () -> record w Event.Publish ~a:(-1) ~b:(-1))
       ~on_privatize:(fun () -> record w Event.Privatize ~a:(-1) ~b:(-1));
   w
-
-let nap pool =
-  if pool.idle_nap_ns > 0 then
-    Unix.sleepf (float_of_int pool.idle_nap_ns *. 1e-9)
-
-let idle_backoff w =
-  Domain.cpu_relax ();
-  w.fail_streak <- w.fail_streak + 1;
-  if w.fail_streak >= nap_streak then begin
-    w.fail_streak <- 0;
-    if w.tr_on then record w Event.Nap_enter ~a:(-1) ~b:(-1);
-    nap w.pool;
-    if w.tr_on then record w Event.Nap_exit ~a:(-1) ~b:(-1)
-  end
-
-(* Attempt to steal one task from [victim] and run it. *)
-let steal_once w ~(victim : worker) =
-  if w.tr_on then record w Event.Steal_attempt ~a:(-1) ~b:victim.id;
-  let ran =
-    match w.pool.pmode with
-    | Locked -> (
-        match Locked_deque.steal ~mode:w.pool.lock_mode victim.ldeque with
-        | Some task ->
-            if w.tr_on then record w Event.Steal_ok ~a:(-1) ~b:victim.id;
-            task w;
-            true
-        | None -> false)
-    | Clev -> (
-        match Chase_lev.steal victim.cdeque with
-        | `Stolen task ->
-            if w.tr_on then record w Event.Steal_ok ~a:(-1) ~b:victim.id;
-            task w;
-            true
-        | `Empty | `Retry -> false)
-    | Swap_generic | Task_specific | Private -> (
-        match Ds.steal victim.dstack ~thief:w.id with
-        | Ds.Stolen_task (task, index) ->
-            if w.tr_on then record w Event.Steal_ok ~a:index ~b:victim.id;
-            task w;
-            Ds.complete_steal victim.dstack ~index;
-            true
-        | Ds.Backoff ->
-            if w.tr_on then record w Event.Steal_backoff ~a:(-1) ~b:victim.id;
-            false
-        | Ds.Fail -> false)
-  in
-  if ran then begin
-    w.n_steals <- w.n_steals + 1;
-    w.fail_streak <- 0
-  end
-  else w.n_failed <- w.n_failed + 1;
-  ran
-
-let random_victim w =
-  let n = Array.length w.pool.workers in
-  if n <= 1 then None
-  else begin
-    let k = Wool_util.Rng.int w.rng (n - 1) in
-    let v = if k >= w.id then k + 1 else k in
-    Some w.pool.workers.(v)
-  end
-
-let steal_random w =
-  match random_victim w with
-  | None ->
-      idle_backoff w;
-      false
-  | Some victim ->
-      let ran = steal_once w ~victim in
-      if not ran then idle_backoff w;
-      ran
-
-let worker_loop w =
-  while not (Atomic.get w.pool.stop) do
-    ignore (steal_random w : bool)
-  done
 
 let create_of_config (c : Config.t) =
   let nworkers =
@@ -268,8 +462,10 @@ let create_of_config (c : Config.t) =
   let pool =
     {
       pmode = c.Config.mode;
+      backend = backend_of_mode c.Config.mode;
       lock_mode = c.Config.lock_mode;
       idle_nap_ns = c.Config.idle_nap_ns;
+      policy = Config.policy c;
       trace_on = c.Config.trace;
       workers = [||];
       stop = Atomic.make false;
@@ -310,143 +506,23 @@ let with_pool ?config ?workers ?mode ?publicity ?capacity ?lock_mode
   in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
 
-(* Direct-stack modes signal completion through the descriptor state, so
-   their futures share one never-read completion flag instead of
-   allocating one per spawn. *)
-let unused_completed = Atomic.make false
+(* ---- the public task operations ---- *)
 
 let spawn (w : ctx) (fn : ctx -> 'a) : 'a future =
   w.n_spawns <- w.n_spawns + 1;
-  match w.pool.pmode with
-  | (Locked | Clev) as mode ->
-      if w.tr_on then record w Event.Spawn ~a:(-1) ~b:(-1);
-      let fut =
-        { fn; value = None; completed = Atomic.make false; index = -1;
-          owner_id = w.id; wrapper = dummy_task }
-      in
-      let wrapper wk =
-        (match fut.fn wk with
-        | v -> fut.value <- Some (Ok v)
-        | exception e -> fut.value <- Some (Error e));
-        Atomic.set fut.completed true
-      in
-      fut.wrapper <- wrapper;
-      (match mode with
-      | Locked -> Locked_deque.push w.ldeque wrapper
-      | Clev -> Chase_lev.push w.cdeque wrapper
-      | Swap_generic | Task_specific | Private -> assert false);
-      fut
-  | Swap_generic | Task_specific | Private ->
-      let index = Ds.depth w.dstack in
-      if w.tr_on then record w Event.Spawn ~a:index ~b:(-1);
-      let fut =
-        { fn; value = None; completed = unused_completed; index;
-          owner_id = w.id; wrapper = dummy_task }
-      in
-      let wrapper wk =
-        match fut.fn wk with
-        | v -> fut.value <- Some (Ok v)
-        | exception e -> fut.value <- Some (Error e)
-      in
-      fut.wrapper <- wrapper;
-      Ds.push w.dstack wrapper;
-      fut
-
-let value_exn fut =
-  match fut.value with
-  | Some (Ok v) -> v
-  | Some (Error e) -> raise e
-  | None ->
-      (* Unreachable: completion is observed before the value is read. *)
-      assert false
-
-(* Leapfrogging (§I, Wagner & Calder): while blocked on a task stolen by
-   [victim_id], steal only from that worker. Any task acquired this way is
-   work we would have executed ourselves had there been no steal. *)
-let leapfrog w ~victim_id ~index =
-  let victim = w.pool.workers.(victim_id) in
-  while not (Ds.stolen_done w.dstack ~index) do
-    let before = w.n_steals in
-    if steal_once w ~victim then begin
-      w.n_leap_steals <- w.n_leap_steals + (w.n_steals - before);
-      if w.tr_on then record w Event.Leap_steal ~a:(-1) ~b:victim_id
-    end
-    else idle_backoff w
-  done
-
-let wait_completed w fut =
-  (* No thief identity (Locked/Clev modes): steal from anyone while
-     waiting. This is the strategy whose buried-join behaviour §I
-     discusses. *)
-  while not (Atomic.get fut.completed) do
-    ignore (steal_random w : bool)
-  done;
-  value_exn fut
-
-let join_direct w fut =
-  if fut.index <> Ds.depth w.dstack - 1 then
-    invalid_arg "Wool.join: joins must be made in LIFO spawn order";
-  match Ds.pop w.dstack with
-  | Ds.Task (wrapper, public) -> (
-      if w.tr_on then
-        record w
-          (if public then Event.Inline_public else Event.Inline_private)
-          ~a:fut.index ~b:(-1);
-      match w.pool.pmode with
-      | Swap_generic ->
-          (* Generic join: go through the wrapper and the result cell, as a
-             runtime without task-specific join functions must. *)
-          wrapper w;
-          value_exn fut
-      | Task_specific | Private | Locked | Clev ->
-          (* Task-specific join: direct call of the typed task function. *)
-          fut.fn w)
-  | Ds.Stolen { thief; index } ->
-      if w.tr_on then record w Event.Join_stolen ~a:index ~b:thief;
-      if thief >= 0 then leapfrog w ~victim_id:thief ~index;
-      Ds.reclaim w.dstack ~index;
-      value_exn fut
-
-let join_locked w fut =
-  match Locked_deque.pop w.ldeque with
-  | Some wrapper ->
-      assert (wrapper == fut.wrapper);
-      w.n_inlined <- w.n_inlined + 1;
-      if w.tr_on then record w Event.Inline_public ~a:(-1) ~b:(-1);
-      wrapper w;
-      value_exn fut
-  | None ->
-      if w.tr_on then record w Event.Join_stolen ~a:(-1) ~b:(-1);
-      wait_completed w fut
-
-let join_clev w fut =
-  match Chase_lev.pop w.cdeque with
-  | Some wrapper when wrapper == fut.wrapper ->
-      w.n_inlined <- w.n_inlined + 1;
-      if w.tr_on then record w Event.Inline_public ~a:(-1) ~b:(-1);
-      fut.fn w
-  | Some other ->
-      (* Our task was stolen; [other] is an older pending task of ours.
-         Restore it and wait for the thief. *)
-      Chase_lev.push w.cdeque other;
-      if w.tr_on then record w Event.Join_stolen ~a:(-1) ~b:(-1);
-      wait_completed w fut
-  | None ->
-      if w.tr_on then record w Event.Join_stolen ~a:(-1) ~b:(-1);
-      wait_completed w fut
+  w.pool.backend.bk_spawn w fn
 
 let join (w : ctx) fut =
   if fut.owner_id <> w.id then
     invalid_arg "Wool.join: future joined on a different worker";
-  match w.pool.pmode with
-  | Locked -> join_locked w fut
-  | Clev -> join_clev w fut
-  | Swap_generic | Task_specific | Private -> join_direct w fut
+  w.pool.backend.bk_join w fut
 
 let call (w : ctx) fn = fn w
 let self_id w = w.id
 let num_workers pool = Array.length pool.workers
 let mode pool = pool.pmode
+let policy pool = pool.policy
+let policy_name pool = Wool_policy.name pool.policy
 let pool_of_ctx w = w.pool
 
 module Stats = struct
@@ -516,6 +592,8 @@ module Stats = struct
 
   let aggregate pool =
     Array.fold_left (fun acc w -> combine acc (of_worker w)) zero pool.workers
+
+  let policy_name = policy_name
 
   let reset pool =
     Array.iter

@@ -55,18 +55,27 @@ module Config : sig
     lock_mode : [ `Base | `Peek | `Trylock ];
         (** §IV-C stealing discipline, [Locked] mode only *)
     idle_nap_ns : int;
-        (** how long an idle thief sleeps after a burst of failed steals
+        (** one nap unit for the idle-backoff policy: how long an idle
+            thief sleeps per {!Wool_policy.Backoff.Nap} factor
             (0 = pure spinning); keeps over-subscribed pools live *)
     seed : int;  (** victim-selection RNG seed *)
     trace : bool;  (** record scheduler events into per-worker rings *)
     trace_capacity : int;
         (** events retained per worker ring (rounded up to a power of
             two); overflow drops oldest-first *)
+    steal_policy : Wool_policy.Selector.t;
+        (** victim selection for unpinned steals (leapfrogging stays
+            pinned to the thief regardless); default
+            [Random_victim] — the historical behaviour *)
+    backoff : Wool_policy.Backoff.t;
+        (** idle behaviour after failed steals; default [Nap_after 64] —
+            the historical nap-after-64-failures loop *)
   }
 
   val default : t
   (** [Private] mode, [Adaptive 4] publicity, auto worker count, tracing
-      off — the same defaults the optional arguments always had. *)
+      off, random victims with nap-after-64 backoff — the same defaults
+      the optional arguments always had. *)
 
   val make :
     ?workers:int ->
@@ -78,9 +87,42 @@ module Config : sig
     ?seed:int ->
     ?trace:bool ->
     ?trace_capacity:int ->
+    ?policy:Wool_policy.t ->
+    ?steal_policy:Wool_policy.Selector.t ->
+    ?backoff:Wool_policy.Backoff.t ->
     unit ->
     t
-  (** Builder over {!default}; omitted arguments keep the default. *)
+  (** Builder over {!default}; omitted arguments keep the default.
+      [?policy] sets [steal_policy] and [backoff] from one
+      {!Wool_policy.t} value — the same value {!Wool_sim.Engine.run}
+      accepts — and the two per-field arguments override it. *)
+
+  val override :
+    t ->
+    ?workers:int ->
+    ?mode:mode ->
+    ?publicity:publicity ->
+    ?capacity:int ->
+    ?lock_mode:[ `Base | `Peek | `Trylock ] ->
+    ?idle_nap_ns:int ->
+    ?seed:int ->
+    ?trace:bool ->
+    ?trace_capacity:int ->
+    ?policy:Wool_policy.t ->
+    ?steal_policy:Wool_policy.Selector.t ->
+    ?backoff:Wool_policy.Backoff.t ->
+    unit ->
+    t
+  (** [override c] is {!make} with [c] as the base instead of
+      {!default}: provided arguments replace the corresponding fields,
+      omitted ones keep [c]'s. This is what layers the deprecated
+      [create] shims over a config. *)
+
+  val policy : t -> Wool_policy.t
+  (** The [steal_policy]/[backoff] pair as one {!Wool_policy.t}. *)
+
+  val with_policy : Wool_policy.t -> t -> t
+  (** Replace both policy fields from one {!Wool_policy.t}. *)
 
   val pp : Format.formatter -> t -> unit
 end
@@ -144,6 +186,13 @@ val call : ctx -> (ctx -> 'a) -> 'a
 val self_id : ctx -> int
 val num_workers : t -> int
 val mode : t -> mode
+
+val policy : t -> Wool_policy.t
+(** The steal policy this pool runs (victim selection + idle backoff). *)
+
+val policy_name : t -> string
+(** [Wool_policy.name (policy pool)], for report labels. *)
+
 val pool_of_ctx : ctx -> t
 
 type stats = {
@@ -172,6 +221,10 @@ module Stats : sig
 
   val aggregate : t -> stats
   (** Combined over workers since creation or the last {!reset}. *)
+
+  val policy_name : t -> string
+  (** Name of the steal policy the counters were collected under, so a
+      stats row can be labelled per policy in sweeps. *)
 
   val reset : t -> unit
 

@@ -8,6 +8,7 @@
 module Pool = Pool
 module Config = Pool.Config
 module Stats = Pool.Stats
+module Policy = Wool_policy
 
 type pool = Pool.t
 type ctx = Pool.ctx
@@ -25,6 +26,8 @@ let join = Pool.join
 let call = Pool.call
 let self_id = Pool.self_id
 let num_workers = Pool.num_workers
+let policy = Pool.policy
+let policy_name = Pool.policy_name
 let stats = Pool.stats
 let reset_stats = Pool.reset_stats
 let trace_enabled = Pool.trace_enabled

@@ -14,6 +14,12 @@ module Config = Pool.Config
 module Stats = Pool.Stats
 (** Scheduler counters; see {!Pool.Stats}. *)
 
+module Policy = Wool_policy
+(** Steal policies (victim selection + idle backoff); the same
+    {!Wool_policy.t} value configures this runtime
+    ([Config.make ~policy]) and the simulator
+    ([Wool_sim.Engine.run ~steal_policy]). *)
+
 type pool = Pool.t
 type ctx = Pool.ctx
 type 'a future = 'a Pool.future
@@ -68,6 +74,11 @@ val join : ctx -> 'a future -> 'a
 val call : ctx -> (ctx -> 'a) -> 'a
 val self_id : ctx -> int
 val num_workers : pool -> int
+
+val policy : pool -> Wool_policy.t
+(** The steal policy the pool runs; see {!Pool.policy}. *)
+
+val policy_name : pool -> string
 
 val stats : pool -> Pool.stats
 (** @deprecated use {!Stats.aggregate}. *)

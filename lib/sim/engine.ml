@@ -2,6 +2,8 @@ module Tt = Wool_ir.Task_tree
 module Sdq = Sim_deque
 module Heap = Wool_util.Heap
 module Rng = Wool_util.Rng
+module Select = Wool_policy.Select
+module Backoff = Wool_policy.Backoff
 
 type category = TR | LA | NA | ST | LF
 
@@ -62,14 +64,15 @@ type worker = {
   mutable n_leap : int;
   mutable max_pool : int; (* deepest task/continuation pool seen *)
   orphans : inst Queue.t; (* batch-stolen tasks awaiting local execution *)
-  mutable rr_next : int; (* round-robin victim cursor *)
-  mutable last_success : int; (* last victim a steal succeeded on, or -1 *)
+  sel : Select.state; (* victim-selection state (shared with the runtime) *)
+  bo : Backoff.state option; (* idle-backoff model; None = no idle cost *)
 }
 
-type victim_selection =
+type victim_selection = Wool_policy.Selector.t =
   | Random_victim
   | Round_robin
   | Last_victim
+  | Leapfrog_biased
   | Socket_local
 
 type result = {
@@ -88,7 +91,7 @@ type result = {
 type state = {
   policy : Policy.t;
   costs : Costs.t;
-  victim_selection : victim_selection;
+  nap_cycles : int; (* one Backoff.Nap unit, in cycles *)
   trace : Trace.t option;
   steal_batch : int;
   sockets : int;
@@ -234,15 +237,6 @@ let complete_frame st w f =
 
 (* ---- stealing ---- *)
 
-let pick_random_victim st w =
-  let n = Array.length st.workers in
-  if n <= 1 then None
-  else begin
-    let k = Rng.int w.rng (n - 1) in
-    let v = if k >= w.wid then k + 1 else k in
-    Some st.workers.(v)
-  end
-
 let socket_of st wid =
   let n = Array.length st.workers in
   wid * st.sockets / n
@@ -256,40 +250,31 @@ let remote st w v c =
     c * (100 + st.costs.Costs.remote_factor_pct) / 100
   else c
 
-(* Victim choice for an unpinned steal attempt. [Random_victim] is the
-   classic provably-good strategy and the default; the others are
-   ablations: cyclic scanning, affinity to the last successful victim,
-   and socket-local preference (3 of 4 probes stay on our socket). *)
+(* Victim choice for an unpinned steal attempt, delegated to the
+   Wool_policy state machine the real runtime also runs: uniform random
+   (the classic provably-good default), cyclic scanning, affinity to the
+   last successful victim, affinity to the recorded thief of our own
+   stolen tasks, and socket-local preference (3 of 4 probes stay on our
+   socket). *)
 let pick_victim st w =
-  match st.victim_selection with
-  | Random_victim -> pick_random_victim st w
-  | Round_robin ->
-      let n = Array.length st.workers in
-      if n <= 1 then None
-      else begin
-        let v = w.rr_next mod n in
-        let v = if v = w.wid then (v + 1) mod n else v in
-        w.rr_next <- v + 1;
-        Some st.workers.(v)
-      end
-  | Last_victim ->
-      if w.last_success >= 0 && w.last_success <> w.wid then
-        Some st.workers.(w.last_success)
-      else pick_random_victim st w
-  | Socket_local -> (
-      if Rng.int w.rng 4 = 3 then pick_random_victim st w
-      else begin
-        let mine = socket_of st w.wid in
-        let local =
-          Array.to_list st.workers
-          |> List.filter (fun v ->
-                 v.wid <> w.wid && socket_of st v.wid = mine)
-        in
-        match local with
-        | [] -> pick_random_victim st w
-        | _ ->
-            Some (List.nth local (Rng.int w.rng (List.length local)))
-      end)
+  match Select.next w.sel ~rng:w.rng ~n:(Array.length st.workers) with
+  | None -> None
+  | Some v -> Some st.workers.(v)
+
+(* Idle backoff after a failed attempt: pure waiting, so the clock
+   advances without charging a CPU-time category. Only modelled when the
+   run was given an explicit steal policy. *)
+let idle_backoff st w =
+  match w.bo with
+  | None -> ()
+  | Some bo -> (
+      match Backoff.on_failure bo with
+      | Backoff.Relax -> ()
+      | Backoff.Yield -> w.clock <- w.clock + max 1 st.costs.Costs.poll
+      | Backoff.Nap factor ->
+          emit st w Wool_trace.Event.Nap_enter ~a:factor ~b:(-1);
+          w.clock <- w.clock + (factor * st.nap_cycles);
+          emit st w Wool_trace.Event.Nap_exit ~a:(-1) ~b:(-1))
 
 (* Outcome of inspecting the victim's pool under [sync]; returns the extra
    cycles spent and, on success, the stolen payload. *)
@@ -404,6 +389,7 @@ let do_steal st w ~victim ~cat =
   | None ->
       charge st w cat c.poll;
       w.clock <- w.clock + max 1 c.poll;
+      idle_backoff st w;
       false
   | Some v -> (
       emit st w Wool_trace.Event.Steal_attempt ~a:(-1) ~b:v.wid;
@@ -427,7 +413,8 @@ let do_steal st w ~victim ~cat =
       match outcome with
       | `Got (fr, extra) ->
           w.n_steals <- w.n_steals + 1;
-          w.last_success <- v.wid;
+          Select.on_success w.sel ~victim:v.wid;
+          (match w.bo with Some bo -> Backoff.on_success bo | None -> ());
           emit st w Wool_trace.Event.Steal_ok ~a:(-1) ~b:v.wid;
           if w.current <> None then begin
             w.n_leap <- w.n_leap + 1;
@@ -442,9 +429,10 @@ let do_steal st w ~victim ~cat =
           (* Failed probes do not pay the communication round trip: the
              lines being polled stay cached until the victim writes them. *)
           w.n_failed <- w.n_failed + 1;
-          if victim = None then w.last_success <- -1;
+          if victim = None then Select.on_failure w.sel;
           charge st w cat extra;
           w.clock <- w.clock + max 1 extra;
+          idle_backoff st w;
           false)
 
 (* ---- steps ---- *)
@@ -560,6 +548,7 @@ let exec_join_child st w f =
              join-found-stolen transition only on first observation *)
           if not inst.join_observed then begin
             inst.join_observed <- true;
+            Select.stolen_by w.sel ~thief;
             emit st w Wool_trace.Event.Join_stolen ~a:(-1) ~b:thief
           end;
           (* Blocked join: find other work per the policy; the Join step
@@ -635,16 +624,29 @@ let step st w =
         ignore (do_steal st w ~victim:None ~cat:ST : bool)
 
 let run ?(seed = 42) ?(max_events = 2_000_000_000)
-    ?(victim_selection = Random_victim) ?trace ?(steal_batch = 1)
-    ?(sockets = 1) ~(policy : Policy.t) ~workers tree =
+    ?(victim_selection = Random_victim) ?steal_policy ?(nap_cycles = 10_000)
+    ?trace ?(steal_batch = 1) ?(sockets = 1) ~(policy : Policy.t) ~workers
+    tree =
   if workers <= 0 then invalid_arg "Engine.run: workers must be positive";
   if steal_batch <= 0 then
     invalid_arg "Engine.run: steal_batch must be positive";
   if sockets <= 0 then invalid_arg "Engine.run: sockets must be positive";
+  if nap_cycles <= 0 then invalid_arg "Engine.run: nap_cycles must be positive";
   (match policy.flavor with
   | Policy.Loop_static ->
       invalid_arg "Engine.run: Loop_static policies are run by Loop_sim"
   | Policy.Steal_child _ | Policy.Steal_parent -> ());
+  (* Effective steal policy: explicit argument beats the one packaged in
+     [policy]; with neither, the legacy [victim_selection] selector runs
+     with no idle-backoff model (the historical, hash-stable default). *)
+  let sp =
+    match steal_policy with Some _ -> steal_policy | None -> policy.steal
+  in
+  let selector =
+    match sp with
+    | Some p -> p.Wool_policy.selector
+    | None -> victim_selection
+  in
   let costs = policy.costs in
   let master = Rng.make seed in
   let window =
@@ -672,8 +674,14 @@ let run ?(seed = 42) ?(max_events = 2_000_000_000)
       n_leap = 0;
       max_pool = 0;
       orphans = Queue.create ();
-      rr_next = wid + 1;
-      last_success = -1;
+      sel =
+        Select.make
+          ~socket_of:(fun wid -> wid * sockets / workers)
+          selector ~self:wid ();
+      bo =
+        (match sp with
+        | None -> None
+        | Some p -> Some (Backoff.make p.Wool_policy.backoff));
     }
   in
   let ws = Array.init workers mk_worker in
@@ -681,7 +689,7 @@ let run ?(seed = 42) ?(max_events = 2_000_000_000)
     {
       policy;
       costs;
-      victim_selection;
+      nap_cycles;
       trace;
       steal_batch;
       sockets;

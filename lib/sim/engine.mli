@@ -23,13 +23,19 @@ val n_categories : int
 val category_index : category -> int
 val category_name : category -> string
 
-type victim_selection =
+type victim_selection = Wool_policy.Selector.t =
   | Random_victim  (** uniform among the other workers (the default) *)
   | Round_robin  (** cyclic scan (ablation) *)
   | Last_victim  (** stick to the last successful victim (ablation) *)
+  | Leapfrog_biased
+      (** prefer the recorded thief of our own stolen tasks (ablation) *)
   | Socket_local
       (** prefer victims on our own socket 3 probes out of 4 (ablation;
           meaningful with [~sockets] > 1) *)
+(** Victim-selection flavours, shared with the real runtime: this is a
+    re-export of {!Wool_policy.Selector.t}, so the same constructors (and
+    a full {!Wool_policy.t}) configure both the simulator and
+    [Wool.Config]. *)
 
 type result = {
   time : int;  (** completion time of the root task, virtual cycles *)
@@ -47,8 +53,9 @@ type result = {
 
 val run :
   ?seed:int -> ?max_events:int -> ?victim_selection:victim_selection ->
-  ?trace:Trace.t -> ?steal_batch:int -> ?sockets:int -> policy:Policy.t ->
-  workers:int -> Wool_ir.Task_tree.t -> result
+  ?steal_policy:Wool_policy.t -> ?nap_cycles:int -> ?trace:Trace.t ->
+  ?steal_batch:int -> ?sockets:int -> policy:Policy.t -> workers:int ->
+  Wool_ir.Task_tree.t -> result
 (** Simulate to completion. Raises [Invalid_argument] for [workers <= 0] or
     a [Loop_static] policy (use {!Loop_sim}), and [Failure] if [max_events]
     (default 2_000_000_000) is exceeded. Passing [trace] records a
@@ -56,7 +63,15 @@ val run :
     run-then-trace workflow exact). [steal_batch > 1] enables batch
     stealing (the steal-half family the paper cites): a successful
     steal-child steal also takes up to [steal_batch - 1] further public
-    tasks, queued for local execution on the thief. *)
+    tasks, queued for local execution on the thief.
+
+    [steal_policy] (defaulting to [policy.steal]) supplies a full
+    {!Wool_policy.t}: its selector replaces [victim_selection] and its
+    backoff is modelled on failed steal attempts — [Yield] costs one poll,
+    [Nap f] advances the idle worker's clock by [f * nap_cycles] virtual
+    cycles (default 10_000) without charging a CPU-time category. When
+    neither is given, victims are chosen by [victim_selection] alone and
+    idle waiting is free, the historical (hash-stable) behaviour. *)
 
 val speedup : base:result -> result -> float
 (** [speedup ~base r] = [base.time / r.time]. *)

@@ -11,78 +11,75 @@ type flavor =
   | Steal_parent
   | Loop_static
 
-type t = { name : string; flavor : flavor; costs : Costs.t }
+type t = {
+  name : string;
+  flavor : flavor;
+  costs : Costs.t;
+  steal : Wool_policy.t option;
+}
+
+let v ~name ~flavor ~costs () = { name; flavor; costs; steal = None }
+
+let with_steal sp p =
+  { p with steal = Some sp; name = p.name ^ "+" ^ Wool_policy.name sp }
 
 let wool =
-  {
-    name = "Wool";
-    flavor =
-      Steal_child
-        { sync = Nolock_state; blocked_join = Leapfrog; publicity = Adaptive 4 };
-    costs = Costs.wool;
-  }
+  v ~name:"Wool"
+    ~flavor:
+      (Steal_child
+         { sync = Nolock_state; blocked_join = Leapfrog; publicity = Adaptive 4 })
+    ~costs:Costs.wool ()
 
 let wool_all_public =
-  {
-    name = "Wool(all-public)";
-    flavor =
-      Steal_child
-        { sync = Nolock_state; blocked_join = Leapfrog; publicity = All_public };
-    costs = Costs.wool;
-  }
+  v ~name:"Wool(all-public)"
+    ~flavor:
+      (Steal_child
+         { sync = Nolock_state; blocked_join = Leapfrog; publicity = All_public })
+    ~costs:Costs.wool ()
 
-let cilk = { name = "Cilk++"; flavor = Steal_parent; costs = Costs.cilk }
+let cilk = v ~name:"Cilk++" ~flavor:Steal_parent ~costs:Costs.cilk ()
 
 let tbb =
-  {
-    name = "TBB";
-    flavor =
-      Steal_child
-        {
-          sync = Nolock_state;
-          blocked_join = Random_steal;
-          publicity = All_public;
-        };
-    costs = Costs.tbb;
-  }
+  v ~name:"TBB"
+    ~flavor:
+      (Steal_child
+         {
+           sync = Nolock_state;
+           blocked_join = Random_steal;
+           publicity = All_public;
+         })
+    ~costs:Costs.tbb ()
 
 let openmp_tasks =
-  {
-    name = "OpenMP";
-    flavor =
-      Steal_child
-        {
-          sync = Lock `Peek;
-          blocked_join = Random_steal;
-          publicity = All_public;
-        };
-    costs = Costs.openmp;
-  }
+  v ~name:"OpenMP"
+    ~flavor:
+      (Steal_child
+         {
+           sync = Lock `Peek;
+           blocked_join = Random_steal;
+           publicity = All_public;
+         })
+    ~costs:Costs.openmp ()
 
-let openmp_loop =
-  { name = "OpenMP"; flavor = Loop_static; costs = Costs.openmp }
+let openmp_loop = v ~name:"OpenMP" ~flavor:Loop_static ~costs:Costs.openmp ()
 
 let locked mode name =
-  {
-    name;
-    flavor =
-      Steal_child
-        { sync = Lock mode; blocked_join = Leapfrog; publicity = All_public };
-    costs = Costs.locked_ladder;
-  }
+  v ~name
+    ~flavor:
+      (Steal_child
+         { sync = Lock mode; blocked_join = Leapfrog; publicity = All_public })
+    ~costs:Costs.locked_ladder ()
 
 let lock_base = locked `Base "base"
 let lock_peek = locked `Peek "peek"
 let lock_trylock = locked `Trylock "trylock"
 
 let nolock =
-  {
-    name = "nolock";
-    flavor =
-      Steal_child
-        { sync = Nolock_state; blocked_join = Leapfrog; publicity = All_public };
+  v ~name:"nolock"
+    ~flavor:
+      (Steal_child
+         { sync = Nolock_state; blocked_join = Leapfrog; publicity = All_public })
     (* the direct task stack with every descriptor public: exactly the
        calibrated Wool costs (C2 = 2 235), which keeps the ladder
        consistent with Table III *)
-    costs = Costs.wool;
-  }
+    ~costs:Costs.wool ()

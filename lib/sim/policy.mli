@@ -33,7 +33,23 @@ type flavor =
           (OpenMP parallel for); only valid for trees built by
           [Task_tree.binary_split] whose leaves the workload exposes *)
 
-type t = { name : string; flavor : flavor; costs : Costs.t }
+type t = {
+  name : string;
+  flavor : flavor;
+  costs : Costs.t;
+  steal : Wool_policy.t option;
+      (** victim-selection / idle-backoff policy shared with the real
+          runtime ({!Wool_policy.t}). [None] (every preset) keeps the
+          historical behaviour: uniform random victims, no idle model. *)
+}
+
+val v : name:string -> flavor:flavor -> costs:Costs.t -> unit -> t
+(** Build a policy with [steal = None]. *)
+
+val with_steal : Wool_policy.t -> t -> t
+(** [with_steal sp p] runs [p] under steal policy [sp] — the same value a
+    real pool accepts via [Wool.Config.make ~policy] — and tags the name
+    with it. *)
 
 val wool : t
 (** Direct task stack, leapfrogging, adaptive private tasks. *)

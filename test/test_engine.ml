@@ -121,14 +121,12 @@ let test_breakdown_consistency () =
 
 let test_plain_wait_policy_completes () =
   let pol =
-    {
-      P.name = "plain-wait";
-      flavor =
-        P.Steal_child
-          { sync = P.Nolock_state; blocked_join = P.Plain_wait;
-            publicity = P.All_public };
-      costs = Wool_sim.Costs.wool;
-    }
+    P.v ~name:"plain-wait"
+      ~flavor:
+        (P.Steal_child
+           { sync = P.Nolock_state; blocked_join = P.Plain_wait;
+             publicity = P.All_public })
+      ~costs:Wool_sim.Costs.wool ()
   in
   let r = E.run ~policy:pol ~workers:4 stress_tree in
   Alcotest.(check int) "work" (Tt.work stress_tree) r.E.work
@@ -179,7 +177,72 @@ let test_victim_selection_strategies () =
       let r = E.run ~victim_selection:sel ~policy:P.wool ~workers:4 stress_tree in
       Alcotest.(check int) "work conserved" (Tt.work stress_tree) r.E.work;
       Alcotest.(check bool) "steals happen" true (r.E.steals > 0))
-    [ E.Random_victim; E.Round_robin; E.Last_victim; E.Socket_local ]
+    [
+      E.Random_victim; E.Round_robin; E.Last_victim; E.Leapfrog_biased;
+      E.Socket_local;
+    ]
+
+let test_victim_selection_deterministic () =
+  (* per (seed, selector) the whole event stream must reproduce *)
+  List.iter
+    (fun sel ->
+      List.iter
+        (fun seed ->
+          let go () =
+            E.run ~seed ~victim_selection:sel ~policy:P.wool ~workers:4
+              stress_tree
+          in
+          let a = go () and b = go () in
+          Alcotest.(check int)
+            (Printf.sprintf "%s seed %d hash stable"
+               (Wool_policy.Selector.name sel) seed)
+            a.E.trace_hash b.E.trace_hash;
+          Alcotest.(check int) "time stable" a.E.time b.E.time;
+          Alcotest.(check int) "steals stable" a.E.steals b.E.steals)
+        [ 42; 7 ])
+    Wool_policy.Selector.all
+
+let test_steal_policy_runs () =
+  (* a full Wool_policy.t (the same value Wool.Config accepts) drives the
+     sim: work conserved and deterministic for every sweep point, with the
+     backoff model on *)
+  List.iter
+    (fun sp ->
+      let go () =
+        E.run ~steal_policy:sp ~policy:P.wool ~workers:4 stress_tree
+      in
+      let r = go () in
+      Alcotest.(check int)
+        (Wool_policy.name sp ^ " work conserved")
+        (Tt.work stress_tree) r.E.work;
+      Alcotest.(check int)
+        (Wool_policy.name sp ^ " deterministic")
+        r.E.trace_hash (go ()).E.trace_hash)
+    (Wool_policy.sweep ());
+  (* a policy packaged in the sim Policy.t is picked up too *)
+  let sp = Wool_policy.make ~selector:Wool_policy.Selector.Round_robin () in
+  let via_arg = E.run ~steal_policy:sp ~policy:P.wool ~workers:4 stress_tree in
+  let via_policy =
+    E.run ~policy:(P.with_steal sp P.wool) ~workers:4 stress_tree
+  in
+  Alcotest.(check int) "policy.steal = ~steal_policy" via_arg.E.trace_hash
+    via_policy.E.trace_hash;
+  Alcotest.check_raises "invalid nap_cycles"
+    (Invalid_argument "Engine.run: nap_cycles must be positive") (fun () ->
+      ignore
+        (E.run ~steal_policy:sp ~nap_cycles:0 ~policy:P.wool ~workers:2
+           stress_tree))
+
+let test_default_policy_matches_legacy () =
+  (* no steal_policy means the historical stream: identical to an explicit
+     legacy victim_selection run, hash and all *)
+  let legacy =
+    E.run ~victim_selection:E.Random_victim ~policy:P.wool ~workers:4
+      stress_tree
+  in
+  let plain = E.run ~policy:P.wool ~workers:4 stress_tree in
+  Alcotest.(check int) "hash unchanged" legacy.E.trace_hash plain.E.trace_hash;
+  Alcotest.(check int) "time unchanged" legacy.E.time plain.E.time
 
 let test_steal_batch () =
   List.iter
@@ -306,6 +369,11 @@ let suite =
         Alcotest.test_case "speedup helper" `Quick test_speedup_helper;
         Alcotest.test_case "victim selection" `Quick
           test_victim_selection_strategies;
+        Alcotest.test_case "victim selection deterministic" `Quick
+          test_victim_selection_deterministic;
+        Alcotest.test_case "steal policy runs" `Quick test_steal_policy_runs;
+        Alcotest.test_case "default policy matches legacy" `Quick
+          test_default_policy_matches_legacy;
         Alcotest.test_case "steal batch" `Quick test_steal_batch;
         Alcotest.test_case "sockets" `Quick test_sockets;
         Alcotest.test_case "max pool depth" `Quick test_max_pool_depth;

@@ -210,6 +210,68 @@ let test_stress_kernel_matches_serial () =
       Alcotest.(check int) (name ^ " checksum") expected (S.leaf_result ()))
     all_modes
 
+let test_steal_policies_complete () =
+  (* every selector x backoff combination of the shared policy layer must
+     run fib correctly on the real runtime *)
+  List.iter
+    (fun policy ->
+      let config =
+        Wool.Config.make ~workers:2 ~publicity:Wool.All_public
+          ~idle_nap_ns:1_000 ~policy ()
+      in
+      let pool = Wool.create ~config () in
+      Alcotest.(check string) "policy name plumbed"
+        (Wool_policy.name policy)
+        (Wool.policy_name pool);
+      let got = Wool.run pool (fun ctx -> fib ctx 18) in
+      Wool.shutdown pool;
+      Alcotest.(check int) (Wool_policy.name policy) (fib_serial 18) got)
+    (Wool_policy.sweep ());
+  (* and each selector must preserve the stress kernel's checksum *)
+  let module S = Wool_workloads.Stress in
+  S.reset_leaf_result ();
+  S.serial ~height:6 ~leaf_iters:100;
+  let expected = S.leaf_result () in
+  List.iter
+    (fun selector ->
+      S.reset_leaf_result ();
+      let config =
+        Wool.Config.make ~workers:2
+          ~policy:(Wool_policy.make ~selector ())
+          ()
+      in
+      Wool.with_pool ~config (fun pool ->
+          Wool.run pool (fun ctx -> S.wool ctx ~height:6 ~leaf_iters:100));
+      Alcotest.(check int)
+        (Wool_policy.Selector.name selector ^ " checksum")
+        expected (S.leaf_result ()))
+    Wool_policy.Selector.all
+
+let test_steal_policies_do_steal () =
+  (* with two workers and all-public tasks every selector must eventually
+     migrate work; steal counts are stochastic on a loaded host, so retry
+     a few times and only then call it a failure *)
+  List.iter
+    (fun selector ->
+      let config =
+        Wool.Config.make ~workers:2 ~publicity:Wool.All_public
+          ~policy:(Wool_policy.make ~selector ())
+          ()
+      in
+      let rec attempt tries =
+        let pool = Wool.create ~config () in
+        ignore (Wool.run pool (fun ctx -> fib ctx 22) : int);
+        let agg = Wool.Stats.aggregate pool in
+        Wool.shutdown pool;
+        if agg.Wool.Pool.steals > 0 then ()
+        else if tries > 1 then attempt (tries - 1)
+        else
+          Alcotest.failf "%s: no successful steals in several fib(22) runs"
+            (Wool_policy.Selector.name selector)
+      in
+      attempt 5)
+    Wool_policy.Selector.all
+
 let qcheck_parallel_reduce_matches_fold =
   QCheck.Test.make ~name:"parallel_reduce = List.fold_left" ~count:20
     QCheck.(list_of_size (Gen.int_range 0 200) small_signed_int)
@@ -253,6 +315,10 @@ let suite =
         Alcotest.test_case "create validation" `Quick test_create_validation;
         Alcotest.test_case "stress kernel checksum" `Slow
           test_stress_kernel_matches_serial;
+        Alcotest.test_case "steal policies complete" `Slow
+          test_steal_policies_complete;
+        Alcotest.test_case "steal policies steal" `Slow
+          test_steal_policies_do_steal;
         QCheck_alcotest.to_alcotest qcheck_parallel_reduce_matches_fold;
       ] );
   ]

@@ -172,7 +172,11 @@ let test_ablation_studies () =
   let pw = R.Ablation.public_window ~workload:wl () in
   Alcotest.(check int) "six window variants" 6 (List.length pw.R.Ablation.series);
   let vs = R.Ablation.victim_selection ~workload:wl () in
-  Alcotest.(check int) "three victim strategies" 3 (List.length vs.R.Ablation.series);
+  Alcotest.(check int) "four victim strategies" 4 (List.length vs.R.Ablation.series);
+  let ib = R.Ablation.idle_backoff ~workload:wl () in
+  Alcotest.(check int) "three backoff flavours"
+    (List.length Wool_policy.Backoff.all)
+    (List.length ib.R.Ablation.series);
   let sb = R.Ablation.steal_batch ~workload:wl () in
   Alcotest.(check int) "three batch sizes" 3 (List.length sb.R.Ablation.series);
   let nu = R.Ablation.numa ~workload:wl () in
@@ -189,7 +193,7 @@ let test_ablation_studies () =
                 true (v > 0.0))
             sr.R.Ablation.speedup_by_p)
         st.R.Ablation.series)
-    [ bj; pw; vs; sb; nu ]
+    [ bj; pw; vs; ib; sb; nu ]
 
 let test_gantt () =
   let wl = W.stress ~reps:2 ~height:5 ~leaf_iters:256 () in
