@@ -5,7 +5,9 @@
    `woolbench trace <workload>` runs a workload with scheduler tracing on
    and writes a Chrome trace_event JSON next to a summary report.
    `woolbench policy <workload>` sweeps the steal policies (victim
-   selection x idle backoff) over a workload on the real runtime. *)
+   selection x idle backoff) over a workload on the real runtime.
+   `woolbench faults` stress-tests the scheduler under seeded fault
+   plans and checks protocol invariants after every run. *)
 
 open Cmdliner
 
@@ -120,6 +122,79 @@ let policy_cmd =
     (Cmd.info "policy" ~doc)
     Term.(ret (const run $ workers_arg $ quick_arg $ workload_arg))
 
+let faults_cmd =
+  let workers_arg =
+    let doc = "Number of worker domains." in
+    Arg.(value & opt int 4 & info [ "w"; "workers" ] ~docv:"N" ~doc)
+  in
+  let seeds_arg =
+    let doc = "Fault plans per mode (seeds 0..N-1)." in
+    Arg.(value & opt int 20 & info [ "seeds" ] ~docv:"N" ~doc)
+  in
+  let no_exn_arg =
+    let doc = "Leave injected-exception rules out of the random plans." in
+    Arg.(value & flag & info [ "no-exceptions" ] ~doc)
+  in
+  let overhead_arg =
+    let doc =
+      "Instead of the sweep, measure the disabled-path overhead: fib wall \
+       time with faults absent vs. a live-but-empty plan vs. the watchdog \
+       sampling."
+    in
+    Arg.(value & flag & info [ "overhead" ] ~doc)
+  in
+  let max_seconds_arg =
+    let doc =
+      "Hard wall-clock limit; the process exits 124 if the sweep is still \
+       running (a stalled sweep is itself a scheduler bug). 0 disables."
+    in
+    Arg.(value & opt int 0 & info [ "max-seconds" ] ~docv:"S" ~doc)
+  in
+  let run workers seeds no_exceptions overhead max_seconds =
+    if workers < 1 then `Error (false, "--workers must be at least 1")
+    else if seeds < 1 then `Error (false, "--seeds must be at least 1")
+    else begin
+      if max_seconds > 0 then begin
+        (* watchdog for the watchdog: a detached domain that kills the
+           process if the sweep wedges (never joined; exit ends it) *)
+        let deadline = Unix.gettimeofday () +. float_of_int max_seconds in
+        ignore
+          (Domain.spawn (fun () ->
+               while Unix.gettimeofday () < deadline do
+                 Unix.sleepf 0.2
+               done;
+               prerr_endline "woolbench faults: wall-clock limit hit";
+               exit 124)
+            : unit Domain.t)
+      end;
+      if overhead then begin
+        ignore
+          (Wool_report.Fault_sweep.overhead ~workers ()
+            : (string * float) list);
+        `Ok ()
+      end
+      else begin
+        let rows =
+          Wool_report.Fault_sweep.sweep ~workers ~seeds
+            ~exceptions:(not no_exceptions) ()
+        in
+        let bad = Wool_report.Fault_sweep.print_rows rows in
+        if bad = 0 then `Ok ()
+        else `Error (false, Printf.sprintf "%d runs violated invariants" bad)
+      end
+    end
+  in
+  let doc =
+    "stress the scheduler under seeded fault plans (all five modes) and \
+     check protocol invariants after every run"
+  in
+  Cmd.v
+    (Cmd.info "faults" ~doc)
+    Term.(
+      ret
+        (const run $ workers_arg $ seeds_arg $ no_exn_arg $ overhead_arg
+        $ max_seconds_arg))
+
 (* A Cmd.group would reject the free-form experiment keys the default
    term consumes ("woolbench list", "woolbench fig1 table2"), so route
    the named subcommands by hand and keep everything else on the
@@ -130,7 +205,7 @@ let () =
      trace <workload>` records a scheduler trace; `woolbench policy \
      <workload>` sweeps the steal policies"
   in
-  let subcommands = [ trace_cmd; policy_cmd ] in
+  let subcommands = [ trace_cmd; policy_cmd; faults_cmd ] in
   let is_subcommand =
     Array.length Sys.argv > 1
     && List.exists (fun c -> Cmd.name c = Sys.argv.(1)) subcommands

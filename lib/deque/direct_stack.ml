@@ -263,7 +263,13 @@ let reclaim t ~index =
 
 type 'a steal_result = Stolen_task of 'a * int | Fail | Backoff
 
-let steal t ~thief =
+type steal_phase = Pre_cas | Post_cas | Trip
+
+(* Default interference: nothing injected. A shared top-level closure so
+   the un-instrumented call pays no allocation. *)
+let no_interference (_ : steal_phase) = false
+
+let steal ?(interfere = no_interference) t ~thief =
   let b = Atomic.get t.bot in
   if b >= t.capacity then begin
     Atomic.incr t.n_failed;
@@ -276,30 +282,90 @@ let steal t ~thief =
       Atomic.incr t.n_failed;
       Fail
     end
+    (* [Pre_cas] sits in the §III-A window between the state read and the
+       CAS: a delay here lets the owner recycle the descriptor under us
+       (the delayed-thief ABA), an abort models a lost CAS race. *)
+    else if interfere Pre_cas then begin
+      Atomic.incr t.n_failed;
+      Fail
+    end
     else if not (Atomic.compare_and_set slot.state s1 Ts.empty) then begin
       Atomic.incr t.n_failed;
       Fail
     end
-    else if Atomic.get t.bot <> b then begin
-      (* Delayed-thief ABA (§III-A): the CAS won against a recycled
-         descriptor while [bot] points elsewhere. Restore the state — the
-         transient EMPTY only made competing thieves fail and a joining
-         owner spin — and back off. *)
-      Atomic.set slot.state s1;
-      Atomic.incr t.n_backoffs;
-      Backoff
-    end
     else begin
-      let v = slot.payload in
-      Atomic.set slot.state (Ts.stolen ~thief);
-      Atomic.set t.bot (b + 1);
-      if b = Atomic.get t.trip_index then Atomic.set t.publish_request true;
-      Atomic.incr t.n_steals;
-      Stolen_task (v, b)
+      (* [Post_cas] runs while we hold the transient EMPTY; an abort takes
+         the same restore path as a genuine ABA detection. The protocol
+         keeps the window safe: competing thieves fail on EMPTY and a
+         joining owner spins, so [bot] cannot move during the delay. *)
+      let aborted = interfere Post_cas in
+      if Atomic.get t.bot <> b || aborted then begin
+        (* Delayed-thief ABA (§III-A), genuine or injected: the CAS won
+           against a recycled descriptor while [bot] points elsewhere.
+           Restore the state — the transient EMPTY only made competing
+           thieves fail and a joining owner spin — and back off. *)
+        Atomic.set slot.state s1;
+        Atomic.incr t.n_backoffs;
+        Backoff
+      end
+      else begin
+        let v = slot.payload in
+        Atomic.set slot.state (Ts.stolen ~thief);
+        Atomic.set t.bot (b + 1);
+        if b = Atomic.get t.trip_index then begin
+          (* [Trip] delays the publish request past the steal that sprang
+             the trip wire. *)
+          ignore (interfere Trip : bool);
+          Atomic.set t.publish_request true
+        end;
+        Atomic.incr t.n_steals;
+        Stolen_task (v, b)
+      end
     end
   end
 
 let complete_steal t ~index = Atomic.set t.slots.(index).state Ts.done_
+
+let state_name s =
+  if s = Ts.empty then "empty"
+  else if s = Ts.task_private then "task_private"
+  else if s = Ts.task_public then "task_public"
+  else if s = Ts.done_ then "done"
+  else if Ts.is_stolen s then Printf.sprintf "stolen(%d)" (Ts.thief s)
+  else Printf.sprintf "unknown(%d)" s
+
+let check_quiescent t =
+  let violations = ref [] in
+  let add fmt = Printf.ksprintf (fun m -> violations := m :: !violations) fmt in
+  if t.top <> 0 then add "top = %d (expected 0: unjoined descriptors)" t.top;
+  let b = Atomic.get t.bot in
+  if b <> 0 then add "bot = %d (expected 0: unreclaimed steals)" b;
+  let bad_state = ref 0 and bad_payload = ref 0 and first = ref (-1) in
+  for i = 0 to t.capacity - 1 do
+    let slot = t.slots.(i) in
+    if Atomic.get slot.state <> Ts.empty then begin
+      incr bad_state;
+      if !first < 0 then first := i
+    end;
+    if slot.payload != t.dummy then incr bad_payload
+  done;
+  if !bad_state > 0 then
+    add "%d descriptor(s) not EMPTY (first: index %d, state %s)" !bad_state
+      !first
+      (state_name (Atomic.get t.slots.(!first).state));
+  if !bad_payload > 0 then
+    add "%d payload cell(s) still hold a task closure" !bad_payload;
+  List.rev !violations
+
+let dump_live t =
+  let top = t.top in
+  let live = ref [] in
+  for i = t.capacity - 1 downto 0 do
+    let s = Atomic.get t.slots.(i).state in
+    if i < top || s <> Ts.empty then
+      live := (i, state_name s) :: !live
+  done;
+  !live
 
 let stats t =
   {

@@ -79,9 +79,21 @@ type 'a steal_result =
   | Fail  (** nothing stealable (empty, private, or lost race) *)
   | Backoff  (** CAS won against a recycled descriptor; state restored *)
 
-val steal : 'a t -> thief:int -> 'a steal_result
+(** Protocol points a fault injector may interfere at, inside one steal:
+    - [Pre_cas]: after the state read, before the CAS — the §III-A
+      delayed-thief window. Returning [true] aborts the attempt ([Fail]).
+    - [Post_cas]: after a winning CAS, before the [bot] re-check.
+      Returning [true] forces the restore/back-off path ([Backoff]).
+    - [Trip]: after taking the trip-wire descriptor, before raising the
+      owner's publish request. The return value is ignored. *)
+type steal_phase = Pre_cas | Post_cas | Trip
+
+val steal :
+  ?interfere:(steal_phase -> bool) -> 'a t -> thief:int -> 'a steal_result
 (** Attempt to steal the bottom-most public task on behalf of worker
-    [thief]. Never blocks. *)
+    [thief]. Never blocks. [interfere] (default: never) is the fault
+    injection hook; delays are performed inside the callback, aborts
+    communicated through its result. *)
 
 val complete_steal : 'a t -> index:int -> unit
 (** Thief-side: mark the stolen descriptor DONE, unblocking the owner's
@@ -111,3 +123,14 @@ val set_event_hooks :
     owner, inside the publish / privatize transitions only — never on the
     private fast path — so they may not touch the stack re-entrantly.
     Defaults are no-ops. *)
+
+val check_quiescent : 'a t -> string list
+(** Protocol-invariant check at quiescence (owner-side, nothing in
+    flight): every descriptor state EMPTY, every payload cell back to
+    [dummy], [top = 0] and [bot = 0]. Returns human-readable violations,
+    [[]] when clean. Scans the whole capacity; diagnostic-path only. *)
+
+val dump_live : 'a t -> (int * string) list
+(** Racy snapshot of the live descriptors — every index below [top] plus
+    any index whose state is not EMPTY — with a printable state name.
+    For failure-time diagnostics (the stall watchdog's report). *)

@@ -5,6 +5,7 @@ module Ring = Wool_trace.Ring
 module Event = Wool_trace.Event
 module Select = Wool_policy.Select
 module Backoff = Wool_policy.Backoff
+module Fault = Wool_fault
 
 type mode = Locked | Swap_generic | Task_specific | Private | Clev
 
@@ -26,6 +27,9 @@ module Config = struct
     trace_capacity : int;
     steal_policy : Wool_policy.Selector.t;
     backoff : Wool_policy.Backoff.t;
+    faults : Wool_fault.Plan.t option;
+    watchdog_interval_ns : int;
+    watchdog_stalls : int;
   }
 
   let default =
@@ -41,13 +45,17 @@ module Config = struct
       trace_capacity = 1 lsl 16;
       steal_policy = Wool_policy.default.Wool_policy.selector;
       backoff = Wool_policy.default.Wool_policy.backoff;
+      faults = None;
+      watchdog_interval_ns = 5_000_000;
+      watchdog_stalls = 0;
     }
 
   (* The single option-merge routine behind [make] and [override]: two
      hand-rolled copies drifted on every new field ([trace_capacity] was
      silently not overridable for a while). *)
   let merge base ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns
-      ?seed ?trace ?trace_capacity ?policy ?steal_policy ?backoff () =
+      ?seed ?trace ?trace_capacity ?policy ?steal_policy ?backoff ?faults
+      ?watchdog_interval_ns ?watchdog_stalls () =
     let ov o d = Option.value o ~default:d in
     let base_selector, base_backoff =
       match policy with
@@ -66,19 +74,26 @@ module Config = struct
       trace_capacity = ov trace_capacity base.trace_capacity;
       steal_policy = ov steal_policy base_selector;
       backoff = ov backoff base_backoff;
+      faults = (match faults with Some _ -> faults | None -> base.faults);
+      watchdog_interval_ns = ov watchdog_interval_ns base.watchdog_interval_ns;
+      watchdog_stalls = ov watchdog_stalls base.watchdog_stalls;
     }
 
   let make ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns ?seed
-      ?trace ?trace_capacity ?policy ?steal_policy ?backoff () =
+      ?trace ?trace_capacity ?policy ?steal_policy ?backoff ?faults
+      ?watchdog_interval_ns ?watchdog_stalls () =
     merge default ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns
-      ?seed ?trace ?trace_capacity ?policy ?steal_policy ?backoff ()
+      ?seed ?trace ?trace_capacity ?policy ?steal_policy ?backoff ?faults
+      ?watchdog_interval_ns ?watchdog_stalls ()
 
   (* The old optional arguments of [create] layered on top of a base
      config; [None]s leave the base untouched. *)
   let override c ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns
-      ?seed ?trace ?trace_capacity ?policy ?steal_policy ?backoff () =
+      ?seed ?trace ?trace_capacity ?policy ?steal_policy ?backoff ?faults
+      ?watchdog_interval_ns ?watchdog_stalls () =
     merge c ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns ?seed
-      ?trace ?trace_capacity ?policy ?steal_policy ?backoff ()
+      ?trace ?trace_capacity ?policy ?steal_policy ?backoff ?faults
+      ?watchdog_interval_ns ?watchdog_stalls ()
 
   let policy c =
     { Wool_policy.selector = c.steal_policy; backoff = c.backoff }
@@ -111,7 +126,7 @@ module Config = struct
     Format.fprintf fmt
       "{workers=%s; mode=%s; publicity=%s; capacity=%d; lock_mode=%s;@ \
        idle_nap_ns=%d; seed=%#x; trace=%b; trace_capacity=%d;@ \
-       steal_policy=%s; backoff=%s}"
+       steal_policy=%s; backoff=%s; faults=%s; watchdog=%s}"
       (match c.workers with Some n -> string_of_int n | None -> "auto")
       (mode_name c.mode)
       (publicity_name c.publicity)
@@ -120,6 +135,12 @@ module Config = struct
       c.idle_nap_ns c.seed c.trace c.trace_capacity
       (Wool_policy.Selector.name c.steal_policy)
       (Wool_policy.Backoff.name c.backoff)
+      (match c.faults with
+      | Some p -> p.Wool_fault.Plan.name
+      | None -> "off")
+      (if c.watchdog_stalls > 0 then
+         Printf.sprintf "%d@%dns" c.watchdog_stalls c.watchdog_interval_ns
+       else "off")
 end
 
 type worker = {
@@ -135,12 +156,33 @@ type worker = {
      branch on the hot path; each worker writes only its own ring *)
   tr_on : bool;
   ring : Ring.t;
+  (* fault injection follows the same immutable-bool discipline *)
+  fl_on : bool;
+  inj : Fault.Injector.t;
+  inj_interfere : Ds.steal_phase -> bool;
+      (* [Ds.steal] interference hook over [inj], built once — the steal
+         attempt path must not allocate a closure per call *)
+  (* scheduler-transition counter bumped on the wait paths (idle steal
+     loop, leapfrog) where [n_spawns] does not advance; the watchdog
+     samples [progress + n_spawns] so the spawn/join fast path carries no
+     extra store.  Owner writes, watchdog reads (racy int loads are fine
+     for staleness). *)
+  mutable progress : int;
+  (* Locked/Clev only: outstanding spawns of the task currently executing
+     on this worker (and its callers), newest first. The direct-stack
+     modes get this for free from descriptor [depth]. *)
+  mutable children : pending_child list;
   (* thief-side counters; each worker only writes its own *)
   mutable n_spawns : int;
   mutable n_steals : int;
   mutable n_leap_steals : int;
   mutable n_failed : int;
   mutable n_inlined : int; (* Locked/Clev joins that found the task in place *)
+}
+
+and pending_child = {
+  pc_wrapper : worker -> unit;
+  pc_completed : bool Atomic.t;
 }
 
 and pool = {
@@ -150,9 +192,18 @@ and pool = {
   idle_nap_ns : int;
   policy : Wool_policy.t;
   trace_on : bool;
+  faults : Fault.Plan.t option;
   mutable workers : worker array;
   stop : bool Atomic.t;
   mutable domains : unit Domain.t list;
+  (* lifecycle + watchdog *)
+  mutable stopped : bool;
+  active : bool Atomic.t; (* a [run] is in progress *)
+  watchdog_interval_ns : int;
+  watchdog_stalls : int;
+  mutable on_stall : string -> unit;
+  stall_reports : int Atomic.t;
+  mutable wd : unit Domain.t option;
 }
 
 (* The mode-specific task-pool operations, bound once per pool. Replaces
@@ -165,11 +216,16 @@ and backend = {
       (* one attempt against [victim]'s pool; runs the task if taken *)
   bk_spawn : 'a. worker -> (worker -> 'a) -> 'a future;
   bk_join : 'a. worker -> 'a future -> 'a;
+  bk_mark : worker -> int;
+      (* opaque checkpoint of this worker's outstanding-spawn count *)
+  bk_unwind : worker -> mark:int -> unit;
+      (* join-or-drain every spawn made since [mark]; called on the
+         exception path before propagating out of a task body *)
 }
 
 and 'a future = {
   fn : worker -> 'a;
-  mutable value : ('a, exn) result option;
+  mutable value : ('a, exn * Printexc.raw_backtrace) result option;
   completed : bool Atomic.t;
   index : int; (* descriptor index in the owner's direct stack; -1 otherwise *)
   owner_id : int;
@@ -184,6 +240,49 @@ let dummy_task (_ : worker) = ()
 let[@inline] record w tag ~a ~b =
   Ring.record w.ring ~ts:(Wool_util.Clock.now_ns ()) ~tag ~a ~b
 
+(* ---- fault-injection hooks ----
+
+   Every hook is guarded by the immutable [fl_on] at the call site, so a
+   pool built without [Config.faults] pays one predictable branch per
+   site — the same cost model as the trace ring. *)
+
+(* Sites where only delays are meaningful ([Fail_steal]/[Raise_exn]
+   cannot fire here by [Kind.valid_at]). *)
+let fault_delay w site =
+  match Fault.Injector.fire w.inj site with
+  | Some (Fault.Kind.Delay n | Fault.Kind.Stall n) -> Fault.Injector.spin n
+  | Some _ | None -> ()
+
+(* Thief-side pre-CAS site for the queue modes (Locked/Clev), which have
+   no protocol window of their own: a forced failure abandons the
+   attempt before touching the victim's queue. *)
+(* The direct stack exposes its protocol windows ([Pre_cas]/[Post_cas]/
+   [Trip]) through [Ds.steal]'s interference hook, so a delay injected
+   at [Pre_steal_cas] genuinely recreates the §III-A delayed-thief ABA
+   rather than merely pausing before the call. Closed over the injector
+   alone so one closure per worker serves every attempt. *)
+let direct_interfere inj phase =
+  let site =
+    match phase with
+    | Ds.Pre_cas -> Fault.Site.Pre_steal_cas
+    | Ds.Post_cas -> Fault.Site.Post_steal_cas
+    | Ds.Trip -> Fault.Site.Trip_wire
+  in
+  match Fault.Injector.fire inj site with
+  | Some Fault.Kind.Fail_steal -> true
+  | Some (Fault.Kind.Delay n | Fault.Kind.Stall n) ->
+      Fault.Injector.spin n;
+      false
+  | Some Fault.Kind.Raise_exn | None -> false
+
+let fault_steal_pre w =
+  match Fault.Injector.fire w.inj Fault.Site.Pre_steal_cas with
+  | Some Fault.Kind.Fail_steal -> true
+  | Some (Fault.Kind.Delay n | Fault.Kind.Stall n) ->
+      Fault.Injector.spin n;
+      false
+  | Some Fault.Kind.Raise_exn | None -> false
+
 let nap pool ~factor =
   if pool.idle_nap_ns > 0 then
     Unix.sleepf (float_of_int (pool.idle_nap_ns * factor) *. 1e-9)
@@ -196,31 +295,49 @@ let idle_backoff w =
       (* relinquish the timeslice without the full nap *)
       Unix.sleepf 0.
   | Backoff.Nap factor ->
+      if w.fl_on then fault_delay w Fault.Site.Nap_entry;
       if w.tr_on then record w Event.Nap_enter ~a:factor ~b:(-1);
       nap w.pool ~factor;
       if w.tr_on then record w Event.Nap_exit ~a:(-1) ~b:(-1)
 
-(* ---- mode-specific steal attempts (the [bk_steal] implementations) ---- *)
+(* ---- mode-specific steal attempts (the [bk_steal] implementations) ----
+
+   Each implementation counts its own [n_steals] *before* running the
+   task: the increment must be ordered before the completion signal the
+   owner waits on (descriptor DONE / [completed] flag), or a quiescent
+   invariant check could observe the join without the steal. *)
 
 let steal_locked w ~(victim : worker) =
-  match Locked_deque.steal ~mode:w.pool.lock_mode victim.ldeque with
-  | Some task ->
-      if w.tr_on then record w Event.Steal_ok ~a:(-1) ~b:victim.id;
-      task w;
-      true
-  | None -> false
+  if w.fl_on && fault_steal_pre w then false
+  else
+    match Locked_deque.steal ~mode:w.pool.lock_mode victim.ldeque with
+    | Some task ->
+        w.n_steals <- w.n_steals + 1;
+        if w.tr_on then record w Event.Steal_ok ~a:(-1) ~b:victim.id;
+        task w;
+        true
+    | None -> false
 
 let steal_clev w ~(victim : worker) =
-  match Chase_lev.steal victim.cdeque with
-  | `Stolen task ->
-      if w.tr_on then record w Event.Steal_ok ~a:(-1) ~b:victim.id;
-      task w;
-      true
-  | `Empty | `Retry -> false
+  if w.fl_on && fault_steal_pre w then false
+  else
+    match Chase_lev.steal victim.cdeque with
+    | `Stolen task ->
+        w.n_steals <- w.n_steals + 1;
+        if w.tr_on then record w Event.Steal_ok ~a:(-1) ~b:victim.id;
+        task w;
+        true
+    | `Empty | `Retry -> false
 
 let steal_direct w ~(victim : worker) =
-  match Ds.steal victim.dstack ~thief:w.id with
+  let result =
+    if w.fl_on then
+      Ds.steal victim.dstack ~thief:w.id ~interfere:w.inj_interfere
+    else Ds.steal victim.dstack ~thief:w.id
+  in
+  match result with
   | Ds.Stolen_task (task, index) ->
+      w.n_steals <- w.n_steals + 1;
       if w.tr_on then record w Event.Steal_ok ~a:index ~b:victim.id;
       task w;
       Ds.complete_steal victim.dstack ~index;
@@ -235,7 +352,6 @@ let steal_once w ~(victim : worker) =
   if w.tr_on then record w Event.Steal_attempt ~a:(-1) ~b:victim.id;
   let ran = w.pool.backend.bk_steal w ~victim in
   if ran then begin
-    w.n_steals <- w.n_steals + 1;
     Backoff.on_success w.bo;
     Select.on_success w.sel ~victim:victim.id
   end
@@ -251,6 +367,7 @@ let select_victim w =
    on failure. This is the idle loop body and the Locked/Clev blocked-join
    strategy. *)
 let steal_idle w =
+  w.progress <- w.progress + 1;
   match select_victim w with
   | None ->
       idle_backoff w;
@@ -271,7 +388,10 @@ let worker_loop w =
 let value_exn fut =
   match fut.value with
   | Some (Ok v) -> v
-  | Some (Error e) -> raise e
+  | Some (Error (e, bt)) ->
+      (* re-raise at the joiner with the backtrace captured where the
+         task body originally raised — possibly on another worker *)
+      Printexc.raise_with_backtrace e bt
   | None ->
       (* Unreachable: completion is observed before the value is read. *)
       assert false
@@ -282,6 +402,8 @@ let value_exn fut =
 let leapfrog w ~victim_id ~index =
   let victim = w.pool.workers.(victim_id) in
   while not (Ds.stolen_done w.dstack ~index) do
+    w.progress <- w.progress + 1;
+    if w.fl_on then fault_delay w Fault.Site.Leapfrog;
     let before = w.n_steals in
     if steal_once w ~victim then begin
       w.n_leap_steals <- w.n_leap_steals + (w.n_steals - before);
@@ -299,6 +421,62 @@ let wait_completed w fut =
   done;
   value_exn fut
 
+let wait_child w pc =
+  while not (Atomic.get pc.pc_completed) do
+    ignore (steal_idle w : bool)
+  done
+
+(* ---- exception unwinding ----
+
+   When a task body raises between spawn and join, its outstanding
+   children must not be abandoned: a queued child could be picked up by
+   a thief after its parent's frame is gone, and a direct-stack child
+   would corrupt the strict LIFO discipline for every frame below. So
+   the exception path joins-or-drains everything spawned since the
+   failing body's entry mark before the exception propagates. Drained
+   results (and any exceptions of the children themselves) are
+   discarded — the parent's exception wins. *)
+
+let unwind_direct w ~mark =
+  while Ds.depth w.dstack > mark do
+    match Ds.pop w.dstack with
+    | Ds.Task (wrapper, _public) -> (try wrapper w with _ -> ())
+    | Ds.Stolen { thief; index } ->
+        if w.tr_on then record w Event.Join_stolen ~a:index ~b:thief;
+        if thief >= 0 then leapfrog w ~victim_id:thief ~index;
+        Ds.reclaim w.dstack ~index
+  done
+
+let unwind_queued ~pop ~push w ~mark =
+  while List.length w.children > mark do
+    match w.children with
+    | [] -> assert false (* length > mark >= 0 *)
+    | pc :: rest -> (
+        w.children <- rest;
+        match pop w with
+        | Some wrapper when wrapper == pc.pc_wrapper ->
+            w.n_inlined <- w.n_inlined + 1;
+            (try wrapper w with _ -> ())
+        | Some other ->
+            (* [pc] was stolen; [other] is an older pending spawn of
+               ours that the next iteration will handle. *)
+            push w other;
+            wait_child w pc
+        | None -> wait_child w pc)
+  done
+
+(* Run a task body, storing the result — or, on an exception, unwinding
+   the body's own spawns and storing the exception with the backtrace
+   captured at the raise point. Never raises. *)
+let run_body wk (fut : _ future) =
+  let mark = wk.pool.backend.bk_mark wk in
+  match fut.fn wk with
+  | v -> fut.value <- Some (Ok v)
+  | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      wk.pool.backend.bk_unwind wk ~mark;
+      fut.value <- Some (Error (e, bt))
+
 (* ---- spawn (the [bk_spawn] implementations) ---- *)
 
 (* Direct-stack modes signal completion through the descriptor state, so
@@ -313,12 +491,12 @@ let spawn_queued push w (fn : worker -> 'a) : 'a future =
       owner_id = w.id; wrapper = dummy_task }
   in
   let wrapper wk =
-    (match fut.fn wk with
-    | v -> fut.value <- Some (Ok v)
-    | exception e -> fut.value <- Some (Error e));
+    run_body wk fut;
     Atomic.set fut.completed true
   in
   fut.wrapper <- wrapper;
+  w.children <-
+    { pc_wrapper = wrapper; pc_completed = fut.completed } :: w.children;
   push w wrapper;
   fut
 
@@ -332,16 +510,21 @@ let spawn_direct w (fn : worker -> 'a) : 'a future =
     { fn; value = None; completed = unused_completed; index;
       owner_id = w.id; wrapper = dummy_task }
   in
-  let wrapper wk =
-    match fut.fn wk with
-    | v -> fut.value <- Some (Ok v)
-    | exception e -> fut.value <- Some (Error e)
-  in
+  let wrapper wk = run_body wk fut in
   fut.wrapper <- wrapper;
   Ds.push w.dstack wrapper;
   fut
 
 (* ---- join (the [bk_join] implementations) ---- *)
+
+(* Drop [fut]'s outstanding-child record (Locked/Clev); joins are LIFO in
+   practice, so the head check is the fast path. *)
+let pop_child w fut =
+  match w.children with
+  | pc :: rest when pc.pc_wrapper == fut.wrapper -> w.children <- rest
+  | _ ->
+      w.children <-
+        List.filter (fun pc -> pc.pc_wrapper != fut.wrapper) w.children
 
 let join_direct ~generic w fut =
   if fut.index <> Ds.depth w.dstack - 1 then
@@ -359,7 +542,8 @@ let join_direct ~generic w fut =
         value_exn fut
       end
       else
-        (* Task-specific join: direct call of the typed task function. *)
+        (* Task-specific join: direct call of the typed task function.
+           An exception here unwinds in the caller's [run_body]. *)
         fut.fn w
   | Ds.Stolen { thief; index } ->
       if w.tr_on then record w Event.Join_stolen ~a:index ~b:thief;
@@ -369,6 +553,7 @@ let join_direct ~generic w fut =
       value_exn fut
 
 let join_locked w fut =
+  pop_child w fut;
   match Locked_deque.pop w.ldeque with
   | Some wrapper ->
       assert (wrapper == fut.wrapper);
@@ -381,11 +566,13 @@ let join_locked w fut =
       wait_completed w fut
 
 let join_clev w fut =
+  pop_child w fut;
   match Chase_lev.pop w.cdeque with
   | Some wrapper when wrapper == fut.wrapper ->
       w.n_inlined <- w.n_inlined + 1;
       if w.tr_on then record w Event.Inline_public ~a:(-1) ~b:(-1);
-      fut.fn w
+      wrapper w;
+      value_exn fut
   | Some other ->
       (* Our task was stolen; [other] is an older pending task of ours.
          Restore it and wait for the thief. *)
@@ -398,17 +585,39 @@ let join_clev w fut =
 
 (* ---- backends ---- *)
 
+let queued_mark w = List.length w.children
+
 let locked_backend =
-  { bk_steal = steal_locked; bk_spawn = spawn_locked; bk_join = join_locked }
+  {
+    bk_steal = steal_locked;
+    bk_spawn = spawn_locked;
+    bk_join = join_locked;
+    bk_mark = queued_mark;
+    bk_unwind =
+      unwind_queued
+        ~pop:(fun w -> Locked_deque.pop w.ldeque)
+        ~push:(fun w t -> Locked_deque.push w.ldeque t);
+  }
 
 let clev_backend =
-  { bk_steal = steal_clev; bk_spawn = spawn_clev; bk_join = join_clev }
+  {
+    bk_steal = steal_clev;
+    bk_spawn = spawn_clev;
+    bk_join = join_clev;
+    bk_mark = queued_mark;
+    bk_unwind =
+      unwind_queued
+        ~pop:(fun w -> Chase_lev.pop w.cdeque)
+        ~push:(fun w t -> Chase_lev.push w.cdeque t);
+  }
 
 let direct_backend ~generic =
   {
     bk_steal = steal_direct;
     bk_spawn = spawn_direct;
     bk_join = (fun w fut -> join_direct ~generic w fut);
+    bk_mark = (fun w -> Ds.depth w.dstack);
+    bk_unwind = unwind_direct;
   }
 
 let backend_of_mode = function
@@ -417,104 +626,28 @@ let backend_of_mode = function
   | Swap_generic -> direct_backend ~generic:true
   | Task_specific | Private -> direct_backend ~generic:false
 
-(* ---- pool lifecycle ---- *)
-
-let make_worker ~id ~pool ~publicity ~capacity ~trace ~trace_capacity rng =
-  let w =
-    {
-      id;
-      pool;
-      dstack = Ds.create ~capacity ~publicity ~dummy:dummy_task ();
-      ldeque = Locked_deque.create ~capacity ~dummy:dummy_task ();
-      cdeque = Chase_lev.create ~dummy:dummy_task ();
-      rng;
-      sel = Select.make pool.policy.Wool_policy.selector ~self:id ();
-      bo = Backoff.make pool.policy.Wool_policy.backoff;
-      tr_on = trace;
-      ring = Ring.create ~capacity:(if trace then trace_capacity else 2);
-      n_spawns = 0;
-      n_steals = 0;
-      n_leap_steals = 0;
-      n_failed = 0;
-      n_inlined = 0;
-    }
-  in
-  if trace then
-    Ds.set_event_hooks w.dstack
-      ~on_publish:(fun () -> record w Event.Publish ~a:(-1) ~b:(-1))
-      ~on_privatize:(fun () -> record w Event.Privatize ~a:(-1) ~b:(-1));
-  w
-
-let create_of_config (c : Config.t) =
-  let nworkers =
-    match c.Config.workers with
-    | Some n -> n
-    | None -> Domain.recommended_domain_count ()
-  in
-  if nworkers <= 0 then invalid_arg "Pool.create: workers must be positive";
-  let publicity =
-    (* The ladder modes below [Private] have no private tasks. *)
-    match c.Config.mode with
-    | Swap_generic | Task_specific -> All_public
-    | Locked | Clev | Private -> c.Config.publicity
-  in
-  let master = Wool_util.Rng.make c.Config.seed in
-  let pool =
-    {
-      pmode = c.Config.mode;
-      backend = backend_of_mode c.Config.mode;
-      lock_mode = c.Config.lock_mode;
-      idle_nap_ns = c.Config.idle_nap_ns;
-      policy = Config.policy c;
-      trace_on = c.Config.trace;
-      workers = [||];
-      stop = Atomic.make false;
-      domains = [];
-    }
-  in
-  let workers =
-    Array.init nworkers (fun id ->
-        make_worker ~id ~pool ~publicity ~capacity:c.Config.capacity
-          ~trace:c.Config.trace ~trace_capacity:c.Config.trace_capacity
-          (Wool_util.Rng.split master))
-  in
-  pool.workers <- workers;
-  pool.domains <-
-    List.init (nworkers - 1) (fun i ->
-        let w = workers.(i + 1) in
-        Domain.spawn (fun () -> worker_loop w));
-  pool
-
-let create ?(config = Config.default) ?workers ?mode ?publicity ?capacity
-    ?lock_mode ?idle_nap_ns ?seed ?trace () =
-  create_of_config
-    (Config.override config ?workers ?mode ?publicity ?capacity ?lock_mode
-       ?idle_nap_ns ?seed ?trace ())
-
-let shutdown pool =
-  Atomic.set pool.stop true;
-  List.iter Domain.join pool.domains;
-  pool.domains <- []
-
-let run pool f = f pool.workers.(0)
-
-let with_pool ?config ?workers ?mode ?publicity ?capacity ?lock_mode
-    ?idle_nap_ns ?seed ?trace f =
-  let pool =
-    create ?config ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns
-      ?seed ?trace ()
-  in
-  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)
-
 (* ---- the public task operations ---- *)
 
 let spawn (w : ctx) (fn : ctx -> 'a) : 'a future =
+  if w.pool.stopped then invalid_arg "Wool.spawn: pool is shut down";
   w.n_spawns <- w.n_spawns + 1;
-  w.pool.backend.bk_spawn w fn
+  if w.fl_on then
+    match Fault.Injector.fire w.inj Fault.Site.Spawn with
+    | Some Fault.Kind.Raise_exn ->
+        (* replace the body: the fault surfaces exactly like a task
+           exception, exercising the full unwind/propagation path *)
+        let e = Fault.Injector.injected_exn w.inj Fault.Site.Spawn in
+        w.pool.backend.bk_spawn w (fun _ -> raise e)
+    | Some (Fault.Kind.Delay n | Fault.Kind.Stall n) ->
+        Fault.Injector.spin n;
+        w.pool.backend.bk_spawn w fn
+    | Some Fault.Kind.Fail_steal | None -> w.pool.backend.bk_spawn w fn
+  else w.pool.backend.bk_spawn w fn
 
 let join (w : ctx) fut =
   if fut.owner_id <> w.id then
     invalid_arg "Wool.join: future joined on a different worker";
+  if w.fl_on then fault_delay w Fault.Site.Join;
   w.pool.backend.bk_join w fut
 
 let call (w : ctx) fn = fn w
@@ -654,6 +787,16 @@ type stats = Stats.t = {
 let stats = Stats.aggregate
 let reset_stats = Stats.reset
 
+(* ---- fault-injection stats ---- *)
+
+let faults_enabled pool = Option.is_some pool.faults
+let fault_plan pool = pool.faults
+
+let fault_stats pool =
+  Array.fold_left
+    (fun acc w -> Fault.Stats.combine acc (Fault.Injector.stats w.inj))
+    (Fault.Stats.zero ()) pool.workers
+
 (* ---- trace collection (quiescent snapshots; see pool.mli) ---- *)
 
 let trace_enabled pool = pool.trace_on
@@ -675,3 +818,274 @@ let trace_events pool =
 
 let trace_clear pool =
   Array.iter (fun w -> Ring.clear w.ring) pool.workers
+
+(* ---- protocol-invariant checking (quiescent pool only) ---- *)
+
+module Invariants = struct
+  let check pool =
+    let errs = ref [] in
+    let add fmt = Printf.ksprintf (fun s -> errs := s :: !errs) fmt in
+    Array.iter
+      (fun w ->
+        List.iter
+          (fun v -> add "worker %d: dstack %s" w.id v)
+          (Ds.check_quiescent w.dstack);
+        let ls = Locked_deque.size w.ldeque in
+        if ls <> 0 then add "worker %d: locked deque holds %d tasks" w.id ls;
+        let cs = Chase_lev.size w.cdeque in
+        if cs <> 0 then
+          add "worker %d: chase-lev deque holds %d tasks" w.id cs;
+        let ch = List.length w.children in
+        if ch <> 0 then
+          add "worker %d: %d outstanding queued children" w.id ch)
+      pool.workers;
+    let s = Stats.aggregate pool in
+    (match pool.pmode with
+    | Locked | Clev ->
+        (* every queued spawn is either inlined by its owner or stolen *)
+        let joined = s.Stats.inlined_private + s.Stats.inlined_public in
+        if s.Stats.spawns <> joined + s.Stats.steals then
+          add "counter imbalance: spawns=%d but inlined=%d + steals=%d"
+            s.Stats.spawns joined s.Stats.steals
+    | Swap_generic | Task_specific | Private ->
+        let joined =
+          s.Stats.inlined_private + s.Stats.inlined_public
+          + s.Stats.joins_stolen
+        in
+        if s.Stats.spawns <> joined then
+          add
+            "counter imbalance: spawns=%d but inlined+joins_stolen=%d"
+            s.Stats.spawns joined;
+        if s.Stats.joins_stolen <> s.Stats.steals then
+          add "counter imbalance: joins_stolen=%d but steals=%d"
+            s.Stats.joins_stolen s.Stats.steals);
+    List.rev !errs
+
+  let check_exn pool =
+    match check pool with
+    | [] -> ()
+    | errs ->
+        failwith
+          ("Wool.Invariants.check_exn: " ^ String.concat "; " errs)
+end
+
+(* ---- stall watchdog ---- *)
+
+let stall_report pool =
+  let buf = Buffer.create 1024 in
+  let esc = Wool_trace.Json.escape in
+  Buffer.add_string buf {|{"type":"wool_stall_report"|};
+  Printf.bprintf buf {|,"mode":"%s"|} (Config.mode_name pool.pmode);
+  Printf.bprintf buf {|,"policy":"%s"|} (esc (Wool_policy.name pool.policy));
+  Printf.bprintf buf {|,"active":%b|} (Atomic.get pool.active);
+  (match pool.faults with
+  | Some p -> Printf.bprintf buf {|,"fault_plan":"%s"|} (esc p.Fault.Plan.name)
+  | None -> ());
+  Buffer.add_string buf {|,"workers":[|};
+  Array.iteri
+    (fun i w ->
+      if i > 0 then Buffer.add_char buf ',';
+      Printf.bprintf buf {|{"id":%d,"progress":%d|} w.id
+        (w.progress + w.n_spawns);
+      Printf.bprintf buf {|,"dstack":{"depth":%d,"bot":%d,"live":[|}
+        (Ds.depth w.dstack) (Ds.bot_index w.dstack);
+      List.iteri
+        (fun j (idx, st) ->
+          if j > 0 then Buffer.add_char buf ',';
+          Printf.bprintf buf {|{"index":%d,"state":"%s"}|} idx (esc st))
+        (Ds.dump_live w.dstack);
+      Buffer.add_string buf "]}";
+      Printf.bprintf buf {|,"ldeque_size":%d|} (Locked_deque.size w.ldeque);
+      Printf.bprintf buf {|,"cdeque_size":%d|} (Chase_lev.size w.cdeque);
+      Printf.bprintf buf {|,"children":%d|} (List.length w.children);
+      Printf.bprintf buf {|,"stats":%s|} (Stats.to_json (Stats.of_worker w));
+      Buffer.add_string buf {|,"trace":[|};
+      let evs = Ring.snapshot w.ring ~worker:w.id in
+      let n = Array.length evs in
+      let start = max 0 (n - 32) in
+      for j = start to n - 1 do
+        if j > start then Buffer.add_char buf ',';
+        Buffer.add_string buf (Event.to_json evs.(j))
+      done;
+      Buffer.add_string buf "]}")
+    pool.workers;
+  Printf.bprintf buf {|],"trace_dropped":%d}|} (trace_dropped pool);
+  Buffer.contents buf
+
+let set_on_stall pool f = pool.on_stall <- f
+let stalls_fired pool = Atomic.get pool.stall_reports
+
+(* Sampling loop, run on its own domain. Progress counters are plain
+   ints written by their workers; the watchdog reads them racily — a
+   stale read only delays detection by one interval. A report fires when
+   a worker's counter has been unchanged for exactly [watchdog_stalls]
+   consecutive samples while a [run] is active (an episode latch: one
+   report per stall episode, not one per sample). *)
+let watchdog_loop pool =
+  let n = Array.length pool.workers in
+  let last = Array.make n (-1) in
+  let stale = Array.make n 0 in
+  let interval = float_of_int pool.watchdog_interval_ns *. 1e-9 in
+  while not (Atomic.get pool.stop) do
+    Unix.sleepf interval;
+    if Atomic.get pool.active then begin
+      let fired = ref false in
+      Array.iteri
+        (fun i w ->
+          let p = w.progress + w.n_spawns in
+          if p = last.(i) then begin
+            stale.(i) <- stale.(i) + 1;
+            if stale.(i) = pool.watchdog_stalls then fired := true
+          end
+          else begin
+            last.(i) <- p;
+            stale.(i) <- 0
+          end)
+        pool.workers;
+      if !fired then begin
+        Atomic.incr pool.stall_reports;
+        let report = stall_report pool in
+        try pool.on_stall report with _ -> ()
+      end
+    end
+    else begin
+      Array.fill stale 0 n 0;
+      Array.fill last 0 n (-1)
+    end
+  done
+
+(* ---- pool lifecycle ---- *)
+
+let make_worker ~id ~pool ~publicity ~capacity ~trace ~trace_capacity ~faults
+    rng =
+  let fl_on, plan =
+    match faults with Some p -> (true, p) | None -> (false, Fault.Plan.none)
+  in
+  let inj = Fault.Injector.make plan ~worker:id in
+  let w =
+    {
+      id;
+      pool;
+      dstack = Ds.create ~capacity ~publicity ~dummy:dummy_task ();
+      ldeque = Locked_deque.create ~capacity ~dummy:dummy_task ();
+      cdeque = Chase_lev.create ~dummy:dummy_task ();
+      rng;
+      sel = Select.make pool.policy.Wool_policy.selector ~self:id ();
+      bo = Backoff.make pool.policy.Wool_policy.backoff;
+      tr_on = trace;
+      ring = Ring.create ~capacity:(if trace then trace_capacity else 2);
+      fl_on;
+      inj;
+      inj_interfere = direct_interfere inj;
+      progress = 0;
+      children = [];
+      n_spawns = 0;
+      n_steals = 0;
+      n_leap_steals = 0;
+      n_failed = 0;
+      n_inlined = 0;
+    }
+  in
+  if trace || fl_on then
+    Ds.set_event_hooks w.dstack
+      ~on_publish:(fun () ->
+        if w.fl_on then fault_delay w Fault.Site.Publish;
+        if w.tr_on then record w Event.Publish ~a:(-1) ~b:(-1))
+      ~on_privatize:(fun () ->
+        if w.tr_on then record w Event.Privatize ~a:(-1) ~b:(-1));
+  w
+
+let create_of_config (c : Config.t) =
+  let nworkers =
+    match c.Config.workers with
+    | Some n -> n
+    | None -> Domain.recommended_domain_count ()
+  in
+  if nworkers <= 0 then invalid_arg "Pool.create: workers must be positive";
+  let publicity =
+    (* The ladder modes below [Private] have no private tasks. *)
+    match c.Config.mode with
+    | Swap_generic | Task_specific -> All_public
+    | Locked | Clev | Private -> c.Config.publicity
+  in
+  let master = Wool_util.Rng.make c.Config.seed in
+  let pool =
+    {
+      pmode = c.Config.mode;
+      backend = backend_of_mode c.Config.mode;
+      lock_mode = c.Config.lock_mode;
+      idle_nap_ns = c.Config.idle_nap_ns;
+      policy = Config.policy c;
+      trace_on = c.Config.trace;
+      faults = c.Config.faults;
+      workers = [||];
+      stop = Atomic.make false;
+      domains = [];
+      stopped = false;
+      active = Atomic.make false;
+      watchdog_interval_ns = c.Config.watchdog_interval_ns;
+      watchdog_stalls = c.Config.watchdog_stalls;
+      on_stall =
+        (fun report ->
+          prerr_endline ("wool: stall watchdog fired: " ^ report));
+      stall_reports = Atomic.make 0;
+      wd = None;
+    }
+  in
+  let workers =
+    Array.init nworkers (fun id ->
+        make_worker ~id ~pool ~publicity ~capacity:c.Config.capacity
+          ~trace:c.Config.trace ~trace_capacity:c.Config.trace_capacity
+          ~faults:c.Config.faults
+          (Wool_util.Rng.split master))
+  in
+  pool.workers <- workers;
+  pool.domains <-
+    List.init (nworkers - 1) (fun i ->
+        let w = workers.(i + 1) in
+        Domain.spawn (fun () -> worker_loop w));
+  if c.Config.watchdog_stalls > 0 then
+    pool.wd <- Some (Domain.spawn (fun () -> watchdog_loop pool));
+  pool
+
+let create ?(config = Config.default) ?workers ?mode ?publicity ?capacity
+    ?lock_mode ?idle_nap_ns ?seed ?trace () =
+  create_of_config
+    (Config.override config ?workers ?mode ?publicity ?capacity ?lock_mode
+       ?idle_nap_ns ?seed ?trace ())
+
+let shutdown pool =
+  if not pool.stopped then begin
+    pool.stopped <- true;
+    Atomic.set pool.stop true;
+    List.iter Domain.join pool.domains;
+    pool.domains <- [];
+    Option.iter Domain.join pool.wd;
+    pool.wd <- None
+  end
+
+let run pool f =
+  if pool.stopped then invalid_arg "Wool.run: pool is shut down";
+  let w0 = pool.workers.(0) in
+  Atomic.set pool.active true;
+  let mark = pool.backend.bk_mark w0 in
+  match f w0 with
+  | v ->
+      Atomic.set pool.active false;
+      v
+  | exception e ->
+      (* Same discipline as a task body: join-or-drain everything the
+         root computation left outstanding, so the pool is quiescent —
+         and reusable — when the exception reaches the caller. *)
+      let bt = Printexc.get_raw_backtrace () in
+      pool.backend.bk_unwind w0 ~mark;
+      Atomic.set pool.active false;
+      Printexc.raise_with_backtrace e bt
+
+let with_pool ?config ?workers ?mode ?publicity ?capacity ?lock_mode
+    ?idle_nap_ns ?seed ?trace f =
+  let pool =
+    create ?config ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns
+      ?seed ?trace ()
+  in
+  Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

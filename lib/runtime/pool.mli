@@ -70,6 +70,16 @@ module Config : sig
     backoff : Wool_policy.Backoff.t;
         (** idle behaviour after failed steals; default [Nap_after 64] —
             the historical nap-after-64-failures loop *)
+    faults : Wool_fault.Plan.t option;
+        (** deterministic fault injection (default [None] = hooks compile
+            to one dead branch per site; [Some Plan.none] = hooks live
+            but no rules, the dispatch-overhead measurement case) *)
+    watchdog_interval_ns : int;
+        (** stall-watchdog sampling period (default 5ms) *)
+    watchdog_stalls : int;
+        (** consecutive no-progress samples before the watchdog reports
+            a stalled worker; 0 (the default) disables the watchdog —
+            no extra domain is spawned *)
   }
 
   val default : t
@@ -90,6 +100,9 @@ module Config : sig
     ?policy:Wool_policy.t ->
     ?steal_policy:Wool_policy.Selector.t ->
     ?backoff:Wool_policy.Backoff.t ->
+    ?faults:Wool_fault.Plan.t ->
+    ?watchdog_interval_ns:int ->
+    ?watchdog_stalls:int ->
     unit ->
     t
   (** Builder over {!default}; omitted arguments keep the default.
@@ -111,6 +124,9 @@ module Config : sig
     ?policy:Wool_policy.t ->
     ?steal_policy:Wool_policy.Selector.t ->
     ?backoff:Wool_policy.Backoff.t ->
+    ?faults:Wool_fault.Plan.t ->
+    ?watchdog_interval_ns:int ->
+    ?watchdog_stalls:int ->
     unit ->
     t
   (** [override c] is {!make} with [c] as the base instead of
@@ -123,6 +139,9 @@ module Config : sig
 
   val with_policy : Wool_policy.t -> t -> t
   (** Replace both policy fields from one {!Wool_policy.t}. *)
+
+  val mode_name : mode -> string
+  (** Lower-case label ("locked", "private", ...) for report rows. *)
 
   val pp : Format.formatter -> t -> unit
 end
@@ -149,10 +168,17 @@ val create :
 val run : t -> (ctx -> 'a) -> 'a
 (** Execute a main task on worker 0 (the calling domain). Must be called
     from the domain that created the pool, and not from inside task code.
-    Can be called repeatedly. *)
+    Can be called repeatedly.
+
+    If the computation raises, every task it left outstanding is joined
+    or drained first, so the pool is quiescent — and reusable — when the
+    exception (re-raised with its original backtrace) reaches the
+    caller. Raises [Invalid_argument] after {!shutdown}. *)
 
 val shutdown : t -> unit
-(** Stop and join the worker domains. The pool cannot be used afterwards. *)
+(** Stop and join the worker domains (and the watchdog domain, if any).
+    Idempotent: repeated calls are no-ops. Subsequent {!run}/{!spawn}
+    calls raise [Invalid_argument]. *)
 
 val with_pool :
   ?config:Config.t ->
@@ -171,12 +197,17 @@ val with_pool :
 
 val spawn : ctx -> (ctx -> 'a) -> 'a future
 (** Make a task available for stealing (or for later inlining) on the
-    calling worker. *)
+    calling worker. Raises [Invalid_argument] after {!shutdown}. *)
 
 val join : ctx -> 'a future -> 'a
 (** Join with the most recent unjoined [spawn] of this worker. Raises
     [Invalid_argument] if called out of LIFO order or from another worker.
-    If the task ran remotely and raised, the exception is re-raised here. *)
+
+    If the task body raised — locally or on a thief — the exception is
+    re-raised here with the backtrace captured at the original raise
+    point ({!Printexc.raise_with_backtrace}); before that, any children
+    the failing body had spawned and not yet joined are joined or
+    drained, so no orphan task outlives its parent's frame. *)
 
 val call : ctx -> (ctx -> 'a) -> 'a
 (** An ordinary call, for symmetry with the paper's CALL. *)
@@ -267,3 +298,47 @@ val trace_dropped : t -> int
 
 val trace_clear : t -> unit
 (** Reset all rings (and their drop counts). Call only while quiescent. *)
+
+(* Fault injection *)
+
+val faults_enabled : t -> bool
+val fault_plan : t -> Wool_fault.Plan.t option
+
+val fault_stats : t -> Wool_fault.Stats.t
+(** Fault fires so far, summed over workers (site × kind class). Exact
+    while quiescent, like {!Stats}. *)
+
+(** Protocol-invariant checker, for the fault-injection stress harness.
+    Only meaningful on a quiescent pool (between {!run}s): everything in
+    flight looks like a violation. *)
+module Invariants : sig
+  val check : t -> string list
+  (** Human-readable violations, [[]] when clean. Checks, per worker:
+      every direct-stack descriptor EMPTY with [top = bot = 0] and
+      payloads reset; both queue deques empty; no outstanding queued
+      children. Then globally: spawn/join/steal counter balance for the
+      pool's mode (direct modes: [spawns = inlined + joins_stolen] and
+      [joins_stolen = steals]; queue modes: [spawns = inlined +
+      steals]). The balance is relative to the last {!Stats.reset}. *)
+
+  val check_exn : t -> unit
+  (** Raises [Failure] listing the violations, if any. *)
+end
+
+(* Stall watchdog *)
+
+val stall_report : t -> string
+(** A diagnostic JSON object: pool mode and policy, and per worker the
+    progress counter, direct-stack occupancy with live descriptor
+    states, queue sizes, outstanding children, scheduler counters, and
+    the tail of the trace ring (when tracing is on). Valid JSON by
+    construction ({!Wool_trace.Json.validate} accepts it); safe to call
+    at any time — concurrent readings are racy snapshots. *)
+
+val set_on_stall : t -> (string -> unit) -> unit
+(** Replace the watchdog's report sink (default: print to stderr). The
+    callback runs on the watchdog domain; exceptions it raises are
+    swallowed. *)
+
+val stalls_fired : t -> int
+(** Stall reports emitted since pool creation. *)

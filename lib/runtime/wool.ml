@@ -9,6 +9,8 @@ module Pool = Pool
 module Config = Pool.Config
 module Stats = Pool.Stats
 module Policy = Wool_policy
+module Fault = Wool_fault
+module Invariants = Pool.Invariants
 
 type pool = Pool.t
 type ctx = Pool.ctx
@@ -30,6 +32,12 @@ let policy = Pool.policy
 let policy_name = Pool.policy_name
 let stats = Pool.stats
 let reset_stats = Pool.reset_stats
+let faults_enabled = Pool.faults_enabled
+let fault_plan = Pool.fault_plan
+let fault_stats = Pool.fault_stats
+let stall_report = Pool.stall_report
+let set_on_stall = Pool.set_on_stall
+let stalls_fired = Pool.stalls_fired
 let trace_enabled = Pool.trace_enabled
 let trace_events = Pool.trace_events
 let trace_per_worker = Pool.trace_per_worker

@@ -20,6 +20,13 @@ module Policy = Wool_policy
     ([Config.make ~policy]) and the simulator
     ([Wool_sim.Engine.run ~steal_policy]). *)
 
+module Fault = Wool_fault
+(** Deterministic fault injection plans; pass one via
+    [Config.make ~faults]. See {!Wool_fault}. *)
+
+module Invariants = Pool.Invariants
+(** Quiescent protocol-invariant checker; see {!Pool.Invariants}. *)
+
 type pool = Pool.t
 type ctx = Pool.ctx
 type 'a future = 'a Pool.future
@@ -85,6 +92,16 @@ val stats : pool -> Pool.stats
 
 val reset_stats : pool -> unit
 (** @deprecated use {!Stats.reset}. *)
+
+(* Fault injection and the stall watchdog (see {!Pool}): active when
+   the pool was created with [faults] / [watchdog_stalls]. *)
+
+val faults_enabled : pool -> bool
+val fault_plan : pool -> Wool_fault.Plan.t option
+val fault_stats : pool -> Wool_fault.Stats.t
+val stall_report : pool -> string
+val set_on_stall : pool -> (string -> unit) -> unit
+val stalls_fired : pool -> int
 
 (* Tracing (see {!Pool}): populated when the pool was created with
    [trace = true]. *)
