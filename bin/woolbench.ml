@@ -7,7 +7,9 @@
    `woolbench policy <workload>` sweeps the steal policies (victim
    selection x idle backoff) over a workload on the real runtime.
    `woolbench faults` stress-tests the scheduler under seeded fault
-   plans and checks protocol invariants after every run. *)
+   plans and checks protocol invariants after every run.
+   `woolbench bench <workload|all>` runs the tier-1 benchmark matrix and
+   writes a schema-stable BENCH_<date>.json for the perf trajectory. *)
 
 open Cmdliner
 
@@ -156,11 +158,15 @@ let faults_cmd =
     else begin
       if max_seconds > 0 then begin
         (* watchdog for the watchdog: a detached domain that kills the
-           process if the sweep wedges (never joined; exit ends it) *)
-        let deadline = Unix.gettimeofday () +. float_of_int max_seconds in
+           process if the sweep wedges (never joined; exit ends it).
+           The deadline is monotonic — a wall-clock step must not fire
+           or defer it. *)
+        let deadline =
+          Wool_util.Clock.now_ns () + (max_seconds * 1_000_000_000)
+        in
         ignore
           (Domain.spawn (fun () ->
-               while Unix.gettimeofday () < deadline do
+               while Wool_util.Clock.now_ns () < deadline do
                  Unix.sleepf 0.2
                done;
                prerr_endline "woolbench faults: wall-clock limit hit";
@@ -195,6 +201,78 @@ let faults_cmd =
         (const run $ workers_arg $ seeds_arg $ no_exn_arg $ overhead_arg
         $ max_seconds_arg))
 
+let bench_cmd =
+  let workloads_arg =
+    let doc =
+      Printf.sprintf "Workloads to bench: all | %s."
+        (String.concat " | " Wool_report.Trace_summary.workloads)
+    in
+    Arg.(value & pos_all string [] & info [] ~docv:"WORKLOAD" ~doc)
+  in
+  let workers_arg =
+    let doc = "Comma-separated worker counts to sweep." in
+    Arg.(
+      value & opt (list int) [ 1; 2; 4 ]
+      & info [ "w"; "workers" ] ~docv:"N,M,..." ~doc)
+  in
+  let repeats_arg =
+    let doc = "Timed pool runs per cell (a fresh pool each)." in
+    Arg.(value & opt int 3 & info [ "repeats" ] ~docv:"N" ~doc)
+  in
+  let tiny_arg =
+    let doc = "Use the smoke-test input sizes instead of the report sizes." in
+    Arg.(value & flag & info [ "tiny" ] ~doc)
+  in
+  let out_arg =
+    let doc = "Output path (default BENCH_<date>.json)." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let compare_arg =
+    let doc =
+      "Baseline BENCH_*.json to diff against; exits non-zero if any cell's \
+       new median lands beyond the baseline's p90 plus 10%."
+    in
+    Arg.(
+      value & opt (some string) None & info [ "compare" ] ~docv:"FILE" ~doc)
+  in
+  let run workers repeats tiny out compare_with workloads =
+    if workers = [] || List.exists (fun w -> w < 1) workers then
+      `Error (false, "--workers must be positive counts")
+    else if repeats < 1 then `Error (false, "--repeats must be at least 1")
+    else begin
+      let size =
+        if tiny then Wool_report.Exp_common.Spec.Tiny
+        else Wool_report.Exp_common.Spec.Std
+      in
+      let date =
+        let tm = Unix.gmtime (Unix.time ()) in
+        Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
+          (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+      in
+      match
+        Wool_report.Bench_json.run ~size ~workers ~repeats ?out ?compare_with
+          ~date workloads
+      with
+      | 0 -> `Ok ()
+      | n ->
+          `Error
+            (false, Printf.sprintf "%d cell(s) regressed beyond noise" n)
+      | exception Failure msg -> `Error (false, msg)
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | exception Sys_error msg -> `Error (false, msg)
+    end
+  in
+  let doc =
+    "run the tier-1 benchmark matrix (workloads x modes x worker counts) \
+     and write a schema-stable BENCH_<date>.json"
+  in
+  Cmd.v
+    (Cmd.info "bench" ~doc)
+    Term.(
+      ret
+        (const run $ workers_arg $ repeats_arg $ tiny_arg $ out_arg
+        $ compare_arg $ workloads_arg))
+
 (* A Cmd.group would reject the free-form experiment keys the default
    term consumes ("woolbench list", "woolbench fig1 table2"), so route
    the named subcommands by hand and keep everything else on the
@@ -205,7 +283,7 @@ let () =
      trace <workload>` records a scheduler trace; `woolbench policy \
      <workload>` sweeps the steal policies"
   in
-  let subcommands = [ trace_cmd; policy_cmd; faults_cmd ] in
+  let subcommands = [ trace_cmd; policy_cmd; faults_cmd; bench_cmd ] in
   let is_subcommand =
     Array.length Sys.argv > 1
     && List.exists (fun c -> Cmd.name c = Sys.argv.(1)) subcommands

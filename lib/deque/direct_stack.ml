@@ -1,7 +1,13 @@
 module Ts = Task_state
+module Layout = Wool_util.Layout
+
+exception Pool_overflow
 
 type 'a slot = {
   state : Ts.t Atomic.t;
+      (* individually padded: adjacent descriptors' state words never
+         share a cache line, so a thief CASing slot [b] cannot steal the
+         line under the owner touching slot [b']. *)
   mutable payload : 'a;
   mutable pushed_public : bool; (* owner-private: which join path to take *)
 }
@@ -21,16 +27,16 @@ type stats = {
   privatize_events : int;
 }
 
-type 'a t = {
-  slots : 'a slot array;
-  capacity : int;
-  dummy : 'a;
-  publicity : publicity;
-  mutable top : int; (* owner-private *)
-  bot : int Atomic.t; (* implicit ownership, see .mli *)
-  mutable public_limit : int; (* owner-private: pushes below it are public *)
-  trip_index : int Atomic.t; (* stealing this index requests publication *)
-  publish_request : bool Atomic.t;
+(* Owner-private working set: every field only worker [owner] reads or
+   writes, batched into one cache-line-padded block so owner stores never
+   invalidate a line a thief has cached. *)
+type 'a owner = {
+  mutable top : int;
+  mutable public_limit : int; (* pushes below it are public *)
+  mutable rearm : bool;
+      (* a privatize emptied the public window below [bot]: the next push
+         publishes itself and re-arms the trip wire (see
+         [maybe_privatize]) *)
   mutable consec_public_inlines : int;
   (* owner-side counters *)
   mutable n_spawns : int;
@@ -40,16 +46,38 @@ type 'a t = {
   mutable n_joins_stolen : int;
   mutable n_publish : int;
   mutable n_privatize : int;
-  (* thief-side counters *)
-  n_steals : int Atomic.t;
-  n_backoffs : int Atomic.t;
-  n_failed : int Atomic.t;
-  (* owner-side observability hooks; invoked only on the (rare) publish /
-     privatize transitions, never on the private fast path *)
+  (* observability hooks; invoked only on the (rare) publish / privatize
+     transitions, never on the private fast path *)
   mutable on_publish : unit -> unit;
   mutable on_privatize : unit -> unit;
 }
 
+(* Thief-shared words live in individually padded atomics; the top-level
+   record itself is immutable after [create], so its cache lines are
+   read-shared and never invalidated. *)
+type 'a t = {
+  slots : 'a slot array;
+  capacity : int;
+  dummy : 'a;
+  publicity : publicity;
+  own : 'a owner; (* padded; owner-private *)
+  botw : int Atomic.t;
+      (* packed [steals lsl 32 | bot]: the successful-steal path advances
+         [bot] and counts the steal with one plain store instead of a
+         store plus a fetch-and-add (see [steal]). Implicit ownership as
+         before: only whoever holds the task at [bot] may move it. *)
+  trip_index : int Atomic.t; (* stealing at/past this index requests
+                                publication; [disarmed] = never *)
+  publish_request : bool Atomic.t;
+  fb : int Atomic.t;
+      (* packed [backoffs lsl 31 | failed_steals]: both thief-contended,
+         one fetch-and-add per failed attempt on a line shared with
+         nothing else *)
+}
+
+let bot_mask = 0xFFFFFFFF
+let backoff_unit = 1 lsl 31
+let disarmed = max_int
 let no_hook () = ()
 
 (* How many consecutive inlined public joins before the owner decides the
@@ -57,14 +85,19 @@ let no_hook () = ()
 let privatize_threshold = 16
 
 let create ?(capacity = 65536) ?(publicity = Adaptive 4) ~dummy () =
-  if capacity <= 0 then invalid_arg "Direct_stack.create: capacity";
+  if capacity <= 0 || capacity > bot_mask then
+    invalid_arg "Direct_stack.create: capacity";
   (match publicity with
   | Adaptive w when w <= 0 ->
       invalid_arg "Direct_stack.create: adaptive window must be positive"
   | All_private | All_public | Adaptive _ -> ());
   let slots =
     Array.init capacity (fun _ ->
-        { state = Atomic.make Ts.empty; payload = dummy; pushed_public = false })
+        {
+          state = Layout.padded_atomic Ts.empty;
+          payload = dummy;
+          pushed_public = false;
+        })
   in
   let public_limit =
     match publicity with
@@ -74,7 +107,7 @@ let create ?(capacity = 65536) ?(publicity = Adaptive 4) ~dummy () =
   in
   let trip =
     match publicity with
-    | All_private | All_public -> -1
+    | All_private | All_public -> disarmed
     | Adaptive _ -> public_limit - 1
   in
   {
@@ -82,32 +115,36 @@ let create ?(capacity = 65536) ?(publicity = Adaptive 4) ~dummy () =
     capacity;
     dummy;
     publicity;
-    top = 0;
-    bot = Atomic.make 0;
-    public_limit;
-    trip_index = Atomic.make trip;
-    publish_request = Atomic.make false;
-    consec_public_inlines = 0;
-    n_spawns = 0;
-    max_depth = 0;
-    n_inlined_private = 0;
-    n_inlined_public = 0;
-    n_joins_stolen = 0;
-    n_publish = 0;
-    n_privatize = 0;
-    n_steals = Atomic.make 0;
-    n_backoffs = Atomic.make 0;
-    n_failed = Atomic.make 0;
-    on_publish = no_hook;
-    on_privatize = no_hook;
+    own =
+      Layout.copy_as_padded
+        {
+          top = 0;
+          public_limit;
+          rearm = false;
+          consec_public_inlines = 0;
+          n_spawns = 0;
+          max_depth = 0;
+          n_inlined_private = 0;
+          n_inlined_public = 0;
+          n_joins_stolen = 0;
+          n_publish = 0;
+          n_privatize = 0;
+          on_publish = no_hook;
+          on_privatize = no_hook;
+        };
+    botw = Layout.padded_atomic 0;
+    trip_index = Layout.padded_atomic trip;
+    publish_request = Layout.padded_atomic false;
+    fb = Layout.padded_atomic 0;
   }
 
 let set_event_hooks t ~on_publish ~on_privatize =
-  t.on_publish <- on_publish;
-  t.on_privatize <- on_privatize
+  t.own.on_publish <- on_publish;
+  t.own.on_privatize <- on_privatize
 
-let[@inline] depth t = t.top
-let bot_index t = Atomic.get t.bot
+let[@inline] depth t = t.own.top
+let[@inline] bot_index t = Atomic.get t.botw land bot_mask
+let[@inline] steal_count t = Atomic.get t.botw lsr 32
 
 (* Owner-side servicing of a thief's trip-wire notification: extend the
    public region by the window and publish any live private descriptors
@@ -120,12 +157,15 @@ let[@inline] service_publish t =
   | Adaptive w ->
       if Atomic.get t.publish_request then begin
         Atomic.set t.publish_request false;
-        (* a sprung trip wire is live steal pressure: suspend privatising *)
-        t.consec_public_inlines <- 0;
-        let old_limit = t.public_limit in
+        let own = t.own in
+        (* a sprung trip wire is live steal pressure: suspend privatising
+           (and any pending re-arm — the wire is being re-pointed here) *)
+        own.consec_public_inlines <- 0;
+        own.rearm <- false;
+        let old_limit = own.public_limit in
         let new_limit = min t.capacity (old_limit + w) in
-        let lo = max old_limit (Atomic.get t.bot) in
-        let hi = min new_limit t.top in
+        let lo = max old_limit (bot_index t) in
+        let hi = min new_limit own.top in
         for i = lo to hi - 1 do
           let s = t.slots.(i) in
           if not s.pushed_public then begin
@@ -133,23 +173,37 @@ let[@inline] service_publish t =
             Atomic.set s.state Ts.task_public
           end
         done;
-        t.public_limit <- new_limit;
+        own.public_limit <- new_limit;
         Atomic.set t.trip_index (new_limit - 1);
-        t.n_publish <- t.n_publish + 1;
-        t.on_publish ()
+        own.n_publish <- own.n_publish + 1;
+        own.on_publish ()
       end
 
 let[@inline] push t v =
+  let own = t.own in
+  (* overflow is raised before any slot or window mutation, so a failed
+     spawn leaves the stack exactly as it was *)
+  if own.top >= t.capacity then raise Pool_overflow;
   service_publish t;
-  if t.top >= t.capacity then failwith "Direct_stack.push: task pool overflow";
-  let i = t.top in
+  let i = own.top in
   let slot = t.slots.(i) in
   slot.payload <- v;
-  if i < t.public_limit then begin
+  if i < own.public_limit then begin
     slot.pushed_public <- true;
     (* The state store is the release that makes the task stealable; it
        comes after the payload write. *)
     Atomic.set slot.state Ts.task_public
+  end
+  else if own.rearm then begin
+    (* A privatize left no live public descriptor at or above [bot]
+       (see [maybe_privatize]): publish this push and point the wire at
+       it, so thieves regain a probe point and steal pressure can widen
+       the window again. *)
+    own.rearm <- false;
+    own.public_limit <- i + 1;
+    slot.pushed_public <- true;
+    Atomic.set slot.state Ts.task_public;
+    Atomic.set t.trip_index i
   end
   else
     (* Private spawn: the paper's 1-cycle case. The descriptor's presence
@@ -157,30 +211,46 @@ let[@inline] push t v =
        EMPTY, which no thief will ever CAS, so no synchronised write is
        needed at all. *)
     slot.pushed_public <- false;
-  t.top <- i + 1;
-  if t.top > t.max_depth then t.max_depth <- t.top;
-  t.n_spawns <- t.n_spawns + 1
+  own.top <- i + 1;
+  if own.top > own.max_depth then own.max_depth <- own.top;
+  own.n_spawns <- own.n_spawns + 1
 
 type 'a outcome = Task of 'a * bool | Stolen of { thief : int; index : int }
 
 (* Shrink the public window after a run of inlined public joins; only
    future pushes are affected (descriptors already published keep their
-   synchronised join path via [pushed_public]). *)
+   synchronised join path via [pushed_public]).
+
+   The wire must stay reachable: a steal probes only [slots.(bot)], so a
+   trip index below [bot] can never fire and the stack would be
+   unstealable forever (publications are driven purely by the wire).
+   When the shrunken window still has a live public descriptor above
+   [bot] the wire is clamped onto it; when it does not (the inline that
+   triggered us was at or below [bot]), the wire is disarmed and
+   re-armed on the next push instead. *)
 let maybe_privatize t i =
   match t.publicity with
   | All_private | All_public -> ()
   | Adaptive _ ->
-      t.consec_public_inlines <- t.consec_public_inlines + 1;
-      if t.consec_public_inlines >= privatize_threshold && i < t.public_limit
+      let own = t.own in
+      own.consec_public_inlines <- own.consec_public_inlines + 1;
+      if
+        own.consec_public_inlines >= privatize_threshold
+        && i < own.public_limit
       then begin
-        let new_limit = max (Atomic.get t.bot) i in
-        if new_limit < t.public_limit then begin
-          t.public_limit <- new_limit;
-          Atomic.set t.trip_index (new_limit - 1);
-          t.n_privatize <- t.n_privatize + 1;
-          t.on_privatize ()
+        let b = bot_index t in
+        let new_limit = max b i in
+        if new_limit < own.public_limit then begin
+          own.public_limit <- new_limit;
+          if new_limit > b then Atomic.set t.trip_index (new_limit - 1)
+          else begin
+            Atomic.set t.trip_index disarmed;
+            own.rearm <- true
+          end;
+          own.n_privatize <- own.n_privatize + 1;
+          own.on_privatize ()
         end;
-        t.consec_public_inlines <- 0
+        own.consec_public_inlines <- 0
       end
 
 let[@inline] take_payload slot dummy =
@@ -189,22 +259,23 @@ let[@inline] take_payload slot dummy =
   v
 
 let[@inline] pop t =
-  if t.top <= 0 then invalid_arg "Direct_stack.pop: empty stack";
+  let own = t.own in
+  if own.top <= 0 then invalid_arg "Direct_stack.pop: empty stack";
   service_publish t;
-  t.top <- t.top - 1;
-  let i = t.top in
+  own.top <- own.top - 1;
+  let i = own.top in
   let slot = t.slots.(i) in
   if not slot.pushed_public then begin
     (* Private fast path: no atomic read-modify-write, no fence — the
        descriptor was never visible to thieves. *)
-    t.n_inlined_private <- t.n_inlined_private + 1;
+    own.n_inlined_private <- own.n_inlined_private + 1;
     Task (take_payload slot t.dummy, false)
   end
   else begin
     let rec resolve () =
       let s = Atomic.exchange slot.state Ts.empty in
       if s = Ts.task_public then begin
-        t.n_inlined_public <- t.n_inlined_public + 1;
+        own.n_inlined_public <- own.n_inlined_public + 1;
         maybe_privatize t i;
         Task (take_payload slot t.dummy, true)
       end
@@ -222,14 +293,14 @@ let[@inline] pop t =
         let s' = wait () in
         if s' = Ts.task_public then resolve ()
         else if Ts.is_stolen s' then begin
-          t.n_joins_stolen <- t.n_joins_stolen + 1;
-          t.consec_public_inlines <- 0;
+          own.n_joins_stolen <- own.n_joins_stolen + 1;
+          own.consec_public_inlines <- 0;
           Stolen { thief = Ts.thief s'; index = i }
         end
         else begin
           (* DONE *)
-          t.n_joins_stolen <- t.n_joins_stolen + 1;
-          t.consec_public_inlines <- 0;
+          own.n_joins_stolen <- own.n_joins_stolen + 1;
+          own.consec_public_inlines <- 0;
           Stolen { thief = -1; index = i }
         end
       end
@@ -237,14 +308,14 @@ let[@inline] pop t =
         (* Our exchange clobbered STOLEN with EMPTY; harmless — the
            thief's unconditional DONE store still lands and the owner
            polls only for DONE. *)
-        t.n_joins_stolen <- t.n_joins_stolen + 1;
-        t.consec_public_inlines <- 0;
+        own.n_joins_stolen <- own.n_joins_stolen + 1;
+        own.consec_public_inlines <- 0;
         Stolen { thief = Ts.thief s; index = i }
       end
       else begin
         (* DONE: the thief finished before we even joined. *)
-        t.n_joins_stolen <- t.n_joins_stolen + 1;
-        t.consec_public_inlines <- 0;
+        own.n_joins_stolen <- own.n_joins_stolen + 1;
+        own.consec_public_inlines <- 0;
         Stolen { thief = -1; index = i }
       end
     in
@@ -258,8 +329,10 @@ let reclaim t ~index =
   Atomic.set slot.state Ts.empty;
   slot.payload <- t.dummy;
   (* Only the owner can be here, and every descriptor at or above [index]
-     is dead, so no thief can be moving [bot] concurrently. *)
-  Atomic.set t.bot index
+     is dead, so no thief can be moving [bot] concurrently; the steal
+     bits are preserved. *)
+  let w = Atomic.get t.botw in
+  Atomic.set t.botw (w land lnot bot_mask lor index)
 
 type 'a steal_result = Stolen_task of 'a * int | Fail | Backoff
 
@@ -270,27 +343,27 @@ type steal_phase = Pre_cas | Post_cas | Trip
 let no_interference (_ : steal_phase) = false
 
 let steal ?(interfere = no_interference) t ~thief =
-  let b = Atomic.get t.bot in
+  let b = Atomic.get t.botw land bot_mask in
   if b >= t.capacity then begin
-    Atomic.incr t.n_failed;
+    ignore (Atomic.fetch_and_add t.fb 1 : int);
     Fail
   end
   else begin
     let slot = t.slots.(b) in
     let s1 = Atomic.get slot.state in
     if not (Ts.is_task_public s1) then begin
-      Atomic.incr t.n_failed;
+      ignore (Atomic.fetch_and_add t.fb 1 : int);
       Fail
     end
     (* [Pre_cas] sits in the §III-A window between the state read and the
        CAS: a delay here lets the owner recycle the descriptor under us
        (the delayed-thief ABA), an abort models a lost CAS race. *)
     else if interfere Pre_cas then begin
-      Atomic.incr t.n_failed;
+      ignore (Atomic.fetch_and_add t.fb 1 : int);
       Fail
     end
     else if not (Atomic.compare_and_set slot.state s1 Ts.empty) then begin
-      Atomic.incr t.n_failed;
+      ignore (Atomic.fetch_and_add t.fb 1 : int);
       Fail
     end
     else begin
@@ -299,26 +372,35 @@ let steal ?(interfere = no_interference) t ~thief =
          keeps the window safe: competing thieves fail on EMPTY and a
          joining owner spins, so [bot] cannot move during the delay. *)
       let aborted = interfere Post_cas in
-      if Atomic.get t.bot <> b || aborted then begin
+      let w1 = Atomic.get t.botw in
+      if w1 land bot_mask <> b || aborted then begin
         (* Delayed-thief ABA (§III-A), genuine or injected: the CAS won
            against a recycled descriptor while [bot] points elsewhere.
            Restore the state — the transient EMPTY only made competing
            thieves fail and a joining owner spin — and back off. *)
         Atomic.set slot.state s1;
-        Atomic.incr t.n_backoffs;
+        ignore (Atomic.fetch_and_add t.fb backoff_unit : int);
         Backoff
       end
       else begin
         let v = slot.payload in
         Atomic.set slot.state (Ts.stolen ~thief);
-        Atomic.set t.bot (b + 1);
-        if b = Atomic.get t.trip_index then begin
-          (* [Trip] delays the publish request past the steal that sprang
-             the trip wire. *)
+        (* While we hold slot [b]'s transient EMPTY with [bot = b], no
+           other thief can advance [bot] (they fail on EMPTY) and the
+           owner can neither pop past [b] (it spins) nor reclaim below it
+           (reclaims are top-down through [b]). So [w1] is still current,
+           and one plain store both advances [bot] and counts the steal —
+           the packed word turns the old store + fetch-and-add into a
+           single atomic write. *)
+        Atomic.set t.botw (w1 + (1 lsl 32) + 1);
+        if b >= Atomic.get t.trip_index then begin
+          (* At or past the wire ([>=], not [=]: a stale-low wire left by
+             an old privatize or an owner inline of the wire descriptor
+             still fires on the next successful steal). [Trip] delays the
+             publish request past the steal that sprang it. *)
           ignore (interfere Trip : bool);
           Atomic.set t.publish_request true
         end;
-        Atomic.incr t.n_steals;
         Stolen_task (v, b)
       end
     end
@@ -337,8 +419,9 @@ let state_name s =
 let check_quiescent t =
   let violations = ref [] in
   let add fmt = Printf.ksprintf (fun m -> violations := m :: !violations) fmt in
-  if t.top <> 0 then add "top = %d (expected 0: unjoined descriptors)" t.top;
-  let b = Atomic.get t.bot in
+  if t.own.top <> 0 then
+    add "top = %d (expected 0: unjoined descriptors)" t.own.top;
+  let b = bot_index t in
   if b <> 0 then add "bot = %d (expected 0: unreclaimed steals)" b;
   let bad_state = ref 0 and bad_payload = ref 0 and first = ref (-1) in
   for i = 0 to t.capacity - 1 do
@@ -357,38 +440,61 @@ let check_quiescent t =
     add "%d payload cell(s) still hold a task closure" !bad_payload;
   List.rev !violations
 
+let layout_check t =
+  let errs = ref [] in
+  let add fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+  let padded name v words =
+    if not (Layout.is_padded v) then
+      add "%s occupies %d words (want a multiple of %d, >= %d)" name words
+        Layout.cache_line_words Layout.cache_line_words
+  in
+  padded "owner block" t.own (Layout.size_words t.own);
+  padded "botw" t.botw (Layout.size_words t.botw);
+  padded "trip_index" t.trip_index (Layout.size_words t.trip_index);
+  padded "publish_request" t.publish_request
+    (Layout.size_words t.publish_request);
+  padded "fb" t.fb (Layout.size_words t.fb);
+  Array.iteri
+    (fun i s ->
+      if not (Layout.is_padded s.state) then
+        add "slot %d state occupies %d words (not line-padded)" i
+          (Layout.size_words s.state))
+    t.slots;
+  List.rev !errs
+
 let dump_live t =
-  let top = t.top in
+  let top = t.own.top in
   let live = ref [] in
   for i = t.capacity - 1 downto 0 do
     let s = Atomic.get t.slots.(i).state in
-    if i < top || s <> Ts.empty then
-      live := (i, state_name s) :: !live
+    if i < top || s <> Ts.empty then live := (i, state_name s) :: !live
   done;
   !live
 
 let stats t =
+  let fb = Atomic.get t.fb in
   {
-    spawns = t.n_spawns;
-    max_depth = t.max_depth;
-    inlined_private = t.n_inlined_private;
-    inlined_public = t.n_inlined_public;
-    joins_stolen = t.n_joins_stolen;
-    steals = Atomic.get t.n_steals;
-    backoffs = Atomic.get t.n_backoffs;
-    failed_steals = Atomic.get t.n_failed;
-    publish_events = t.n_publish;
-    privatize_events = t.n_privatize;
+    spawns = t.own.n_spawns;
+    max_depth = t.own.max_depth;
+    inlined_private = t.own.n_inlined_private;
+    inlined_public = t.own.n_inlined_public;
+    joins_stolen = t.own.n_joins_stolen;
+    steals = steal_count t;
+    backoffs = fb lsr 31;
+    failed_steals = fb land (backoff_unit - 1);
+    publish_events = t.own.n_publish;
+    privatize_events = t.own.n_privatize;
   }
 
 let reset_stats t =
-  t.n_spawns <- 0;
-  t.max_depth <- 0;
-  t.n_inlined_private <- 0;
-  t.n_inlined_public <- 0;
-  t.n_joins_stolen <- 0;
-  t.n_publish <- 0;
-  t.n_privatize <- 0;
-  Atomic.set t.n_steals 0;
-  Atomic.set t.n_backoffs 0;
-  Atomic.set t.n_failed 0
+  let own = t.own in
+  own.n_spawns <- 0;
+  own.max_depth <- 0;
+  own.n_inlined_private <- 0;
+  own.n_inlined_public <- 0;
+  own.n_joins_stolen <- 0;
+  own.n_publish <- 0;
+  own.n_privatize <- 0;
+  (* clear the steal bits, preserve [bot] *)
+  Atomic.set t.botw (Atomic.get t.botw land bot_mask);
+  Atomic.set t.fb 0

@@ -16,12 +16,26 @@
     [task_public] states and cost an atomic exchange to join; descriptors
     above it are private — the owner joins them with a plain load and store,
     and a thief's CAS can never succeed on them. The highest public
-    descriptor is the {e trip wire}: stealing it raises the owner's publish
-    request flag, and the owner publishes more descriptors at its next
-    push/pop. Inlining many public tasks in a row privatises the boundary
-    again, making the cut-off revocable in both directions. *)
+    descriptor is the {e trip wire}: stealing at or past it raises the
+    owner's publish request flag, and the owner publishes more descriptors
+    at its next push/pop. Inlining many public tasks in a row privatises
+    the boundary again, making the cut-off revocable in both directions.
+
+    {b Layout.} The record is split cache-consciously: all owner-private
+    mutable fields live in one line-padded block; each thief-shared
+    atomic ([bot]+steal count, trip index, publish request, the
+    failed/backoff counters) owns its cache line; and every descriptor's
+    state word is individually padded so adjacent descriptors never
+    false-share. [bot] and the steal count are packed into one word so a
+    successful steal commits both with a single plain store. *)
 
 type 'a t
+
+exception Pool_overflow
+(** Raised by {!push} when the stack is at capacity. Raised before any
+    slot or window mutation, so the stack is untouched and the spawn can
+    be unwound cleanly (the runtime re-exports this as
+    [Wool.Pool_overflow]). *)
 
 type publicity =
   | All_private  (** nothing stealable; the Table II best case *)
@@ -38,7 +52,8 @@ val create :
 val push : 'a t -> 'a -> unit
 (** Spawn: store the payload, then release the descriptor with a state store
     (the write that makes the task stealable is last). Also services pending
-    publish requests. Raises [Failure] if the stack is full. *)
+    publish requests. Raises {!Pool_overflow} if the stack is full, before
+    mutating anything. *)
 
 val depth : 'a t -> int
 (** Number of live descriptors ([top]); owner only. *)
@@ -134,3 +149,9 @@ val dump_live : 'a t -> (int * string) list
 (** Racy snapshot of the live descriptors — every index below [top] plus
     any index whose state is not EMPTY — with a printable state name.
     For failure-time diagnostics (the stall watchdog's report). *)
+
+val layout_check : 'a t -> string list
+(** Verify the cache-conscious layout invariants: the owner block, each
+    shared atomic, and every slot's state word occupy whole cache lines
+    (see {!Wool_util.Layout.is_padded}). Returns human-readable
+    violations, [[]] when clean. Scans every slot; test-path only. *)

@@ -26,7 +26,7 @@ let create ?(capacity = 65536) ~dummy () =
 
 let push t v =
   let i = Atomic.get t.top in
-  if i >= Array.length t.cells then failwith "Locked_deque.push: overflow";
+  if i >= Array.length t.cells then raise Direct_stack.Pool_overflow;
   t.cells.(i) <- v;
   (* Release store: a thief that observes the new top under the lock also
      observes the cell write. *)

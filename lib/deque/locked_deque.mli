@@ -18,7 +18,8 @@ type 'a t
 val create : ?capacity:int -> dummy:'a -> unit -> 'a t
 
 val push : 'a t -> 'a -> unit
-(** Owner: spawn without taking the lock. Raises [Failure] on overflow. *)
+(** Owner: spawn without taking the lock. Raises
+    {!Direct_stack.Pool_overflow} on overflow, before mutating anything. *)
 
 val pop : 'a t -> 'a option
 (** Owner: join under the lock; [None] when every remaining task has been

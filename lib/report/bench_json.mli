@@ -1,0 +1,113 @@
+(** Reproducible benchmark harness ("woolbench bench <workload|all>").
+
+    Runs {!Exp_common.Spec} workloads across worker counts and the five
+    scheduler modes on the real runtime, computes Table II-style
+    single-worker spawn/join overheads (including the [All_private] vs
+    [All_public] publicity split in [Private] mode), speedups, steal
+    counts and measured [G_T]/[G_L], and emits a schema-stable
+    [BENCH_<date>.json] (schema {!schema_version}, parseable with
+    {!Wool_trace.Json}). [--compare old.json] re-reads a committed
+    baseline and flags runs whose new median lands beyond the baseline's
+    own noise band ([p90] + 10% over the median). *)
+
+val schema_version : string
+(** ["wool-bench/1"]; bumped on any field change. *)
+
+(** Summary of one timed sample set, in nanoseconds. *)
+type stat = {
+  n : int;
+  mean : float;
+  median : float;
+  stddev : float;
+  min : float;
+  max : float;
+  p10 : float;
+  p90 : float;
+}
+
+(** One (workload, mode, publicity, workers) cell. *)
+type run = {
+  workload : string;
+  descr : string;  (** e.g. ["fib(22)"] *)
+  mode : string;  (** ["locked" | "swap" | "task-specific" | "private" |
+                      "chase-lev"] *)
+  publicity : string;
+      (** ["default"] for the mode sweep; ["all-private"] /
+          ["all-public"] for the single-worker publicity split *)
+  workers : int;
+  repeats : int;
+  ok : bool;  (** every parallel digest matched the serial digest *)
+  serial_ns : stat;
+  parallel_ns : stat;
+  overhead : float;  (** parallel median / serial median (Table II) *)
+  speedup : float;  (** serial median / parallel median *)
+  spawns : int;  (** from the last repeat's {!Wool.Stats.aggregate} *)
+  steals : int;
+  g_t_ns : float;  (** serial median / spawns *)
+  g_l_ns : float;  (** serial median / steals; [infinity] if none *)
+}
+
+type report = {
+  schema : string;
+  date : string;
+  size : string;  (** ["std" | "tiny"] *)
+  ghz : float;  (** {!Wool_util.Clock.ghz} at measurement time *)
+  runs : run list;
+}
+
+val measure :
+  ?size:Exp_common.Spec.size ->
+  ?workers:int list ->
+  ?repeats:int ->
+  date:string ->
+  string list ->
+  report
+(** [measure ~date names] benches each named workload: the five modes at
+    every worker count (default [[1; 2; 4]], [repeats] = 3 timed pool
+    runs per cell, a fresh pool each), plus the two publicity cells.
+    Raises [Failure] on an unknown name, [Invalid_argument] on an empty
+    or non-positive worker list or [repeats < 1]. *)
+
+val to_json : report -> string
+(** Render; the result is checked with {!Wool_trace.Json.validate}
+    before being returned (raises [Failure] if that ever fails). *)
+
+val of_json : string -> (report, string) result
+(** Inverse of {!to_json}; also rejects documents whose ["schema"] is
+    not {!schema_version}. *)
+
+val write_file : string -> report -> unit
+val read_file : string -> (report, string) result
+
+type regression = {
+  r_run : run;
+  r_baseline : run;
+  r_ratio : float;  (** new median / old median *)
+}
+
+val compare_reports : baseline:report -> report -> regression list
+(** Cells are matched on (workload, mode, publicity, workers); a cell
+    regresses when its new parallel median is above the baseline's [p90]
+    {e and} more than 10% over the baseline median. Cells absent from
+    the baseline are skipped. *)
+
+val print_report : report -> unit
+val print_regressions : regression list -> unit
+
+val default_out : date:string -> string
+(** [BENCH_<date>.json]. *)
+
+val run :
+  ?size:Exp_common.Spec.size ->
+  ?workers:int list ->
+  ?repeats:int ->
+  ?out:string ->
+  ?compare_with:string ->
+  date:string ->
+  string list ->
+  int
+(** CLI driver: measure ([[]] or [["all"]] = every tier-1 workload),
+    print the tables, write [out] (default {!default_out}), optionally
+    compare against [compare_with], print any regressions, and return
+    their count (0 when not comparing). Raises [Failure] on unknown
+    workloads, digest mismatches, or an unreadable baseline. *)

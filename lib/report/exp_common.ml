@@ -37,3 +37,136 @@ let fmt_k v =
   else if v >= 100_000.0 then Printf.sprintf "%.0fk" (v /. 1000.0)
   else if v >= 1_000.0 then Printf.sprintf "%.1fk" (v /. 1000.0)
   else Printf.sprintf "%.0f" v
+
+(* ---- the shared real-runtime workload table ----
+
+   One spec per tier-1 kernel, consumed by realcheck, trace_summary,
+   policy_sweep, and the benchmark harness. These used to be duplicated
+   per report module and had drifted in input sizes and digest
+   conventions; every consumer now reads this table (and the parameter
+   accessors below, for harnesses that need the raw sizes, e.g. the
+   steal-parent ports in realcheck). *)
+
+module Spec = struct
+  type size = Std | Tiny
+
+  let fib_n = function Std -> 22 | Tiny -> 12
+  let stress_height = function Std -> 8 | Tiny -> 4
+  let stress_leaf_iters = function Std -> 200 | Tiny -> 50
+  let nqueens_n = function Std -> 9 | Tiny -> 6
+  let mm_n = function Std -> 48 | Tiny -> 12
+  let sort_n = function Std -> 20_000 | Tiny -> 512
+
+  (* simulator counterparts may use a smaller input so the
+     discrete-event run stays quick *)
+  let fib_sim_n = function Std -> 16 | Tiny -> 10
+
+  type t = {
+    name : string;
+    descr : string;  (** e.g. "fib(22)" *)
+    serial : unit -> int;
+        (** sequential run (for [T_S]) returning a result digest *)
+    wool : Wool.ctx -> int;
+        (** parallel run; its digest must equal [serial]'s *)
+    sim_descr : string;
+    sim_tree : unit -> Wool_ir.Task_tree.t;  (** simulator counterpart *)
+  }
+
+  let digest_of_matrix m =
+    Array.fold_left
+      (fun acc row ->
+        Array.fold_left
+          (fun acc v -> (acc * 31) + int_of_float (v *. 1024.0))
+          acc row)
+      0 m
+
+  let digest_of_int_array a =
+    Array.fold_left (fun acc v -> (acc * 31) + v) 0 a
+
+  let fib size =
+    let n = fib_n size and sim_n = fib_sim_n size in
+    {
+      name = "fib";
+      descr = Printf.sprintf "fib(%d)" n;
+      serial = (fun () -> Wool_workloads.Fib.serial n);
+      wool = (fun ctx -> Wool_workloads.Fib.wool ctx n);
+      sim_descr = Printf.sprintf "fib(%d)" sim_n;
+      sim_tree = (fun () -> Wool_workloads.Fib.tree sim_n);
+    }
+
+  let stress size =
+    let height = stress_height size
+    and leaf_iters = stress_leaf_iters size in
+    let module S = Wool_workloads.Stress in
+    {
+      name = "stress";
+      descr = Printf.sprintf "stress(height=%d)" height;
+      serial =
+        (fun () ->
+          S.reset_leaf_result ();
+          S.serial ~height ~leaf_iters;
+          S.leaf_result ());
+      wool =
+        (fun ctx ->
+          S.reset_leaf_result ();
+          S.wool ctx ~height ~leaf_iters;
+          S.leaf_result ());
+      sim_descr = Printf.sprintf "stress(height=%d)" height;
+      sim_tree = (fun () -> S.tree ~height ~leaf_iters);
+    }
+
+  let nqueens size =
+    let n = nqueens_n size in
+    {
+      name = "nqueens";
+      descr = Printf.sprintf "nqueens(%d)" n;
+      serial = (fun () -> Wool_workloads.Nqueens.serial n);
+      wool = (fun ctx -> Wool_workloads.Nqueens.wool ctx n);
+      sim_descr = Printf.sprintf "nqueens(%d)" n;
+      sim_tree = (fun () -> Wool_workloads.Nqueens.tree n);
+    }
+
+  let mm size =
+    let n = mm_n size in
+    let a = lazy (Wool_workloads.Mm.random_matrix (Wool_util.Rng.make 11) n) in
+    let b = lazy (Wool_workloads.Mm.random_matrix (Wool_util.Rng.make 12) n) in
+    {
+      name = "mm";
+      descr = Printf.sprintf "mm(%dx%d)" n n;
+      serial =
+        (fun () -> digest_of_matrix (Wool_workloads.Mm.serial (Lazy.force a) (Lazy.force b)));
+      wool =
+        (fun ctx ->
+          digest_of_matrix (Wool_workloads.Mm.wool ctx (Lazy.force a) (Lazy.force b)));
+      sim_descr = Printf.sprintf "mm(%dx%d)" n n;
+      sim_tree = (fun () -> Wool_workloads.Mm.tree n);
+    }
+
+  let sort size =
+    let n = sort_n size in
+    let input =
+      lazy
+        (let rng = Wool_util.Rng.make 7 in
+         Array.init n (fun _ -> Wool_util.Rng.int rng 1_000_000))
+    in
+    {
+      name = "sort";
+      descr = Printf.sprintf "sort(%d)" n;
+      serial = (fun () -> digest_of_int_array (Wool_workloads.Sort.serial (Lazy.force input)));
+      wool =
+        (fun ctx -> digest_of_int_array (Wool_workloads.Sort.wool ctx (Lazy.force input)));
+      sim_descr = Printf.sprintf "sort(%d)" n;
+      sim_tree = (fun () -> Wool_workloads.Sort.tree n);
+    }
+
+  let all size = [ fib size; stress size; nqueens size; mm size; sort size ]
+  let names = List.map (fun s -> s.name) (all Std)
+
+  let find ?(size = Std) name =
+    match List.find_opt (fun s -> s.name = name) (all size) with
+    | Some s -> s
+    | None ->
+        failwith
+          (Printf.sprintf "unknown workload %S (expected one of: %s)" name
+             (String.concat ", " names))
+end

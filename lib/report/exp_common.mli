@@ -34,3 +34,47 @@ val speedup_series :
 
 val fmt_k : float -> string
 (** Format a cycle count in "k" (thousands) like Table I's G_L columns. *)
+
+(** The shared real-runtime workload table.
+
+    One spec per tier-1 kernel (fib, stress, nqueens, mm, sort), consumed
+    by realcheck, trace_summary, policy_sweep, and the benchmark harness;
+    the per-module copies these replaced had drifted in input sizes and
+    digest conventions. *)
+module Spec : sig
+  type size =
+    | Std  (** the report/trace sizes *)
+    | Tiny  (** smoke-test sizes: every run well under a second *)
+
+  (* Raw parameters, for harnesses that re-derive a kernel at the shared
+     size (e.g. the steal-parent ports in realcheck). *)
+  val fib_n : size -> int
+  val stress_height : size -> int
+  val stress_leaf_iters : size -> int
+  val nqueens_n : size -> int
+  val mm_n : size -> int
+  val sort_n : size -> int
+  val fib_sim_n : size -> int
+
+  type t = {
+    name : string;
+    descr : string;  (** e.g. "fib(22)" *)
+    serial : unit -> int;
+        (** sequential run (for [T_S]) returning a result digest *)
+    wool : Wool.ctx -> int;
+        (** parallel run; its digest must equal [serial]'s *)
+    sim_descr : string;
+    sim_tree : unit -> Wool_ir.Task_tree.t;  (** simulator counterpart *)
+  }
+
+  val digest_of_matrix : float array array -> int
+  val digest_of_int_array : int array -> int
+
+  val all : size -> t list
+  (** The tier-1 set, in canonical order. *)
+
+  val names : string list
+
+  val find : ?size:size -> string -> t
+  (** Defaults to [Std]. Raises [Failure] on an unknown name. *)
+end

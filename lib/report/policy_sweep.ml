@@ -6,7 +6,7 @@
 
 module Table = Wool_util.Table
 module Clock = Wool_util.Clock
-module Ts = Trace_summary
+module Spec = Exp_common.Spec
 
 type row = {
   policy : Wool_policy.t;
@@ -21,17 +21,17 @@ let policies ~quick =
       Wool_policy.Selector.all
   else Wool_policy.sweep ()
 
-let measure ~workers ~policy (spec : Ts.spec) =
+let measure ~workers ~policy (spec : Spec.t) =
   let config = Wool.Config.make ~workers ~policy () in
   let pool = Wool.create ~config () in
-  let (), ns = Clock.time (fun () -> Wool.run pool spec.Ts.wool) in
+  let (_ : int), ns = Clock.time (fun () -> Wool.run pool spec.Spec.wool) in
   let stats = Wool.Stats.aggregate pool in
   Wool.shutdown pool;
   { policy; elapsed_ns = ns; stats }
 
 let run ?(workers = 4) ?(quick = false) name =
-  let spec = Ts.find name in
-  Printf.printf "== steal-policy sweep: %s, %d workers%s ==\n" spec.Ts.descr
+  let spec = Spec.find name in
+  Printf.printf "== steal-policy sweep: %s, %d workers%s ==\n" spec.Spec.descr
     workers
     (if quick then " (quick: selectors only, default backoff)" else "");
   let ps = policies ~quick in
@@ -53,10 +53,10 @@ let run ?(workers = 4) ?(quick = false) name =
     rows;
   Table.print tbl;
   let module E = Wool_sim.Engine in
-  let tree = spec.Ts.sim_tree () in
+  let tree = spec.Spec.sim_tree () in
   let stbl =
     Table.create
-      ~title:(Printf.sprintf "simulated counterpart (%s)" spec.Ts.sim_descr)
+      ~title:(Printf.sprintf "simulated counterpart (%s)" spec.Spec.sim_descr)
       ~header:[ "policy"; "cycles"; "steals"; "leaps"; "failed" ]
       ()
   in

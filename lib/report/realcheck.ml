@@ -1,6 +1,7 @@
 module Rng = Wool_util.Rng
 module Clock = Wool_util.Clock
 module Ca = Wool_cactus.Cactus
+module Spec = Exp_common.Spec
 
 type cell = {
   kernel : string;
@@ -23,16 +24,17 @@ type kernel = {
 let digest_of_pairs arr =
   Array.fold_left (fun acc (a, b) -> (acc * 31) + (a * 7) + b) 0 arr
 
-let digest_of_matrix m =
-  Array.fold_left
-    (fun acc row ->
-      Array.fold_left
-        (fun acc v -> (acc * 31) + int_of_float (v *. 1024.0))
-        acc row)
-    0 m
+let digest_of_matrix = Spec.digest_of_matrix
+
+(* The Wool and serial sides of the tier-1 kernels come from the shared
+   spec table; only the steal-parent (cactus) ports — which need the raw
+   input parameters — live here. *)
+let of_spec name cactus =
+  let s = Spec.find name in
+  { name; serial = s.Spec.serial; wool = s.Spec.wool; cactus }
 
 let fib_kernel =
-  let n = 21 in
+  let n = Spec.fib_n Spec.Std in
   let rec cactus_fib ctx n =
     if n < 2 then n
     else begin
@@ -43,15 +45,11 @@ let fib_kernel =
       Ca.read a + Ca.read b
     end
   in
-  {
-    name = "fib";
-    serial = (fun () -> Wool_workloads.Fib.serial n);
-    wool = (fun ctx -> Wool_workloads.Fib.wool ctx n);
-    cactus = (fun ctx -> cactus_fib ctx n);
-  }
+  of_spec "fib" (fun ctx -> cactus_fib ctx n)
 
 let stress_kernel =
-  let height = 7 and leaf_iters = 200 in
+  let height = Spec.stress_height Spec.Std
+  and leaf_iters = Spec.stress_leaf_iters Spec.Std in
   let module S = Wool_workloads.Stress in
   let rec cactus_tree ctx h =
     if h = 0 then S.serial ~height:0 ~leaf_iters
@@ -61,30 +59,17 @@ let stress_kernel =
       Ca.sync ctx
     end
   in
-  {
-    name = "stress";
-    serial =
-      (fun () ->
-        S.reset_leaf_result ();
-        S.serial ~height ~leaf_iters;
-        S.leaf_result ());
-    wool =
-      (fun ctx ->
-        S.reset_leaf_result ();
-        S.wool ctx ~height ~leaf_iters;
-        S.leaf_result ());
-    cactus =
-      (fun ctx ->
-        S.reset_leaf_result ();
-        cactus_tree ctx height;
-        S.leaf_result ());
-  }
+  of_spec "stress" (fun ctx ->
+      S.reset_leaf_result ();
+      cactus_tree ctx height;
+      S.leaf_result ())
 
 let mm_kernel =
-  let n = 48 in
+  let n = Spec.mm_n Spec.Std in
   let module M = Wool_workloads.Mm in
-  let rng = Rng.make 99 in
-  let a = M.random_matrix rng n and b = M.random_matrix rng n in
+  (* same matrices as the shared spec (seeds 11/12) so digests line up *)
+  let a = M.random_matrix (Rng.make 11) n
+  and b = M.random_matrix (Rng.make 12) n in
   let cactus_mm ctx =
     let c = Array.make_matrix n n 0.0 in
     (* row loop, steal-parent style *)
@@ -102,12 +87,7 @@ let mm_kernel =
     Ca.sync ctx;
     digest_of_matrix c
   in
-  {
-    name = "mm";
-    serial = (fun () -> digest_of_matrix (M.serial a b));
-    wool = (fun ctx -> digest_of_matrix (M.wool ctx a b));
-    cactus = cactus_mm;
-  }
+  of_spec "mm" cactus_mm
 
 let ssf_kernel =
   let s = Wool_workloads.Ssf.subject 9 in
@@ -163,8 +143,7 @@ let cholesky_kernel =
   }
 
 let nqueens_kernel =
-  let n = 8 in
-  let module Nq = Wool_workloads.Nqueens in
+  let n = Spec.nqueens_n Spec.Std in
   let cactus ctx =
     let total = Atomic.make 0 in
     let ok col placed =
@@ -200,12 +179,7 @@ let nqueens_kernel =
     go ctx 0 [];
     Atomic.get total
   in
-  {
-    name = "nqueens";
-    serial = (fun () -> Nq.serial n);
-    wool = (fun ctx -> Nq.wool ctx n);
-    cactus;
-  }
+  of_spec "nqueens" cactus
 
 let knapsack_kernel =
   let module Kp = Wool_workloads.Knapsack in

@@ -9,77 +9,10 @@ module Event = Wool_trace.Event
 module Summary = Wool_trace.Summary
 module Chrome = Wool_trace.Chrome
 module Granularity = Wool_metrics.Granularity
-module W = Wool_workloads
 
-type spec = {
-  name : string;
-  descr : string;  (** e.g. "fib(22)" *)
-  serial : unit -> unit;  (** sequential run, for T_S *)
-  wool : Wool.ctx -> unit;
-  sim_descr : string;
-  sim_tree : unit -> Wool_ir.Task_tree.t;
-      (** simulator counterpart; may use a smaller size so the
-          discrete-event run stays quick *)
-}
+module Spec = Exp_common.Spec
 
-let fib_spec =
-  let n = 22 and sim_n = 16 in
-  {
-    name = "fib";
-    descr = Printf.sprintf "fib(%d)" n;
-    serial = (fun () -> ignore (W.Fib.serial n));
-    wool = (fun ctx -> ignore (W.Fib.wool ctx n));
-    sim_descr = Printf.sprintf "fib(%d)" sim_n;
-    sim_tree = (fun () -> W.Fib.tree sim_n);
-  }
-
-let stress_spec =
-  let height = 8 and leaf_iters = 200 in
-  {
-    name = "stress";
-    descr = Printf.sprintf "stress(height=%d)" height;
-    serial = (fun () -> W.Stress.serial ~height ~leaf_iters);
-    wool = (fun ctx -> W.Stress.wool ctx ~height ~leaf_iters);
-    sim_descr = Printf.sprintf "stress(height=%d)" height;
-    sim_tree = (fun () -> W.Stress.tree ~height ~leaf_iters);
-  }
-
-let nqueens_spec =
-  let n = 9 in
-  {
-    name = "nqueens";
-    descr = Printf.sprintf "nqueens(%d)" n;
-    serial = (fun () -> ignore (W.Nqueens.serial n));
-    wool = (fun ctx -> ignore (W.Nqueens.wool ctx n));
-    sim_descr = Printf.sprintf "nqueens(%d)" n;
-    sim_tree = (fun () -> W.Nqueens.tree n);
-  }
-
-let mm_spec =
-  let n = 48 in
-  let a = lazy (W.Mm.random_matrix (Wool_util.Rng.make 11) n) in
-  let b = lazy (W.Mm.random_matrix (Wool_util.Rng.make 12) n) in
-  {
-    name = "mm";
-    descr = Printf.sprintf "mm(%dx%d)" n n;
-    serial = (fun () -> ignore (W.Mm.serial (Lazy.force a) (Lazy.force b)));
-    wool =
-      (fun ctx -> ignore (W.Mm.wool ctx (Lazy.force a) (Lazy.force b)));
-    sim_descr = Printf.sprintf "mm(%dx%d)" n n;
-    sim_tree = (fun () -> W.Mm.tree n);
-  }
-
-let specs = [ fib_spec; stress_spec; nqueens_spec; mm_spec ]
-let workloads = List.map (fun s -> s.name) specs
-
-let find name =
-  match List.find_opt (fun s -> s.name = name) specs with
-  | Some s -> s
-  | None ->
-      failwith
-        (Printf.sprintf "unknown trace workload %S (expected one of: %s)"
-           name
-           (String.concat ", " workloads))
+let workloads = Spec.names
 
 (* The measured stream and the runtime's own counters are produced by the
    same instrumentation points, so they must agree exactly unless the ring
@@ -162,13 +95,16 @@ let print_granularity ~label ~unit (g : Granularity.measured) =
     (cell g.Granularity.g_l) unit
 
 let run ?(workers = 4) ?(out = "trace.json") ?(check = false) ?policy name =
-  let spec = find name in
-  Printf.printf "== scheduler trace: %s, %d workers ==\n" spec.descr workers;
-  let (), serial_ns = Clock.time spec.serial in
+  let spec = Spec.find name in
+  Printf.printf "== scheduler trace: %s, %d workers ==\n" spec.Spec.descr
+    workers;
+  let (_ : int), serial_ns = Clock.time spec.Spec.serial in
   let config = Wool.Config.make ~workers ~trace:true ?policy () in
   let pool = Wool.create ~config () in
   Printf.printf "steal policy: %s\n" (Wool.policy_name pool);
-  let (), par_ns = Clock.time (fun () -> Wool.run pool spec.wool) in
+  let (_ : int), par_ns =
+    Clock.time (fun () -> Wool.run pool spec.Spec.wool)
+  in
   Wool.shutdown pool;
   let events = Wool.trace_events pool in
   let dropped = Wool.trace_dropped pool in
@@ -196,9 +132,9 @@ let run ?(workers = 4) ?(out = "trace.json") ?(check = false) ?policy name =
      same Summary over the same event vocabulary. *)
   let module E = Wool_sim.Engine in
   let module T = Wool_sim.Trace in
-  let tree = spec.sim_tree () in
-  Printf.printf "-- simulated counterpart: %s, %d workers --\n" spec.sim_descr
-    workers;
+  let tree = spec.Spec.sim_tree () in
+  Printf.printf "-- simulated counterpart: %s, %d workers --\n"
+    spec.Spec.sim_descr workers;
   let r1 = E.run ?steal_policy:policy ~policy:Wool_sim.Policy.wool ~workers tree in
   let tr = T.create ~workers ~horizon:r1.E.time () in
   let r2 =

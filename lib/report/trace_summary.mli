@@ -8,26 +8,9 @@
     the simulator's stream for the matching task tree — both sides use the
     shared {!Wool_trace.Event} vocabulary. *)
 
-type spec = {
-  name : string;
-  descr : string;  (** e.g. "fib(22)" *)
-  serial : unit -> unit;  (** sequential run, for [T_S] *)
-  wool : Wool.ctx -> unit;
-  sim_descr : string;
-  sim_tree : unit -> Wool_ir.Task_tree.t;
-      (** simulator counterpart; may use a smaller size so the
-          discrete-event run stays quick *)
-}
-(** A benchmarkable workload: the real-runtime body plus its simulator
-    task tree. Shared with {!Policy_sweep}. *)
-
-val specs : spec list
-
-val find : string -> spec
-(** Look up a spec by name; raises [Failure] listing the known names. *)
-
 val workloads : string list
-(** Names accepted by {!run}. *)
+(** Names accepted by {!run} — the {!Exp_common.Spec.names} table, which
+    this report (and {!Policy_sweep}, {!Bench_json}) consumes. *)
 
 val run :
   ?workers:int -> ?out:string -> ?check:bool -> ?policy:Wool_policy.t ->

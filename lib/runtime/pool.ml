@@ -6,6 +6,9 @@ module Event = Wool_trace.Event
 module Select = Wool_policy.Select
 module Backoff = Wool_policy.Backoff
 module Fault = Wool_fault
+module Layout = Wool_util.Layout
+
+exception Pool_overflow = Ds.Pool_overflow
 
 type mode = Locked | Swap_generic | Task_specific | Private | Clev
 
@@ -162,17 +165,28 @@ type worker = {
   inj_interfere : Ds.steal_phase -> bool;
       (* [Ds.steal] interference hook over [inj], built once — the steal
          attempt path must not allocate a closure per call *)
+  hot : worker_hot;
+      (* this worker's frequently written fields, in their own
+         cache-line-padded block: the rest of this record is immutable
+         after [make_worker], so its lines stay read-shared among thieves
+         (who chase [pool]/[dstack] pointers through it on every steal
+         attempt) instead of bouncing on every counter bump *)
+}
+
+(* Worker-written working set. Only the owner writes (the watchdog and
+   the stats reader take racy int loads); padding keeps those writes from
+   invalidating the read-shared [worker] record or a neighbouring
+   worker's counters. *)
+and worker_hot = {
   (* scheduler-transition counter bumped on the wait paths (idle steal
      loop, leapfrog) where [n_spawns] does not advance; the watchdog
      samples [progress + n_spawns] so the spawn/join fast path carries no
-     extra store.  Owner writes, watchdog reads (racy int loads are fine
-     for staleness). *)
+     extra store. *)
   mutable progress : int;
   (* Locked/Clev only: outstanding spawns of the task currently executing
      on this worker (and its callers), newest first. The direct-stack
      modes get this for free from descriptor [depth]. *)
   mutable children : pending_child list;
-  (* thief-side counters; each worker only writes its own *)
   mutable n_spawns : int;
   mutable n_steals : int;
   mutable n_leap_steals : int;
@@ -312,7 +326,7 @@ let steal_locked w ~(victim : worker) =
   else
     match Locked_deque.steal ~mode:w.pool.lock_mode victim.ldeque with
     | Some task ->
-        w.n_steals <- w.n_steals + 1;
+        w.hot.n_steals <- w.hot.n_steals + 1;
         if w.tr_on then record w Event.Steal_ok ~a:(-1) ~b:victim.id;
         task w;
         true
@@ -323,7 +337,7 @@ let steal_clev w ~(victim : worker) =
   else
     match Chase_lev.steal victim.cdeque with
     | `Stolen task ->
-        w.n_steals <- w.n_steals + 1;
+        w.hot.n_steals <- w.hot.n_steals + 1;
         if w.tr_on then record w Event.Steal_ok ~a:(-1) ~b:victim.id;
         task w;
         true
@@ -337,7 +351,7 @@ let steal_direct w ~(victim : worker) =
   in
   match result with
   | Ds.Stolen_task (task, index) ->
-      w.n_steals <- w.n_steals + 1;
+      w.hot.n_steals <- w.hot.n_steals + 1;
       if w.tr_on then record w Event.Steal_ok ~a:index ~b:victim.id;
       task w;
       Ds.complete_steal victim.dstack ~index;
@@ -355,7 +369,7 @@ let steal_once w ~(victim : worker) =
     Backoff.on_success w.bo;
     Select.on_success w.sel ~victim:victim.id
   end
-  else w.n_failed <- w.n_failed + 1;
+  else w.hot.n_failed <- w.hot.n_failed + 1;
   ran
 
 let select_victim w =
@@ -367,7 +381,7 @@ let select_victim w =
    on failure. This is the idle loop body and the Locked/Clev blocked-join
    strategy. *)
 let steal_idle w =
-  w.progress <- w.progress + 1;
+  w.hot.progress <- w.hot.progress + 1;
   match select_victim w with
   | None ->
       idle_backoff w;
@@ -402,11 +416,11 @@ let value_exn fut =
 let leapfrog w ~victim_id ~index =
   let victim = w.pool.workers.(victim_id) in
   while not (Ds.stolen_done w.dstack ~index) do
-    w.progress <- w.progress + 1;
+    w.hot.progress <- w.hot.progress + 1;
     if w.fl_on then fault_delay w Fault.Site.Leapfrog;
-    let before = w.n_steals in
+    let before = w.hot.n_steals in
     if steal_once w ~victim then begin
-      w.n_leap_steals <- w.n_leap_steals + (w.n_steals - before);
+      w.hot.n_leap_steals <- w.hot.n_leap_steals + (w.hot.n_steals - before);
       if w.tr_on then record w Event.Leap_steal ~a:(-1) ~b:victim_id
     end
     else idle_backoff w
@@ -448,14 +462,14 @@ let unwind_direct w ~mark =
   done
 
 let unwind_queued ~pop ~push w ~mark =
-  while List.length w.children > mark do
-    match w.children with
+  while List.length w.hot.children > mark do
+    match w.hot.children with
     | [] -> assert false (* length > mark >= 0 *)
     | pc :: rest -> (
-        w.children <- rest;
+        w.hot.children <- rest;
         match pop w with
         | Some wrapper when wrapper == pc.pc_wrapper ->
-            w.n_inlined <- w.n_inlined + 1;
+            w.hot.n_inlined <- w.hot.n_inlined + 1;
             (try wrapper w with _ -> ())
         | Some other ->
             (* [pc] was stolen; [other] is an older pending spawn of
@@ -485,7 +499,6 @@ let run_body wk (fut : _ future) =
 let unused_completed = Atomic.make false
 
 let spawn_queued push w (fn : worker -> 'a) : 'a future =
-  if w.tr_on then record w Event.Spawn ~a:(-1) ~b:(-1);
   let fut =
     { fn; value = None; completed = Atomic.make false; index = -1;
       owner_id = w.id; wrapper = dummy_task }
@@ -495,9 +508,14 @@ let spawn_queued push w (fn : worker -> 'a) : 'a future =
     Atomic.set fut.completed true
   in
   fut.wrapper <- wrapper;
-  w.children <-
-    { pc_wrapper = wrapper; pc_completed = fut.completed } :: w.children;
+  (* Push first: if the queue overflows, no phantom child is left on the
+     list for the unwinder to wait on forever. A thief completing the
+     task before the cons is harmless — the record just starts life with
+     [pc_completed] already true. *)
   push w wrapper;
+  w.hot.children <-
+    { pc_wrapper = wrapper; pc_completed = fut.completed } :: w.hot.children;
+  if w.tr_on then record w Event.Spawn ~a:(-1) ~b:(-1);
   fut
 
 let spawn_locked w fn = spawn_queued (fun w t -> Locked_deque.push w.ldeque t) w fn
@@ -505,14 +523,16 @@ let spawn_clev w fn = spawn_queued (fun w t -> Chase_lev.push w.cdeque t) w fn
 
 let spawn_direct w (fn : worker -> 'a) : 'a future =
   let index = Ds.depth w.dstack in
-  if w.tr_on then record w Event.Spawn ~a:index ~b:(-1);
   let fut =
     { fn; value = None; completed = unused_completed; index;
       owner_id = w.id; wrapper = dummy_task }
   in
   let wrapper wk = run_body wk fut in
   fut.wrapper <- wrapper;
+  (* the push may raise [Pool_overflow]; the event is recorded only for
+     spawns that happened *)
   Ds.push w.dstack wrapper;
+  if w.tr_on then record w Event.Spawn ~a:index ~b:(-1);
   fut
 
 (* ---- join (the [bk_join] implementations) ---- *)
@@ -520,11 +540,11 @@ let spawn_direct w (fn : worker -> 'a) : 'a future =
 (* Drop [fut]'s outstanding-child record (Locked/Clev); joins are LIFO in
    practice, so the head check is the fast path. *)
 let pop_child w fut =
-  match w.children with
-  | pc :: rest when pc.pc_wrapper == fut.wrapper -> w.children <- rest
+  match w.hot.children with
+  | pc :: rest when pc.pc_wrapper == fut.wrapper -> w.hot.children <- rest
   | _ ->
-      w.children <-
-        List.filter (fun pc -> pc.pc_wrapper != fut.wrapper) w.children
+      w.hot.children <-
+        List.filter (fun pc -> pc.pc_wrapper != fut.wrapper) w.hot.children
 
 let join_direct ~generic w fut =
   if fut.index <> Ds.depth w.dstack - 1 then
@@ -557,7 +577,7 @@ let join_locked w fut =
   match Locked_deque.pop w.ldeque with
   | Some wrapper ->
       assert (wrapper == fut.wrapper);
-      w.n_inlined <- w.n_inlined + 1;
+      w.hot.n_inlined <- w.hot.n_inlined + 1;
       if w.tr_on then record w Event.Inline_public ~a:(-1) ~b:(-1);
       wrapper w;
       value_exn fut
@@ -569,7 +589,7 @@ let join_clev w fut =
   pop_child w fut;
   match Chase_lev.pop w.cdeque with
   | Some wrapper when wrapper == fut.wrapper ->
-      w.n_inlined <- w.n_inlined + 1;
+      w.hot.n_inlined <- w.hot.n_inlined + 1;
       if w.tr_on then record w Event.Inline_public ~a:(-1) ~b:(-1);
       wrapper w;
       value_exn fut
@@ -585,7 +605,7 @@ let join_clev w fut =
 
 (* ---- backends ---- *)
 
-let queued_mark w = List.length w.children
+let queued_mark w = List.length w.hot.children
 
 let locked_backend =
   {
@@ -630,19 +650,24 @@ let backend_of_mode = function
 
 let spawn (w : ctx) (fn : ctx -> 'a) : 'a future =
   if w.pool.stopped then invalid_arg "Wool.spawn: pool is shut down";
-  w.n_spawns <- w.n_spawns + 1;
-  if w.fl_on then
-    match Fault.Injector.fire w.inj Fault.Site.Spawn with
-    | Some Fault.Kind.Raise_exn ->
-        (* replace the body: the fault surfaces exactly like a task
-           exception, exercising the full unwind/propagation path *)
-        let e = Fault.Injector.injected_exn w.inj Fault.Site.Spawn in
-        w.pool.backend.bk_spawn w (fun _ -> raise e)
-    | Some (Fault.Kind.Delay n | Fault.Kind.Stall n) ->
-        Fault.Injector.spin n;
-        w.pool.backend.bk_spawn w fn
-    | Some Fault.Kind.Fail_steal | None -> w.pool.backend.bk_spawn w fn
-  else w.pool.backend.bk_spawn w fn
+  let fut =
+    if w.fl_on then
+      match Fault.Injector.fire w.inj Fault.Site.Spawn with
+      | Some Fault.Kind.Raise_exn ->
+          (* replace the body: the fault surfaces exactly like a task
+             exception, exercising the full unwind/propagation path *)
+          let e = Fault.Injector.injected_exn w.inj Fault.Site.Spawn in
+          w.pool.backend.bk_spawn w (fun _ -> raise e)
+      | Some (Fault.Kind.Delay n | Fault.Kind.Stall n) ->
+          Fault.Injector.spin n;
+          w.pool.backend.bk_spawn w fn
+      | Some Fault.Kind.Fail_steal | None -> w.pool.backend.bk_spawn w fn
+    else w.pool.backend.bk_spawn w fn
+  in
+  (* counted only after the push succeeds: a [Pool_overflow] raise must
+     leave the spawn/join counter balance intact for [Invariants.check] *)
+  w.hot.n_spawns <- w.hot.n_spawns + 1;
+  fut
 
 let join (w : ctx) fut =
   if fut.owner_id <> w.id then
@@ -691,15 +716,15 @@ module Stats = struct
   let of_worker w =
     let d = Ds.stats w.dstack in
     {
-      spawns = w.n_spawns;
+      spawns = w.hot.n_spawns;
       max_pool_depth = d.Ds.max_depth;
       inlined_private = d.Ds.inlined_private;
-      inlined_public = d.Ds.inlined_public + w.n_inlined;
+      inlined_public = d.Ds.inlined_public + w.hot.n_inlined;
       joins_stolen = d.Ds.joins_stolen;
-      steals = w.n_steals;
-      leap_steals = w.n_leap_steals;
+      steals = w.hot.n_steals;
+      leap_steals = w.hot.n_leap_steals;
       backoffs = d.Ds.backoffs;
-      failed_steals = w.n_failed;
+      failed_steals = w.hot.n_failed;
       publish_events = d.Ds.publish_events;
       privatize_events = d.Ds.privatize_events;
     }
@@ -732,11 +757,11 @@ module Stats = struct
     Array.iter
       (fun w ->
         Ds.reset_stats w.dstack;
-        w.n_spawns <- 0;
-        w.n_steals <- 0;
-        w.n_leap_steals <- 0;
-        w.n_failed <- 0;
-        w.n_inlined <- 0)
+        w.hot.n_spawns <- 0;
+        w.hot.n_steals <- 0;
+        w.hot.n_leap_steals <- 0;
+        w.hot.n_failed <- 0;
+        w.hot.n_inlined <- 0)
       pool.workers
 
   let fields s =
@@ -835,7 +860,7 @@ module Invariants = struct
         let cs = Chase_lev.size w.cdeque in
         if cs <> 0 then
           add "worker %d: chase-lev deque holds %d tasks" w.id cs;
-        let ch = List.length w.children in
+        let ch = List.length w.hot.children in
         if ch <> 0 then
           add "worker %d: %d outstanding queued children" w.id ch)
       pool.workers;
@@ -869,6 +894,25 @@ module Invariants = struct
           ("Wool.Invariants.check_exn: " ^ String.concat "; " errs)
 end
 
+(* ---- cache-layout regression check (test path) ---- *)
+
+let layout_check pool =
+  let errs = ref [] in
+  Array.iter
+    (fun w ->
+      let tag v = Printf.sprintf "worker %d: %s" w.id v in
+      if not (Layout.is_padded w.hot) then
+        errs :=
+          tag
+            (Printf.sprintf "hot block occupies %d words (not line-padded)"
+               (Layout.size_words w.hot))
+          :: !errs;
+      List.iter
+        (fun v -> errs := tag ("dstack " ^ v) :: !errs)
+        (Ds.layout_check w.dstack))
+    pool.workers;
+  List.rev !errs
+
 (* ---- stall watchdog ---- *)
 
 let stall_report pool =
@@ -886,7 +930,7 @@ let stall_report pool =
     (fun i w ->
       if i > 0 then Buffer.add_char buf ',';
       Printf.bprintf buf {|{"id":%d,"progress":%d|} w.id
-        (w.progress + w.n_spawns);
+        (w.hot.progress + w.hot.n_spawns);
       Printf.bprintf buf {|,"dstack":{"depth":%d,"bot":%d,"live":[|}
         (Ds.depth w.dstack) (Ds.bot_index w.dstack);
       List.iteri
@@ -897,7 +941,7 @@ let stall_report pool =
       Buffer.add_string buf "]}";
       Printf.bprintf buf {|,"ldeque_size":%d|} (Locked_deque.size w.ldeque);
       Printf.bprintf buf {|,"cdeque_size":%d|} (Chase_lev.size w.cdeque);
-      Printf.bprintf buf {|,"children":%d|} (List.length w.children);
+      Printf.bprintf buf {|,"children":%d|} (List.length w.hot.children);
       Printf.bprintf buf {|,"stats":%s|} (Stats.to_json (Stats.of_worker w));
       Buffer.add_string buf {|,"trace":[|};
       let evs = Ring.snapshot w.ring ~worker:w.id in
@@ -932,7 +976,7 @@ let watchdog_loop pool =
       let fired = ref false in
       Array.iteri
         (fun i w ->
-          let p = w.progress + w.n_spawns in
+          let p = w.hot.progress + w.hot.n_spawns in
           if p = last.(i) then begin
             stale.(i) <- stale.(i) + 1;
             if stale.(i) = pool.watchdog_stalls then fired := true
@@ -977,13 +1021,17 @@ let make_worker ~id ~pool ~publicity ~capacity ~trace ~trace_capacity ~faults
       fl_on;
       inj;
       inj_interfere = direct_interfere inj;
-      progress = 0;
-      children = [];
-      n_spawns = 0;
-      n_steals = 0;
-      n_leap_steals = 0;
-      n_failed = 0;
-      n_inlined = 0;
+      hot =
+        Layout.copy_as_padded
+          {
+            progress = 0;
+            children = [];
+            n_spawns = 0;
+            n_steals = 0;
+            n_leap_steals = 0;
+            n_failed = 0;
+            n_inlined = 0;
+          };
     }
   in
   if trace || fl_on then

@@ -39,6 +39,14 @@ type publicity = Wool_deque.Direct_stack.publicity =
   | All_public
   | Adaptive of int
 
+exception Pool_overflow
+(** Raised by {!spawn} when the calling worker's task pool is at
+    [Config.capacity] (same exception as
+    {!Wool_deque.Direct_stack.Pool_overflow}). Raised before any pool
+    state is mutated, so the counters stay balanced, the pool remains
+    usable, and the spawn unwinds like an ordinary task-body exception
+    in every mode. *)
+
 (** Pool configuration as a first-class value.
 
     [create] had grown a long tail of positional optional arguments that
@@ -197,7 +205,9 @@ val with_pool :
 
 val spawn : ctx -> (ctx -> 'a) -> 'a future
 (** Make a task available for stealing (or for later inlining) on the
-    calling worker. Raises [Invalid_argument] after {!shutdown}. *)
+    calling worker. Raises [Invalid_argument] after {!shutdown} and
+    {!Pool_overflow} when the worker's task pool is full (before any
+    state changes — see the exception's doc). *)
 
 val join : ctx -> 'a future -> 'a
 (** Join with the most recent unjoined [spawn] of this worker. Raises
@@ -324,6 +334,13 @@ module Invariants : sig
   val check_exn : t -> unit
   (** Raises [Failure] listing the violations, if any. *)
 end
+
+val layout_check : t -> string list
+(** Cache-layout regression check: every worker's hot-counter block and
+    the padded pieces of its direct stack (owner block, shared atomics,
+    per-descriptor state words) occupy whole cache lines. Returns
+    human-readable violations, [[]] when clean. Scans every descriptor;
+    test-path only. *)
 
 (* Stall watchdog *)
 

@@ -19,6 +19,8 @@ type mode = Pool.mode = Locked | Swap_generic | Task_specific | Private | Clev
 
 type publicity = Pool.publicity = All_private | All_public | Adaptive of int
 
+exception Pool_overflow = Pool.Pool_overflow
+
 let create = Pool.create
 let run = Pool.run
 let shutdown = Pool.shutdown
@@ -32,6 +34,7 @@ let policy = Pool.policy
 let policy_name = Pool.policy_name
 let stats = Pool.stats
 let reset_stats = Pool.reset_stats
+let layout_check = Pool.layout_check
 let faults_enabled = Pool.faults_enabled
 let fault_plan = Pool.fault_plan
 let fault_stats = Pool.fault_stats

@@ -43,6 +43,10 @@ type publicity = Pool.publicity =
   | All_public
   | Adaptive of int
 
+exception Pool_overflow
+(** Raised by {!spawn} when the worker's task pool is at capacity, before
+    any state is mutated; see {!Pool.Pool_overflow}. *)
+
 val create :
   ?config:Config.t ->
   ?workers:int ->
@@ -92,6 +96,9 @@ val stats : pool -> Pool.stats
 
 val reset_stats : pool -> unit
 (** @deprecated use {!Stats.reset}. *)
+
+val layout_check : pool -> string list
+(** Cache-layout regression check; see {!Pool.layout_check}. *)
 
 (* Fault injection and the stall watchdog (see {!Pool}): active when
    the pool was created with [faults] / [watchdog_stalls]. *)

@@ -147,3 +147,201 @@ let validate s =
   | () -> Ok ()
   | exception Bad (at, msg) ->
       Error (Printf.sprintf "invalid JSON at offset %d: %s" at msg)
+
+(* ---- parsing ----
+
+   The benchmark harness compares BENCH_*.json files across commits, which
+   needs actual values, not just well-formedness. Same grammar as
+   [validate], building a document tree. *)
+
+type tree =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of tree list
+  | Obj of (string * tree) list
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Bad (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let skip_ws () =
+    while
+      !pos < n
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      incr pos
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> incr pos
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let literal lit =
+    let l = String.length lit in
+    if !pos + l <= n && String.sub s !pos l = lit then pos := !pos + l
+    else fail ("expected " ^ lit)
+  in
+  let string_ () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match s.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+            incr pos;
+            (if !pos >= n then fail "unterminated escape"
+             else
+               match s.[!pos] with
+               | '"' -> Buffer.add_char b '"'; incr pos
+               | '\\' -> Buffer.add_char b '\\'; incr pos
+               | '/' -> Buffer.add_char b '/'; incr pos
+               | 'b' -> Buffer.add_char b '\b'; incr pos
+               | 'f' -> Buffer.add_char b '\012'; incr pos
+               | 'n' -> Buffer.add_char b '\n'; incr pos
+               | 'r' -> Buffer.add_char b '\r'; incr pos
+               | 't' -> Buffer.add_char b '\t'; incr pos
+               | 'u' ->
+                   if !pos + 4 >= n then fail "short \\u escape";
+                   let code = ref 0 in
+                   for k = 1 to 4 do
+                     let d =
+                       match s.[!pos + k] with
+                       | '0' .. '9' as c -> Char.code c - Char.code '0'
+                       | 'a' .. 'f' as c -> Char.code c - Char.code 'a' + 10
+                       | 'A' .. 'F' as c -> Char.code c - Char.code 'A' + 10
+                       | _ -> fail "bad \\u escape"
+                     in
+                     code := (!code * 16) + d
+                   done;
+                   (match Uchar.of_int !code with
+                   | u -> Buffer.add_utf_8_uchar b u
+                   | exception Invalid_argument _ ->
+                       Buffer.add_utf_8_uchar b Uchar.rep);
+                   pos := !pos + 5
+               | _ -> fail "bad escape");
+            go ()
+        | c when Char.code c < 0x20 -> fail "control char in string"
+        | c ->
+            Buffer.add_char b c;
+            incr pos;
+            go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let number () =
+    let start = !pos in
+    if peek () = Some '-' then incr pos;
+    let digits () =
+      let d0 = !pos in
+      while !pos < n && s.[!pos] >= '0' && s.[!pos] <= '9' do
+        incr pos
+      done;
+      if !pos = d0 then fail "expected digit"
+    in
+    digits ();
+    if peek () = Some '.' then begin
+      incr pos;
+      digits ()
+    end;
+    (match peek () with
+    | Some ('e' | 'E') ->
+        incr pos;
+        (match peek () with Some ('+' | '-') -> incr pos | _ -> ());
+        digits ()
+    | _ -> ());
+    float_of_string (String.sub s start (!pos - start))
+  in
+  let rec value () =
+    skip_ws ();
+    let v =
+      match peek () with
+      | None -> fail "expected value"
+      | Some '{' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some '}' then begin
+            incr pos;
+            Obj []
+          end
+          else begin
+            let rec members acc =
+              skip_ws ();
+              let k = string_ () in
+              skip_ws ();
+              expect ':';
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  members ((k, v) :: acc)
+              | Some '}' ->
+                  incr pos;
+                  List.rev ((k, v) :: acc)
+              | _ -> fail "expected ',' or '}'"
+            in
+            Obj (members [])
+          end
+      | Some '[' ->
+          incr pos;
+          skip_ws ();
+          if peek () = Some ']' then begin
+            incr pos;
+            Arr []
+          end
+          else begin
+            let rec elements acc =
+              let v = value () in
+              skip_ws ();
+              match peek () with
+              | Some ',' ->
+                  incr pos;
+                  elements (v :: acc)
+              | Some ']' ->
+                  incr pos;
+                  List.rev (v :: acc)
+              | _ -> fail "expected ',' or ']'"
+            in
+            Arr (elements [])
+          end
+      | Some '"' -> Str (string_ ())
+      | Some 't' ->
+          literal "true";
+          Bool true
+      | Some 'f' ->
+          literal "false";
+          Bool false
+      | Some 'n' ->
+          literal "null";
+          Null
+      | Some ('-' | '0' .. '9') -> Num (number ())
+      | Some c -> fail (Printf.sprintf "unexpected '%c'" c)
+    in
+    skip_ws ();
+    v
+  in
+  match
+    let v = value () in
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad (at, msg) ->
+      Error (Printf.sprintf "invalid JSON at offset %d: %s" at msg)
+
+(* Accessors over a parsed tree; total, returning options. *)
+
+let member k = function
+  | Obj kvs -> List.assoc_opt k kvs
+  | _ -> None
+
+let to_float = function Num f -> Some f | _ -> None
+let to_string = function Str s -> Some s | _ -> None
+let to_list = function Arr l -> Some l | _ -> None

@@ -12,3 +12,25 @@ val validate : string -> (unit, string) result
 
 val escape : string -> string
 (** Escape a string for inclusion inside JSON double quotes. *)
+
+(** A parsed JSON document. Numbers are floats (RFC 8259 makes no
+    int/float distinction); object members keep their textual order. *)
+type tree =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of tree list
+  | Obj of (string * tree) list
+
+val parse : string -> (tree, string) result
+(** Parse one JSON value — same grammar as {!validate}, building the
+    tree. Needed where emitted files are read back (the benchmark
+    harness's [--compare] mode). *)
+
+val member : string -> tree -> tree option
+(** Object member lookup; [None] on a non-object or a missing key. *)
+
+val to_float : tree -> float option
+val to_string : tree -> string option
+val to_list : tree -> tree list option

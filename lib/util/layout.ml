@@ -1,0 +1,73 @@
+(* Cache-line padding without Atomic.make_contended (OCaml >= 5.2 only):
+   copy a freshly allocated block into a new block whose size is rounded
+   up to a whole number of cache lines. Two values padded this way can
+   never have their first fields on the same 64-byte line — the GC moves
+   blocks but never splits or overlaps them, so any two distinct blocks
+   of >= cache_line_words fields keep their payloads >= 64 bytes apart.
+   This is the multicore-magic copy_as_padded technique. *)
+
+let cache_line_bytes = 64
+let word_bytes = Sys.word_size / 8
+let cache_line_words = cache_line_bytes / word_bytes
+
+let copy_as_padded (type a) (x : a) : a =
+  let r = Obj.repr x in
+  if not (Obj.is_block r) then x
+  else
+    let tag = Obj.tag r in
+    if
+      (* only plain scannable blocks (records, tuples, variants) are safe
+         to relocate field-by-field *)
+      tag >= Obj.no_scan_tag || tag = Obj.lazy_tag || tag = Obj.closure_tag
+      || tag = Obj.object_tag || tag = Obj.infix_tag
+      || tag = Obj.forward_tag
+    then x
+    else begin
+      let sz = Obj.size r in
+      let padded =
+        (sz + cache_line_words) / cache_line_words * cache_line_words
+      in
+      (* Obj.new_block initialises every field to (), so the tail padding
+         is always valid for the GC. *)
+      let b = Obj.new_block tag padded in
+      for i = 0 to sz - 1 do
+        Obj.set_field b i (Obj.field r i)
+      done;
+      (Obj.obj b : a)
+    end
+
+let padded_atomic v = copy_as_padded (Atomic.make v)
+
+let size_words x =
+  let r = Obj.repr x in
+  if Obj.is_block r then Obj.size r else 0
+
+let is_padded x =
+  let r = Obj.repr x in
+  Obj.is_block r
+  && Obj.size r >= cache_line_words
+  && Obj.size r mod cache_line_words = 0
+
+(* Self-test of the padding machinery itself; used by the layout
+   regression tests and cheap enough to run anywhere. *)
+let check () =
+  let errs = ref [] in
+  let add fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
+  if word_bytes <> 8 then
+    add "word size is %d bytes (layout maths assumes 64-bit)" word_bytes;
+  let a = padded_atomic 42 in
+  if not (is_padded a) then
+    add "padded_atomic block has %d words" (size_words a);
+  if Atomic.get a <> 42 then add "padded_atomic lost its value";
+  Atomic.incr a;
+  if Atomic.get a <> 43 then add "padded_atomic is not updatable";
+  let r = copy_as_padded (ref 7) in
+  if not (is_padded r) then add "copy_as_padded ref has %d words" (size_words r);
+  if !r <> 7 then add "copy_as_padded lost a field";
+  (* immediates and unsafe tags must pass through unchanged *)
+  if copy_as_padded 5 <> 5 then add "copy_as_padded mangled an immediate";
+  let f x = x + 1 in
+  let f' = copy_as_padded f in
+  if f' 1 <> 2 then add "copy_as_padded broke a closure"
+  else if is_padded f' then add "copy_as_padded should not touch closures";
+  List.rev !errs

@@ -1,0 +1,39 @@
+(** Cache-line padding helpers for contended data.
+
+    OCaml 5.1 has no [Atomic.make_contended], so padding is done by
+    copying a freshly allocated block into a new block rounded up to a
+    whole number of 64-byte cache lines ({!copy_as_padded}, the
+    multicore-magic technique). The GC moves blocks but never splits
+    them, so two distinct padded blocks always keep their first fields at
+    least one cache line apart — adjacent contended atomics can never
+    false-share. *)
+
+val cache_line_bytes : int
+(** 64. *)
+
+val cache_line_words : int
+(** Cache line in words (8 on 64-bit). *)
+
+val copy_as_padded : 'a -> 'a
+(** Copy a block into a fresh block padded to a multiple of
+    {!cache_line_words} fields. Apply to a {e freshly allocated} record
+    or atomic only — the original must not escape, or writes through the
+    two copies diverge. Immediates, closures, objects, lazies and
+    no-scan blocks (strings, float records) pass through unchanged. *)
+
+val padded_atomic : 'a -> 'a Atomic.t
+(** [copy_as_padded (Atomic.make v)]: an atomic whose cell owns its
+    cache line. *)
+
+val size_words : 'a -> int
+(** Field count of the underlying block; 0 for immediates. *)
+
+val is_padded : 'a -> bool
+(** The block occupies a whole number of cache lines (>= 1). This is the
+    invariant {!copy_as_padded} establishes and the layout regression
+    tests probe. *)
+
+val check : unit -> string list
+(** Self-test of the padding machinery (value preservation, padding
+    sizes, pass-through cases). Returns human-readable violations, [[]]
+    when clean. *)

@@ -1,0 +1,153 @@
+(* The benchmark harness: JSON schema round-trip and the regression
+   comparator. The timed paths run on Tiny inputs — correctness of the
+   plumbing, not of the numbers, is what is under test here. *)
+
+module B = Wool_report.Bench_json
+module Spec = Wool_report.Exp_common.Spec
+module Json = Wool_trace.Json
+
+let stat v =
+  {
+    B.n = 3;
+    mean = v;
+    median = v;
+    stddev = 0.5;
+    min = v -. 1.;
+    max = v +. 1.;
+    p10 = v -. 0.5;
+    p90 = v +. 5.;
+  }
+
+let mk_run ?(mode = "private") ?(publicity = "default") ?(workers = 2)
+    ?(median = 100.) ?(g_l_ns = 250.) () =
+  {
+    B.workload = "fib";
+    descr = "fib(12)";
+    mode;
+    publicity;
+    workers;
+    repeats = 3;
+    ok = true;
+    serial_ns = stat 1000.;
+    parallel_ns = stat median;
+    overhead = median /. 1000.;
+    speedup = 1000. /. median;
+    spawns = 464;
+    steals = 4;
+    g_t_ns = 2.155;
+    g_l_ns;
+  }
+
+let mk_report runs =
+  { B.schema = B.schema_version; date = "2026-08-06"; size = "tiny"; ghz = 1.0;
+    runs }
+
+let test_roundtrip_synthetic () =
+  let rep =
+    mk_report
+      [
+        mk_run ();
+        mk_run ~mode:"locked" ~median:250. ();
+        (* no steals: G_L is infinite and must survive the round trip *)
+        mk_run ~workers:1 ~publicity:"all-private" ~g_l_ns:infinity ();
+      ]
+  in
+  let js = B.to_json rep in
+  (match Json.validate js with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "emitted invalid JSON: %s" e);
+  match B.of_json js with
+  | Error e -> Alcotest.failf "decode failed: %s" e
+  | Ok rep' ->
+      (* %.17g float rendering is lossless, so equality is exact *)
+      Alcotest.(check bool) "exact round trip" true (rep = rep')
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  go 0
+
+let test_infinity_encodes_as_null () =
+  let rep = mk_report [ mk_run ~g_l_ns:infinity () ] in
+  let js = B.to_json rep in
+  Alcotest.(check bool) "null in document" true (contains js "\"g_l_ns\":null");
+  match B.of_json js with
+  | Error e -> Alcotest.fail e
+  | Ok rep' -> (
+      match rep'.B.runs with
+      | [ r ] -> Alcotest.(check bool) "infinite again" true (r.B.g_l_ns = infinity)
+      | _ -> Alcotest.fail "run count changed")
+
+let test_schema_version_rejected () =
+  let rep = { (mk_report [ mk_run () ]) with B.schema = "wool-bench/0" } in
+  match B.of_json (B.to_json rep) with
+  | Ok _ -> Alcotest.fail "accepted a foreign schema version"
+  | Error e ->
+      Alcotest.(check bool) "names the expected schema" true
+        (contains e B.schema_version)
+
+let test_compare_flags_only_real_regressions () =
+  (* baseline cell: median 100, p90 105; the rule is median' > p90 AND
+     median' > 1.10 x median *)
+  let baseline = mk_report [ mk_run ~median:100. () ] in
+  let case median = mk_report [ mk_run ~median () ] in
+  let n median = List.length (B.compare_reports ~baseline (case median)) in
+  Alcotest.(check int) "equal is clean" 0 (n 100.);
+  Alcotest.(check int) "inside the noise band (under p90)" 0 (n 104.);
+  Alcotest.(check int) "over p90 but within 10%" 0 (n 108.);
+  Alcotest.(check int) "over p90 and over 10%" 1 (n 116.);
+  (* a different cell key never matches the baseline *)
+  Alcotest.(check int) "unmatched cell skipped" 0
+    (List.length
+       (B.compare_reports ~baseline
+          (mk_report [ mk_run ~workers:4 ~median:500. () ])))
+
+let test_compare_ratio () =
+  let baseline = mk_report [ mk_run ~median:100. () ] in
+  match B.compare_reports ~baseline (mk_report [ mk_run ~median:150. () ]) with
+  | [ r ] ->
+      Alcotest.(check (float 1e-9)) "ratio" 1.5 r.B.r_ratio;
+      Alcotest.(check (float 1e-9)) "baseline median" 100.
+        r.B.r_baseline.B.parallel_ns.B.median
+  | l -> Alcotest.failf "expected 1 regression, got %d" (List.length l)
+
+let test_measure_tiny_live () =
+  (* one real measurement on the Tiny size: digests check out (ok), the
+     matrix has the expected cells, and the emitted file re-reads *)
+  let rep = B.measure ~size:Spec.Tiny ~workers:[ 1 ] ~repeats:2
+      ~date:"2026-08-06" [ "fib" ]
+  in
+  (* 5 modes x 1 worker count + the 2 publicity cells *)
+  Alcotest.(check int) "cells" 7 (List.length rep.B.runs);
+  List.iter
+    (fun r ->
+      Alcotest.(check bool) (r.B.mode ^ " digest ok") true r.B.ok;
+      Alcotest.(check bool) (r.B.mode ^ " spawned") true (r.B.spawns > 0))
+    rep.B.runs;
+  let file = Filename.temp_file "wool-bench-test" ".json" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove file)
+    (fun () ->
+      B.write_file file rep;
+      match B.read_file file with
+      | Error e -> Alcotest.fail e
+      | Ok rep' ->
+          Alcotest.(check bool) "file round trip" true (rep = rep');
+          (* self-comparison can never regress *)
+          Alcotest.(check int) "self compare clean" 0
+            (List.length (B.compare_reports ~baseline:rep' rep)))
+
+let suite =
+  [
+    ( "bench",
+      [
+        Alcotest.test_case "round trip" `Quick test_roundtrip_synthetic;
+        Alcotest.test_case "infinity as null" `Quick
+          test_infinity_encodes_as_null;
+        Alcotest.test_case "schema version" `Quick test_schema_version_rejected;
+        Alcotest.test_case "compare rule" `Quick
+          test_compare_flags_only_real_regressions;
+        Alcotest.test_case "compare ratio" `Quick test_compare_ratio;
+        Alcotest.test_case "measure tiny" `Slow test_measure_tiny_live;
+      ] );
+  ]

@@ -122,9 +122,10 @@ let test_concurrent_sum () =
     | None -> ()
   in
   drain ();
-  (* thieves may still hold `Retry races; wait for the deque to settle *)
-  let deadline = Unix.gettimeofday () +. 5.0 in
-  while Cl.size d > 0 && Unix.gettimeofday () < deadline do
+  (* thieves may still hold `Retry races; wait for the deque to settle
+     (monotonic deadline: a wall-clock step must not cut it short) *)
+  let deadline = Wool_util.Clock.now_ns () + 5_000_000_000 in
+  while Cl.size d > 0 && Wool_util.Clock.now_ns () < deadline do
     drain ()
   done;
   Atomic.set stop true;

@@ -132,6 +132,59 @@ let test_adaptive_window_and_trip_wire () =
   Alcotest.(check int) "publish events" 1 s.Ds.publish_events;
   Alcotest.(check int) "steals" 3 s.Ds.steals
 
+(* Regression: a privatize that fires when the shrunken window holds no
+   live public descriptor at or above [bot] used to leave the trip index
+   below [bot] — a wire no steal could ever reach, so publication stopped
+   forever and the whole stack became unstealable. The fix disarms the
+   wire and re-arms it on the next push, which publishes itself. *)
+let test_trip_wire_survives_privatize_below_bot () =
+  let t = mk ~capacity:64 ~publicity:(Ds.Adaptive 20) () in
+  (* 21 pushes: slots 0..19 public (window 20, trip at 19), 20 private *)
+  for i = 0 to 20 do
+    Ds.push t i
+  done;
+  (* a thief drains the four bottom slots; bot ends at 4, well below the
+     trip wire at 19, which therefore never fires *)
+  for expect = 0 to 3 do
+    match Ds.steal t ~thief:1 with
+    | Ds.Stolen_task (v, idx) ->
+        Alcotest.(check int) "steal order" expect v;
+        Ds.complete_steal t ~index:idx
+    | Ds.Fail | Ds.Backoff -> Alcotest.failf "steal of slot %d failed" expect
+  done;
+  (* owner: one private inline (slot 20), then 16 consecutive public
+     inlines (19 down to 4) — exactly the privatize threshold, reached on
+     the inline of slot 4 where [max bot i = bot]: nothing public at or
+     above [bot] is left alive *)
+  for i = 20 downto 4 do
+    Alcotest.(check int) "inline order" i (fst (expect_task "inline" (Ds.pop t)))
+  done;
+  let s = Ds.stats t in
+  Alcotest.(check int) "privatized once" 1 s.Ds.privatize_events;
+  (* the next spawn must be stealable again: the re-armed wire publishes
+     the push itself (before the fix this task stayed private and the
+     stack was permanently unstealable) *)
+  Ds.push t 100;
+  (match Ds.steal t ~thief:2 with
+  | Ds.Stolen_task (v, idx) ->
+      Alcotest.(check int) "re-armed push stolen" 100 v;
+      Ds.complete_steal t ~index:idx
+  | Ds.Fail | Ds.Backoff -> Alcotest.fail "re-armed push was not stealable");
+  (* that steal took the wire descriptor, so the owner's next operation
+     services a publish request: the window is live again *)
+  (match Ds.pop t with
+  | Ds.Task _ -> Alcotest.fail "expected the stolen join"
+  | Ds.Stolen { index; _ } -> Ds.reclaim t ~index);
+  let s = Ds.stats t in
+  Alcotest.(check int) "wire re-armed and sprung" 1 s.Ds.publish_events;
+  (* drain the thief-1 steals and verify a clean shutdown state *)
+  while Ds.depth t > 0 do
+    match Ds.pop t with
+    | Ds.Task _ -> Alcotest.fail "leftover inline"
+    | Ds.Stolen { index; _ } -> Ds.reclaim t ~index
+  done;
+  Alcotest.(check (list string)) "quiescent" [] (Ds.check_quiescent t)
+
 let test_privatize_after_public_inlines () =
   let t = mk ~publicity:(Ds.Adaptive 2) () in
   (* Inline public tasks repeatedly with no stealing: the owner should
@@ -165,8 +218,16 @@ let test_capacity_overflow () =
   for i = 1 to 4 do
     Ds.push t i
   done;
-  Alcotest.check_raises "overflow"
-    (Failure "Direct_stack.push: task pool overflow") (fun () -> Ds.push t 5)
+  Alcotest.check_raises "overflow" Ds.Pool_overflow (fun () -> Ds.push t 5);
+  (* the raise must precede any mutation: the stack still works *)
+  Alcotest.(check int) "depth untouched" 4 (Ds.depth t);
+  for i = 4 downto 1 do
+    match Ds.pop t with
+    | Ds.Task (v, _) -> Alcotest.(check int) "pops survive overflow" i v
+    | Ds.Stolen _ -> Alcotest.fail "unexpected steal"
+  done;
+  Alcotest.(check (list string)) "quiescent after overflow" []
+    (Ds.check_quiescent t)
 
 let test_create_validation () =
   Alcotest.check_raises "bad capacity"
@@ -295,6 +356,8 @@ let suite =
           test_join_with_running_thief;
         Alcotest.test_case "slot reuse" `Quick test_reuse_after_reclaim;
         Alcotest.test_case "trip wire" `Quick test_adaptive_window_and_trip_wire;
+        Alcotest.test_case "trip wire survives privatize below bot" `Quick
+          test_trip_wire_survives_privatize_below_bot;
         Alcotest.test_case "privatize" `Quick test_privatize_after_public_inlines;
         Alcotest.test_case "stats" `Quick test_stats_counters;
         Alcotest.test_case "overflow" `Quick test_capacity_overflow;

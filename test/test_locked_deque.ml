@@ -41,8 +41,10 @@ let test_overflow () =
   let d = mk ~capacity:2 () in
   Ld.push d 1;
   Ld.push d 2;
-  Alcotest.check_raises "overflow" (Failure "Locked_deque.push: overflow")
-    (fun () -> Ld.push d 3)
+  Alcotest.check_raises "overflow" Wool_deque.Direct_stack.Pool_overflow
+    (fun () -> Ld.push d 3);
+  (* the raise must precede any mutation: the deque still works *)
+  Alcotest.(check (option int)) "pops survive overflow" (Some 2) (Ld.pop d)
 
 let test_create_validation () =
   Alcotest.check_raises "bad capacity"

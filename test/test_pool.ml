@@ -197,6 +197,39 @@ let test_create_validation () =
     (Invalid_argument "Pool.create: workers must be positive") (fun () ->
       ignore (Wool.create ~workers:0 () : Wool.pool))
 
+(* [Pool_overflow] unwinding: filling a small pool must raise the
+   dedicated exception before any state is mutated, the exception path
+   must join-or-drain everything outstanding, and the pool must come out
+   quiescent and reusable — in every mode. *)
+let test_pool_overflow_unwind_all_modes () =
+  (* breadth-first: push [n] sibling tasks, join them in LIFO order *)
+  let spawn_n ctx n =
+    let futs = List.init n (fun i -> Wool.spawn ctx (fun _ -> i)) in
+    List.fold_left (fun acc f -> acc + Wool.join ctx f) 0 (List.rev futs)
+  in
+  List.iter
+    (fun (name, mode) ->
+      Wool.with_pool ~workers:2 ~mode ~capacity:64 (fun pool ->
+          (match mode with
+          | Wool.Clev ->
+              (* the Chase–Lev deque grows on demand; there is no
+                 overflow to raise, the run must simply complete *)
+              Alcotest.(check int) (name ^ " completes") (100 * 99 / 2)
+                (Wool.run pool (fun ctx -> spawn_n ctx 100))
+          | Wool.Locked | Wool.Swap_generic | Wool.Task_specific
+          | Wool.Private ->
+              Alcotest.check_raises (name ^ " overflow") Wool.Pool_overflow
+                (fun () ->
+                  ignore (Wool.run pool (fun ctx -> spawn_n ctx 100) : int)));
+          Alcotest.(check (list string)) (name ^ " invariants after unwind")
+            [] (Wool.Invariants.check pool);
+          (* the pool is reusable: same pool, fresh computation *)
+          Alcotest.(check int) (name ^ " reusable") (fib_serial 12)
+            (Wool.run pool (fun ctx -> fib ctx 12));
+          Alcotest.(check (list string)) (name ^ " invariants after reuse")
+            [] (Wool.Invariants.check pool)))
+    all_modes
+
 let test_stress_kernel_matches_serial () =
   let module S = Wool_workloads.Stress in
   S.reset_leaf_result ();
@@ -313,6 +346,8 @@ let suite =
         Alcotest.test_case "max pool depth" `Quick test_max_pool_depth_stat;
         Alcotest.test_case "workers and ids" `Quick test_num_workers_and_ids;
         Alcotest.test_case "create validation" `Quick test_create_validation;
+        Alcotest.test_case "overflow unwind all modes" `Quick
+          test_pool_overflow_unwind_all_modes;
         Alcotest.test_case "stress kernel checksum" `Slow
           test_stress_kernel_matches_serial;
         Alcotest.test_case "steal policies complete" `Slow
