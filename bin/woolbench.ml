@@ -273,24 +273,106 @@ let bench_cmd =
         (const run $ workers_arg $ repeats_arg $ tiny_arg $ out_arg
         $ compare_arg $ workloads_arg))
 
+let check_cmd =
+  let histories_arg =
+    let doc = "Fuzzed histories (consecutive seeds; 0 skips the fuzzer)." in
+    Arg.(value & opt int 100 & info [ "histories" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "First fuzzing seed." in
+    Arg.(value & opt int 0 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let no_scenarios_arg =
+    let doc = "Skip the exhaustive model-checking scenarios." in
+    Arg.(value & flag & info [ "no-scenarios" ] ~doc)
+  in
+  let max_schedules_arg =
+    let doc = "Schedule-exploration cap per model-checking scenario." in
+    Arg.(
+      value & opt int 3_000_000 & info [ "max-schedules" ] ~docv:"N" ~doc)
+  in
+  let max_seconds_arg =
+    let doc =
+      "Hard wall-clock limit; the process exits 124 if checking is still \
+       running (a wedged history is itself a scheduler bug). 0 disables."
+    in
+    Arg.(value & opt int 0 & info [ "max-seconds" ] ~docv:"S" ~doc)
+  in
+  let run histories seed0 no_scenarios max_schedules max_seconds =
+    if histories < 0 then `Error (false, "--histories must be non-negative")
+    else if max_schedules < 1 then
+      `Error (false, "--max-schedules must be at least 1")
+    else begin
+      if max_seconds > 0 then begin
+        (* same detached monotonic-deadline watchdog as `faults` *)
+        let deadline =
+          Wool_util.Clock.now_ns () + (max_seconds * 1_000_000_000)
+        in
+        ignore
+          (Domain.spawn (fun () ->
+               while Wool_util.Clock.now_ns () < deadline do
+                 Unix.sleepf 0.2
+               done;
+               prerr_endline "woolbench check: wall-clock limit hit";
+               exit 124)
+            : unit Domain.t)
+      end;
+      let failed =
+        if no_scenarios then 0
+        else Wool_report.Check_fuzz.run_scenarios ~max_schedules ()
+      in
+      let bad =
+        if histories = 0 then 0
+        else
+          Wool_report.Check_fuzz.print_rows
+            (Wool_report.Check_fuzz.fuzz ~histories ~seed0 ())
+      in
+      if failed = 0 && bad = 0 then `Ok ()
+      else
+        `Error
+          ( false,
+            Printf.sprintf
+              "%d scenario(s) failed, %d history(s) violated the oracle"
+              failed bad )
+    end
+  in
+  let doc =
+    "model-check the steal protocol exhaustively on bounded scenarios, \
+     then fuzz seeded multi-domain histories against a sequential oracle"
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc)
+    Term.(
+      ret
+        (const run $ histories_arg $ seed_arg $ no_scenarios_arg
+        $ max_schedules_arg $ max_seconds_arg))
+
 (* A Cmd.group would reject the free-form experiment keys the default
    term consumes ("woolbench list", "woolbench fig1 table2"), so route
    the named subcommands by hand and keep everything else on the
-   original term. *)
+   original term. `woolbench help [cmd]` is rewritten to cmdliner's
+   `[cmd] --help` form first — the hand routing used to swallow it as an
+   unknown experiment key. *)
 let () =
   let doc =
     "regenerate the tables and figures of the Wool paper; `woolbench \
      trace <workload>` records a scheduler trace; `woolbench policy \
-     <workload>` sweeps the steal policies"
+     <workload>` sweeps the steal policies; `woolbench faults` and \
+     `woolbench check` stress and model-check the scheduler"
   in
-  let subcommands = [ trace_cmd; policy_cmd; faults_cmd; bench_cmd ] in
+  let subcommands = [ trace_cmd; policy_cmd; faults_cmd; bench_cmd; check_cmd ] in
+  let argv =
+    match Array.to_list Sys.argv with
+    | exe :: "help" :: rest -> Array.of_list ((exe :: rest) @ [ "--help" ])
+    | _ -> Sys.argv
+  in
   let is_subcommand =
-    Array.length Sys.argv > 1
-    && List.exists (fun c -> Cmd.name c = Sys.argv.(1)) subcommands
+    Array.length argv > 1
+    && List.exists (fun c -> Cmd.name c = argv.(1)) subcommands
   in
   let code =
     if is_subcommand then
-      Cmd.eval (Cmd.group (Cmd.info "woolbench" ~doc) subcommands)
-    else Cmd.eval (Cmd.v (Cmd.info "woolbench" ~doc) experiments_term)
+      Cmd.eval ~argv (Cmd.group (Cmd.info "woolbench" ~doc) subcommands)
+    else Cmd.eval ~argv (Cmd.v (Cmd.info "woolbench" ~doc) experiments_term)
   in
   exit code

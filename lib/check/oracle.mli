@@ -1,0 +1,26 @@
+(** Trace-consistency oracle: validates the per-worker event rings of a
+    quiescent pool against its counter totals (accounting) and against
+    themselves (steal/spawn/join multiplicity causality over recycled
+    descriptor indices — see oracle.ml for why timestamps cannot be
+    used). *)
+
+type counts = {
+  spawns : int;
+  steals : int;
+  leap_steals : int;
+  joins_stolen : int;
+  inlined_private : int;
+  inlined_public : int;
+  publish_events : int;
+  privatize_events : int;
+}
+
+val check_events :
+  direct:bool ->
+  counts:counts ->
+  dropped:int ->
+  Wool_trace.Event.t array array ->
+  string list
+(** Human-readable violations, [[]] when clean. [direct] enables the
+    per-descriptor causality checks (queued modes record [a = -1]).
+    When [dropped > 0] the stream is incomplete and nothing is checked. *)

@@ -1,0 +1,411 @@
+(* Bounded model-checking scenarios over the checked protocol
+   instantiations. Each scenario is small enough to explore every
+   interleaving: setup builds the stack (and may run protocol prefix
+   operations directly, unscheduled), threads are the racing owner /
+   thieves, and the final block asserts the outcome of each schedule —
+   exactly-once execution, quiescence, and counter balance. Coverage
+   flags accumulated across schedules additionally assert that the
+   exploration actually visited the interesting paths (a steal, a
+   back-off, a privatize) rather than passing vacuously. *)
+
+module Ds = Direct_stack_checked
+module Cl = Chase_lev_checked
+
+let check cond msg = if not cond then failwith msg
+
+let quiescent t =
+  match Ds.check_quiescent t with
+  | [] -> ()
+  | v :: _ -> failwith ("not quiescent: " ^ v)
+
+let balanced t =
+  let s = Ds.stats t in
+  check
+    (s.Ds.spawns
+    = s.Ds.inlined_private + s.Ds.inlined_public + s.Ds.joins_stolen)
+    "spawn/join imbalance";
+  check (s.Ds.steals = s.Ds.joins_stolen) "steal/join-stolen imbalance"
+
+(* Owner-side join of the youngest descriptor: inline, or wait out the
+   thief and reclaim — the pool's join protocol reduced to the stack. *)
+let join ?record t =
+  match Ds.pop t with
+  | Ds.Task (v, _) -> ( match record with Some r -> r v | None -> ())
+  | Ds.Stolen { thief; index } ->
+      if thief >= 0 then
+        while not (Ds.stolen_done t ~index) do
+          Shadow_atomic.cpu_relax ()
+        done;
+      Ds.reclaim t ~index
+
+(* A thief making one steal attempt, completing on success. *)
+let attempt ?on_backoff ~thief ~record t =
+  match Ds.steal t ~thief with
+  | Ds.Stolen_task (v, index) ->
+      record v;
+      Ds.complete_steal t ~index
+  | Ds.Fail -> ()
+  | Ds.Backoff -> ( match on_backoff with Some f -> f () | None -> ())
+
+type t = {
+  name : string;
+  descr : string;
+  run : max_schedules:int -> Sched.stats;
+}
+
+type outcome = Pass of Sched.stats | Fail of string
+
+let run_one ?(max_schedules = 3_000_000) s =
+  match s.run ~max_schedules with
+  | stats -> Pass stats
+  | exception Sched.Violation (msg, sched) ->
+      Fail (Printf.sprintf "%s\n  schedule: %s" msg sched)
+  | exception Sched.Deadlock sched ->
+      Fail (Printf.sprintf "deadlock\n  schedule: %s" sched)
+  | exception Sched.Schedule_limit n ->
+      Fail (Printf.sprintf "exceeded %d schedules without converging" n)
+  | exception e -> Fail (Printexc.to_string e)
+
+(* -- Scenario 1: the full EMPTY -> TASK -> STOLEN -> DONE lifecycle of a
+   single public descriptor, owner join racing one thief. *)
+let single_task_lifecycle =
+  let run ~max_schedules =
+    let saw_inline = ref false and saw_steal = ref false in
+    let stats =
+      Sched.run ~max_schedules (fun () ->
+          let t = Ds.create ~capacity:1 ~publicity:Ds.All_public ~dummy:(-1) () in
+          let execd = Array.make 1 0 in
+          let record v = execd.(v) <- execd.(v) + 1 in
+          Sched.spawn (fun () ->
+              Ds.push t 0;
+              join t ~record:(fun v ->
+                  saw_inline := true;
+                  record v));
+          Sched.spawn (fun () ->
+              attempt t ~thief:1 ~record:(fun v ->
+                  saw_steal := true;
+                  record v));
+          Sched.final (fun () ->
+              check (execd.(0) = 1) "task 0 not executed exactly once";
+              quiescent t;
+              balanced t))
+    in
+    check !saw_inline "coverage: owner inline never explored";
+    check !saw_steal "coverage: successful steal never explored";
+    stats
+  in
+  {
+    name = "single-task-lifecycle";
+    descr = "owner push+join vs one thief on one public descriptor";
+    run;
+  }
+
+(* -- Scenario 2: owner working through a two-deep stack against a
+   thief; exercises join-of-stolen (spin for DONE, reclaim) under every
+   interleaving of the thief's steal. *)
+let stack_vs_one_thief =
+  let run ~max_schedules =
+    let saw_steal = ref false in
+    let stats =
+      Sched.run ~max_schedules (fun () ->
+          let t = Ds.create ~capacity:2 ~publicity:Ds.All_public ~dummy:(-1) () in
+          let execd = Array.make 2 0 in
+          let record v = execd.(v) <- execd.(v) + 1 in
+          Sched.spawn (fun () ->
+              Ds.push t 0;
+              Ds.push t 1;
+              join t ~record;
+              join t ~record);
+          Sched.spawn (fun () ->
+              attempt t ~thief:1 ~record:(fun v ->
+                  saw_steal := true;
+                  record v));
+          Sched.final (fun () ->
+              check (execd.(0) = 1) "task 0 not executed exactly once";
+              check (execd.(1) = 1) "task 1 not executed exactly once";
+              quiescent t;
+              balanced t))
+    in
+    check !saw_steal "coverage: successful steal never explored";
+    stats
+  in
+  {
+    name = "stack-vs-one-thief";
+    descr = "two-deep owner stack, LIFO joins vs one thief";
+    run;
+  }
+
+(* -- Scenario 3: two thieves race the CAS on one descriptor; the winner
+   commits through the bot-frozen packed-word window (PR 4) while the
+   loser must fail, never back off, and never double-execute. *)
+let two_thieves_one_task =
+  let run ~max_schedules =
+    let wins = [| false; false |] in
+    let stats =
+      Sched.run ~max_schedules (fun () ->
+          let t = Ds.create ~capacity:1 ~publicity:Ds.All_public ~dummy:(-1) () in
+          let execd = Array.make 1 0 in
+          Ds.push t 0;
+          let thief i =
+            attempt t ~thief:(i + 1)
+              ~record:(fun v ->
+                wins.(i) <- true;
+                execd.(v) <- execd.(v) + 1)
+              ~on_backoff:(fun () -> failwith "unexpected back-off")
+          in
+          Sched.spawn (fun () -> thief 0);
+          Sched.spawn (fun () -> thief 1);
+          Sched.final (fun () ->
+              (* the owner joins after the race settles *)
+              join t;
+              check (execd.(0) = 1) "task 0 not executed exactly once";
+              let s = Ds.stats t in
+              check (s.Ds.steals = 1) "exactly one steal must commit";
+              check (s.Ds.backoffs = 0) "no back-off without recycling";
+              quiescent t;
+              balanced t))
+    in
+    check wins.(0) "coverage: thief 1 never won";
+    check wins.(1) "coverage: thief 2 never won";
+    stats
+  in
+  {
+    name = "two-thieves-one-task";
+    descr = "steal-steal CAS race through the packed botw commit";
+    run;
+  }
+
+(* -- Scenario 4: the delayed-thief ABA (paper SIII-A). The thief reads
+   TASK at slot 1, then the owner inlines it, joins a finished steal,
+   reclaims below it and refills both slots — so the thief's delayed CAS
+   can win against a *recycled* descriptor. The bot re-read must turn
+   that into a restore + Backoff, never a double execution. *)
+let recycled_descriptor_backoff =
+  let run ~max_schedules =
+    let saw_backoff = ref false and saw_steal = ref false in
+    let stats =
+      Sched.run ~max_schedules (fun () ->
+          let t = Ds.create ~capacity:2 ~publicity:Ds.All_public ~dummy:(-1) () in
+          let execd = Array.make 4 0 in
+          let record v = execd.(v) <- execd.(v) + 1 in
+          (* unscheduled prefix: slot 0 already stolen and finished *)
+          Ds.push t 0;
+          Ds.push t 1;
+          (match Ds.steal t ~thief:7 with
+          | Ds.Stolen_task (0, 0) ->
+              record 0;
+              Ds.complete_steal t ~index:0
+          | _ -> failwith "setup: expected to steal task 0 at slot 0");
+          let backoffs_this_run = ref 0 in
+          Sched.spawn (fun () ->
+              join t ~record (* task 1, or join its steal *);
+              join t ~record (* finished steal of task 0: reclaim to bot 0 *);
+              Ds.push t 2;
+              Ds.push t 3 (* recycles slot 1's descriptor *);
+              join t ~record;
+              join t ~record);
+          Sched.spawn (fun () ->
+              attempt t ~thief:2
+                ~record:(fun v ->
+                  saw_steal := true;
+                  record v)
+                ~on_backoff:(fun () ->
+                  saw_backoff := true;
+                  incr backoffs_this_run));
+          Sched.final (fun () ->
+              for v = 0 to 3 do
+                check (execd.(v) = 1)
+                  (Printf.sprintf "task %d not executed exactly once" v)
+              done;
+              let s = Ds.stats t in
+              check
+                (s.Ds.backoffs = !backoffs_this_run)
+                "backoff counter out of sync";
+              quiescent t;
+              balanced t))
+    in
+    check !saw_backoff "coverage: recycled-descriptor back-off never explored";
+    check !saw_steal "coverage: successful steal never explored";
+    stats
+  in
+  {
+    name = "recycled-descriptor-backoff";
+    descr = "delayed CAS wins vs a recycled slot; bot re-read backs off";
+    run;
+  }
+
+(* -- Scenario 5: steal racing privatize exactly at the trip wire. The
+   unscheduled prefix drives consec_public_inlines to one below the
+   threshold; the owner's next public inline privatises (disarming the
+   wire and scheduling a re-arm) at the same time as the thief's CAS on
+   the same descriptor. *)
+let trip_wire_steal_vs_privatize =
+  let run ~max_schedules =
+    let saw_privatize = ref false and saw_steal = ref false in
+    let stats =
+      Sched.run ~max_schedules (fun () ->
+          let t =
+            Ds.create ~capacity:8 ~publicity:(Ds.Adaptive 1) ~dummy:(-1) ()
+          in
+          let privatized_this_run = ref false in
+          Ds.set_event_hooks t
+            ~on_publish:(fun () -> ())
+            ~on_privatize:(fun () ->
+              saw_privatize := true;
+              privatized_this_run := true);
+          let execd = Array.make 2 0 in
+          let record v = execd.(v) <- execd.(v) + 1 in
+          (* unscheduled prefix: 15 consecutive public inlines *)
+          for _ = 1 to 15 do
+            Ds.push t (-2);
+            match Ds.pop t with
+            | Ds.Task (-2, true) -> ()
+            | _ -> failwith "setup: expected a public inline"
+          done;
+          Ds.push t 0 (* public at slot 0, wire at 0 *);
+          Sched.spawn (fun () ->
+              join t ~record (* 16th public inline => privatize, or stolen *);
+              Ds.push t 1 (* re-arms the wire if the privatize fired *);
+              join t ~record);
+          Sched.spawn (fun () ->
+              attempt t ~thief:1 ~record:(fun v ->
+                  saw_steal := true;
+                  record v));
+          Sched.final (fun () ->
+              check (execd.(0) = 1) "task 0 not executed exactly once";
+              check (execd.(1) = 1) "task 1 not executed exactly once";
+              let s = Ds.stats t in
+              check
+                (s.Ds.privatize_events = if !privatized_this_run then 1 else 0)
+                "privatize counter out of sync";
+              quiescent t;
+              balanced t))
+    in
+    check !saw_privatize "coverage: privatize never explored";
+    check !saw_steal "coverage: successful steal never explored";
+    stats
+  in
+  {
+    name = "trip-wire-steal-vs-privatize";
+    descr = "adaptive window shrink racing a thief CAS on the wire slot";
+    run;
+  }
+
+(* -- Scenario 6: the trip wire springs under exploration and the owner
+   services the publication while joining — private descriptors become
+   public mid-run. *)
+let publish_window =
+  let run ~max_schedules =
+    let saw_publish = ref false and saw_steal = ref false in
+    let stats =
+      Sched.run ~max_schedules (fun () ->
+          let t =
+            Ds.create ~capacity:4 ~publicity:(Ds.Adaptive 2) ~dummy:(-1) ()
+          in
+          Ds.set_event_hooks t
+            ~on_publish:(fun () -> saw_publish := true)
+            ~on_privatize:(fun () -> ());
+          let execd = Array.make 3 0 in
+          let record v = execd.(v) <- execd.(v) + 1 in
+          (* slots 0,1 public (wire at 1), slot 2 private; slot 0 already
+             stolen below the wire *)
+          Ds.push t 0;
+          Ds.push t 1;
+          Ds.push t 2;
+          (match Ds.steal t ~thief:7 with
+          | Ds.Stolen_task (0, 0) ->
+              record 0;
+              Ds.complete_steal t ~index:0
+          | _ -> failwith "setup: expected to steal task 0");
+          Sched.spawn (fun () ->
+              join t ~record;
+              join t ~record;
+              join t ~record);
+          Sched.spawn (fun () ->
+              (* stealing slot 1 fires the wire; the owner's joins must
+                 service the publish request *)
+              attempt t ~thief:2 ~record:(fun v ->
+                  saw_steal := true;
+                  record v));
+          Sched.final (fun () ->
+              for v = 0 to 2 do
+                check (execd.(v) = 1)
+                  (Printf.sprintf "task %d not executed exactly once" v)
+              done;
+              quiescent t;
+              balanced t))
+    in
+    check !saw_publish "coverage: publish service never explored";
+    check !saw_steal "coverage: successful steal never explored";
+    stats
+  in
+  {
+    name = "publish-window";
+    descr = "wire fires mid-run; owner publishes private descriptors";
+    run;
+  }
+
+(* -- Scenario 7: the Chase-Lev baseline's classic race — owner pop and
+   thief steal meet on the last element and settle it with the CAS on
+   [top]. Exercises the second instantiation of the functorised body. *)
+let chase_lev_last_task =
+  let run ~max_schedules =
+    let owner_got = ref false and thief_got = ref false in
+    let stats =
+      Sched.run ~max_schedules (fun () ->
+          let q = Cl.create ~capacity:2 ~dummy:(-1) () in
+          let execd = Array.make 2 0 in
+          let record v = execd.(v) <- execd.(v) + 1 in
+          Cl.push q 0;
+          Cl.push q 1;
+          Sched.spawn (fun () ->
+              let pop () =
+                match Cl.pop q with
+                | Some v ->
+                    owner_got := true;
+                    record v
+                | None -> ()
+              in
+              pop ();
+              pop ());
+          Sched.spawn (fun () ->
+              match Cl.steal q with
+              | `Stolen v ->
+                  thief_got := true;
+                  record v
+              | `Empty | `Retry -> ());
+          Sched.final (fun () ->
+              (* drain whatever the lost races left behind *)
+              let rec drain () =
+                match Cl.steal q with
+                | `Stolen v ->
+                    record v;
+                    drain ()
+                | `Retry -> drain ()
+                | `Empty -> ()
+              in
+              drain ();
+              check (execd.(0) = 1) "task 0 not executed exactly once";
+              check (execd.(1) = 1) "task 1 not executed exactly once";
+              check (Cl.size q = 0) "deque not drained"))
+    in
+    check !owner_got "coverage: owner pop never won";
+    check !thief_got "coverage: thief steal never won";
+    stats
+  in
+  {
+    name = "chase-lev-last-task";
+    descr = "owner pop vs thief steal settling the last element";
+    run;
+  }
+
+let all =
+  [
+    single_task_lifecycle;
+    stack_vs_one_thief;
+    two_thieves_one_task;
+    recycled_descriptor_backoff;
+    trip_wire_steal_vs_privatize;
+    publish_window;
+    chase_lev_last_task;
+  ]

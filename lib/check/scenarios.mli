@@ -1,0 +1,20 @@
+(** Bounded model-checking scenarios over the checked deque protocols:
+    the descriptor lifecycle, thief/thief CAS races through the packed
+    [botw] commit, the delayed-CAS recycled-descriptor back-off, the
+    trip-wire steal-vs-privatize race, mid-run publication, and the
+    Chase-Lev last-element race. Each scenario asserts exactly-once
+    execution, quiescence and counter balance on every schedule, plus
+    cross-schedule coverage of the interesting paths. *)
+
+type t = {
+  name : string;
+  descr : string;
+  run : max_schedules:int -> Sched.stats;
+}
+
+type outcome = Pass of Sched.stats | Fail of string
+
+val run_one : ?max_schedules:int -> t -> outcome
+(** Explore one scenario exhaustively (default cap: 3M schedules). *)
+
+val all : t list

@@ -1,9 +1,14 @@
+(* Protocol body for the Chase-Lev deque. Like direct_stack_body.ml,
+   this file is compiled with a build-generated prelude binding [A] to
+   the real or the instrumented atomic backend; keep it free of direct
+   [Atomic] use. *)
+
 type 'a buffer = { mask : int; cells : 'a array }
 
 type 'a t = {
   dummy : 'a;
-  top : int Atomic.t; (* next steal index; only increases *)
-  bottom : int Atomic.t; (* next push index; owner-written *)
+  top : int A.t; (* next steal index; only increases *)
+  bottom : int A.t; (* next push index; owner-written *)
   mutable buf : 'a buffer; (* owner-replaced on growth *)
 }
 
@@ -16,8 +21,8 @@ let make_buffer dummy capacity =
 let create ?(capacity = 64) ~dummy () =
   {
     dummy;
-    top = Atomic.make 0;
-    bottom = Atomic.make 0;
+    top = A.make 0;
+    bottom = A.make 0;
     buf = make_buffer dummy capacity;
   }
 
@@ -33,23 +38,23 @@ let grow t b top =
   t.buf <- nbuf
 
 let push t v =
-  let b = Atomic.get t.bottom in
-  let top = Atomic.get t.top in
+  let b = A.get t.bottom in
+  let top = A.get t.top in
   let buf = t.buf in
   if b - top > buf.mask then grow t b top;
   buf_set t.buf b v;
   (* Release store: thieves that observe the new bottom also observe the
      cell write. *)
-  Atomic.set t.bottom (b + 1)
+  A.set t.bottom (b + 1)
 
 let pop t =
-  let b = Atomic.get t.bottom - 1 in
+  let b = A.get t.bottom - 1 in
   let buf = t.buf in
-  Atomic.set t.bottom b;
-  let top = Atomic.get t.top in
+  A.set t.bottom b;
+  let top = A.get t.top in
   if b < top then begin
     (* empty: restore *)
-    Atomic.set t.bottom top;
+    A.set t.bottom top;
     None
   end
   else begin
@@ -60,8 +65,8 @@ let pop t =
     end
     else begin
       (* last element: race thieves on top *)
-      let won = Atomic.compare_and_set t.top top (top + 1) in
-      Atomic.set t.bottom (top + 1);
+      let won = A.compare_and_set t.top top (top + 1) in
+      A.set t.bottom (top + 1);
       if won then begin
         buf_set buf b t.dummy;
         Some v
@@ -71,14 +76,14 @@ let pop t =
   end
 
 let steal t =
-  let top = Atomic.get t.top in
-  let b = Atomic.get t.bottom in
+  let top = A.get t.top in
+  let b = A.get t.bottom in
   if b <= top then `Empty
   else begin
     let v = buf_get t.buf top in
-    if Atomic.compare_and_set t.top top (top + 1) then `Stolen v else `Retry
+    if A.compare_and_set t.top top (top + 1) then `Stolen v else `Retry
   end
 
 let size t =
-  let b = Atomic.get t.bottom and top = Atomic.get t.top in
+  let b = A.get t.bottom and top = A.get t.top in
   max 0 (b - top)

@@ -1,10 +1,14 @@
-module Ts = Task_state
-module Layout = Wool_util.Layout
+(* Protocol body for the direct task stack. This file is not compiled on
+   its own: the build prepends a prelude binding [Ts], [Layout] and [A]
+   (the atomic backend, see atomic_ops.ml) and compiles the result as
+   [Direct_stack] (production, a prelude-defined [A]) and as
+   [Wool_check.Direct_stack_checked] (model checking,
+   [A = Shadow_atomic]). Keep it free of direct [Atomic]/[Domain] use. *)
 
 exception Pool_overflow
 
 type 'a slot = {
-  state : Ts.t Atomic.t;
+  state : Ts.t A.t;
       (* individually padded: adjacent descriptors' state words never
          share a cache line, so a thief CASing slot [b] cannot steal the
          line under the owner touching slot [b']. *)
@@ -61,15 +65,15 @@ type 'a t = {
   dummy : 'a;
   publicity : publicity;
   own : 'a owner; (* padded; owner-private *)
-  botw : int Atomic.t;
+  botw : int A.t;
       (* packed [steals lsl 32 | bot]: the successful-steal path advances
          [bot] and counts the steal with one plain store instead of a
          store plus a fetch-and-add (see [steal]). Implicit ownership as
          before: only whoever holds the task at [bot] may move it. *)
-  trip_index : int Atomic.t; (* stealing at/past this index requests
-                                publication; [disarmed] = never *)
-  publish_request : bool Atomic.t;
-  fb : int Atomic.t;
+  trip_index : int A.t; (* stealing at/past this index requests
+                           publication; [disarmed] = never *)
+  publish_request : bool A.t;
+  fb : int A.t;
       (* packed [backoffs lsl 31 | failed_steals]: both thief-contended,
          one fetch-and-add per failed attempt on a line shared with
          nothing else *)
@@ -94,7 +98,7 @@ let create ?(capacity = 65536) ?(publicity = Adaptive 4) ~dummy () =
   let slots =
     Array.init capacity (fun _ ->
         {
-          state = Layout.padded_atomic Ts.empty;
+          state = A.make_padded Ts.empty;
           payload = dummy;
           pushed_public = false;
         })
@@ -132,10 +136,10 @@ let create ?(capacity = 65536) ?(publicity = Adaptive 4) ~dummy () =
           on_publish = no_hook;
           on_privatize = no_hook;
         };
-    botw = Layout.padded_atomic 0;
-    trip_index = Layout.padded_atomic trip;
-    publish_request = Layout.padded_atomic false;
-    fb = Layout.padded_atomic 0;
+    botw = A.make_padded 0;
+    trip_index = A.make_padded trip;
+    publish_request = A.make_padded false;
+    fb = A.make_padded 0;
   }
 
 let set_event_hooks t ~on_publish ~on_privatize =
@@ -143,8 +147,8 @@ let set_event_hooks t ~on_publish ~on_privatize =
   t.own.on_privatize <- on_privatize
 
 let[@inline] depth t = t.own.top
-let[@inline] bot_index t = Atomic.get t.botw land bot_mask
-let[@inline] steal_count t = Atomic.get t.botw lsr 32
+let[@inline] bot_index t = A.get t.botw land bot_mask
+let[@inline] steal_count t = A.get t.botw lsr 32
 
 (* Owner-side servicing of a thief's trip-wire notification: extend the
    public region by the window and publish any live private descriptors
@@ -155,8 +159,8 @@ let[@inline] service_publish t =
   match t.publicity with
   | All_private | All_public -> ()
   | Adaptive w ->
-      if Atomic.get t.publish_request then begin
-        Atomic.set t.publish_request false;
+      if A.get t.publish_request then begin
+        A.set t.publish_request false;
         let own = t.own in
         (* a sprung trip wire is live steal pressure: suspend privatising
            (and any pending re-arm — the wire is being re-pointed here) *)
@@ -170,11 +174,11 @@ let[@inline] service_publish t =
           let s = t.slots.(i) in
           if not s.pushed_public then begin
             s.pushed_public <- true;
-            Atomic.set s.state Ts.task_public
+            A.set s.state Ts.task_public
           end
         done;
         own.public_limit <- new_limit;
-        Atomic.set t.trip_index (new_limit - 1);
+        A.set t.trip_index (new_limit - 1);
         own.n_publish <- own.n_publish + 1;
         own.on_publish ()
       end
@@ -192,7 +196,7 @@ let[@inline] push t v =
     slot.pushed_public <- true;
     (* The state store is the release that makes the task stealable; it
        comes after the payload write. *)
-    Atomic.set slot.state Ts.task_public
+    A.set slot.state Ts.task_public
   end
   else if own.rearm then begin
     (* A privatize left no live public descriptor at or above [bot]
@@ -202,8 +206,8 @@ let[@inline] push t v =
     own.rearm <- false;
     own.public_limit <- i + 1;
     slot.pushed_public <- true;
-    Atomic.set slot.state Ts.task_public;
-    Atomic.set t.trip_index i
+    A.set slot.state Ts.task_public;
+    A.set t.trip_index i
   end
   else
     (* Private spawn: the paper's 1-cycle case. The descriptor's presence
@@ -242,9 +246,9 @@ let maybe_privatize t i =
         let new_limit = max b i in
         if new_limit < own.public_limit then begin
           own.public_limit <- new_limit;
-          if new_limit > b then Atomic.set t.trip_index (new_limit - 1)
+          if new_limit > b then A.set t.trip_index (new_limit - 1)
           else begin
-            Atomic.set t.trip_index disarmed;
+            A.set t.trip_index disarmed;
             own.rearm <- true
           end;
           own.n_privatize <- own.n_privatize + 1;
@@ -273,7 +277,7 @@ let[@inline] pop t =
   end
   else begin
     let rec resolve () =
-      let s = Atomic.exchange slot.state Ts.empty in
+      let s = A.exchange slot.state Ts.empty in
       if s = Ts.task_public then begin
         own.n_inlined_public <- own.n_inlined_public + 1;
         maybe_privatize t i;
@@ -283,9 +287,9 @@ let[@inline] pop t =
         (* Transient: a thief CASed the descriptor and is mid-steal; it
            will either commit STOLEN or back off to TASK. *)
         let rec wait () =
-          let s' = Atomic.get slot.state in
+          let s' = A.get slot.state in
           if s' = Ts.empty then begin
-            Domain.cpu_relax ();
+            A.cpu_relax ();
             wait ()
           end
           else s'
@@ -322,17 +326,17 @@ let[@inline] pop t =
     resolve ()
   end
 
-let stolen_done t ~index = Atomic.get t.slots.(index).state = Ts.done_
+let stolen_done t ~index = A.get t.slots.(index).state = Ts.done_
 
 let reclaim t ~index =
   let slot = t.slots.(index) in
-  Atomic.set slot.state Ts.empty;
+  A.set slot.state Ts.empty;
   slot.payload <- t.dummy;
   (* Only the owner can be here, and every descriptor at or above [index]
      is dead, so no thief can be moving [bot] concurrently; the steal
      bits are preserved. *)
-  let w = Atomic.get t.botw in
-  Atomic.set t.botw (w land lnot bot_mask lor index)
+  let w = A.get t.botw in
+  A.set t.botw (w land lnot bot_mask lor index)
 
 type 'a steal_result = Stolen_task of 'a * int | Fail | Backoff
 
@@ -343,27 +347,27 @@ type steal_phase = Pre_cas | Post_cas | Trip
 let no_interference (_ : steal_phase) = false
 
 let steal ?(interfere = no_interference) t ~thief =
-  let b = Atomic.get t.botw land bot_mask in
+  let b = A.get t.botw land bot_mask in
   if b >= t.capacity then begin
-    ignore (Atomic.fetch_and_add t.fb 1 : int);
+    ignore (A.fetch_and_add t.fb 1 : int);
     Fail
   end
   else begin
     let slot = t.slots.(b) in
-    let s1 = Atomic.get slot.state in
+    let s1 = A.get slot.state in
     if not (Ts.is_task_public s1) then begin
-      ignore (Atomic.fetch_and_add t.fb 1 : int);
+      ignore (A.fetch_and_add t.fb 1 : int);
       Fail
     end
     (* [Pre_cas] sits in the §III-A window between the state read and the
        CAS: a delay here lets the owner recycle the descriptor under us
        (the delayed-thief ABA), an abort models a lost CAS race. *)
     else if interfere Pre_cas then begin
-      ignore (Atomic.fetch_and_add t.fb 1 : int);
+      ignore (A.fetch_and_add t.fb 1 : int);
       Fail
     end
-    else if not (Atomic.compare_and_set slot.state s1 Ts.empty) then begin
-      ignore (Atomic.fetch_and_add t.fb 1 : int);
+    else if not (A.compare_and_set slot.state s1 Ts.empty) then begin
+      ignore (A.fetch_and_add t.fb 1 : int);
       Fail
     end
     else begin
@@ -372,19 +376,19 @@ let steal ?(interfere = no_interference) t ~thief =
          keeps the window safe: competing thieves fail on EMPTY and a
          joining owner spins, so [bot] cannot move during the delay. *)
       let aborted = interfere Post_cas in
-      let w1 = Atomic.get t.botw in
+      let w1 = A.get t.botw in
       if w1 land bot_mask <> b || aborted then begin
         (* Delayed-thief ABA (§III-A), genuine or injected: the CAS won
            against a recycled descriptor while [bot] points elsewhere.
            Restore the state — the transient EMPTY only made competing
            thieves fail and a joining owner spin — and back off. *)
-        Atomic.set slot.state s1;
-        ignore (Atomic.fetch_and_add t.fb backoff_unit : int);
+        A.set slot.state s1;
+        ignore (A.fetch_and_add t.fb backoff_unit : int);
         Backoff
       end
       else begin
         let v = slot.payload in
-        Atomic.set slot.state (Ts.stolen ~thief);
+        A.set slot.state (Ts.stolen ~thief);
         (* While we hold slot [b]'s transient EMPTY with [bot = b], no
            other thief can advance [bot] (they fail on EMPTY) and the
            owner can neither pop past [b] (it spins) nor reclaim below it
@@ -392,21 +396,21 @@ let steal ?(interfere = no_interference) t ~thief =
            and one plain store both advances [bot] and counts the steal —
            the packed word turns the old store + fetch-and-add into a
            single atomic write. *)
-        Atomic.set t.botw (w1 + (1 lsl 32) + 1);
-        if b >= Atomic.get t.trip_index then begin
+        A.set t.botw (w1 + (1 lsl 32) + 1);
+        if b >= A.get t.trip_index then begin
           (* At or past the wire ([>=], not [=]: a stale-low wire left by
              an old privatize or an owner inline of the wire descriptor
              still fires on the next successful steal). [Trip] delays the
              publish request past the steal that sprang it. *)
           ignore (interfere Trip : bool);
-          Atomic.set t.publish_request true
+          A.set t.publish_request true
         end;
         Stolen_task (v, b)
       end
     end
   end
 
-let complete_steal t ~index = Atomic.set t.slots.(index).state Ts.done_
+let complete_steal t ~index = A.set t.slots.(index).state Ts.done_
 
 let state_name s =
   if s = Ts.empty then "empty"
@@ -426,7 +430,7 @@ let check_quiescent t =
   let bad_state = ref 0 and bad_payload = ref 0 and first = ref (-1) in
   for i = 0 to t.capacity - 1 do
     let slot = t.slots.(i) in
-    if Atomic.get slot.state <> Ts.empty then begin
+    if A.get slot.state <> Ts.empty then begin
       incr bad_state;
       if !first < 0 then first := i
     end;
@@ -435,7 +439,7 @@ let check_quiescent t =
   if !bad_state > 0 then
     add "%d descriptor(s) not EMPTY (first: index %d, state %s)" !bad_state
       !first
-      (state_name (Atomic.get t.slots.(!first).state));
+      (state_name (A.get t.slots.(!first).state));
   if !bad_payload > 0 then
     add "%d payload cell(s) still hold a task closure" !bad_payload;
   List.rev !violations
@@ -443,22 +447,23 @@ let check_quiescent t =
 let layout_check t =
   let errs = ref [] in
   let add fmt = Printf.ksprintf (fun m -> errs := m :: !errs) fmt in
-  let padded name v words =
-    if not (Layout.is_padded v) then
+  let padded name words ok =
+    if not ok then
       add "%s occupies %d words (want a multiple of %d, >= %d)" name words
         Layout.cache_line_words Layout.cache_line_words
   in
-  padded "owner block" t.own (Layout.size_words t.own);
-  padded "botw" t.botw (Layout.size_words t.botw);
-  padded "trip_index" t.trip_index (Layout.size_words t.trip_index);
-  padded "publish_request" t.publish_request
-    (Layout.size_words t.publish_request);
-  padded "fb" t.fb (Layout.size_words t.fb);
+  padded "owner block" (Layout.size_words t.own) (Layout.is_padded t.own);
+  padded "botw" (A.size_words t.botw) (A.is_padded t.botw);
+  padded "trip_index" (A.size_words t.trip_index) (A.is_padded t.trip_index);
+  padded "publish_request"
+    (A.size_words t.publish_request)
+    (A.is_padded t.publish_request);
+  padded "fb" (A.size_words t.fb) (A.is_padded t.fb);
   Array.iteri
     (fun i s ->
-      if not (Layout.is_padded s.state) then
+      if not (A.is_padded s.state) then
         add "slot %d state occupies %d words (not line-padded)" i
-          (Layout.size_words s.state))
+          (A.size_words s.state))
     t.slots;
   List.rev !errs
 
@@ -466,13 +471,13 @@ let dump_live t =
   let top = t.own.top in
   let live = ref [] in
   for i = t.capacity - 1 downto 0 do
-    let s = Atomic.get t.slots.(i).state in
+    let s = A.get t.slots.(i).state in
     if i < top || s <> Ts.empty then live := (i, state_name s) :: !live
   done;
   !live
 
 let stats t =
-  let fb = Atomic.get t.fb in
+  let fb = A.get t.fb in
   {
     spawns = t.own.n_spawns;
     max_depth = t.own.max_depth;
@@ -496,5 +501,5 @@ let reset_stats t =
   own.n_publish <- 0;
   own.n_privatize <- 0;
   (* clear the steal bits, preserve [bot] *)
-  Atomic.set t.botw (Atomic.get t.botw land bot_mask);
-  Atomic.set t.fb 0
+  A.set t.botw (A.get t.botw land bot_mask);
+  A.set t.fb 0

@@ -1,0 +1,261 @@
+(* Randomized schedule fuzzing with a sequential oracle ("woolbench
+   check"): run seeded fork-join histories through the real pool —
+   random spawn trees, random mode / worker-count / publicity / policy
+   combinations, optionally under a fault-injection plan that perturbs
+   timing — and validate every history against ground truth: the result
+   must equal a sequential evaluation, every task must execute exactly
+   once, the quiescent pool must pass {!Wool.Invariants.check}, and the
+   recorded trace stream must satisfy {!Wool_check.Oracle.check_events}
+   (counter accounting plus steal/spawn/join causality). The multi-domain
+   schedule itself is the randomness source; the seed makes the workload
+   and configuration reproducible, not the interleaving. *)
+
+module Table = Wool_util.Table
+module Clock = Wool_util.Clock
+module Rng = Wool_util.Rng
+module Fault = Wool_fault
+module Oracle = Wool_check.Oracle
+
+(* ---- the workload: a random fork-join spec tree ---- *)
+
+(* Each node spawns one task per child and joins them in LIFO order; the
+   node's value is its id plus the sum of its children. Ids are assigned
+   in generation order, so [eval] doubles as a checksum of the shape. *)
+type spec = { id : int; children : spec list }
+
+let max_depth = 8
+
+(* Deterministic tree from [rng]: 0-3 children per node until [budget]
+   ids are spent. Explicit recursion (not [List.init]) keeps the Rng
+   draw order defined. *)
+let gen_spec rng ~budget =
+  let next_id = ref 0 in
+  let rec node depth =
+    let id = !next_id in
+    incr next_id;
+    let want = if depth >= max_depth then 0 else Rng.int rng 4 in
+    let rec kids n acc =
+      if n = 0 || !next_id >= budget then List.rev acc
+      else kids (n - 1) (node (depth + 1) :: acc)
+    in
+    { id; children = kids want [] }
+  in
+  let root = node 0 in
+  (root, !next_id)
+
+let rec eval spec =
+  List.fold_left (fun acc c -> acc + eval c) spec.id spec.children
+
+(* Per-task busywork: with no compute at all the owner unwinds the whole
+   tree before a thief can win a single steal, and the oracle only ever
+   sees empty histories. A few microseconds per node keeps descriptors
+   exposed long enough for real steal/leapfrog traffic. *)
+let spin n =
+  for i = 1 to n do
+    ignore (Sys.opaque_identity i : int)
+  done
+
+let rec task counts ctx spec =
+  ignore (Atomic.fetch_and_add counts.(spec.id) 1 : int);
+  spin (1000 + (spec.id * 37 mod 4000));
+  let futs =
+    List.map (fun c -> Wool.spawn ctx (fun ctx -> task counts ctx c))
+      spec.children
+  in
+  (* joins must be LIFO: most recent spawn first *)
+  List.fold_left
+    (fun acc f -> acc + Wool.join ctx f)
+    spec.id (List.rev futs)
+
+(* ---- one history ---- *)
+
+type row = {
+  seed : int;
+  mode : Wool.mode;
+  workers : int;
+  publicity : Wool.publicity;
+  policy : Wool_policy.t;
+  faulty : bool;  (** ran under a random (exception-free) fault plan *)
+  nodes : int;  (** tasks in the spec tree *)
+  stats : Wool.Stats.t;
+  elapsed_ns : float;
+  violations : string list;  (** oracle violations (must be empty) *)
+}
+
+let all_modes =
+  [|
+    Wool.Private; Wool.Task_specific; Wool.Swap_generic; Wool.Locked;
+    Wool.Clev;
+  |]
+
+let publicities = [| Wool.All_public; Wool.Adaptive 1; Wool.Adaptive 4;
+                     Wool.All_private |]
+
+let direct = function
+  | Wool.Private | Wool.Task_specific | Wool.Swap_generic -> true
+  | Wool.Locked | Wool.Clev -> false
+
+let counts_of_stats (s : Wool.Stats.t) =
+  {
+    Oracle.spawns = s.spawns;
+    steals = s.steals;
+    leap_steals = s.leap_steals;
+    joins_stolen = s.joins_stolen;
+    inlined_private = s.inlined_private;
+    inlined_public = s.inlined_public;
+    publish_events = s.publish_events;
+    privatize_events = s.privatize_events;
+  }
+
+let run_one ~seed =
+  (* Everything about the history flows from the seed: the mode rotates
+     so any consecutive window of 5 seeds covers all five, the rest is
+     drawn from a seed-keyed generator. *)
+  let rng = Rng.make (0x5eed0 + seed) in
+  let mode = all_modes.(seed mod Array.length all_modes) in
+  let workers = 1 + Rng.int rng 4 in
+  let publicity = publicities.(Rng.int rng (Array.length publicities)) in
+  let policies = Array.of_list (Wool_policy.sweep ()) in
+  let policy = policies.(Rng.int rng (Array.length policies)) in
+  let faults =
+    (* half the seeds run under timing interference: delays and forced
+       retries at the protocol fault sites, no injected exceptions *)
+    if Rng.bool rng then Some (Fault.Plan.random ~exceptions:false ~seed ())
+    else None
+  in
+  let budget = 30 + Rng.int rng 171 in
+  let spec, nodes = gen_spec rng ~budget in
+  let expect = eval spec in
+  let counts = Array.init nodes (fun _ -> Atomic.make 0) in
+  let config =
+    Wool.Config.make ~workers ~mode ~publicity ~policy ?faults ~seed
+      ~trace:true ~trace_capacity:(1 lsl 14) ()
+  in
+  let pool = Wool.create ~config () in
+  let violations = ref [] in
+  let add v = violations := !violations @ v in
+  let (), elapsed_ns =
+    Clock.time (fun () ->
+        let v = Wool.run pool (fun ctx -> task counts ctx spec) in
+        if v <> expect then
+          add
+            [
+              Printf.sprintf "wrong result: eval = %d, expected %d" v expect;
+            ])
+  in
+  Array.iteri
+    (fun id c ->
+      let n = Atomic.get c in
+      if n <> 1 then
+        add [ Printf.sprintf "task %d executed %d times, expected 1" id n ])
+    counts;
+  add (Wool.Invariants.check pool);
+  let stats = Wool.Stats.aggregate pool in
+  if stats.spawns <> nodes - 1 then
+    add
+      [
+        Printf.sprintf "stats.spawns = %d, expected %d (tree edges)"
+          stats.spawns (nodes - 1);
+      ];
+  (* the trace oracle wants exact thief rings: shut down first *)
+  Wool.shutdown pool;
+  add
+    (Oracle.check_events ~direct:(direct mode)
+       ~counts:(counts_of_stats stats)
+       ~dropped:(Wool.trace_dropped pool)
+       (Wool.trace_per_worker pool));
+  {
+    seed;
+    mode;
+    workers;
+    publicity;
+    policy;
+    faulty = faults <> None;
+    nodes;
+    stats;
+    elapsed_ns;
+    violations = !violations;
+  }
+
+let fuzz ?(histories = 100) ?(seed0 = 0) () =
+  List.init histories (fun i -> run_one ~seed:(seed0 + i))
+
+let publicity_name = function
+  | Wool.All_public -> "public"
+  | Wool.All_private -> "private"
+  | Wool.Adaptive n -> Printf.sprintf "adaptive %d" n
+
+let print_rows rows =
+  let tbl =
+    Table.create ~title:"schedule fuzzing vs sequential oracle"
+      ~header:
+        [
+          "seed"; "mode"; "w"; "publicity"; "policy"; "faults"; "tasks";
+          "steals"; "ms"; "oracle";
+        ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      Table.add_row tbl
+        [
+          Table.cell_i r.seed;
+          Wool.Config.mode_name r.mode;
+          Table.cell_i r.workers;
+          (if direct r.mode then publicity_name r.publicity else "-");
+          Wool_policy.name r.policy;
+          (if r.faulty then "plan" else "-");
+          Table.cell_i r.nodes;
+          Table.cell_i r.stats.steals;
+          Table.cell_f ~dec:1 (r.elapsed_ns /. 1e6);
+          (match r.violations with
+          | [] -> "ok"
+          | vs -> Printf.sprintf "%d VIOLATIONS" (List.length vs));
+        ])
+    rows;
+  Table.print tbl;
+  let bad = List.filter (fun r -> r.violations <> []) rows in
+  List.iter
+    (fun r ->
+      Printf.printf "!! seed %d / %s / %d workers:\n" r.seed
+        (Wool.Config.mode_name r.mode)
+        r.workers;
+      List.iter (fun v -> Printf.printf "!!   %s\n" v) r.violations)
+    bad;
+  let steals = List.fold_left (fun acc r -> acc + r.stats.steals) 0 rows in
+  let tasks = List.fold_left (fun acc r -> acc + r.nodes) 0 rows in
+  Printf.printf "%d histories, %d tasks, %d steals, %d with violations\n"
+    (List.length rows) tasks steals (List.length bad);
+  List.length bad
+
+(* ---- model-check scenarios (the exhaustive side of "woolbench
+   check") ---- *)
+
+let run_scenarios ?max_schedules () =
+  let tbl =
+    Table.create ~title:"model-checked protocol scenarios"
+      ~header:[ "scenario"; "schedules"; "max depth"; "result" ]
+      ()
+  in
+  let failures = ref [] in
+  List.iter
+    (fun (s : Wool_check.Scenarios.t) ->
+      match Wool_check.Scenarios.run_one ?max_schedules s with
+      | Wool_check.Scenarios.Pass (st : Wool_check.Sched.stats) ->
+          Table.add_row tbl
+            [
+              s.name; Table.cell_i st.schedules; Table.cell_i st.max_depth;
+              "pass";
+            ]
+      | Wool_check.Scenarios.Fail msg ->
+          failures := (s.name, msg) :: !failures;
+          Table.add_row tbl [ s.name; "-"; "-"; "FAIL" ])
+    Wool_check.Scenarios.all;
+  Table.print tbl;
+  List.iter
+    (fun (name, msg) -> Printf.printf "!! %s:\n!!   %s\n" name msg)
+    (List.rev !failures);
+  Printf.printf "%d scenarios, %d failed\n"
+    (List.length Wool_check.Scenarios.all)
+    (List.length !failures);
+  List.length !failures

@@ -192,6 +192,10 @@ and worker_hot = {
   mutable n_leap_steals : int;
   mutable n_failed : int;
   mutable n_inlined : int; (* Locked/Clev joins that found the task in place *)
+  mutable n_join_stolen : int;
+  (* Locked/Clev joins (or unwind waits) of a task a thief took; the
+     direct modes count these in the dstack. Keeps [joins_stolen]
+     meaningful — equal to [steals] at quiescence — in every mode. *)
 }
 
 and pending_child = {
@@ -475,8 +479,13 @@ let unwind_queued ~pop ~push w ~mark =
             (* [pc] was stolen; [other] is an older pending spawn of
                ours that the next iteration will handle. *)
             push w other;
+            w.hot.n_join_stolen <- w.hot.n_join_stolen + 1;
+            if w.tr_on then record w Event.Join_stolen ~a:(-1) ~b:(-1);
             wait_child w pc
-        | None -> wait_child w pc)
+        | None ->
+            w.hot.n_join_stolen <- w.hot.n_join_stolen + 1;
+            if w.tr_on then record w Event.Join_stolen ~a:(-1) ~b:(-1);
+            wait_child w pc)
   done
 
 (* Run a task body, storing the result — or, on an exception, unwinding
@@ -582,6 +591,7 @@ let join_locked w fut =
       wrapper w;
       value_exn fut
   | None ->
+      w.hot.n_join_stolen <- w.hot.n_join_stolen + 1;
       if w.tr_on then record w Event.Join_stolen ~a:(-1) ~b:(-1);
       wait_completed w fut
 
@@ -597,9 +607,11 @@ let join_clev w fut =
       (* Our task was stolen; [other] is an older pending task of ours.
          Restore it and wait for the thief. *)
       Chase_lev.push w.cdeque other;
+      w.hot.n_join_stolen <- w.hot.n_join_stolen + 1;
       if w.tr_on then record w Event.Join_stolen ~a:(-1) ~b:(-1);
       wait_completed w fut
   | None ->
+      w.hot.n_join_stolen <- w.hot.n_join_stolen + 1;
       if w.tr_on then record w Event.Join_stolen ~a:(-1) ~b:(-1);
       wait_completed w fut
 
@@ -720,7 +732,7 @@ module Stats = struct
       max_pool_depth = d.Ds.max_depth;
       inlined_private = d.Ds.inlined_private;
       inlined_public = d.Ds.inlined_public + w.hot.n_inlined;
-      joins_stolen = d.Ds.joins_stolen;
+      joins_stolen = d.Ds.joins_stolen + w.hot.n_join_stolen;
       steals = w.hot.n_steals;
       leap_steals = w.hot.n_leap_steals;
       backoffs = d.Ds.backoffs;
@@ -761,7 +773,8 @@ module Stats = struct
         w.hot.n_steals <- 0;
         w.hot.n_leap_steals <- 0;
         w.hot.n_failed <- 0;
-        w.hot.n_inlined <- 0)
+        w.hot.n_inlined <- 0;
+        w.hot.n_join_stolen <- 0)
       pool.workers
 
   let fields s =
@@ -871,7 +884,11 @@ module Invariants = struct
         let joined = s.Stats.inlined_private + s.Stats.inlined_public in
         if s.Stats.spawns <> joined + s.Stats.steals then
           add "counter imbalance: spawns=%d but inlined=%d + steals=%d"
-            s.Stats.spawns joined s.Stats.steals
+            s.Stats.spawns joined s.Stats.steals;
+        (* ... and every stolen spawn is waited out by its owner *)
+        if s.Stats.joins_stolen <> s.Stats.steals then
+          add "counter imbalance: joins_stolen=%d but steals=%d"
+            s.Stats.joins_stolen s.Stats.steals
     | Swap_generic | Task_specific | Private ->
         let joined =
           s.Stats.inlined_private + s.Stats.inlined_public
@@ -1031,6 +1048,7 @@ let make_worker ~id ~pool ~publicity ~capacity ~trace ~trace_capacity ~faults
             n_leap_steals = 0;
             n_failed = 0;
             n_inlined = 0;
+            n_join_stolen = 0;
           };
     }
   in

@@ -62,10 +62,7 @@ let test_roundtrip_synthetic () =
       (* %.17g float rendering is lossless, so equality is exact *)
       Alcotest.(check bool) "exact round trip" true (rep = rep')
 
-let contains haystack needle =
-  let nh = String.length haystack and nn = String.length needle in
-  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
-  go 0
+let contains = Test_util.contains
 
 let test_infinity_encodes_as_null () =
   let rep = mk_report [ mk_run ~g_l_ns:infinity () ] in

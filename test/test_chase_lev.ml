@@ -122,12 +122,12 @@ let test_concurrent_sum () =
     | None -> ()
   in
   drain ();
-  (* thieves may still hold `Retry races; wait for the deque to settle
-     (monotonic deadline: a wall-clock step must not cut it short) *)
-  let deadline = Wool_util.Clock.now_ns () + 5_000_000_000 in
-  while Cl.size d > 0 && Wool_util.Clock.now_ns () < deadline do
-    drain ()
-  done;
+  (* thieves may still hold `Retry races; wait for the deque to settle *)
+  ignore
+    (Test_util.spin_until (fun () ->
+         drain ();
+         Cl.size d = 0)
+      : bool);
   Atomic.set stop true;
   List.iter Domain.join thieves;
   drain ();

@@ -266,6 +266,85 @@ let qcheck_sequential_stack_model =
                   | Ds.Stolen _ -> false)))
         ops)
 
+(* The same owner-only list-model property under Adaptive publicity (the
+   mirror of test_chase_lev's qcheck_owner_model): runs of public inlines
+   privatise the window and re-arm the trip wire mid-sequence, none of
+   which may disturb LIFO semantics. *)
+let qcheck_owner_model =
+  QCheck.Test.make ~name:"direct stack adaptive = LIFO stack (owner only)"
+    ~count:300
+    QCheck.(
+      pair (int_range 1 8) (list_of_size (Gen.int_range 0 200) (option small_nat)))
+    (fun (window, ops) ->
+      let t = mk ~publicity:(Ds.Adaptive window) ~capacity:256 () in
+      let model = ref [] in
+      List.for_all
+        (fun op ->
+          match op with
+          | Some v ->
+              if List.length !model >= 256 then true
+              else begin
+                Ds.push t v;
+                model := v :: !model;
+                true
+              end
+          | None -> (
+              match !model with
+              | [] -> true
+              | expect :: rest -> (
+                  model := rest;
+                  match Ds.pop t with
+                  | Ds.Task (v, _) -> v = expect
+                  | Ds.Stolen _ -> false)))
+        ops
+      && (Ds.check_quiescent t = []) = (!model = []))
+
+(* Deterministic regression for the delayed-CAS / recycled-descriptor
+   back-off (paper §III-A): thief 2 reads TASK at slot 1 and stalls in
+   the Pre_cas window while the owner inlines that task, joins a
+   finished steal, reclaims [bot] below the thief's probe point and
+   refills both slots. The delayed CAS then wins against the *recycled*
+   descriptor; the bot re-read must restore the state word and return
+   [Backoff], leaving the refilled tasks stealable bottom-up. *)
+let test_recycled_descriptor_backoff () =
+  let t = mk ~capacity:4 () in
+  Ds.push t 10;
+  Ds.push t 11;
+  (match Ds.steal t ~thief:1 with
+  | Ds.Stolen_task (10, 0) -> Ds.complete_steal t ~index:0
+  | _ -> Alcotest.fail "expected to steal task 10 at slot 0");
+  let interfere = function
+    | Ds.Pre_cas ->
+        let v, public = expect_task "inline 11" (Ds.pop t) in
+        Alcotest.(check int) "inlined 11" 11 v;
+        Alcotest.(check bool) "was public" true public;
+        let thief, index = expect_stolen "join 10" (Ds.pop t) in
+        Alcotest.(check int) "thief already done" (-1) thief;
+        Ds.reclaim t ~index;
+        Ds.push t 12;
+        Ds.push t 13 (* recycles slot 1's descriptor *);
+        false
+    | Ds.Post_cas | Ds.Trip -> false
+  in
+  (match Ds.steal t ~interfere ~thief:2 with
+  | Ds.Backoff -> ()
+  | Ds.Stolen_task (v, _) -> Alcotest.failf "stole recycled task %d" v
+  | Ds.Fail -> Alcotest.fail "expected Backoff, got Fail");
+  let s = Ds.stats t in
+  Alcotest.(check int) "one back-off" 1 s.Ds.backoffs;
+  (* the restore left both refilled tasks live and bottom-most-first *)
+  (match Ds.steal t ~thief:2 with
+  | Ds.Stolen_task (12, 0) -> Ds.complete_steal t ~index:0
+  | _ -> Alcotest.fail "expected 12 at slot 0 after back-off");
+  (match Ds.steal t ~thief:2 with
+  | Ds.Stolen_task (13, 1) -> Ds.complete_steal t ~index:1
+  | _ -> Alcotest.fail "expected 13 at slot 1 after back-off");
+  let _, index = expect_stolen "join 13" (Ds.pop t) in
+  Ds.reclaim t ~index;
+  let _, index = expect_stolen "join 12" (Ds.pop t) in
+  Ds.reclaim t ~index;
+  Alcotest.(check (list string)) "quiescent" [] (Ds.check_quiescent t)
+
 (* Concurrency soak: one owner, several thief domains hammering the same
    stack. Every task must execute exactly once, whether inlined or stolen,
    and the paper's claim that ABA back-offs are rare gets checked. *)
@@ -363,6 +442,9 @@ let suite =
         Alcotest.test_case "overflow" `Quick test_capacity_overflow;
         Alcotest.test_case "create validation" `Quick test_create_validation;
         QCheck_alcotest.to_alcotest qcheck_sequential_stack_model;
+        QCheck_alcotest.to_alcotest qcheck_owner_model;
+        Alcotest.test_case "recycled-descriptor back-off" `Quick
+          test_recycled_descriptor_backoff;
         Alcotest.test_case "soak all-public" `Slow test_soak_public;
         Alcotest.test_case "soak adaptive" `Slow test_soak_adaptive;
         Alcotest.test_case "soak all-private" `Slow test_soak_private;

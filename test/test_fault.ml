@@ -3,24 +3,9 @@
 module F = Wool.Fault
 module Json = Wool_trace.Json
 
-let all_modes =
-  [
-    ("private", Wool.Private);
-    ("task_specific", Wool.Task_specific);
-    ("swap_generic", Wool.Swap_generic);
-    ("locked", Wool.Locked);
-    ("clev", Wool.Clev);
-  ]
-
-let rec fib ctx n =
-  if n < 2 then n
-  else begin
-    let b = Wool.spawn ctx (fun ctx -> fib ctx (n - 2)) in
-    let a = fib ctx (n - 1) in
-    a + Wool.join ctx b
-  end
-
-let rec fib_serial n = if n < 2 then n else fib_serial (n - 1) + fib_serial (n - 2)
+let all_modes = Test_util.all_modes
+let fib = Test_util.fib
+let fib_serial = Test_util.fib_serial
 
 (* ---- plans and injectors ---- *)
 
@@ -185,13 +170,7 @@ let () =
    the parent is still inside [run]). The body also leaves two unjoined
    children behind: the unwind must drain them — each exactly once —
    before the exception crosses the steal boundary. *)
-(* Spin-wait that also yields the timeslice: on a machine with fewer
-   cores than domains the thief needs the CPU to perform the steal. *)
-let await_flag flag =
-  while Atomic.get flag < 0 do
-    Domain.cpu_relax ();
-    Unix.sleepf 0.0002
-  done
+let await_flag = Test_util.await_flag
 
 let stolen_exception_scenario mode =
   let config =
@@ -367,11 +346,7 @@ let test_watchdog_fires_on_stall () =
       | Error e -> Alcotest.fail ("stall report not valid JSON: " ^ e))
     !reports;
   let r = List.hd !reports in
-  let contains needle =
-    let n = String.length needle and h = String.length r in
-    let rec go i = i + n <= h && (String.sub r i n = needle || go (i + 1)) in
-    go 0
-  in
+  let contains needle = Test_util.contains r needle in
   Alcotest.(check bool) "report type tag" true
     (contains "\"type\":\"wool_stall_report\"");
   Alcotest.(check bool) "report has workers" true (contains "\"workers\"")

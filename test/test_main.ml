@@ -10,4 +10,4 @@ let () =
    @ Test_sim_deque.suite @ Test_engine.suite @ Test_loop_sim.suite
    @ Test_trace.suite @ Test_real_trace.suite
    @ Test_workloads.suite @ Test_extra_workloads.suite @ Test_cholesky.suite
-   @ Test_report.suite @ Test_bench.suite)
+   @ Test_report.suite @ Test_bench.suite @ Test_check.suite)

@@ -1,21 +1,6 @@
-let all_modes =
-  [
-    ("private", Wool.Private);
-    ("task_specific", Wool.Task_specific);
-    ("swap_generic", Wool.Swap_generic);
-    ("locked", Wool.Locked);
-    ("clev", Wool.Clev);
-  ]
-
-let rec fib ctx n =
-  if n < 2 then n
-  else begin
-    let b = Wool.spawn ctx (fun ctx -> fib ctx (n - 2)) in
-    let a = fib ctx (n - 1) in
-    a + Wool.join ctx b
-  end
-
-let rec fib_serial n = if n < 2 then n else fib_serial (n - 1) + fib_serial (n - 2)
+let all_modes = Test_util.all_modes
+let fib = Test_util.fib
+let fib_serial = Test_util.fib_serial
 
 let test_fib_all_modes_serial () =
   List.iter
