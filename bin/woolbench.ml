@@ -9,7 +9,10 @@
    `woolbench faults` stress-tests the scheduler under seeded fault
    plans and checks protocol invariants after every run.
    `woolbench bench <workload|all>` runs the tier-1 benchmark matrix and
-   writes a schema-stable BENCH_<date>.json for the perf trajectory. *)
+   writes a schema-stable BENCH_<date>.json for the perf trajectory.
+   `woolbench serve` drives a server-mode pool with open-loop Poisson
+   traffic from external producer domains and reports ingress verdicts
+   next to sojourn-latency percentiles. *)
 
 open Cmdliner
 
@@ -273,6 +276,77 @@ let bench_cmd =
         (const run $ workers_arg $ repeats_arg $ tiny_arg $ out_arg
         $ compare_arg $ workloads_arg))
 
+let serve_cmd =
+  let workers_arg =
+    let doc = "Number of worker domains (all spawned: server mode)." in
+    Arg.(value & opt int 2 & info [ "w"; "workers" ] ~docv:"N" ~doc)
+  in
+  let producers_arg =
+    let doc = "External producer domains submitting concurrently." in
+    Arg.(value & opt int 2 & info [ "producers" ] ~docv:"N" ~doc)
+  in
+  let rate_arg =
+    let doc = "Aggregate offered load in jobs per second." in
+    Arg.(value & opt float 200. & info [ "rate" ] ~docv:"HZ" ~doc)
+  in
+  let seconds_arg =
+    let doc = "Load duration per (mode, arrival) cell." in
+    Arg.(value & opt float 1.0 & info [ "seconds" ] ~docv:"S" ~doc)
+  in
+  let capacity_arg =
+    let doc = "Injection-lane slots (Reject admission when full)." in
+    Arg.(value & opt int 64 & info [ "capacity" ] ~docv:"N" ~doc)
+  in
+  let seed_arg =
+    let doc = "Arrival-process RNG seed." in
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let out_arg =
+    let doc = "Output path (default SERVE_<date>.json)." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let check_arg =
+    let doc = "Re-read the emitted file and validate it as JSON." in
+    Arg.(value & flag & info [ "check" ] ~doc)
+  in
+  let run workers producers rate_hz duration_s lane_capacity seed out check =
+    if workers < 1 then `Error (false, "--workers must be at least 1")
+    else if producers < 1 then
+      `Error (false, "--producers must be at least 1")
+    else if rate_hz <= 0. then `Error (false, "--rate must be positive")
+    else if duration_s <= 0. then
+      `Error (false, "--seconds must be positive")
+    else begin
+      let date =
+        let tm = Unix.gmtime (Unix.time ()) in
+        Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
+          (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
+      in
+      match
+        Wool_report.Serve_load.run ~producers ~workers ~rate_hz ~duration_s
+          ~lane_capacity ~seed ?out ~check ~date ()
+      with
+      | 0 -> `Ok ()
+      | n ->
+          `Error
+            (false, Printf.sprintf "%d cell(s) violated pool invariants" n)
+      | exception Failure msg -> `Error (false, msg)
+      | exception Invalid_argument msg -> `Error (false, msg)
+      | exception Sys_error msg -> `Error (false, msg)
+    end
+  in
+  let doc =
+    "drive a server-mode pool with open-loop Poisson traffic (sustained \
+     and bursty) from external producer domains; report admit/reject/shed \
+     counts and p50/p99/p999 sojourn latency per scheduler mode"
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc)
+    Term.(
+      ret
+        (const run $ workers_arg $ producers_arg $ rate_arg $ seconds_arg
+        $ capacity_arg $ seed_arg $ out_arg $ check_arg))
+
 let check_cmd =
   let histories_arg =
     let doc = "Fuzzed histories (consecutive seeds; 0 skips the fuzzer)." in
@@ -358,9 +432,12 @@ let () =
     "regenerate the tables and figures of the Wool paper; `woolbench \
      trace <workload>` records a scheduler trace; `woolbench policy \
      <workload>` sweeps the steal policies; `woolbench faults` and \
-     `woolbench check` stress and model-check the scheduler"
+     `woolbench check` stress and model-check the scheduler; `woolbench \
+     serve` load-tests the external-submission ingress"
   in
-  let subcommands = [ trace_cmd; policy_cmd; faults_cmd; bench_cmd; check_cmd ] in
+  let subcommands =
+    [ trace_cmd; policy_cmd; faults_cmd; bench_cmd; serve_cmd; check_cmd ]
+  in
   let argv =
     match Array.to_list Sys.argv with
     | exe :: "help" :: rest -> Array.of_list ((exe :: rest) @ [ "--help" ])

@@ -14,7 +14,7 @@ let () =
   let rng = Wool_util.Rng.make 2024 in
   let a = Mm.random_matrix rng n and b = Mm.random_matrix rng n in
   let (serial, serial_ns) = Wool_util.Clock.time (fun () -> Mm.serial a b) in
-  Wool.with_pool ~workers (fun pool ->
+  Wool.with_pool ~config:(Wool.Config.make ~workers ()) (fun pool ->
       let (parallel, par_ns) =
         Wool_util.Clock.time (fun () -> Wool.run pool (fun ctx -> Mm.wool ctx a b))
       in

@@ -13,7 +13,7 @@ let () =
     else Domain.recommended_domain_count ()
   in
   let (serial, serial_ns) = Wool_util.Clock.time (fun () -> Nq.serial n) in
-  Wool.with_pool ~workers (fun pool ->
+  Wool.with_pool ~config:(Wool.Config.make ~workers ()) (fun pool ->
       let (parallel, par_ns) =
         Wool_util.Clock.time (fun () -> Wool.run pool (fun ctx -> Nq.wool ctx n))
       in

@@ -17,7 +17,7 @@ let () =
   Printf.printf "random SPD %dx%d (padded to %d), %d stored nonzeros\n" n n size
     (Ch.nonzeros a);
   let (l_serial, serial_ns) = Wool_util.Clock.time (fun () -> Ch.serial_factor a size) in
-  Wool.with_pool ~workers (fun pool ->
+  Wool.with_pool ~config:(Wool.Config.make ~workers ()) (fun pool ->
       let (l, par_ns) =
         Wool_util.Clock.time (fun () ->
             Wool.run pool (fun ctx -> Ch.wool_factor ctx a size))

@@ -34,7 +34,7 @@ let () =
         n s.C.max_pool_depth s.C.steals s.C.suspensions);
 
   (* steal-child: every pending iteration occupies a descriptor *)
-  Wool.with_pool ~workers (fun pool ->
+  Wool.with_pool ~config:(Wool.Config.make ~workers ()) (fun pool ->
       let cells = Array.init n (fun _ -> ref 0) in
       Wool.run pool (fun ctx ->
           let futs =

@@ -15,7 +15,7 @@ let () =
   let s = Ssf.subject n in
   Printf.printf "subject s_%d has %d characters\n" n (String.length s);
   let (serial, serial_ns) = Wool_util.Clock.time (fun () -> Ssf.serial s) in
-  Wool.with_pool ~workers (fun pool ->
+  Wool.with_pool ~config:(Wool.Config.make ~workers ()) (fun pool ->
       let (parallel, par_ns) =
         Wool_util.Clock.time (fun () -> Wool.run pool (fun ctx -> Ssf.wool ctx s))
       in

@@ -32,6 +32,7 @@ type counts = {
   inlined_public : int;
   publish_events : int;
   privatize_events : int;
+  injected : int;
 }
 
 let count_tag per_worker tag =
@@ -61,6 +62,7 @@ let check_events ~direct ~counts ~dropped per_worker =
     expect "public inlines" E.Inline_public counts.inlined_public;
     expect "publishes" E.Publish counts.publish_events;
     expect "privatizes" E.Privatize counts.privatize_events;
+    expect "injected dequeues" E.Dequeue_injected counts.injected;
     (* every committed steal was preceded by a probe on the same thief *)
     Array.iteri
       (fun w evs ->

@@ -13,6 +13,7 @@ type counts = {
   inlined_public : int;
   publish_events : int;
   privatize_events : int;
+  injected : int;  (** jobs drained from the injection lanes and run *)
 }
 
 val check_events :

@@ -10,6 +10,7 @@
 
 module Ds = Direct_stack_checked
 module Cl = Chase_lev_checked
+module Iq = Inject_queue_checked
 
 let check cond msg = if not cond then failwith msg
 
@@ -399,6 +400,199 @@ let chase_lev_last_task =
     run;
   }
 
+(* ---- ingress scenarios: the external-submission protocol reduced to
+   its shared state. A ticket is a Shadow_atomic int (0 pending, 1 done,
+   2 rejected) resolved by CAS from 0 — first writer wins, exactly like
+   the mutex-guarded first-resolve-wins of the runtime ticket. *)
+
+let tk_pending = 0
+let tk_done = 1
+let tk_rejected = 2
+let resolve tk st = ignore (Shadow_atomic.compare_and_set tk tk_pending st : bool)
+
+(* -- Scenario 8: submit racing shutdown. The submitter follows the
+   runtime's admission protocol (check stop -> push -> re-check stop,
+   draining its own lane if stop won the race); shutdown sets stop and
+   drains. The invariant under every interleaving: the ticket resolves
+   (never a stranded submitter) and the lane ends empty (no element
+   survives shutdown un-rejected). *)
+let submit_vs_shutdown =
+  let run ~max_schedules =
+    let saw_early_reject = ref false
+    and saw_self_drain = ref false
+    and saw_shutdown_drain = ref false in
+    let stats =
+      Sched.run ~max_schedules (fun () ->
+          let q = Iq.create ~capacity:2 ~dummy:(-1) () in
+          let stop = Shadow_atomic.make false in
+          let tk = Shadow_atomic.make tk_pending in
+          (* pop-and-reject everything queued; whoever pops an element
+             owns its resolution, exactly like [ij_drop] *)
+          let rec drain_reject mark =
+            match Iq.try_pop q with
+            | Some 0 ->
+                mark ();
+                resolve tk tk_rejected;
+                drain_reject mark
+            | Some _ -> failwith "drained a job nobody submitted"
+            | None -> ()
+          in
+          Sched.spawn (fun () ->
+              (* submitter *)
+              if Shadow_atomic.get stop then begin
+                saw_early_reject := true;
+                resolve tk tk_rejected
+              end
+              else if not (Iq.try_push q 0) then resolve tk tk_rejected
+              else if
+                (* admitted_post's re-check: if stop won between our
+                   push and here, no worker will drain — do it ourselves *)
+                Shadow_atomic.get stop
+              then drain_reject (fun () -> saw_self_drain := true));
+          Sched.spawn (fun () ->
+              (* shutdown *)
+              Shadow_atomic.set stop true;
+              drain_reject (fun () -> saw_shutdown_drain := true));
+          Sched.final (fun () ->
+              check
+                (Shadow_atomic.get tk <> tk_pending)
+                "submit-vs-shutdown stranded the ticket";
+              check (Iq.size q = 0) "lane not empty after shutdown"))
+    in
+    check !saw_early_reject "coverage: pre-push stop never explored";
+    check !saw_self_drain "coverage: submitter self-drain never explored";
+    check !saw_shutdown_drain "coverage: shutdown drain never explored";
+    stats
+  in
+  {
+    name = "submit-vs-shutdown";
+    descr = "admission re-check vs stop/drain: ticket always resolves";
+    run;
+  }
+
+(* -- Scenario 9: one producer pushing into a *full* lane while a worker
+   drains it — the [Reject] admission boundary. The producer's push and
+   the worker's pops meet on the same cells, so every interleaving of
+   the publish (seq bump) against the probe (seq read) is explored:
+   admitted iff a pop freed a slot before the probe, and an admitted job
+   is drained exactly once. This scenario is what catches the capacity-1
+   lap bug (a producer one lap ahead reading a published seq as free). *)
+let submit_vs_drain =
+  let run ~max_schedules =
+    let saw_reject = ref false and saw_admit = ref false in
+    let stats =
+      Sched.run ~max_schedules (fun () ->
+          let q = Iq.create ~capacity:2 ~dummy:(-1) () in
+          let tks = Array.init 3 (fun _ -> Shadow_atomic.make tk_pending) in
+          let execd = Array.make 3 0 in
+          let admitted = [| true; true; false |] in
+          (* unscheduled prefix: the lane is full *)
+          check (Iq.try_push q 0 && Iq.try_push q 1) "setup: prefill failed";
+          let pop_run () =
+            match Iq.try_pop q with
+            | Some v ->
+                execd.(v) <- execd.(v) + 1;
+                resolve tks.(v) tk_done
+            | None -> ()
+          in
+          Sched.spawn (fun () ->
+              (* producer: [Reject] admission on job 2 *)
+              if Iq.try_push q 2 then admitted.(2) <- true
+              else resolve tks.(2) tk_rejected);
+          Sched.spawn (fun () ->
+              (* worker: one drain pass per prefilled slot *)
+              pop_run ();
+              pop_run ());
+          Sched.final (fun () ->
+              (* quiescent drain of whatever the worker raced past *)
+              let rec drain () =
+                match Iq.try_pop q with
+                | Some v ->
+                    execd.(v) <- execd.(v) + 1;
+                    resolve tks.(v) tk_done;
+                    drain ()
+                | None -> ()
+              in
+              drain ();
+              check (Iq.size q = 0) "lane not drained";
+              for i = 0 to 2 do
+                let st = Shadow_atomic.get tks.(i) in
+                check (st <> tk_pending)
+                  (Printf.sprintf "ticket %d stranded" i);
+                check
+                  (execd.(i) = if admitted.(i) then 1 else 0)
+                  (Printf.sprintf "job %d ran %d times (admitted: %b)" i
+                     execd.(i) admitted.(i))
+              done;
+              if admitted.(2) then saw_admit := true else saw_reject := true))
+    in
+    check !saw_reject "coverage: full-lane rejection never explored";
+    check !saw_admit "coverage: freed-slot admission never explored";
+    stats
+  in
+  {
+    name = "submit-vs-drain";
+    descr = "producer vs draining worker on a full lane (Reject boundary)";
+    run;
+  }
+
+(* -- Scenario 10: two producers racing for the last free slot — the
+   enqueue-cursor CAS race. Exactly one may claim it; the loser's failed
+   CAS must re-probe and observe full (never spin forever, never
+   overwrite), mirroring the two-thieves steal race on the deque side. *)
+let submit_vs_submit =
+  let run ~max_schedules =
+    let wins = [| false; false |] in
+    let stats =
+      Sched.run ~max_schedules (fun () ->
+          let q = Iq.create ~capacity:2 ~dummy:(-1) () in
+          let tks = Array.init 3 (fun _ -> Shadow_atomic.make tk_pending) in
+          let admitted = [| true; false; false |] in
+          (* unscheduled prefix: one slot taken, one free *)
+          check (Iq.try_push q 0) "setup: prefill failed";
+          let producer i =
+            if Iq.try_push q i then begin
+              admitted.(i) <- true;
+              wins.(i - 1) <- true
+            end
+            else resolve tks.(i) tk_rejected
+          in
+          Sched.spawn (fun () -> producer 1);
+          Sched.spawn (fun () -> producer 2);
+          Sched.final (fun () ->
+              check
+                (not (admitted.(1) && admitted.(2)))
+                "both producers claimed the single free slot";
+              check
+                (admitted.(1) || admitted.(2))
+                "the free slot admitted nobody";
+              let rec drain () =
+                match Iq.try_pop q with
+                | Some v ->
+                    check admitted.(v)
+                      (Printf.sprintf "drained job %d was never admitted" v);
+                    resolve tks.(v) tk_done;
+                    drain ()
+                | None -> ()
+              in
+              drain ();
+              check (Iq.size q = 0) "lane not drained";
+              for i = 0 to 2 do
+                check
+                  (Shadow_atomic.get tks.(i) <> tk_pending)
+                  (Printf.sprintf "ticket %d stranded" i)
+              done))
+    in
+    check wins.(0) "coverage: producer 1 never won the slot";
+    check wins.(1) "coverage: producer 2 never won the slot";
+    stats
+  in
+  {
+    name = "submit-vs-submit";
+    descr = "enqueue-cursor CAS race for the last free slot";
+    run;
+  }
+
 let all =
   [
     single_task_lifecycle;
@@ -408,4 +602,7 @@ let all =
     trip_wire_steal_vs_privatize;
     publish_window;
     chase_lev_last_task;
+    submit_vs_shutdown;
+    submit_vs_drain;
+    submit_vs_submit;
   ]

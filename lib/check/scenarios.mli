@@ -1,8 +1,10 @@
 (** Bounded model-checking scenarios over the checked deque protocols:
     the descriptor lifecycle, thief/thief CAS races through the packed
     [botw] commit, the delayed-CAS recycled-descriptor back-off, the
-    trip-wire steal-vs-privatize race, mid-run publication, and the
-    Chase-Lev last-element race. Each scenario asserts exactly-once
+    trip-wire steal-vs-privatize race, mid-run publication, the
+    Chase-Lev last-element race, and the ingress protocol
+    (submit-vs-shutdown ticket resolution, producer/producer/consumer
+    races on the injection lanes). Each scenario asserts exactly-once
     execution, quiescence and counter balance on every schedule, plus
     cross-schedule coverage of the interesting paths. *)
 

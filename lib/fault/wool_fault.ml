@@ -10,11 +10,14 @@ module Site = struct
     | Spawn
     | Join
     | Leapfrog
+    | Submit
+    | Admit
+    | Drain
 
   let all =
     [
       Pre_steal_cas; Post_steal_cas; Trip_wire; Publish; Nap_entry; Spawn;
-      Join; Leapfrog;
+      Join; Leapfrog; Submit; Admit; Drain;
     ]
 
   let count = List.length all
@@ -28,6 +31,9 @@ module Site = struct
     | Spawn -> 5
     | Join -> 6
     | Leapfrog -> 7
+    | Submit -> 8
+    | Admit -> 9
+    | Drain -> 10
 
   let name = function
     | Pre_steal_cas -> "pre_steal_cas"
@@ -38,6 +44,9 @@ module Site = struct
     | Spawn -> "spawn"
     | Join -> "join"
     | Leapfrog -> "leapfrog"
+    | Submit -> "submit"
+    | Admit -> "admit"
+    | Drain -> "drain"
 
   let of_name s = List.find_opt (fun t -> name t = s) all
 end

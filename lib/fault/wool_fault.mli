@@ -36,6 +36,16 @@ module Site : sig
     | Spawn  (** task push; the only site where {!Kind.Raise_exn} fires *)
     | Join  (** owner about to join its newest spawn *)
     | Leapfrog  (** each steal attempt made while leapfrogging *)
+    | Submit
+        (** producer side, on entry to [Submit.submit] — before the
+            shutdown check, so a delay here widens the submit-vs-shutdown
+            race window *)
+    | Admit
+        (** producer side, between winning a lane slot and publishing
+            the admission — stretches the admit-vs-drain window *)
+    | Drain
+        (** worker side, each attempt to pop an injection lane in the
+            idle loop *)
 
   val all : t list
   val count : int

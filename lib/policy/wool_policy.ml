@@ -117,6 +117,19 @@ module Backoff = struct
     st.nap_count <- 0
 end
 
+module Admission = struct
+  type t = Block | Reject | Shed_oldest
+
+  let all = [ Block; Reject; Shed_oldest ]
+
+  let name = function
+    | Block -> "block"
+    | Reject -> "reject"
+    | Shed_oldest -> "shed-oldest"
+
+  let of_name s = List.find_opt (fun t -> name t = s) all
+end
+
 module Select = struct
   type state = {
     selector : Selector.t;

@@ -74,6 +74,25 @@ module Backoff : sig
   (** A steal succeeded: reset the streak (and the exponential ladder). *)
 end
 
+(** What a full injection lane does to a new submission — the
+    backpressure half of the ingress path. Owned here (rather than by
+    the runtime) for the same reason as {!Selector}: the load generator
+    sweeps admission policies exactly as [woolbench policy] sweeps steal
+    policies, and both sides must agree on the vocabulary. *)
+module Admission : sig
+  type t =
+    | Block  (** the producer waits for a slot (closed-loop producers) *)
+    | Reject  (** the submission's ticket resolves rejected immediately *)
+    | Shed_oldest
+        (** evict the oldest queued job (its ticket resolves rejected)
+            to make room — latency-SLO serving, where a stale job is
+            worth less than a fresh one *)
+
+  val all : t list
+  val name : t -> string
+  val of_name : string -> t option
+end
+
 (** Per-worker victim-selection state machine. Both schedulers call
     [next] for every unpinned steal attempt and report outcomes back, so
     a given (seed, selector) pair yields the same victim sequence in the

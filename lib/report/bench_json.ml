@@ -13,7 +13,10 @@ module Json = Wool_trace.Json
 module Granularity = Wool_metrics.Granularity
 module Spec = Exp_common.Spec
 
-let schema_version = "wool-bench/1"
+let schema_version = "wool-bench/2"
+
+(* v1 documents (no tail percentiles) still decode; see [stat_of_tree] *)
+let schema_v1 = "wool-bench/1"
 
 type stat = {
   n : int;
@@ -24,6 +27,8 @@ type stat = {
   max : float;
   p10 : float;
   p90 : float;
+  p99 : float;
+  p999 : float;
 }
 
 let stat_of_samples samples =
@@ -37,6 +42,8 @@ let stat_of_samples samples =
     max = s.Stats.max;
     p10 = Stats.percentile samples 10.0;
     p90 = Stats.percentile samples 90.0;
+    p99 = Stats.percentile samples 99.0;
+    p999 = Stats.percentile samples 99.9;
   }
 
 type run = {
@@ -199,6 +206,7 @@ let add_stat b (s : stat) =
     [
       ("mean", s.mean); ("median", s.median); ("stddev", s.stddev);
       ("min", s.min); ("max", s.max); ("p10", s.p10); ("p90", s.p90);
+      ("p99", s.p99); ("p999", s.p999);
     ];
   Buffer.add_char b '}'
 
@@ -284,7 +292,11 @@ let stat_of_tree t =
   let* max = float_member "max" t in
   let* p10 = float_member "p10" t in
   let* p90 = float_member "p90" t in
-  Some { n; mean; median; stddev; min; max; p10; p90 }
+  (* absent in v1 documents: default to [max], the only sound upper
+     bound the old schema recorded for the tail *)
+  let p99 = Option.value ~default:max (float_member "p99" t) in
+  let p999 = Option.value ~default:max (float_member "p999" t) in
+  Some { n; mean; median; stddev; min; max; p10; p90; p99; p999 }
 
 let run_of_tree t =
   let* workload = string_member "workload" t in
@@ -316,7 +328,7 @@ let of_json body =
   | Ok t -> (
       let report =
         let* schema = string_member "schema" t in
-        if schema <> schema_version then None
+        if schema <> schema_version && schema <> schema_v1 then None
         else
           let* date = string_member "date" t in
           let* size = string_member "size" t in

@@ -11,18 +11,23 @@
     own noise band ([p90] + 10% over the median). *)
 
 val schema_version : string
-(** ["wool-bench/1"]; bumped on any field change. *)
+(** ["wool-bench/2"]; bumped on any field change. v2 added the tail
+    percentiles [p99]/[p999] to {!stat}; {!of_json} still accepts
+    ["wool-bench/1"] documents, defaulting the missing tails to the
+    recorded [max]. *)
 
 (** Summary of one timed sample set, in nanoseconds. *)
 type stat = {
   n : int;
   mean : float;
-  median : float;
+  median : float;  (** = p50 *)
   stddev : float;
   min : float;
   max : float;
   p10 : float;
   p90 : float;
+  p99 : float;
+  p999 : float;
 }
 
 (** One (workload, mode, publicity, workers) cell. *)
@@ -74,7 +79,7 @@ val to_json : report -> string
 
 val of_json : string -> (report, string) result
 (** Inverse of {!to_json}; also rejects documents whose ["schema"] is
-    not {!schema_version}. *)
+    neither {!schema_version} nor the previous ["wool-bench/1"]. *)
 
 val write_file : string -> report -> unit
 val read_file : string -> (report, string) result

@@ -105,6 +105,7 @@ let counts_of_stats (s : Wool.Stats.t) =
     inlined_public = s.inlined_public;
     publish_events = s.publish_events;
     privatize_events = s.privatize_events;
+    injected = s.injected;
   }
 
 let run_one ~seed =
@@ -124,16 +125,28 @@ let run_one ~seed =
     else None
   in
   let budget = 30 + Rng.int rng 171 in
+  (* a quarter of the histories run as server pools (worker 0 spawned,
+     the fuzz driver a pure producer); all of them mix a few external
+     submissions in ahead of the main run, so the ingress path is under
+     the same schedule fuzzing as the steal protocol *)
+  let server = Rng.int rng 4 = 0 in
+  let n_inject = Rng.int rng 4 in
   let spec, nodes = gen_spec rng ~budget in
   let expect = eval spec in
   let counts = Array.init nodes (fun _ -> Atomic.make 0) in
   let config =
-    Wool.Config.make ~workers ~mode ~publicity ~policy ?faults ~seed
+    Wool.Config.make ~workers ~mode ~publicity ~policy ?faults ~seed ~server
       ~trace:true ~trace_capacity:(1 lsl 14) ()
   in
   let pool = Wool.create ~config () in
   let violations = ref [] in
   let add v = violations := !violations @ v in
+  let tickets =
+    Wool.Submit.submit_batch pool
+      (List.init n_inject (fun i _ctx ->
+           spin (500 + (i * 131));
+           0x1000 + i))
+  in
   let (), elapsed_ns =
     Clock.time (fun () ->
         let v = Wool.run pool (fun ctx -> task counts ctx spec) in
@@ -143,6 +156,23 @@ let run_one ~seed =
               Printf.sprintf "wrong result: eval = %d, expected %d" v expect;
             ])
   in
+  List.iteri
+    (fun i tk ->
+      match Wool.Submit.await tk with
+      | v ->
+          if v <> 0x1000 + i then
+            add
+              [
+                Printf.sprintf "submission %d returned %#x, expected %#x" i v
+                  (0x1000 + i);
+              ]
+      | exception e ->
+          add
+            [
+              Printf.sprintf "submission %d raised %s" i
+                (Printexc.to_string e);
+            ])
+    tickets;
   Array.iteri
     (fun id c ->
       let n = Atomic.get c in
@@ -156,6 +186,22 @@ let run_one ~seed =
       [
         Printf.sprintf "stats.spawns = %d, expected %d (tree edges)"
           stats.spawns (nodes - 1);
+      ];
+  (* the main run goes through the ingress too: n_inject + 1 dequeues *)
+  if stats.injected <> n_inject + 1 then
+    add
+      [
+        Printf.sprintf "stats.injected = %d, expected %d" stats.injected
+          (n_inject + 1);
+      ];
+  let ig = Wool.ingress_stats pool in
+  if ig.Wool.Pool.submitted <> ig.Wool.Pool.admitted + ig.Wool.Pool.rejected
+  then
+    add
+      [
+        Printf.sprintf "ingress imbalance: submitted %d <> admitted %d + \
+                        rejected %d"
+          ig.Wool.Pool.submitted ig.Wool.Pool.admitted ig.Wool.Pool.rejected;
       ];
   (* the trace oracle wants exact thief rings: shut down first *)
   Wool.shutdown pool;
@@ -191,7 +237,7 @@ let print_rows rows =
       ~header:
         [
           "seed"; "mode"; "w"; "publicity"; "policy"; "faults"; "tasks";
-          "steals"; "ms"; "oracle";
+          "inj"; "steals"; "ms"; "oracle";
         ]
       ()
   in
@@ -206,6 +252,7 @@ let print_rows rows =
           Wool_policy.name r.policy;
           (if r.faulty then "plan" else "-");
           Table.cell_i r.nodes;
+          Table.cell_i r.stats.injected;
           Table.cell_i r.stats.steals;
           Table.cell_f ~dec:1 (r.elapsed_ns /. 1e6);
           (match r.violations with

@@ -1,0 +1,269 @@
+(* Open-loop latency-SLO load generator ("woolbench serve"): external
+   producer domains submit jobs into a server-mode pool through
+   {!Wool.Submit} at scheduled Poisson arrival times — sustained and
+   bursty — and the report gives the ingress verdicts (admit / reject /
+   shed) next to sojourn-time percentiles (p50/p99/p999).
+
+   Open loop means the arrival process never waits for the system:
+   arrival k+1 is scheduled one exponential gap after arrival k's
+   *scheduled* time, not after its completion, and a producer that falls
+   behind submits back-to-back until it catches up. Latency is measured
+   from the scheduled arrival, so queueing delay caused by overload is
+   charged to the jobs that suffered it (no coordinated omission). *)
+
+module Clock = Wool_util.Clock
+module Stats = Wool_util.Stats
+module Rng = Wool_util.Rng
+module Table = Wool_util.Table
+module Json = Wool_trace.Json
+
+let schema_version = "wool-serve/1"
+
+type arrival = Sustained | Bursty
+
+let arrival_name = function Sustained -> "sustained" | Bursty -> "bursty"
+
+type row = {
+  mode : string;
+  arrival : string;
+  offered : int;  (** submissions attempted (ingress [submitted]) *)
+  admitted : int;
+  rejected : int;
+  shed : int;
+  executed : int;
+  p50_ms : float;
+  p99_ms : float;
+  p999_ms : float;
+  throughput : float;  (** executed jobs per second of wall clock *)
+  elapsed_s : float;
+  violations : string list;  (** {!Wool.Invariants.check}, post-quiesce *)
+}
+
+let modes =
+  [
+    ("locked", Wool.Locked);
+    ("swap", Wool.Swap_generic);
+    ("task-specific", Wool.Task_specific);
+    ("private", Wool.Private);
+    ("chase-lev", Wool.Clev);
+  ]
+
+let spin n =
+  for i = 1 to n do
+    ignore (Sys.opaque_identity i : int)
+  done
+
+(* Bursty traffic alternates 100ms phases at 1.8x / 0.2x the nominal
+   rate — same offered average, but the on-phase overloads a lane that
+   the sustained process keeps comfortably drained. *)
+let burst_period_ns = 100_000_000
+
+let effective_rate arrival rate ~now ~t_start =
+  match arrival with
+  | Sustained -> rate
+  | Bursty ->
+      if (now - t_start) / burst_period_ns mod 2 = 0 then rate *. 1.8
+      else rate *. 0.2
+
+(* One producer domain: submit at the scheduled arrival times until the
+   deadline, return the tickets for the main domain to settle. *)
+let producer pool ~seed ~pi ~arrival ~rate ~t_start ~stop_at ~service_spins
+    () =
+  let rng = Rng.make (seed + (0x9e3779 * (pi + 1))) in
+  let tickets = ref [] in
+  let next = ref (Clock.now_ns ()) in
+  let rec loop () =
+    let now = Clock.now_ns () in
+    if now >= stop_at then ()
+    else if now < !next then begin
+      Unix.sleepf (float_of_int (!next - now) /. 1e9);
+      loop ()
+    end
+    else begin
+      let t0 = !next in
+      let tk =
+        Wool.Submit.submit pool (fun _ctx ->
+            spin service_spins;
+            Clock.now_ns () - t0)
+      in
+      tickets := tk :: !tickets;
+      let r = effective_rate arrival rate ~now ~t_start in
+      let u = Rng.float rng 1.0 in
+      let gap_ns = Int.max 1_000 (int_of_float (-.log (1. -. u) /. r *. 1e9)) in
+      next := !next + gap_ns;
+      loop ()
+    end
+  in
+  loop ();
+  !tickets
+
+let run_cell ~mode_name ~mode ~arrival ~producers ~workers ~rate_hz
+    ~duration_s ~lane_capacity ~service_spins ~seed =
+  (* [Reject] admission keeps the loop open: a full lane turns the
+     submission around immediately instead of parking the producer *)
+  let config =
+    Wool.Config.make ~workers ~mode ~server:true ~injection_lanes:1
+      ~injection_capacity:lane_capacity ~admission:Wool.Reject ~seed ()
+  in
+  Wool.with_pool ~config (fun pool ->
+      let t_start = Clock.now_ns () in
+      let stop_at = t_start + int_of_float (duration_s *. 1e9) in
+      let rate = rate_hz /. float_of_int producers in
+      let doms =
+        List.init producers (fun pi ->
+            Domain.spawn
+              (producer pool ~seed ~pi ~arrival ~rate ~t_start ~stop_at
+                 ~service_spins))
+      in
+      let tickets = List.concat_map Domain.join doms in
+      let latencies =
+        List.filter_map
+          (fun tk ->
+            match Wool.Submit.await tk with
+            | ns -> Some (float_of_int ns)
+            | exception Wool.Submission_rejected -> None)
+          tickets
+      in
+      let elapsed_s = float_of_int (Clock.now_ns () - t_start) /. 1e9 in
+      let ig = Wool.ingress_stats pool in
+      let violations = Wool.Invariants.check pool in
+      let lats = Array.of_list latencies in
+      let pct p = if lats = [||] then 0. else Stats.percentile lats p /. 1e6 in
+      {
+        mode = mode_name;
+        arrival = arrival_name arrival;
+        offered = ig.Wool.Pool.submitted;
+        admitted = ig.Wool.Pool.admitted;
+        rejected = ig.Wool.Pool.rejected;
+        shed = ig.Wool.Pool.shed;
+        executed = ig.Wool.Pool.executed;
+        p50_ms = pct 50.0;
+        p99_ms = pct 99.0;
+        p999_ms = pct 99.9;
+        throughput = float_of_int ig.Wool.Pool.executed /. elapsed_s;
+        elapsed_s;
+        violations;
+      })
+
+let measure ?(producers = 2) ?(workers = 2) ?(rate_hz = 200.) ?(duration_s = 1.0)
+    ?(lane_capacity = 64) ?(service_spins = 2_000) ?(seed = 42) () =
+  if producers < 1 then invalid_arg "Serve_load.measure: producers < 1";
+  if workers < 1 then invalid_arg "Serve_load.measure: workers < 1";
+  if rate_hz <= 0. then invalid_arg "Serve_load.measure: rate_hz <= 0";
+  if duration_s <= 0. then invalid_arg "Serve_load.measure: duration_s <= 0";
+  List.concat_map
+    (fun (mode_name, mode) ->
+      List.map
+        (fun arrival ->
+          run_cell ~mode_name ~mode ~arrival ~producers ~workers ~rate_hz
+            ~duration_s ~lane_capacity ~service_spins ~seed)
+        [ Sustained; Bursty ])
+    modes
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+
+let add_float b v =
+  if Float.is_integer v && Float.abs v < 1e15 then
+    Buffer.add_string b (Printf.sprintf "%.0f" v)
+  else if Float.is_finite v then Buffer.add_string b (Printf.sprintf "%.17g" v)
+  else Buffer.add_string b "null"
+
+let to_json ~date ~producers ~workers ~rate_hz ~duration_s rows =
+  let b = Buffer.create 2048 in
+  Printf.bprintf b
+    "{\"schema\":%S,\"date\":%S,\"producers\":%d,\"workers\":%d"
+    schema_version date producers workers;
+  Printf.bprintf b ",\"rate_hz\":";
+  add_float b rate_hz;
+  Printf.bprintf b ",\"duration_s\":";
+  add_float b duration_s;
+  Buffer.add_string b ",\"rows\":[";
+  List.iteri
+    (fun i r ->
+      if i > 0 then Buffer.add_string b ",\n";
+      Printf.bprintf b
+        "{\"mode\":%S,\"arrival\":%S,\"offered\":%d,\"admitted\":%d,\"rejected\":%d,\"shed\":%d,\"executed\":%d"
+        r.mode r.arrival r.offered r.admitted r.rejected r.shed r.executed;
+      List.iter
+        (fun (k, v) ->
+          Printf.bprintf b ",\"%s\":" k;
+          add_float b v)
+        [
+          ("p50_ms", r.p50_ms); ("p99_ms", r.p99_ms); ("p999_ms", r.p999_ms);
+          ("throughput", r.throughput); ("elapsed_s", r.elapsed_s);
+        ];
+      Printf.bprintf b ",\"violations\":%d}" (List.length r.violations))
+    rows;
+  Buffer.add_string b "]}\n";
+  let body = Buffer.contents b in
+  (match Json.validate body with
+  | Ok () -> ()
+  | Error msg -> failwith ("Serve_load.to_json: emitted invalid JSON: " ^ msg));
+  body
+
+(* ------------------------------------------------------------------ *)
+(* Rendering and driver                                                *)
+
+let print_rows rows =
+  let tbl =
+    Table.create ~title:"open-loop ingress load (latency = sojourn, ms)"
+      ~header:
+        [
+          "mode"; "arrival"; "offered"; "admit"; "reject"; "shed"; "exec";
+          "p50"; "p99"; "p999"; "jobs/s"; "oracle";
+        ]
+      ()
+  in
+  List.iter
+    (fun r ->
+      Table.add_row tbl
+        [
+          r.mode; r.arrival; Table.cell_i r.offered; Table.cell_i r.admitted;
+          Table.cell_i r.rejected; Table.cell_i r.shed;
+          Table.cell_i r.executed; Table.cell_f ~dec:2 r.p50_ms;
+          Table.cell_f ~dec:2 r.p99_ms; Table.cell_f ~dec:2 r.p999_ms;
+          Table.cell_f ~dec:0 r.throughput;
+          (match r.violations with
+          | [] -> "ok"
+          | vs -> Printf.sprintf "%d VIOLATIONS" (List.length vs));
+        ])
+    rows;
+  Table.print tbl;
+  List.iter
+    (fun r ->
+      List.iter
+        (fun v -> Printf.printf "!! %s/%s: %s\n" r.mode r.arrival v)
+        r.violations)
+    rows;
+  List.length (List.filter (fun r -> r.violations <> []) rows)
+
+let default_out ~date = Printf.sprintf "SERVE_%s.json" date
+
+let run ?producers ?workers ?rate_hz ?duration_s ?lane_capacity
+    ?service_spins ?seed ?out ?(check = false) ~date () =
+  let rows =
+    measure ?producers ?workers ?rate_hz ?duration_s ?lane_capacity
+      ?service_spins ?seed ()
+  in
+  let bad = print_rows rows in
+  let producers = Option.value ~default:2 producers in
+  let workers = Option.value ~default:2 workers in
+  let rate_hz = Option.value ~default:200. rate_hz in
+  let duration_s = Option.value ~default:1.0 duration_s in
+  let body = to_json ~date ~producers ~workers ~rate_hz ~duration_s rows in
+  let out = match out with Some p -> p | None -> default_out ~date in
+  let oc = open_out_bin out in
+  output_string oc body;
+  close_out oc;
+  Printf.printf "wrote %s (%d rows)\n" out (List.length rows);
+  if check then begin
+    let ic = open_in_bin out in
+    let len = in_channel_length ic in
+    let body' = really_input_string ic len in
+    close_in ic;
+    match Json.validate body' with
+    | Ok () -> print_endline "check: re-read JSON validates"
+    | Error msg -> failwith (Printf.sprintf "check: %s: %s" out msg)
+  end;
+  bad

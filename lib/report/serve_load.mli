@@ -1,0 +1,87 @@
+(** Open-loop latency-SLO load generator ("woolbench serve").
+
+    External producer domains (never pool workers) submit jobs into a
+    server-mode pool through {!Wool.Submit} at scheduled Poisson arrival
+    times, sustained and bursty, across all five scheduler modes. The
+    loop is open: the arrival process never waits for the system, and a
+    job's latency is measured from its {e scheduled} arrival, so
+    overload shows up as tail latency instead of being silently absorbed
+    by a slowed-down producer (no coordinated omission). Admission is
+    [Reject], keeping producers non-blocking; the report pairs the
+    ingress verdict counters with sojourn-time percentiles. *)
+
+val schema_version : string
+(** ["wool-serve/1"]. *)
+
+type arrival = Sustained | Bursty
+
+val arrival_name : arrival -> string
+
+(** One (mode, arrival process) cell. *)
+type row = {
+  mode : string;
+  arrival : string;
+  offered : int;  (** submissions attempted (ingress [submitted]) *)
+  admitted : int;
+  rejected : int;
+  shed : int;
+  executed : int;
+  p50_ms : float;  (** sojourn time: scheduled arrival to completion *)
+  p99_ms : float;
+  p999_ms : float;
+  throughput : float;  (** executed jobs per second of wall clock *)
+  elapsed_s : float;
+  violations : string list;  (** {!Wool.Invariants.check}, post-quiesce *)
+}
+
+val measure :
+  ?producers:int ->
+  ?workers:int ->
+  ?rate_hz:float ->
+  ?duration_s:float ->
+  ?lane_capacity:int ->
+  ?service_spins:int ->
+  ?seed:int ->
+  unit ->
+  row list
+(** Run every (mode, arrival) cell: [producers] (default 2) domains
+    offering [rate_hz] (default 200) jobs/s in aggregate for
+    [duration_s] (default 1.0) into a [workers]-domain (default 2)
+    server pool with one [lane_capacity]-slot lane (default 64); each
+    job spins [service_spins] iterations (default 2000). Raises
+    [Invalid_argument] on non-positive parameters. *)
+
+val to_json :
+  date:string ->
+  producers:int ->
+  workers:int ->
+  rate_hz:float ->
+  duration_s:float ->
+  row list ->
+  string
+(** Render; validated with {!Wool_trace.Json.validate} before being
+    returned (raises [Failure] if that ever fails). *)
+
+val print_rows : row list -> int
+(** Print the table and any invariant violations; returns the number of
+    rows with violations. *)
+
+val default_out : date:string -> string
+(** [SERVE_<date>.json]. *)
+
+val run :
+  ?producers:int ->
+  ?workers:int ->
+  ?rate_hz:float ->
+  ?duration_s:float ->
+  ?lane_capacity:int ->
+  ?service_spins:int ->
+  ?seed:int ->
+  ?out:string ->
+  ?check:bool ->
+  date:string ->
+  unit ->
+  int
+(** CLI driver: measure, print, write [out] (default {!default_out});
+    with [check], re-read the file and re-validate the JSON. Returns the
+    number of rows with invariant violations (0 = clean). *)

@@ -1,6 +1,7 @@
 module Ds = Wool_deque.Direct_stack
 module Locked_deque = Wool_deque.Locked_deque
 module Chase_lev = Wool_deque.Chase_lev
+module Inject_queue = Wool_deque.Inject_queue
 module Ring = Wool_trace.Ring
 module Event = Wool_trace.Event
 module Select = Wool_policy.Select
@@ -11,6 +12,8 @@ module Layout = Wool_util.Layout
 exception Pool_overflow = Ds.Pool_overflow
 
 type mode = Locked | Swap_generic | Task_specific | Private | Clev
+
+type admission = Wool_policy.Admission.t = Block | Reject | Shed_oldest
 
 type publicity = Wool_deque.Direct_stack.publicity =
   | All_private
@@ -33,6 +36,10 @@ module Config = struct
     faults : Wool_fault.Plan.t option;
     watchdog_interval_ns : int;
     watchdog_stalls : int;
+    injection_lanes : int;
+    injection_capacity : int;
+    admission : admission;
+    server : bool;
   }
 
   let default =
@@ -51,14 +58,55 @@ module Config = struct
       faults = None;
       watchdog_interval_ns = 5_000_000;
       watchdog_stalls = 0;
+      injection_lanes = 1;
+      injection_capacity = 1024;
+      admission = Block;
+      server = false;
     }
+
+  (* Reject nonsensical settings here, with the field named, instead of
+     letting them surface as a wedged pool or a mod-by-zero deep in the
+     ingress path. *)
+  let validate c =
+    let bad fmt = Printf.ksprintf invalid_arg ("Wool.Config: " ^^ fmt) in
+    (match c.workers with
+    | Some n when n <= 0 -> bad "workers must be positive (got %d)" n
+    | Some _ | None -> ());
+    if c.capacity <= 0 then bad "capacity must be positive (got %d)" c.capacity;
+    if c.idle_nap_ns < 0 then
+      bad "idle_nap_ns must be non-negative (got %d)" c.idle_nap_ns;
+    if c.trace_capacity <= 0 then
+      bad "trace_capacity must be positive (got %d)" c.trace_capacity;
+    if c.watchdog_stalls < 0 then
+      bad "watchdog_stalls must be non-negative (got %d)" c.watchdog_stalls;
+    if c.watchdog_stalls > 0 && c.watchdog_interval_ns <= 0 then
+      bad "watchdog_interval_ns must be positive when the watchdog is on (got %d)"
+        c.watchdog_interval_ns;
+    if c.injection_lanes <= 0 then
+      bad "injection_lanes must be positive (got %d)" c.injection_lanes;
+    if c.injection_capacity < 0 then
+      bad "injection_capacity must be non-negative (got %d)"
+        c.injection_capacity;
+    if c.injection_capacity = 0 && c.admission = Block then
+      bad
+        "injection_capacity = 0 with Block admission would wedge every \
+         producer; use Reject to close the ingress";
+    if c.injection_capacity = 0 && c.admission = Shed_oldest then
+      bad
+        "injection_capacity = 0 with Shed_oldest admission has nothing to \
+         shed; use Reject to close the ingress";
+    if c.server && c.injection_capacity = 0 then
+      bad "server mode needs injection_capacity > 0 (submission is the only \
+           way in)";
+    c
 
   (* The single option-merge routine behind [make] and [override]: two
      hand-rolled copies drifted on every new field ([trace_capacity] was
      silently not overridable for a while). *)
   let merge base ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns
       ?seed ?trace ?trace_capacity ?policy ?steal_policy ?backoff ?faults
-      ?watchdog_interval_ns ?watchdog_stalls () =
+      ?watchdog_interval_ns ?watchdog_stalls ?injection_lanes
+      ?injection_capacity ?admission ?server () =
     let ov o d = Option.value o ~default:d in
     let base_selector, base_backoff =
       match policy with
@@ -80,23 +128,31 @@ module Config = struct
       faults = (match faults with Some _ -> faults | None -> base.faults);
       watchdog_interval_ns = ov watchdog_interval_ns base.watchdog_interval_ns;
       watchdog_stalls = ov watchdog_stalls base.watchdog_stalls;
+      injection_lanes = ov injection_lanes base.injection_lanes;
+      injection_capacity = ov injection_capacity base.injection_capacity;
+      admission = ov admission base.admission;
+      server = ov server base.server;
     }
 
   let make ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns ?seed
       ?trace ?trace_capacity ?policy ?steal_policy ?backoff ?faults
-      ?watchdog_interval_ns ?watchdog_stalls () =
-    merge default ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns
-      ?seed ?trace ?trace_capacity ?policy ?steal_policy ?backoff ?faults
-      ?watchdog_interval_ns ?watchdog_stalls ()
+      ?watchdog_interval_ns ?watchdog_stalls ?injection_lanes
+      ?injection_capacity ?admission ?server () =
+    validate
+      (merge default ?workers ?mode ?publicity ?capacity ?lock_mode
+         ?idle_nap_ns ?seed ?trace ?trace_capacity ?policy ?steal_policy
+         ?backoff ?faults ?watchdog_interval_ns ?watchdog_stalls
+         ?injection_lanes ?injection_capacity ?admission ?server ())
 
-  (* The old optional arguments of [create] layered on top of a base
-     config; [None]s leave the base untouched. *)
   let override c ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns
       ?seed ?trace ?trace_capacity ?policy ?steal_policy ?backoff ?faults
-      ?watchdog_interval_ns ?watchdog_stalls () =
-    merge c ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns ?seed
-      ?trace ?trace_capacity ?policy ?steal_policy ?backoff ?faults
-      ?watchdog_interval_ns ?watchdog_stalls ()
+      ?watchdog_interval_ns ?watchdog_stalls ?injection_lanes
+      ?injection_capacity ?admission ?server () =
+    validate
+      (merge c ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns
+         ?seed ?trace ?trace_capacity ?policy ?steal_policy ?backoff ?faults
+         ?watchdog_interval_ns ?watchdog_stalls ?injection_lanes
+         ?injection_capacity ?admission ?server ())
 
   let policy c =
     { Wool_policy.selector = c.steal_policy; backoff = c.backoff }
@@ -125,11 +181,14 @@ module Config = struct
     | `Peek -> "peek"
     | `Trylock -> "trylock"
 
+  let admission_name = Wool_policy.Admission.name
+
   let pp fmt c =
     Format.fprintf fmt
       "{workers=%s; mode=%s; publicity=%s; capacity=%d; lock_mode=%s;@ \
        idle_nap_ns=%d; seed=%#x; trace=%b; trace_capacity=%d;@ \
-       steal_policy=%s; backoff=%s; faults=%s; watchdog=%s}"
+       steal_policy=%s; backoff=%s; faults=%s; watchdog=%s;@ \
+       ingress=%dx%d/%s%s}"
       (match c.workers with Some n -> string_of_int n | None -> "auto")
       (mode_name c.mode)
       (publicity_name c.publicity)
@@ -144,6 +203,9 @@ module Config = struct
       (if c.watchdog_stalls > 0 then
          Printf.sprintf "%d@%dns" c.watchdog_stalls c.watchdog_interval_ns
        else "off")
+      c.injection_lanes c.injection_capacity
+      (admission_name c.admission)
+      (if c.server then "; server" else "")
 end
 
 type worker = {
@@ -192,6 +254,7 @@ and worker_hot = {
   mutable n_leap_steals : int;
   mutable n_failed : int;
   mutable n_inlined : int; (* Locked/Clev joins that found the task in place *)
+  mutable n_injected : int; (* injected jobs drained and run by this worker *)
   mutable n_join_stolen : int;
   (* Locked/Clev joins (or unwind waits) of a task a thief took; the
      direct modes count these in the dstack. Keeps [joins_stolen]
@@ -222,6 +285,34 @@ and pool = {
   mutable on_stall : string -> unit;
   stall_reports : int Atomic.t;
   mutable wd : unit Domain.t option;
+  (* ingress: external submission lanes *)
+  server : bool; (* worker 0 is a spawned domain, not the caller *)
+  admission : admission;
+  lanes : injected Inject_queue.t array; (* [||] = ingress closed *)
+  next_lane : int Atomic.t; (* producer round-robin cursor *)
+  inflight : int Atomic.t; (* admitted and not yet resolved *)
+  ingress : ingress;
+}
+
+(* A queued external job. [ij_run] executes it on a worker and resolves
+   its ticket; [ij_drop] resolves the ticket rejected without running —
+   the shed / shutdown-drain path. Exactly one of the two is called, by
+   whoever pops the element. *)
+and injected = { ij_run : worker -> unit; ij_drop : unit -> unit }
+
+(* Producer-side shared state. The counters are atomics (the submit path
+   must stay lock-free across producer domains); the mutex guards only
+   the trace ring and the fault injector — both cold, gated by the same
+   immutable on/off discipline as the per-worker instrumentation. *)
+and ingress = {
+  ig_submitted : int Atomic.t;
+  ig_admitted : int Atomic.t;
+  ig_rejected : int Atomic.t; (* refused at admission (incl. shutdown) *)
+  ig_shed : int Atomic.t; (* dropped after admission: shed or drained *)
+  ig_lock : Mutex.t;
+  ig_ring : Ring.t; (* Submit/Admit/Reject, stamped worker = nworkers *)
+  ig_fl_on : bool;
+  ig_inj : Fault.Injector.t;
 }
 
 (* The mode-specific task-pool operations, bound once per pool. Replaces
@@ -253,7 +344,25 @@ and 'a future = {
 type t = pool
 type ctx = worker
 
+(* External-submission ticket: producer-side handle on one injected job.
+   Resolution is exactly-once (first writer wins under the mutex); the
+   condition lets [await] block producers that have no worker to help
+   on. *)
+type 'a ticket = {
+  tk_mutex : Mutex.t;
+  tk_cond : Condition.t;
+  mutable tk_state : 'a tk_state; (* guarded by [tk_mutex] *)
+}
+
+and 'a tk_state =
+  | Tk_pending
+  | Tk_done of ('a, exn * Printexc.raw_backtrace) result
+  | Tk_rejected
+
+exception Submission_rejected
+
 let dummy_task (_ : worker) = ()
+let dummy_injected = { ij_run = dummy_task; ij_drop = Fun.id }
 
 let[@inline] record w tag ~a ~b =
   Ring.record w.ring ~ts:(Wool_util.Clock.now_ns ()) ~tag ~a ~b
@@ -300,6 +409,33 @@ let fault_steal_pre w =
       Fault.Injector.spin n;
       false
   | Some Fault.Kind.Raise_exn | None -> false
+
+(* ---- ingress instrumentation ----
+
+   Producer-side events and faults share one ring / one injector across
+   all producer domains, serialized by [ig_lock]. Both are cold paths
+   (gated on the immutable [trace_on] / [ig_fl_on] bools), so the lock
+   never appears in an untraced, unfaulted submit. *)
+
+let ig_record pool tag ~a ~b =
+  if pool.trace_on then begin
+    let ig = pool.ingress in
+    Mutex.lock ig.ig_lock;
+    Ring.record ig.ig_ring ~ts:(Wool_util.Clock.now_ns ()) ~tag ~a ~b;
+    Mutex.unlock ig.ig_lock
+  end
+
+let ig_fault pool site =
+  let ig = pool.ingress in
+  if ig.ig_fl_on then begin
+    Mutex.lock ig.ig_lock;
+    let k = Fault.Injector.fire ig.ig_inj site in
+    Mutex.unlock ig.ig_lock;
+    (* spin outside the lock: the fault delays this producer, not all *)
+    match k with
+    | Some (Fault.Kind.Delay n | Fault.Kind.Stall n) -> Fault.Injector.spin n
+    | Some _ | None -> ()
+  end
 
 let nap pool ~factor =
   if pool.idle_nap_ns > 0 then
@@ -381,22 +517,56 @@ let select_victim w =
   | None -> None
   | Some v -> Some w.pool.workers.(v)
 
+(* Try to pop one injected job off the pool's ingress lanes and run it.
+   Called only from the idle loop — after the worker has run out of local
+   work, before it turns to remote steals — so the private-task fast path
+   never sees the lanes. Workers start their scan at a different lane
+   each ([id]-staggered) to spread drain pressure. *)
+let drain_injected w =
+  let pool = w.pool in
+  let nl = Array.length pool.lanes in
+  if nl = 0 then false
+  else begin
+    if w.fl_on then fault_delay w Fault.Site.Drain;
+    let rec scan i =
+      if i >= nl then false
+      else begin
+        let lane = if nl = 1 then 0 else (w.id + i) mod nl in
+        match Inject_queue.try_pop pool.lanes.(lane) with
+        | Some ij ->
+            w.hot.n_injected <- w.hot.n_injected + 1;
+            if w.tr_on then record w Event.Dequeue_injected ~a:lane ~b:(-1);
+            ij.ij_run w;
+            true
+        | None -> scan (i + 1)
+      end
+    in
+    scan 0
+  end
+
 (* One unpinned steal attempt against a policy-chosen victim, backing off
    on failure. This is the idle loop body and the Locked/Clev blocked-join
-   strategy. *)
+   strategy. Injection lanes are checked first: an idle worker is exactly
+   the consumer the ingress wants, and a successful drain resets the
+   backoff like a successful steal. *)
 let steal_idle w =
   w.hot.progress <- w.hot.progress + 1;
-  match select_victim w with
-  | None ->
-      idle_backoff w;
-      false
-  | Some victim ->
-      let ran = steal_once w ~victim in
-      if not ran then begin
-        Select.on_failure w.sel;
-        idle_backoff w
-      end;
-      ran
+  if drain_injected w then begin
+    Backoff.on_success w.bo;
+    true
+  end
+  else
+    match select_victim w with
+    | None ->
+        idle_backoff w;
+        false
+    | Some victim ->
+        let ran = steal_once w ~victim in
+        if not ran then begin
+          Select.on_failure w.sel;
+          idle_backoff w
+        end;
+        ran
 
 let worker_loop w =
   while not (Atomic.get w.pool.stop) do
@@ -695,6 +865,250 @@ let policy pool = pool.policy
 let policy_name pool = Wool_policy.name pool.policy
 let pool_of_ctx w = w.pool
 
+(* ---- the ingress path (external submission) ---- *)
+
+let make_ticket () =
+  {
+    tk_mutex = Mutex.create ();
+    tk_cond = Condition.create ();
+    tk_state = Tk_pending;
+  }
+
+(* First resolution wins; later calls are no-ops. Returns whether this
+   call was the winner (so counters are bumped exactly once). *)
+let tk_resolve tk st =
+  Mutex.lock tk.tk_mutex;
+  let won = match tk.tk_state with Tk_pending -> true | _ -> false in
+  if won then begin
+    tk.tk_state <- st;
+    Condition.broadcast tk.tk_cond
+  end;
+  Mutex.unlock tk.tk_mutex;
+  won
+
+let tk_read tk =
+  Mutex.lock tk.tk_mutex;
+  let st = tk.tk_state in
+  Mutex.unlock tk.tk_mutex;
+  st
+
+let await_ticket tk =
+  Mutex.lock tk.tk_mutex;
+  while match tk.tk_state with Tk_pending -> true | _ -> false do
+    Condition.wait tk.tk_cond tk.tk_mutex
+  done;
+  let st = tk.tk_state in
+  Mutex.unlock tk.tk_mutex;
+  match st with
+  | Tk_done (Ok v) -> v
+  | Tk_done (Error (e, bt)) ->
+      (* re-raise at the awaiter with the backtrace captured where the
+         injected body originally raised — on whichever worker ran it *)
+      Printexc.raise_with_backtrace e bt
+  | Tk_rejected -> raise Submission_rejected
+  | Tk_pending -> assert false
+
+let poll_ticket tk =
+  match tk_read tk with
+  | Tk_pending -> `Pending
+  | Tk_done (Ok v) -> `Done (Ok v)
+  | Tk_done (Error (e, _)) -> `Done (Error e)
+  | Tk_rejected -> `Rejected
+
+(* The queued form of one submission. [ij_run] uses the same
+   mark/unwind discipline as [run_body]: an injected job that raises
+   must not leave its own spawns orphaned on the worker that ran it. *)
+let injected_of pool (fn : worker -> 'a) (tk : 'a ticket) =
+  let run wk =
+    let mark = wk.pool.backend.bk_mark wk in
+    let res =
+      match fn wk with
+      | v -> Ok v
+      | exception e ->
+          let bt = Printexc.get_raw_backtrace () in
+          wk.pool.backend.bk_unwind wk ~mark;
+          Error (e, bt)
+    in
+    (* decrement BEFORE resolving: an awaiter unblocked by the ticket
+       must already see the pool's in-flight count settled, or a
+       quiescence check right after [await] reads a phantom in-flight
+       submission *)
+    Atomic.decr pool.inflight;
+    ignore (tk_resolve tk (Tk_done res) : bool)
+  in
+  let drop () =
+    Atomic.decr pool.inflight;
+    ignore (tk_resolve tk Tk_rejected : bool)
+  in
+  { ij_run = run; ij_drop = drop }
+
+let lane_of pool =
+  let nl = Array.length pool.lanes in
+  if nl <= 1 then 0
+  else Atomic.fetch_and_add pool.next_lane 1 land max_int mod nl
+
+(* Pop-and-drop everything in [lane]. Runs after [stop] is set: every
+   element left is an admitted job no worker will take, so its ticket
+   must resolve rejected. Racing poppers (a worker not yet stopped,
+   another draining submitter) are fine — whoever pops an element owns
+   its resolution. *)
+let drain_lane_reject pool lane =
+  let q = pool.lanes.(lane) in
+  let rec go () =
+    match Inject_queue.try_pop q with
+    | Some ij ->
+        Atomic.incr pool.ingress.ig_shed;
+        ig_record pool Event.Reject ~a:lane ~b:(-1);
+        ij.ij_drop ();
+        go ()
+    | None -> ()
+  in
+  go ()
+
+let stopping pool = pool.stopped || Atomic.get pool.stop
+
+let reject_at_admission pool tk ~lane =
+  if tk_resolve tk Tk_rejected then begin
+    Atomic.incr pool.ingress.ig_rejected;
+    ig_record pool Event.Reject ~a:lane ~b:(-1)
+  end
+
+(* Post-admission bookkeeping shared by every admitting path, including
+   the shutdown re-check: if [stop] was set after our push, the worker
+   domains may already be gone, so the submitter drains (and rejects)
+   the lane itself — this is what makes submit-vs-shutdown hang-free. *)
+let admitted_post pool ~lane =
+  Atomic.incr pool.ingress.ig_admitted;
+  ig_record pool Event.Admit ~a:lane ~b:(-1);
+  if stopping pool then drain_lane_reject pool lane
+
+(* Producer-side wait step for [Block] admission on a full lane: yield
+   the timeslice every few spins so the draining workers actually run
+   (essential on over-subscribed hosts). *)
+let block_wait tries =
+  if tries land 63 = 63 then Unix.sleepf 0. else Domain.cpu_relax ()
+
+let submit_one pool ~lane ~batch fn =
+  let tk = make_ticket () in
+  Atomic.incr pool.ingress.ig_submitted;
+  ig_fault pool Fault.Site.Submit;
+  ig_record pool Event.Submit ~a:lane ~b:batch;
+  if stopping pool || Array.length pool.lanes = 0 then
+    reject_at_admission pool tk ~lane
+  else begin
+    let ij = injected_of pool fn tk in
+    let q = pool.lanes.(lane) in
+    (* count in-flight before the push: a worker could pop and finish
+       (decrementing) before a post-push increment happened *)
+    Atomic.incr pool.inflight;
+    let admitted =
+      if Inject_queue.try_push q ij then true
+      else
+        match pool.admission with
+        | Reject -> false
+        | Block ->
+            let rec wait tries =
+              if stopping pool then false
+              else if Inject_queue.try_push q ij then true
+              else begin
+                block_wait tries;
+                wait (tries + 1)
+              end
+            in
+            wait 0
+        | Shed_oldest ->
+            let rec shed () =
+              if stopping pool then false
+              else begin
+                (match Inject_queue.try_pop q with
+                | Some victim ->
+                    Atomic.incr pool.ingress.ig_shed;
+                    ig_record pool Event.Reject ~a:lane ~b:(-1);
+                    victim.ij_drop ()
+                | None -> ());
+                if Inject_queue.try_push q ij then true else shed ()
+              end
+            in
+            shed ()
+    in
+    ig_fault pool Fault.Site.Admit;
+    if admitted then admitted_post pool ~lane
+    else begin
+      Atomic.decr pool.inflight;
+      reject_at_admission pool tk ~lane
+    end
+  end;
+  tk
+
+let submit pool fn = submit_one pool ~lane:(lane_of pool) ~batch:(-1) fn
+
+(* One lane pick for the whole batch: consecutive elements land in the
+   same lane, so a draining worker takes them without re-probing. *)
+let submit_batch pool fns =
+  let lane = lane_of pool in
+  let n = List.length fns in
+  List.map (fun fn -> submit_one pool ~lane ~batch:n fn) fns
+
+let try_submit pool fn =
+  let lane = lane_of pool in
+  Atomic.incr pool.ingress.ig_submitted;
+  ig_fault pool Fault.Site.Submit;
+  ig_record pool Event.Submit ~a:lane ~b:(-1);
+  if stopping pool || Array.length pool.lanes = 0 then begin
+    Atomic.incr pool.ingress.ig_rejected;
+    ig_record pool Event.Reject ~a:lane ~b:(-1);
+    None
+  end
+  else begin
+    let tk = make_ticket () in
+    let ij = injected_of pool fn tk in
+    Atomic.incr pool.inflight;
+    if Inject_queue.try_push pool.lanes.(lane) ij then begin
+      ig_fault pool Fault.Site.Admit;
+      admitted_post pool ~lane;
+      Some tk
+    end
+    else begin
+      Atomic.decr pool.inflight;
+      Atomic.incr pool.ingress.ig_rejected;
+      ig_record pool Event.Reject ~a:lane ~b:(-1);
+      None
+    end
+  end
+
+module Submit = struct
+  type nonrec 'a ticket = 'a ticket
+
+  exception Rejected = Submission_rejected
+
+  let submit = submit
+  let try_submit = try_submit
+  let submit_batch = submit_batch
+  let await = await_ticket
+  let poll = poll_ticket
+end
+
+type ingress_stats = {
+  submitted : int;
+  admitted : int;
+  rejected : int;
+  shed : int;
+  executed : int;
+  inflight : int;
+}
+
+let ingress_stats pool =
+  let ig = pool.ingress in
+  {
+    submitted = Atomic.get ig.ig_submitted;
+    admitted = Atomic.get ig.ig_admitted;
+    rejected = Atomic.get ig.ig_rejected;
+    shed = Atomic.get ig.ig_shed;
+    executed =
+      Array.fold_left (fun acc w -> acc + w.hot.n_injected) 0 pool.workers;
+    inflight = Atomic.get pool.inflight;
+  }
+
 module Stats = struct
   type t = {
     spawns : int;
@@ -708,6 +1122,7 @@ module Stats = struct
     failed_steals : int;
     publish_events : int;
     privatize_events : int;
+    injected : int;
   }
 
   let zero =
@@ -723,6 +1138,7 @@ module Stats = struct
       failed_steals = 0;
       publish_events = 0;
       privatize_events = 0;
+      injected = 0;
     }
 
   let of_worker w =
@@ -739,6 +1155,7 @@ module Stats = struct
       failed_steals = w.hot.n_failed;
       publish_events = d.Ds.publish_events;
       privatize_events = d.Ds.privatize_events;
+      injected = w.hot.n_injected;
     }
 
   (* [max_pool_depth] is a high-water mark, not a flow; it combines with
@@ -756,6 +1173,7 @@ module Stats = struct
       failed_steals = a.failed_steals + b.failed_steals;
       publish_events = a.publish_events + b.publish_events;
       privatize_events = a.privatize_events + b.privatize_events;
+      injected = a.injected + b.injected;
     }
 
   let per_worker pool = Array.map of_worker pool.workers
@@ -774,8 +1192,16 @@ module Stats = struct
         w.hot.n_leap_steals <- 0;
         w.hot.n_failed <- 0;
         w.hot.n_inlined <- 0;
+        w.hot.n_injected <- 0;
         w.hot.n_join_stolen <- 0)
-      pool.workers
+      pool.workers;
+    (* the ingress balance ([Invariants.check]) is relative to the same
+       reset point as the worker counters *)
+    let ig = pool.ingress in
+    Atomic.set ig.ig_submitted 0;
+    Atomic.set ig.ig_admitted 0;
+    Atomic.set ig.ig_rejected 0;
+    Atomic.set ig.ig_shed 0
 
   let fields s =
     [
@@ -790,6 +1216,7 @@ module Stats = struct
       ("failed_steals", s.failed_steals);
       ("publish_events", s.publish_events);
       ("privatize_events", s.privatize_events);
+      ("injected", s.injected);
     ]
 
   let pp fmt s =
@@ -820,10 +1247,8 @@ type stats = Stats.t = {
   failed_steals : int;
   publish_events : int;
   privatize_events : int;
+  injected : int;
 }
-
-let stats = Stats.aggregate
-let reset_stats = Stats.reset
 
 (* ---- fault-injection stats ---- *)
 
@@ -831,9 +1256,11 @@ let faults_enabled pool = Option.is_some pool.faults
 let fault_plan pool = pool.faults
 
 let fault_stats pool =
-  Array.fold_left
-    (fun acc w -> Fault.Stats.combine acc (Fault.Injector.stats w.inj))
-    (Fault.Stats.zero ()) pool.workers
+  Fault.Stats.combine
+    (Fault.Injector.stats pool.ingress.ig_inj)
+    (Array.fold_left
+       (fun acc w -> Fault.Stats.combine acc (Fault.Injector.stats w.inj))
+       (Fault.Stats.zero ()) pool.workers)
 
 (* ---- trace collection (quiescent snapshots; see pool.mli) ---- *)
 
@@ -842,12 +1269,23 @@ let trace_enabled pool = pool.trace_on
 let trace_per_worker pool =
   Array.map (fun w -> Ring.snapshot w.ring ~worker:w.id) pool.workers
 
+(* Producer-side events (Submit/Admit/Reject), stamped with the
+   pseudo-worker id [num_workers] so they never collide with a real
+   worker's stream. *)
+let trace_ingress pool =
+  let ig = pool.ingress in
+  Mutex.lock ig.ig_lock;
+  let evs = Ring.snapshot ig.ig_ring ~worker:(Array.length pool.workers) in
+  Mutex.unlock ig.ig_lock;
+  evs
+
 let trace_dropped pool =
-  Array.fold_left (fun acc w -> acc + Ring.dropped w.ring) 0 pool.workers
+  Ring.dropped pool.ingress.ig_ring
+  + Array.fold_left (fun acc w -> acc + Ring.dropped w.ring) 0 pool.workers
 
 let trace_events pool =
   let parts = trace_per_worker pool in
-  let all = Array.concat (Array.to_list parts) in
+  let all = Array.concat (trace_ingress pool :: Array.to_list parts) in
   (* stable: per-worker order (monotone timestamps) survives equal keys *)
   Array.stable_sort
     (fun a b -> compare a.Event.ts b.Event.ts)
@@ -855,7 +1293,11 @@ let trace_events pool =
   all
 
 let trace_clear pool =
-  Array.iter (fun w -> Ring.clear w.ring) pool.workers
+  Array.iter (fun w -> Ring.clear w.ring) pool.workers;
+  let ig = pool.ingress in
+  Mutex.lock ig.ig_lock;
+  Ring.clear ig.ig_ring;
+  Mutex.unlock ig.ig_lock
 
 (* ---- protocol-invariant checking (quiescent pool only) ---- *)
 
@@ -877,6 +1319,20 @@ module Invariants = struct
         if ch <> 0 then
           add "worker %d: %d outstanding queued children" w.id ch)
       pool.workers;
+    Array.iteri
+      (fun i q ->
+        let n = Inject_queue.size q in
+        if n <> 0 then add "lane %d holds %d injected jobs" i n)
+      pool.lanes;
+    let ig = ingress_stats pool in
+    if ig.inflight <> 0 then
+      add "ingress: %d submissions still in flight" ig.inflight;
+    if ig.submitted <> ig.admitted + ig.rejected then
+      add "ingress imbalance: submitted=%d but admitted=%d + rejected=%d"
+        ig.submitted ig.admitted ig.rejected;
+    if ig.admitted <> ig.executed + ig.shed then
+      add "ingress imbalance: admitted=%d but executed=%d + shed=%d"
+        ig.admitted ig.executed ig.shed;
     let s = Stats.aggregate pool in
     (match pool.pmode with
     | Locked | Clev ->
@@ -939,6 +1395,10 @@ let stall_report pool =
   Printf.bprintf buf {|,"mode":"%s"|} (Config.mode_name pool.pmode);
   Printf.bprintf buf {|,"policy":"%s"|} (esc (Wool_policy.name pool.policy));
   Printf.bprintf buf {|,"active":%b|} (Atomic.get pool.active);
+  (let ig = ingress_stats pool in
+   Printf.bprintf buf
+     {|,"ingress":{"submitted":%d,"admitted":%d,"rejected":%d,"shed":%d,"executed":%d,"inflight":%d}|}
+     ig.submitted ig.admitted ig.rejected ig.shed ig.executed ig.inflight);
   (match pool.faults with
   | Some p -> Printf.bprintf buf {|,"fault_plan":"%s"|} (esc p.Fault.Plan.name)
   | None -> ());
@@ -989,7 +1449,9 @@ let watchdog_loop pool =
   let interval = float_of_int pool.watchdog_interval_ns *. 1e-9 in
   while not (Atomic.get pool.stop) do
     Unix.sleepf interval;
-    if Atomic.get pool.active then begin
+    (* injected work keeps the pool "active" even with no [run] in
+       progress — a server pool is driven entirely through the lanes *)
+    if Atomic.get pool.active || Atomic.get pool.inflight > 0 then begin
       let fired = ref false in
       Array.iteri
         (fun i w ->
@@ -1048,6 +1510,7 @@ let make_worker ~id ~pool ~publicity ~capacity ~trace ~trace_capacity ~faults
             n_leap_steals = 0;
             n_failed = 0;
             n_inlined = 0;
+            n_injected = 0;
             n_join_stolen = 0;
           };
     }
@@ -1062,6 +1525,7 @@ let make_worker ~id ~pool ~publicity ~capacity ~trace ~trace_capacity ~faults
   w
 
 let create_of_config (c : Config.t) =
+  let c = Config.validate c in
   let nworkers =
     match c.Config.workers with
     | Some n -> n
@@ -1075,6 +1539,9 @@ let create_of_config (c : Config.t) =
     | Locked | Clev | Private -> c.Config.publicity
   in
   let master = Wool_util.Rng.make c.Config.seed in
+  let plan =
+    match c.Config.faults with Some p -> p | None -> Fault.Plan.none
+  in
   let pool =
     {
       pmode = c.Config.mode;
@@ -1096,6 +1563,31 @@ let create_of_config (c : Config.t) =
           prerr_endline ("wool: stall watchdog fired: " ^ report));
       stall_reports = Atomic.make 0;
       wd = None;
+      server = c.Config.server;
+      admission = c.Config.admission;
+      lanes =
+        (if c.Config.injection_capacity = 0 then [||]
+         else
+           Array.init c.Config.injection_lanes (fun _ ->
+               Inject_queue.create ~capacity:c.Config.injection_capacity
+                 ~dummy:dummy_injected ()));
+      next_lane = Atomic.make 0;
+      inflight = Atomic.make 0;
+      ingress =
+        {
+          ig_submitted = Atomic.make 0;
+          ig_admitted = Atomic.make 0;
+          ig_rejected = Atomic.make 0;
+          ig_shed = Atomic.make 0;
+          ig_lock = Mutex.create ();
+          ig_ring =
+            Ring.create
+              ~capacity:
+                (if c.Config.trace then c.Config.trace_capacity else 2);
+          ig_fl_on = Option.is_some c.Config.faults;
+          (* the ingress is a pseudo-worker one past the last real id *)
+          ig_inj = Fault.Injector.make plan ~worker:nworkers;
+        };
     }
   in
   let workers =
@@ -1106,19 +1598,19 @@ let create_of_config (c : Config.t) =
           (Wool_util.Rng.split master))
   in
   pool.workers <- workers;
+  (* In server mode every worker — including 0 — is a spawned domain and
+     the creating domain only submits; otherwise the creator acts as
+     worker 0 inside [run], as before. *)
+  let first_spawned = if c.Config.server then 0 else 1 in
   pool.domains <-
-    List.init (nworkers - 1) (fun i ->
-        let w = workers.(i + 1) in
+    List.init (nworkers - first_spawned) (fun i ->
+        let w = workers.(i + first_spawned) in
         Domain.spawn (fun () -> worker_loop w));
   if c.Config.watchdog_stalls > 0 then
     pool.wd <- Some (Domain.spawn (fun () -> watchdog_loop pool));
   pool
 
-let create ?(config = Config.default) ?workers ?mode ?publicity ?capacity
-    ?lock_mode ?idle_nap_ns ?seed ?trace () =
-  create_of_config
-    (Config.override config ?workers ?mode ?publicity ?capacity ?lock_mode
-       ?idle_nap_ns ?seed ?trace ())
+let create ?(config = Config.default) () = create_of_config config
 
 let shutdown pool =
   if not pool.stopped then begin
@@ -1127,31 +1619,75 @@ let shutdown pool =
     List.iter Domain.join pool.domains;
     pool.domains <- [];
     Option.iter Domain.join pool.wd;
-    pool.wd <- None
+    pool.wd <- None;
+    (* With the workers gone, a job still queued in a lane will never
+       run: resolve its ticket rejected so no awaiter hangs. A submitter
+       racing this drain re-checks [stop] after its push and drains its
+       own lane too ([admitted_post]), so no interleaving strands a
+       ticket. *)
+    Array.iteri (fun lane _ -> drain_lane_reject pool lane) pool.lanes
   end
 
+(* [run] is submit-and-help: the job goes through the same lanes as any
+   external submission, and the calling domain — worker 0 on a
+   non-server pool — drains and steals until the ticket resolves (the
+   common case is that its first drain runs the job right here,
+   synchronously). On a server pool the caller is not a worker, so it
+   blocks on the ticket like any other producer. *)
 let run pool f =
   if pool.stopped then invalid_arg "Wool.run: pool is shut down";
-  let w0 = pool.workers.(0) in
-  Atomic.set pool.active true;
-  let mark = pool.backend.bk_mark w0 in
-  match f w0 with
-  | v ->
-      Atomic.set pool.active false;
-      v
-  | exception e ->
-      (* Same discipline as a task body: join-or-drain everything the
-         root computation left outstanding, so the pool is quiescent —
-         and reusable — when the exception reaches the caller. *)
-      let bt = Printexc.get_raw_backtrace () in
-      pool.backend.bk_unwind w0 ~mark;
-      Atomic.set pool.active false;
-      Printexc.raise_with_backtrace e bt
+  if pool.server then await_ticket (submit pool f)
+  else if Array.length pool.lanes = 0 then begin
+    (* ingress closed (injection_capacity = 0): direct execution on
+       worker 0 — the pre-ingress behaviour *)
+    let w0 = pool.workers.(0) in
+    Atomic.set pool.active true;
+    let mark = pool.backend.bk_mark w0 in
+    match f w0 with
+    | v ->
+        Atomic.set pool.active false;
+        v
+    | exception e ->
+        (* Same discipline as a task body: join-or-drain everything the
+           root computation left outstanding, so the pool is quiescent —
+           and reusable — when the exception reaches the caller. *)
+        let bt = Printexc.get_raw_backtrace () in
+        pool.backend.bk_unwind w0 ~mark;
+        Atomic.set pool.active false;
+        Printexc.raise_with_backtrace e bt
+  end
+  else begin
+    let w0 = pool.workers.(0) in
+    let tk = make_ticket () in
+    let ij = injected_of pool f tk in
+    let lane = lane_of pool in
+    Atomic.set pool.active true;
+    Atomic.incr pool.ingress.ig_submitted;
+    ig_record pool Event.Submit ~a:lane ~b:(-1);
+    Atomic.incr pool.inflight;
+    (* privileged admission: the pool owner helps drain until a slot
+       frees, so [run] is never rejected by backpressure *)
+    while not (Inject_queue.try_push pool.lanes.(lane) ij) do
+      ignore (steal_idle w0 : bool)
+    done;
+    Atomic.incr pool.ingress.ig_admitted;
+    ig_record pool Event.Admit ~a:lane ~b:(-1);
+    let rec help () =
+      match tk_read tk with
+      | Tk_pending ->
+          ignore (steal_idle w0 : bool);
+          help ()
+      | st -> st
+    in
+    let st = help () in
+    Atomic.set pool.active false;
+    match st with
+    | Tk_done (Ok v) -> v
+    | Tk_done (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+    | Tk_rejected -> raise Submission_rejected
+    | Tk_pending -> assert false
+  end
 
-let with_pool ?config ?workers ?mode ?publicity ?capacity ?lock_mode
-    ?idle_nap_ns ?seed ?trace f =
-  let pool =
-    create ?config ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns
-      ?seed ?trace ()
-  in
+let with_pool ?config f =
+  let pool = create ?config () in
   Fun.protect ~finally:(fun () -> shutdown pool) (fun () -> f pool)

@@ -1,13 +1,31 @@
 (** The Wool runtime: pools of domain workers with work stealing.
 
-    A pool owns [workers] domains. The calling domain acts as worker 0 and
-    executes the main task via {!run}; the remaining domains are thieves
-    that steal and execute public tasks. The programming model is the
-    paper's SPAWN / CALL / JOIN (Figure 2): [spawn] pushes a task on the
-    calling worker's pool, the caller then typically does ordinary recursive
-    calls, and [join] — which must be made in LIFO order — either inlines
-    the task with a direct typed call or, if it was stolen, leapfrogs
-    (steals only from the thief) until the thief completes it.
+    A pool owns [workers] domains. The programming model inside a task
+    is the paper's SPAWN / CALL / JOIN (Figure 2): [spawn] pushes a task
+    on the calling worker's pool, the caller then typically does ordinary
+    recursive calls, and [join] — which must be made in LIFO order —
+    either inlines the task with a direct typed call or, if it was
+    stolen, leapfrogs (steals only from the thief) until the thief
+    completes it.
+
+    {2 ctx vs pool}
+
+    The API splits into two halves with distinct capabilities:
+
+    - {!type:t} (the pool) is the {e outside} handle: any domain may hold
+      one and use the ingress surface ({!Submit}, {!run}) and the
+      introspection accessors. Nothing on a [t] touches a worker's hot
+      path.
+    - {!type:ctx} (the executing worker) is the {e inside} handle: it
+      exists only within task code, is threaded explicitly (no
+      domain-local lookup on the hot path), and grants the fine-grained
+      verbs {!spawn} / {!join} / {!call}. A [ctx] must never escape the
+      task that received it.
+
+    Work enters a pool only through the ingress: {!Submit.submit} from
+    any domain, or {!run} — submit-and-help from the owning domain. Once
+    a job is running, everything it spawns stays in the work-stealing
+    core and never touches the injection lanes.
 
     The [mode] selects the synchronisation strategy and reproduces the
     optimisation ladder of Table II plus two conventional baselines:
@@ -26,9 +44,11 @@
       exhibiting the buried-join behaviour discussed in §I. *)
 
 type t
+(** A pool: the outside handle. Usable from any domain. *)
+
 type ctx
-(** The executing worker; threaded explicitly through task code (no
-    domain-local lookup on the hot path). *)
+(** The executing worker: the inside handle, threaded explicitly through
+    task code (no domain-local lookup on the hot path). *)
 
 type 'a future
 
@@ -39,6 +59,10 @@ type publicity = Wool_deque.Direct_stack.publicity =
   | All_public
   | Adaptive of int
 
+type admission = Wool_policy.Admission.t = Block | Reject | Shed_oldest
+(** What a full injection lane does to a new submission; see
+    {!Wool_policy.Admission}. *)
+
 exception Pool_overflow
 (** Raised by {!spawn} when the calling worker's task pool is at
     [Config.capacity] (same exception as
@@ -47,12 +71,18 @@ exception Pool_overflow
     usable, and the spawn unwinds like an ordinary task-body exception
     in every mode. *)
 
-(** Pool configuration as a first-class value.
+exception Submission_rejected
+(** Raised by {!Submit.await} (and {!run} on a racing shutdown) when the
+    awaited ticket resolved rejected: the job was refused at admission
+    ([Reject] policy, closed ingress, or pool shutting down) or evicted
+    before a worker took it ([Shed_oldest], shutdown drain). The job
+    body did {e not} run. *)
 
-    [create] had grown a long tail of positional optional arguments that
-    wrapper layers forwarded inconsistently; a config record travels as one
-    value instead, and [with_pool ~config] forwards {e every} setting by
-    construction. *)
+(** Pool configuration as a first-class value. A config record travels
+    as one value, and [with_pool ~config] forwards {e every} setting by
+    construction — this is the only way to configure a pool (the
+    per-setting optional arguments [create] once took are gone; see
+    README for the migration table). *)
 module Config : sig
   type t = {
     workers : int option;
@@ -88,12 +118,42 @@ module Config : sig
         (** consecutive no-progress samples before the watchdog reports
             a stalled worker; 0 (the default) disables the watchdog —
             no extra domain is spawned *)
+    injection_lanes : int;
+        (** number of independent bounded MPMC injection queues
+            (default 1); more lanes spread producer contention, at the
+            cost of coarser FIFO ordering across producers *)
+    injection_capacity : int;
+        (** slots per lane, rounded up to a power of two (default 1024);
+            [0] closes the ingress entirely — {!Submit.submit} rejects
+            everything and {!run} executes directly on worker 0, the
+            pre-ingress behaviour *)
+    admission : admission;
+        (** what a full lane does to a new submission (default [Block]) *)
+    server : bool;
+        (** server mode (default [false]): {e every} worker, including 0,
+            is a spawned domain, and the creating domain is a pure
+            producer — {!run} becomes submit-and-block-on-ticket instead
+            of submit-and-help. Use for pools whose owner must stay
+            responsive (accept loops, load generators). *)
   }
 
   val default : t
   (** [Private] mode, [Adaptive 4] publicity, auto worker count, tracing
-      off, random victims with nap-after-64 backoff — the same defaults
-      the optional arguments always had. *)
+      off, random victims with nap-after-64 backoff, one 1024-slot
+      injection lane with [Block] admission, non-server. *)
+
+  val validate : t -> t
+  (** Reject nonsensical combinations with a descriptive
+      [Invalid_argument] naming the field: non-positive [workers] /
+      [capacity] / [trace_capacity] / [injection_lanes], negative
+      [idle_nap_ns] / [watchdog_stalls] / [injection_capacity],
+      non-positive [watchdog_interval_ns] with the watchdog on,
+      [injection_capacity = 0] with [Block] (would wedge every
+      producer) or [Shed_oldest] (nothing to shed) admission, and
+      [server] with a closed ingress (submission is the only way in).
+      Returns the config unchanged when valid. {!make}, {!override} and
+      pool creation all validate; call this directly only on records
+      built by hand. *)
 
   val make :
     ?workers:int ->
@@ -111,12 +171,17 @@ module Config : sig
     ?faults:Wool_fault.Plan.t ->
     ?watchdog_interval_ns:int ->
     ?watchdog_stalls:int ->
+    ?injection_lanes:int ->
+    ?injection_capacity:int ->
+    ?admission:admission ->
+    ?server:bool ->
     unit ->
     t
   (** Builder over {!default}; omitted arguments keep the default.
       [?policy] sets [steal_policy] and [backoff] from one
       {!Wool_policy.t} value — the same value {!Wool_sim.Engine.run}
-      accepts — and the two per-field arguments override it. *)
+      accepts — and the two per-field arguments override it. The result
+      is {!validate}d. *)
 
   val override :
     t ->
@@ -135,12 +200,15 @@ module Config : sig
     ?faults:Wool_fault.Plan.t ->
     ?watchdog_interval_ns:int ->
     ?watchdog_stalls:int ->
+    ?injection_lanes:int ->
+    ?injection_capacity:int ->
+    ?admission:admission ->
+    ?server:bool ->
     unit ->
     t
   (** [override c] is {!make} with [c] as the base instead of
       {!default}: provided arguments replace the corresponding fields,
-      omitted ones keep [c]'s. This is what layers the deprecated
-      [create] shims over a config. *)
+      omitted ones keep [c]'s. The result is {!validate}d. *)
 
   val policy : t -> Wool_policy.t
   (** The [steal_policy]/[backoff] pair as one {!Wool_policy.t}. *)
@@ -151,57 +219,121 @@ module Config : sig
   val mode_name : mode -> string
   (** Lower-case label ("locked", "private", ...) for report rows. *)
 
+  val admission_name : admission -> string
+  (** {!Wool_policy.Admission.name}: "block" / "reject" / "shed-oldest". *)
+
   val pp : Format.formatter -> t -> unit
 end
 
-val create :
-  ?config:Config.t ->
-  ?workers:int ->
-  ?mode:mode ->
-  ?publicity:publicity ->
-  ?capacity:int ->
-  ?lock_mode:[ `Base | `Peek | `Trylock ] ->
-  ?idle_nap_ns:int ->
-  ?seed:int ->
-  ?trace:bool ->
-  unit ->
-  t
-(** Create a pool from [config] (default {!Config.default}). The remaining
-    optional arguments are compatibility shims layered on top of [config]:
-    each one provided overrides the corresponding config field.
-
-    @deprecated the per-setting optional arguments; pass [?config] built
-    with {!Config.make} in new code. *)
+val create : ?config:Config.t -> unit -> t
+(** Create a pool from [config] (default {!Config.default}; validated —
+    see {!Config.validate}). The per-setting optional arguments this
+    function once took are gone; build a config with {!Config.make}. *)
 
 val run : t -> (ctx -> 'a) -> 'a
-(** Execute a main task on worker 0 (the calling domain). Must be called
-    from the domain that created the pool, and not from inside task code.
-    Can be called repeatedly.
+(** Execute a main task to completion. [run] is sugar over the ingress:
+    the job goes through the same injection lanes as any
+    {!Submit.submit}.
+
+    On a non-server pool, it must be called from the domain that created
+    the pool (which acts as worker 0) and not from inside task code; the
+    call is {e privileged} — if the lane is full the caller helps drain
+    until a slot frees, so [run] is never rejected by backpressure — and
+    the calling domain then drains and steals until the job completes
+    (the common case is that its first drain runs the job right here,
+    synchronously, exactly as before the ingress existed).
+
+    On a [server] pool the caller is not a worker; [run pool f] is
+    [Submit.await (Submit.submit pool f)] and blocks the calling domain
+    without executing tasks on it.
 
     If the computation raises, every task it left outstanding is joined
     or drained first, so the pool is quiescent — and reusable — when the
     exception (re-raised with its original backtrace) reaches the
-    caller. Raises [Invalid_argument] after {!shutdown}. *)
+    caller. Raises [Invalid_argument] after {!shutdown}, and
+    {!Submission_rejected} if a concurrent {!shutdown} drained the job
+    before a worker took it. *)
 
 val shutdown : t -> unit
-(** Stop and join the worker domains (and the watchdog domain, if any).
+(** Stop and join the worker domains (and the watchdog domain, if any),
+    then drain the injection lanes, resolving every still-queued ticket
+    rejected — a submitter racing this call gets
+    {!Submission_rejected} (or [None] from [try_submit]),
+    deterministically and without hanging, never a stranded ticket.
     Idempotent: repeated calls are no-ops. Subsequent {!run}/{!spawn}
-    calls raise [Invalid_argument]. *)
+    calls raise [Invalid_argument]; subsequent submissions reject. *)
 
-val with_pool :
-  ?config:Config.t ->
-  ?workers:int ->
-  ?mode:mode ->
-  ?publicity:publicity ->
-  ?capacity:int ->
-  ?lock_mode:[ `Base | `Peek | `Trylock ] ->
-  ?idle_nap_ns:int ->
-  ?seed:int ->
-  ?trace:bool ->
-  (t -> 'a) ->
-  'a
-(** Create a pool, run [f], and shut the pool down (also on exceptions).
-    Forwards every setting of {!create}, config and shims alike. *)
+val with_pool : ?config:Config.t -> (t -> 'a) -> 'a
+(** Create a pool, run [f], and shut the pool down (also on
+    exceptions). *)
+
+(** {2 External submission}
+
+    The ingress surface: any domain — not just the pool's creator — may
+    inject work. Producers get a ['a ticket] per job; workers treat the
+    injection lanes as extra steal victims in their idle loop (after
+    local pops, before remote steals), so injected jobs never perturb
+    the private-task fast path. *)
+module Submit : sig
+  type 'a ticket
+  (** Producer-side handle on one injected job. Resolution is
+      exactly-once: done (with the job's result or exception) or
+      rejected. *)
+
+  exception Rejected
+  (** Alias of {!Submission_rejected}. *)
+
+  val submit : t -> (ctx -> 'a) -> 'a ticket
+  (** Queue one job, honouring the pool's {!type:admission} policy when
+      the lane is full ([Block] waits — aborting rejected if the pool
+      stops — [Reject] resolves the ticket rejected immediately,
+      [Shed_oldest] evicts the oldest queued job to make room). Safe
+      from any domain, including concurrently with {!shutdown}: the
+      ticket always resolves. Never raises. *)
+
+  val try_submit : t -> (ctx -> 'a) -> 'a ticket option
+  (** One-shot admission: [None] instead of waiting/shedding when the
+      lane is full (whatever the admission policy), the ingress is
+      closed, or the pool is stopping. [Some tk] means admitted. *)
+
+  val submit_batch : t -> (ctx -> 'a) list -> 'a ticket list
+  (** Submit a batch through a single lane pick, so consecutive elements
+      land in the same lane and a draining worker takes them without
+      re-probing. Each element gets its own ticket and is admitted
+      independently (under [Reject], a full lane can reject a suffix of
+      the batch). *)
+
+  val await : 'a ticket -> 'a
+  (** Block until the ticket resolves; returns the job's result,
+      re-raises its exception (with the backtrace captured where the job
+      body raised, on whichever worker ran it), or raises {!Rejected}.
+      Idempotent — repeated [await]s of a resolved ticket return the
+      same outcome. Do not call from inside task code on a non-server
+      pool: a worker blocked on a ticket is a worker not draining
+      lanes. *)
+
+  val poll : 'a ticket -> [ `Pending | `Done of ('a, exn) result | `Rejected ]
+  (** Non-blocking status read. [`Done] carries the result or the
+      exception (without its backtrace — use {!await} to re-raise
+      faithfully). *)
+end
+
+type ingress_stats = {
+  submitted : int;  (** tickets created: every [submit]/[try_submit] *)
+  admitted : int;  (** submissions that won a lane slot *)
+  rejected : int;  (** resolved rejected {e at admission} *)
+  shed : int;
+      (** admitted jobs evicted before execution ([Shed_oldest] or the
+          {!shutdown} drain) *)
+  executed : int;  (** injected jobs drained and run by workers *)
+  inflight : int;  (** admitted, not yet executed or shed *)
+}
+(** Always [submitted = admitted + rejected] and
+    [admitted = executed + shed + inflight] once quiescent
+    ({!Invariants.check} enforces both). *)
+
+val ingress_stats : t -> ingress_stats
+(** Exact once quiescent; racy-but-monotone snapshots otherwise. *)
 
 val spawn : ctx -> (ctx -> 'a) -> 'a future
 (** Make a task available for stealing (or for later inlining) on the
@@ -250,6 +382,8 @@ type stats = {
   failed_steals : int;
   publish_events : int;
   privatize_events : int;
+  injected : int;
+      (** injected jobs this worker drained from the lanes and ran *)
 }
 
 (** Scheduler counters. Workers count locally without synchronisation;
@@ -268,6 +402,9 @@ module Stats : sig
       stats row can be labelled per policy in sweeps. *)
 
   val reset : t -> unit
+  (** Zero the worker counters {e and} the ingress counters
+      ({!ingress_stats}), so the {!Invariants.check} balance is relative
+      to one reset point. *)
 
   val zero : stats
 
@@ -281,13 +418,6 @@ module Stats : sig
   type nonrec t = stats
 end
 
-val stats : t -> stats
-(** Alias for {!Stats.aggregate}, kept for source compatibility.
-    @deprecated use {!Stats.aggregate}. *)
-
-val reset_stats : t -> unit
-(** Alias for {!Stats.reset}. @deprecated use {!Stats.reset}. *)
-
 (* Tracing *)
 
 val trace_enabled : t -> bool
@@ -299,12 +429,21 @@ val trace_per_worker : t -> Wool_trace.Event.t array array
     which the ring-level snapshot degrades gracefully around (see
     {!Wool_trace.Ring.snapshot}). After {!shutdown}, everything is exact. *)
 
+val trace_ingress : t -> Wool_trace.Event.t array
+(** Producer-side events ([Submit]/[Admit]/[Reject]), recorded in a
+    dedicated mutex-guarded ring because submitters are not workers.
+    Stamped with the pseudo-worker id [num_workers pool] so they never
+    collide with a real worker's stream. (Workers' [Dequeue_injected]
+    events live in the per-worker rings.) *)
+
 val trace_events : t -> Wool_trace.Event.t array
-(** All workers' events merged into one timestamp-sorted stream (stable:
-    per-worker order is preserved among equal timestamps). *)
+(** All workers' events — and the ingress ring's — merged into one
+    timestamp-sorted stream (stable: per-source order is preserved among
+    equal timestamps). *)
 
 val trace_dropped : t -> int
-(** Events lost to ring overflow, summed over workers. *)
+(** Events lost to ring overflow, summed over workers and the ingress
+    ring. *)
 
 val trace_clear : t -> unit
 (** Reset all rings (and their drop counts). Call only while quiescent. *)
@@ -315,8 +454,8 @@ val faults_enabled : t -> bool
 val fault_plan : t -> Wool_fault.Plan.t option
 
 val fault_stats : t -> Wool_fault.Stats.t
-(** Fault fires so far, summed over workers (site × kind class). Exact
-    while quiescent, like {!Stats}. *)
+(** Fault fires so far, summed over workers and the ingress injector
+    (site × kind class). Exact while quiescent, like {!Stats}. *)
 
 (** Protocol-invariant checker, for the fault-injection stress harness.
     Only meaningful on a quiescent pool (between {!run}s): everything in
@@ -326,10 +465,13 @@ module Invariants : sig
   (** Human-readable violations, [[]] when clean. Checks, per worker:
       every direct-stack descriptor EMPTY with [top = bot = 0] and
       payloads reset; both queue deques empty; no outstanding queued
-      children. Then globally: spawn/join/steal counter balance for the
-      pool's mode (direct modes: [spawns = inlined + joins_stolen] and
-      [joins_stolen = steals]; queue modes: [spawns = inlined +
-      steals]). The balance is relative to the last {!Stats.reset}. *)
+      children. Then the ingress: every injection lane empty, no
+      in-flight submissions, [submitted = admitted + rejected] and
+      [admitted = executed + shed]. Then globally: spawn/join/steal
+      counter balance for the pool's mode (direct modes: [spawns =
+      inlined + joins_stolen] and [joins_stolen = steals]; queue modes:
+      [spawns = inlined + steals]). The balance is relative to the last
+      {!Stats.reset}. *)
 
   val check_exn : t -> unit
   (** Raises [Failure] listing the violations, if any. *)
@@ -345,7 +487,8 @@ val layout_check : t -> string list
 (* Stall watchdog *)
 
 val stall_report : t -> string
-(** A diagnostic JSON object: pool mode and policy, and per worker the
+(** A diagnostic JSON object: pool mode and policy, the ingress state
+    (lane occupancy and {!ingress_stats} counters), and per worker the
     progress counter, direct-stack occupancy with live descriptor
     states, queue sizes, outstanding children, scheduler counters, and
     the tail of the trace ring (when tracing is on). Valid JSON by
@@ -358,4 +501,6 @@ val set_on_stall : t -> (string -> unit) -> unit
     swallowed. *)
 
 val stalls_fired : t -> int
-(** Stall reports emitted since pool creation. *)
+(** Stall reports emitted since pool creation. The watchdog samples
+    whenever the pool is active {e or} has in-flight submissions, so a
+    stalled server pool is caught even with no [run] in progress. *)

@@ -11,6 +11,7 @@ module Stats = Pool.Stats
 module Policy = Wool_policy
 module Fault = Wool_fault
 module Invariants = Pool.Invariants
+module Submit = Pool.Submit
 
 type pool = Pool.t
 type ctx = Pool.ctx
@@ -18,8 +19,11 @@ type 'a future = 'a Pool.future
 type mode = Pool.mode = Locked | Swap_generic | Task_specific | Private | Clev
 
 type publicity = Pool.publicity = All_private | All_public | Adaptive of int
+type admission = Pool.admission = Block | Reject | Shed_oldest
+type ingress_stats = Pool.ingress_stats
 
 exception Pool_overflow = Pool.Pool_overflow
+exception Submission_rejected = Pool.Submission_rejected
 
 let create = Pool.create
 let run = Pool.run
@@ -32,8 +36,7 @@ let self_id = Pool.self_id
 let num_workers = Pool.num_workers
 let policy = Pool.policy
 let policy_name = Pool.policy_name
-let stats = Pool.stats
-let reset_stats = Pool.reset_stats
+let ingress_stats = Pool.ingress_stats
 let layout_check = Pool.layout_check
 let faults_enabled = Pool.faults_enabled
 let fault_plan = Pool.fault_plan
@@ -42,6 +45,7 @@ let stall_report = Pool.stall_report
 let set_on_stall = Pool.set_on_stall
 let stalls_fired = Pool.stalls_fired
 let trace_enabled = Pool.trace_enabled
+let trace_ingress = Pool.trace_ingress
 let trace_events = Pool.trace_events
 let trace_per_worker = Pool.trace_per_worker
 let trace_dropped = Pool.trace_dropped

@@ -27,6 +27,10 @@ module Fault = Wool_fault
 module Invariants = Pool.Invariants
 (** Quiescent protocol-invariant checker; see {!Pool.Invariants}. *)
 
+module Submit = Pool.Submit
+(** External submission: inject work from any domain, get a ticket per
+    job; see {!Pool.Submit}. *)
+
 type pool = Pool.t
 type ctx = Pool.ctx
 type 'a future = 'a Pool.future
@@ -43,42 +47,36 @@ type publicity = Pool.publicity =
   | All_public
   | Adaptive of int
 
+type admission = Pool.admission = Block | Reject | Shed_oldest
+(** Full-lane admission policy for external submissions
+    ([Config.make ~admission]); see {!Pool.type-admission}. *)
+
+type ingress_stats = Pool.ingress_stats
+(** Ingress counters (submitted/admitted/rejected/shed/executed/
+    in-flight); see {!Pool.type-ingress_stats}. *)
+
 exception Pool_overflow
 (** Raised by {!spawn} when the worker's task pool is at capacity, before
     any state is mutated; see {!Pool.Pool_overflow}. *)
 
-val create :
-  ?config:Config.t ->
-  ?workers:int ->
-  ?mode:mode ->
-  ?publicity:publicity ->
-  ?capacity:int ->
-  ?lock_mode:[ `Base | `Peek | `Trylock ] ->
-  ?idle_nap_ns:int ->
-  ?seed:int ->
-  ?trace:bool ->
-  unit ->
-  pool
-(** See {!Pool.create}: [config] (built with {!Config.make}) carries every
-    setting; the per-setting optional arguments are compatibility shims
-    that override it. *)
+exception Submission_rejected
+(** Raised by {!Submit.await} on a rejected ticket; see
+    {!Pool.Submission_rejected}. *)
+
+val create : ?config:Config.t -> unit -> pool
+(** See {!Pool.create}: [config] (built with {!Config.make}) carries
+    every setting. *)
 
 val run : pool -> (ctx -> 'a) -> 'a
-val shutdown : pool -> unit
+(** Submit-and-help sugar over the ingress; see {!Pool.run} for the
+    server/non-server semantics. *)
 
-val with_pool :
-  ?config:Config.t ->
-  ?workers:int ->
-  ?mode:mode ->
-  ?publicity:publicity ->
-  ?capacity:int ->
-  ?lock_mode:[ `Base | `Peek | `Trylock ] ->
-  ?idle_nap_ns:int ->
-  ?seed:int ->
-  ?trace:bool ->
-  (pool -> 'a) ->
-  'a
-(** See {!Pool.with_pool}; forwards every setting of {!create}. *)
+val shutdown : pool -> unit
+(** Stop and join the workers, then drain the injection lanes rejecting
+    every queued ticket; see {!Pool.shutdown}. *)
+
+val with_pool : ?config:Config.t -> (pool -> 'a) -> 'a
+(** See {!Pool.with_pool}. *)
 
 val spawn : ctx -> (ctx -> 'a) -> 'a future
 val join : ctx -> 'a future -> 'a
@@ -91,11 +89,8 @@ val policy : pool -> Wool_policy.t
 
 val policy_name : pool -> string
 
-val stats : pool -> Pool.stats
-(** @deprecated use {!Stats.aggregate}. *)
-
-val reset_stats : pool -> unit
-(** @deprecated use {!Stats.reset}. *)
+val ingress_stats : pool -> ingress_stats
+(** See {!Pool.ingress_stats}. *)
 
 val layout_check : pool -> string list
 (** Cache-layout regression check; see {!Pool.layout_check}. *)
@@ -114,6 +109,7 @@ val stalls_fired : pool -> int
    [trace = true]. *)
 
 val trace_enabled : pool -> bool
+val trace_ingress : pool -> Wool_trace.Event.t array
 val trace_events : pool -> Wool_trace.Event.t array
 val trace_per_worker : pool -> Wool_trace.Event.t array array
 val trace_dropped : pool -> int

@@ -11,10 +11,14 @@ type tag =
   | Privatize
   | Nap_enter
   | Nap_exit
+  | Submit
+  | Admit
+  | Reject
+  | Dequeue_injected
 
 type t = { ts : int; worker : int; tag : tag; a : int; b : int }
 
-let n_tags = 12
+let n_tags = 16
 
 let[@inline] tag_to_int = function
   | Spawn -> 0
@@ -29,6 +33,10 @@ let[@inline] tag_to_int = function
   | Privatize -> 9
   | Nap_enter -> 10
   | Nap_exit -> 11
+  | Submit -> 12
+  | Admit -> 13
+  | Reject -> 14
+  | Dequeue_injected -> 15
 
 let tag_of_int = function
   | 0 -> Some Spawn
@@ -43,6 +51,10 @@ let tag_of_int = function
   | 9 -> Some Privatize
   | 10 -> Some Nap_enter
   | 11 -> Some Nap_exit
+  | 12 -> Some Submit
+  | 13 -> Some Admit
+  | 14 -> Some Reject
+  | 15 -> Some Dequeue_injected
   | _ -> None
 
 let tag_name = function
@@ -58,12 +70,16 @@ let tag_name = function
   | Privatize -> "privatize"
   | Nap_enter -> "nap_enter"
   | Nap_exit -> "nap_exit"
+  | Submit -> "submit"
+  | Admit -> "admit"
+  | Reject -> "reject"
+  | Dequeue_injected -> "dequeue_injected"
 
 let all_tags =
   [|
     Spawn; Inline_private; Inline_public; Join_stolen; Steal_attempt;
     Steal_ok; Steal_backoff; Leap_steal; Publish; Privatize; Nap_enter;
-    Nap_exit;
+    Nap_exit; Submit; Admit; Reject; Dequeue_injected;
   |]
 
 let tag_of_name s =

@@ -28,6 +28,15 @@ type tag =
   | Privatize  (** adaptive window shrunk after inlined public joins *)
   | Nap_enter  (** idle thief starts a nap after a failed-steal burst *)
   | Nap_exit  (** idle thief wakes up *)
+  | Submit
+      (** external producer offers a job to the ingress; [a] = lane,
+          [b] = batch size ([-1] for a single submit) *)
+  | Admit  (** ingress accepted the job into a lane; [a] = lane *)
+  | Reject
+      (** ingress refused the job (full lane under [Reject], or pool
+          shut down); [a] = lane, [-1] when refused before lane choice *)
+  | Dequeue_injected
+      (** an idle worker drained one injected job; [a] = lane *)
 
 type t = { ts : int; worker : int; tag : tag; a : int; b : int }
 

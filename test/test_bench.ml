@@ -16,6 +16,8 @@ let stat v =
     max = v +. 1.;
     p10 = v -. 0.5;
     p90 = v +. 5.;
+    p99 = v +. 8.;
+    p999 = v +. 9.;
   }
 
 let mk_run ?(mode = "private") ?(publicity = "default") ?(workers = 2)
@@ -83,6 +85,29 @@ let test_schema_version_rejected () =
       Alcotest.(check bool) "names the expected schema" true
         (contains e B.schema_version)
 
+let test_v1_document_accepted () =
+  (* a committed wool-bench/1 baseline (no p99/p999) must still decode,
+     with the missing tails defaulted to the recorded max *)
+  let v1_stat =
+    {|{"n":3,"mean":100,"median":100,"stddev":0.5,"min":99,"max":101,"p10":99.5,"p90":105}|}
+  in
+  let doc =
+    Printf.sprintf
+      {|{"schema":"wool-bench/1","date":"2026-08-06","size":"tiny","ghz":1.0,"runs":[{"workload":"fib","descr":"fib(12)","mode":"private","publicity":"default","workers":2,"repeats":3,"ok":true,"serial_ns":%s,"parallel_ns":%s,"overhead":0.1,"speedup":10,"spawns":464,"steals":4,"g_t_ns":2.155,"g_l_ns":250}]}|}
+      v1_stat v1_stat
+  in
+  match B.of_json doc with
+  | Error e -> Alcotest.fail e
+  | Ok rep -> (
+      Alcotest.(check string) "schema preserved" "wool-bench/1" rep.B.schema;
+      match rep.B.runs with
+      | [ r ] ->
+          Alcotest.(check (float 1e-9)) "p99 defaults to max" 101.
+            r.B.parallel_ns.B.p99;
+          Alcotest.(check (float 1e-9)) "p999 defaults to max" 101.
+            r.B.parallel_ns.B.p999
+      | _ -> Alcotest.fail "run count changed")
+
 let test_compare_flags_only_real_regressions () =
   (* baseline cell: median 100, p90 105; the rule is median' > p90 AND
      median' > 1.10 x median *)
@@ -142,6 +167,8 @@ let suite =
         Alcotest.test_case "infinity as null" `Quick
           test_infinity_encodes_as_null;
         Alcotest.test_case "schema version" `Quick test_schema_version_rejected;
+        Alcotest.test_case "v1 document accepted" `Quick
+          test_v1_document_accepted;
         Alcotest.test_case "compare rule" `Quick
           test_compare_flags_only_real_regressions;
         Alcotest.test_case "compare ratio" `Quick test_compare_ratio;

@@ -63,7 +63,7 @@ let test_spawn_loop_constant_space () =
 
 let test_wool_spawn_loop_linear_space_contrast () =
   (* the same loop on the steal-child runtime holds n descriptors *)
-  Wool.with_pool ~workers:1 ~publicity:Wool.All_private (fun pool ->
+  Test_util.with_pool ~workers:1 ~publicity:Wool.All_private (fun pool ->
       let n = 512 in
       let counter = ref 0 in
       Wool.run pool (fun ctx ->

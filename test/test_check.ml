@@ -122,7 +122,7 @@ let ev ?(ts = 0) ?(a = -1) ?(b = -1) worker tag = { E.ts; worker; tag; a; b }
 
 let counts ?(spawns = 0) ?(steals = 0) ?(leap_steals = 0) ?(joins_stolen = 0)
     ?(inlined_private = 0) ?(inlined_public = 0) ?(publish_events = 0)
-    ?(privatize_events = 0) () =
+    ?(privatize_events = 0) ?(injected = 0) () =
   {
     Oracle.spawns;
     steals;
@@ -132,6 +132,7 @@ let counts ?(spawns = 0) ?(steals = 0) ?(leap_steals = 0) ?(joins_stolen = 0)
     inlined_public;
     publish_events;
     privatize_events;
+    injected;
   }
 
 let test_oracle_clean_history () =

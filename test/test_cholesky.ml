@@ -70,7 +70,7 @@ let test_wool_factor_matches_serial () =
   let rng = Rng.make 7 in
   let a, size = Ch.random_spd rng ~n:60 ~nz:200 in
   let expected = Ch.to_dense (Ch.serial_factor a size) size in
-  Wool.with_pool ~workers:3 (fun pool ->
+  Test_util.with_pool ~workers:3 (fun pool ->
       let l = Wool.run pool (fun ctx -> Ch.wool_factor ctx a size) in
       let dl = Ch.to_dense l size in
       for i = 0 to size - 1 do
@@ -83,7 +83,7 @@ let test_wool_factor_matches_serial () =
 let test_wool_factor_valid () =
   let rng = Rng.make 13 in
   let a, size = Ch.random_spd rng ~n:40 ~nz:120 in
-  Wool.with_pool ~workers:4 (fun pool ->
+  Test_util.with_pool ~workers:4 (fun pool ->
       let l = Wool.run pool (fun ctx -> Ch.wool_factor ctx a size) in
       Alcotest.(check bool) "LL^T = A" true (Ch.check_factor ~a ~l size))
 

@@ -14,7 +14,7 @@ let test_nqueens_known_values () =
     Nq.known
 
 let test_nqueens_wool_matches_serial () =
-  Wool.with_pool ~workers:3 (fun pool ->
+  Test_util.with_pool ~workers:3 (fun pool ->
       List.iter
         (fun (n, expected) ->
           Alcotest.(check int)
@@ -24,7 +24,7 @@ let test_nqueens_wool_matches_serial () =
         Nq.known)
 
 let test_nqueens_cutoff_variants () =
-  Wool.with_pool ~workers:2 (fun pool ->
+  Test_util.with_pool ~workers:2 (fun pool ->
       List.iter
         (fun cutoff ->
           Alcotest.(check int)
@@ -69,7 +69,7 @@ let test_knapsack_vs_brute_force () =
     [ 1; 2; 3; 4; 5 ]
 
 let test_knapsack_wool_matches_serial () =
-  Wool.with_pool ~workers:3 (fun pool ->
+  Test_util.with_pool ~workers:3 (fun pool ->
       List.iter
         (fun seed ->
           let rng = Rng.make seed in
@@ -107,7 +107,7 @@ let test_knapsack_tree_runs () =
 (* ---- new combinators ---- *)
 
 let test_parallel_map () =
-  Wool.with_pool ~workers:3 (fun pool ->
+  Test_util.with_pool ~workers:3 (fun pool ->
       let xs = Array.init 500 Fun.id in
       let got =
         Wool.run pool (fun ctx -> Wool.parallel_map ctx ~grain:7 (fun x -> x * x) xs)
@@ -119,7 +119,7 @@ let test_parallel_map () =
       Alcotest.(check (array int)) "empty" [||] empty)
 
 let test_parallel_init () =
-  Wool.with_pool ~workers:2 (fun pool ->
+  Test_util.with_pool ~workers:2 (fun pool ->
       let got = Wool.run pool (fun ctx -> Wool.parallel_init ctx 100 (fun i -> 2 * i)) in
       Alcotest.(check (array int)) "init" (Array.init 100 (fun i -> 2 * i)) got;
       Wool.run pool (fun ctx ->
@@ -172,14 +172,14 @@ let test_sort_wool_matches_serial () =
   let rng = Wool_util.Rng.make 7 in
   let input = Array.init 5000 (fun _ -> Wool_util.Rng.int rng 100000) in
   let expected = Sort.serial input in
-  Wool.with_pool ~workers:3 (fun pool ->
+  Test_util.with_pool ~workers:3 (fun pool ->
       let got = Wool.run pool (fun ctx -> Sort.wool ctx input) in
       Alcotest.(check (array int)) "parallel sort" expected got)
 
 let test_sort_wool_small_cutoff () =
   let rng = Wool_util.Rng.make 9 in
   let input = Array.init 500 (fun _ -> Wool_util.Rng.int rng 50) in
-  Wool.with_pool ~workers:2 (fun pool ->
+  Test_util.with_pool ~workers:2 (fun pool ->
       let got = Wool.run pool (fun ctx -> Sort.wool ctx ~cutoff:8 input) in
       Alcotest.(check bool) "sorted with tiny cutoff" true (Sort.is_sorted got))
 

@@ -271,7 +271,7 @@ let test_exception_unwind_nested_depth () =
      the way down must be joined or drained *)
   List.iter
     (fun (_name, mode) ->
-      let pool = Wool.create ~workers:2 ~mode () in
+      let pool = Test_util.create ~workers:2 ~mode () in
       (* the raise always arrives through the LIFO-most join, with the
          sibling [f] still unjoined at every one of the 12 levels — the
          unwind must drain each of them *)
@@ -297,19 +297,19 @@ let test_exception_unwind_nested_depth () =
 (* ---- shutdown discipline ---- *)
 
 let test_shutdown_idempotent () =
-  let pool = Wool.create ~workers:2 () in
+  let pool = Test_util.create ~workers:2 () in
   Alcotest.(check int) "runs" (fib_serial 10)
     (Wool.run pool (fun ctx -> fib ctx 10));
   Wool.shutdown pool;
   Wool.shutdown pool;
   Wool.shutdown pool;
   (* with_pool's Fun.protect shuts down a pool the body already shut *)
-  Wool.with_pool ~workers:2 (fun pool ->
+  Test_util.with_pool ~workers:2 (fun pool ->
       ignore (Wool.run pool (fun ctx -> fib ctx 8) : int);
       Wool.shutdown pool)
 
 let test_use_after_shutdown_raises () =
-  let pool = Wool.create ~workers:2 () in
+  let pool = Test_util.create ~workers:2 () in
   let saved = ref None in
   ignore (Wool.run pool (fun ctx -> saved := Some ctx) : unit);
   Wool.shutdown pool;
@@ -368,7 +368,7 @@ let test_stall_report_always_valid () =
   (* callable at any time, on any pool, watchdog or not *)
   List.iter
     (fun (_name, mode) ->
-      let pool = Wool.create ~workers:2 ~mode () in
+      let pool = Test_util.create ~workers:2 ~mode () in
       ignore (Wool.run pool (fun ctx -> fib ctx 10) : int);
       (match Json.validate (Wool.stall_report pool) with
       | Ok () -> ()

@@ -5,7 +5,7 @@ let fib_serial = Test_util.fib_serial
 let test_fib_all_modes_serial () =
   List.iter
     (fun (name, mode) ->
-      Wool.with_pool ~workers:1 ~mode (fun pool ->
+      Test_util.with_pool ~workers:1 ~mode (fun pool ->
           Alcotest.(check int)
             (name ^ " 1 worker")
             (fib_serial 20)
@@ -15,7 +15,7 @@ let test_fib_all_modes_serial () =
 let test_fib_all_modes_parallel () =
   List.iter
     (fun (name, mode) ->
-      Wool.with_pool ~workers:4 ~mode (fun pool ->
+      Test_util.with_pool ~workers:4 ~mode (fun pool ->
           Alcotest.(check int)
             (name ^ " 4 workers")
             (fib_serial 22)
@@ -25,20 +25,20 @@ let test_fib_all_modes_parallel () =
 let test_publicity_variants () =
   List.iter
     (fun publicity ->
-      Wool.with_pool ~workers:3 ~mode:Wool.Private ~publicity (fun pool ->
+      Test_util.with_pool ~workers:3 ~mode:Wool.Private ~publicity (fun pool ->
           Alcotest.(check int) "fib" (fib_serial 20)
             (Wool.run pool (fun ctx -> fib ctx 20))))
     [ Wool.All_private; Wool.All_public; Wool.Adaptive 1; Wool.Adaptive 8 ]
 
 let test_repeated_runs () =
-  Wool.with_pool ~workers:2 (fun pool ->
+  Test_util.with_pool ~workers:2 (fun pool ->
       for n = 5 to 15 do
         Alcotest.(check int) "fib n" (fib_serial n)
           (Wool.run pool (fun ctx -> fib ctx n))
       done)
 
 let test_spawn_returns_value_via_join () =
-  Wool.with_pool ~workers:1 (fun pool ->
+  Test_util.with_pool ~workers:1 (fun pool ->
       let r =
         Wool.run pool (fun ctx ->
             let f = Wool.spawn ctx (fun _ -> "hello") in
@@ -47,7 +47,7 @@ let test_spawn_returns_value_via_join () =
       Alcotest.(check string) "value" "hello" r)
 
 let test_lifo_violation_raises () =
-  Wool.with_pool ~workers:1 (fun pool ->
+  Test_util.with_pool ~workers:1 (fun pool ->
       Wool.run pool (fun ctx ->
           let a = Wool.spawn ctx (fun _ -> 1) in
           let b = Wool.spawn ctx (fun _ -> 2) in
@@ -60,7 +60,7 @@ let test_lifo_violation_raises () =
           Alcotest.(check int) "a" 1 (Wool.join ctx a)))
 
 let test_exception_propagates_inline () =
-  Wool.with_pool ~workers:1 (fun pool ->
+  Test_util.with_pool ~workers:1 (fun pool ->
       Wool.run pool (fun ctx ->
           let f = Wool.spawn ctx (fun _ -> failwith "task boom") in
           match Wool.join ctx f with
@@ -70,7 +70,7 @@ let test_exception_propagates_inline () =
 let test_exception_propagates_stolen () =
   (* Force stealing by keeping the spawner busy; the stolen task raises and
      the exception must surface at the join. *)
-  Wool.with_pool ~workers:4 ~publicity:Wool.All_public (fun pool ->
+  Test_util.with_pool ~workers:4 ~publicity:Wool.All_public (fun pool ->
       let saw = ref 0 in
       Wool.run pool (fun ctx ->
           for _ = 1 to 200 do
@@ -84,14 +84,14 @@ let test_exception_propagates_stolen () =
       Alcotest.(check int) "all raised" 200 !saw)
 
 let test_call () =
-  Wool.with_pool ~workers:1 (fun pool ->
+  Test_util.with_pool ~workers:1 (fun pool ->
       Alcotest.(check int) "call" 7
         (Wool.run pool (fun ctx -> Wool.call ctx (fun _ -> 7))))
 
 let test_parallel_for_covers_range () =
   List.iter
     (fun workers ->
-      Wool.with_pool ~workers (fun pool ->
+      Test_util.with_pool ~workers (fun pool ->
           let n = 1000 in
           let hits = Array.init n (fun _ -> Atomic.make 0) in
           Wool.run pool (fun ctx ->
@@ -104,12 +104,12 @@ let test_parallel_for_covers_range () =
     [ 1; 4 ]
 
 let test_parallel_for_empty () =
-  Wool.with_pool ~workers:1 (fun pool ->
+  Test_util.with_pool ~workers:1 (fun pool ->
       Wool.run pool (fun ctx ->
           Wool.parallel_for ctx 5 5 (fun _ -> Alcotest.fail "must not run")))
 
 let test_parallel_reduce () =
-  Wool.with_pool ~workers:3 (fun pool ->
+  Test_util.with_pool ~workers:3 (fun pool ->
       let n = 5000 in
       let total =
         Wool.run pool (fun ctx ->
@@ -118,7 +118,7 @@ let test_parallel_reduce () =
       Alcotest.(check int) "sum" (n * (n + 1) / 2) total)
 
 let test_both () =
-  Wool.with_pool ~workers:2 (fun pool ->
+  Test_util.with_pool ~workers:2 (fun pool ->
       let a, b =
         Wool.run pool (fun ctx ->
             Wool.both ctx (fun _ -> fib_serial 10) (fun _ -> fib_serial 11))
@@ -127,21 +127,21 @@ let test_both () =
       Alcotest.(check int) "right" (fib_serial 11) b)
 
 let test_stats_spawns () =
-  Wool.with_pool ~workers:1 (fun pool ->
-      Wool.reset_stats pool;
+  Test_util.with_pool ~workers:1 (fun pool ->
+      Wool.Stats.reset pool;
       ignore (Wool.run pool (fun ctx -> fib ctx 10) : int);
-      let s = Wool.stats pool in
+      let s = Wool.Stats.aggregate pool in
       (* fib spawns once per internal node *)
       let rec internal n = if n < 2 then 0 else 1 + internal (n - 1) + internal (n - 2) in
       Alcotest.(check int) "spawn count" (internal 10) s.Wool.Pool.spawns;
-      Wool.reset_stats pool;
-      Alcotest.(check int) "reset" 0 (Wool.stats pool).Wool.Pool.spawns)
+      Wool.Stats.reset pool;
+      Alcotest.(check int) "reset" 0 (Wool.Stats.aggregate pool).Wool.Pool.spawns)
 
 let test_stats_accounting_consistency () =
-  Wool.with_pool ~workers:4 ~publicity:(Wool.Adaptive 2) (fun pool ->
-      Wool.reset_stats pool;
+  Test_util.with_pool ~workers:4 ~publicity:(Wool.Adaptive 2) (fun pool ->
+      Wool.Stats.reset pool;
       ignore (Wool.run pool (fun ctx -> fib ctx 22) : int);
-      let s = Wool.stats pool in
+      let s = Wool.Stats.aggregate pool in
       Alcotest.(check int) "every spawn joined exactly once" s.Wool.Pool.spawns
         (s.Wool.Pool.inlined_private + s.Wool.Pool.inlined_public
        + s.Wool.Pool.joins_stolen);
@@ -154,33 +154,63 @@ let test_stats_accounting_consistency () =
 
 let test_max_pool_depth_stat () =
   (* a flat spawn loop occupies one descriptor per pending iteration *)
-  Wool.with_pool ~workers:1 ~publicity:Wool.All_private (fun pool ->
-      Wool.reset_stats pool;
+  Test_util.with_pool ~workers:1 ~publicity:Wool.All_private (fun pool ->
+      Wool.Stats.reset pool;
       Wool.run pool (fun ctx ->
           let futs = List.init 300 (fun i -> Wool.spawn ctx (fun _ -> i)) in
           List.iteri
             (fun i fut -> ignore (Wool.join ctx fut : int); ignore i)
             (List.rev futs));
       Alcotest.(check int) "O(n) descriptors" 300
-        (Wool.stats pool).Wool.Pool.max_pool_depth);
+        (Wool.Stats.aggregate pool).Wool.Pool.max_pool_depth);
   (* deep recursion occupies one per level *)
-  Wool.with_pool ~workers:1 (fun pool ->
-      Wool.reset_stats pool;
+  Test_util.with_pool ~workers:1 (fun pool ->
+      Wool.Stats.reset pool;
       ignore (Wool.run pool (fun ctx -> fib ctx 12) : int);
-      let d = (Wool.stats pool).Wool.Pool.max_pool_depth in
+      let d = (Wool.Stats.aggregate pool).Wool.Pool.max_pool_depth in
       Alcotest.(check bool) (Printf.sprintf "depth-bounded (%d)" d) true
         (d >= 6 && d <= 12))
 
 let test_num_workers_and_ids () =
-  Wool.with_pool ~workers:3 (fun pool ->
+  Test_util.with_pool ~workers:3 (fun pool ->
       Alcotest.(check int) "workers" 3 (Wool.num_workers pool);
       Alcotest.(check int) "main is worker 0" 0
         (Wool.run pool (fun ctx -> Wool.self_id ctx)))
 
 let test_create_validation () =
-  Alcotest.check_raises "zero workers"
-    (Invalid_argument "Pool.create: workers must be positive") (fun () ->
-      ignore (Wool.create ~workers:0 () : Wool.pool))
+  let rejects msg f =
+    Alcotest.(check bool)
+      msg true
+      (match f () with
+      | (_ : Wool.Config.t) -> false
+      | exception Invalid_argument m ->
+          String.length m > 12 && String.sub m 0 12 = "Wool.Config:")
+  in
+  rejects "zero workers" (fun () -> Wool.Config.make ~workers:0 ());
+  rejects "negative capacity" (fun () -> Wool.Config.make ~capacity:(-1) ());
+  rejects "zero injection lanes" (fun () ->
+      Wool.Config.make ~injection_lanes:0 ());
+  rejects "negative injection capacity" (fun () ->
+      Wool.Config.make ~injection_capacity:(-1) ());
+  rejects "closed ingress with Block" (fun () ->
+      Wool.Config.make ~injection_capacity:0 ~admission:Wool.Block ());
+  rejects "closed ingress with Shed_oldest" (fun () ->
+      Wool.Config.make ~injection_capacity:0 ~admission:Wool.Shed_oldest ());
+  rejects "server with closed ingress" (fun () ->
+      Wool.Config.make ~server:true ~injection_capacity:0
+        ~admission:Wool.Reject ());
+  rejects "watchdog with bad interval" (fun () ->
+      Wool.Config.make ~watchdog_stalls:3 ~watchdog_interval_ns:0 ());
+  (* closed ingress + Reject is the legal way to get the pre-ingress
+     direct-execution pool *)
+  Test_util.with_pool ~workers:1 ~injection_capacity:0
+    ~admission:Wool.Reject (fun pool ->
+      Alcotest.(check int) "closed ingress still runs" 7
+        (Wool.run pool (fun _ -> 7));
+      Alcotest.(check bool) "submit rejects" true
+        (match Wool.Submit.try_submit pool (fun _ -> ()) with
+        | None -> true
+        | Some _ -> false))
 
 (* [Pool_overflow] unwinding: filling a small pool must raise the
    dedicated exception before any state is mutated, the exception path
@@ -194,7 +224,7 @@ let test_pool_overflow_unwind_all_modes () =
   in
   List.iter
     (fun (name, mode) ->
-      Wool.with_pool ~workers:2 ~mode ~capacity:64 (fun pool ->
+      Test_util.with_pool ~workers:2 ~mode ~capacity:64 (fun pool ->
           (match mode with
           | Wool.Clev ->
               (* the Chase–Lev deque grows on demand; there is no
@@ -223,7 +253,7 @@ let test_stress_kernel_matches_serial () =
   List.iter
     (fun (name, mode) ->
       S.reset_leaf_result ();
-      Wool.with_pool ~workers:3 ~mode (fun pool ->
+      Test_util.with_pool ~workers:3 ~mode (fun pool ->
           Wool.run pool (fun ctx -> S.wool ctx ~height:6 ~leaf_iters:100));
       Alcotest.(check int) (name ^ " checksum") expected (S.leaf_result ()))
     all_modes
@@ -296,7 +326,7 @@ let qcheck_parallel_reduce_matches_fold =
     (fun xs ->
       let arr = Array.of_list xs in
       let expected = Array.fold_left ( + ) 0 arr in
-      Wool.with_pool ~workers:2 (fun pool ->
+      Test_util.with_pool ~workers:2 (fun pool ->
           Wool.run pool (fun ctx ->
               Wool.parallel_reduce ctx ~grain:5 0 (Array.length arr) ~neutral:0
                 (fun i -> arr.(i))

@@ -57,9 +57,13 @@ let test_traced_fib_invariants () =
         (Printf.sprintf "victim %d: Steal_ok matched by Join_stolen" v)
         stolen_from_v joins_in_v)
     per;
-  (* merged stream is globally time-sorted and complete *)
+  (* merged stream is globally time-sorted and complete (it now also
+     carries the producer-side ingress ring) *)
   let events = Wool.trace_events pool in
-  let total = Array.fold_left (fun a evs -> a + Array.length evs) 0 per in
+  let total =
+    Array.fold_left (fun a evs -> a + Array.length evs) 0 per
+    + Array.length (Wool.trace_ingress pool)
+  in
   Alcotest.(check int) "merged = sum of rings" total (Array.length events);
   for i = 1 to Array.length events - 1 do
     if events.(i - 1).Ev.ts > events.(i).Ev.ts then
@@ -92,10 +96,12 @@ let test_overflow_drops_oldest () =
   let agg = Wool.Stats.aggregate pool in
   let recorded =
     (* a single worker never steals or naps, so its ring only ever sees
-       spawns, inlined joins and trip-wire publish/privatize traffic *)
+       spawns, inlined joins, trip-wire publish/privatize traffic and
+       the dequeue of the injected root job *)
     agg.Wool.Pool.spawns + agg.Wool.Pool.inlined_private
     + agg.Wool.Pool.inlined_public + agg.Wool.Pool.joins_stolen
     + agg.Wool.Pool.publish_events + agg.Wool.Pool.privatize_events
+    + agg.Wool.Pool.injected
   in
   Alcotest.(check int) "dropped + kept = recorded" recorded (dropped + cap);
   for i = 1 to cap - 1 do
@@ -120,7 +126,7 @@ let test_disabled_tracing_is_silent () =
 
 let test_with_pool_forwards_trace () =
   let saw =
-    Wool.with_pool ~workers:2 ~trace:true (fun pool ->
+    Test_util.with_pool ~workers:2 ~trace:true (fun pool ->
         ignore (Wool.run pool (fun ctx -> F.wool ctx 12));
         (Wool.trace_enabled pool, Array.length (Wool.trace_events pool)))
   in

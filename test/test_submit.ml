@@ -1,0 +1,250 @@
+(* The ingress surface: Wool.Submit tickets (lifecycle, idempotence,
+   exception transport), admission policies on a full lane, batch
+   submission, shutdown-vs-submit determinism, and server-mode pools.
+
+   Many cases want a lane nobody drains, so the tickets stay observable:
+   a non-server pool with [workers = 1] provides that — its only worker
+   is the creating domain, which drains lanes only inside [run]. *)
+
+exception Boom of int
+
+(* -- ticket lifecycle -- *)
+
+let test_submit_await () =
+  Test_util.with_pool ~workers:2 ~server:true (fun pool ->
+      let tk = Wool.Submit.submit pool (fun _ctx -> 21 * 2) in
+      Alcotest.(check int) "result" 42 (Wool.Submit.await tk))
+
+let test_await_idempotent () =
+  Test_util.with_pool ~workers:1 ~server:true (fun pool ->
+      let tk = Wool.Submit.submit pool (fun _ctx -> "once") in
+      Alcotest.(check string) "first" "once" (Wool.Submit.await tk);
+      Alcotest.(check string) "second" "once" (Wool.Submit.await tk))
+
+let test_poll_lifecycle () =
+  (* nobody drains until [run]: the ticket is observably pending first *)
+  let pool = Test_util.create ~workers:1 () in
+  let tk = Wool.Submit.submit pool (fun _ctx -> 7) in
+  (match Wool.Submit.poll tk with
+  | `Pending -> ()
+  | _ -> Alcotest.fail "undrained ticket must poll Pending");
+  (* the lane is FIFO: run's own job queues behind ours, so helping
+     run's job to completion necessarily ran ours first *)
+  Alcotest.(check int) "run alongside" 5 (Wool.run pool (fun _ctx -> 5));
+  (match Wool.Submit.poll tk with
+  | `Done (Ok 7) -> ()
+  | `Done (Ok v) -> Alcotest.failf "polled Done %d, expected 7" v
+  | `Done (Error e) -> Alcotest.failf "polled %s" (Printexc.to_string e)
+  | `Pending -> Alcotest.fail "drained ticket still Pending"
+  | `Rejected -> Alcotest.fail "drained ticket polled Rejected");
+  Alcotest.(check int) "await after poll" 7 (Wool.Submit.await tk);
+  Wool.shutdown pool
+
+let test_exception_propagates () =
+  Test_util.with_pool ~workers:1 ~server:true (fun pool ->
+      let tk = Wool.Submit.submit pool (fun _ctx -> raise (Boom 3)) in
+      (match Wool.Submit.poll tk with
+      | `Done (Error (Boom 3)) -> ()
+      | `Pending -> (
+          (* racing the worker: await settles it, then re-poll *)
+          match Wool.Submit.await tk with
+          | exception Boom 3 -> ()
+          | _ -> Alcotest.fail "await did not raise Boom")
+      | _ -> Alcotest.fail "failed job must poll Done (Error _)");
+      match Wool.Submit.await tk with
+      | exception Boom 3 -> ()
+      | exception e -> Alcotest.failf "raised %s" (Printexc.to_string e)
+      | _ -> Alcotest.fail "await of a failed job must raise")
+
+let test_await_after_shutdown_rejects () =
+  (* queued, never drained: the shutdown drain must resolve it rejected,
+     and await afterwards must not hang *)
+  let pool = Test_util.create ~workers:1 () in
+  let tk = Wool.Submit.submit pool (fun _ctx -> 1) in
+  Wool.shutdown pool;
+  (match Wool.Submit.poll tk with
+  | `Rejected -> ()
+  | _ -> Alcotest.fail "shutdown-drained ticket must poll Rejected");
+  match Wool.Submit.await tk with
+  | exception Wool.Submission_rejected -> ()
+  | exception e -> Alcotest.failf "raised %s" (Printexc.to_string e)
+  | _ -> Alcotest.fail "await of a shed ticket must raise Rejected"
+
+let test_resolved_ticket_survives_shutdown () =
+  let pool = Test_util.create ~workers:1 ~server:true () in
+  let tk = Wool.Submit.submit pool (fun _ctx -> 99) in
+  Alcotest.(check int) "before" 99 (Wool.Submit.await tk);
+  Wool.shutdown pool;
+  Alcotest.(check int) "after shutdown" 99 (Wool.Submit.await tk)
+
+let test_submit_after_shutdown_rejects () =
+  let pool = Test_util.create ~workers:1 () in
+  Wool.shutdown pool;
+  let tk = Wool.Submit.submit pool (fun _ctx -> 1) in
+  (match Wool.Submit.poll tk with
+  | `Rejected -> ()
+  | _ -> Alcotest.fail "post-shutdown submit must resolve rejected");
+  Alcotest.(check bool)
+    "try_submit post-shutdown" true
+    (Wool.Submit.try_submit pool (fun _ctx -> 1) = None)
+
+(* -- admission policies -- *)
+
+let test_reject_on_full_lane () =
+  let pool =
+    Test_util.create ~workers:1 ~injection_capacity:2 ~admission:Wool.Reject
+      ()
+  in
+  let t1 = Wool.Submit.submit pool (fun _ctx -> 1) in
+  let t2 = Wool.Submit.submit pool (fun _ctx -> 2) in
+  let t3 = Wool.Submit.submit pool (fun _ctx -> 3) in
+  (match Wool.Submit.poll t3 with
+  | `Rejected -> ()
+  | _ -> Alcotest.fail "third submit into a 2-slot lane must reject");
+  (match Wool.Submit.poll t1 with
+  | `Pending -> ()
+  | _ -> Alcotest.fail "admitted tickets stay pending");
+  let ig = Wool.ingress_stats pool in
+  Alcotest.(check int) "submitted" 3 ig.Wool.Pool.submitted;
+  Alcotest.(check int) "admitted" 2 ig.Wool.Pool.admitted;
+  Alcotest.(check int) "rejected" 1 ig.Wool.Pool.rejected;
+  Wool.shutdown pool;
+  (* the two queued jobs were drained-rejected *)
+  List.iter
+    (fun tk ->
+      match Wool.Submit.await tk with
+      | exception Wool.Submission_rejected -> ()
+      | _ -> Alcotest.fail "queued ticket must reject at shutdown")
+    [ t1; t2 ];
+  let ig = Wool.ingress_stats pool in
+  Alcotest.(check int) "shed by drain" 2 ig.Wool.Pool.shed
+
+let test_shed_oldest () =
+  let pool =
+    Test_util.create ~workers:1 ~injection_capacity:2
+      ~admission:Wool.Shed_oldest ()
+  in
+  let t1 = Wool.Submit.submit pool (fun _ctx -> 1) in
+  let _t2 = Wool.Submit.submit pool (fun _ctx -> 2) in
+  let t3 = Wool.Submit.submit pool (fun _ctx -> 3) in
+  (match Wool.Submit.poll t1 with
+  | `Rejected -> ()
+  | _ -> Alcotest.fail "oldest ticket must be shed");
+  (match Wool.Submit.poll t3 with
+  | `Pending -> ()
+  | _ -> Alcotest.fail "newest submission must be admitted");
+  let ig = Wool.ingress_stats pool in
+  Alcotest.(check int) "all admitted" 3 ig.Wool.Pool.admitted;
+  Alcotest.(check bool) "shed at least one" true (ig.Wool.Pool.shed >= 1);
+  Wool.shutdown pool
+
+let test_try_submit_full_lane () =
+  let pool =
+    Test_util.create ~workers:1 ~injection_capacity:2 ~admission:Wool.Block
+      ()
+  in
+  let _t1 = Wool.Submit.submit pool (fun _ctx -> 1) in
+  let _t2 = Wool.Submit.submit pool (fun _ctx -> 2) in
+  (* Block admission would wait; try_submit must bail out instead *)
+  Alcotest.(check bool)
+    "one-shot admission" true
+    (Wool.Submit.try_submit pool (fun _ctx -> 3) = None);
+  Wool.shutdown pool
+
+(* -- batches -- *)
+
+let test_submit_batch () =
+  Test_util.with_pool ~workers:2 ~server:true (fun pool ->
+      let tks =
+        Wool.Submit.submit_batch pool
+          (List.init 5 (fun i _ctx -> i * i))
+      in
+      Alcotest.(check int) "five tickets" 5 (List.length tks);
+      List.iteri
+        (fun i tk ->
+          Alcotest.(check int)
+            (Printf.sprintf "batch element %d" i)
+            (i * i) (Wool.Submit.await tk))
+        tks)
+
+let test_submit_batch_partial_reject () =
+  let pool =
+    Test_util.create ~workers:1 ~injection_capacity:2 ~admission:Wool.Reject
+      ()
+  in
+  let tks = Wool.Submit.submit_batch pool (List.init 4 (fun i _ctx -> i)) in
+  let pending, rejected =
+    List.partition (fun tk -> Wool.Submit.poll tk = `Pending) tks
+  in
+  Alcotest.(check int) "admitted prefix" 2 (List.length pending);
+  Alcotest.(check int) "rejected suffix" 2 (List.length rejected);
+  Wool.shutdown pool
+
+(* -- server mode and multi-producer traffic -- *)
+
+let test_server_run () =
+  Test_util.with_pool ~workers:2 ~server:true (fun pool ->
+      Alcotest.(check int) "fib 10" (Test_util.fib_serial 10)
+        (Wool.run pool (fun ctx -> Test_util.fib ctx 10)))
+
+let test_multi_producer () =
+  (* two non-worker producer domains submitting concurrently into a
+     server pool; every ticket must resolve with its own value *)
+  Test_util.with_pool ~workers:2 ~server:true (fun pool ->
+      let producer base () =
+        List.init 8 (fun i ->
+            (base + i, Wool.Submit.submit pool (fun _ctx -> base + i)))
+      in
+      let d1 = Domain.spawn (producer 100) in
+      let d2 = Domain.spawn (producer 200) in
+      let tks = Domain.join d1 @ Domain.join d2 in
+      List.iter
+        (fun (expect, tk) ->
+          Alcotest.(check int) "producer result" expect
+            (Wool.Submit.await tk))
+        tks;
+      let ig = Wool.ingress_stats pool in
+      Alcotest.(check int) "all submitted" 16 ig.Wool.Pool.submitted;
+      Alcotest.(check int) "all executed" 16 ig.Wool.Pool.executed;
+      Alcotest.(check (list string))
+        "quiescent" [] (Wool.Invariants.check pool))
+
+let test_injected_jobs_can_spawn () =
+  (* an injected job is real task code: it gets a ctx and may fork *)
+  Test_util.with_pool ~workers:2 ~server:true (fun pool ->
+      let tk =
+        Wool.Submit.submit pool (fun ctx -> Test_util.fib ctx 12)
+      in
+      Alcotest.(check int) "fib 12 via ingress" (Test_util.fib_serial 12)
+        (Wool.Submit.await tk))
+
+let suite =
+  [
+    ( "submit",
+      [
+        Alcotest.test_case "submit and await" `Quick test_submit_await;
+        Alcotest.test_case "await idempotent" `Quick test_await_idempotent;
+        Alcotest.test_case "poll lifecycle" `Quick test_poll_lifecycle;
+        Alcotest.test_case "exception propagates" `Quick
+          test_exception_propagates;
+        Alcotest.test_case "await after shutdown rejects" `Quick
+          test_await_after_shutdown_rejects;
+        Alcotest.test_case "resolved ticket survives shutdown" `Quick
+          test_resolved_ticket_survives_shutdown;
+        Alcotest.test_case "submit after shutdown rejects" `Quick
+          test_submit_after_shutdown_rejects;
+        Alcotest.test_case "reject on full lane" `Quick
+          test_reject_on_full_lane;
+        Alcotest.test_case "shed oldest" `Quick test_shed_oldest;
+        Alcotest.test_case "try_submit on full lane" `Quick
+          test_try_submit_full_lane;
+        Alcotest.test_case "submit_batch" `Quick test_submit_batch;
+        Alcotest.test_case "batch partial reject" `Quick
+          test_submit_batch_partial_reject;
+        Alcotest.test_case "server-mode run" `Quick test_server_run;
+        Alcotest.test_case "multi-producer domains" `Quick
+          test_multi_producer;
+        Alcotest.test_case "injected jobs can spawn" `Quick
+          test_injected_jobs_can_spawn;
+      ] );
+  ]

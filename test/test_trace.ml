@@ -97,7 +97,7 @@ let check_event msg (a : Ev.t) (b : Ev.t) =
 
 let test_tag_round_trips () =
   Alcotest.(check int) "n_tags" Ev.n_tags (Array.length Ev.all_tags);
-  Alcotest.(check int) "twelve tags" 12 Ev.n_tags;
+  Alcotest.(check int) "sixteen tags" 16 Ev.n_tags;
   let tag_int = function Some t -> Ev.tag_to_int t | None -> -1 in
   Array.iteri
     (fun i tag ->

@@ -1,6 +1,42 @@
 (* Helpers shared across the runtime test suites; previously duplicated
    per file. *)
 
+(* Short-hand pool constructors: [Wool.create]/[Wool.with_pool] take
+   only a config now, and spelling out [Wool.Config.make] at every one
+   of the suites' ~200 pool creations drowns the test in plumbing. *)
+let config ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns ?seed
+    ?trace ?trace_capacity ?policy ?faults ?watchdog_interval_ns
+    ?watchdog_stalls ?injection_lanes ?injection_capacity ?admission ?server
+    () =
+  Wool.Config.make ?workers ?mode ?publicity ?capacity ?lock_mode
+    ?idle_nap_ns ?seed ?trace ?trace_capacity ?policy ?faults
+    ?watchdog_interval_ns ?watchdog_stalls ?injection_lanes
+    ?injection_capacity ?admission ?server ()
+
+let create ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns ?seed
+    ?trace ?trace_capacity ?policy ?faults ?watchdog_interval_ns
+    ?watchdog_stalls ?injection_lanes ?injection_capacity ?admission ?server
+    () =
+  Wool.create
+    ~config:
+      (config ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns
+         ?seed ?trace ?trace_capacity ?policy ?faults ?watchdog_interval_ns
+         ?watchdog_stalls ?injection_lanes ?injection_capacity ?admission
+         ?server ())
+    ()
+
+let with_pool ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns
+    ?seed ?trace ?trace_capacity ?policy ?faults ?watchdog_interval_ns
+    ?watchdog_stalls ?injection_lanes ?injection_capacity ?admission ?server
+    f =
+  Wool.with_pool
+    ~config:
+      (config ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns
+         ?seed ?trace ?trace_capacity ?policy ?faults ?watchdog_interval_ns
+         ?watchdog_stalls ?injection_lanes ?injection_capacity ?admission
+         ?server ())
+    f
+
 (* Every pool mode, with a label for per-case messages. *)
 let all_modes =
   [

@@ -14,7 +14,7 @@ let test_fib_serial_values () =
     (List.init 8 Fib.serial)
 
 let test_fib_wool_matches_serial () =
-  Wool.with_pool ~workers:2 (fun pool ->
+  Test_util.with_pool ~workers:2 (fun pool ->
       for n = 0 to 18 do
         Alcotest.(check int) "fib" (Fib.serial n)
           (Wool.run pool (fun ctx -> Fib.wool ctx n))
@@ -82,7 +82,7 @@ let test_mm_wool_matches_serial () =
   let rng = Rng.make 11 in
   let a = Mm.random_matrix rng 24 and b = Mm.random_matrix rng 24 in
   let expected = Mm.serial a b in
-  Wool.with_pool ~workers:3 (fun pool ->
+  Test_util.with_pool ~workers:3 (fun pool ->
       let got = Wool.run pool (fun ctx -> Mm.wool ctx a b) in
       Alcotest.(check bool) "parallel product equal" true (Mm.equal got expected))
 
@@ -128,7 +128,7 @@ let test_ssf_known_string () =
 let test_ssf_wool_matches_serial () =
   let s = Ssf.subject 9 in
   let expected = Ssf.serial s in
-  Wool.with_pool ~workers:3 (fun pool ->
+  Test_util.with_pool ~workers:3 (fun pool ->
       let got = Wool.run pool (fun ctx -> Ssf.wool ctx s) in
       Alcotest.(check (array (pair int int))) "parallel equals serial" expected got)
 
