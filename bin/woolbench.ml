@@ -233,12 +233,26 @@ let bench_cmd =
   let compare_arg =
     let doc =
       "Baseline BENCH_*.json to diff against; exits non-zero if any cell's \
-       new median lands beyond the baseline's p90 plus 10%."
+       drift-corrected new median lands beyond the baseline's p90 plus 10% \
+       (whole-matrix machine drift is divided out and reported first)."
     in
     Arg.(
       value & opt (some string) None & info [ "compare" ] ~docv:"FILE" ~doc)
   in
-  let run workers repeats tiny out compare_with workloads =
+  let modes_arg =
+    let doc =
+      Printf.sprintf
+        "Comma-separated scheduler modes to sweep (default all: %s); e.g. \
+         --modes private,ws_mult,lowsync for the relaxed-vs-direct \
+         comparison without the full matrix."
+        (String.concat "," (List.map Wool.Mode.name Wool.Mode.all))
+    in
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "modes" ] ~docv:"M,N,..." ~doc)
+  in
+  let run workers repeats tiny modes out compare_with workloads =
     if workers = [] || List.exists (fun w -> w < 1) workers then
       `Error (false, "--workers must be positive counts")
     else if repeats < 1 then `Error (false, "--repeats must be at least 1")
@@ -253,8 +267,8 @@ let bench_cmd =
           (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
       in
       match
-        Wool_report.Bench_json.run ~size ~workers ~repeats ?out ?compare_with
-          ~date workloads
+        Wool_report.Bench_json.run ~size ~workers ~repeats ?mode_names:modes
+          ?out ?compare_with ~date workloads
       with
       | 0 -> `Ok ()
       | n ->
@@ -273,8 +287,8 @@ let bench_cmd =
     (Cmd.info "bench" ~doc)
     Term.(
       ret
-        (const run $ workers_arg $ repeats_arg $ tiny_arg $ out_arg
-        $ compare_arg $ workloads_arg))
+        (const run $ workers_arg $ repeats_arg $ tiny_arg $ modes_arg
+        $ out_arg $ compare_arg $ workloads_arg))
 
 let serve_cmd =
   let workers_arg =

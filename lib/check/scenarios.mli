@@ -2,10 +2,15 @@
     the descriptor lifecycle, thief/thief CAS races through the packed
     [botw] commit, the delayed-CAS recycled-descriptor back-off, the
     trip-wire steal-vs-privatize race, mid-run publication, the
-    Chase-Lev last-element race, and the ingress protocol
+    Chase-Lev last-element race, the ingress protocol
     (submit-vs-shutdown ticket resolution, producer/producer/consumer
-    races on the injection lanes). Each scenario asserts exactly-once
-    execution, quiescence and counter balance on every schedule, plus
+    races on the injection lanes), and the relaxed at-least-once
+    protocols (ws_mult steal-vs-take and thief/thief multiplicity, the
+    recycled-cell ABA on both relaxed pools, lowsync's boundary
+    duplicate and CAS-serialized thieves). Exact-mode scenarios assert
+    exactly-once execution, quiescence and counter balance on every
+    schedule; relaxed scenarios assert at-least-once delivery with a
+    small multiplicity bound and guard/self-run recovery. All assert
     cross-schedule coverage of the interesting paths. *)
 
 type t = {

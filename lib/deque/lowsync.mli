@@ -1,0 +1,35 @@
+(** Low-synchronization work-stealing pool, in the spirit of Rito &
+    Paulino.
+
+    Synchronization only where contention is: the owner's put/take are
+    plain reads and writes — no last-element CAS as in Chase–Lev — and
+    thieves claim cells with exactly one compare-and-set on [head] per
+    successful steal. Thieves therefore never duplicate among
+    themselves and [head] is monotone; the only relaxed behaviour is
+    the owner/thief race on the boundary cell, which can deliver that
+    one task to both, and a stale thief claiming a cell the owner
+    already drained and recycled. Callers must treat extraction as
+    at-least-once delivery of {e idempotent} work (see
+    lib/runtime/pool.ml for the recovery discipline). *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** Initial cell count (default 64); grows automatically. [dummy] marks
+    never-written cells and is never returned. *)
+
+val put : 'a t -> 'a -> unit
+(** Owner: add at the tail. Plain writes only; never fails. *)
+
+val take : 'a t -> 'a option
+(** Owner: remove the most recently put task; [None] if empty. On the
+    boundary cell the task may also go to one thief. *)
+
+val steal : 'a t -> 'a option
+(** Thief: claim the oldest task with one CAS. [None] means empty or a
+    lost claim. The returned task can be a stale duplicate from a
+    recycled cell — check completion before running it. *)
+
+val size : 'a t -> int
+(** Racy snapshot of the element count (never negative); settles exact
+    at quiescence since [head] is monotone. *)

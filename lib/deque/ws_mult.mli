@@ -1,0 +1,41 @@
+(** Fence-free work-stealing pool with multiplicity (Castañeda & Piña).
+
+    Every operation is made of plain reads and writes — no CAS, no
+    fetch-and-add. In exchange the pool is {e relaxed}: a racing owner
+    and thief, or two racing thieves, may both extract the same task
+    (multiplicity), and a thief acting on stale reads may advance past a
+    recycled cell so a task is extracted by nobody. Callers must treat
+    extraction as at-least-once delivery of {e idempotent} work and must
+    not rely on the pool alone for completeness — the runtime layer
+    re-executes a task at join when the pool lost it (see
+    lib/runtime/pool.ml).
+
+    The owner puts and takes LIFO at the tail; thieves take FIFO at the
+    head. The buffer grows automatically; indices are absolute, so a
+    cell is recycled only when the owner takes a task back and puts a
+    new one at the same depth. *)
+
+type 'a t
+
+val create : ?capacity:int -> dummy:'a -> unit -> 'a t
+(** Initial cell count (default 64); grows automatically. [dummy] marks
+    never-written cells and is never returned. *)
+
+val put : 'a t -> 'a -> unit
+(** Owner: add at the tail. Two plain writes (plus a read of [head] to
+    resync after a boundary race). Never fails; the buffer grows. *)
+
+val take : 'a t -> 'a option
+(** Owner: remove the most recently put task; [None] if empty. The task
+    may {e also} be delivered to a thief racing on the boundary cell. *)
+
+val steal : 'a t -> 'a option
+(** Thief: take the oldest task, by read / validate / plain write.
+    [None] means empty or a lost validation race. The returned task may
+    be a duplicate of one already taken, including a stale task from a
+    recycled cell — the caller must check completion before running
+    it. *)
+
+val size : 'a t -> int
+(** Racy snapshot of the apparent element count (never negative). Plain
+    [head] writes can transiently distort it even at quiescence. *)

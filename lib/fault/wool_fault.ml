@@ -52,21 +52,23 @@ module Site = struct
 end
 
 module Kind = struct
-  type t = Delay of int | Fail_steal | Raise_exn | Stall of int
+  type t = Delay of int | Fail_steal | Raise_exn | Stall of int | Dup
 
-  let class_count = 4
+  let class_count = 5
 
   let class_of = function
     | Delay _ -> 0
     | Fail_steal -> 1
     | Raise_exn -> 2
     | Stall _ -> 3
+    | Dup -> 4
 
   let class_name = function
     | 0 -> "delay"
     | 1 -> "fail_steal"
     | 2 -> "raise_exn"
     | 3 -> "stall"
+    | 4 -> "dup"
     | _ -> invalid_arg "Wool_fault.Kind.class_name"
 
   let name = function
@@ -74,6 +76,7 @@ module Kind = struct
     | Fail_steal -> "fail_steal"
     | Raise_exn -> "raise_exn"
     | Stall n -> Printf.sprintf "stall(%d)" n
+    | Dup -> "dup"
 
   let valid_at kind site =
     match kind with
@@ -83,6 +86,7 @@ module Kind = struct
         | Site.Pre_steal_cas | Site.Post_steal_cas -> true
         | _ -> false)
     | Raise_exn -> site = Site.Spawn
+    | Dup -> site = Site.Drain
 end
 
 exception Injected of { site : string; worker : int; fire : int }

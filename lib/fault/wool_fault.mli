@@ -70,11 +70,18 @@ module Kind : sig
         (** spin for [n] iterations — same mechanism as [Delay], but
             sized to stop a worker's progress long enough to trip the
             stall watchdog *)
+    | Dup
+        (** deliver the popped injection-lane job to its worker twice —
+            an at-least-once ingress, for exercising the ticket layer's
+            duplicate-completion dedup; only meaningful at [Drain], and
+            never part of {!Plan.random} (a duplicated job's side
+            effects repeat, so the plan author must know the jobs are
+            idempotent) *)
 
   val class_count : int
   val class_of : t -> int
-  (** Dense constructor index (delay 0, fail 1, raise 2, stall 3), used
-      to key fire counters. *)
+  (** Dense constructor index (delay 0, fail 1, raise 2, stall 3,
+      dup 4), used to key fire counters. *)
 
   val class_name : int -> string
   val name : t -> string

@@ -1,10 +1,13 @@
 (* Reproducible benchmark harness ("woolbench bench <workload|all>"): run
-   the tier-1 workloads across worker counts and the five scheduler modes,
-   compute Table II-style single-worker spawn/join overheads (including the
-   All_private vs All_public publicity split), speedups, steal counts and
-   measured granularities, and emit a schema-stable BENCH_<date>.json.
+   the tier-1 workloads across worker counts and the scheduler modes
+   (all seven by default, filterable with --modes), compute Table II-style
+   single-worker spawn/join overheads (including the All_private vs
+   All_public publicity split), speedups, steal counts and measured
+   granularities, and emit a schema-stable BENCH_<date>.json.
    A later run can diff itself against a committed file with --compare;
-   "beyond noise" is judged with the baseline's own percentile spread. *)
+   "beyond noise" is judged with the baseline's own percentile spread,
+   rescaled by the whole-matrix re-measure drift so a machine that got
+   uniformly slower does not read as a sea of regressions. *)
 
 module Clock = Wool_util.Clock
 module Stats = Wool_util.Stats
@@ -72,14 +75,10 @@ type report = {
   runs : run list;
 }
 
-let modes =
-  [
-    ("locked", Wool.Locked);
-    ("swap", Wool.Swap_generic);
-    ("task-specific", Wool.Task_specific);
-    ("private", Wool.Private);
-    ("chase-lev", Wool.Clev);
-  ]
+(* Every mode from the canonical table, labelled with its canonical name
+   (old baselines used hyphenated spellings; [Wool.Mode.of_name] still
+   parses those, and --compare keys skip cells the baseline lacks). *)
+let modes = List.map (fun m -> (Wool.Mode.name m, m)) Wool.Mode.all
 
 let publicity_name = function
   | None -> "default"
@@ -96,10 +95,11 @@ let measure_cell (spec : Spec.t) ~expected ~serial ~mode_name ~mode
   let ok = ref true in
   let spawns = ref 0 and steals = ref 0 in
   for i = 0 to repeats - 1 do
+    let allow_relaxed = Wool.Mode.is_relaxed mode in
     let config =
       match publicity with
-      | None -> Wool.Config.make ~workers ~mode ()
-      | Some p -> Wool.Config.make ~workers ~mode ~publicity:p ()
+      | None -> Wool.Config.make ~workers ~mode ~allow_relaxed ()
+      | Some p -> Wool.Config.make ~workers ~mode ~publicity:p ~allow_relaxed ()
     in
     Wool.with_pool ~config (fun pool ->
         let result, ns = Clock.time (fun () -> Wool.run pool spec.Spec.wool) in
@@ -133,14 +133,16 @@ let measure_cell (spec : Spec.t) ~expected ~serial ~mode_name ~mode
   }
 
 let measure ?(size = Spec.Std) ?(workers = [ 1; 2; 4 ]) ?(repeats = 3)
-    ~date names =
+    ?(mode_filter = List.map snd modes) ~date names =
   if repeats < 1 then invalid_arg "Bench_json.measure: repeats < 1";
   if workers = [] || List.exists (fun w -> w < 1) workers then
     invalid_arg "Bench_json.measure: bad worker list";
-  let specs = List.map (fun n -> Spec.find ~size n) names in
+  if mode_filter = [] then invalid_arg "Bench_json.measure: empty mode list";
+  let selected = List.filter (fun (_, m) -> List.mem m mode_filter) modes in
   let runs =
     List.concat_map
-      (fun (spec : Spec.t) ->
+      (fun name ->
+        let spec = Spec.find ~size name in
         let expected = spec.Spec.serial () in
         let serial =
           stat_of_samples
@@ -148,23 +150,32 @@ let measure ?(size = Spec.Std) ?(workers = [ 1; 2; 4 ]) ?(repeats = 3)
                  ignore (spec.Spec.serial () : int)))
         in
         let cell = measure_cell spec ~expected ~serial ~repeats in
-        (* the mode sweep, every worker count *)
+        (* the mode sweep, every worker count; relaxed modes execute
+           bodies at-least-once, so only idempotent kernels qualify *)
         List.concat_map
           (fun (mode_name, mode) ->
-            List.map
-              (fun w ->
-                cell ~mode_name ~mode ~publicity:None ~workers:w)
-              workers)
-          modes
+            if Wool.Mode.is_relaxed mode && not spec.Spec.relaxed_ok then begin
+              Printf.printf "note: skipping %s on %s (kernel not idempotent)\n"
+                spec.Spec.name mode_name;
+              []
+            end
+            else
+              List.map
+                (fun w -> cell ~mode_name ~mode ~publicity:None ~workers:w)
+                workers)
+          selected
         (* Table II's publicity split: single worker, default (Private)
            mode, everything kept private vs everything made stealable —
            the pure spawn/join overhead gap the paper's §III targets *)
-        @ List.map
+        @
+        if List.mem_assoc "private" selected then
+          List.map
             (fun p ->
               cell ~mode_name:"private" ~mode:Wool.Private ~publicity:(Some p)
                 ~workers:1)
-            [ Wool.All_private; Wool.All_public ])
-      specs
+            [ Wool.All_private; Wool.All_public ]
+        else [])
+      names
   in
   {
     schema = schema_version;
@@ -369,21 +380,59 @@ let read_file path =
 type regression = {
   r_run : run;
   r_baseline : run;
-  r_ratio : float;  (** new median / old median *)
+  r_ratio : float;  (** new median / old median, drift-corrected *)
 }
 
-let key (r : run) = (r.workload, r.mode, r.publicity, r.workers)
+(* Committed baselines printed hyphenated mode spellings ("chase-lev",
+   "task-specific"); route both sides through the mode table so a cell
+   keyed under either spelling still matches its successor. *)
+let canonical_mode m =
+  match Wool.Mode.of_name m with Some md -> Wool.Mode.name md | None -> m
 
-(* A cell regresses when its new median lands beyond the baseline's own
-   noise band: above the baseline p90 AND more than 10% over the baseline
-   median. Missing cells (different workload/worker set) are skipped. *)
-let compare_reports ~baseline current =
+let key (r : run) = (r.workload, canonical_mode r.mode, r.publicity, r.workers)
+
+(* Whole-matrix re-measure delta: the median new/old ratio over every
+   cell both reports share. A committed baseline was measured on some
+   other day's machine state (frequency scaling, co-tenants, compiler);
+   when the whole matrix moved together that is machine drift, not a
+   scheduler regression — so the per-cell judgement below normalizes by
+   this factor, and the driver prints it as a caveat. *)
+let drift_ratio ~baseline current =
+  let ratios =
+    List.filter_map
+      (fun (r : run) ->
+        match List.find_opt (fun o -> key o = key r) baseline.runs with
+        | Some o when o.parallel_ns.median > 0.0 ->
+            Some (r.parallel_ns.median /. o.parallel_ns.median)
+        | _ -> None)
+      current.runs
+  in
+  (* with only a handful of shared cells the median ratio cannot tell a
+     machine-wide shift from a genuine regression (a single regressed
+     cell IS the median) — fall back to no correction *)
+  if List.length ratios < 4 then 1.0
+  else begin
+    let a = Array.of_list ratios in
+    Array.sort compare a;
+    a.(Array.length a / 2)
+  end
+
+(* A cell regresses when its drift-corrected new median lands beyond the
+   baseline's own noise band: above the baseline p90 AND more than 10%
+   over the baseline median, after dividing out the whole-matrix drift.
+   Missing cells (different workload/worker/mode set) are skipped. *)
+let compare_reports ?drift ~baseline current =
+  let d =
+    match drift with Some d -> d | None -> drift_ratio ~baseline current
+  in
+  let d = if Float.is_finite d && d > 0.0 then d else 1.0 in
   List.filter_map
     (fun (r : run) ->
       match List.find_opt (fun o -> key o = key r) baseline.runs with
       | None -> None
       | Some o ->
-          let m = r.parallel_ns.median and om = o.parallel_ns.median in
+          let m = r.parallel_ns.median /. d
+          and om = o.parallel_ns.median in
           if m > o.parallel_ns.p90 && m > om *. 1.10 then
             Some { r_run = r; r_baseline = o; r_ratio = m /. om }
           else None)
@@ -478,11 +527,21 @@ let print_report (rep : report) =
     Table.print tbl
   end
 
+let print_drift_caveat ~drift baseline =
+  if Float.abs (drift -. 1.0) > 0.05 then
+    Printf.printf
+      "compare: whole-matrix re-measure drift %.2fx vs baseline %s — the \
+       machine, not the scheduler, moved; per-cell judgements below are \
+       drift-corrected\n"
+      drift baseline.date
+
 let print_regressions regs =
-  if regs = [] then print_endline "compare: no regressions beyond noise"
+  if regs = [] then
+    print_endline "compare: no regressions beyond noise (drift-corrected)"
   else begin
     let tbl =
-      Table.create ~title:"REGRESSIONS (median beyond baseline p90 + 10%)"
+      Table.create
+        ~title:"REGRESSIONS (drift-corrected median beyond baseline p90 + 10%)"
         ~header:
           [ "workload"; "mode"; "publicity"; "w"; "old ms"; "new ms"; "x" ]
         ()
@@ -505,7 +564,18 @@ let default_out ~date = Printf.sprintf "BENCH_%s.json" date
 (* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 
-let run ?size ?workers ?repeats ?out ?compare_with ~date names =
+let parse_modes names =
+  List.map
+    (fun n ->
+      match Wool.Mode.of_name n with
+      | Some m -> m
+      | None ->
+          failwith
+            (Printf.sprintf "unknown mode %S (expected one of: %s)" n
+               (String.concat ", " (List.map Wool.Mode.name Wool.Mode.all))))
+    names
+
+let run ?size ?workers ?repeats ?mode_names ?out ?compare_with ~date names =
   let names =
     match names with
     | [] | [ "all" ] -> Spec.names
@@ -513,7 +583,8 @@ let run ?size ?workers ?repeats ?out ?compare_with ~date names =
         List.iter (fun n -> ignore (Spec.find n : Spec.t)) names;
         names
   in
-  let rep = measure ?size ?workers ?repeats ~date names in
+  let mode_filter = Option.map parse_modes mode_names in
+  let rep = measure ?size ?workers ?repeats ?mode_filter ~date names in
   print_report rep;
   let out = match out with Some p -> p | None -> default_out ~date in
   write_file out rep;
@@ -526,6 +597,8 @@ let run ?size ?workers ?repeats ?out ?compare_with ~date names =
       match read_file path with
       | Error msg -> failwith (Printf.sprintf "%s: %s" path msg)
       | Ok baseline ->
-          let regs = compare_reports ~baseline rep in
+          let drift = drift_ratio ~baseline rep in
+          print_drift_caveat ~drift baseline;
+          let regs = compare_reports ~drift ~baseline rep in
           print_regressions regs;
           List.length regs)

@@ -1,14 +1,19 @@
 (** Reproducible benchmark harness ("woolbench bench <workload|all>").
 
-    Runs {!Exp_common.Spec} workloads across worker counts and the five
-    scheduler modes on the real runtime, computes Table II-style
-    single-worker spawn/join overheads (including the [All_private] vs
-    [All_public] publicity split in [Private] mode), speedups, steal
-    counts and measured [G_T]/[G_L], and emits a schema-stable
-    [BENCH_<date>.json] (schema {!schema_version}, parseable with
-    {!Wool_trace.Json}). [--compare old.json] re-reads a committed
-    baseline and flags runs whose new median lands beyond the baseline's
-    own noise band ([p90] + 10% over the median). *)
+    Runs {!Exp_common.Spec} workloads across worker counts and all seven
+    scheduler modes ({!Wool.Mode.all}) on the real runtime — the relaxed
+    at-least-once modes only on kernels whose specs declare
+    [relaxed_ok] — computes Table II-style single-worker spawn/join
+    overheads (including the [All_private] vs [All_public] publicity
+    split in [Private] mode), speedups, steal counts and measured
+    [G_T]/[G_L], and emits a schema-stable [BENCH_<date>.json] (schema
+    {!schema_version}, parseable with {!Wool_trace.Json}). [--modes]
+    restricts the sweep to a subset (e.g. the relaxed-vs-direct
+    comparison without the full matrix). [--compare old.json] re-reads a
+    committed baseline, divides out the whole-matrix machine drift
+    (median new/old ratio over all shared cells), and flags runs whose
+    drift-corrected median lands beyond the baseline's own noise band
+    ([p90] + 10% over the median). *)
 
 val schema_version : string
 (** ["wool-bench/2"]; bumped on any field change. v2 added the tail
@@ -34,8 +39,10 @@ type stat = {
 type run = {
   workload : string;
   descr : string;  (** e.g. ["fib(22)"] *)
-  mode : string;  (** ["locked" | "swap" | "task-specific" | "private" |
-                      "chase-lev"] *)
+  mode : string;  (** a canonical {!Wool.Mode.name}, e.g. ["locked"],
+                      ["swap_generic"], ["clev"], ["ws_mult"],
+                      ["lowsync"]; older baselines' hyphenated spellings
+                      are re-parsed via {!Wool.Mode.of_name} *)
   publicity : string;
       (** ["default"] for the mode sweep; ["all-private"] /
           ["all-public"] for the single-worker publicity split *)
@@ -64,14 +71,17 @@ val measure :
   ?size:Exp_common.Spec.size ->
   ?workers:int list ->
   ?repeats:int ->
+  ?mode_filter:Wool.Mode.t list ->
   date:string ->
   string list ->
   report
-(** [measure ~date names] benches each named workload: the five modes at
-    every worker count (default [[1; 2; 4]], [repeats] = 3 timed pool
-    runs per cell, a fresh pool each), plus the two publicity cells.
-    Raises [Failure] on an unknown name, [Invalid_argument] on an empty
-    or non-positive worker list or [repeats < 1]. *)
+(** [measure ~date names] benches each named workload: the selected
+    modes (default all seven) at every worker count (default [[1; 2; 4]],
+    [repeats] = 3 timed pool runs per cell, a fresh pool each), plus the
+    two publicity cells when [Private] is selected. Relaxed modes are
+    skipped (with a note) on kernels without [Spec.relaxed_ok]. Raises
+    [Failure] on an unknown name, [Invalid_argument] on an empty mode
+    filter, an empty or non-positive worker list, or [repeats < 1]. *)
 
 val to_json : report -> string
 (** Render; the result is checked with {!Wool_trace.Json.validate}
@@ -87,16 +97,29 @@ val read_file : string -> (report, string) result
 type regression = {
   r_run : run;
   r_baseline : run;
-  r_ratio : float;  (** new median / old median *)
+  r_ratio : float;  (** new median / old median, drift-corrected *)
 }
 
-val compare_reports : baseline:report -> report -> regression list
+val drift_ratio : baseline:report -> report -> float
+(** The whole-matrix re-measure delta: the median of [new/old] parallel
+    medians over every cell the two reports share, or [1.0] when they
+    share fewer than 4 (too few to tell a machine-wide shift from a
+    regressed cell). A uniform shift is the machine (frequency scaling,
+    co-tenants), not the scheduler. *)
+
+val compare_reports : ?drift:float -> baseline:report -> report -> regression list
 (** Cells are matched on (workload, mode, publicity, workers); a cell
-    regresses when its new parallel median is above the baseline's [p90]
-    {e and} more than 10% over the baseline median. Cells absent from
-    the baseline are skipped. *)
+    regresses when its drift-corrected new parallel median is above the
+    baseline's [p90] {e and} more than 10% over the baseline median.
+    [drift] defaults to {!drift_ratio}; cells absent from the baseline
+    are skipped. *)
 
 val print_report : report -> unit
+
+val print_drift_caveat : drift:float -> report -> unit
+(** Prints the machine-drift caveat line when [drift] is more than 5%
+    away from 1.0 (the argument report is the baseline, for its date). *)
+
 val print_regressions : regression list -> unit
 
 val default_out : date:string -> string
@@ -106,13 +129,17 @@ val run :
   ?size:Exp_common.Spec.size ->
   ?workers:int list ->
   ?repeats:int ->
+  ?mode_names:string list ->
   ?out:string ->
   ?compare_with:string ->
   date:string ->
   string list ->
   int
-(** CLI driver: measure ([[]] or [["all"]] = every tier-1 workload),
-    print the tables, write [out] (default {!default_out}), optionally
-    compare against [compare_with], print any regressions, and return
-    their count (0 when not comparing). Raises [Failure] on unknown
-    workloads, digest mismatches, or an unreadable baseline. *)
+(** CLI driver: measure ([[]] or [["all"]] = every tier-1 workload;
+    [mode_names] are parsed with {!Wool.Mode.of_name}, default all
+    seven), print the tables, write [out] (default {!default_out}),
+    optionally compare against [compare_with] (printing the drift
+    caveat and any drift-corrected regressions), and return the
+    regression count (0 when not comparing). Raises [Failure] on
+    unknown workloads or modes, digest mismatches, or an unreadable
+    baseline. *)

@@ -58,8 +58,13 @@ let spin n =
 let rec task counts ctx spec =
   ignore (Atomic.fetch_and_add counts.(spec.id) 1 : int);
   spin (1000 + (spec.id * 37 mod 4000));
+  (* [spawn_idempotent] so the same workload runs on the relaxed modes;
+     on exactly-once pools it is [spawn]. The body is idempotent by
+     construction: the counts are occurrence counters (the relaxed
+     assertion is >= 1), and the value is a pure function of the spec. *)
   let futs =
-    List.map (fun c -> Wool.spawn ctx (fun ctx -> task counts ctx c))
+    List.map
+      (fun c -> Wool.spawn_idempotent ctx (fun ctx -> task counts ctx c))
       spec.children
   in
   (* joins must be LIFO: most recent spawn first *)
@@ -82,18 +87,14 @@ type row = {
   violations : string list;  (** oracle violations (must be empty) *)
 }
 
-let all_modes =
-  [|
-    Wool.Private; Wool.Task_specific; Wool.Swap_generic; Wool.Locked;
-    Wool.Clev;
-  |]
-
+(* Every mode, including the relaxed ones: the single source of truth is
+   {!Wool.Mode.all}, so a new mode is fuzzed the day it exists. *)
+let all_modes = Array.of_list Wool.Mode.all
 let publicities = [| Wool.All_public; Wool.Adaptive 1; Wool.Adaptive 4;
                      Wool.All_private |]
 
-let direct = function
-  | Wool.Private | Wool.Task_specific | Wool.Swap_generic -> true
-  | Wool.Locked | Wool.Clev -> false
+let direct = Wool.Mode.is_direct
+let relaxed = Wool.Mode.is_relaxed
 
 let counts_of_stats (s : Wool.Stats.t) =
   {
@@ -110,7 +111,7 @@ let counts_of_stats (s : Wool.Stats.t) =
 
 let run_one ~seed =
   (* Everything about the history flows from the seed: the mode rotates
-     so any consecutive window of 5 seeds covers all five, the rest is
+     so any consecutive window of 7 seeds covers all seven, the rest is
      drawn from a seed-keyed generator. *)
   let rng = Rng.make (0x5eed0 + seed) in
   let mode = all_modes.(seed mod Array.length all_modes) in
@@ -136,13 +137,13 @@ let run_one ~seed =
   let counts = Array.init nodes (fun _ -> Atomic.make 0) in
   let config =
     Wool.Config.make ~workers ~mode ~publicity ~policy ?faults ~seed ~server
-      ~trace:true ~trace_capacity:(1 lsl 14) ()
+      ~allow_relaxed:(relaxed mode) ~trace:true ~trace_capacity:(1 lsl 14) ()
   in
   let pool = Wool.create ~config () in
   let violations = ref [] in
   let add v = violations := !violations @ v in
   let tickets =
-    Wool.Submit.submit_batch pool
+    Wool.Submit.submit_batch ~idempotent:true pool
       (List.init n_inject (fun i _ctx ->
            spin (500 + (i * 131));
            0x1000 + i))
@@ -173,20 +174,38 @@ let run_one ~seed =
                 (Printexc.to_string e);
             ])
     tickets;
+  (* Execution multiplicity is the ground truth the guarantee names:
+     exactly-once modes must show every task at 1; the relaxed modes are
+     allowed duplicates but must still cover every task (>= 1). *)
   Array.iteri
     (fun id c ->
       let n = Atomic.get c in
-      if n <> 1 then
+      if relaxed mode then begin
+        if n < 1 then
+          add
+            [ Printf.sprintf "task %d executed %d times, expected >= 1" id n ]
+      end
+      else if n <> 1 then
         add [ Printf.sprintf "task %d executed %d times, expected 1" id n ])
     counts;
   add (Wool.Invariants.check pool);
   let stats = Wool.Stats.aggregate pool in
-  if stats.spawns <> nodes - 1 then
-    add
-      [
-        Printf.sprintf "stats.spawns = %d, expected %d (tree edges)"
-          stats.spawns (nodes - 1);
-      ];
+  (* A duplicate body run re-spawns its whole subtree, so relaxed modes
+     bound spawns below by the edge count instead of matching exactly. *)
+  (if relaxed mode then begin
+     if stats.spawns < nodes - 1 then
+       add
+         [
+           Printf.sprintf "stats.spawns = %d, expected >= %d (tree edges)"
+             stats.spawns (nodes - 1);
+         ]
+   end
+   else if stats.spawns <> nodes - 1 then
+     add
+       [
+         Printf.sprintf "stats.spawns = %d, expected %d (tree edges)"
+           stats.spawns (nodes - 1);
+       ]);
   (* the main run goes through the ingress too: n_inject + 1 dequeues *)
   if stats.injected <> n_inject + 1 then
     add

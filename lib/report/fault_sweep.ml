@@ -1,5 +1,5 @@
 (* Seeded fault-injection stress runner ("woolbench faults"): sweep
-   random fault plans x all five modes x steal policies, run a
+   random fault plans x all modes x steal policies, run a
    fork-join workload under each combination, and hold the runtime to
    its protocol invariants afterwards — every descriptor EMPTY, steal
    counters balanced, results correct. Plans that inject task
@@ -12,14 +12,14 @@ module Table = Wool_util.Table
 module Clock = Wool_util.Clock
 module Fault = Wool_fault
 
-let all_modes =
-  [
-    Wool.Locked; Wool.Swap_generic; Wool.Task_specific; Wool.Private;
-    Wool.Clev;
-  ]
+(* The canonical mode list, relaxed modes included: fault plans perturb
+   their (fence-free) steal windows just like everyone else's, and the
+   post-quiesce invariant check uses the relaxed counter balances. *)
+let all_modes = Wool.Mode.all
 
 (* The workload: naive fork-join fib with a serial cut-off low enough to
-   keep plenty of steal traffic but bounded work per task. *)
+   keep plenty of steal traffic but bounded work per task. Pure, hence
+   idempotent, hence spawnable on the relaxed modes. *)
 let fib_arg = 18
 
 let rec fib_serial n = if n < 2 then n else fib_serial (n - 1) + fib_serial (n - 2)
@@ -27,7 +27,7 @@ let rec fib_serial n = if n < 2 then n else fib_serial (n - 1) + fib_serial (n -
 let rec fib_task ctx n =
   if n < 2 then n
   else begin
-    let a = Wool.spawn ctx (fun ctx -> fib_task ctx (n - 1)) in
+    let a = Wool.spawn_idempotent ctx (fun ctx -> fib_task ctx (n - 1)) in
     let b = Wool.call ctx (fun ctx -> fib_task ctx (n - 2)) in
     a |> Wool.join ctx |> ( + ) b
   end
@@ -51,7 +51,8 @@ let max_runs ~workers = (2 * workers) + 2
 
 let run_one ~workers ~mode ~policy (plan : Fault.Plan.t) =
   let config =
-    Wool.Config.make ~workers ~mode ~policy ~faults:plan ~seed:plan.seed ()
+    Wool.Config.make ~workers ~mode ~policy ~faults:plan ~seed:plan.seed
+      ~allow_relaxed:(Wool.Mode.is_relaxed mode) ()
   in
   let pool = Wool.create ~config () in
   let expect = fib_serial fib_arg in

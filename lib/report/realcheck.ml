@@ -204,14 +204,13 @@ let kernels =
     nqueens_kernel; knapsack_kernel;
   ]
 
+(* The exactly-once modes, from the canonical table: several kernels
+   here (stress, sort, cholesky) mutate shared state and are not
+   idempotent, so the relaxed modes sit this comparison out. *)
 let wool_modes =
-  [
-    ("wool/private", Wool.Private);
-    ("wool/task-specific", Wool.Task_specific);
-    ("wool/swap", Wool.Swap_generic);
-    ("wool/locked", Wool.Locked);
-    ("wool/chase-lev", Wool.Clev);
-  ]
+  Wool.Mode.all
+  |> List.filter (fun m -> not (Wool.Mode.is_relaxed m))
+  |> List.map (fun m -> ("wool/" ^ Wool.Mode.name m, m))
 
 let compute ?(workers = 3) () =
   List.concat_map

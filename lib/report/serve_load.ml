@@ -39,14 +39,10 @@ type row = {
   violations : string list;  (** {!Wool.Invariants.check}, post-quiesce *)
 }
 
-let modes =
-  [
-    ("locked", Wool.Locked);
-    ("swap", Wool.Swap_generic);
-    ("task-specific", Wool.Task_specific);
-    ("private", Wool.Private);
-    ("chase-lev", Wool.Clev);
-  ]
+(* Every mode, from the canonical table. The service job is idempotent
+   (spin + timestamp; the ticket layer keeps the first completion), so
+   the relaxed modes serve the same load. *)
+let modes = List.map (fun m -> (Wool.Mode.name m, m)) Wool.Mode.all
 
 let spin n =
   for i = 1 to n do
@@ -82,7 +78,7 @@ let producer pool ~seed ~pi ~arrival ~rate ~t_start ~stop_at ~service_spins
     else begin
       let t0 = !next in
       let tk =
-        Wool.Submit.submit pool (fun _ctx ->
+        Wool.Submit.submit ~idempotent:true pool (fun _ctx ->
             spin service_spins;
             Clock.now_ns () - t0)
       in
@@ -103,7 +99,8 @@ let run_cell ~mode_name ~mode ~arrival ~producers ~workers ~rate_hz
      submission around immediately instead of parking the producer *)
   let config =
     Wool.Config.make ~workers ~mode ~server:true ~injection_lanes:1
-      ~injection_capacity:lane_capacity ~admission:Wool.Reject ~seed ()
+      ~injection_capacity:lane_capacity ~admission:Wool.Reject ~seed
+      ~allow_relaxed:(Wool.Mode.is_relaxed mode) ()
   in
   Wool.with_pool ~config (fun pool ->
       let t_start = Clock.now_ns () in

@@ -41,7 +41,23 @@
       ("private tasks"); the default.
     - [Clev]: a Chase–Lev pointer deque with random (non-leapfrog) stealing
       on blocked joins — the conventional steal-child baseline (TBB-like),
-      exhibiting the buried-join behaviour discussed in §I. *)
+      exhibiting the buried-join behaviour discussed in §I.
+    - [Ws_mult]: a fence-free read/write pool {e with multiplicity}
+      (Castañeda & Piña): no CAS or RMW anywhere; in exchange, a task
+      body may execute more than once.
+    - [Lowsync]: a low-synchronization pool (Rito & Paulino): plain
+      owner operations and a single CAS per steal; duplicates only at
+      the owner/thief boundary cell.
+
+    The last two are {e relaxed} modes ({!Mode.At_least_once}): they
+    require [Config.allow_relaxed] and accept work only through
+    {!spawn_idempotent} / [Submit.submit ~idempotent:true]. The runtime
+    dedupes duplicate {e completions} (futures and tickets resolve
+    exactly once), but the task {e body} may run more than once. *)
+
+module Mode = Mode
+(** First-class mode descriptors: the canonical mode list, name/parse
+    tables, and each mode's execution guarantee. *)
 
 type t
 (** A pool: the outside handle. Usable from any domain. *)
@@ -52,7 +68,14 @@ type ctx
 
 type 'a future
 
-type mode = Locked | Swap_generic | Task_specific | Private | Clev
+type mode = Mode.t =
+  | Locked
+  | Swap_generic
+  | Task_specific
+  | Private
+  | Clev
+  | Ws_mult
+  | Lowsync
 
 type publicity = Wool_deque.Direct_stack.publicity =
   | All_private
@@ -135,6 +158,11 @@ module Config : sig
             producer — {!run} becomes submit-and-block-on-ticket instead
             of submit-and-help. Use for pools whose owner must stay
             responsive (accept loops, load generators). *)
+    allow_relaxed : bool;
+        (** opt-in acknowledgement of at-least-once execution (default
+            [false]): a relaxed mode ([Ws_mult] / [Lowsync]) is rejected
+            by {!validate} unless this is set. Setting it on an
+            exactly-once mode is harmless. *)
   }
 
   val default : t
@@ -149,11 +177,12 @@ module Config : sig
       [idle_nap_ns] / [watchdog_stalls] / [injection_capacity],
       non-positive [watchdog_interval_ns] with the watchdog on,
       [injection_capacity = 0] with [Block] (would wedge every
-      producer) or [Shed_oldest] (nothing to shed) admission, and
-      [server] with a closed ingress (submission is the only way in).
-      Returns the config unchanged when valid. {!make}, {!override} and
-      pool creation all validate; call this directly only on records
-      built by hand. *)
+      producer) or [Shed_oldest] (nothing to shed) admission, [server]
+      with a closed ingress (submission is the only way in), and a
+      relaxed [mode] without [allow_relaxed] (the error spells out the
+      at-least-once contract). Returns the config unchanged when valid.
+      {!make}, {!override} and pool creation all validate; call this
+      directly only on records built by hand. *)
 
   val make :
     ?workers:int ->
@@ -175,6 +204,7 @@ module Config : sig
     ?injection_capacity:int ->
     ?admission:admission ->
     ?server:bool ->
+    ?allow_relaxed:bool ->
     unit ->
     t
   (** Builder over {!default}; omitted arguments keep the default.
@@ -204,6 +234,7 @@ module Config : sig
     ?injection_capacity:int ->
     ?admission:admission ->
     ?server:bool ->
+    ?allow_relaxed:bool ->
     unit ->
     t
   (** [override c] is {!make} with [c] as the base instead of
@@ -283,25 +314,34 @@ module Submit : sig
   exception Rejected
   (** Alias of {!Submission_rejected}. *)
 
-  val submit : t -> (ctx -> 'a) -> 'a ticket
+  val submit : ?idempotent:bool -> t -> (ctx -> 'a) -> 'a ticket
   (** Queue one job, honouring the pool's {!type:admission} policy when
       the lane is full ([Block] waits — aborting rejected if the pool
       stops — [Reject] resolves the ticket rejected immediately,
       [Shed_oldest] evicts the oldest queued job to make room). Safe
       from any domain, including concurrently with {!shutdown}: the
-      ticket always resolves. Never raises. *)
+      ticket always resolves.
 
-  val try_submit : t -> (ctx -> 'a) -> 'a ticket option
+      On a relaxed-mode pool the job body may run more than once;
+      [~idempotent:true] (default [false]) is the submitter's
+      acknowledgement, and omitting it there raises [Invalid_argument]
+      before any state changes. The ticket itself still resolves
+      exactly once — the first completion wins, duplicates are dropped —
+      so [await]/[poll] never observe two results. Never raises on
+      exactly-once pools. *)
+
+  val try_submit : ?idempotent:bool -> t -> (ctx -> 'a) -> 'a ticket option
   (** One-shot admission: [None] instead of waiting/shedding when the
       lane is full (whatever the admission policy), the ingress is
-      closed, or the pool is stopping. [Some tk] means admitted. *)
+      closed, or the pool is stopping. [Some tk] means admitted.
+      [?idempotent] as for {!submit}. *)
 
-  val submit_batch : t -> (ctx -> 'a) list -> 'a ticket list
+  val submit_batch : ?idempotent:bool -> t -> (ctx -> 'a) list -> 'a ticket list
   (** Submit a batch through a single lane pick, so consecutive elements
       land in the same lane and a draining worker takes them without
       re-probing. Each element gets its own ticket and is admitted
       independently (under [Reject], a full lane can reject a suffix of
-      the batch). *)
+      the batch). [?idempotent] as for {!submit}. *)
 
   val await : 'a ticket -> 'a
   (** Block until the ticket resolves; returns the job's result,
@@ -339,7 +379,20 @@ val spawn : ctx -> (ctx -> 'a) -> 'a future
 (** Make a task available for stealing (or for later inlining) on the
     calling worker. Raises [Invalid_argument] after {!shutdown} and
     {!Pool_overflow} when the worker's task pool is full (before any
-    state changes — see the exception's doc). *)
+    state changes — see the exception's doc).
+
+    On a relaxed-mode pool ([Ws_mult] / [Lowsync]) this raises
+    [Invalid_argument]: those modes may execute a task body more than
+    once, so the caller must assert idempotence with
+    {!spawn_idempotent}. *)
+
+val spawn_idempotent : ctx -> (ctx -> 'a) -> 'a future
+(** Like {!spawn}, but the caller asserts the task body is idempotent —
+    safe to execute more than once, including concurrently with itself.
+    This is the only spawn accepted on relaxed-mode pools. The future
+    still resolves exactly once ({!join} returns one result); only the
+    {e body} may run multiple times. On exactly-once pools this is
+    identical to {!spawn}. *)
 
 val join : ctx -> 'a future -> 'a
 (** Join with the most recent unjoined [spawn] of this worker. Raises
@@ -384,6 +437,15 @@ type stats = {
   privatize_events : int;
   injected : int;
       (** injected jobs this worker drained from the lanes and ran *)
+  self_joins : int;
+      (** relaxed modes only: joins that found the child neither in the
+          local pool nor completed, and ran the body in place (the
+          wait-free rescue path — covers tasks the fence-free protocol
+          lost or that a thief is still running) *)
+  dup_takes : int;
+      (** relaxed modes only: extractions (steal or take) that found the
+          task already completed and dropped it — each one is a
+          duplicate delivery the completion flag suppressed *)
 }
 
 (** Scheduler counters. Workers count locally without synchronisation;
@@ -470,8 +532,10 @@ module Invariants : sig
       [admitted = executed + shed]. Then globally: spawn/join/steal
       counter balance for the pool's mode (direct modes: [spawns =
       inlined + joins_stolen] and [joins_stolen = steals]; queue modes:
-      [spawns = inlined + steals]). The balance is relative to the last
-      {!Stats.reset}. *)
+      [spawns = inlined + steals]; relaxed modes: [spawns = inlined +
+      joins_stolen] exactly, and [inlined + steals + self_joins >=
+      spawns] — an inequality because duplicate executions are legal
+      there). The balance is relative to the last {!Stats.reset}. *)
 
   val check_exn : t -> unit
   (** Raises [Failure] listing the violations, if any. *)

@@ -6,6 +6,7 @@
     loop-shaped benchmarks (mm, ssf). *)
 
 module Pool = Pool
+module Mode = Pool.Mode
 module Config = Pool.Config
 module Stats = Pool.Stats
 module Policy = Wool_policy
@@ -16,7 +17,14 @@ module Submit = Pool.Submit
 type pool = Pool.t
 type ctx = Pool.ctx
 type 'a future = 'a Pool.future
-type mode = Pool.mode = Locked | Swap_generic | Task_specific | Private | Clev
+type mode = Pool.mode =
+  | Locked
+  | Swap_generic
+  | Task_specific
+  | Private
+  | Clev
+  | Ws_mult
+  | Lowsync
 
 type publicity = Pool.publicity = All_private | All_public | Adaptive of int
 type admission = Pool.admission = Block | Reject | Shed_oldest
@@ -30,6 +38,7 @@ let run = Pool.run
 let shutdown = Pool.shutdown
 let with_pool = Pool.with_pool
 let spawn = Pool.spawn
+let spawn_idempotent = Pool.spawn_idempotent
 let join = Pool.join
 let call = Pool.call
 let self_id = Pool.self_id
@@ -54,7 +63,12 @@ let trace_clear = Pool.trace_clear
 (** [parallel_for ctx ~grain lo hi body] runs [body i] for [lo <= i < hi]
     as a balanced binary task tree with at most [grain] iterations per leaf
     (default 1). This is how Wool programs express parallel loops: the same
-    spawn/call/join pattern as Figure 2 applied to index ranges. *)
+    spawn/call/join pattern as Figure 2 applied to index ranges.
+
+    The combinators spawn via [spawn_idempotent] so they work on
+    relaxed-mode pools too; there, a subtree (and so [body i]) may run
+    more than once, which is harmless for the write-one-slot bodies the
+    combinators are built for. *)
 let rec parallel_for ctx ?(grain = 1) lo hi body =
   if hi - lo <= grain then
     for i = lo to hi - 1 do
@@ -62,7 +76,9 @@ let rec parallel_for ctx ?(grain = 1) lo hi body =
     done
   else begin
     let mid = lo + ((hi - lo) / 2) in
-    let right = spawn ctx (fun ctx -> parallel_for ctx ~grain mid hi body) in
+    let right =
+      spawn_idempotent ctx (fun ctx -> parallel_for ctx ~grain mid hi body)
+    in
     parallel_for ctx ~grain lo mid body;
     join ctx right
   end
@@ -81,7 +97,8 @@ let rec parallel_reduce ctx ?(grain = 1) lo hi ~neutral f combine =
   else begin
     let mid = lo + ((hi - lo) / 2) in
     let right =
-      spawn ctx (fun ctx -> parallel_reduce ctx ~grain mid hi ~neutral f combine)
+      spawn_idempotent ctx (fun ctx ->
+          parallel_reduce ctx ~grain mid hi ~neutral f combine)
     in
     let left = parallel_reduce ctx ~grain lo mid ~neutral f combine in
     combine left (join ctx right)
@@ -90,7 +107,7 @@ let rec parallel_reduce ctx ?(grain = 1) lo hi ~neutral f combine =
 (** [both ctx f g] evaluates [f] and [g] as parallel tasks and returns both
     results — the binary fork-join primitive. *)
 let both ctx f g =
-  let fg = spawn ctx g in
+  let fg = spawn_idempotent ctx g in
   let a = f ctx in
   let b = join ctx fg in
   (a, b)

@@ -8,6 +8,10 @@
 
 module Pool = Pool
 
+module Mode = Pool.Mode
+(** First-class mode descriptors: canonical names, parsing, and each
+    mode's execution guarantee; see {!Pool.Mode}. *)
+
 module Config = Pool.Config
 (** Pool configuration records; see {!Pool.Config}. *)
 
@@ -41,6 +45,13 @@ type mode = Pool.mode =
   | Task_specific  (** + direct typed call on inlined joins *)
   | Private  (** + private descriptors with trip wires (default) *)
   | Clev  (** Chase–Lev pointer deque baseline (TBB-like) *)
+  | Ws_mult
+      (** fence-free read/write pool with multiplicity — relaxed:
+          requires [Config.make ~allow_relaxed:true] and
+          {!spawn_idempotent} *)
+  | Lowsync
+      (** low-synchronization pool, one CAS per steal — relaxed, same
+          opt-in as [Ws_mult] *)
 
 type publicity = Pool.publicity =
   | All_private
@@ -79,6 +90,15 @@ val with_pool : ?config:Config.t -> (pool -> 'a) -> 'a
 (** See {!Pool.with_pool}. *)
 
 val spawn : ctx -> (ctx -> 'a) -> 'a future
+(** Raises [Invalid_argument] on relaxed-mode pools; see
+    {!Pool.spawn}. *)
+
+val spawn_idempotent : ctx -> (ctx -> 'a) -> 'a future
+(** {!spawn} for bodies that tolerate duplicate execution — the only
+    spawn accepted on relaxed-mode pools ([Ws_mult]/[Lowsync]); see
+    {!Pool.spawn_idempotent}. The combinators below use it internally,
+    so they work in every mode. *)
+
 val join : ctx -> 'a future -> 'a
 val call : ctx -> (ctx -> 'a) -> 'a
 val self_id : ctx -> int

@@ -54,7 +54,9 @@ let wool ctx ?(cutoff = 3) n =
       for col = n - 1 downto 0 do
         if ok col placed then
           children :=
-            Wool.spawn ctx (fun ctx -> go ctx (row + 1) (col :: placed))
+            (* pure counting body: idempotent, so relaxed modes work *)
+            Wool.spawn_idempotent ctx (fun ctx ->
+                go ctx (row + 1) (col :: placed))
             :: !children
       done;
       (* join in LIFO spawn order: the newest spawn is the head *)

@@ -122,7 +122,13 @@ let test_compare_flags_only_real_regressions () =
   Alcotest.(check int) "unmatched cell skipped" 0
     (List.length
        (B.compare_reports ~baseline
-          (mk_report [ mk_run ~workers:4 ~median:500. () ])))
+          (mk_report [ mk_run ~workers:4 ~median:500. () ])));
+  (* a legacy-spelled baseline cell still matches its canonical successor *)
+  Alcotest.(check int) "legacy mode spelling matches" 1
+    (List.length
+       (B.compare_reports ~drift:1.0
+          ~baseline:(mk_report [ mk_run ~mode:"chase-lev" ~median:100. () ])
+          (mk_report [ mk_run ~mode:"clev" ~median:150. () ])))
 
 let test_compare_ratio () =
   let baseline = mk_report [ mk_run ~median:100. () ] in
@@ -133,14 +139,51 @@ let test_compare_ratio () =
         r.B.r_baseline.B.parallel_ns.B.median
   | l -> Alcotest.failf "expected 1 regression, got %d" (List.length l)
 
+let test_compare_drift_correction () =
+  (* six cells with distinct keys *)
+  let keys = [ ("private", 1); ("private", 2); ("locked", 1);
+               ("locked", 2); ("clev", 1); ("clev", 2) ]
+  in
+  let report_at f =
+    mk_report
+      (List.map (fun (mode, workers) -> mk_run ~mode ~workers ~median:(f mode workers) ()) keys)
+  in
+  let baseline = report_at (fun _ _ -> 100.) in
+  (* the whole matrix 1.30x slower: machine drift, not a regression —
+     without the correction every cell would be flagged *)
+  let drifted = report_at (fun _ _ -> 130.) in
+  Alcotest.(check (float 1e-9)) "drift estimated" 1.30
+    (B.drift_ratio ~baseline drifted);
+  Alcotest.(check int) "uniform shift is clean" 0
+    (List.length (B.compare_reports ~baseline drifted));
+  (* one cell 1.5x slower on an otherwise steady machine: flagged *)
+  let one_bad =
+    report_at (fun mode workers ->
+        if mode = "clev" && workers = 2 then 150. else 100.)
+  in
+  (match B.compare_reports ~baseline one_bad with
+  | [ r ] ->
+      Alcotest.(check string) "the regressed cell" "clev" r.B.r_run.B.mode;
+      Alcotest.(check (float 1e-9)) "its ratio" 1.5 r.B.r_ratio
+  | l -> Alcotest.failf "expected 1 regression, got %d" (List.length l));
+  (* the same bad cell on a drifted machine: still the only one flagged *)
+  let drifted_one_bad =
+    report_at (fun mode workers ->
+        if mode = "clev" && workers = 2 then 195. else 130.)
+  in
+  match B.compare_reports ~baseline drifted_one_bad with
+  | [ r ] -> Alcotest.(check string) "still flagged" "clev" r.B.r_run.B.mode
+  | l -> Alcotest.failf "expected 1 regression, got %d" (List.length l)
+
 let test_measure_tiny_live () =
   (* one real measurement on the Tiny size: digests check out (ok), the
      matrix has the expected cells, and the emitted file re-reads *)
   let rep = B.measure ~size:Spec.Tiny ~workers:[ 1 ] ~repeats:2
       ~date:"2026-08-06" [ "fib" ]
   in
-  (* 5 modes x 1 worker count + the 2 publicity cells *)
-  Alcotest.(check int) "cells" 7 (List.length rep.B.runs);
+  (* 7 modes x 1 worker count + the 2 publicity cells (fib is
+     idempotent, so the relaxed modes are measured too) *)
+  Alcotest.(check int) "cells" 9 (List.length rep.B.runs);
   List.iter
     (fun r ->
       Alcotest.(check bool) (r.B.mode ^ " digest ok") true r.B.ok;
@@ -172,6 +215,8 @@ let suite =
         Alcotest.test_case "compare rule" `Quick
           test_compare_flags_only_real_regressions;
         Alcotest.test_case "compare ratio" `Quick test_compare_ratio;
+        Alcotest.test_case "compare drift correction" `Quick
+          test_compare_drift_correction;
         Alcotest.test_case "measure tiny" `Slow test_measure_tiny_live;
       ] );
   ]

@@ -212,6 +212,122 @@ let test_create_validation () =
         | None -> true
         | Some _ -> false))
 
+let contains = Test_util.contains
+
+(* The Mode module is the single name/parse table; every canonical name
+   must survive a round trip, the legacy hyphenated spellings in old
+   committed BENCH baselines must still parse, and the guarantee
+   predicates must agree with each other. *)
+let test_mode_round_trip () =
+  List.iter
+    (fun m ->
+      let nm = Wool.Mode.name m in
+      (match Wool.Mode.of_name nm with
+      | Some m' ->
+          Alcotest.(check bool) (nm ^ " round-trips") true (m = m')
+      | None -> Alcotest.failf "canonical name %S does not parse back" nm);
+      Alcotest.(check bool)
+        (nm ^ " guarantee coherent") true
+        (Wool.Mode.is_relaxed m
+        = (Wool.Mode.guarantee m = Wool.Mode.At_least_once));
+      (* direct-stack modes are all exactly-once *)
+      if Wool.Mode.is_direct m then
+        Alcotest.(check bool)
+          (nm ^ " direct implies exact") false (Wool.Mode.is_relaxed m))
+    Wool.Mode.all;
+  List.iter
+    (fun (alias, expect) ->
+      match Wool.Mode.of_name alias with
+      | Some m -> Alcotest.(check bool) (alias ^ " alias") true (m = expect)
+      | None -> Alcotest.failf "legacy spelling %S does not parse" alias)
+    [
+      ("swap-generic", Wool.Swap_generic);
+      ("swap", Wool.Swap_generic);
+      ("task-specific", Wool.Task_specific);
+      ("chase-lev", Wool.Clev);
+      ("chase_lev", Wool.Clev);
+      ("ws-mult", Wool.Ws_mult);
+      ("low-sync", Wool.Lowsync);
+      ("low_sync", Wool.Lowsync);
+      ("PRIVATE", Wool.Private);
+    ];
+  Alcotest.(check bool)
+    "unknown name rejected" true
+    (Wool.Mode.of_name "bogus" = None)
+
+(* The relaxed modes change the API contract (a task body may run more
+   than once), so Config.validate refuses them unless the caller opts in
+   with [~allow_relaxed:true], and the error names the opt-in. *)
+let test_relaxed_config_validation () =
+  List.iter
+    (fun (nm, mode) ->
+      (match Wool.Config.make ~mode () with
+      | (_ : Wool.Config.t) ->
+          Alcotest.failf "%s accepted without ~allow_relaxed" nm
+      | exception Invalid_argument m ->
+          Alcotest.(check bool)
+            (nm ^ " error names the opt-in") true
+            (contains m "Wool.Config:"
+            && contains m "at-least-once"
+            && contains m "allow_relaxed"));
+      (* the opt-in makes the same config legal *)
+      ignore (Wool.Config.make ~mode ~allow_relaxed:true () : Wool.Config.t))
+    Test_util.relaxed_modes;
+  (* the flag is a harmless no-op on an exactly-once mode *)
+  ignore
+    (Wool.Config.make ~mode:Wool.Private ~allow_relaxed:true ()
+      : Wool.Config.t)
+
+(* On a relaxed pool, plain [spawn] must refuse (its exactly-once
+   contract cannot hold there) and point at [spawn_idempotent], which
+   must work in its place. *)
+let test_spawn_rejected_on_relaxed () =
+  List.iter
+    (fun (nm, mode) ->
+      Test_util.with_pool ~workers:1 ~mode (fun pool ->
+          let v =
+            Wool.run pool (fun ctx ->
+                (match Wool.spawn ctx (fun _ -> 1) with
+                | _ -> Alcotest.failf "%s: plain spawn accepted" nm
+                | exception Invalid_argument m ->
+                    Alcotest.(check bool)
+                      (nm ^ " spawn error points at spawn_idempotent") true
+                      (contains m "spawn_idempotent" && contains m nm));
+                let f = Wool.spawn_idempotent ctx (fun _ -> 41) in
+                1 + Wool.join ctx f)
+          in
+          Alcotest.(check int) (nm ^ " idempotent spawn runs") 42 v))
+    Test_util.relaxed_modes
+
+(* Relaxed-mode accounting: after a quiescent run the invariant checker
+   must be green, every spawn's join must balance exactly, and the
+   coverage inequality (duplicates are legal, lost tasks are not) must
+   hold. Exercises the at-least-once counters end to end. *)
+let test_relaxed_stats_and_invariants () =
+  List.iter
+    (fun (nm, mode) ->
+      Test_util.with_pool ~workers:4 ~mode (fun pool ->
+          Wool.Stats.reset pool;
+          Alcotest.(check int)
+            (nm ^ " fib digest") (Test_util.fib_serial 20)
+            (Wool.run pool (fun ctx -> Test_util.fib ctx 20));
+          Alcotest.(check (list string))
+            (nm ^ " invariants") []
+            (Wool.Invariants.check pool);
+          let s = Wool.Stats.aggregate pool in
+          let inlined =
+            s.Wool.Pool.inlined_private + s.Wool.Pool.inlined_public
+          in
+          Alcotest.(check int)
+            (nm ^ " every spawn joined exactly once")
+            s.Wool.Pool.spawns
+            (inlined + s.Wool.Pool.joins_stolen);
+          Alcotest.(check bool)
+            (nm ^ " extraction coverage") true
+            (inlined + s.Wool.Pool.steals + s.Wool.Pool.self_joins
+            >= s.Wool.Pool.spawns)))
+    Test_util.relaxed_modes
+
 (* [Pool_overflow] unwinding: filling a small pool must raise the
    dedicated exception before any state is mutated, the exception path
    must join-or-drain everything outstanding, and the pool must come out
@@ -220,6 +336,10 @@ let test_pool_overflow_unwind_all_modes () =
   (* breadth-first: push [n] sibling tasks, join them in LIFO order *)
   let spawn_n ctx n =
     let futs = List.init n (fun i -> Wool.spawn ctx (fun _ -> i)) in
+    List.fold_left (fun acc f -> acc + Wool.join ctx f) 0 (List.rev futs)
+  in
+  let spawn_n_idem ctx n =
+    let futs = List.init n (fun i -> Wool.spawn_idempotent ctx (fun _ -> i)) in
     List.fold_left (fun acc f -> acc + Wool.join ctx f) 0 (List.rev futs)
   in
   List.iter
@@ -231,6 +351,11 @@ let test_pool_overflow_unwind_all_modes () =
                  overflow to raise, the run must simply complete *)
               Alcotest.(check int) (name ^ " completes") (100 * 99 / 2)
                 (Wool.run pool (fun ctx -> spawn_n ctx 100))
+          | Wool.Ws_mult | Wool.Lowsync ->
+              (* the relaxed deques also grow on demand — and accept only
+                 idempotent spawns *)
+              Alcotest.(check int) (name ^ " completes") (100 * 99 / 2)
+                (Wool.run pool (fun ctx -> spawn_n_idem ctx 100))
           | Wool.Locked | Wool.Swap_generic | Wool.Task_specific
           | Wool.Private ->
               Alcotest.check_raises (name ^ " overflow") Wool.Pool_overflow
@@ -250,13 +375,15 @@ let test_stress_kernel_matches_serial () =
   S.reset_leaf_result ();
   S.serial ~height:6 ~leaf_iters:100;
   let expected = S.leaf_result () in
+  (* stress accumulates into a shared cell, so a duplicate leaf run
+     changes the checksum: exactly-once modes only *)
   List.iter
     (fun (name, mode) ->
       S.reset_leaf_result ();
       Test_util.with_pool ~workers:3 ~mode (fun pool ->
           Wool.run pool (fun ctx -> S.wool ctx ~height:6 ~leaf_iters:100));
       Alcotest.(check int) (name ^ " checksum") expected (S.leaf_result ()))
-    all_modes
+    Test_util.exact_modes
 
 let test_steal_policies_complete () =
   (* every selector x backoff combination of the shared policy layer must
@@ -361,6 +488,13 @@ let suite =
         Alcotest.test_case "max pool depth" `Quick test_max_pool_depth_stat;
         Alcotest.test_case "workers and ids" `Quick test_num_workers_and_ids;
         Alcotest.test_case "create validation" `Quick test_create_validation;
+        Alcotest.test_case "mode round trip" `Quick test_mode_round_trip;
+        Alcotest.test_case "relaxed config validation" `Quick
+          test_relaxed_config_validation;
+        Alcotest.test_case "spawn rejected on relaxed" `Quick
+          test_spawn_rejected_on_relaxed;
+        Alcotest.test_case "relaxed stats and invariants" `Slow
+          test_relaxed_stats_and_invariants;
         Alcotest.test_case "overflow unwind all modes" `Quick
           test_pool_overflow_unwind_all_modes;
         Alcotest.test_case "stress kernel checksum" `Slow
