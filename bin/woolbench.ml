@@ -315,6 +315,17 @@ let serve_cmd =
     let doc = "Arrival-process RNG seed." in
     Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc)
   in
+  let arrivals_arg =
+    let doc =
+      "Comma-separated arrival patterns to run: sustained | bursty | \
+       overload (default all three). Overload runs each mode twice, under \
+       Adaptive and Block admission."
+    in
+    Arg.(
+      value
+      & opt (some (list string)) None
+      & info [ "arrivals" ] ~docv:"A,B,..." ~doc)
+  in
   let out_arg =
     let doc = "Output path (default SERVE_<date>.json)." in
     Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
@@ -323,7 +334,8 @@ let serve_cmd =
     let doc = "Re-read the emitted file and validate it as JSON." in
     Arg.(value & flag & info [ "check" ] ~doc)
   in
-  let run workers producers rate_hz duration_s lane_capacity seed out check =
+  let run workers producers rate_hz duration_s lane_capacity arrivals seed
+      out check =
     if workers < 1 then `Error (false, "--workers must be at least 1")
     else if producers < 1 then
       `Error (false, "--producers must be at least 1")
@@ -336,30 +348,61 @@ let serve_cmd =
         Printf.sprintf "%04d-%02d-%02d" (tm.Unix.tm_year + 1900)
           (tm.Unix.tm_mon + 1) tm.Unix.tm_mday
       in
-      match
-        Wool_report.Serve_load.run ~producers ~workers ~rate_hz ~duration_s
-          ~lane_capacity ~seed ?out ~check ~date ()
-      with
-      | 0 -> `Ok ()
-      | n ->
+      let parse_arrival = function
+        | "sustained" -> Ok Wool_report.Serve_load.Sustained
+        | "bursty" -> Ok Wool_report.Serve_load.Bursty
+        | "overload" -> Ok Wool_report.Serve_load.Overload
+        | a -> Error a
+      in
+      let arrivals =
+        Option.map (List.map parse_arrival) arrivals
+      in
+      match arrivals with
+      | Some l
+        when List.exists (function Error _ -> true | Ok _ -> false) l ->
+          let bad =
+            List.filter_map
+              (function Error a -> Some a | Ok _ -> None)
+              l
+          in
           `Error
-            (false, Printf.sprintf "%d cell(s) violated pool invariants" n)
-      | exception Failure msg -> `Error (false, msg)
-      | exception Invalid_argument msg -> `Error (false, msg)
-      | exception Sys_error msg -> `Error (false, msg)
+            ( false,
+              Printf.sprintf
+                "unknown arrival(s): %s (try sustained, bursty, overload)"
+                (String.concat ", " bad) )
+      | _ -> (
+          let arrivals =
+            Option.map
+              (List.filter_map
+                 (function Ok a -> Some a | Error _ -> None))
+              arrivals
+          in
+          match
+            Wool_report.Serve_load.run ~producers ~workers ~rate_hz
+              ~duration_s ~lane_capacity ?arrivals ~seed ?out ~check ~date ()
+          with
+          | 0 -> `Ok ()
+          | n ->
+              `Error
+                ( false,
+                  Printf.sprintf "%d cell(s) violated pool invariants" n )
+          | exception Failure msg -> `Error (false, msg)
+          | exception Invalid_argument msg -> `Error (false, msg)
+          | exception Sys_error msg -> `Error (false, msg))
     end
   in
   let doc =
-    "drive a server-mode pool with open-loop Poisson traffic (sustained \
-     and bursty) from external producer domains; report admit/reject/shed \
-     counts and p50/p99/p999 sojourn latency per scheduler mode"
+    "drive a server-mode pool with open-loop Poisson traffic (sustained, \
+     bursty, overload) from external producer domains; report \
+     admit/reject/shed/expire/cancel counts, p50/p99 sojourn latency, and \
+     goodput per scheduler mode and admission policy"
   in
   Cmd.v
     (Cmd.info "serve" ~doc)
     Term.(
       ret
         (const run $ workers_arg $ producers_arg $ rate_arg $ seconds_arg
-        $ capacity_arg $ seed_arg $ out_arg $ check_arg))
+        $ capacity_arg $ arrivals_arg $ seed_arg $ out_arg $ check_arg))
 
 let check_cmd =
   let histories_arg =

@@ -902,6 +902,179 @@ let lowsync_two_thieves_serialize =
     run;
   }
 
+(* ---- lifecycle scenarios: cancellation and deadlines reduced to
+   their shared state. Settlement mirrors [injected_of]: a [claimed]
+   flag is CAS-won exactly once and only the winner resolves the
+   ticket — completions, cancels, expiries and shutdown drops all ride
+   the same claim. *)
+
+let tk_cancelled = 3
+let tk_expired = 4
+
+(* -- Scenario C1: cancel racing delivery, with multiplicity. A
+   canceller sets the token while two deliveries of the same job (the
+   duplicate a relaxed mode or the [Dup] drain fault produces) each run
+   the worker's check-token / run / settle sequence. Under every
+   interleaving the ticket resolves exactly once — done or cancelled —
+   and the body runs at most once per delivery, never by a delivery
+   that observed the token. *)
+let cancel_vs_complete =
+  let run ~max_schedules =
+    let saw_done = ref false
+    and saw_cancelled = ref false
+    and saw_dup_run = ref false
+    and saw_cancel_after_run = ref false in
+    let stats =
+      Sched.run ~max_schedules (fun () ->
+          let token = Shadow_atomic.make false in
+          let claimed = Shadow_atomic.make false in
+          let tk = Shadow_atomic.make tk_pending in
+          let runs = ref 0 in
+          let settle st =
+            if Shadow_atomic.compare_and_set claimed false true then
+              resolve tk st
+          in
+          let delivery () =
+            if Shadow_atomic.get token then settle tk_cancelled
+            else begin
+              incr runs;
+              settle tk_done
+            end
+          in
+          Sched.spawn delivery;
+          Sched.spawn delivery;
+          Sched.spawn (fun () -> Shadow_atomic.set token true);
+          Sched.final (fun () ->
+              let st = Shadow_atomic.get tk in
+              check (st <> tk_pending) "cancel-vs-complete stranded the ticket";
+              check
+                (st = tk_done || st = tk_cancelled)
+                "ticket resolved to an impossible state";
+              check (!runs <= 2) "body ran more than its two deliveries";
+              if st = tk_done then saw_done := true
+              else begin
+                saw_cancelled := true;
+                if !runs > 0 then saw_cancel_after_run := true
+              end;
+              if !runs = 2 then saw_dup_run := true))
+    in
+    check !saw_done "coverage: completion winning never explored";
+    check !saw_cancelled "coverage: cancel winning never explored";
+    check !saw_dup_run "coverage: duplicate execution never explored";
+    check !saw_cancel_after_run
+      "coverage: cancel settling against a racing run never explored";
+    stats
+  in
+  {
+    name = "cancel-vs-complete";
+    descr = "token set vs duplicate deliveries: one settlement wins";
+    run;
+  }
+
+(* -- Scenario C2: expiry racing dequeue on a virtual clock. A ticker
+   advances the clock past the job's deadline while the worker performs
+   the dequeue-time expiry check; whichever way the race lands, an
+   expired settlement means the body never ran and a done settlement
+   means it ran exactly once. *)
+let expire_vs_dequeue =
+  let run ~max_schedules =
+    let saw_run = ref false and saw_expired = ref false in
+    let stats =
+      Sched.run ~max_schedules (fun () ->
+          let clock = Shadow_atomic.make 0 in
+          let deadline = 1 in
+          let claimed = Shadow_atomic.make false in
+          let tk = Shadow_atomic.make tk_pending in
+          let runs = ref 0 in
+          let settle st =
+            if Shadow_atomic.compare_and_set claimed false true then
+              resolve tk st
+          in
+          Sched.spawn (fun () ->
+              (* the clock ticking past the deadline *)
+              Shadow_atomic.set clock 1;
+              Shadow_atomic.set clock 2);
+          Sched.spawn (fun () ->
+              (* worker at dequeue: expiry check, then run-and-settle *)
+              if Shadow_atomic.get clock > deadline then settle tk_expired
+              else begin
+                incr runs;
+                settle tk_done
+              end);
+          Sched.final (fun () ->
+              let st = Shadow_atomic.get tk in
+              check (st <> tk_pending) "expire-vs-dequeue stranded the ticket";
+              if st = tk_done then begin
+                saw_run := true;
+                check (!runs = 1) "completed job did not run exactly once"
+              end
+              else begin
+                check (st = tk_expired) "impossible ticket state";
+                saw_expired := true;
+                check (!runs = 0) "expired job ran anyway"
+              end))
+    in
+    check !saw_run "coverage: in-deadline run never explored";
+    check !saw_expired "coverage: expiry drop never explored";
+    stats
+  in
+  {
+    name = "expire-vs-dequeue";
+    descr = "deadline passing vs the dequeue-time expiry check";
+    run;
+  }
+
+(* -- Scenario C3: a cancelled job racing shutdown. One job sits in a
+   lane with its token already set; the worker's drain (which would
+   drop it cancelled) races the shutdown drain (which rejects it).
+   Either drop is legal — the invariants are that exactly one wins,
+   the body never runs, and the lane ends empty. *)
+let cancel_vs_shutdown =
+  let run ~max_schedules =
+    let saw_cancelled = ref false and saw_rejected = ref false in
+    let stats =
+      Sched.run ~max_schedules (fun () ->
+          let q = Iq.create ~capacity:2 ~dummy:(-1) () in
+          let claimed = Shadow_atomic.make false in
+          let tk = Shadow_atomic.make tk_pending in
+          let settle st =
+            if Shadow_atomic.compare_and_set claimed false true then
+              resolve tk st
+          in
+          (* unscheduled prefix: one job queued, its token already set *)
+          check (Iq.try_push q 0) "setup: push failed";
+          Sched.spawn (fun () ->
+              (* worker drain: pop, observe the set token, drop *)
+              match Iq.try_pop q with
+              | Some 0 -> settle tk_cancelled
+              | Some _ -> failwith "popped a job nobody queued"
+              | None -> ());
+          Sched.spawn (fun () ->
+              (* shutdown drain: pop, resolve rejected *)
+              match Iq.try_pop q with
+              | Some 0 -> settle tk_rejected
+              | Some _ -> failwith "popped a job nobody queued"
+              | None -> ());
+          Sched.final (fun () ->
+              let st = Shadow_atomic.get tk in
+              check (st <> tk_pending) "cancel-vs-shutdown stranded the ticket";
+              check
+                (st = tk_cancelled || st = tk_rejected)
+                "impossible ticket state";
+              check (Iq.size q = 0) "lane not empty after the race";
+              if st = tk_cancelled then saw_cancelled := true
+              else saw_rejected := true))
+    in
+    check !saw_cancelled "coverage: worker cancel-drop never won";
+    check !saw_rejected "coverage: shutdown reject-drain never won";
+    stats
+  in
+  {
+    name = "cancel-vs-shutdown";
+    descr = "pre-cancelled job: worker drop vs shutdown drain";
+    run;
+  }
+
 let all =
   [
     single_task_lifecycle;
@@ -920,4 +1093,7 @@ let all =
     lowsync_boundary_dup;
     lowsync_stale_claim;
     lowsync_two_thieves_serialize;
+    cancel_vs_complete;
+    expire_vs_dequeue;
+    cancel_vs_shutdown;
   ]

@@ -7,7 +7,10 @@
     races on the injection lanes), and the relaxed at-least-once
     protocols (ws_mult steal-vs-take and thief/thief multiplicity, the
     recycled-cell ABA on both relaxed pools, lowsync's boundary
-    duplicate and CAS-serialized thieves). Exact-mode scenarios assert
+    duplicate and CAS-serialized thieves), and the submission lifecycle
+    (cancel-vs-complete settlement with duplicate deliveries,
+    expire-vs-dequeue on a virtual clock, a pre-cancelled job racing
+    the shutdown drain). Exact-mode scenarios assert
     exactly-once execution, quiescence and counter balance on every
     schedule; relaxed scenarios assert at-least-once delivery with a
     small multiplicity bound and guard/self-run recovery. All assert

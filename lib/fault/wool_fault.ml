@@ -13,11 +13,13 @@ module Site = struct
     | Submit
     | Admit
     | Drain
+    | Expire
+    | Cancel
 
   let all =
     [
       Pre_steal_cas; Post_steal_cas; Trip_wire; Publish; Nap_entry; Spawn;
-      Join; Leapfrog; Submit; Admit; Drain;
+      Join; Leapfrog; Submit; Admit; Drain; Expire; Cancel;
     ]
 
   let count = List.length all
@@ -34,6 +36,8 @@ module Site = struct
     | Submit -> 8
     | Admit -> 9
     | Drain -> 10
+    | Expire -> 11
+    | Cancel -> 12
 
   let name = function
     | Pre_steal_cas -> "pre_steal_cas"
@@ -47,6 +51,8 @@ module Site = struct
     | Submit -> "submit"
     | Admit -> "admit"
     | Drain -> "drain"
+    | Expire -> "expire"
+    | Cancel -> "cancel"
 
   let of_name s = List.find_opt (fun t -> name t = s) all
 end

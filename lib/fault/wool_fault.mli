@@ -46,6 +46,16 @@ module Site : sig
     | Drain
         (** worker side, each attempt to pop an injection lane in the
             idle loop *)
+    | Expire
+        (** worker side, after popping a deadline-stamped job and before
+            the expiry check — a delay here stretches the
+            expire-vs-dequeue race (the job may expire under the
+            worker's feet) *)
+    | Cancel
+        (** worker side, after popping a token-carrying job and before
+            the cancellation check — a delay here widens the
+            cancel-vs-run window, racing the canceller's settlement
+            against the worker's *)
 
   val all : t list
   val count : int

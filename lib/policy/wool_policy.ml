@@ -118,14 +118,15 @@ module Backoff = struct
 end
 
 module Admission = struct
-  type t = Block | Reject | Shed_oldest
+  type t = Block | Reject | Shed_oldest | Adaptive
 
-  let all = [ Block; Reject; Shed_oldest ]
+  let all = [ Block; Reject; Shed_oldest; Adaptive ]
 
   let name = function
     | Block -> "block"
     | Reject -> "reject"
     | Shed_oldest -> "shed-oldest"
+    | Adaptive -> "adaptive"
 
   let of_name s = List.find_opt (fun t -> name t = s) all
 end

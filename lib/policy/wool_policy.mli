@@ -87,6 +87,12 @@ module Admission : sig
         (** evict the oldest queued job (its ticket resolves rejected)
             to make room — latency-SLO serving, where a stale job is
             worth less than a fresh one *)
+    | Adaptive
+        (** feedback controller: sheds {e before} the lane fills when a
+            sojourn-latency EWMA exceeds the pool's configured target
+            ([admission_target_ns]), otherwise admits; a full lane
+            rejects like {!Reject}. Turns overload into bounded-latency
+            goodput instead of unbounded queueing *)
 
   val all : t list
   val name : t -> string

@@ -132,6 +132,12 @@ let run_one ~seed =
      the same schedule fuzzing as the steal protocol *)
   let server = Rng.int rng 4 = 0 in
   let n_inject = Rng.int rng 4 in
+  (* lifecycle traffic: a few submissions arrive pre-cancelled or past
+     their deadline, so the drop-at-dequeue path runs under the same
+     schedule fuzzing — their bodies must never execute, and dropped
+     jobs must not perturb the dequeue accounting checked below *)
+  let n_cancel = Rng.int rng 2 in
+  let n_expire = Rng.int rng 2 in
   let spec, nodes = gen_spec rng ~budget in
   let expect = eval spec in
   let counts = Array.init nodes (fun _ -> Atomic.make 0) in
@@ -147,6 +153,20 @@ let run_one ~seed =
       (List.init n_inject (fun i _ctx ->
            spin (500 + (i * 131));
            0x1000 + i))
+  in
+  let dropped_ran = Atomic.make 0 in
+  let drop_body _ctx = Atomic.incr dropped_ran in
+  let cancel_tickets =
+    List.init n_cancel (fun _ ->
+        let c = Wool.Cancel.create () in
+        Wool.Cancel.cancel c;
+        Wool.Submit.submit ~idempotent:true ~cancel:c pool drop_body)
+  in
+  let expire_tickets =
+    List.init n_expire (fun _ ->
+        Wool.Submit.submit ~idempotent:true
+          ~deadline:(Clock.now_ns () - 1)
+          pool drop_body)
   in
   let (), elapsed_ns =
     Clock.time (fun () ->
@@ -174,6 +194,36 @@ let run_one ~seed =
                 (Printexc.to_string e);
             ])
     tickets;
+  List.iteri
+    (fun i tk ->
+      match Wool.Submit.await tk with
+      | () -> add [ Printf.sprintf "cancelled submission %d completed" i ]
+      | exception Wool.Submit.Cancelled -> ()
+      | exception e ->
+          add
+            [
+              Printf.sprintf "cancelled submission %d raised %s" i
+                (Printexc.to_string e);
+            ])
+    cancel_tickets;
+  List.iteri
+    (fun i tk ->
+      match Wool.Submit.await tk with
+      | () -> add [ Printf.sprintf "expired submission %d completed" i ]
+      | exception Wool.Submission_expired -> ()
+      | exception e ->
+          add
+            [
+              Printf.sprintf "expired submission %d raised %s" i
+                (Printexc.to_string e);
+            ])
+    expire_tickets;
+  if Atomic.get dropped_ran <> 0 then
+    add
+      [
+        Printf.sprintf "%d dropped submission bodies executed"
+          (Atomic.get dropped_ran);
+      ];
   (* Execution multiplicity is the ground truth the guarantee names:
      exactly-once modes must show every task at 1; the relaxed modes are
      allowed duplicates but must still cover every task (>= 1). *)
@@ -221,6 +271,18 @@ let run_one ~seed =
         Printf.sprintf "ingress imbalance: submitted %d <> admitted %d + \
                         rejected %d"
           ig.Wool.Pool.submitted ig.Wool.Pool.admitted ig.Wool.Pool.rejected;
+      ];
+  if ig.Wool.Pool.cancelled <> n_cancel then
+    add
+      [
+        Printf.sprintf "ingress cancelled = %d, expected %d"
+          ig.Wool.Pool.cancelled n_cancel;
+      ];
+  if ig.Wool.Pool.expired <> n_expire then
+    add
+      [
+        Printf.sprintf "ingress expired = %d, expected %d"
+          ig.Wool.Pool.expired n_expire;
       ];
   (* the trace oracle wants exact thief rings: shut down first *)
   Wool.shutdown pool;

@@ -60,6 +60,22 @@ let run_one ~workers ~mode ~policy (plan : Fault.Plan.t) =
   let runs = ref 0 in
   let exn_runs = ref 0 in
   let add v = violations := !violations @ v in
+  (* Two lifecycle submissions ride every episode: one pre-cancelled,
+     one already past its deadline. Their drop sites (Cancel / Expire)
+     are in every random plan's site pool, so delays and stalls land
+     inside the drop window too; the bodies must never run and the
+     tickets must settle to the matching outcome. *)
+  let dropped_ran = Atomic.make 0 in
+  let cancelled_token = Wool.Cancel.create () in
+  Wool.Cancel.cancel cancelled_token;
+  let tk_cancel =
+    Wool.Submit.submit ~idempotent:true ~cancel:cancelled_token pool
+      (fun _ctx -> Atomic.incr dropped_ran)
+  in
+  let tk_expire =
+    Wool.Submit.submit ~idempotent:true ~deadline:(Clock.now_ns () - 1) pool
+      (fun _ctx -> Atomic.incr dropped_ran)
+  in
   let (), elapsed_ns =
     Clock.time (fun () ->
         (* Run until clean: an injected exception must leave the pool
@@ -85,6 +101,25 @@ let run_one ~workers ~mode ~policy (plan : Fault.Plan.t) =
         go ();
         add (Wool.Invariants.check pool))
   in
+  (match Wool.Submit.await tk_cancel with
+  | () -> add [ "cancelled submission completed" ]
+  | exception Wool.Submit.Cancelled -> ()
+  | exception e ->
+      add
+        [
+          Printf.sprintf "cancelled submission raised %s"
+            (Printexc.to_string e);
+        ]);
+  (match Wool.Submit.await tk_expire with
+  | () -> add [ "expired submission completed" ]
+  | exception Wool.Submission_expired -> ()
+  | exception e ->
+      add
+        [
+          Printf.sprintf "expired submission raised %s" (Printexc.to_string e);
+        ]);
+  if Atomic.get dropped_ran <> 0 then
+    add [ "a dropped submission body executed" ];
   let fires = Fault.Stats.total (Wool.fault_stats pool) in
   Wool.shutdown pool;
   {

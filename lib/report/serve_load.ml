@@ -1,15 +1,27 @@
 (* Open-loop latency-SLO load generator ("woolbench serve"): external
    producer domains submit jobs into a server-mode pool through
-   {!Wool.Submit} at scheduled Poisson arrival times — sustained and
-   bursty — and the report gives the ingress verdicts (admit / reject /
-   shed) next to sojourn-time percentiles (p50/p99/p999).
+   {!Wool.Submit} at scheduled Poisson arrival times — sustained,
+   bursty, and overloaded — and the report gives the ingress verdicts
+   (admit / reject / shed / expired / cancelled) next to sojourn-time
+   percentiles and goodput (completions within the latency budget).
 
    Open loop means the arrival process never waits for the system:
    arrival k+1 is scheduled one exponential gap after arrival k's
    *scheduled* time, not after its completion, and a producer that falls
    behind submits back-to-back until it catches up. Latency is measured
    from the scheduled arrival, so queueing delay caused by overload is
-   charged to the jobs that suffered it (no coordinated omission). *)
+   charged to the jobs that suffered it (no coordinated omission).
+
+   The [Overload] arrival offers ~1.3x the pool's service capacity and
+   stamps every job with a deadline; it runs twice per mode, once under
+   [Block] admission (the baseline: producers park on a full lane, jobs
+   go stale in the queue and expire at dequeue) and once under
+   [Adaptive] admission (the feedback controller sheds at the door when
+   the sojourn-latency EWMA crosses the target, so the jobs it does
+   admit are still fresh enough to finish inside their budget). Every
+   32nd overload submission arrives with its cancel token already set —
+   an impatient client — so the cancelled column of the ledger is
+   exercised too. *)
 
 module Clock = Wool_util.Clock
 module Stats = Wool_util.Stats
@@ -17,24 +29,37 @@ module Rng = Wool_util.Rng
 module Table = Wool_util.Table
 module Json = Wool_trace.Json
 
-let schema_version = "wool-serve/1"
+let schema_version = "wool-serve/2"
+let schema_v1 = "wool-serve/1"
 
-type arrival = Sustained | Bursty
+type arrival = Sustained | Bursty | Overload
 
-let arrival_name = function Sustained -> "sustained" | Bursty -> "bursty"
+let arrival_name = function
+  | Sustained -> "sustained"
+  | Bursty -> "bursty"
+  | Overload -> "overload"
 
 type row = {
   mode : string;
   arrival : string;
+  admission : string;  (** admission policy the cell ran under *)
   offered : int;  (** submissions attempted (ingress [submitted]) *)
   admitted : int;
   rejected : int;
   shed : int;
   executed : int;
+  expired : int;  (** dropped at dequeue: deadline already passed *)
+  cancelled : int;  (** dropped at dequeue: token set before the run *)
   p50_ms : float;
   p99_ms : float;
   p999_ms : float;
   throughput : float;  (** executed jobs per second of wall clock *)
+  goodput : float;
+      (** completions inside the per-job deadline per second; equals
+          [throughput] for cells without deadlines *)
+  target_ms : float;
+      (** p99 sojourn target: twice the per-job deadline (0 = the cell
+          has no deadline) *)
   elapsed_s : float;
   violations : string list;  (** {!Wool.Invariants.check}, post-quiesce *)
 }
@@ -49,6 +74,20 @@ let spin n =
     ignore (Sys.opaque_identity i : int)
   done
 
+(* ns per spin iteration, measured: the overload cell sizes its service
+   time in wall-clock terms (a fraction of the offered rate), so it
+   needs the spin calibrated on the machine it runs on. *)
+let calibrate_spin_ns () =
+  spin 200_000 (* warm up *);
+  let best = ref infinity in
+  for _ = 1 to 3 do
+    let t0 = Clock.now_ns () in
+    spin 1_000_000;
+    let ns = float_of_int (Clock.now_ns () - t0) /. 1e6 in
+    if ns < !best then best := ns
+  done;
+  Float.max 0.05 !best
+
 (* Bursty traffic alternates 100ms phases at 1.8x / 0.2x the nominal
    rate — same offered average, but the on-phase overloads a lane that
    the sustained process keeps comfortably drained. *)
@@ -56,18 +95,21 @@ let burst_period_ns = 100_000_000
 
 let effective_rate arrival rate ~now ~t_start =
   match arrival with
-  | Sustained -> rate
+  | Sustained | Overload -> rate
   | Bursty ->
       if (now - t_start) / burst_period_ns mod 2 = 0 then rate *. 1.8
       else rate *. 0.2
 
 (* One producer domain: submit at the scheduled arrival times until the
-   deadline, return the tickets for the main domain to settle. *)
+   deadline, return the tickets for the main domain to settle. When the
+   cell has a latency budget every job is stamped [scheduled + budget],
+   and every 32nd submission carries a pre-cancelled token. *)
 let producer pool ~seed ~pi ~arrival ~rate ~t_start ~stop_at ~service_spins
-    () =
+    ~budget_ns () =
   let rng = Rng.make (seed + (0x9e3779 * (pi + 1))) in
   let tickets = ref [] in
   let next = ref (Clock.now_ns ()) in
+  let submitted = ref 0 in
   let rec loop () =
     let now = Clock.now_ns () in
     if now >= stop_at then ()
@@ -77,11 +119,24 @@ let producer pool ~seed ~pi ~arrival ~rate ~t_start ~stop_at ~service_spins
     end
     else begin
       let t0 = !next in
+      let deadline =
+        match budget_ns with Some b -> Some (t0 + b) | None -> None
+      in
+      let cancel =
+        if budget_ns <> None && !submitted mod 32 = 31 then begin
+          let c = Wool.Cancel.create () in
+          Wool.Cancel.cancel c;
+          Some c
+        end
+        else None
+      in
       let tk =
-        Wool.Submit.submit ~idempotent:true pool (fun _ctx ->
+        Wool.Submit.submit ~idempotent:true ?deadline ?cancel pool
+          (fun _ctx ->
             spin service_spins;
             Clock.now_ns () - t0)
       in
+      incr submitted;
       tickets := tk :: !tickets;
       let r = effective_rate arrival rate ~now ~t_start in
       let u = Rng.float rng 1.0 in
@@ -93,14 +148,13 @@ let producer pool ~seed ~pi ~arrival ~rate ~t_start ~stop_at ~service_spins
   loop ();
   !tickets
 
-let run_cell ~mode_name ~mode ~arrival ~producers ~workers ~rate_hz
-    ~duration_s ~lane_capacity ~service_spins ~seed =
-  (* [Reject] admission keeps the loop open: a full lane turns the
-     submission around immediately instead of parking the producer *)
+let run_cell ~mode_name ~mode ~arrival ~admission ~producers ~workers
+    ~rate_hz ~duration_s ~lane_capacity ~service_spins ~budget_ns
+    ~admission_target_ns ~seed =
   let config =
     Wool.Config.make ~workers ~mode ~server:true ~injection_lanes:1
-      ~injection_capacity:lane_capacity ~admission:Wool.Reject ~seed
-      ~allow_relaxed:(Wool.Mode.is_relaxed mode) ()
+      ~injection_capacity:lane_capacity ~admission ?admission_target_ns
+      ~seed ~allow_relaxed:(Wool.Mode.is_relaxed mode) ()
   in
   Wool.with_pool ~config (fun pool ->
       let t_start = Clock.now_ns () in
@@ -110,7 +164,7 @@ let run_cell ~mode_name ~mode ~arrival ~producers ~workers ~rate_hz
         List.init producers (fun pi ->
             Domain.spawn
               (producer pool ~seed ~pi ~arrival ~rate ~t_start ~stop_at
-                 ~service_spins))
+                 ~service_spins ~budget_ns))
       in
       let tickets = List.concat_map Domain.join doms in
       let latencies =
@@ -118,7 +172,9 @@ let run_cell ~mode_name ~mode ~arrival ~producers ~workers ~rate_hz
           (fun tk ->
             match Wool.Submit.await tk with
             | ns -> Some (float_of_int ns)
-            | exception Wool.Submission_rejected -> None)
+            | exception Wool.Submission_rejected -> None
+            | exception Wool.Submission_expired -> None
+            | exception Wool.Submit.Cancelled -> None)
           tickets
       in
       let elapsed_s = float_of_int (Clock.now_ns () - t_start) /. 1e9 in
@@ -126,35 +182,104 @@ let run_cell ~mode_name ~mode ~arrival ~producers ~workers ~rate_hz
       let violations = Wool.Invariants.check pool in
       let lats = Array.of_list latencies in
       let pct p = if lats = [||] then 0. else Stats.percentile lats p /. 1e6 in
+      let goodput =
+        match budget_ns with
+        | None -> float_of_int ig.Wool.Pool.executed /. elapsed_s
+        | Some b ->
+            let fb = float_of_int b in
+            let good =
+              Array.fold_left
+                (fun acc l -> if l <= fb then acc + 1 else acc)
+                0 lats
+            in
+            float_of_int good /. elapsed_s
+      in
       {
         mode = mode_name;
         arrival = arrival_name arrival;
+        admission = Wool.Config.admission_name admission;
         offered = ig.Wool.Pool.submitted;
         admitted = ig.Wool.Pool.admitted;
         rejected = ig.Wool.Pool.rejected;
         shed = ig.Wool.Pool.shed;
         executed = ig.Wool.Pool.executed;
+        expired = ig.Wool.Pool.expired;
+        cancelled = ig.Wool.Pool.cancelled;
         p50_ms = pct 50.0;
         p99_ms = pct 99.0;
         p999_ms = pct 99.9;
         throughput = float_of_int ig.Wool.Pool.executed /. elapsed_s;
+        goodput;
+        target_ms =
+          (match budget_ns with
+          | None -> 0.
+          | Some b -> float_of_int (2 * b) /. 1e6);
         elapsed_s;
         violations;
       })
 
-let measure ?(producers = 2) ?(workers = 2) ?(rate_hz = 200.) ?(duration_s = 1.0)
-    ?(lane_capacity = 64) ?(service_spins = 2_000) ?(seed = 42) () =
+(* The serve matrix. Sustained and bursty run under [Reject] (the
+   non-blocking open-loop baseline); the overload pattern runs twice,
+   [Adaptive] vs [Block], so the report shows what the feedback
+   controller buys over parking producers on a full lane. *)
+let cells = [
+  (Sustained, Wool.Reject);
+  (Bursty, Wool.Reject);
+  (Overload, Wool.Adaptive);
+  (Overload, Wool.Block);
+]
+
+let default_arrivals = [ Sustained; Bursty; Overload ]
+
+let measure ?(producers = 2) ?(workers = 2) ?(rate_hz = 200.)
+    ?(duration_s = 1.0) ?(lane_capacity = 64) ?(service_spins = 2_000)
+    ?(arrivals = default_arrivals) ?(seed = 42) () =
   if producers < 1 then invalid_arg "Serve_load.measure: producers < 1";
   if workers < 1 then invalid_arg "Serve_load.measure: workers < 1";
   if rate_hz <= 0. then invalid_arg "Serve_load.measure: rate_hz <= 0";
   if duration_s <= 0. then invalid_arg "Serve_load.measure: duration_s <= 0";
+  if arrivals = [] then invalid_arg "Serve_load.measure: no arrivals";
+  let spin_ns = calibrate_spin_ns () in
+  (* The overload cell offers 4x the nominal rate and sizes the service
+     time so the offered work is ~1.3x the pool's capacity. The per-job
+     deadline is 8 nominal service times, and the cell's p99 sojourn
+     target is twice that: dropping at dequeue once a job is a deadline
+     past its arrival caps the queueing half of the sojourn, and the
+     other half absorbs in-service dilation (wall time stretches well
+     past the calibrated spin when worker domains outnumber cores). The
+     adaptive controller holds the sojourn-wait EWMA to a quarter of
+     the deadline, so the jobs it admits clear the lane with most of
+     their budget unspent. *)
+  let ov_rate = rate_hz *. 4. in
+  let ov_service_ns = 1.3 *. float_of_int workers /. ov_rate *. 1e9 in
+  let ov_spins =
+    Int.max 1_000 (int_of_float (ov_service_ns /. spin_ns))
+  in
+  let budget_ns = int_of_float (8. *. ov_service_ns) in
   List.concat_map
     (fun (mode_name, mode) ->
-      List.map
-        (fun arrival ->
-          run_cell ~mode_name ~mode ~arrival ~producers ~workers ~rate_hz
-            ~duration_s ~lane_capacity ~service_spins ~seed)
-        [ Sustained; Bursty ])
+      List.filter_map
+        (fun (arrival, admission) ->
+          if not (List.mem arrival arrivals) then None
+          else
+            match arrival with
+            | Sustained | Bursty ->
+                Some
+                  (run_cell ~mode_name ~mode ~arrival ~admission ~producers
+                     ~workers ~rate_hz ~duration_s ~lane_capacity
+                     ~service_spins ~budget_ns:None ~admission_target_ns:None
+                     ~seed)
+            | Overload ->
+                Some
+                  (run_cell ~mode_name ~mode ~arrival ~admission ~producers
+                     ~workers ~rate_hz:ov_rate ~duration_s ~lane_capacity
+                     ~service_spins:ov_spins ~budget_ns:(Some budget_ns)
+                     ~admission_target_ns:
+                       (if admission = Wool.Adaptive then
+                          Some (budget_ns / 4)
+                        else None)
+                     ~seed))
+        cells)
     modes
 
 (* ------------------------------------------------------------------ *)
@@ -165,6 +290,16 @@ let add_float b v =
     Buffer.add_string b (Printf.sprintf "%.0f" v)
   else if Float.is_finite v then Buffer.add_string b (Printf.sprintf "%.17g" v)
   else Buffer.add_string b "null"
+
+type report = {
+  schema : string;
+  date : string;
+  producers : int;
+  workers : int;
+  rate_hz : float;
+  duration_s : float;
+  rows : row list;
+}
 
 let to_json ~date ~producers ~workers ~rate_hz ~duration_s rows =
   let b = Buffer.create 2048 in
@@ -180,15 +315,17 @@ let to_json ~date ~producers ~workers ~rate_hz ~duration_s rows =
     (fun i r ->
       if i > 0 then Buffer.add_string b ",\n";
       Printf.bprintf b
-        "{\"mode\":%S,\"arrival\":%S,\"offered\":%d,\"admitted\":%d,\"rejected\":%d,\"shed\":%d,\"executed\":%d"
-        r.mode r.arrival r.offered r.admitted r.rejected r.shed r.executed;
+        "{\"mode\":%S,\"arrival\":%S,\"admission\":%S,\"offered\":%d,\"admitted\":%d,\"rejected\":%d,\"shed\":%d,\"executed\":%d,\"expired\":%d,\"cancelled\":%d"
+        r.mode r.arrival r.admission r.offered r.admitted r.rejected r.shed
+        r.executed r.expired r.cancelled;
       List.iter
         (fun (k, v) ->
           Printf.bprintf b ",\"%s\":" k;
           add_float b v)
         [
           ("p50_ms", r.p50_ms); ("p99_ms", r.p99_ms); ("p999_ms", r.p999_ms);
-          ("throughput", r.throughput); ("elapsed_s", r.elapsed_s);
+          ("throughput", r.throughput); ("goodput", r.goodput);
+          ("target_ms", r.target_ms); ("elapsed_s", r.elapsed_s);
         ];
       Printf.bprintf b ",\"violations\":%d}" (List.length r.violations))
     rows;
@@ -199,6 +336,87 @@ let to_json ~date ~producers ~workers ~rate_hz ~duration_s rows =
   | Error msg -> failwith ("Serve_load.to_json: emitted invalid JSON: " ^ msg));
   body
 
+(* ---- decoding (schema tests; v1 documents stay readable) ---- *)
+
+let ( let* ) o f = match o with Some v -> f v | None -> None
+
+let float_member k t =
+  match Json.member k t with
+  | None -> None
+  | Some Json.Null -> Some infinity (* inf round-trips as null *)
+  | Some v -> Json.to_float v
+
+let int_member k t =
+  let* v = float_member k t in
+  Some (int_of_float v)
+
+let string_member k t =
+  let* v = Json.member k t in
+  Json.to_string v
+
+let row_of_tree t =
+  let* mode = string_member "mode" t in
+  let* arrival = string_member "arrival" t in
+  let* offered = int_member "offered" t in
+  let* admitted = int_member "admitted" t in
+  let* rejected = int_member "rejected" t in
+  let* shed = int_member "shed" t in
+  let* executed = int_member "executed" t in
+  let* p50_ms = float_member "p50_ms" t in
+  let* p99_ms = float_member "p99_ms" t in
+  let* p999_ms = float_member "p999_ms" t in
+  let* throughput = float_member "throughput" t in
+  let* elapsed_s = float_member "elapsed_s" t in
+  let* violations = int_member "violations" t in
+  (* absent in v1 documents: every v1 cell ran under Reject with no
+     budget, so the ledger columns default to zero and goodput to the
+     raw throughput *)
+  let admission =
+    Option.value ~default:"reject" (string_member "admission" t)
+  in
+  let expired = Option.value ~default:0 (int_member "expired" t) in
+  let cancelled = Option.value ~default:0 (int_member "cancelled" t) in
+  let goodput = Option.value ~default:throughput (float_member "goodput" t) in
+  let target_ms = Option.value ~default:0. (float_member "target_ms" t) in
+  Some
+    {
+      mode; arrival; admission; offered; admitted; rejected; shed; executed;
+      expired; cancelled; p50_ms; p99_ms; p999_ms; throughput; goodput;
+      target_ms; elapsed_s;
+      violations = List.init violations (fun i -> Printf.sprintf "v%d" i);
+    }
+
+let of_json body =
+  match Json.parse body with
+  | Error msg -> Error msg
+  | Ok t -> (
+      let report =
+        let* schema = string_member "schema" t in
+        if schema <> schema_version && schema <> schema_v1 then None
+        else
+          let* date = string_member "date" t in
+          let* producers = int_member "producers" t in
+          let* workers = int_member "workers" t in
+          let* rate_hz = float_member "rate_hz" t in
+          let* duration_s = float_member "duration_s" t in
+          let* rows = Json.member "rows" t in
+          let* rows = Json.to_list rows in
+          let rows = List.map row_of_tree rows in
+          if List.exists (fun r -> r = None) rows then None
+          else
+            Some
+              {
+                schema; date; producers; workers; rate_hz; duration_s;
+                rows = List.filter_map Fun.id rows;
+              }
+      in
+      match report with
+      | Some r -> Ok r
+      | None ->
+          Error
+            (Printf.sprintf "not a %s document (or missing fields)"
+               schema_version))
+
 (* ------------------------------------------------------------------ *)
 (* Rendering and driver                                                *)
 
@@ -207,8 +425,9 @@ let print_rows rows =
     Table.create ~title:"open-loop ingress load (latency = sojourn, ms)"
       ~header:
         [
-          "mode"; "arrival"; "offered"; "admit"; "reject"; "shed"; "exec";
-          "p50"; "p99"; "p999"; "jobs/s"; "oracle";
+          "mode"; "arrival"; "adm"; "offered"; "admit"; "reject"; "shed";
+          "expire"; "cancel"; "exec"; "p50"; "p99"; "tgt"; "good/s";
+          "oracle";
         ]
       ()
   in
@@ -216,11 +435,13 @@ let print_rows rows =
     (fun r ->
       Table.add_row tbl
         [
-          r.mode; r.arrival; Table.cell_i r.offered; Table.cell_i r.admitted;
-          Table.cell_i r.rejected; Table.cell_i r.shed;
-          Table.cell_i r.executed; Table.cell_f ~dec:2 r.p50_ms;
-          Table.cell_f ~dec:2 r.p99_ms; Table.cell_f ~dec:2 r.p999_ms;
-          Table.cell_f ~dec:0 r.throughput;
+          r.mode; r.arrival; r.admission; Table.cell_i r.offered;
+          Table.cell_i r.admitted; Table.cell_i r.rejected;
+          Table.cell_i r.shed; Table.cell_i r.expired;
+          Table.cell_i r.cancelled; Table.cell_i r.executed;
+          Table.cell_f ~dec:2 r.p50_ms; Table.cell_f ~dec:2 r.p99_ms;
+          (if r.target_ms = 0. then "-" else Table.cell_f ~dec:1 r.target_ms);
+          Table.cell_f ~dec:0 r.goodput;
           (match r.violations with
           | [] -> "ok"
           | vs -> Printf.sprintf "%d VIOLATIONS" (List.length vs));
@@ -230,7 +451,8 @@ let print_rows rows =
   List.iter
     (fun r ->
       List.iter
-        (fun v -> Printf.printf "!! %s/%s: %s\n" r.mode r.arrival v)
+        (fun v ->
+          Printf.printf "!! %s/%s/%s: %s\n" r.mode r.arrival r.admission v)
         r.violations)
     rows;
   List.length (List.filter (fun r -> r.violations <> []) rows)
@@ -238,10 +460,10 @@ let print_rows rows =
 let default_out ~date = Printf.sprintf "SERVE_%s.json" date
 
 let run ?producers ?workers ?rate_hz ?duration_s ?lane_capacity
-    ?service_spins ?seed ?out ?(check = false) ~date () =
+    ?service_spins ?arrivals ?seed ?out ?(check = false) ~date () =
   let rows =
     measure ?producers ?workers ?rate_hz ?duration_s ?lane_capacity
-      ?service_spins ?seed ()
+      ?service_spins ?arrivals ?seed ()
   in
   let bad = print_rows rows in
   let producers = Option.value ~default:2 producers in
@@ -259,8 +481,8 @@ let run ?producers ?workers ?rate_hz ?duration_s ?lane_capacity
     let len = in_channel_length ic in
     let body' = really_input_string ic len in
     close_in ic;
-    match Json.validate body' with
-    | Ok () -> print_endline "check: re-read JSON validates"
+    match of_json body' with
+    | Ok _ -> print_endline "check: re-read JSON parses as wool-serve/2"
     | Error msg -> failwith (Printf.sprintf "check: %s: %s" out msg)
   end;
   bad

@@ -1,0 +1,26 @@
+(* Cooperative cancellation tokens.
+
+   A token is one shared flag. Nothing in the runtime preempts a running
+   task: cancellation is *cooperative* — the ingress drops a cancelled
+   job at dequeue time (the body never starts), and a running body
+   observes the flag itself via [is_set]/[check] (or implicitly at every
+   spawn through the worker's ambient token, see {!Pool.spawn}).
+
+   The token carries no settlement state of its own: ticket resolution
+   stays with the PR-7 first-writer-wins machinery in the pool, so
+   cancel-vs-complete races are decided exactly once no matter how many
+   duplicate deliveries a relaxed mode produces. *)
+
+type t = bool Atomic.t
+
+exception Cancelled
+
+let () =
+  Printexc.register_printer (function
+    | Cancelled -> Some "Wool.Cancel.Cancelled"
+    | _ -> None)
+
+let create () = Atomic.make false
+let cancel t = Atomic.set t true
+let is_set t = Atomic.get t
+let check t = if Atomic.get t then raise Cancelled

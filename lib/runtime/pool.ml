@@ -14,6 +14,7 @@ module Layout = Wool_util.Layout
 exception Pool_overflow = Ds.Pool_overflow
 
 module Mode = Mode
+module Cancel = Cancel
 
 (* Re-export so existing [Pool.Locked]-style constructor references keep
    working; the descriptor module is the source of truth. *)
@@ -26,7 +27,11 @@ type mode = Mode.t =
   | Ws_mult
   | Lowsync
 
-type admission = Wool_policy.Admission.t = Block | Reject | Shed_oldest
+type admission = Wool_policy.Admission.t =
+  | Block
+  | Reject
+  | Shed_oldest
+  | Adaptive
 
 type publicity = Wool_deque.Direct_stack.publicity =
   | All_private
@@ -52,6 +57,7 @@ module Config = struct
     injection_lanes : int;
     injection_capacity : int;
     admission : admission;
+    admission_target_ns : int;
     server : bool;
     allow_relaxed : bool;
   }
@@ -75,6 +81,7 @@ module Config = struct
       injection_lanes = 1;
       injection_capacity = 1024;
       admission = Block;
+      admission_target_ns = 2_000_000;
       server = false;
       allow_relaxed = false;
     }
@@ -110,6 +117,14 @@ module Config = struct
       bad
         "injection_capacity = 0 with Shed_oldest admission has nothing to \
          shed; use Reject to close the ingress";
+    if c.injection_capacity = 0 && c.admission = Adaptive then
+      bad
+        "injection_capacity = 0 with Adaptive admission has no lane to \
+         watch; use Reject to close the ingress";
+    if c.admission = Adaptive && c.admission_target_ns <= 0 then
+      bad "admission_target_ns must be positive with Adaptive admission \
+           (got %d)"
+        c.admission_target_ns;
     if c.server && c.injection_capacity = 0 then
       bad "server mode needs injection_capacity > 0 (submission is the only \
            way in)";
@@ -127,7 +142,8 @@ module Config = struct
   let merge base ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns
       ?seed ?trace ?trace_capacity ?policy ?steal_policy ?backoff ?faults
       ?watchdog_interval_ns ?watchdog_stalls ?injection_lanes
-      ?injection_capacity ?admission ?server ?allow_relaxed () =
+      ?injection_capacity ?admission ?admission_target_ns ?server
+      ?allow_relaxed () =
     let ov o d = Option.value o ~default:d in
     let base_selector, base_backoff =
       match policy with
@@ -152,6 +168,7 @@ module Config = struct
       injection_lanes = ov injection_lanes base.injection_lanes;
       injection_capacity = ov injection_capacity base.injection_capacity;
       admission = ov admission base.admission;
+      admission_target_ns = ov admission_target_ns base.admission_target_ns;
       server = ov server base.server;
       allow_relaxed = ov allow_relaxed base.allow_relaxed;
     }
@@ -159,23 +176,26 @@ module Config = struct
   let make ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns ?seed
       ?trace ?trace_capacity ?policy ?steal_policy ?backoff ?faults
       ?watchdog_interval_ns ?watchdog_stalls ?injection_lanes
-      ?injection_capacity ?admission ?server ?allow_relaxed () =
+      ?injection_capacity ?admission ?admission_target_ns ?server
+      ?allow_relaxed () =
     validate
       (merge default ?workers ?mode ?publicity ?capacity ?lock_mode
          ?idle_nap_ns ?seed ?trace ?trace_capacity ?policy ?steal_policy
          ?backoff ?faults ?watchdog_interval_ns ?watchdog_stalls
-         ?injection_lanes ?injection_capacity ?admission ?server
-         ?allow_relaxed ())
+         ?injection_lanes ?injection_capacity ?admission ?admission_target_ns
+         ?server ?allow_relaxed ())
 
   let override c ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns
       ?seed ?trace ?trace_capacity ?policy ?steal_policy ?backoff ?faults
       ?watchdog_interval_ns ?watchdog_stalls ?injection_lanes
-      ?injection_capacity ?admission ?server ?allow_relaxed () =
+      ?injection_capacity ?admission ?admission_target_ns ?server
+      ?allow_relaxed () =
     validate
       (merge c ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns
          ?seed ?trace ?trace_capacity ?policy ?steal_policy ?backoff ?faults
          ?watchdog_interval_ns ?watchdog_stalls ?injection_lanes
-         ?injection_capacity ?admission ?server ?allow_relaxed ())
+         ?injection_capacity ?admission ?admission_target_ns ?server
+         ?allow_relaxed ())
 
   let policy c =
     { Wool_policy.selector = c.steal_policy; backoff = c.backoff }
@@ -223,7 +243,10 @@ module Config = struct
        else "off")
       c.injection_lanes c.injection_capacity
       (admission_name c.admission)
-      ((if c.server then "; server" else "")
+      ((if c.admission = Adaptive then
+          Printf.sprintf "(target=%dns)" c.admission_target_ns
+        else "")
+      ^ (if c.server then "; server" else "")
       ^ if c.allow_relaxed then "; relaxed-ok" else "")
 end
 
@@ -295,6 +318,11 @@ and worker_hot = {
   mutable n_dup_takes : int;
   (* relaxed modes only: extractions whose task had already completed —
      the multiplicity the protocol permits, skipped without running *)
+  mutable ambient_cancel : Cancel.t option;
+  (* the cancel token of the injected job this worker is currently
+     running, if any: [spawn] checks it so a cancelled submission's task
+     tree stops fanning out at the next spawn boundary. Owner-written,
+     owner-read — never shared. *)
 }
 
 and pending_child = {
@@ -325,6 +353,12 @@ and pool = {
   (* ingress: external submission lanes *)
   server : bool; (* worker 0 is a spawned domain, not the caller *)
   admission : admission;
+  adaptive : bool; (* [admission = Adaptive]: one immutable-bool branch *)
+  adm_target_ns : int; (* Adaptive's sojourn-latency target *)
+  adm_wait_ewma : int Atomic.t;
+      (* EWMA of observed lane-sojourn times (ns), updated by draining
+         workers with racy read-modify-writes — a lost update only slows
+         the controller by one sample, so no CAS loop on the drain path *)
   lanes : injected Inject_queue.t array; (* [||] = ingress closed *)
   next_lane : int Atomic.t; (* producer round-robin cursor *)
   inflight : int Atomic.t; (* admitted and not yet resolved *)
@@ -333,9 +367,19 @@ and pool = {
 
 (* A queued external job. [ij_run] executes it on a worker and resolves
    its ticket; [ij_drop] resolves the ticket rejected without running —
-   the shed / shutdown-drain path. Exactly one of the two is called, by
-   whoever pops the element. *)
-and injected = { ij_run : worker -> unit; ij_drop : unit -> unit }
+   the shed / shutdown-drain path; [ij_cancel]/[ij_expire] resolve it
+   cancelled/expired without running — the lifecycle drops a draining
+   worker takes when the job's token is set or its deadline has passed.
+   Exactly one of the four is called, by whoever pops the element. *)
+and injected = {
+  ij_run : worker -> unit;
+  ij_drop : unit -> unit;
+  ij_cancel : unit -> unit;
+  ij_expire : unit -> unit;
+  ij_deadline : int; (* absolute ns; [max_int] = none *)
+  ij_token : Cancel.t option;
+  ij_enq_ns : int; (* submission time, for the Adaptive sojourn EWMA *)
+}
 
 (* Producer-side shared state. The counters are atomics (the submit path
    must stay lock-free across producer domains); the mutex guards only
@@ -346,6 +390,9 @@ and ingress = {
   ig_admitted : int Atomic.t;
   ig_rejected : int Atomic.t; (* refused at admission (incl. shutdown) *)
   ig_shed : int Atomic.t; (* dropped after admission: shed or drained *)
+  ig_done : int Atomic.t; (* settled completed (ran to a result) *)
+  ig_expired : int Atomic.t; (* settled expired: deadline passed unrun *)
+  ig_cancelled : int Atomic.t; (* settled cancelled (before or mid-run) *)
   ig_lock : Mutex.t;
   ig_ring : Ring.t; (* Submit/Admit/Reject, stamped worker = nworkers *)
   ig_fl_on : bool;
@@ -395,11 +442,24 @@ and 'a tk_state =
   | Tk_pending
   | Tk_done of ('a, exn * Printexc.raw_backtrace) result
   | Tk_rejected
+  | Tk_cancelled
+  | Tk_expired
 
 exception Submission_rejected
+exception Submission_expired
 
 let dummy_task (_ : worker) = ()
-let dummy_injected = { ij_run = dummy_task; ij_drop = Fun.id }
+
+let dummy_injected =
+  {
+    ij_run = dummy_task;
+    ij_drop = Fun.id;
+    ij_cancel = Fun.id;
+    ij_expire = Fun.id;
+    ij_deadline = max_int;
+    ij_token = None;
+    ij_enq_ns = 0;
+  }
 
 (* Distinguished never-run element for the relaxed deques; compared by
    physical identity inside the protocol bodies. *)
@@ -624,11 +684,62 @@ let drain_injected w =
         let lane = if nl = 1 then 0 else (w.id + i) mod nl in
         match Inject_queue.try_pop pool.lanes.(lane) with
         | Some ij ->
-            w.hot.n_injected <- w.hot.n_injected + 1;
-            if w.tr_on then record w Event.Dequeue_injected ~a:lane ~b:(-1);
-            ij.ij_run w;
-            if dup then ij.ij_run w;
-            true
+            (* Lifecycle drops come first: a cancelled or expired job is
+               settled here without running — and without a
+               [Dequeue_injected] event or an [n_injected] bump, both of
+               which the trace oracle equates with executions. The
+               [Cancel]/[Expire] fault sites sit between the pop and the
+               respective check, stretching the race window between a
+               late canceller (or a ticking clock) and this worker. *)
+            if pool.adaptive then begin
+              (* racy EWMA (alpha = 1/4): a lost update costs one sample,
+                 which the controller tolerates by design. Every pop
+                 feeds it — a job dropped below for sitting past its
+                 deadline is the loudest overload signal there is. *)
+              let wait = Wool_util.Clock.now_ns () - ij.ij_enq_ns in
+              let e = Atomic.get pool.adm_wait_ewma in
+              Atomic.set pool.adm_wait_ewma (e + ((wait - e) asr 2))
+            end;
+            let cancelled =
+              match ij.ij_token with
+              | Some c ->
+                  if w.fl_on then fault_delay w Fault.Site.Cancel;
+                  Cancel.is_set c
+              | None -> false
+            in
+            if cancelled then begin
+              ij.ij_cancel ();
+              true
+            end
+            else if
+              ij.ij_deadline <> max_int
+              && begin
+                   if w.fl_on then fault_delay w Fault.Site.Expire;
+                   Wool_util.Clock.now_ns () > ij.ij_deadline
+                 end
+            then begin
+              ij.ij_expire ();
+              true
+            end
+            else begin
+              w.hot.n_injected <- w.hot.n_injected + 1;
+              if w.tr_on then record w Event.Dequeue_injected ~a:lane ~b:(-1);
+              (match ij.ij_token with
+              | Some _ as tok ->
+                  (* expose the job's token to its whole task tree: every
+                     [spawn] under it checks the ambient token. [ij_run]
+                     never raises (the body's outcome is settled into the
+                     ticket), so a plain save/restore suffices. *)
+                  let saved = w.hot.ambient_cancel in
+                  w.hot.ambient_cancel <- tok;
+                  ij.ij_run w;
+                  if dup then ij.ij_run w;
+                  w.hot.ambient_cancel <- saved
+              | None ->
+                  ij.ij_run w;
+                  if dup then ij.ij_run w);
+              true
+            end
         | None -> scan (i + 1)
       end
     in
@@ -1059,6 +1170,12 @@ let backend_of_mode = function
 
 let spawn_checked (w : ctx) (fn : ctx -> 'a) : 'a future =
   if w.pool.stopped then invalid_arg "Wool.spawn: pool is shut down";
+  (* one predictable branch (load + compare against the immediate [None])
+     on the spawn fast path: a cancelled submission's task tree stops
+     fanning out here instead of racing the fan-out to completion *)
+  (match w.hot.ambient_cancel with
+  | Some c -> Cancel.check c
+  | None -> ());
   let fut =
     if w.fl_on then
       match Fault.Injector.fire w.inj Fault.Site.Spawn with
@@ -1101,6 +1218,7 @@ let join (w : ctx) fut =
   w.pool.backend.bk_join w fut
 
 let call (w : ctx) fn = fn w
+let cancel_token (w : ctx) = w.hot.ambient_cancel
 let self_id w = w.id
 let num_workers pool = Array.length pool.workers
 let mode pool = pool.pmode
@@ -1149,6 +1267,8 @@ let await_ticket tk =
          injected body originally raised — on whichever worker ran it *)
       Printexc.raise_with_backtrace e bt
   | Tk_rejected -> raise Submission_rejected
+  | Tk_cancelled -> raise Cancel.Cancelled
+  | Tk_expired -> raise Submission_expired
   | Tk_pending -> assert false
 
 let poll_ticket tk =
@@ -1157,19 +1277,56 @@ let poll_ticket tk =
   | Tk_done (Ok v) -> `Done (Ok v)
   | Tk_done (Error (e, _)) -> `Done (Error e)
   | Tk_rejected -> `Rejected
+  | Tk_cancelled -> `Cancelled
+  | Tk_expired -> `Expired
+
+(* Timed await: OCaml's [Condition] has no timed wait, so this is a poll
+   loop with exponentially growing naps (1µs → 1ms cap) — cheap enough
+   for producer-side timeouts, which are milliseconds by nature. *)
+let await_until_ticket tk ~deadline =
+  let rec go nap =
+    match tk_read tk with
+    | Tk_pending ->
+        if Wool_util.Clock.now_ns () >= deadline then None
+        else begin
+          Unix.sleepf (float_of_int nap *. 1e-9);
+          go (min (nap * 2) 1_000_000)
+        end
+    | st -> Some st
+  in
+  match go 1_000 with
+  | None -> None
+  | Some (Tk_done (Ok v)) -> Some v
+  | Some (Tk_done (Error (e, bt))) -> Printexc.raise_with_backtrace e bt
+  | Some Tk_rejected -> raise Submission_rejected
+  | Some Tk_cancelled -> raise Cancel.Cancelled
+  | Some Tk_expired -> raise Submission_expired
+  | Some Tk_pending -> assert false
+
+let await_for_ticket tk span_s =
+  await_until_ticket tk
+    ~deadline:(Wool_util.Clock.now_ns () + int_of_float (span_s *. 1e9))
 
 (* The queued form of one submission. [ij_run] uses the same
    mark/unwind discipline as [run_body]: an injected job that raises
    must not leave its own spawns orphaned on the worker that ran it. *)
-let injected_of pool (fn : worker -> 'a) (tk : 'a ticket) =
+let injected_of ?(deadline = max_int) ?cancel pool (fn : worker -> 'a)
+    (tk : 'a ticket) =
   (* Settlement is claimed exactly once even if the job itself runs more
      than once (the [Dup] drain fault, or any future at-least-once
      delivery path): a duplicate completion must neither decrement
      [inflight] twice nor re-resolve the ticket — [await]/[poll] observe
-     the first result only. *)
+     the first result only. Cancellation and expiry ride the same
+     machinery: whichever of {completion, cancel, expire, drop} claims
+     first decides the outcome, in every mode. *)
   let claimed = Atomic.make false in
   let settle st =
     if not (Atomic.exchange claimed true) then begin
+      (match st with
+      | Tk_done _ -> Atomic.incr pool.ingress.ig_done
+      | Tk_cancelled -> Atomic.incr pool.ingress.ig_cancelled
+      | Tk_expired -> Atomic.incr pool.ingress.ig_expired
+      | Tk_pending | Tk_rejected -> ());
       (* decrement BEFORE resolving: an awaiter unblocked by the ticket
          must already see the pool's in-flight count settled, or a
          quiescence check right after [await] reads a phantom in-flight
@@ -1180,18 +1337,29 @@ let injected_of pool (fn : worker -> 'a) (tk : 'a ticket) =
   in
   let run wk =
     let mark = wk.pool.backend.bk_mark wk in
-    let res =
-      match fn wk with
-      | v -> Ok v
-      | exception e ->
-          let bt = Printexc.get_raw_backtrace () in
-          wk.pool.backend.bk_unwind wk ~mark;
-          Error (e, bt)
-    in
-    settle (Tk_done res)
+    match fn wk with
+    | v -> settle (Tk_done (Ok v))
+    | exception Cancel.Cancelled ->
+        (* the cooperative path: a body (or one of its spawns, via the
+           ambient token) observed its cancellation — that is a settled
+           cancel, not a task failure *)
+        wk.pool.backend.bk_unwind wk ~mark;
+        settle Tk_cancelled
+    | exception e ->
+        let bt = Printexc.get_raw_backtrace () in
+        wk.pool.backend.bk_unwind wk ~mark;
+        settle (Tk_done (Error (e, bt)))
   in
   let drop () = settle Tk_rejected in
-  { ij_run = run; ij_drop = drop }
+  {
+    ij_run = run;
+    ij_drop = drop;
+    ij_cancel = (fun () -> settle Tk_cancelled);
+    ij_expire = (fun () -> settle Tk_expired);
+    ij_deadline = deadline;
+    ij_token = cancel;
+    ij_enq_ns = Wool_util.Clock.now_ns ();
+  }
 
 let lane_of pool =
   let nl = Array.length pool.lanes in
@@ -1239,15 +1407,25 @@ let admitted_post pool ~lane =
 let block_wait tries =
   if tries land 63 = 63 then Unix.sleepf 0. else Domain.cpu_relax ()
 
-let submit_one pool ~lane ~batch fn =
+let submit_one ?deadline ?cancel pool ~lane ~batch fn =
   let tk = make_ticket () in
   Atomic.incr pool.ingress.ig_submitted;
   ig_fault pool Fault.Site.Submit;
   ig_record pool Event.Submit ~a:lane ~b:batch;
   if stopping pool || Array.length pool.lanes = 0 then
     reject_at_admission pool tk ~lane
+  else if
+    (* Adaptive early shed: while the observed sojourn latency is above
+       target and a backlog exists, refuse new work at the door — the
+       backlog drains back under target before fresh jobs may join it.
+       The occupancy guard keeps an idle pool admitting even right after
+       a latency spike (the EWMA decays only on dequeues). *)
+    pool.adaptive
+    && Atomic.get pool.adm_wait_ewma > pool.adm_target_ns
+    && Inject_queue.size pool.lanes.(lane) > 0
+  then reject_at_admission pool tk ~lane
   else begin
-    let ij = injected_of pool fn tk in
+    let ij = injected_of ?deadline ?cancel pool fn tk in
     let q = pool.lanes.(lane) in
     (* count in-flight before the push: a worker could pop and finish
        (decrementing) before a post-push increment happened *)
@@ -1256,7 +1434,7 @@ let submit_one pool ~lane ~batch fn =
       if Inject_queue.try_push q ij then true
       else
         match pool.admission with
-        | Reject -> false
+        | Reject | Adaptive -> false
         | Block ->
             let rec wait tries =
               if stopping pool then false
@@ -1304,32 +1482,38 @@ let require_idempotent pool ~idempotent what =
          what
          (Mode.name pool.pmode))
 
-let submit ?(idempotent = false) pool fn =
+let submit ?(idempotent = false) ?deadline ?cancel pool fn =
   require_idempotent pool ~idempotent "submit";
-  submit_one pool ~lane:(lane_of pool) ~batch:(-1) fn
+  submit_one ?deadline ?cancel pool ~lane:(lane_of pool) ~batch:(-1) fn
 
 (* One lane pick for the whole batch: consecutive elements land in the
    same lane, so a draining worker takes them without re-probing. *)
-let submit_batch ?(idempotent = false) pool fns =
+let submit_batch ?(idempotent = false) ?deadline ?cancel pool fns =
   require_idempotent pool ~idempotent "submit_batch";
   let lane = lane_of pool in
   let n = List.length fns in
-  List.map (fun fn -> submit_one pool ~lane ~batch:n fn) fns
+  List.map (fun fn -> submit_one ?deadline ?cancel pool ~lane ~batch:n fn) fns
 
-let try_submit ?(idempotent = false) pool fn =
+let try_submit ?(idempotent = false) ?deadline ?cancel pool fn =
   require_idempotent pool ~idempotent "try_submit";
   let lane = lane_of pool in
   Atomic.incr pool.ingress.ig_submitted;
   ig_fault pool Fault.Site.Submit;
   ig_record pool Event.Submit ~a:lane ~b:(-1);
-  if stopping pool || Array.length pool.lanes = 0 then begin
+  if
+    stopping pool
+    || Array.length pool.lanes = 0
+    || (pool.adaptive
+       && Atomic.get pool.adm_wait_ewma > pool.adm_target_ns
+       && Inject_queue.size pool.lanes.(lane) > 0)
+  then begin
     Atomic.incr pool.ingress.ig_rejected;
     ig_record pool Event.Reject ~a:lane ~b:(-1);
     None
   end
   else begin
     let tk = make_ticket () in
-    let ij = injected_of pool fn tk in
+    let ij = injected_of ?deadline ?cancel pool fn tk in
     Atomic.incr pool.inflight;
     if Inject_queue.try_push pool.lanes.(lane) ij then begin
       ig_fault pool Fault.Site.Admit;
@@ -1344,16 +1528,50 @@ let try_submit ?(idempotent = false) pool fn =
     end
   end
 
+(* Retry a rejected admission with exponential backoff and seed-derived
+   jitter. Only a synchronously-rejected ticket retries (admission under
+   [Reject]/[Adaptive] resolves before [submit] returns); anything the
+   pool actually admitted is returned as-is, and a stopping pool cuts
+   the loop short. Deterministic for a given seed — the jitter stream is
+   a private [Rng], not wall-clock noise. *)
+let submit_retry ?(idempotent = false) ?deadline ?cancel ?(attempts = 4)
+    ?(backoff_ns = 200_000) ?(seed = 0) pool fn =
+  if attempts < 1 then
+    invalid_arg "Wool.Submit.submit_retry: attempts must be at least 1";
+  require_idempotent pool ~idempotent "submit_retry";
+  let rng = Wool_util.Rng.make (seed lxor 0x5EED5) in
+  let rec go k =
+    let tk =
+      submit_one ?deadline ?cancel pool ~lane:(lane_of pool) ~batch:(-1) fn
+    in
+    match tk_read tk with
+    | Tk_rejected when k + 1 < attempts && not (stopping pool) ->
+        let base = backoff_ns * (1 lsl min k 20) in
+        let jitter = Wool_util.Rng.int rng ((base / 2) + 1) in
+        Unix.sleepf (float_of_int (base + jitter) *. 1e-9);
+        go (k + 1)
+    | _ -> tk
+  in
+  go 0
+
 module Submit = struct
   type nonrec 'a ticket = 'a ticket
 
   exception Rejected = Submission_rejected
+  exception Expired = Submission_expired
+  exception Cancelled = Cancel.Cancelled
 
   let submit = submit
   let try_submit = try_submit
   let submit_batch = submit_batch
+  let submit_retry = submit_retry
   let await = await_ticket
+  let await_for = await_for_ticket
+  let await_until = await_until_ticket
   let poll = poll_ticket
+
+  let deadline_in span_s =
+    Wool_util.Clock.now_ns () + int_of_float (span_s *. 1e9)
 end
 
 type ingress_stats = {
@@ -1362,6 +1580,8 @@ type ingress_stats = {
   rejected : int;
   shed : int;
   executed : int;
+  expired : int;
+  cancelled : int;
   inflight : int;
 }
 
@@ -1372,8 +1592,12 @@ let ingress_stats pool =
     admitted = Atomic.get ig.ig_admitted;
     rejected = Atomic.get ig.ig_rejected;
     shed = Atomic.get ig.ig_shed;
-    executed =
-      Array.fold_left (fun acc w -> acc + w.hot.n_injected) 0 pool.workers;
+    (* settlement-based, not drain-based: a job cancelled mid-run was
+       drained but did not execute to completion — it counts under
+       [cancelled], and only under [cancelled] *)
+    executed = Atomic.get ig.ig_done;
+    expired = Atomic.get ig.ig_expired;
+    cancelled = Atomic.get ig.ig_cancelled;
     inflight = Atomic.get pool.inflight;
   }
 
@@ -1479,7 +1703,11 @@ module Stats = struct
     Atomic.set ig.ig_submitted 0;
     Atomic.set ig.ig_admitted 0;
     Atomic.set ig.ig_rejected 0;
-    Atomic.set ig.ig_shed 0
+    Atomic.set ig.ig_shed 0;
+    Atomic.set ig.ig_done 0;
+    Atomic.set ig.ig_expired 0;
+    Atomic.set ig.ig_cancelled 0;
+    Atomic.set pool.adm_wait_ewma 0
 
   let fields s =
     [
@@ -1621,9 +1849,11 @@ module Invariants = struct
     if ig.submitted <> ig.admitted + ig.rejected then
       add "ingress imbalance: submitted=%d but admitted=%d + rejected=%d"
         ig.submitted ig.admitted ig.rejected;
-    if ig.admitted <> ig.executed + ig.shed then
-      add "ingress imbalance: admitted=%d but executed=%d + shed=%d"
-        ig.admitted ig.executed ig.shed;
+    if ig.admitted <> ig.executed + ig.shed + ig.expired + ig.cancelled then
+      add
+        "ingress imbalance: admitted=%d but executed=%d + shed=%d + \
+         expired=%d + cancelled=%d"
+        ig.admitted ig.executed ig.shed ig.expired ig.cancelled;
     let s = Stats.aggregate pool in
     (match pool.pmode with
     | Locked | Clev ->
@@ -1703,8 +1933,9 @@ let stall_report pool =
   Printf.bprintf buf {|,"active":%b|} (Atomic.get pool.active);
   (let ig = ingress_stats pool in
    Printf.bprintf buf
-     {|,"ingress":{"submitted":%d,"admitted":%d,"rejected":%d,"shed":%d,"executed":%d,"inflight":%d}|}
-     ig.submitted ig.admitted ig.rejected ig.shed ig.executed ig.inflight);
+     {|,"ingress":{"submitted":%d,"admitted":%d,"rejected":%d,"shed":%d,"executed":%d,"expired":%d,"cancelled":%d,"inflight":%d}|}
+     ig.submitted ig.admitted ig.rejected ig.shed ig.executed ig.expired
+     ig.cancelled ig.inflight);
   (match pool.faults with
   | Some p -> Printf.bprintf buf {|,"fault_plan":"%s"|} (esc p.Fault.Plan.name)
   | None -> ());
@@ -1825,6 +2056,7 @@ let make_worker ~id ~pool ~publicity ~capacity ~trace ~trace_capacity ~faults
             n_join_stolen = 0;
             n_self_joins = 0;
             n_dup_takes = 0;
+            ambient_cancel = None;
           };
     }
   in
@@ -1879,6 +2111,9 @@ let create_of_config (c : Config.t) =
       wd = None;
       server = c.Config.server;
       admission = c.Config.admission;
+      adaptive = c.Config.admission = Adaptive;
+      adm_target_ns = c.Config.admission_target_ns;
+      adm_wait_ewma = Atomic.make 0;
       lanes =
         (if c.Config.injection_capacity = 0 then [||]
          else
@@ -1893,6 +2128,9 @@ let create_of_config (c : Config.t) =
           ig_admitted = Atomic.make 0;
           ig_rejected = Atomic.make 0;
           ig_shed = Atomic.make 0;
+          ig_done = Atomic.make 0;
+          ig_expired = Atomic.make 0;
+          ig_cancelled = Atomic.make 0;
           ig_lock = Mutex.create ();
           ig_ring =
             Ring.create
@@ -2009,7 +2247,8 @@ let run pool f =
     | Tk_done (Ok v) -> v
     | Tk_done (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
     | Tk_rejected -> raise Submission_rejected
-    | Tk_pending -> assert false
+    (* the root job carries no deadline and no token *)
+    | Tk_cancelled | Tk_expired | Tk_pending -> assert false
   end
 
 let with_pool ?config f =

@@ -82,9 +82,20 @@ type publicity = Wool_deque.Direct_stack.publicity =
   | All_public
   | Adaptive of int
 
-type admission = Wool_policy.Admission.t = Block | Reject | Shed_oldest
+type admission = Wool_policy.Admission.t =
+  | Block
+  | Reject
+  | Shed_oldest
+  | Adaptive
 (** What a full injection lane does to a new submission; see
-    {!Wool_policy.Admission}. *)
+    {!Wool_policy.Admission}. [Adaptive] also sheds {e before} the lane
+    fills, whenever the pool's sojourn-latency EWMA exceeds
+    [Config.admission_target_ns] and a backlog exists. *)
+
+module Cancel = Cancel
+(** Cooperative cancellation tokens, attachable to submissions
+    ({!Submit.submit}[ ~cancel]) and observed by their whole task
+    trees. *)
 
 exception Pool_overflow
 (** Raised by {!spawn} when the calling worker's task pool is at
@@ -97,9 +108,15 @@ exception Pool_overflow
 exception Submission_rejected
 (** Raised by {!Submit.await} (and {!run} on a racing shutdown) when the
     awaited ticket resolved rejected: the job was refused at admission
-    ([Reject] policy, closed ingress, or pool shutting down) or evicted
-    before a worker took it ([Shed_oldest], shutdown drain). The job
-    body did {e not} run. *)
+    ([Reject] policy, an [Adaptive] shed, closed ingress, or pool
+    shutting down) or evicted before a worker took it ([Shed_oldest],
+    shutdown drain). The job body did {e not} run. *)
+
+exception Submission_expired
+(** Raised by {!Submit.await} when the awaited ticket resolved expired:
+    the job's [~deadline] passed before a worker took it, and the
+    draining worker dropped it at dequeue time. The job body did {e not}
+    run. *)
 
 (** Pool configuration as a first-class value. A config record travels
     as one value, and [with_pool ~config] forwards {e every} setting by
@@ -152,6 +169,11 @@ module Config : sig
             pre-ingress behaviour *)
     admission : admission;
         (** what a full lane does to a new submission (default [Block]) *)
+    admission_target_ns : int;
+        (** [Adaptive] admission's sojourn-latency target (default 2ms):
+            while the EWMA of observed lane-sojourn times is above this
+            and a backlog exists, new submissions are rejected at the
+            door. Ignored by the other admission policies. *)
     server : bool;
         (** server mode (default [false]): {e every} worker, including 0,
             is a spawned domain, and the creating domain is a pure
@@ -177,10 +199,12 @@ module Config : sig
       [idle_nap_ns] / [watchdog_stalls] / [injection_capacity],
       non-positive [watchdog_interval_ns] with the watchdog on,
       [injection_capacity = 0] with [Block] (would wedge every
-      producer) or [Shed_oldest] (nothing to shed) admission, [server]
-      with a closed ingress (submission is the only way in), and a
-      relaxed [mode] without [allow_relaxed] (the error spells out the
-      at-least-once contract). Returns the config unchanged when valid.
+      producer), [Shed_oldest] (nothing to shed) or [Adaptive] (no lane
+      to watch) admission, non-positive [admission_target_ns] with
+      [Adaptive], [server] with a closed ingress (submission is the
+      only way in), and a relaxed [mode] without [allow_relaxed] (the
+      error spells out the at-least-once contract). Returns the config
+      unchanged when valid.
       {!make}, {!override} and pool creation all validate; call this
       directly only on records built by hand. *)
 
@@ -203,6 +227,7 @@ module Config : sig
     ?injection_lanes:int ->
     ?injection_capacity:int ->
     ?admission:admission ->
+    ?admission_target_ns:int ->
     ?server:bool ->
     ?allow_relaxed:bool ->
     unit ->
@@ -233,6 +258,7 @@ module Config : sig
     ?injection_lanes:int ->
     ?injection_capacity:int ->
     ?admission:admission ->
+    ?admission_target_ns:int ->
     ?server:bool ->
     ?allow_relaxed:bool ->
     unit ->
@@ -251,7 +277,8 @@ module Config : sig
   (** Lower-case label ("locked", "private", ...) for report rows. *)
 
   val admission_name : admission -> string
-  (** {!Wool_policy.Admission.name}: "block" / "reject" / "shed-oldest". *)
+  (** {!Wool_policy.Admission.name}: "block" / "reject" / "shed-oldest" /
+      "adaptive". *)
 
   val pp : Format.formatter -> t -> unit
 end
@@ -314,13 +341,39 @@ module Submit : sig
   exception Rejected
   (** Alias of {!Submission_rejected}. *)
 
-  val submit : ?idempotent:bool -> t -> (ctx -> 'a) -> 'a ticket
+  exception Expired
+  (** Alias of {!Submission_expired}. *)
+
+  exception Cancelled
+  (** Alias of {!Cancel.Cancelled}. *)
+
+  val submit :
+    ?idempotent:bool ->
+    ?deadline:int ->
+    ?cancel:Cancel.t ->
+    t ->
+    (ctx -> 'a) ->
+    'a ticket
   (** Queue one job, honouring the pool's {!type:admission} policy when
       the lane is full ([Block] waits — aborting rejected if the pool
-      stops — [Reject] resolves the ticket rejected immediately,
-      [Shed_oldest] evicts the oldest queued job to make room). Safe
-      from any domain, including concurrently with {!shutdown}: the
-      ticket always resolves.
+      stops — [Reject]/[Adaptive] resolve the ticket rejected
+      immediately, [Shed_oldest] evicts the oldest queued job to make
+      room; [Adaptive] additionally rejects at the door while the
+      sojourn EWMA is above target and a backlog exists). Safe from any
+      domain, including concurrently with {!shutdown}: the ticket
+      always resolves.
+
+      [~deadline] (absolute, in [Wool_util.Clock.now_ns] nanoseconds —
+      see {!deadline_in}) stamps the job: a worker dequeuing it after
+      the deadline drops it unrun and the ticket resolves expired.
+      [~cancel] attaches a {!Cancel.t} token: if the token is set when
+      a worker dequeues the job, it is dropped unrun and the ticket
+      resolves cancelled; while the job runs, the token is the ambient
+      token of its task tree (checked at every {!spawn}, readable via
+      {!cancel_token}), and a body that observes it — or raises
+      {!Cancel.Cancelled} itself — settles the ticket cancelled.
+      Settlement is first-writer-wins in every mode: a cancel racing
+      the job's completion resolves the ticket exactly once.
 
       On a relaxed-mode pool the job body may run more than once;
       [~idempotent:true] (default [false]) is the submitter's
@@ -330,47 +383,110 @@ module Submit : sig
       so [await]/[poll] never observe two results. Never raises on
       exactly-once pools. *)
 
-  val try_submit : ?idempotent:bool -> t -> (ctx -> 'a) -> 'a ticket option
+  val try_submit :
+    ?idempotent:bool ->
+    ?deadline:int ->
+    ?cancel:Cancel.t ->
+    t ->
+    (ctx -> 'a) ->
+    'a ticket option
   (** One-shot admission: [None] instead of waiting/shedding when the
-      lane is full (whatever the admission policy), the ingress is
-      closed, or the pool is stopping. [Some tk] means admitted.
-      [?idempotent] as for {!submit}. *)
+      lane is full (whatever the admission policy), the [Adaptive]
+      controller is shedding, the ingress is closed, or the pool is
+      stopping. [Some tk] means admitted. [?idempotent], [?deadline],
+      [?cancel] as for {!submit}. *)
 
-  val submit_batch : ?idempotent:bool -> t -> (ctx -> 'a) list -> 'a ticket list
+  val submit_batch :
+    ?idempotent:bool ->
+    ?deadline:int ->
+    ?cancel:Cancel.t ->
+    t ->
+    (ctx -> 'a) list ->
+    'a ticket list
   (** Submit a batch through a single lane pick, so consecutive elements
       land in the same lane and a draining worker takes them without
       re-probing. Each element gets its own ticket and is admitted
       independently (under [Reject], a full lane can reject a suffix of
-      the batch). [?idempotent] as for {!submit}. *)
+      the batch); [?deadline]/[?cancel] apply to every element (one
+      token may cancel the whole batch). [?idempotent] as for
+      {!submit}. *)
+
+  val submit_retry :
+    ?idempotent:bool ->
+    ?deadline:int ->
+    ?cancel:Cancel.t ->
+    ?attempts:int ->
+    ?backoff_ns:int ->
+    ?seed:int ->
+    t ->
+    (ctx -> 'a) ->
+    'a ticket
+  (** {!submit}, retrying admission-time rejections with exponential
+      backoff and jitter: after the [k]-th rejection the producer
+      sleeps [backoff_ns * 2^k] (default base 200µs) plus a jittered
+      fraction, then resubmits, up to [attempts] (default 4) total
+      tries. The jitter stream is derived from [seed] (default 0), so
+      a given seed retries deterministically. Returns the first
+      admitted ticket, or the last rejected one when every attempt was
+      refused; a stopping pool cuts the loop short. Only admission-time
+      rejections retry — [Shed_oldest] evictions and shutdown drains
+      happen after this function returned. Raises [Invalid_argument] if
+      [attempts < 1]. *)
 
   val await : 'a ticket -> 'a
   (** Block until the ticket resolves; returns the job's result,
       re-raises its exception (with the backtrace captured where the job
-      body raised, on whichever worker ran it), or raises {!Rejected}.
-      Idempotent — repeated [await]s of a resolved ticket return the
-      same outcome. Do not call from inside task code on a non-server
-      pool: a worker blocked on a ticket is a worker not draining
-      lanes. *)
+      body raised, on whichever worker ran it), or raises {!Rejected} /
+      {!Expired} / {!Cancelled} for the corresponding drops. Idempotent
+      — repeated [await]s of a resolved ticket return the same outcome.
+      Do not call from inside task code on a non-server pool: a worker
+      blocked on a ticket is a worker not draining lanes. *)
 
-  val poll : 'a ticket -> [ `Pending | `Done of ('a, exn) result | `Rejected ]
+  val await_for : 'a ticket -> float -> 'a option
+  (** [await_for tk seconds]: {!await} with a producer-side timeout.
+      [None] if the ticket is still pending when the timeout elapses
+      (the job itself is unaffected — await again, or cancel its
+      token). Like {!await}, raises for rejected/expired/cancelled
+      outcomes that resolve within the window. *)
+
+  val await_until : 'a ticket -> deadline:int -> 'a option
+  (** {!await_for} against an absolute deadline (in
+      [Wool_util.Clock.now_ns] nanoseconds). *)
+
+  val poll :
+    'a ticket ->
+    [ `Pending | `Done of ('a, exn) result | `Rejected | `Cancelled | `Expired ]
   (** Non-blocking status read. [`Done] carries the result or the
       exception (without its backtrace — use {!await} to re-raise
       faithfully). *)
+
+  val deadline_in : float -> int
+  (** [deadline_in seconds]: an absolute [~deadline] value that many
+      seconds from now. *)
 end
 
 type ingress_stats = {
   submitted : int;  (** tickets created: every [submit]/[try_submit] *)
   admitted : int;  (** submissions that won a lane slot *)
-  rejected : int;  (** resolved rejected {e at admission} *)
+  rejected : int;
+      (** resolved rejected {e at admission} (full-lane [Reject], an
+          [Adaptive] shed, closed ingress, shutdown) *)
   shed : int;
       (** admitted jobs evicted before execution ([Shed_oldest] or the
           {!shutdown} drain) *)
-  executed : int;  (** injected jobs drained and run by workers *)
-  inflight : int;  (** admitted, not yet executed or shed *)
+  executed : int;
+      (** jobs that ran to completion (a result or an ordinary
+          exception) — settlement-based, so a job cancelled mid-run
+          counts under [cancelled], not here *)
+  expired : int;  (** admitted jobs dropped unrun at their deadline *)
+  cancelled : int;
+      (** jobs resolved cancelled: dropped unrun at dequeue with their
+          token set, or settled by a cooperative mid-run cancel *)
+  inflight : int;  (** admitted, not yet settled *)
 }
 (** Always [submitted = admitted + rejected] and
-    [admitted = executed + shed + inflight] once quiescent
-    ({!Invariants.check} enforces both). *)
+    [admitted = executed + shed + expired + cancelled + inflight] once
+    quiescent ({!Invariants.check} enforces both). *)
 
 val ingress_stats : t -> ingress_stats
 (** Exact once quiescent; racy-but-monotone snapshots otherwise. *)
@@ -380,6 +496,14 @@ val spawn : ctx -> (ctx -> 'a) -> 'a future
     calling worker. Raises [Invalid_argument] after {!shutdown} and
     {!Pool_overflow} when the worker's task pool is full (before any
     state changes — see the exception's doc).
+
+    If the worker is running a submission that carried a cancel token
+    and that token is set, raises {!Cancel.Cancelled} instead of
+    spawning: a cancelled job's task tree stops fanning out at the next
+    spawn boundary, and the runtime settles its ticket cancelled. (The
+    ambient token follows the job on the worker that drained it; a
+    subtree stolen by another worker checks only its own cooperative
+    polls.)
 
     On a relaxed-mode pool ([Ws_mult] / [Lowsync]) this raises
     [Invalid_argument]: those modes may execute a task body more than
@@ -406,6 +530,12 @@ val join : ctx -> 'a future -> 'a
 
 val call : ctx -> (ctx -> 'a) -> 'a
 (** An ordinary call, for symmetry with the paper's CALL. *)
+
+val cancel_token : ctx -> Cancel.t option
+(** The cancel token of the submission this worker is currently
+    running, if it carried one — for long-running bodies that want to
+    poll cooperatively ([Option.iter Cancel.check]) between spawn
+    boundaries. *)
 
 (* Introspection *)
 
@@ -529,7 +659,8 @@ module Invariants : sig
       payloads reset; both queue deques empty; no outstanding queued
       children. Then the ingress: every injection lane empty, no
       in-flight submissions, [submitted = admitted + rejected] and
-      [admitted = executed + shed]. Then globally: spawn/join/steal
+      [admitted = executed + shed + expired + cancelled]. Then
+      globally: spawn/join/steal
       counter balance for the pool's mode (direct modes: [spawns =
       inlined + joins_stolen] and [joins_stolen = steals]; queue modes:
       [spawns = inlined + steals]; relaxed modes: [spawns = inlined +

@@ -13,6 +13,7 @@ module Policy = Wool_policy
 module Fault = Wool_fault
 module Invariants = Pool.Invariants
 module Submit = Pool.Submit
+module Cancel = Cancel
 
 type pool = Pool.t
 type ctx = Pool.ctx
@@ -27,11 +28,18 @@ type mode = Pool.mode =
   | Lowsync
 
 type publicity = Pool.publicity = All_private | All_public | Adaptive of int
-type admission = Pool.admission = Block | Reject | Shed_oldest
+
+type admission = Pool.admission =
+  | Block
+  | Reject
+  | Shed_oldest
+  | Adaptive
+
 type ingress_stats = Pool.ingress_stats
 
 exception Pool_overflow = Pool.Pool_overflow
 exception Submission_rejected = Pool.Submission_rejected
+exception Submission_expired = Pool.Submission_expired
 
 let create = Pool.create
 let run = Pool.run
@@ -41,6 +49,7 @@ let spawn = Pool.spawn
 let spawn_idempotent = Pool.spawn_idempotent
 let join = Pool.join
 let call = Pool.call
+let cancel_token = Pool.cancel_token
 let self_id = Pool.self_id
 let num_workers = Pool.num_workers
 let policy = Pool.policy

@@ -33,7 +33,13 @@ module Invariants = Pool.Invariants
 
 module Submit = Pool.Submit
 (** External submission: inject work from any domain, get a ticket per
-    job; see {!Pool.Submit}. *)
+    job; see {!Pool.Submit}. Tickets carry optional deadlines and cancel
+    tokens, and {!Submit.submit_retry} retries rejected admissions with
+    backoff. *)
+
+module Cancel = Cancel
+(** Cooperative cancellation tokens ([Submit.submit ~cancel]); see
+    {!Cancel}. *)
 
 type pool = Pool.t
 type ctx = Pool.ctx
@@ -58,13 +64,19 @@ type publicity = Pool.publicity =
   | All_public
   | Adaptive of int
 
-type admission = Pool.admission = Block | Reject | Shed_oldest
+type admission = Pool.admission =
+  | Block
+  | Reject
+  | Shed_oldest
+  | Adaptive
 (** Full-lane admission policy for external submissions
-    ([Config.make ~admission]); see {!Pool.type-admission}. *)
+    ([Config.make ~admission]); [Adaptive] is the feedback controller
+    holding the sojourn-latency EWMA under
+    [Config.admission_target_ns]. See {!Pool.type-admission}. *)
 
 type ingress_stats = Pool.ingress_stats
-(** Ingress counters (submitted/admitted/rejected/shed/executed/
-    in-flight); see {!Pool.type-ingress_stats}. *)
+(** Ingress counters (submitted/admitted/rejected/shed/executed/expired/
+    cancelled/in-flight); see {!Pool.type-ingress_stats}. *)
 
 exception Pool_overflow
 (** Raised by {!spawn} when the worker's task pool is at capacity, before
@@ -73,6 +85,10 @@ exception Pool_overflow
 exception Submission_rejected
 (** Raised by {!Submit.await} on a rejected ticket; see
     {!Pool.Submission_rejected}. *)
+
+exception Submission_expired
+(** Raised by {!Submit.await} on a ticket whose job's deadline passed
+    before a worker took it; see {!Pool.Submission_expired}. *)
 
 val create : ?config:Config.t -> unit -> pool
 (** See {!Pool.create}: [config] (built with {!Config.make}) carries
@@ -101,6 +117,11 @@ val spawn_idempotent : ctx -> (ctx -> 'a) -> 'a future
 
 val join : ctx -> 'a future -> 'a
 val call : ctx -> (ctx -> 'a) -> 'a
+
+val cancel_token : ctx -> Cancel.t option
+(** The ambient cancel token of the submission this worker is running,
+    if any; see {!Pool.cancel_token}. *)
+
 val self_id : ctx -> int
 val num_workers : pool -> int
 

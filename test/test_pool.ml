@@ -201,6 +201,30 @@ let test_create_validation () =
         ~admission:Wool.Reject ());
   rejects "watchdog with bad interval" (fun () ->
       Wool.Config.make ~watchdog_stalls:3 ~watchdog_interval_ns:0 ());
+  rejects "closed ingress with Adaptive" (fun () ->
+      Wool.Config.make ~injection_capacity:0 ~admission:Wool.Adaptive ());
+  rejects "Adaptive with zero target" (fun () ->
+      Wool.Config.make ~admission:Wool.Adaptive ~admission_target_ns:0 ());
+  rejects "Adaptive with negative target" (fun () ->
+      Wool.Config.make ~admission:Wool.Adaptive
+        ~admission_target_ns:(-5_000) ());
+  (* Adaptive with a positive target over an open lane is the intended
+     combination, and the target knob is inert under other policies *)
+  Alcotest.(check bool)
+    "adaptive config validates" true
+    (match
+       Wool.Config.make ~admission:Wool.Adaptive
+         ~admission_target_ns:1_000_000 ()
+     with
+    | (_ : Wool.Config.t) -> true
+    | exception Invalid_argument _ -> false);
+  Alcotest.(check bool)
+    "target knob inert under Reject" true
+    (match
+       Wool.Config.make ~admission:Wool.Reject ~admission_target_ns:0 ()
+     with
+    | (_ : Wool.Config.t) -> true
+    | exception Invalid_argument _ -> false);
   (* closed ingress + Reject is the legal way to get the pre-ingress
      direct-execution pool *)
   Test_util.with_pool ~workers:1 ~injection_capacity:0

@@ -215,6 +215,90 @@ let test_realcheck_all_ok () =
         true c.R.Realcheck.ok)
     cells
 
+(* -- wool-serve/2 schema: round-trip, v1 compatibility, rejection -- *)
+
+module S = R.Serve_load
+
+let serve_row =
+  {
+    S.mode = "private";
+    arrival = "overload";
+    admission = "adaptive";
+    offered = 100;
+    admitted = 60;
+    rejected = 40;
+    shed = 0;
+    executed = 50;
+    expired = 7;
+    cancelled = 3;
+    p50_ms = 1.5;
+    p99_ms = 4.25;
+    p999_ms = 6.5;
+    throughput = 50.0;
+    goodput = 48.0;
+    target_ms = 8.0;
+    elapsed_s = 1.0;
+    violations = [];
+  }
+
+let test_serve_json_roundtrip () =
+  let body =
+    S.to_json ~date:"2026-08-08" ~producers:2 ~workers:2 ~rate_hz:200.
+      ~duration_s:1.0 [ serve_row ]
+  in
+  match S.of_json body with
+  | Error msg -> Alcotest.failf "of_json failed: %s" msg
+  | Ok rep -> (
+      Alcotest.(check string) "schema" "wool-serve/2" rep.S.schema;
+      Alcotest.(check string) "date" "2026-08-08" rep.S.date;
+      Alcotest.(check int) "rows" 1 (List.length rep.S.rows);
+      match rep.S.rows with
+      | [ r ] ->
+          Alcotest.(check string) "admission" "adaptive" r.S.admission;
+          Alcotest.(check int) "expired" 7 r.S.expired;
+          Alcotest.(check int) "cancelled" 3 r.S.cancelled;
+          Alcotest.(check (float 1e-9)) "goodput" 48.0 r.S.goodput;
+          Alcotest.(check (float 1e-9)) "target" 8.0 r.S.target_ms;
+          Alcotest.(check (float 1e-9)) "p99" 4.25 r.S.p99_ms
+      | _ -> Alcotest.fail "expected one row")
+
+let test_serve_json_v1_readable () =
+  (* a literal v1 document (the committed snapshots' shape): the new
+     reader must accept it and fill the ledger columns with defaults *)
+  let v1 =
+    {|{"schema":"wool-serve/1","date":"2026-08-08","producers":2,"workers":2,"rate_hz":200,"duration_s":1,"rows":[{"mode":"locked","arrival":"sustained","offered":199,"admitted":199,"rejected":0,"shed":0,"executed":199,"p50_ms":0.5,"p99_ms":1.5,"p999_ms":2,"throughput":180,"elapsed_s":1.1,"violations":0}]}|}
+  in
+  match S.of_json v1 with
+  | Error msg -> Alcotest.failf "v1 must stay readable: %s" msg
+  | Ok rep -> (
+      Alcotest.(check string) "schema kept" "wool-serve/1" rep.S.schema;
+      match rep.S.rows with
+      | [ r ] ->
+          Alcotest.(check string) "admission default" "reject" r.S.admission;
+          Alcotest.(check int) "expired default" 0 r.S.expired;
+          Alcotest.(check int) "cancelled default" 0 r.S.cancelled;
+          Alcotest.(check (float 1e-9)) "goodput defaults to throughput"
+            180.0 r.S.goodput;
+          Alcotest.(check (float 1e-9)) "no target" 0.0 r.S.target_ms
+      | _ -> Alcotest.fail "expected one row")
+
+let test_serve_json_rejects_foreign () =
+  (match S.of_json {|{"schema":"wool-serve/99","rows":[]}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown schema version must be rejected");
+  (match S.of_json {|{"schema":"wool-bench/1","rows":[]}|} with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "foreign document must be rejected");
+  (match S.of_json "not json at all" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "garbage must be rejected");
+  match
+    S.of_json
+      {|{"schema":"wool-serve/2","date":"d","producers":1,"workers":1,"rate_hz":1,"duration_s":1,"rows":[{"mode":"locked"}]}|}
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "row with missing fields must be rejected"
+
 let suite =
   [
     ( "report",
@@ -236,5 +320,11 @@ let suite =
         Alcotest.test_case "ablation studies" `Quick test_ablation_studies;
         Alcotest.test_case "gantt" `Quick test_gantt;
         Alcotest.test_case "realcheck matrix" `Slow test_realcheck_all_ok;
+        Alcotest.test_case "serve json roundtrip" `Quick
+          test_serve_json_roundtrip;
+        Alcotest.test_case "serve json v1 readable" `Quick
+          test_serve_json_v1_readable;
+        Alcotest.test_case "serve json rejects foreign" `Quick
+          test_serve_json_rejects_foreign;
       ] );
   ]

@@ -36,7 +36,8 @@ let test_poll_lifecycle () =
   | `Done (Ok v) -> Alcotest.failf "polled Done %d, expected 7" v
   | `Done (Error e) -> Alcotest.failf "polled %s" (Printexc.to_string e)
   | `Pending -> Alcotest.fail "drained ticket still Pending"
-  | `Rejected -> Alcotest.fail "drained ticket polled Rejected");
+  | `Rejected | `Cancelled | `Expired ->
+      Alcotest.fail "drained ticket polled a dropped state");
   Alcotest.(check int) "await after poll" 7 (Wool.Submit.await tk);
   Wool.shutdown pool
 

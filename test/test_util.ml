@@ -6,8 +6,8 @@
    of the suites' ~200 pool creations drowns the test in plumbing. *)
 let config ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns ?seed
     ?trace ?trace_capacity ?policy ?faults ?watchdog_interval_ns
-    ?watchdog_stalls ?injection_lanes ?injection_capacity ?admission ?server
-    ?allow_relaxed () =
+    ?watchdog_stalls ?injection_lanes ?injection_capacity ?admission ?admission_target_ns
+    ?server ?allow_relaxed () =
   (* Sweeping [all_modes] through these helpers should just work, so a
      relaxed mode opts itself in unless the test says otherwise. The
      production default (reject relaxed without the explicit flag) is
@@ -21,30 +21,31 @@ let config ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns ?seed
   Wool.Config.make ?workers ?mode ?publicity ?capacity ?lock_mode
     ?idle_nap_ns ?seed ?trace ?trace_capacity ?policy ?faults
     ?watchdog_interval_ns ?watchdog_stalls ?injection_lanes
-    ?injection_capacity ?admission ?server ?allow_relaxed ()
+    ?injection_capacity ?admission ?admission_target_ns ?server
+    ?allow_relaxed ()
 
 let create ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns ?seed
     ?trace ?trace_capacity ?policy ?faults ?watchdog_interval_ns
-    ?watchdog_stalls ?injection_lanes ?injection_capacity ?admission ?server
-    ?allow_relaxed () =
+    ?watchdog_stalls ?injection_lanes ?injection_capacity ?admission ?admission_target_ns
+    ?server ?allow_relaxed () =
   Wool.create
     ~config:
       (config ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns
          ?seed ?trace ?trace_capacity ?policy ?faults ?watchdog_interval_ns
          ?watchdog_stalls ?injection_lanes ?injection_capacity ?admission
-         ?server ?allow_relaxed ())
+         ?admission_target_ns ?server ?allow_relaxed ())
     ()
 
 let with_pool ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns
     ?seed ?trace ?trace_capacity ?policy ?faults ?watchdog_interval_ns
-    ?watchdog_stalls ?injection_lanes ?injection_capacity ?admission ?server
-    ?allow_relaxed f =
+    ?watchdog_stalls ?injection_lanes ?injection_capacity ?admission
+    ?admission_target_ns ?server ?allow_relaxed f =
   Wool.with_pool
     ~config:
       (config ?workers ?mode ?publicity ?capacity ?lock_mode ?idle_nap_ns
          ?seed ?trace ?trace_capacity ?policy ?faults ?watchdog_interval_ns
          ?watchdog_stalls ?injection_lanes ?injection_capacity ?admission
-         ?server ?allow_relaxed ())
+         ?admission_target_ns ?server ?allow_relaxed ())
     f
 
 (* Every pool mode, with a label for per-case messages — derived from the
