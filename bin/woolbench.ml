@@ -290,6 +290,45 @@ let bench_cmd =
         (const run $ workers_arg $ repeats_arg $ tiny_arg $ modes_arg
         $ out_arg $ compare_arg $ workloads_arg))
 
+let ropes_cmd =
+  let workers_arg =
+    let doc = "Comma-separated worker counts to sweep." in
+    Arg.(
+      value & opt (list int) [ 1; 2; 4 ]
+      & info [ "w"; "workers" ] ~docv:"N,M,..." ~doc)
+  in
+  let repeats_arg =
+    let doc = "Timed pool runs per arm (a fresh pool each)." in
+    Arg.(value & opt int 3 & info [ "repeats" ] ~docv:"N" ~doc)
+  in
+  let tiny_arg =
+    let doc = "Use the smoke-test input sizes instead of the report sizes." in
+    Arg.(value & flag & info [ "tiny" ] ~doc)
+  in
+  let run workers repeats tiny =
+    if workers = [] || List.exists (fun w -> w < 1) workers then
+      `Error (false, "--workers must be positive counts")
+    else if repeats < 1 then `Error (false, "--repeats must be at least 1")
+    else begin
+      let size =
+        if tiny then Wool_report.Exp_common.Spec.Tiny
+        else Wool_report.Exp_common.Spec.Std
+      in
+      match Wool_report.Rope_sweep.run ~size ~workers ~repeats () with
+      | () -> `Ok ()
+      | exception Failure msg -> `Error (false, msg)
+      | exception Invalid_argument msg -> `Error (false, msg)
+    end
+  in
+  let doc =
+    "compare lazy (steal-pressure-driven) vs eager rope splitting across \
+     every scheduler mode, and the rope workload one-liners vs their \
+     hand-rolled spawn trees"
+  in
+  Cmd.v
+    (Cmd.info "ropes" ~doc)
+    Term.(ret (const run $ workers_arg $ repeats_arg $ tiny_arg))
+
 let serve_cmd =
   let workers_arg =
     let doc = "Number of worker domains (all spawned: server mode)." in
@@ -490,10 +529,14 @@ let () =
      trace <workload>` records a scheduler trace; `woolbench policy \
      <workload>` sweeps the steal policies; `woolbench faults` and \
      `woolbench check` stress and model-check the scheduler; `woolbench \
-     serve` load-tests the external-submission ingress"
+     serve` load-tests the external-submission ingress; `woolbench ropes` \
+     compares lazy vs eager rope splitting"
   in
   let subcommands =
-    [ trace_cmd; policy_cmd; faults_cmd; bench_cmd; serve_cmd; check_cmd ]
+    [
+      trace_cmd; policy_cmd; faults_cmd; bench_cmd; ropes_cmd; serve_cmd;
+      check_cmd;
+    ]
   in
   let argv =
     match Array.to_list Sys.argv with

@@ -61,6 +61,18 @@ val depth : 'a t -> int
 val bot_index : 'a t -> int
 (** Current [bot] (lowest unstolen descriptor); racy snapshot. *)
 
+val steal_pressure : 'a t -> bool
+(** Owner-side hunger poll for lazy splitting: [true] when thieves are
+    actively after this stack's work — the trip wire has sprung
+    ({e certain} hunger: a steal reached the public frontier), or thief
+    activity against this stack (successful steals, failed probes,
+    back-offs) advanced since the owner's previous poll. The second
+    signal is what lets a lazy splitter bootstrap: a leaf holding all
+    remaining work privately gives thieves nothing to steal, so only
+    their {e failed} probes betray them. Two atomic loads per poll; never
+    [true] on a single-worker pool (no thieves, both signals flat).
+    Owner only. *)
+
 type 'a outcome =
   | Task of 'a * bool
       (** The task was still here and is now inlined; the flag says whether

@@ -42,6 +42,10 @@ type 'a owner = {
          publishes itself and re-arms the trip wire (see
          [maybe_privatize]) *)
   mutable consec_public_inlines : int;
+  mutable last_activity : int;
+      (* thief-activity snapshot ([failed+backoff word] + steal count) at
+         the owner's previous {!steal_pressure} poll; the poll reports
+         pressure when the sum has moved since *)
   (* owner-side counters *)
   mutable n_spawns : int;
   mutable max_depth : int;
@@ -126,6 +130,7 @@ let create ?(capacity = 65536) ?(publicity = Adaptive 4) ~dummy () =
           public_limit;
           rearm = false;
           consec_public_inlines = 0;
+          last_activity = 0;
           n_spawns = 0;
           max_depth = 0;
           n_inlined_private = 0;
@@ -149,6 +154,35 @@ let set_event_hooks t ~on_publish ~on_privatize =
 let[@inline] depth t = t.own.top
 let[@inline] bot_index t = A.get t.botw land bot_mask
 let[@inline] steal_count t = A.get t.botw lsr 32
+
+(* Owner-side hunger poll, for lazy splitting layers above the runtime: are
+   thieves trying to take work from this stack right now?
+
+   Two signals, both free to read. A sprung trip wire ([publish_request])
+   means a steal reached the public frontier — certain hunger. But the wire
+   alone cannot bootstrap a lazy splitter: a leaf holding all remaining
+   work {e privately} gives thieves nothing to steal, so no steal ever
+   springs the wire. Those thieves still leave tracks — every probe against
+   this stack bumps the failed/backoff word, and every success bumps the
+   steal count — so the poll also reports pressure whenever that activity
+   sum moved since the owner last asked. Cost: two atomic loads, and an
+   owner-private store only when the answer is [true].
+
+   The first poll after a burst of unrelated steal traffic may report one
+   spurious [true] (the snapshot is only updated here); the cost is a
+   single extra split, which the splitter would soon owe anyway if thieves
+   are around. With one worker there are no thieves, both signals stay
+   flat, and the poll is always [false]. *)
+let[@inline] steal_pressure t =
+  A.get t.publish_request
+  ||
+  let activity = A.get t.fb + (A.get t.botw lsr 32) in
+  let own = t.own in
+  activity <> own.last_activity
+  && begin
+       own.last_activity <- activity;
+       true
+     end
 
 (* Owner-side servicing of a thief's trip-wire notification: extend the
    public region by the window and publish any live private descriptors

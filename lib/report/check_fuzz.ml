@@ -138,6 +138,13 @@ let run_one ~seed =
      jobs must not perturb the dequeue accounting checked below *)
   let n_cancel = Rng.int rng 2 in
   let n_expire = Rng.int rng 2 in
+  (* a third of the histories chase the spec tree with a rope reduction
+     on the same pool, so the lazy splitter's steal-pressure probes (and
+     the nondeterministic spawn trees they produce) run under the same
+     schedule fuzzing as the steal protocol *)
+  let rope = Rng.int rng 3 = 0 in
+  let rope_chunk = 1 + Rng.int rng 32 in
+  let rope_len = 64 + Rng.int rng 512 in
   let spec, nodes = gen_spec rng ~budget in
   let expect = eval spec in
   let counts = Array.init nodes (fun _ -> Atomic.make 0) in
@@ -177,6 +184,23 @@ let run_one ~seed =
               Printf.sprintf "wrong result: eval = %d, expected %d" v expect;
             ])
   in
+  if rope then begin
+    let xs = Array.init rope_len (fun i -> i * 7 mod 64) in
+    let expect_sum = Array.fold_left ( + ) 0 xs in
+    let got =
+      Wool.run pool (fun ctx ->
+          Wool_ropes.reduce ctx
+            ~split:(Wool_ropes.Lazy_split rope_chunk)
+            ~neutral:0 ~combine:( + ) Fun.id
+            (Wool_ropes.of_array xs))
+    in
+    if got <> expect_sum then
+      add
+        [
+          Printf.sprintf "rope reduce = %d, expected %d (chunk %d, len %d)"
+            got expect_sum rope_chunk rope_len;
+        ]
+  end;
   List.iteri
     (fun i tk ->
       match Wool.Submit.await tk with
@@ -241,8 +265,10 @@ let run_one ~seed =
   add (Wool.Invariants.check pool);
   let stats = Wool.Stats.aggregate pool in
   (* A duplicate body run re-spawns its whole subtree, so relaxed modes
-     bound spawns below by the edge count instead of matching exactly. *)
-  (if relaxed mode then begin
+     bound spawns below by the edge count instead of matching exactly;
+     likewise a rope run adds however many splits steal pressure forced
+     (a schedule-dependent, nonnegative count). *)
+  (if relaxed mode || rope then begin
      if stats.spawns < nodes - 1 then
        add
          [
@@ -256,12 +282,13 @@ let run_one ~seed =
          Printf.sprintf "stats.spawns = %d, expected %d (tree edges)"
            stats.spawns (nodes - 1);
        ]);
-  (* the main run goes through the ingress too: n_inject + 1 dequeues *)
-  if stats.injected <> n_inject + 1 then
+  (* every [Wool.run] goes through the ingress too *)
+  let runs = if rope then 2 else 1 in
+  if stats.injected <> n_inject + runs then
     add
       [
         Printf.sprintf "stats.injected = %d, expected %d" stats.injected
-          (n_inject + 1);
+          (n_inject + runs);
       ];
   let ig = Wool.ingress_stats pool in
   if ig.Wool.Pool.submitted <> ig.Wool.Pool.admitted + ig.Wool.Pool.rejected

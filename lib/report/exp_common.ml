@@ -56,6 +56,8 @@ module Spec = struct
   let nqueens_n = function Std -> 9 | Tiny -> 6
   let mm_n = function Std -> 48 | Tiny -> 12
   let sort_n = function Std -> 20_000 | Tiny -> 512
+  let wordcount_n = function Std -> 200_000 | Tiny -> 2_000
+  let histogram_n = function Std -> 400_000 | Tiny -> 4_000
 
   (* simulator counterparts may use a smaller input so the
      discrete-event run stays quick *)
@@ -164,12 +166,48 @@ module Spec = struct
       serial = (fun () -> digest_of_int_array (Wool_workloads.Sort.serial (Lazy.force input)));
       wool =
         (fun ctx -> digest_of_int_array (Wool_workloads.Sort.wool ctx (Lazy.force input)));
-      relaxed_ok = false (* in-place merges: a duplicate run races its twin *);
+      relaxed_ok = true
+        (* the rope block-sort merges into fresh arrays: a duplicate run
+           rebuilds the same value instead of racing an in-place twin *);
       sim_descr = Printf.sprintf "sort(%d)" n;
       sim_tree = (fun () -> Wool_workloads.Sort.tree n);
     }
 
-  let all size = [ fib size; stress size; nqueens size; mm size; sort size ]
+  let wordcount size =
+    let n = wordcount_n size in
+    let text = lazy (Wool_workloads.Wordcount.subject n) in
+    {
+      name = "wordcount";
+      descr = Printf.sprintf "wordcount(%d)" n;
+      serial = (fun () -> Wool_workloads.Wordcount.serial (Lazy.force text));
+      wool = (fun ctx -> Wool_workloads.Wordcount.wool ctx (Lazy.force text));
+      relaxed_ok = true (* pure per-position folds *);
+      sim_descr = Printf.sprintf "wordcount(%d)" n;
+      sim_tree = (fun () -> Wool_workloads.Wordcount.tree n);
+    }
+
+  let histogram size =
+    let n = histogram_n size in
+    let data = lazy (Wool_workloads.Histogram.subject n) in
+    {
+      name = "histogram";
+      descr = Printf.sprintf "histogram(%d)" n;
+      serial =
+        (fun () ->
+          digest_of_int_array (Wool_workloads.Histogram.serial (Lazy.force data)));
+      wool =
+        (fun ctx ->
+          digest_of_int_array (Wool_workloads.Histogram.wool ctx (Lazy.force data)));
+      relaxed_ok = true (* fresh bucket arrays per block and per combine *);
+      sim_descr = Printf.sprintf "histogram(%d)" n;
+      sim_tree = (fun () -> Wool_workloads.Histogram.tree n);
+    }
+
+  let all size =
+    [
+      fib size; stress size; nqueens size; mm size; sort size;
+      wordcount size; histogram size;
+    ]
   let names = List.map (fun s -> s.name) (all Std)
 
   let find ?(size = Std) name =

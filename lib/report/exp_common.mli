@@ -37,7 +37,8 @@ val fmt_k : float -> string
 
 (** The shared real-runtime workload table.
 
-    One spec per tier-1 kernel (fib, stress, nqueens, mm, sort), consumed
+    One spec per tier-1 kernel (fib, stress, nqueens, mm, sort,
+    wordcount, histogram), consumed
     by realcheck, trace_summary, policy_sweep, and the benchmark harness;
     the per-module copies these replaced had drifted in input sizes and
     digest conventions. *)
@@ -54,6 +55,8 @@ module Spec : sig
   val nqueens_n : size -> int
   val mm_n : size -> int
   val sort_n : size -> int
+  val wordcount_n : size -> int
+  val histogram_n : size -> int
   val fib_sim_n : size -> int
 
   type t = {

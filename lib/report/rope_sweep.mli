@@ -1,0 +1,28 @@
+(** The lazy-vs-eager rope splitting sweep behind ["woolbench ropes"].
+
+    Runs the rope workloads (wordcount, histogram) under both split
+    schedules across every scheduler mode and worker count, and A/Bs the
+    rope one-liner workload paths (mm, ssf, sort) against their
+    hand-rolled spawn trees in the default mode. *)
+
+type arm = { a_ms : float; a_spawns : int; a_ok : bool }
+
+type cell = {
+  workload : string;
+  mode : string;
+  workers : int;
+  lazy_arm : arm;
+  eager_arm : arm;
+}
+
+val compute :
+  ?size:Exp_common.Spec.size -> ?workers:int list -> ?repeats:int -> unit ->
+  cell list
+(** The lazy-vs-eager matrix; median of [repeats] (default 3) fresh-pool
+    runs per arm. *)
+
+val run :
+  ?size:Exp_common.Spec.size -> ?workers:int list -> ?repeats:int -> unit ->
+  unit
+(** Print both tables. Raises [Failure] if any digest disagrees with the
+    serial oracle. *)

@@ -1219,6 +1219,24 @@ let join (w : ctx) fut =
 
 let call (w : ctx) fn = fn w
 let cancel_token (w : ctx) = w.hot.ambient_cancel
+
+(* Hunger poll for lazy splitters (Wool_ropes): should the running task
+   carve off stealable work right now? The direct modes read the trip
+   wire / thief-activity state their stack already maintains (see
+   {!Ds.steal_pressure}); the queued baselines have no trip wire, so the
+   best cheap proxy is "my deque has been drained" — thieves took
+   everything I published and may be starving. The relaxed pools track
+   neither (fence-free protocols keep no failure counters a poll could
+   trust), so they conservatively report pressure whenever a thief
+   exists: relaxed callers split eagerly rather than strand work. *)
+let steal_pressure (w : ctx) =
+  let pool = w.pool in
+  match pool.pmode with
+  | Swap_generic | Task_specific | Private -> Ds.steal_pressure w.dstack
+  | Locked ->
+      Array.length pool.workers > 1 && Locked_deque.size w.ldeque = 0
+  | Clev -> Array.length pool.workers > 1 && Chase_lev.size w.cdeque = 0
+  | Ws_mult | Lowsync -> Array.length pool.workers > 1
 let self_id w = w.id
 let num_workers pool = Array.length pool.workers
 let mode pool = pool.pmode

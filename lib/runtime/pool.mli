@@ -537,6 +537,21 @@ val cancel_token : ctx -> Cancel.t option
     poll cooperatively ([Option.iter Cancel.check]) between spawn
     boundaries. *)
 
+val steal_pressure : ctx -> bool
+(** Hunger poll for lazy splitters: [true] when thieves appear to be
+    after this worker's work, so a running task holding a divisible
+    range should carve off a stealable half now rather than keep
+    iterating. Direct modes read the trip-wire / thief-activity state
+    the task stack already maintains (a sprung publish request, or
+    steal-attempt counters that moved since this worker's previous
+    poll — failed probes included, which is what lets an all-private
+    leaf notice hungry thieves at all). [Locked]/[Clev] have no trip
+    wire and report an emptied deque instead; the relaxed modes track
+    neither and conservatively report [true] whenever another worker
+    exists. Always [false] on a single-worker pool. Cheap (at most two
+    atomic loads); call it between chunks of leaf work, not per
+    element. Must be called from the worker's own task code. *)
+
 (* Introspection *)
 
 val self_id : ctx -> int

@@ -50,6 +50,7 @@ let spawn_idempotent = Pool.spawn_idempotent
 let join = Pool.join
 let call = Pool.call
 let cancel_token = Pool.cancel_token
+let steal_pressure = Pool.steal_pressure
 let self_id = Pool.self_id
 let num_workers = Pool.num_workers
 let policy = Pool.policy
@@ -69,6 +70,15 @@ let trace_per_worker = Pool.trace_per_worker
 let trace_dropped = Pool.trace_dropped
 let trace_clear = Pool.trace_clear
 
+(* A non-positive grain used to hang these combinators: with [grain <= 0]
+   a 1-element range never satisfies [hi - lo <= grain], and its split
+   point [mid = lo] does not shrink it, so the recursion never bottomed
+   out. Validated once at the entry wrapper; the inner recursion stays
+   unchecked on the hot path. *)
+let[@inline] check_grain fn grain =
+  if grain <= 0 then
+    invalid_arg (Printf.sprintf "Wool.%s: grain must be positive (got %d)" fn grain)
+
 (** [parallel_for ctx ~grain lo hi body] runs [body i] for [lo <= i < hi]
     as a balanced binary task tree with at most [grain] iterations per leaf
     (default 1). This is how Wool programs express parallel loops: the same
@@ -77,41 +87,45 @@ let trace_clear = Pool.trace_clear
     The combinators spawn via [spawn_idempotent] so they work on
     relaxed-mode pools too; there, a subtree (and so [body i]) may run
     more than once, which is harmless for the write-one-slot bodies the
-    combinators are built for. *)
-let rec parallel_for ctx ?(grain = 1) lo hi body =
-  if hi - lo <= grain then
-    for i = lo to hi - 1 do
-      body i
-    done
-  else begin
-    let mid = lo + ((hi - lo) / 2) in
-    let right =
-      spawn_idempotent ctx (fun ctx -> parallel_for ctx ~grain mid hi body)
-    in
-    parallel_for ctx ~grain lo mid body;
-    join ctx right
-  end
+    combinators are built for. Raises [Invalid_argument] on [grain <= 0]. *)
+let parallel_for ctx ?(grain = 1) lo hi body =
+  check_grain "parallel_for" grain;
+  let rec go ctx lo hi =
+    if hi - lo <= grain then
+      for i = lo to hi - 1 do
+        body i
+      done
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      let right = spawn_idempotent ctx (fun ctx -> go ctx mid hi) in
+      go ctx lo mid;
+      join ctx right
+    end
+  in
+  go ctx lo hi
 
 (** [parallel_reduce ctx ~grain lo hi ~neutral f combine] folds
     [combine (f lo) (combine (f (lo+1)) ...)] over a balanced task tree.
-    [combine] must be associative with [neutral] as identity. *)
-let rec parallel_reduce ctx ?(grain = 1) lo hi ~neutral f combine =
-  if hi - lo <= grain then begin
-    let acc = ref neutral in
-    for i = lo to hi - 1 do
-      acc := combine !acc (f i)
-    done;
-    !acc
-  end
-  else begin
-    let mid = lo + ((hi - lo) / 2) in
-    let right =
-      spawn_idempotent ctx (fun ctx ->
-          parallel_reduce ctx ~grain mid hi ~neutral f combine)
-    in
-    let left = parallel_reduce ctx ~grain lo mid ~neutral f combine in
-    combine left (join ctx right)
-  end
+    [combine] must be associative with [neutral] as identity. Raises
+    [Invalid_argument] on [grain <= 0]. *)
+let parallel_reduce ctx ?(grain = 1) lo hi ~neutral f combine =
+  check_grain "parallel_reduce" grain;
+  let rec go ctx lo hi =
+    if hi - lo <= grain then begin
+      let acc = ref neutral in
+      for i = lo to hi - 1 do
+        acc := combine !acc (f i)
+      done;
+      !acc
+    end
+    else begin
+      let mid = lo + ((hi - lo) / 2) in
+      let right = spawn_idempotent ctx (fun ctx -> go ctx mid hi) in
+      let left = go ctx lo mid in
+      combine left (join ctx right)
+    end
+  in
+  go ctx lo hi
 
 (** [both ctx f g] evaluates [f] and [g] as parallel tasks and returns both
     results — the binary fork-join primitive. *)
@@ -121,6 +135,17 @@ let both ctx f g =
   let b = join ctx fg in
   (a, b)
 
+(* Element 0 is special only because [Array.make] needs a value before
+   the loop can run. It used to be computed inline while seeding the
+   output array, which let it escape the task tree entirely: no ambient
+   cancel check, no fault injection, leaf trace counts off by one, and an
+   exception from [f xs.(0)] bypassed the scheduler's unwind path.
+   Spawning it as an ordinary task and joining immediately makes it
+   uniform with every other leaf — the spawn performs the cancel check,
+   the body runs under run-task accounting, and a raise unwinds like any
+   task failure. The combinators therefore spawn exactly
+   [1 + (internal splits of [1, n) at the given grain)] tasks. *)
+
 (** [parallel_map ctx ~grain f xs] maps [f] over an array as a balanced
     task tree ([grain] elements per leaf, default 1). [f] may run on any
     worker; results land in a fresh array in order. *)
@@ -128,8 +153,8 @@ let parallel_map ctx ?grain f xs =
   let n = Array.length xs in
   if n = 0 then [||]
   else begin
-    let out = Array.make n (f xs.(0)) in
-    (* index 0 already computed while seeding the output array *)
+    let first = spawn_idempotent ctx (fun _ctx -> f xs.(0)) in
+    let out = Array.make n (join ctx first) in
     parallel_for ctx ?grain 1 n (fun i -> out.(i) <- f xs.(i));
     out
   end
@@ -140,7 +165,8 @@ let parallel_init ctx ?grain n f =
   if n < 0 then invalid_arg "Wool.parallel_init: negative length";
   if n = 0 then [||]
   else begin
-    let out = Array.make n (f 0) in
+    let first = spawn_idempotent ctx (fun _ctx -> f 0) in
+    let out = Array.make n (join ctx first) in
     parallel_for ctx ?grain 1 n (fun i -> out.(i) <- f i);
     out
   end

@@ -122,6 +122,14 @@ val cancel_token : ctx -> Cancel.t option
 (** The ambient cancel token of the submission this worker is running,
     if any; see {!Pool.cancel_token}. *)
 
+val steal_pressure : ctx -> bool
+(** Hunger poll for lazy splitters ({!Wool_ropes} and friends): [true]
+    when thieves appear to be after this worker's work, so a task
+    holding a divisible range should carve off a stealable half now.
+    Backed by the direct task stack's trip-wire and thief-activity
+    state; queued and relaxed modes answer with conservative proxies.
+    See {!Pool.steal_pressure}. *)
+
 val self_id : ctx -> int
 val num_workers : pool -> int
 
@@ -156,24 +164,49 @@ val trace_per_worker : pool -> Wool_trace.Event.t array array
 val trace_dropped : pool -> int
 val trace_clear : pool -> unit
 
+(** {2 Divide-and-conquer combinators}
+
+    {b Purity contract.} Every combinator below spawns via
+    {!spawn_idempotent}, so it is accepted on {e every} pool mode —
+    including the relaxed ([Ws_mult]/[Lowsync], at-least-once) modes,
+    where a spawned subtree, and therefore the user-supplied body
+    ([body i] / [f i] / [f xs.(i)]), {b may execute more than once},
+    possibly concurrently with its duplicate. The bodies these
+    combinators are built for — pure functions, or writers of exactly
+    one slot each computes deterministically — are unaffected: the
+    duplicate recomputes the same value or rewrites the same slot.
+    Bodies with other side effects (shared accumulators, I/O, in-place
+    mutation of shared state) will observe the duplicates; on
+    exactly-once modes bodies run exactly once and no contract applies.
+    The future/result plumbing itself dedupes, so each combinator still
+    {e returns} exactly once with one result. *)
+
 val parallel_for : ctx -> ?grain:int -> int -> int -> (int -> unit) -> unit
 (** [parallel_for ctx ~grain lo hi body] runs [body i] for [lo <= i < hi]
     as a balanced binary task tree with at most [grain] iterations per
     leaf (default 1) — the spawn/call/join pattern of Figure 2 applied to
-    index ranges. *)
+    index ranges. Raises [Invalid_argument] if [grain <= 0]. Body purity:
+    see the contract above. *)
 
 val parallel_reduce :
   ctx -> ?grain:int -> int -> int -> neutral:'a -> (int -> 'a) ->
   ('a -> 'a -> 'a) -> 'a
 (** Tree-shaped fold of [f lo ... f (hi-1)] under an associative [combine]
-    with identity [neutral]. *)
+    with identity [neutral]. Raises [Invalid_argument] if [grain <= 0].
+    Body purity: see the contract above. *)
 
 val both : ctx -> (ctx -> 'a) -> (ctx -> 'b) -> 'a * 'b
-(** Evaluate two computations as parallel tasks. *)
+(** Evaluate two computations as parallel tasks. Body purity: see the
+    contract above ([g] is spawned and may run twice on relaxed pools). *)
 
 val parallel_map : ctx -> ?grain:int -> ('a -> 'b) -> 'a array -> 'b array
-(** Map over an array as a balanced task tree; results in order. *)
+(** Map over an array as a balanced task tree; results in order. Every
+    element — including element 0, which seeds the output array — runs
+    as a task inside the tree, so all of them see cancel checks, fault
+    injection, trace accounting, and the scheduler unwind path
+    uniformly. Body purity: see the contract above. *)
 
 val parallel_init : ctx -> ?grain:int -> int -> (int -> 'a) -> 'a array
-(** [Array.init] with task-tree initialisers. Raises [Invalid_argument]
-    on negative length. *)
+(** [Array.init] with task-tree initialisers; the element-0 and purity
+    notes of {!parallel_map} apply. Raises [Invalid_argument] on
+    negative length. *)

@@ -24,10 +24,25 @@ let serial a b =
   done;
   c
 
-let wool ctx a b =
+(* The hand-rolled spawn tree (eager, grain 1), kept as the A/B baseline
+   for the rope path below. *)
+let wool_handrolled ctx a b =
   let n = Array.length a in
   let c = Array.make_matrix n n 0.0 in
   Wool.parallel_for ctx ~grain:1 0 n (fun i -> mult_row ~a ~b ~c i);
+  c
+
+(* The data-parallel path: one rope [for_each] over the row indices.
+   Rows are coarse (~n² multiply-adds each), so the lazy splitter polls
+   for steal pressure after every row (chunk 1). Each row task writes
+   only its own row of [c] — idempotent, legal in every mode. *)
+let wool ctx a b =
+  let n = Array.length a in
+  let c = Array.make_matrix n n 0.0 in
+  Wool_ropes.for_each ctx
+    ~split:(Wool_ropes.Lazy_split 1)
+    (fun _ i -> mult_row ~a ~b ~c i)
+    (Wool_ropes.of_array (Array.init n Fun.id));
   c
 
 let equal ?(eps = 1e-9) x y =

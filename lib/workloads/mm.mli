@@ -9,7 +9,12 @@ val serial : matrix -> matrix -> matrix
 (** Triple-loop [C = A * B]. *)
 
 val wool : Wool.ctx -> matrix -> matrix -> matrix
-(** Outer loop over rows as a balanced task tree (grain 1). *)
+(** Outer loop over rows as a lazily split rope ({!Wool_ropes.for_each},
+    chunk 1: poll steal pressure after every row). *)
+
+val wool_handrolled : Wool.ctx -> matrix -> matrix -> matrix
+(** The pre-rope spawn tree ([Wool.parallel_for], grain 1), kept for A/B
+    comparison against {!wool}. *)
 
 val equal : ?eps:float -> matrix -> matrix -> bool
 

@@ -44,7 +44,10 @@ let serial input =
   msort a tmp 0 (Array.length a);
   a
 
-let wool ctx ?(cutoff = 64) input =
+(* The hand-rolled in-place spawn tree, kept as the A/B baseline for the
+   rope path below. In-place merges make duplicate execution unsafe, so
+   this version spawns with the exactly-once [Wool.spawn]. *)
+let wool_handrolled ctx ?(cutoff = 64) input =
   let a = Array.copy input in
   let tmp = Array.make (Array.length a) 0 in
   let rec go ctx lo hi =
@@ -61,6 +64,62 @@ let wool ctx ?(cutoff = 64) input =
   in
   Wool.call ctx (fun ctx -> go ctx 0 (Array.length a));
   a
+
+(* Merge two sorted runs into a fresh array (pure — safe to duplicate). *)
+let merge_runs x y =
+  let nx = Array.length x and ny = Array.length y in
+  let out = Array.make (nx + ny) 0 in
+  let i = ref 0 and j = ref 0 in
+  for k = 0 to nx + ny - 1 do
+    if !i < nx && (!j >= ny || x.(!i) <= y.(!j)) then begin
+      out.(k) <- x.(!i);
+      incr i
+    end
+    else begin
+      out.(k) <- y.(!j);
+      incr j
+    end
+  done;
+  out
+
+(* The data-parallel path: sort fixed blocks in parallel (each block into
+   a fresh array) via a rope [build], then merge the sorted runs pairwise
+   in parallel rounds. Every task allocates its own output, so — unlike
+   the in-place hand-rolled version — this phrasing is idempotent and
+   legal on the relaxed at-least-once pools. *)
+let wool ctx ?(block = 2048) input =
+  let n = Array.length input in
+  if n = 0 then [||]
+  else begin
+    let nblocks = (n + block - 1) / block in
+    let sort_block k =
+      let lo = k * block in
+      let len = min block (n - lo) in
+      let a = Array.sub input lo len in
+      let tmp = Array.make len 0 in
+      msort a tmp 0 len;
+      a
+    in
+    let runs =
+      ref
+        (Wool_ropes.to_array
+           (Wool_ropes.build ctx ~split:(Wool_ropes.Lazy_split 1) nblocks
+              sort_block))
+    in
+    while Array.length !runs > 1 do
+      let rs = !runs in
+      let m = Array.length rs in
+      let pairs = m / 2 in
+      runs :=
+        Wool_ropes.to_array
+          (Wool_ropes.build ctx ~split:(Wool_ropes.Lazy_split 1)
+             (pairs + (m mod 2))
+             (fun k ->
+               if k < pairs then merge_runs rs.(2 * k) rs.((2 * k) + 1)
+               else rs.(m - 1)))
+    done;
+    !runs.(0)
+  end
 
 let is_sorted a =
   let ok = ref true in

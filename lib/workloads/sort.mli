@@ -10,9 +10,16 @@
 val serial : int array -> int array
 (** Stable mergesort; the input is not modified. *)
 
-val wool : Wool.ctx -> ?cutoff:int -> int array -> int array
-(** Parallel version: recursions above [cutoff] elements (default 64)
-    spawn. *)
+val wool : Wool.ctx -> ?block:int -> int array -> int array
+(** Data-parallel version: [block]-element runs (default 2048) sorted in
+    parallel via a rope build, then merged pairwise in parallel rounds.
+    Every task writes a fresh array, so this phrasing is idempotent and
+    runs on the relaxed at-least-once pools. *)
+
+val wool_handrolled : Wool.ctx -> ?cutoff:int -> int array -> int array
+(** The in-place spawn tree (recursions above [cutoff] elements, default
+    64, spawn; serial in-place merges). Exactly-once pools only; kept
+    for A/B comparison against {!wool}. *)
 
 val is_sorted : int array -> bool
 

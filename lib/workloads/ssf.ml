@@ -43,11 +43,24 @@ let best_for s i =
 
 let serial s = Array.init (String.length s) (fun i -> best_for s i)
 
-let wool ctx s =
+(* The hand-rolled spawn tree (eager, grain 1), kept as the A/B baseline
+   for the rope path below. *)
+let wool_handrolled ctx s =
   let n = String.length s in
   let out = Array.make n (0, 0) in
   Wool.parallel_for ctx ~grain:1 0 n (fun i -> out.(i) <- best_for s i);
   out
+
+(* The data-parallel path: rope [map] over the positions. Per-position
+   work is heavy and irregular (that is the point of ssf), so the lazy
+   splitter polls after every position (chunk 1). *)
+let wool ctx s =
+  let n = String.length s in
+  Wool_ropes.to_array
+    (Wool_ropes.map ctx
+       ~split:(Wool_ropes.Lazy_split 1)
+       (fun i -> best_for s i)
+       (Wool_ropes.of_array (Array.init n Fun.id)))
 
 let position_comparisons s =
   let n = String.length s in

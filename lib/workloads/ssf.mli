@@ -16,7 +16,12 @@ val serial : string -> (int * int) array
     wins, scanning left to right). *)
 
 val wool : Wool.ctx -> string -> (int * int) array
-(** Positions parallelised as a balanced task tree. *)
+(** Positions parallelised as a lazily split rope map
+    ({!Wool_ropes.map}, chunk 1). *)
+
+val wool_handrolled : Wool.ctx -> string -> (int * int) array
+(** The pre-rope spawn tree ([Wool.parallel_for], grain 1), kept for A/B
+    comparison against {!wool}. *)
 
 val position_comparisons : string -> int array
 (** Character comparisons the serial algorithm performs per position — the

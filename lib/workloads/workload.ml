@@ -41,6 +41,14 @@ let cholesky ?(reps = 4) ?(seed = 7) ~n ~nz () =
 let sort ?(reps = 8) n =
   v ~name:"sort" ~params:(string_of_int n) ~reps (Sort.tree n)
 
+let wordcount ?(reps = 8) n =
+  v ~name:"wordcount" ~params:(string_of_int n) ~reps
+    ~loop_leaves:(Wordcount.loop_leaves n) (Wordcount.tree n)
+
+let histogram ?(reps = 8) n =
+  v ~name:"histogram" ~params:(string_of_int n) ~reps
+    ~loop_leaves:(Histogram.loop_leaves n) (Histogram.tree n)
+
 let spawn_loop ?(reps = 1) ~n ~leaf_work () =
   v ~name:"spawn_loop"
     ~params:(Printf.sprintf "%d,%d" n leaf_work)

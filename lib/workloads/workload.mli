@@ -38,6 +38,15 @@ val sort : ?reps:int -> int -> t
 (** Parallel mergesort of [n] random elements (extra workload; not in the
     paper's grid). *)
 
+val wordcount : ?reps:int -> int -> t
+(** Word count over [n] characters: a flat data-parallel reduction in
+    512-character chunks (rope workload; not in the paper's grid). *)
+
+val histogram : ?reps:int -> int -> t
+(** Byte histogram over [n] elements in 1024-element blocks with a
+    combine charge at the merges (rope workload; not in the paper's
+    grid). *)
+
 val spawn_loop : ?reps:int -> n:int -> leaf_work:int -> unit -> t
 (** The section-I spawn loop: [for (...) spawn foo; ...; sync] — [n] tasks
     spawned flat before any join. A steal-child pool holds all [n]

@@ -180,8 +180,12 @@ let test_sort_wool_small_cutoff () =
   let rng = Wool_util.Rng.make 9 in
   let input = Array.init 500 (fun _ -> Wool_util.Rng.int rng 50) in
   Test_util.with_pool ~workers:2 (fun pool ->
-      let got = Wool.run pool (fun ctx -> Sort.wool ctx ~cutoff:8 input) in
-      Alcotest.(check bool) "sorted with tiny cutoff" true (Sort.is_sorted got))
+      let got =
+        Wool.run pool (fun ctx -> Sort.wool_handrolled ctx ~cutoff:8 input)
+      in
+      Alcotest.(check bool) "sorted with tiny cutoff" true (Sort.is_sorted got);
+      let got = Wool.run pool (fun ctx -> Sort.wool ctx ~block:32 input) in
+      Alcotest.(check bool) "sorted with tiny block" true (Sort.is_sorted got))
 
 let test_sort_duplicates_and_negatives () =
   let input = [| 3; -1; 3; 0; -5; 3; 0 |] in

@@ -9,5 +9,6 @@ let () =
    @ Test_pool.suite @ Test_submit.suite @ Test_lifecycle.suite @ Test_fault.suite @ Test_policy.suite @ Test_cactus.suite @ Test_task_tree.suite @ Test_metrics.suite @ Test_model.suite
    @ Test_sim_deque.suite @ Test_engine.suite @ Test_loop_sim.suite
    @ Test_trace.suite @ Test_real_trace.suite
+   @ Test_ropes.suite
    @ Test_workloads.suite @ Test_extra_workloads.suite @ Test_cholesky.suite
    @ Test_report.suite @ Test_bench.suite @ Test_check.suite)
