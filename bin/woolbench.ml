@@ -93,13 +93,12 @@ let trace_cmd =
 let policy_cmd =
   let workload_arg =
     let doc =
-      Printf.sprintf "Workload to sweep: %s."
+      Printf.sprintf
+        "Workload to sweep: %s. Not needed with --grid (which runs its own \
+         simulated stress workload)."
         (String.concat " | " Wool_report.Trace_summary.workloads)
     in
-    Arg.(
-      required
-      & pos 0 (some string) None
-      & info [] ~docv:"WORKLOAD" ~doc)
+    Arg.(value & pos 0 (some string) None & info [] ~docv:"WORKLOAD" ~doc)
   in
   let workers_arg =
     let doc = "Number of worker domains." in
@@ -112,20 +111,85 @@ let policy_cmd =
     in
     Arg.(value & flag & info [ "quick" ] ~doc)
   in
-  let run workers quick workload =
+  let grid_arg =
+    let doc =
+      "Run the locality policy grid instead of a workload sweep: simulate \
+       flat vs hierarchical stealing at 16/32/64 virtual cores on a \
+       4-socket topology, print the crossover, and run one real-pool \
+       hierarchical check."
+    in
+    Arg.(value & flag & info [ "grid" ] ~doc)
+  in
+  let out_arg =
+    let doc = "With --grid: also write the grid as a JSON snapshot." in
+    Arg.(value & opt (some string) None & info [ "o"; "out" ] ~docv:"FILE" ~doc)
+  in
+  let compare_arg =
+    let doc =
+      "With --grid: diff the freshly computed grid against a committed \
+       snapshot (e.g. POLICY_GRID.json); any cell drift is an error."
+    in
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "compare" ] ~docv:"BASELINE.json" ~doc)
+  in
+  let run workers quick grid out compare workload =
     if workers < 1 then `Error (false, "--workers must be at least 1")
-    else
-      match Wool_report.Policy_sweep.run ~workers ~quick workload with
-      | (_ : Wool_report.Policy_sweep.row list) -> `Ok ()
+    else if grid then begin
+      let module G = Wool_report.Policy_grid in
+      match
+        let g = G.compute () in
+        G.print g;
+        (match out with
+        | Some path ->
+            G.write_file path g;
+            Printf.printf "wrote %s\n" path
+        | None -> ());
+        (match compare with
+        | None -> Ok ()
+        | Some path -> (
+            match G.read_file path with
+            | Error msg -> Error msg
+            | Ok baseline -> (
+                match G.compare_grids ~baseline ~fresh:g with
+                | [] ->
+                    Printf.printf "grid matches %s (%d cells)\n" path
+                      (List.length g.G.cells);
+                    Ok ()
+                | issues ->
+                    List.iter (Printf.printf "MISMATCH %s\n") issues;
+                    Error
+                      (Printf.sprintf "%d grid mismatch(es) against %s"
+                         (List.length issues) path))))
+      with
+      | Ok () -> (
+          match G.real_check ~workers () with
+          | () -> `Ok ()
+          | exception Failure msg -> `Error (false, msg))
+      | Error msg -> `Error (false, msg)
       | exception Failure msg -> `Error (false, msg)
+      | exception Sys_error msg -> `Error (false, msg)
+    end
+    else
+      match workload with
+      | None ->
+          `Error (false, "a WORKLOAD argument is required without --grid")
+      | Some workload -> (
+          match Wool_report.Policy_sweep.run ~workers ~quick workload with
+          | (_ : Wool_report.Policy_sweep.row list) -> `Ok ()
+          | exception Failure msg -> `Error (false, msg))
   in
   let doc =
     "benchmark the steal policies (victim selection x idle backoff) on a \
-     workload"
+     workload, or run the simulated locality grid (--grid)"
   in
   Cmd.v
     (Cmd.info "policy" ~doc)
-    Term.(ret (const run $ workers_arg $ quick_arg $ workload_arg))
+    Term.(
+      ret
+        (const run $ workers_arg $ quick_arg $ grid_arg $ out_arg $ compare_arg
+       $ workload_arg))
 
 let faults_cmd =
   let workers_arg =

@@ -1,5 +1,258 @@
 module Rng = Wool_util.Rng
 
+module Topology = struct
+  (* Three-level machine tree: worker -> core -> socket -> machine.
+     Distances: 0 self, 1 same core (SMT sibling), 2 same socket,
+     3 cross-socket. *)
+
+  let levels = 3
+
+  type t = {
+    n : int;
+    core : int array;  (* worker id -> global core id *)
+    socket : int array;  (* worker id -> socket id *)
+    spec : int array array;  (* spec.(s).(c) = SMT width of that core *)
+  }
+
+  let of_spec spec =
+    if Array.length spec = 0 then invalid_arg "Topology.of_spec: no sockets";
+    Array.iter
+      (fun cores ->
+        if Array.length cores = 0 then
+          invalid_arg "Topology.of_spec: empty socket";
+        Array.iter
+          (fun w ->
+            if w <= 0 then
+              invalid_arg "Topology.of_spec: core width must be positive")
+          cores)
+      spec;
+    let n =
+      Array.fold_left
+        (fun acc cores -> Array.fold_left ( + ) acc cores)
+        0 spec
+    in
+    let core = Array.make n 0 in
+    let socket = Array.make n 0 in
+    let wid = ref 0 in
+    let cid = ref 0 in
+    Array.iteri
+      (fun s cores ->
+        Array.iter
+          (fun width ->
+            for _ = 1 to width do
+              core.(!wid) <- !cid;
+              socket.(!wid) <- s;
+              incr wid
+            done;
+            incr cid)
+          cores)
+      spec;
+    { n; core; socket; spec = Array.map Array.copy spec }
+
+  (* Contiguous blocks with the mapping the simulator always used for
+     its [~sockets] parameter: worker [wid] lands on socket
+     [wid * sockets / workers]. Keeping the same formula keeps every
+     existing multi-socket simulation bit-for-bit stable. *)
+  let make ?(sockets = 1) ?(smt = 1) ~workers () =
+    if workers <= 0 then invalid_arg "Topology.make: workers must be positive";
+    if sockets <= 0 then invalid_arg "Topology.make: sockets must be positive";
+    if smt <= 0 then invalid_arg "Topology.make: smt must be positive";
+    let sockets = min sockets workers in
+    let sizes = Array.make sockets 0 in
+    for wid = 0 to workers - 1 do
+      let s = wid * sockets / workers in
+      sizes.(s) <- sizes.(s) + 1
+    done;
+    let spec =
+      Array.map
+        (fun size ->
+          let cores = (size + smt - 1) / smt in
+          Array.init cores (fun c -> min smt (size - (c * smt))))
+        sizes
+    in
+    of_spec spec
+
+  let workers t = t.n
+  let sockets t = Array.length t.spec
+  let cores t = Array.fold_left (fun a s -> a + Array.length s) 0 t.spec
+  let socket_of t wid = t.socket.(wid)
+  let core_of t wid = t.core.(wid)
+
+  let distance t a b =
+    if a = b then 0
+    else if t.socket.(a) <> t.socket.(b) then 3
+    else if t.core.(a) = t.core.(b) then 1
+    else 2
+
+  (* Workers within [level] hops of [wid] (excluding [wid] itself), in
+     ascending id order so an index draw is reproducible. *)
+  let peers t wid ~level =
+    let out = ref [] in
+    for v = t.n - 1 downto 0 do
+      let d = distance t wid v in
+      if d >= 1 && d <= level then out := v :: !out
+    done;
+    Array.of_list !out
+
+  let socket_name cores =
+    let c = Array.length cores in
+    let w0 = cores.(0) in
+    let uniform = Array.for_all (fun w -> w = w0) cores in
+    if uniform && w0 = 1 then string_of_int c
+    else if uniform then Printf.sprintf "%dx%d" c w0
+    else
+      String.concat "." (Array.to_list (Array.map string_of_int cores))
+
+  let name t =
+    String.concat "+" (Array.to_list (Array.map socket_name t.spec))
+
+  let of_name s =
+    let pos_int x =
+      match int_of_string_opt x with Some v when v > 0 -> Some v | _ -> None
+    in
+    let parse_socket part =
+      match String.split_on_char 'x' part with
+      | [ c; w ] -> (
+          match (pos_int c, pos_int w) with
+          | Some c, Some w -> Some (Array.make c w)
+          | _ -> None)
+      | [ one ] -> (
+          match String.split_on_char '.' one with
+          | [ c ] -> (
+              match pos_int c with
+              | Some c -> Some (Array.make c 1)
+              | None -> None)
+          | widths -> (
+              let ws = List.map pos_int widths in
+              if List.for_all Option.is_some ws then
+                Some (Array.of_list (List.map Option.get ws))
+              else None))
+      | _ -> None
+    in
+    if s = "" then None
+    else
+      let parts = String.split_on_char '+' s in
+      let sockets = List.map parse_socket parts in
+      if List.for_all Option.is_some sockets then
+        Some (of_spec (Array.of_list (List.map Option.get sockets)))
+      else None
+
+  let pp fmt t = Format.pp_print_string fmt (name t)
+end
+
+module Hier = struct
+  type spec = Auto of { sockets : int; smt : int } | Fixed of Topology.t
+
+  type t = { spec : spec; probes : int array; escalate_pct : int array }
+
+  let default_probes = [| 2; 8 |]
+  let default_escalate_pct = [| 15; 8 |]
+
+  let make ?(probes = default_probes) ?(escalate_pct = default_escalate_pct)
+      spec =
+    if Array.length probes <> Topology.levels - 1 then
+      invalid_arg "Hier.make: probes must have one entry per inner level";
+    Array.iter
+      (fun p ->
+        if p <= 0 then invalid_arg "Hier.make: probe budgets must be positive")
+      probes;
+    if Array.length escalate_pct <> Topology.levels - 1 then
+      invalid_arg "Hier.make: escalate_pct must have one entry per inner level";
+    Array.iter
+      (fun p ->
+        if p < 0 || p > 100 then
+          invalid_arg "Hier.make: escalate_pct entries must be in [0,100]")
+      escalate_pct;
+    (match spec with
+    | Auto { sockets; smt } ->
+        if sockets <= 0 then invalid_arg "Hier.make: sockets must be positive";
+        if smt <= 0 then invalid_arg "Hier.make: smt must be positive"
+    | Fixed _ -> ());
+    { spec; probes = Array.copy probes; escalate_pct = Array.copy escalate_pct }
+
+  let auto ?probes ?escalate_pct ?(smt = 1) ~sockets () =
+    make ?probes ?escalate_pct (Auto { sockets; smt })
+
+  let fixed ?probes ?escalate_pct topo = make ?probes ?escalate_pct (Fixed topo)
+  let default = auto ~sockets:2 ()
+
+  let topology t ~workers =
+    match t.spec with
+    | Fixed topo -> if Topology.workers topo = workers then Some topo else None
+    | Auto { sockets; smt } ->
+        if workers <= 0 then None
+        else Some (Topology.make ~sockets ~smt ~workers ())
+
+  let ints a =
+    String.concat "." (List.map string_of_int (Array.to_list a))
+
+  let name t =
+    let base =
+      match t.spec with
+      | Auto { sockets; smt = 1 } -> Printf.sprintf "hier%d" sockets
+      | Auto { sockets; smt } -> Printf.sprintf "hier%dx%d" sockets smt
+      | Fixed topo -> Printf.sprintf "hier(%s)" (Topology.name topo)
+    in
+    let knob tag arr def = if arr = def then "" else ":" ^ tag ^ ints arr in
+    base ^ knob "p" t.probes default_probes
+    ^ knob "e" t.escalate_pct default_escalate_pct
+
+  let of_name s =
+    let pos_int x =
+      match int_of_string_opt x with Some v when v > 0 -> Some v | _ -> None
+    in
+    if String.length s < 5 || String.sub s 0 4 <> "hier" then None
+    else
+      match String.split_on_char ':' (String.sub s 4 (String.length s - 4)) with
+      | [] -> None
+      | base :: knobs -> (
+          let spec =
+            if String.length base >= 2
+               && base.[0] = '('
+               && base.[String.length base - 1] = ')'
+            then
+              Option.map
+                (fun topo -> Fixed topo)
+                (Topology.of_name (String.sub base 1 (String.length base - 2)))
+            else
+              match String.split_on_char 'x' base with
+              | [ k ] ->
+                  Option.map
+                    (fun sockets -> Auto { sockets; smt = 1 })
+                    (pos_int k)
+              | [ k; t ] -> (
+                  match (pos_int k, pos_int t) with
+                  | Some sockets, Some smt -> Some (Auto { sockets; smt })
+                  | _ -> None)
+              | _ -> None
+          in
+          let parse_arr body =
+            let xs =
+              List.map int_of_string_opt (String.split_on_char '.' body)
+            in
+            if List.for_all Option.is_some xs then
+              Some (Array.of_list (List.map Option.get xs))
+            else None
+          in
+          let rec apply probes escalate = function
+            | [] -> Some (probes, escalate)
+            | k :: rest when String.length k >= 2 -> (
+                let body = String.sub k 1 (String.length k - 1) in
+                match (k.[0], parse_arr body) with
+                | 'p', Some arr -> apply (Some arr) escalate rest
+                | 'e', Some arr -> apply probes (Some arr) rest
+                | _ -> None)
+            | _ -> None
+          in
+          match (spec, apply None None knobs) with
+          | Some spec, Some (probes, escalate_pct) -> (
+              try Some (make ?probes ?escalate_pct spec)
+              with Invalid_argument _ -> None)
+          | _ -> None)
+
+  let pp fmt t = Format.pp_print_string fmt (name t)
+end
+
 module Selector = struct
   type t =
     | Random_victim
@@ -7,9 +260,12 @@ module Selector = struct
     | Last_victim
     | Leapfrog_biased
     | Socket_local
+    | Hierarchical of Hier.t
 
-  let all =
+  let flat =
     [ Random_victim; Round_robin; Last_victim; Leapfrog_biased; Socket_local ]
+
+  let all = flat @ [ Hierarchical Hier.default ]
 
   let name = function
     | Random_victim -> "random"
@@ -17,8 +273,12 @@ module Selector = struct
     | Last_victim -> "last-victim"
     | Leapfrog_biased -> "leapfrog-biased"
     | Socket_local -> "socket-local"
+    | Hierarchical h -> Hier.name h
 
-  let of_name s = List.find_opt (fun t -> name t = s) all
+  let of_name s =
+    if String.length s >= 4 && String.sub s 0 4 = "hier" then
+      Option.map (fun h -> Hierarchical h) (Hier.of_name s)
+    else List.find_opt (fun t -> name t = s) flat
 end
 
 module Backoff = struct
@@ -132,6 +392,15 @@ module Admission = struct
 end
 
 module Select = struct
+  type hier_state = {
+    hp : Hier.t;
+    mutable h_n : int;  (* worker count the caches were built for *)
+    mutable h_topo : Topology.t option;  (* None: fall back to random *)
+    mutable h_peers : int array array;  (* level-1 -> peers within level *)
+    mutable h_level : int;  (* current probe radius, 1..levels *)
+    mutable h_streak : int;  (* failures at the current radius *)
+  }
+
   type state = {
     selector : Selector.t;
     self : int;
@@ -139,9 +408,26 @@ module Select = struct
     mutable rr_next : int;
     mutable last_success : int;
     mutable last_thief : int;
+    mutable sl_n : int;  (* worker count [sl_peers] was built for *)
+    mutable sl_peers : int array;  (* same-socket peers, ascending *)
+    hier : hier_state option;
   }
 
   let make ?(socket_of = fun _ -> 0) selector ~self () =
+    let hier =
+      match selector with
+      | Selector.Hierarchical hp ->
+          Some
+            {
+              hp;
+              h_n = -1;
+              h_topo = None;
+              h_peers = [||];
+              h_level = 1;
+              h_streak = 0;
+            }
+      | _ -> None
+    in
     {
       selector;
       self;
@@ -149,6 +435,9 @@ module Select = struct
       rr_next = self + 1;
       last_success = -1;
       last_thief = -1;
+      sl_n = -1;
+      sl_peers = [||];
+      hier;
     }
 
   (* Uniform over the other n-1 workers; the draw-and-shift keeps the
@@ -158,6 +447,82 @@ module Select = struct
     else begin
       let k = Rng.int rng (n - 1) in
       Some (if k >= st.self then k + 1 else k)
+    end
+
+  let socket_peers st ~n =
+    if st.sl_n <> n then begin
+      let mine = st.socket_of st.self in
+      let local = ref [] in
+      for v = n - 1 downto 0 do
+        if v <> st.self && st.socket_of v = mine then local := v :: !local
+      done;
+      st.sl_peers <- Array.of_list !local;
+      st.sl_n <- n
+    end;
+    st.sl_peers
+
+  let hier_sync hs ~self ~n =
+    if hs.h_n <> n then begin
+      let topo = Hier.topology hs.hp ~workers:n in
+      hs.h_topo <- topo;
+      hs.h_peers <-
+        (match topo with
+        | None -> [||]
+        | Some t ->
+            Array.init Topology.levels (fun i ->
+                Topology.peers t self ~level:(i + 1)));
+      hs.h_n <- n;
+      hs.h_level <- 1;
+      hs.h_streak <- 0
+    end
+
+  (* Skip inward levels with no peers (e.g. no SMT sibling). *)
+  let hier_clamp hs lvl =
+    let lvl = ref lvl in
+    while
+      !lvl < Topology.levels && Array.length hs.h_peers.(!lvl - 1) = 0
+    do
+      incr lvl
+    done;
+    !lvl
+
+  let hier_next st hs ~rng ~n =
+    if n <= 1 then None
+    else begin
+      hier_sync hs ~self:st.self ~n;
+      match hs.h_topo with
+      | None ->
+          (* a Fixed topology sized for a different pool: flat random *)
+          random st ~rng ~n
+      | Some _ ->
+          (* Steal-back: a victim whose task went to a remote thief
+             re-steals from that thief first, whatever the radius. *)
+          if st.last_thief >= 0 && st.last_thief < n
+             && st.last_thief <> st.self
+          then Some st.last_thief
+          else begin
+            (* Persist the clamp (e.g. past an empty core ring when there
+               is no SMT sibling) so failure budgets count against the
+               ring actually being probed. *)
+            let lvl = hier_clamp hs hs.h_level in
+            hs.h_level <- lvl;
+            (* Probabilistic escalation: sometimes probe one ring out so
+               remote victims are never starved even on all-local runs. *)
+            let lvl =
+              if lvl < Topology.levels then begin
+                let pct = hs.hp.Hier.escalate_pct.(lvl - 1) in
+                if pct > 0 && Rng.int rng 100 < pct then
+                  hier_clamp hs (lvl + 1)
+                else lvl
+              end
+              else lvl
+            in
+            let cands = hs.h_peers.(lvl - 1) in
+            match Array.length cands with
+            | 0 -> None
+            | 1 -> Some cands.(0)
+            | m -> Some cands.(Rng.int rng m)
+          end
     end
 
   let next st ~rng ~n =
@@ -182,25 +547,51 @@ module Select = struct
         else random st ~rng ~n
     | Selector.Socket_local ->
         if n <= 1 then None
-        else if Rng.int rng 4 = 3 then random st ~rng ~n
         else begin
-          let mine = st.socket_of st.self in
-          let local = ref [] in
-          for v = n - 1 downto 0 do
-            if v <> st.self && st.socket_of v = mine then local := v :: !local
-          done;
-          match !local with
-          | [] -> random st ~rng ~n
-          | l -> Some (List.nth l (Rng.int rng (List.length l)))
+          let local = socket_peers st ~n in
+          (* A trivial map (everyone on our socket, or nobody else on
+             it) carries no locality signal: degrade to one uniform
+             draw instead of gating plus a scan per probe. *)
+          if Array.length local = 0 || Array.length local = n - 1 then
+            random st ~rng ~n
+          else if Rng.int rng 4 = 3 then random st ~rng ~n
+          else Some local.(Rng.int rng (Array.length local))
         end
+    | Selector.Hierarchical _ -> (
+        match st.hier with
+        | Some hs -> hier_next st hs ~rng ~n
+        | None -> random st ~rng ~n)
 
-  let on_success st ~victim = st.last_success <- victim
+  let on_success st ~victim =
+    st.last_success <- victim;
+    match st.hier with
+    | None -> ()
+    | Some hs ->
+        hs.h_level <- (if hs.h_topo <> None then hier_clamp hs 1 else 1);
+        hs.h_streak <- 0
 
   let on_failure st =
     st.last_success <- -1;
-    st.last_thief <- -1
+    st.last_thief <- -1;
+    match st.hier with
+    | None -> ()
+    | Some hs ->
+        if hs.h_topo <> None then begin
+          hs.h_streak <- hs.h_streak + 1;
+          if hs.h_level < Topology.levels
+             && hs.h_streak >= hs.hp.Hier.probes.(hs.h_level - 1)
+          then begin
+            hs.h_level <- hs.h_level + 1;
+            hs.h_streak <- 0
+          end
+        end
 
   let stolen_by st ~thief = if thief >= 0 then st.last_thief <- thief
+
+  let hier_level st =
+    match st.hier with
+    | Some hs when hs.h_n >= 0 && hs.h_topo <> None -> Some hs.h_level
+    | Some _ | None -> None
 end
 
 type t = { selector : Selector.t; backoff : Backoff.t }

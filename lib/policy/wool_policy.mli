@@ -10,9 +10,116 @@
     be compared under it.
 
     The library provides the pure policy vocabulary ({!Selector.t},
-    {!Backoff.t}, {!t}) and the small per-worker state machines
+    {!Backoff.t}, {!t}), the machine shape it can exploit
+    ({!Topology.t}, {!Hier.t}), and the small per-worker state machines
     ({!Select}, {!Backoff.state}) both schedulers run, so victim choice
     cannot drift between measured and simulated runs. *)
+
+(** Three-level machine tree: worker → core → socket → machine.
+
+    Steal cost is non-uniform on real machines — an SMT sibling shares
+    cache lines, a socket peer shares the LLC, a cross-socket victim
+    costs an interconnect round trip. The topology gives the
+    {!Selector.Hierarchical} selector (and the simulator's cost model)
+    that structure. Distances are 0 (self), 1 (same core), 2 (same
+    socket), 3 (cross-socket). *)
+module Topology : sig
+  type t
+
+  val levels : int
+  (** [3]: core, socket, machine. *)
+
+  val make : ?sockets:int -> ?smt:int -> workers:int -> unit -> t
+  (** Uniform machine: [workers] hardware threads spread over [sockets]
+      contiguous blocks (worker [w] on socket [w * sockets / workers] —
+      the exact mapping the simulator's [~sockets] parameter always
+      used), each socket filled with cores of [smt] threads. Defaults:
+      one socket, no SMT. Raises [Invalid_argument] on non-positive
+      arguments; [sockets] is clamped to [workers]. *)
+
+  val of_spec : int array array -> t
+  (** Explicit, possibly ragged shape: [spec.(s).(c)] is the SMT width
+      of core [c] on socket [s]; worker ids are assigned in order.
+      Raises [Invalid_argument] on empty sockets or non-positive
+      widths. *)
+
+  val workers : t -> int
+  val sockets : t -> int
+  val cores : t -> int
+  val socket_of : t -> int -> int
+  val core_of : t -> int -> int
+
+  val distance : t -> int -> int -> int
+  (** [distance t a b]: 0 iff [a = b], else 1 same core, 2 same socket,
+      3 cross-socket. Symmetric. *)
+
+  val peers : t -> int -> level:int -> int array
+  (** Workers within [level] hops of the given worker, excluding
+      itself, ascending. [peers t w ~level:3] is every other worker. *)
+
+  val name : t -> string
+  (** Sockets joined by [+]; each socket is ["<cores>"] (all single
+      threads, e.g. ["4+4"]), ["<c>x<k>"] (uniform SMT [k]), or
+      dot-joined widths for ragged sockets (["2.1.1"]). *)
+
+  val of_name : string -> t option
+  (** Inverse of {!name} (accepts any shape the grammar can spell). *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Parameters of the {!Selector.Hierarchical} selector: which topology
+    to probe over and how eagerly to widen the probe radius. *)
+module Hier : sig
+  (** [Auto] builds a uniform {!Topology.t} from the worker count the
+      scheduler reports at the first probe, so one policy value works
+      for any pool size; [Fixed] pins an explicit shape (a pool whose
+      size disagrees falls back to uniform random). *)
+  type spec = Auto of { sockets : int; smt : int } | Fixed of Topology.t
+
+  type t = private {
+    spec : spec;
+    probes : int array;
+        (** failed probes tolerated at each inner radius (core, socket)
+            before widening to the next *)
+    escalate_pct : int array;
+        (** percent chance a probe at an inner radius jumps one ring
+            out anyway — keeps remote victims from starving *)
+  }
+
+  val default_probes : int array
+  (** [[|2; 8|]]. *)
+
+  val default_escalate_pct : int array
+  (** [[|15; 8|]]. *)
+
+  val make : ?probes:int array -> ?escalate_pct:int array -> spec -> t
+  (** Raises [Invalid_argument] unless both arrays have
+      [Topology.levels - 1] entries, probes positive, percentages in
+      [0,100], and an [Auto] spec positive. *)
+
+  val auto :
+    ?probes:int array -> ?escalate_pct:int array -> ?smt:int ->
+    sockets:int -> unit -> t
+
+  val fixed : ?probes:int array -> ?escalate_pct:int array -> Topology.t -> t
+
+  val default : t
+  (** [auto ~sockets:2 ()]. *)
+
+  val topology : t -> workers:int -> Topology.t option
+  (** The concrete topology this policy probes over for a pool of
+      [workers] ([None] iff a [Fixed] shape disagrees with the pool
+      size, or [workers <= 0]). *)
+
+  val name : t -> string
+  (** ["hier<k>"] ([Auto], [k] sockets), ["hier<k>x<t>"] (SMT [t]),
+      ["hier(<topology>)"] ([Fixed]); non-default knobs append
+      [":p<a>.<b>"] and [":e<a>.<b>"]. *)
+
+  val of_name : string -> t option
+  val pp : Format.formatter -> t -> unit
+end
 
 module Selector : sig
   type t =
@@ -25,10 +132,18 @@ module Selector : sig
             back to uniform random *)
     | Socket_local
         (** prefer victims on our own socket 3 probes out of 4; needs a
-            socket topology ([socket_of]) to be meaningful *)
+            socket topology ([socket_of]) to be meaningful — under a
+            trivial map it degrades to uniform random *)
+    | Hierarchical of Hier.t
+        (** near-first probing over a {!Topology.t}: start at the
+            innermost non-empty ring, widen after a per-level budget of
+            failed probes (with a per-level chance of jumping out
+            early), snap back inward on success, and steal back from
+            the recorded thief of our own tasks first *)
 
   val all : t list
-  (** Every selector, in declaration order. *)
+  (** Every selector, in declaration order ({!Hierarchical} with
+      {!Hier.default} last). *)
 
   val name : t -> string
   val of_name : string -> t option
@@ -109,22 +224,32 @@ module Select : sig
   val make : ?socket_of:(int -> int) -> Selector.t -> self:int -> unit -> state
   (** [make selector ~self ()] for worker id [self]. [socket_of] maps a
       worker id to its socket (default: everything on socket 0), used
-      only by {!Selector.Socket_local}. *)
+      only by {!Selector.Socket_local}; {!Selector.Hierarchical}
+      carries its own topology. *)
 
   val next : state -> rng:Wool_util.Rng.t -> n:int -> int option
   (** Choose a victim among [n] workers ([None] iff [n <= 1]). Never
       returns [self]. Draws from [rng] only as the selector requires. *)
 
   val on_success : state -> victim:int -> unit
-  (** A steal (pinned or not) succeeded on [victim]. *)
+  (** A steal (pinned or not) succeeded on [victim]. Resets a
+      hierarchical probe radius to the innermost ring. *)
 
   val on_failure : state -> unit
   (** An {e unpinned} attempt failed: drop affinities (last victim /
-      recorded thief) so the next probe falls back to random. *)
+      recorded thief) so the next probe falls back to random, and count
+      the failure toward a hierarchical radius escalation. *)
 
   val stolen_by : state -> thief:int -> unit
   (** One of our own tasks was seen stolen by [thief]
-      ({!Selector.Leapfrog_biased} affinity). *)
+      ({!Selector.Leapfrog_biased} affinity, and the
+      {!Selector.Hierarchical} steal-back hint). *)
+
+  val hier_level : state -> int option
+  (** Current hierarchical probe radius (1 core, 2 socket, 3 machine)
+      once the topology has been resolved against a pool size; [None]
+      for flat selectors or before the first probe. For tests and
+      diagnostics. *)
 end
 
 type t = { selector : Selector.t; backoff : Backoff.t }

@@ -118,7 +118,26 @@ let run_one ~seed =
   let workers = 1 + Rng.int rng 4 in
   let publicity = publicities.(Rng.int rng (Array.length publicities)) in
   let policies = Array.of_list (Wool_policy.sweep ()) in
-  let policy = policies.(Rng.int rng (Array.length policies)) in
+  (* a third of the histories run a hierarchical selector with a random
+     topology (socket count, SMT width, probe budgets, escalation
+     percentages all drawn per history), so near-first probing with
+     steal-back covers the same interleavings as the flat selectors *)
+  let policy =
+    if Rng.int rng 3 = 0 then begin
+      let sockets = 1 + Rng.int rng 4 in
+      let smt = 1 + Rng.int rng 2 in
+      let probes = [| 1 + Rng.int rng 4; 1 + Rng.int rng 8 |] in
+      let escalate_pct = [| Rng.int rng 101; Rng.int rng 101 |] in
+      let hier = Wool_policy.Hier.auto ~probes ~escalate_pct ~smt ~sockets () in
+      Wool_policy.make
+        ~selector:(Wool_policy.Selector.Hierarchical hier)
+        ~backoff:
+          (List.nth Wool_policy.Backoff.all
+             (Rng.int rng (List.length Wool_policy.Backoff.all)))
+        ()
+    end
+    else policies.(Rng.int rng (Array.length policies))
+  in
   let faults =
     (* half the seeds run under timing interference: delays and forced
        retries at the protocol fault sites, no injected exceptions *)

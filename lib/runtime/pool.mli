@@ -144,7 +144,11 @@ module Config : sig
     steal_policy : Wool_policy.Selector.t;
         (** victim selection for unpinned steals (leapfrogging stays
             pinned to the thief regardless); default
-            [Random_victim] — the historical behaviour *)
+            [Random_victim] — the historical behaviour. A
+            [Hierarchical] selector probes near-first over its
+            {!Wool_policy.Topology}: an [Auto] spec sizes the topology
+            from the pool's worker count at the first probe, and the
+            join path's thief hints double as steal-back targets *)
     backoff : Wool_policy.Backoff.t;
         (** idle behaviour after failed steals; default [Nap_after 64] —
             the historical nap-after-64-failures loop *)

@@ -15,6 +15,7 @@ type t = {
   loop_fork_per_worker : int;
   barrier_per_worker : int;
   remote_factor_pct : int;
+  core_factor_pct : int;
 }
 
 (* Table II: 3 cycles per private task, 19 per public task over a plain
@@ -37,6 +38,7 @@ let wool =
     loop_fork_per_worker = 0;
     barrier_per_worker = 0;
     remote_factor_pct = 75;
+    core_factor_pct = -40;
   }
 
 (* Table III: 134-cycle inlined tasks, C2 = 31 050, more than half of the
@@ -60,6 +62,7 @@ let cilk =
     loop_fork_per_worker = 0;
     barrier_per_worker = 0;
     remote_factor_pct = 75;
+    core_factor_pct = -40;
   }
 
 (* Table III: 323-cycle inlined tasks (free-list task allocation), C2 =
@@ -82,6 +85,7 @@ let tbb =
     loop_fork_per_worker = 0;
     barrier_per_worker = 0;
     remote_factor_pct = 75;
+    core_factor_pct = -40;
   }
 
 (* Table III: 878-cycle tasks, C2 = 4 830. Loop benchmarks (mm, ssf) use
@@ -104,6 +108,7 @@ let openmp =
     loop_fork_per_worker = 300;
     barrier_per_worker = 250;
     remote_factor_pct = 75;
+    core_factor_pct = -40;
   }
 
 (* Table II "base": 77 cycles per inlined task with the per-worker lock
@@ -145,6 +150,7 @@ let scale f c =
     loop_fork_per_worker = s c.loop_fork_per_worker;
     barrier_per_worker = s c.barrier_per_worker;
     remote_factor_pct = c.remote_factor_pct;
+    core_factor_pct = c.core_factor_pct;
   }
 
 let pp ppf c =

@@ -34,7 +34,14 @@ type t = {
   remote_factor_pct : int;
       (** extra percentage on steal communication when thief and victim
           sit on different sockets (the paper's testbed is a dual-socket
-          Opteron); used when the engine is told [~sockets] > 1 *)
+          Opteron); used when the engine is told [~sockets] > 1 or given
+          a multi-socket [~topology] *)
+  core_factor_pct : int;
+      (** percentage adjustment on steal communication between SMT
+          siblings sharing a core (topology distance 1) — negative: the
+          task descriptor is already in the shared L1/L2, so the
+          committed profiles use a 40% discount. Only reachable with a
+          [~topology] whose cores are wider than one thread *)
 }
 
 val wool : t

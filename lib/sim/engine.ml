@@ -62,6 +62,7 @@ type worker = {
   mutable n_steals : int;
   mutable n_failed : int;
   mutable n_leap : int;
+  mutable n_remote : int; (* successful steals across sockets *)
   mutable max_pool : int; (* deepest task/continuation pool seen *)
   orphans : inst Queue.t; (* batch-stolen tasks awaiting local execution *)
   sel : Select.state; (* victim-selection state (shared with the runtime) *)
@@ -74,12 +75,14 @@ type victim_selection = Wool_policy.Selector.t =
   | Last_victim
   | Leapfrog_biased
   | Socket_local
+  | Hierarchical of Wool_policy.Hier.t
 
 type result = {
   time : int;
   steals : int;
   failed_steals : int;
   leap_steals : int;
+  remote_steals : int;
   breakdown : int array array;
   work : int;
   events : int;
@@ -94,7 +97,7 @@ type state = {
   nap_cycles : int; (* one Backoff.Nap unit, in cycles *)
   trace : Trace.t option;
   steal_batch : int;
-  sockets : int;
+  topo : Wool_policy.Topology.t;
   workers : worker array;
   heap : int Heap.t; (* worker ids keyed by their clocks *)
   mutable finished : bool;
@@ -237,18 +240,19 @@ let complete_frame st w f =
 
 (* ---- stealing ---- *)
 
-let socket_of st wid =
-  let n = Array.length st.workers in
-  wid * st.sockets / n
+(* Topology-dependent steal communication: an SMT sibling shares cache
+   lines (distance 1, usually a discount), a socket peer pays the base
+   cost (distance 2 — the cost model was calibrated on-socket), a
+   cross-socket victim pays the interconnect surcharge (distance 3). *)
+let comm_scale st w v c =
+  match Wool_policy.Topology.distance st.topo w.wid v.wid with
+  | 1 -> c * (100 + st.costs.Costs.core_factor_pct) / 100
+  | 3 -> c * (100 + st.costs.Costs.remote_factor_pct) / 100
+  | _ -> c
 
-let cross_socket st a b = socket_of st a.wid <> socket_of st b.wid
-
-(* Extra cost on steal communication when thief and victim are on
-   different sockets. *)
-let remote st w v c =
-  if st.sockets > 1 && cross_socket st w v then
-    c * (100 + st.costs.Costs.remote_factor_pct) / 100
-  else c
+let cross_socket st a b =
+  Wool_policy.Topology.socket_of st.topo a.wid
+  <> Wool_policy.Topology.socket_of st.topo b.wid
 
 (* Victim choice for an unpinned steal attempt, delegated to the
    Wool_policy state machine the real runtime also runs: uniform random
@@ -413,6 +417,7 @@ let do_steal st w ~victim ~cat =
       match outcome with
       | `Got (fr, extra) ->
           w.n_steals <- w.n_steals + 1;
+          if cross_socket st w v then w.n_remote <- w.n_remote + 1;
           Select.on_success w.sel ~victim:v.wid;
           (match w.bo with Some bo -> Backoff.on_success bo | None -> ());
           emit st w Wool_trace.Event.Steal_ok ~a:(-1) ~b:v.wid;
@@ -420,7 +425,7 @@ let do_steal st w ~victim ~cat =
             w.n_leap <- w.n_leap + 1;
             emit st w Wool_trace.Event.Leap_steal ~a:(-1) ~b:v.wid
           end;
-          let cost = remote st w v (c.steal_attempt + extra) in
+          let cost = comm_scale st w v (c.steal_attempt + extra) in
           charge st w cat cost;
           w.clock <- w.clock + max 1 cost;
           w.current <- Some fr;
@@ -625,13 +630,25 @@ let step st w =
 
 let run ?(seed = 42) ?(max_events = 2_000_000_000)
     ?(victim_selection = Random_victim) ?steal_policy ?(nap_cycles = 10_000)
-    ?trace ?(steal_batch = 1) ?(sockets = 1) ~(policy : Policy.t) ~workers
-    tree =
+    ?trace ?(steal_batch = 1) ?(sockets = 1) ?topology ~(policy : Policy.t)
+    ~workers tree =
   if workers <= 0 then invalid_arg "Engine.run: workers must be positive";
   if steal_batch <= 0 then
     invalid_arg "Engine.run: steal_batch must be positive";
   if sockets <= 0 then invalid_arg "Engine.run: sockets must be positive";
   if nap_cycles <= 0 then invalid_arg "Engine.run: nap_cycles must be positive";
+  (* The machine shape. [~topology] pins an explicit tree; the legacy
+     [~sockets] shorthand builds the same contiguous-block topology the
+     engine always used (worker [wid] on socket [wid * sockets /
+     workers]), so every historical run is bit-for-bit unchanged. *)
+  let topo =
+    match topology with
+    | Some t ->
+        if Wool_policy.Topology.workers t <> workers then
+          invalid_arg "Engine.run: topology worker count must match workers";
+        t
+    | None -> Wool_policy.Topology.make ~sockets ~workers ()
+  in
   (match policy.flavor with
   | Policy.Loop_static ->
       invalid_arg "Engine.run: Loop_static policies are run by Loop_sim"
@@ -672,11 +689,12 @@ let run ?(seed = 42) ?(max_events = 2_000_000_000)
       n_steals = 0;
       n_failed = 0;
       n_leap = 0;
+      n_remote = 0;
       max_pool = 0;
       orphans = Queue.create ();
       sel =
         Select.make
-          ~socket_of:(fun wid -> wid * sockets / workers)
+          ~socket_of:(Wool_policy.Topology.socket_of topo)
           selector ~self:wid ();
       bo =
         (match sp with
@@ -692,7 +710,7 @@ let run ?(seed = 42) ?(max_events = 2_000_000_000)
       nap_cycles;
       trace;
       steal_batch;
-      sockets;
+      topo;
       workers = ws;
       heap = Heap.create ();
       finished = false;
@@ -734,6 +752,7 @@ let run ?(seed = 42) ?(max_events = 2_000_000_000)
     steals = Array.fold_left (fun a w -> a + w.n_steals) 0 ws;
     failed_steals = Array.fold_left (fun a w -> a + w.n_failed) 0 ws;
     leap_steals = Array.fold_left (fun a w -> a + w.n_leap) 0 ws;
+    remote_steals = Array.fold_left (fun a w -> a + w.n_remote) 0 ws;
     breakdown = Array.map (fun w -> Array.copy w.acc) ws;
     work = st.work_done;
     events = st.events;

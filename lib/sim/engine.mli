@@ -32,6 +32,10 @@ type victim_selection = Wool_policy.Selector.t =
   | Socket_local
       (** prefer victims on our own socket 3 probes out of 4 (ablation;
           meaningful with [~sockets] > 1) *)
+  | Hierarchical of Wool_policy.Hier.t
+      (** near-first probing over a {!Wool_policy.Topology.t} with
+          per-level escalation and steal-back — the locality-aware
+          selector *)
 (** Victim-selection flavours, shared with the real runtime: this is a
     re-export of {!Wool_policy.Selector.t}, so the same constructors (and
     a full {!Wool_policy.t}) configure both the simulator and
@@ -42,6 +46,9 @@ type result = {
   steals : int;  (** successful task/continuation migrations, [N_M] *)
   failed_steals : int;
   leap_steals : int;  (** steals made while blocked at a join *)
+  remote_steals : int;
+      (** successful steals whose thief and victim sit on different
+          sockets of the run's topology (0 on a single socket) *)
   breakdown : int array array;  (** [workers x n_categories] cycles *)
   work : int;  (** Work cycles executed (= [Task_tree.work], checked) *)
   events : int;
@@ -54,8 +61,8 @@ type result = {
 val run :
   ?seed:int -> ?max_events:int -> ?victim_selection:victim_selection ->
   ?steal_policy:Wool_policy.t -> ?nap_cycles:int -> ?trace:Trace.t ->
-  ?steal_batch:int -> ?sockets:int -> policy:Policy.t -> workers:int ->
-  Wool_ir.Task_tree.t -> result
+  ?steal_batch:int -> ?sockets:int -> ?topology:Wool_policy.Topology.t ->
+  policy:Policy.t -> workers:int -> Wool_ir.Task_tree.t -> result
 (** Simulate to completion. Raises [Invalid_argument] for [workers <= 0] or
     a [Loop_static] policy (use {!Loop_sim}), and [Failure] if [max_events]
     (default 2_000_000_000) is exceeded. Passing [trace] records a
@@ -64,6 +71,15 @@ val run :
     stealing (the steal-half family the paper cites): a successful
     steal-child steal also takes up to [steal_batch - 1] further public
     tasks, queued for local execution on the thief.
+
+    [topology] pins the machine shape used for steal-communication
+    scaling (same-core discount / cross-socket surcharge via
+    {!Costs.t.core_factor_pct} and {!Costs.t.remote_factor_pct}) and for
+    the [Socket_local] selector's socket map; its worker count must
+    equal [workers]. Without it, [sockets] (default 1) builds the
+    historical contiguous-block topology (worker [w] on socket
+    [w * sockets / workers], no SMT), bit-for-bit preserving every
+    pre-topology run.
 
     [steal_policy] (defaulting to [policy.steal]) supplies a full
     {!Wool_policy.t}: its selector replaces [victim_selection] and its

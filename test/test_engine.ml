@@ -274,6 +274,75 @@ let test_sockets () =
     (Invalid_argument "Engine.run: sockets must be positive") (fun () ->
       ignore (E.run ~sockets:0 ~policy:P.wool ~workers:2 stress_tree))
 
+(* The steal-heavy tree the committed policy grid uses: leaf work is
+   small against the steal cost, so victim choice dominates. *)
+let grid_tree = Wool_workloads.Stress.tree ~height:15 ~leaf_iters:300
+
+let grid_cell ~workers selector =
+  let topology = Wool_policy.Topology.make ~sockets:4 ~workers () in
+  let steal_policy = Wool_policy.make ~selector () in
+  E.run ~seed:42 ~steal_policy ~topology ~policy:P.wool ~workers grid_tree
+
+(* The scaled locality grid: at 16/32/64 virtual cores on a 4-socket
+   machine, hierarchical probing must strictly cut cross-socket steals
+   vs flat random, and the total simulated time must stay inside the
+   committed tolerance band (it currently *wins* at every scale; the
+   band tolerates up to +10% before someone has to re-own the
+   trade-off). Deterministic: seed 42, same draw sequences as the
+   committed POLICY_GRID.json. *)
+let test_topology_grid_locality () =
+  List.iter
+    (fun workers ->
+      let random = grid_cell ~workers Wool_policy.Selector.Random_victim in
+      let hier =
+        grid_cell ~workers
+          (Wool_policy.Selector.Hierarchical
+             (Wool_policy.Hier.auto ~sockets:4 ()))
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "p=%d hier cuts remote steals (%d vs %d)" workers
+           hier.E.remote_steals random.E.remote_steals)
+        true
+        (hier.E.remote_steals < random.E.remote_steals);
+      let ratio = float_of_int hier.E.time /. float_of_int random.E.time in
+      Alcotest.(check bool)
+        (Printf.sprintf "p=%d hier time within band (ratio %.2f)" workers
+           ratio)
+        true
+        (ratio >= 0.40 && ratio <= 1.10);
+      Alcotest.(check int)
+        (Printf.sprintf "p=%d hier conserves work" workers)
+        (Tt.work grid_tree) hier.E.work)
+    [ 16; 32; 64 ]
+
+let test_topology_remote_counts () =
+  (* one socket: every steal is local by definition *)
+  let topology = Wool_policy.Topology.make ~sockets:1 ~workers:16 () in
+  let r = E.run ~seed:42 ~topology ~policy:P.wool ~workers:16 grid_tree in
+  Alcotest.(check int) "one socket, no remote steals" 0 r.E.remote_steals;
+  (* multi-socket: remote steals are a subset of all steals *)
+  let r = grid_cell ~workers:32 Wool_policy.Selector.Random_victim in
+  Alcotest.(check bool) "remote <= steals" true
+    (r.E.remote_steals <= r.E.steals && r.E.remote_steals > 0)
+
+let test_topology_equals_sockets_shorthand () =
+  (* [~topology (make ~sockets)] is the documented equivalent of the
+     legacy [~sockets] shorthand — bit-for-bit, trace hash included *)
+  let a = E.run ~seed:7 ~sockets:4 ~policy:P.wool ~workers:16 stress_tree in
+  let topology = Wool_policy.Topology.make ~sockets:4 ~workers:16 () in
+  let b = E.run ~seed:7 ~topology ~policy:P.wool ~workers:16 stress_tree in
+  Alcotest.(check int) "time" a.E.time b.E.time;
+  Alcotest.(check int) "steals" a.E.steals b.E.steals;
+  Alcotest.(check int) "remote" a.E.remote_steals b.E.remote_steals;
+  Alcotest.(check bool) "trace hash" true (a.E.trace_hash = b.E.trace_hash)
+
+let test_topology_validation () =
+  let topology = Wool_policy.Topology.make ~sockets:2 ~workers:8 () in
+  Alcotest.check_raises "worker count mismatch"
+    (Invalid_argument "Engine.run: topology worker count must match workers")
+    (fun () ->
+      ignore (E.run ~topology ~policy:P.wool ~workers:4 stress_tree))
+
 let test_max_pool_depth () =
   (* a flat 100-task spawn loop: steal-child pools hold ~100 descriptors;
      the steal-parent pool holds only the current continuation *)
@@ -376,6 +445,14 @@ let suite =
           test_default_policy_matches_legacy;
         Alcotest.test_case "steal batch" `Quick test_steal_batch;
         Alcotest.test_case "sockets" `Quick test_sockets;
+        Alcotest.test_case "topology grid locality" `Quick
+          test_topology_grid_locality;
+        Alcotest.test_case "topology remote counts" `Quick
+          test_topology_remote_counts;
+        Alcotest.test_case "topology equals sockets shorthand" `Quick
+          test_topology_equals_sockets_shorthand;
+        Alcotest.test_case "topology validation" `Quick
+          test_topology_validation;
         Alcotest.test_case "max pool depth" `Quick test_max_pool_depth;
         Alcotest.test_case "category names" `Quick test_category_names;
         QCheck_alcotest.to_alcotest qcheck_span_lower_bound;

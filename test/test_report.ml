@@ -299,6 +299,33 @@ let test_serve_json_rejects_foreign () =
   | Error _ -> ()
   | Ok _ -> Alcotest.fail "row with missing fields must be rejected"
 
+module Pg = R.Policy_grid
+
+(* A miniature locality grid must survive the JSON roundtrip exactly,
+   compare clean against itself, and report every perturbed cell. *)
+let test_policy_grid_json_roundtrip () =
+  let g = Pg.compute ~sockets:2 ~workers:[ 4 ] ~height:6 ~leaf_iters:50 () in
+  Alcotest.(check int) "3 selectors x 1 scale" 3 (List.length g.Pg.cells);
+  (match Pg.of_json (Pg.to_json g) with
+  | Error msg -> Alcotest.failf "roundtrip rejected: %s" msg
+  | Ok g' ->
+      Alcotest.(check (list string)) "roundtrip compares clean" []
+        (Pg.compare_grids ~baseline:g ~fresh:g'));
+  let perturbed =
+    {
+      g with
+      Pg.cells =
+        List.map
+          (fun c -> { c with Pg.remote = c.Pg.remote + 1 })
+          g.Pg.cells;
+    }
+  in
+  Alcotest.(check int) "every perturbed cell reported" 3
+    (List.length (Pg.compare_grids ~baseline:g ~fresh:perturbed));
+  match Pg.of_json "{\"schema\":\"bogus/9\"}" with
+  | Ok _ -> Alcotest.fail "foreign schema must be rejected"
+  | Error _ -> ()
+
 let suite =
   [
     ( "report",
@@ -326,5 +353,7 @@ let suite =
           test_serve_json_v1_readable;
         Alcotest.test_case "serve json rejects foreign" `Quick
           test_serve_json_rejects_foreign;
+        Alcotest.test_case "policy grid json roundtrip" `Quick
+          test_policy_grid_json_roundtrip;
       ] );
   ]

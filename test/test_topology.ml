@@ -1,0 +1,233 @@
+(* Property tests for the topology layer behind hierarchical stealing.
+
+   The invariants the Hierarchical selector leans on are structural:
+   every worker must be reachable from every other at the outermost
+   ring, the probe rings must nest (so widening the radius never loses
+   a candidate), and ring membership must agree exactly with the
+   pairwise distance function. QCheck generates arbitrary ragged
+   socket/core/SMT shapes; a handful of unit tests pin the concrete
+   grammar and the legacy [make] mapping on top. *)
+
+module Topology = Wool_policy.Topology
+module Hier = Wool_policy.Hier
+module Select = Wool_policy.Select
+module Rng = Wool_util.Rng
+
+(* Arbitrary ragged machines: 1-4 sockets, each 1-4 cores, each core
+   1-3 SMT threads — up to 48 workers, covering every distance class. *)
+let gen_spec =
+  QCheck.Gen.(
+    let socket = list_size (int_range 1 4) (int_range 1 3) in
+    list_size (int_range 1 4) socket >|= fun sockets ->
+    Array.of_list (List.map Array.of_list sockets))
+
+let arb_topo =
+  QCheck.make
+    ~print:(fun spec -> Topology.name (Topology.of_spec spec))
+    gen_spec
+
+let sorted_ascending a =
+  let ok = ref true in
+  for i = 1 to Array.length a - 1 do
+    if a.(i - 1) >= a.(i) then ok := false
+  done;
+  !ok
+
+(* Every worker reaches every other worker at the outermost ring. *)
+let prop_every_worker_reachable =
+  QCheck.Test.make ~name:"topology: machine ring reaches every worker"
+    ~count:200 arb_topo (fun spec ->
+      let t = Topology.of_spec spec in
+      let n = Topology.workers t in
+      let ok = ref true in
+      for w = 0 to n - 1 do
+        let ring = Topology.peers t w ~level:Topology.levels in
+        if Array.length ring <> n - 1 then ok := false;
+        if not (sorted_ascending ring) then ok := false;
+        Array.iter (fun v -> if v = w then ok := false) ring;
+        for v = 0 to n - 1 do
+          if v <> w && not (Array.exists (( = ) v) ring) then ok := false
+        done
+      done;
+      !ok)
+
+(* Rings nest as the radius widens, and membership agrees exactly with
+   the distance function — so the near-first probe order visits victims
+   in non-decreasing distance. *)
+let prop_rings_nest_by_distance =
+  QCheck.Test.make ~name:"topology: probe rings nest by distance" ~count:200
+    arb_topo (fun spec ->
+      let t = Topology.of_spec spec in
+      let n = Topology.workers t in
+      let ok = ref true in
+      for w = 0 to n - 1 do
+        for level = 1 to Topology.levels do
+          let ring = Topology.peers t w ~level in
+          Array.iter
+            (fun v ->
+              let d = Topology.distance t w v in
+              if d < 1 || d > level then ok := false)
+            ring;
+          for v = 0 to n - 1 do
+            let d = Topology.distance t w v in
+            let inside = Array.exists (( = ) v) ring in
+            if d >= 1 && d <= level && not inside then ok := false
+          done;
+          if level > 1 then
+            (* strict nesting: the narrower ring is a subset *)
+            Array.iter
+              (fun v ->
+                if not (Array.exists (( = ) v) ring) then ok := false)
+              (Topology.peers t w ~level:(level - 1))
+        done
+      done;
+      !ok)
+
+let prop_distance_symmetric =
+  QCheck.Test.make ~name:"topology: distance symmetric and reflexive"
+    ~count:200 arb_topo (fun spec ->
+      let t = Topology.of_spec spec in
+      let n = Topology.workers t in
+      let ok = ref true in
+      for a = 0 to n - 1 do
+        if Topology.distance t a a <> 0 then ok := false;
+        for b = 0 to n - 1 do
+          if Topology.distance t a b <> Topology.distance t b a then
+            ok := false;
+          if a <> b && Topology.distance t a b = 0 then ok := false
+        done
+      done;
+      !ok)
+
+let prop_name_roundtrip =
+  QCheck.Test.make ~name:"topology: name/of_name roundtrip" ~count:200
+    arb_topo (fun spec ->
+      let t = Topology.of_spec spec in
+      match Topology.of_name (Topology.name t) with
+      | None -> false
+      | Some t' ->
+          Topology.name t' = Topology.name t
+          && Topology.workers t' = Topology.workers t
+          && Topology.cores t' = Topology.cores t
+          && Topology.sockets t' = Topology.sockets t)
+
+(* A hierarchical prober with no random escalation and minimal budgets
+   must still, through failure-driven widening alone, end up offering
+   every other worker as a victim. *)
+let prop_escalation_reaches_machine =
+  QCheck.Test.make ~name:"hier: escalation reaches the whole machine"
+    ~count:100 arb_topo (fun spec ->
+      let t = Topology.of_spec spec in
+      let n = Topology.workers t in
+      if n <= 1 then true
+      else begin
+        let hier =
+          Hier.fixed ~probes:[| 1; 1 |] ~escalate_pct:[| 0; 0 |] t
+        in
+        let st =
+          Select.make (Wool_policy.Selector.Hierarchical hier) ~self:0 ()
+        in
+        let rng = Rng.make 42 in
+        let seen = Hashtbl.create 16 in
+        (* enough failed probes to climb every ring and then coupon-collect
+           the outermost one *)
+        for _ = 1 to 200 * n do
+          (match Select.next st ~rng ~n with
+          | Some v -> Hashtbl.replace seen v ()
+          | None -> ());
+          Select.on_failure st
+        done;
+        Hashtbl.length seen = n - 1
+        && Select.hier_level st = Some Topology.levels
+      end)
+
+(* ---- concrete pins ---- *)
+
+let test_of_spec_mapping () =
+  let t = Topology.of_spec [| [| 2; 1 |]; [| 1; 1; 1 |] |] in
+  Alcotest.(check int) "workers" 6 (Topology.workers t);
+  Alcotest.(check int) "cores" 5 (Topology.cores t);
+  Alcotest.(check int) "sockets" 2 (Topology.sockets t);
+  Alcotest.(check (list int)) "socket map" [ 0; 0; 0; 1; 1; 1 ]
+    (List.init 6 (Topology.socket_of t));
+  Alcotest.(check (list int)) "core map" [ 0; 0; 1; 2; 3; 4 ]
+    (List.init 6 (Topology.core_of t));
+  (* SMT siblings are distance 1, socket peers 2, cross-socket 3 *)
+  Alcotest.(check int) "smt sibling" 1 (Topology.distance t 0 1);
+  Alcotest.(check int) "socket peer" 2 (Topology.distance t 0 2);
+  Alcotest.(check int) "cross socket" 3 (Topology.distance t 0 3)
+
+(* [make ~sockets] must keep the simulator's historical worker→socket
+   formula: socket_of wid = wid * sockets / workers. *)
+let test_make_matches_legacy_formula () =
+  List.iter
+    (fun (workers, sockets) ->
+      let t = Topology.make ~sockets ~workers () in
+      for wid = 0 to workers - 1 do
+        Alcotest.(check int)
+          (Printf.sprintf "w=%d p=%d s=%d" workers sockets wid)
+          (wid * sockets / workers)
+          (Topology.socket_of t wid)
+      done)
+    [ (16, 4); (32, 4); (64, 4); (7, 3); (5, 2); (1, 1) ];
+  (* more sockets than workers clamps to one worker per socket *)
+  let t = Topology.make ~sockets:8 ~workers:3 () in
+  Alcotest.(check int) "clamped sockets" 3 (Topology.sockets t);
+  Alcotest.(check (list int)) "clamped map" [ 0; 1; 2 ]
+    (List.init 3 (Topology.socket_of t))
+
+let test_make_smt_widths () =
+  let t = Topology.make ~sockets:2 ~smt:2 ~workers:10 () in
+  Alcotest.(check int) "workers" 10 (Topology.workers t);
+  Alcotest.(check int) "cores" 6 (Topology.cores t);
+  (* 5 workers per socket over smt-2 cores: the last core is ragged *)
+  Alcotest.(check string) "name" "2.2.1+2.2.1" (Topology.name t);
+  (* odd block: 5 workers over smt-2 cores gives a ragged last core *)
+  let t = Topology.make ~sockets:1 ~smt:2 ~workers:5 () in
+  Alcotest.(check string) "ragged name" "2.2.1" (Topology.name t)
+
+let test_name_grammar () =
+  let check s =
+    match Topology.of_name s with
+    | None -> Alcotest.failf "of_name %S rejected" s
+    | Some t -> Alcotest.(check string) s s (Topology.name t)
+  in
+  List.iter check [ "4"; "4+4"; "2x2"; "2x2+2x2"; "2.1.1"; "3+2x4+1.2" ];
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s ^ " rejected") true
+      (Topology.of_name s = None))
+    [ ""; "0"; "4+"; "x2"; "2x0"; "a+b"; "1..2" ]
+
+let test_invalid_specs () =
+  let rejects name spec =
+    Alcotest.check_raises name
+      (Invalid_argument
+         (match spec with
+         | [||] -> "Topology.of_spec: no sockets"
+         | s when Array.exists (fun c -> Array.length c = 0) s ->
+             "Topology.of_spec: empty socket"
+         | _ -> "Topology.of_spec: core width must be positive"))
+      (fun () -> ignore (Topology.of_spec spec))
+  in
+  rejects "no sockets" [||];
+  rejects "empty socket" [| [| 1 |]; [||] |];
+  rejects "zero width" [| [| 1; 0 |] |]
+
+let suite =
+  [
+    ( "topology",
+      [
+        QCheck_alcotest.to_alcotest prop_every_worker_reachable;
+        QCheck_alcotest.to_alcotest prop_rings_nest_by_distance;
+        QCheck_alcotest.to_alcotest prop_distance_symmetric;
+        QCheck_alcotest.to_alcotest prop_name_roundtrip;
+        QCheck_alcotest.to_alcotest prop_escalation_reaches_machine;
+        Alcotest.test_case "of_spec mapping" `Quick test_of_spec_mapping;
+        Alcotest.test_case "make legacy formula" `Quick
+          test_make_matches_legacy_formula;
+        Alcotest.test_case "make smt widths" `Quick test_make_smt_widths;
+        Alcotest.test_case "name grammar" `Quick test_name_grammar;
+        Alcotest.test_case "invalid specs" `Quick test_invalid_specs;
+      ] );
+  ]
